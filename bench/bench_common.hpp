@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure benches: dataset setup, profile caching
+/// and the worker sweep used by every runtime figure.
+
+#include <functional>
+#include <vector>
+
+#include "perf/replay.hpp"
+#include "perf/report.hpp"
+#include "perf/testbed.hpp"
+
+namespace vira::bench {
+
+inline const std::vector<int> kWorkerSweep{1, 2, 4, 8, 16};
+
+/// Runs an extraction replay across the worker sweep and returns the series.
+inline perf::Series sweep_extraction(const std::string& label,
+                                     const perf::ExtractionProfile& profile,
+                                     const perf::ClusterModel& cluster,
+                                     const std::function<perf::ReplayConfig(int)>& make_config,
+                                     bool use_latency = false) {
+  perf::Series series;
+  series.label = label;
+  for (const int workers : kWorkerSweep) {
+    const auto result = perf::replay_extraction(profile, cluster, make_config(workers));
+    series.points.push_back({workers, use_latency ? result.latency : result.total_runtime});
+  }
+  return series;
+}
+
+inline perf::ReplayConfig simple_config(int workers) {
+  perf::ReplayConfig config;
+  config.workers = workers;
+  config.use_dms = false;
+  config.warm_cache = false;
+  return config;
+}
+
+inline perf::ReplayConfig dataman_config(int workers) {
+  perf::ReplayConfig config;
+  config.workers = workers;
+  config.use_dms = true;
+  config.warm_cache = true;  // Sec. 7: warm-cache measurements
+  return config;
+}
+
+inline perf::ReplayConfig streaming_config(int workers) {
+  perf::ReplayConfig config = dataman_config(workers);
+  config.streaming = true;
+  return config;
+}
+
+/// The calibrated cluster, anchored on the Engine isosurface profile.
+inline perf::ClusterModel calibrated_cluster() {
+  perf::ensure_engine();
+  grid::DatasetReader reader(perf::engine_dir());
+  const auto iso = perf::density_iso_mid(reader);
+  const auto profile = perf::profile_iso(reader, 0, "density", static_cast<float>(iso));
+  return perf::calibrate_cluster(profile, 17.0);
+}
+
+}  // namespace vira::bench

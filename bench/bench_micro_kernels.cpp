@@ -1,0 +1,155 @@
+/// \file bench_micro_kernels.cpp
+/// google-benchmark micro kernels: the hot loops underneath the commands —
+/// symmetric eigenvalues (λ2), velocity-gradient tensors, cell
+/// triangulation, cache operations, point location, serialization. Useful
+/// for tracking regressions independent of the figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/isosurface.hpp"
+#include "algo/lambda2.hpp"
+#include "dms/block_cache.hpp"
+#include "grid/cell_locator.hpp"
+#include "grid/synthetic.hpp"
+#include "math/eigen_sym3.hpp"
+#include "sim/engine.hpp"
+#include "util/compression.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vira;
+
+grid::StructuredBlock make_vortex_block(int n) {
+  grid::LambOseenVortex vortex({0.5, 0.5, 0.5}, {0, 0, 1}, 2.0, 0.15);
+  grid::StructuredBlock block(n, n, n);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        block.set_point(i, j, k,
+                        {i / double(n - 1), j / double(n - 1), k / double(n - 1)});
+      }
+    }
+  }
+  grid::sample_fields(block, vortex, 0.0);
+  return block;
+}
+
+void BM_EigenvaluesSym3(benchmark::State& state) {
+  util::Rng rng(1);
+  math::Mat3 m;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i; j < 3; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::eigenvalues_sym3(m));
+  }
+}
+BENCHMARK(BM_EigenvaluesSym3);
+
+void BM_Lambda2Field(benchmark::State& state) {
+  auto block = make_vortex_block(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::compute_lambda2_field(block));
+  }
+  state.SetItemsProcessed(state.iterations() * block.node_count());
+}
+BENCHMARK(BM_Lambda2Field)->Arg(8)->Arg(16);
+
+void BM_IsosurfaceExtraction(benchmark::State& state) {
+  auto block = make_vortex_block(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    algo::TriangleMesh mesh;
+    benchmark::DoNotOptimize(algo::extract_isosurface(block, "density", 1.18f, mesh));
+  }
+  state.SetItemsProcessed(state.iterations() * block.cell_count());
+}
+BENCHMARK(BM_IsosurfaceExtraction)->Arg(8)->Arg(16);
+
+void BM_VelocityGradient(benchmark::State& state) {
+  auto block = make_vortex_block(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.velocity_gradient(6, 6, 6));
+  }
+}
+BENCHMARK(BM_VelocityGradient);
+
+void BM_CellLocator(benchmark::State& state) {
+  auto block = make_vortex_block(16);
+  grid::CellLocator locator(block);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const math::Vec3 p{rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95),
+                       rng.uniform(0.05, 0.95)};
+    benchmark::DoNotOptimize(locator.locate(p));
+  }
+}
+BENCHMARK(BM_CellLocator);
+
+void BM_BlockCachePutGet(benchmark::State& state) {
+  const std::string policy = state.range(0) == 0 ? "lru" : (state.range(0) == 1 ? "lfu" : "fbr");
+  dms::BlockCache cache(64 * 1024, dms::make_policy(policy));
+  util::Rng rng(3);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    const dms::ItemId item = rng.next_below(128);
+    if (!cache.get(item)) {
+      util::ByteBuffer payload;
+      payload.write<std::uint64_t>(id++);
+      std::string pad(1000, 'x');
+      payload.write_raw(pad.data(), pad.size());
+      cache.put(item, dms::make_blob(std::move(payload)));
+    }
+  }
+}
+BENCHMARK(BM_BlockCachePutGet)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BlockSerialization(benchmark::State& state) {
+  auto block = make_vortex_block(12);
+  for (auto _ : state) {
+    util::ByteBuffer buf;
+    block.serialize(buf);
+    benchmark::DoNotOptimize(grid::StructuredBlock::deserialize(buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(block.serialized_size()));
+}
+BENCHMARK(BM_BlockSerialization);
+
+void BM_SimEngineEventThroughput(benchmark::State& state) {
+  // Raw DES throughput: N processes × M delay hops.
+  const int processes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    vira::sim::Engine engine;
+    for (int p = 0; p < processes; ++p) {
+      engine.spawn([](vira::sim::Engine& e) -> vira::sim::Task<void> {
+        for (int hop = 0; hop < 100; ++hop) {
+          co_await e.delay(1.0);
+        }
+      }(engine));
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * processes * 100);
+}
+BENCHMARK(BM_SimEngineEventThroughput)->Arg(10)->Arg(100);
+
+void BM_CompressionLz(benchmark::State& state) {
+  auto block = make_vortex_block(10);
+  util::ByteBuffer buf;
+  block.serialize(buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::compress(buf, util::Codec::kLz));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_CompressionLz);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+#include "algo/block_sampler.hpp"
+
+namespace vira::algo {
+
+BlockSampler::BlockSampler(const grid::TimestepInfo& step_info, BlockFetcher fetch)
+    : info_(step_info), fetch_(std::move(fetch)) {}
+
+BlockSampler::Loaded* BlockSampler::ensure_loaded(int block_index) {
+  auto it = loaded_.find(block_index);
+  if (it == loaded_.end()) {
+    auto block = fetch_(block_index);
+    if (!block) {
+      return nullptr;
+    }
+    Loaded loaded;
+    loaded.locator = std::make_unique<grid::CellLocator>(*block);
+    loaded.block = std::move(block);
+    it = loaded_.emplace(block_index, std::move(loaded)).first;
+  }
+  return &it->second;
+}
+
+std::optional<Vec3> BlockSampler::velocity(const Vec3& p, double) {
+  // 1. Hint: same block, near the previous cell.
+  if (have_hint_ && hint_block_ >= 0) {
+    if (Loaded* loaded = ensure_loaded(hint_block_)) {
+      if (auto coord = loaded->locator->locate(p, hint_cell_)) {
+        hint_cell_ = *coord;
+        return loaded->block->interpolate_velocity(*coord);
+      }
+    }
+  }
+
+  // 2. Candidate blocks whose bounds contain the point. Overlapping
+  // multi-block decompositions can give several candidates; the first
+  // actual containment wins.
+  for (std::size_t b = 0; b < info_.blocks.size(); ++b) {
+    if (static_cast<int>(b) == hint_block_) {
+      continue;  // already tried
+    }
+    if (!info_.blocks[b].bounds.contains(p, 1e-9)) {
+      continue;
+    }
+    Loaded* loaded = ensure_loaded(static_cast<int>(b));
+    if (loaded == nullptr) {
+      continue;
+    }
+    if (auto coord = loaded->locator->locate(p)) {
+      hint_block_ = static_cast<int>(b);
+      hint_cell_ = *coord;
+      have_hint_ = true;
+      return loaded->block->interpolate_velocity(*coord);
+    }
+  }
+  have_hint_ = false;
+  return std::nullopt;
+}
+
+}  // namespace vira::algo

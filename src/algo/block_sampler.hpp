@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file block_sampler.hpp
+/// Velocity sampling across the blocks of one time level.
+///
+/// Pathline integration queries velocity at arbitrary points; blocks are
+/// fetched on demand through a BlockFetcher (a DMS proxy request in the
+/// DataMan commands, a direct file read in the Simple ones) and located via
+/// per-block CellLocators built lazily. The sampler keeps the last (block,
+/// cell) as a hint, so the common case — the particle stays in or near its
+/// cell — needs no search. The sequence of fetched blocks is exactly the
+/// request stream the Markov prefetcher learns from (paper Sec. 6.3: "the
+/// challenge for the DMS is to figure out a good guess for the next block
+/// of a particle trace").
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "algo/integrator.hpp"
+#include "grid/cell_locator.hpp"
+#include "grid/dataset_io.hpp"
+
+namespace vira::algo {
+
+class BlockSampler final : public VelocityProvider {
+ public:
+  using BlockFetcher =
+      std::function<std::shared_ptr<const grid::StructuredBlock>(int block_index)>;
+
+  /// `step_info` describes the time level (block bounds drive the block
+  /// search); `fetch` materializes a block.
+  BlockSampler(const grid::TimestepInfo& step_info, BlockFetcher fetch);
+
+  std::optional<Vec3> velocity(const Vec3& p, double t) override;
+
+  /// Blocks touched so far (diagnostics / load-imbalance analysis).
+  std::size_t blocks_touched() const { return loaded_.size(); }
+
+ private:
+  struct Loaded {
+    std::shared_ptr<const grid::StructuredBlock> block;
+    std::unique_ptr<grid::CellLocator> locator;
+  };
+
+  Loaded* ensure_loaded(int block_index);
+
+  const grid::TimestepInfo& info_;
+  BlockFetcher fetch_;
+  std::map<int, Loaded> loaded_;
+
+  int hint_block_ = -1;
+  grid::CellCoord hint_cell_{};
+  bool have_hint_ = false;
+};
+
+}  // namespace vira::algo

@@ -1,0 +1,80 @@
+#include "algo/cfd_command.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace vira::algo {
+
+grid::StructuredBlock decode_block(const dms::Blob& blob) {
+  if (!blob) {
+    throw std::runtime_error("decode_block: null blob");
+  }
+  util::ByteBuffer copy = *blob;  // decoding needs a read cursor
+  copy.seek(0);
+  return grid::StructuredBlock::deserialize(copy);
+}
+
+bool owns_position(std::size_t position, int group_rank, int group_size) {
+  if (group_size <= 1) {
+    return true;
+  }
+  return static_cast<int>(position % static_cast<std::size_t>(group_size)) == group_rank;
+}
+
+std::pair<int, int> chunk_range(int total, int group_rank, int group_size) {
+  if (group_size <= 1) {
+    return {0, total};
+  }
+  const int base = total / group_size;
+  const int extra = total % group_size;
+  const int begin = group_rank * base + std::min(group_rank, extra);
+  const int size = base + (group_rank < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+BlockAccess::BlockAccess(core::CommandContext& context, std::string dataset, bool use_dms)
+    : context_(context),
+      dataset_(std::move(dataset)),
+      use_dms_(use_dms),
+      meta_(context.dataset_meta(dataset_)) {
+  if (!use_dms_) {
+    direct_reader_ = std::make_unique<grid::DatasetReader>(dataset_);
+  }
+}
+
+std::shared_ptr<const grid::StructuredBlock> BlockAccess::load(int step, int block) {
+  util::ScopedPhase phase(context_.phases(), core::kPhaseRead);
+  if (use_dms_) {
+    const auto blob = context_.proxy().request(dms::block_item(dataset_, step, block));
+    return std::make_shared<const grid::StructuredBlock>(decode_block(blob));
+  }
+  return std::make_shared<const grid::StructuredBlock>(direct_reader_->read_block(step, block));
+}
+
+void BlockAccess::prefetch(int step, int block) {
+  if (use_dms_) {
+    context_.proxy().code_prefetch(dms::block_item(dataset_, step, block));
+  }
+}
+
+void BlockAccess::configure_prefetcher(const std::string& kind, bool wrap_steps) {
+  if (!use_dms_) {
+    return;
+  }
+  auto& proxy = context_.proxy();
+  auto successor = core::make_block_successor(proxy.resolver(), meta_.block_count(),
+                                              meta_.timestep_count(), wrap_steps);
+  proxy.configure_prefetcher(kind, std::move(successor));
+}
+
+math::Vec3 parse_vec3(const util::ParamList& params, const std::string& key,
+                      const math::Vec3& fallback) {
+  const auto values = params.get_doubles(key);
+  if (values.size() != 3) {
+    return fallback;
+  }
+  return {values[0], values[1], values[2]};
+}
+
+}  // namespace vira::algo

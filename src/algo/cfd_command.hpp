@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file cfd_command.hpp
+/// Shared plumbing for the CFD post-processing commands (paper Sec. 6.3).
+///
+/// Every test command understands the same parameter vocabulary:
+///   dataset   — dataset directory (required)
+///   step      — time step index (default 0)
+///   field     — node scalar to isosurface (default "density")
+///   iso       — iso value / λ2 threshold
+///   workers   — requested work-group size (handled by the scheduler)
+///   prefetch  — "none" | "obl" | "pom" | "markov" (DMS-enabled commands)
+///   stream_cells — active cells per streamed fragment (streaming commands)
+///   viewpoint — "x,y,z" viewer position (ViewerIso)
+///
+/// BlockAccess hides the Simple-vs-DataMan difference: the Simple commands
+/// read blocks straight from their files every time ("works without data
+/// management"), the DataMan commands go through the node's DataProxy.
+/// Phase accounting (compute/read/send) is applied here so Fig. 15's
+/// breakdown is consistent across commands.
+
+#include <memory>
+#include <string>
+
+#include "core/command.hpp"
+#include "core/vmb_data_source.hpp"
+#include "grid/structured_block.hpp"
+
+namespace vira::algo {
+
+/// Decodes a DMS blob into a block (the blob stays untouched).
+grid::StructuredBlock decode_block(const dms::Blob& blob);
+
+/// Round-robin block ownership: worker `rank` (0-based within the group)
+/// owns position `i` of `order` iff i % group_size == rank.
+bool owns_position(std::size_t position, int group_rank, int group_size);
+
+/// Contiguous chunk ownership [begin, end): keeps each worker's request
+/// stream in file order, which is what makes the OBL successor relation
+/// (paper Sec. 4.2) predictive. The monolithic commands use this.
+std::pair<int, int> chunk_range(int total, int group_rank, int group_size);
+
+class BlockAccess {
+ public:
+  /// `use_dms=false` reproduces the Simple* commands: a private reader,
+  /// every load hits the file system.
+  BlockAccess(core::CommandContext& context, std::string dataset, bool use_dms);
+
+  /// Loads (and decodes) one block, accounted to the read phase.
+  std::shared_ptr<const grid::StructuredBlock> load(int step, int block);
+
+  /// Issues a code prefetch for a block (DMS mode only; no-op otherwise).
+  void prefetch(int step, int block);
+
+  /// Configures the system prefetcher of this node's proxy for the dataset
+  /// (DMS mode only). `wrap_steps` lets OBL cross time-step files.
+  void configure_prefetcher(const std::string& kind, bool wrap_steps);
+
+  const grid::DatasetMeta& meta() const { return meta_; }
+  bool use_dms() const { return use_dms_; }
+
+ private:
+  core::CommandContext& context_;
+  std::string dataset_;
+  bool use_dms_;
+  const grid::DatasetMeta& meta_;
+  std::unique_ptr<grid::DatasetReader> direct_reader_;  ///< Simple mode only
+};
+
+/// Parses "x,y,z"; falls back to `fallback` on absence/garbage.
+math::Vec3 parse_vec3(const util::ParamList& params, const std::string& key,
+                      const math::Vec3& fallback);
+
+/// Registers every built-in CFD command with the global registry.
+/// Idempotent; call before constructing a Backend.
+void register_builtin_commands();
+
+}  // namespace vira::algo

@@ -1,0 +1,275 @@
+#include "algo/geometry.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vira::algo {
+
+std::uint32_t TriangleMesh::add_vertex(const Vec3& p) {
+  const auto index = static_cast<std::uint32_t>(vertex_count());
+  vertices_.push_back(static_cast<float>(p.x));
+  vertices_.push_back(static_cast<float>(p.y));
+  vertices_.push_back(static_cast<float>(p.z));
+  return index;
+}
+
+std::uint32_t TriangleMesh::add_vertex(const Vec3& p, const Vec3& normal) {
+  const auto index = add_vertex(p);
+  normals_.push_back(static_cast<float>(normal.x));
+  normals_.push_back(static_cast<float>(normal.y));
+  normals_.push_back(static_cast<float>(normal.z));
+  return index;
+}
+
+void TriangleMesh::add_triangle(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  indices_.push_back(a);
+  indices_.push_back(b);
+  indices_.push_back(c);
+}
+
+void TriangleMesh::add_triangle(const Vec3& a, const Vec3& b, const Vec3& c) {
+  const auto ia = add_vertex(a);
+  const auto ib = add_vertex(b);
+  const auto ic = add_vertex(c);
+  add_triangle(ia, ib, ic);
+}
+
+void TriangleMesh::merge(const TriangleMesh& other) {
+  if (has_normals() != other.has_normals() && !empty() && !other.empty()) {
+    throw std::logic_error("TriangleMesh::merge: cannot mix normal-carrying meshes with bare ones");
+  }
+  const auto offset = static_cast<std::uint32_t>(vertex_count());
+  vertices_.insert(vertices_.end(), other.vertices_.begin(), other.vertices_.end());
+  normals_.insert(normals_.end(), other.normals_.begin(), other.normals_.end());
+  indices_.reserve(indices_.size() + other.indices_.size());
+  for (const auto index : other.indices_) {
+    indices_.push_back(index + offset);
+  }
+}
+
+std::size_t TriangleMesh::weld(double epsilon) {
+  if (vertices_.empty()) {
+    return 0;
+  }
+  struct Key {
+    long long x, y, z;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<long long>()(k.x * 73856093ll ^ k.y * 19349663ll ^ k.z * 83492791ll);
+    }
+  };
+  const double inv = 1.0 / epsilon;
+  const bool with_normals = has_normals();
+  std::unordered_map<Key, std::uint32_t, KeyHash> seen;
+  std::vector<float> new_vertices;
+  std::vector<Vec3> accumulated_normals;
+  std::vector<std::uint32_t> remap(vertex_count());
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    const Vec3 p = vertex(v);
+    const Key key{static_cast<long long>(std::llround(p.x * inv)),
+                  static_cast<long long>(std::llround(p.y * inv)),
+                  static_cast<long long>(std::llround(p.z * inv))};
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      const auto index = static_cast<std::uint32_t>(new_vertices.size() / 3);
+      new_vertices.push_back(static_cast<float>(p.x));
+      new_vertices.push_back(static_cast<float>(p.y));
+      new_vertices.push_back(static_cast<float>(p.z));
+      if (with_normals) {
+        accumulated_normals.push_back(normal(v));
+      }
+      seen.emplace(key, index);
+      remap[v] = index;
+    } else {
+      remap[v] = it->second;
+      if (with_normals) {
+        accumulated_normals[it->second] += normal(v);
+      }
+    }
+  }
+  const std::size_t removed = vertex_count() - new_vertices.size() / 3;
+  vertices_ = std::move(new_vertices);
+  if (with_normals) {
+    normals_.clear();
+    normals_.reserve(accumulated_normals.size() * 3);
+    for (const auto& n : accumulated_normals) {
+      const Vec3 unit = n.normalized();
+      normals_.push_back(static_cast<float>(unit.x));
+      normals_.push_back(static_cast<float>(unit.y));
+      normals_.push_back(static_cast<float>(unit.z));
+    }
+  }
+  for (auto& index : indices_) {
+    index = remap[index];
+  }
+  return removed;
+}
+
+Aabb TriangleMesh::bounds() const {
+  Aabb box;
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    box.expand(vertex(v));
+  }
+  return box;
+}
+
+double TriangleMesh::surface_area() const {
+  double area = 0.0;
+  for (std::size_t t = 0; t < triangle_count(); ++t) {
+    const auto tri = triangle(t);
+    const Vec3 a = vertex(tri[0]);
+    const Vec3 b = vertex(tri[1]);
+    const Vec3 c = vertex(tri[2]);
+    area += 0.5 * (b - a).cross(c - a).norm();
+  }
+  return area;
+}
+
+void TriangleMesh::serialize(util::ByteBuffer& out) const {
+  out.write_vector(vertices_);
+  out.write_vector(normals_);
+  out.write_vector(indices_);
+}
+
+TriangleMesh TriangleMesh::deserialize(util::ByteBuffer& in) {
+  TriangleMesh mesh;
+  mesh.vertices_ = in.read_vector<float>();
+  mesh.normals_ = in.read_vector<float>();
+  mesh.indices_ = in.read_vector<std::uint32_t>();
+  if (!mesh.normals_.empty() && mesh.normals_.size() != mesh.vertices_.size()) {
+    throw std::runtime_error("TriangleMesh::deserialize: normal/vertex count mismatch");
+  }
+  for (const auto index : mesh.indices_) {
+    if (index >= mesh.vertex_count()) {
+      throw std::runtime_error("TriangleMesh::deserialize: index out of range");
+    }
+  }
+  return mesh;
+}
+
+void TriangleMesh::write_obj(const std::string& path, const std::string& object_name) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TriangleMesh::write_obj: cannot open '" + path + "'");
+  }
+  out << "o " << object_name << "\n";
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    const Vec3 p = vertex(v);
+    out << "v " << p.x << ' ' << p.y << ' ' << p.z << "\n";
+  }
+  if (has_normals()) {
+    for (std::size_t v = 0; v < vertex_count(); ++v) {
+      const Vec3 n = normal(v);
+      out << "vn " << n.x << ' ' << n.y << ' ' << n.z << "\n";
+    }
+    for (std::size_t t = 0; t < triangle_count(); ++t) {
+      const auto tri = triangle(t);
+      out << "f " << tri[0] + 1 << "//" << tri[0] + 1 << ' ' << tri[1] + 1 << "//" << tri[1] + 1
+          << ' ' << tri[2] + 1 << "//" << tri[2] + 1 << "\n";
+    }
+    return;
+  }
+  for (std::size_t t = 0; t < triangle_count(); ++t) {
+    const auto tri = triangle(t);
+    out << "f " << tri[0] + 1 << ' ' << tri[1] + 1 << ' ' << tri[2] + 1 << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PolylineSet
+// ---------------------------------------------------------------------------
+
+std::size_t PolylineSet::begin_line() {
+  offsets_.push_back(total_points());
+  return offsets_.size() - 1;
+}
+
+void PolylineSet::add_point(const Vec3& p, double time) {
+  if (offsets_.empty()) {
+    throw std::logic_error("PolylineSet::add_point before begin_line");
+  }
+  points_.push_back(static_cast<float>(p.x));
+  points_.push_back(static_cast<float>(p.y));
+  points_.push_back(static_cast<float>(p.z));
+  times_.push_back(time);
+}
+
+std::vector<Vec3> PolylineSet::line(std::size_t l) const {
+  const std::uint64_t start = offsets_.at(l);
+  const std::uint64_t end = l + 1 < offsets_.size() ? offsets_[l + 1] : total_points();
+  std::vector<Vec3> result;
+  result.reserve(end - start);
+  for (std::uint64_t p = start; p < end; ++p) {
+    result.push_back({points_[3 * p], points_[3 * p + 1], points_[3 * p + 2]});
+  }
+  return result;
+}
+
+std::vector<double> PolylineSet::line_times(std::size_t l) const {
+  const std::uint64_t start = offsets_.at(l);
+  const std::uint64_t end = l + 1 < offsets_.size() ? offsets_[l + 1] : total_points();
+  return {times_.begin() + static_cast<std::ptrdiff_t>(start),
+          times_.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+void PolylineSet::merge(const PolylineSet& other) {
+  const std::uint64_t offset = total_points();
+  points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+  times_.insert(times_.end(), other.times_.begin(), other.times_.end());
+  offsets_.reserve(offsets_.size() + other.offsets_.size());
+  for (const auto start : other.offsets_) {
+    offsets_.push_back(start + offset);
+  }
+}
+
+void PolylineSet::serialize(util::ByteBuffer& out) const {
+  out.write_vector(points_);
+  out.write_vector(times_);
+  out.write_vector(offsets_);
+}
+
+PolylineSet PolylineSet::deserialize(util::ByteBuffer& in) {
+  PolylineSet set;
+  set.points_ = in.read_vector<float>();
+  set.times_ = in.read_vector<double>();
+  set.offsets_ = in.read_vector<std::uint64_t>();
+  if (set.times_.size() * 3 != set.points_.size()) {
+    throw std::runtime_error("PolylineSet::deserialize: size mismatch");
+  }
+  for (const auto start : set.offsets_) {
+    if (start > set.total_points()) {
+      throw std::runtime_error("PolylineSet::deserialize: offset out of range");
+    }
+  }
+  return set;
+}
+
+void PolylineSet::write_obj(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("PolylineSet::write_obj: cannot open '" + path + "'");
+  }
+  out << "o pathlines\n";
+  for (std::size_t p = 0; p < total_points(); ++p) {
+    out << "v " << points_[3 * p] << ' ' << points_[3 * p + 1] << ' ' << points_[3 * p + 2]
+        << "\n";
+  }
+  for (std::size_t l = 0; l < line_count(); ++l) {
+    const std::uint64_t start = offsets_[l];
+    const std::uint64_t end = l + 1 < offsets_.size() ? offsets_[l + 1] : total_points();
+    if (end - start < 2) {
+      continue;
+    }
+    out << "l";
+    for (std::uint64_t p = start; p < end; ++p) {
+      out << ' ' << p + 1;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace vira::algo

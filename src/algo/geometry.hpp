@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file geometry.hpp
+/// Geometry containers the extraction commands produce: indexed triangle
+/// meshes (isosurfaces, vortex hulls) and polylines (pathlines). Both
+/// serialize compactly for streaming, merge cheaply on the client (append
+/// with index offset — the paper's requirement that "the final result can
+/// be assembled directly from the partial data"), and export to Wavefront
+/// OBJ for inspection.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "math/vec3.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vira::algo {
+
+using math::Aabb;
+using math::Vec3;
+
+class TriangleMesh {
+ public:
+  /// Appends a vertex, returns its index.
+  std::uint32_t add_vertex(const Vec3& p);
+  /// Appends a vertex with a shading normal. Meshes either carry normals
+  /// for every vertex or for none; mixing is rejected by merge().
+  std::uint32_t add_vertex(const Vec3& p, const Vec3& normal);
+  void add_triangle(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+  /// Appends a whole triangle as three new vertices (soup style).
+  void add_triangle(const Vec3& a, const Vec3& b, const Vec3& c);
+
+  std::size_t vertex_count() const { return vertices_.size() / 3; }
+  std::size_t triangle_count() const { return indices_.size() / 3; }
+  bool empty() const { return indices_.empty(); }
+
+  Vec3 vertex(std::size_t i) const {
+    return {vertices_[3 * i], vertices_[3 * i + 1], vertices_[3 * i + 2]};
+  }
+  bool has_normals() const { return !normals_.empty(); }
+  Vec3 normal(std::size_t i) const {
+    return {normals_[3 * i], normals_[3 * i + 1], normals_[3 * i + 2]};
+  }
+  std::array<std::uint32_t, 3> triangle(std::size_t t) const {
+    return {indices_[3 * t], indices_[3 * t + 1], indices_[3 * t + 2]};
+  }
+
+  /// Appends another mesh (indices shifted).
+  void merge(const TriangleMesh& other);
+
+  /// Welds vertices closer than `epsilon` (grid hashing); shrinks the
+  /// vertex array and rewrites indices. Normals of welded duplicates are
+  /// averaged and renormalized. Returns removed vertex count.
+  std::size_t weld(double epsilon = 1e-9);
+
+  Aabb bounds() const;
+  double surface_area() const;
+
+  void serialize(util::ByteBuffer& out) const;
+  static TriangleMesh deserialize(util::ByteBuffer& in);
+
+  /// Writes "o <name>" + v/f records.
+  void write_obj(const std::string& path, const std::string& object_name = "mesh") const;
+
+ private:
+  std::vector<float> vertices_;        // xyz triplets
+  std::vector<float> normals_;         // xyz triplets (empty = no normals)
+  std::vector<std::uint32_t> indices_; // triangle corner indices
+};
+
+class PolylineSet {
+ public:
+  /// Starts a new polyline, returns its index.
+  std::size_t begin_line();
+  void add_point(const Vec3& p, double time = 0.0);
+
+  std::size_t line_count() const { return offsets_.size(); }
+  std::size_t total_points() const { return points_.size() / 3; }
+
+  /// Points of line `l` as positions.
+  std::vector<Vec3> line(std::size_t l) const;
+  /// Integration times of line `l` (parallel to line()).
+  std::vector<double> line_times(std::size_t l) const;
+
+  void merge(const PolylineSet& other);
+
+  void serialize(util::ByteBuffer& out) const;
+  static PolylineSet deserialize(util::ByteBuffer& in);
+
+  /// OBJ export with "l" records.
+  void write_obj(const std::string& path) const;
+
+ private:
+  std::vector<float> points_;        // xyz triplets, all lines concatenated
+  std::vector<double> times_;        // one per point
+  std::vector<std::uint64_t> offsets_;  // start point index of each line
+};
+
+}  // namespace vira::algo

@@ -1,0 +1,185 @@
+#include "algo/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vira::algo {
+
+std::optional<Vec3> rk4_step(VelocityProvider& field, const Vec3& p, double t, double h) {
+  const auto k1 = field.velocity(p, t);
+  if (!k1) {
+    return std::nullopt;
+  }
+  const auto k2 = field.velocity(p + *k1 * (h / 2.0), t + h / 2.0);
+  if (!k2) {
+    return std::nullopt;
+  }
+  const auto k3 = field.velocity(p + *k2 * (h / 2.0), t + h / 2.0);
+  if (!k3) {
+    return std::nullopt;
+  }
+  const auto k4 = field.velocity(p + *k3 * h, t + h);
+  if (!k4) {
+    return std::nullopt;
+  }
+  return p + (*k1 + *k2 * 2.0 + *k3 * 2.0 + *k4) * (h / 6.0);
+}
+
+AdaptiveStep rk4_adaptive_step(VelocityProvider& field, const Vec3& p, double t, double h,
+                               const IntegratorParams& params) {
+  AdaptiveStep result;
+  h = std::clamp(h, params.h_min, params.h_max);
+
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto full = rk4_step(field, p, t, h);
+    if (!full) {
+      // Try to creep up to the boundary with a minimal step before giving up.
+      if (h > params.h_min) {
+        h = std::max(params.h_min, h / 2.0);
+        continue;
+      }
+      result.ok = false;
+      return result;
+    }
+    const auto half = rk4_step(field, p, t, h / 2.0);
+    const auto two_halves = half ? rk4_step(field, *half, t + h / 2.0, h / 2.0) : std::nullopt;
+    if (!two_halves) {
+      // The midpoint left the domain: accept the full step as final.
+      result.position = *full;
+      result.h_used = h;
+      result.h_next = h;
+      result.ok = true;
+      return result;
+    }
+
+    // Richardson: RK4 local error ~ h^5; the difference of the two
+    // estimates bounds it (up to the 1/15 factor).
+    const double error = (*two_halves - *full).norm() / 15.0;
+    if (error <= params.tolerance || h <= params.h_min) {
+      // Local extrapolation: the two-half-step result is fifth-order.
+      result.position = *two_halves;
+      result.h_used = h;
+      const double safety = 0.9;
+      const double growth =
+          error > 0.0 ? safety * std::pow(params.tolerance / error, 0.2) : 2.0;
+      result.h_next = std::clamp(h * std::clamp(growth, 0.2, 2.0), params.h_min, params.h_max);
+      result.ok = true;
+      return result;
+    }
+    // Reject: shrink and retry (Weller-style step halving on failure).
+    h = std::max(params.h_min, h * std::clamp(0.9 * std::pow(params.tolerance / error, 0.25),
+                                              0.1, 0.7));
+  }
+  result.ok = false;
+  return result;
+}
+
+std::optional<Vec3> two_level_rk4_step(VelocityProvider& level_a, VelocityProvider& level_b,
+                                       const Vec3& p, double t, double h, double alpha) {
+  const auto pos_a = rk4_step(level_a, p, t, h);
+  const auto pos_b = rk4_step(level_b, p, t, h);
+  if (!pos_a && !pos_b) {
+    return std::nullopt;
+  }
+  if (!pos_a) {
+    return pos_b;
+  }
+  if (!pos_b) {
+    return pos_a;
+  }
+  return math::lerp(*pos_a, *pos_b, std::clamp(alpha, 0.0, 1.0));
+}
+
+std::vector<PathPoint> integrate_pathline(VelocityProvider& field, const Vec3& seed, double t0,
+                                          double t1, const IntegratorParams& params) {
+  std::vector<PathPoint> path;
+  Vec3 p = seed;
+  double t = t0;
+  double h = params.h_init;
+  path.push_back({p, t});
+
+  for (int step = 0; step < params.max_steps && t < t1 - 1e-15; ++step) {
+    const double h_capped = std::min(h, t1 - t);
+    const auto advanced = rk4_adaptive_step(field, p, t, h_capped, params);
+    if (!advanced.ok) {
+      break;  // left the domain
+    }
+    p = advanced.position;
+    t += advanced.h_used;
+    h = advanced.h_next;
+    path.push_back({p, t});
+  }
+  return path;
+}
+
+std::vector<PathPoint> integrate_streamline(VelocityProvider& field, const Vec3& seed,
+                                            double t_frozen, double duration,
+                                            const IntegratorParams& params) {
+  struct Frozen final : VelocityProvider {
+    VelocityProvider& inner;
+    double t_frozen;
+    Frozen(VelocityProvider& inner_, double t_) : inner(inner_), t_frozen(t_) {}
+    std::optional<Vec3> velocity(const Vec3& p, double) override {
+      return inner.velocity(p, t_frozen);
+    }
+  };
+  Frozen frozen(field, t_frozen);
+  return integrate_pathline(frozen, seed, 0.0, duration, params);
+}
+
+bool integrate_interval_two_level(VelocityProvider& level_a, VelocityProvider& level_b,
+                                  double t_a, double t_b, Vec3& p, double& h,
+                                  const IntegratorParams& params, std::vector<PathPoint>& out) {
+  const double interval = t_b - t_a;
+  if (interval <= 0.0) {
+    return true;
+  }
+  double t = t_a;
+  h = std::clamp(h, params.h_min, params.h_max);
+
+  auto blend_step = [&](const Vec3& from, double at, double step) -> std::optional<Vec3> {
+    const double alpha = (at + step - t_a) / interval;
+    return two_level_rk4_step(level_a, level_b, from, at, step, alpha);
+  };
+
+  for (int step = 0; step < params.max_steps && t < t_b - 1e-15; ++step) {
+    double h_try = std::min(h, t_b - t);
+    bool accepted = false;
+    for (int attempt = 0; attempt < 24 && !accepted; ++attempt) {
+      const auto full = blend_step(p, t, h_try);
+      if (!full) {
+        return false;  // left the domain
+      }
+      const auto half = blend_step(p, t, h_try / 2.0);
+      const auto two_halves = half ? blend_step(*half, t + h_try / 2.0, h_try / 2.0)
+                                   : std::nullopt;
+      if (!two_halves) {
+        p = *full;
+        t += h_try;
+        out.push_back({p, t});
+        accepted = true;
+        break;
+      }
+      const double error = (*two_halves - *full).norm() / 15.0;
+      if (error <= params.tolerance || h_try <= params.h_min) {
+        p = *two_halves;
+        t += h_try;
+        out.push_back({p, t});
+        const double growth =
+            error > 0.0 ? 0.9 * std::pow(params.tolerance / error, 0.2) : 2.0;
+        h = std::clamp(h_try * std::clamp(growth, 0.2, 2.0), params.h_min, params.h_max);
+        accepted = true;
+      } else {
+        h_try = std::max(params.h_min,
+                         h_try * std::clamp(0.9 * std::pow(params.tolerance / error, 0.25),
+                                            0.1, 0.7));
+      }
+    }
+    if (!accepted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vira::algo

@@ -1,0 +1,152 @@
+#include "algo/isosurface.hpp"
+
+#include <array>
+
+namespace vira::algo {
+
+namespace {
+
+using grid::StructuredBlock;
+
+/// Kuhn decomposition: six tetrahedra around the 0–6 main diagonal, one per
+/// monotone edge path 0→6. Every cube face is cut by the diagonal through
+/// its lowest-index corner pair, and adjacent cells agree on that diagonal
+/// (verified in the watertightness property test).
+constexpr int kTets[6][4] = {
+    {0, 1, 2, 6}, {0, 1, 5, 6}, {0, 3, 2, 6},
+    {0, 3, 7, 6}, {0, 4, 5, 6}, {0, 4, 7, 6},
+};
+
+double edge_fraction(float sa, float sb, float iso) {
+  return (static_cast<double>(iso) - sa) / (static_cast<double>(sb) - sa);
+}
+
+/// Triangulates one tetrahedron. `inside` means scalar < iso. When
+/// `gradients` is non-null, each emitted vertex carries the interpolated
+/// field gradient as its shading normal.
+std::size_t triangulate_tet(const std::array<Vec3, 8>& pos, const std::array<float, 8>& scalar,
+                            float iso, const int tet[4], TriangleMesh& mesh,
+                            const std::array<Vec3, 8>* gradients) {
+  int inside[4];
+  int outside[4];
+  int n_inside = 0;
+  int n_outside = 0;
+  for (int v = 0; v < 4; ++v) {
+    if (scalar[tet[v]] < iso) {
+      inside[n_inside++] = tet[v];
+    } else {
+      outside[n_outside++] = tet[v];
+    }
+  }
+  if (n_inside == 0 || n_inside == 4) {
+    return 0;
+  }
+
+  auto emit_vertex = [&](int a, int b) -> std::uint32_t {
+    const double t = edge_fraction(scalar[a], scalar[b], iso);
+    const Vec3 p = math::lerp(pos[a], pos[b], t);
+    if (gradients != nullptr) {
+      const Vec3 n = math::lerp((*gradients)[a], (*gradients)[b], t).normalized();
+      return mesh.add_vertex(p, n);
+    }
+    return mesh.add_vertex(p);
+  };
+  auto emit_triangle = [&](std::pair<int, int> e0, std::pair<int, int> e1,
+                           std::pair<int, int> e2) {
+    mesh.add_triangle(emit_vertex(e0.first, e0.second), emit_vertex(e1.first, e1.second),
+                      emit_vertex(e2.first, e2.second));
+  };
+
+  if (n_inside == 1) {
+    emit_triangle({inside[0], outside[0]}, {inside[0], outside[1]}, {inside[0], outside[2]});
+    return 1;
+  }
+  if (n_inside == 3) {
+    emit_triangle({outside[0], inside[0]}, {outside[0], inside[1]}, {outside[0], inside[2]});
+    return 1;
+  }
+  // Two in, two out: quad split into two triangles.
+  emit_triangle({inside[0], outside[0]}, {inside[0], outside[1]}, {inside[1], outside[1]});
+  emit_triangle({inside[0], outside[0]}, {inside[1], outside[1]}, {inside[1], outside[0]});
+  return 2;
+}
+
+}  // namespace
+
+bool cell_is_active(const StructuredBlock& block, const std::string& field, float iso, int ci,
+                    int cj, int ck) {
+  const auto& values = block.scalar(field);
+  const auto corners = block.cell_corners(ci, cj, ck);
+  bool any_below = false;
+  bool any_at_or_above = false;
+  for (const auto corner : corners) {
+    if (values[corner] < iso) {
+      any_below = true;
+    } else {
+      any_at_or_above = true;
+    }
+  }
+  return any_below && any_at_or_above;
+}
+
+std::size_t triangulate_cell(const StructuredBlock& block, const std::string& field, float iso,
+                             int ci, int cj, int ck, TriangleMesh& mesh, bool with_normals) {
+  const auto& values = block.scalar(field);
+  const auto corners = block.cell_corners(ci, cj, ck);
+
+  std::array<float, 8> scalar;
+  bool any_below = false;
+  bool any_at_or_above = false;
+  for (int v = 0; v < 8; ++v) {
+    scalar[v] = values[corners[v]];
+    (scalar[v] < iso ? any_below : any_at_or_above) = true;
+  }
+  if (!any_below || !any_at_or_above) {
+    return 0;
+  }
+
+  std::array<Vec3, 8> pos;
+  std::array<Vec3, 8> gradients;
+  for (int v = 0; v < 8; ++v) {
+    const auto idx = corners[v];
+    const int ni = static_cast<int>(idx % block.ni());
+    const int nj = static_cast<int>((idx / block.ni()) % block.nj());
+    const int nk =
+        static_cast<int>(idx / (static_cast<std::int64_t>(block.ni()) * block.nj()));
+    pos[v] = block.point(ni, nj, nk);
+    if (with_normals) {
+      gradients[v] = block.scalar_gradient(field, ni, nj, nk);
+    }
+  }
+
+  std::size_t triangles = 0;
+  for (const auto& tet : kTets) {
+    triangles += triangulate_tet(pos, scalar, iso, tet, mesh,
+                                 with_normals ? &gradients : nullptr);
+  }
+  return triangles;
+}
+
+std::size_t extract_isosurface_range(const StructuredBlock& block, const std::string& field,
+                                     float iso, const grid::CellRange& range, TriangleMesh& mesh,
+                                     bool with_normals) {
+  std::size_t active = 0;
+  for (int ck = range.k0; ck < range.k1; ++ck) {
+    for (int cj = range.j0; cj < range.j1; ++cj) {
+      for (int ci = range.i0; ci < range.i1; ++ci) {
+        if (triangulate_cell(block, field, iso, ci, cj, ck, mesh, with_normals) > 0) {
+          ++active;
+        }
+      }
+    }
+  }
+  return active;
+}
+
+std::size_t extract_isosurface(const StructuredBlock& block, const std::string& field, float iso,
+                               TriangleMesh& mesh, bool with_normals) {
+  const grid::CellRange all{0, block.cells_i(), 0, block.cells_j(), 0, block.cells_k()};
+  return extract_isosurface_range(block, field, iso, all, mesh, with_normals);
+}
+
+}  // namespace vira::algo

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file isosurface.hpp
+/// Cell triangulation for isosurface extraction (paper Sec. 6.3: "the
+/// active cells are triangulated according to the intersection points with
+/// the iso-value").
+///
+/// Triangulation uses marching tetrahedra over the standard 6-tetrahedron
+/// cube decomposition sharing the 0–6 diagonal. This decomposition uses the
+/// *same* face diagonal on both sides of every cell interface (and of every
+/// block interface with matching node positions), so the extracted surface
+/// is watertight across cells without an ambiguous-case table — the
+/// property the streaming design depends on, since fragments triangulated
+/// independently must still "be assembled directly from the partial data"
+/// (Sec. 5.1). A property test verifies closed surfaces are edge-2-manifold.
+
+#include <cstdint>
+#include <string>
+
+#include "algo/geometry.hpp"
+#include "grid/bsp_tree.hpp"
+#include "grid/structured_block.hpp"
+
+namespace vira::algo {
+
+/// True if the cell's corner scalar range straddles `iso`.
+bool cell_is_active(const grid::StructuredBlock& block, const std::string& field, float iso,
+                    int ci, int cj, int ck);
+
+/// Triangulates one cell, appending to `mesh`. Returns triangles added.
+/// `with_normals` adds per-vertex shading normals from the field's metric-
+/// term gradient, interpolated along the cut edges and oriented toward
+/// increasing field values. Do not mix normal and bare fragments in one
+/// mesh (TriangleMesh::merge rejects it).
+std::size_t triangulate_cell(const grid::StructuredBlock& block, const std::string& field,
+                             float iso, int ci, int cj, int ck, TriangleMesh& mesh,
+                             bool with_normals = false);
+
+/// Extracts over a cell range. Returns the number of active cells.
+std::size_t extract_isosurface_range(const grid::StructuredBlock& block,
+                                     const std::string& field, float iso,
+                                     const grid::CellRange& range, TriangleMesh& mesh,
+                                     bool with_normals = false);
+
+/// Extracts over the whole block.
+std::size_t extract_isosurface(const grid::StructuredBlock& block, const std::string& field,
+                               float iso, TriangleMesh& mesh, bool with_normals = false);
+
+}  // namespace vira::algo

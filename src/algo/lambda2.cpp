@@ -1,0 +1,32 @@
+#include "algo/lambda2.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "math/eigen_sym3.hpp"
+
+namespace vira::algo {
+
+double lambda2_at(const grid::StructuredBlock& block, int i, int j, int k) {
+  return math::lambda2_of(block.velocity_gradient(i, j, k));
+}
+
+std::pair<float, float> compute_lambda2_field(grid::StructuredBlock& block,
+                                              const std::string& out_field) {
+  auto& values = block.scalar(out_field);
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (int k = 0; k < block.nk(); ++k) {
+    for (int j = 0; j < block.nj(); ++j) {
+      for (int i = 0; i < block.ni(); ++i) {
+        const auto value = static_cast<float>(lambda2_at(block, i, j, k));
+        values[block.node_index(i, j, k)] = value;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace vira::algo

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file payloads.hpp
+/// Fragment payload encoding shared by commands (producers) and the
+/// visualization client (consumer). Every streamed/final payload starts
+/// with a kind string so the client can assemble without knowing which
+/// command produced it.
+
+#include <cstdint>
+#include <string>
+
+#include "algo/geometry.hpp"
+
+namespace vira::algo {
+
+inline constexpr const char* kPayloadMesh = "mesh";
+inline constexpr const char* kPayloadLines = "lines";
+inline constexpr const char* kPayloadSummary = "summary";
+
+/// Mesh fragment. `level` is the resolution level for progressive
+/// computation (0 = coarsest; -1 = non-progressive).
+inline util::ByteBuffer encode_mesh_fragment(const TriangleMesh& mesh, int level = -1) {
+  util::ByteBuffer out;
+  out.write_string(kPayloadMesh);
+  out.write<std::int32_t>(level);
+  mesh.serialize(out);
+  return out;
+}
+
+inline util::ByteBuffer encode_lines_fragment(const PolylineSet& lines) {
+  util::ByteBuffer out;
+  out.write_string(kPayloadLines);
+  out.write<std::int32_t>(-1);
+  lines.serialize(out);
+  return out;
+}
+
+/// Terse end-of-command summary from the master worker.
+inline util::ByteBuffer encode_summary(std::uint64_t triangles, std::uint64_t active_cells,
+                                       std::uint64_t points) {
+  util::ByteBuffer out;
+  out.write_string(kPayloadSummary);
+  out.write<std::int32_t>(-1);
+  out.write<std::uint64_t>(triangles);
+  out.write<std::uint64_t>(active_cells);
+  out.write<std::uint64_t>(points);
+  return out;
+}
+
+struct DecodedFragment {
+  std::string kind;
+  int level = -1;
+  TriangleMesh mesh;      ///< kPayloadMesh
+  PolylineSet lines;      ///< kPayloadLines
+  std::uint64_t triangles = 0;
+  std::uint64_t active_cells = 0;
+  std::uint64_t points = 0;
+};
+
+inline DecodedFragment decode_fragment(util::ByteBuffer& in) {
+  DecodedFragment fragment;
+  fragment.kind = in.read_string();
+  fragment.level = in.read<std::int32_t>();
+  if (fragment.kind == kPayloadMesh) {
+    fragment.mesh = TriangleMesh::deserialize(in);
+  } else if (fragment.kind == kPayloadLines) {
+    fragment.lines = PolylineSet::deserialize(in);
+  } else if (fragment.kind == kPayloadSummary) {
+    fragment.triangles = in.read<std::uint64_t>();
+    fragment.active_cells = in.read<std::uint64_t>();
+    fragment.points = in.read<std::uint64_t>();
+  }
+  return fragment;
+}
+
+}  // namespace vira::algo

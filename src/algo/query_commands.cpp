@@ -1,0 +1,157 @@
+/// \file query_commands.cpp
+/// Metadata/query commands the exploration front-end needs before it can
+/// steer extractions "by simple parameters" (paper Fig. 1):
+///
+///   query.field_range — global (min, max) of a node scalar over one time
+///                       step; the client uses it to place iso-value
+///                       sliders. Parallel reduction: each worker scans its
+///                       chunk, the master merges. Also reports the λ2
+///                       range on request (field = "lambda2"), computing
+///                       the criterion on the fly.
+///
+///   iso.timeseries    — the unsteady-exploration workhorse: extracts the
+///                       same isosurface over a range of time steps and
+///                       streams one complete mesh per step (fragments are
+///                       level-tagged with the step index so the client
+///                       can animate). This is the access pattern that
+///                       makes the DMS cache "raw data frequently reused
+///                       as input" pay off across commands.
+
+#include <algorithm>
+
+#include "algo/cfd_command.hpp"
+#include "algo/isosurface.hpp"
+#include "algo/lambda2.hpp"
+#include "algo/payloads.hpp"
+
+namespace vira::algo {
+
+namespace {
+
+class FieldRangeCommand final : public core::Command {
+ public:
+  std::string name() const override { return "query.field_range"; }
+
+  void execute(core::CommandContext& context) override {
+    const auto& params = context.params();
+    const std::string dataset = params.get_or("dataset", "");
+    if (dataset.empty()) {
+      throw std::invalid_argument("query.field_range: 'dataset' parameter required");
+    }
+    const int step = static_cast<int>(params.get_int("step", 0));
+    const std::string field = params.get_or("field", "density");
+
+    BlockAccess access(context, dataset, /*use_dms=*/true);
+    access.configure_prefetcher(params.get_or("prefetch", "obl"), false);
+    const int blocks = access.meta().block_count();
+    const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+
+    context.phases().enter(core::kPhaseCompute);
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (int b = begin; b < end; ++b) {
+      const auto block_ptr = access.load(step, b);
+      if (field == kLambda2Field && !block_ptr->has_scalar(kLambda2Field)) {
+        grid::StructuredBlock working = *block_ptr;
+        const auto [blo, bhi] = compute_lambda2_field(working);
+        lo = std::min(lo, blo);
+        hi = std::max(hi, bhi);
+      } else {
+        const auto [blo, bhi] = block_ptr->scalar_range(field);
+        lo = std::min(lo, blo);
+        hi = std::max(hi, bhi);
+      }
+    }
+    context.phases().stop();
+
+    util::ByteBuffer part;
+    part.write<float>(lo);
+    part.write<float>(hi);
+    auto parts = context.gather_at_master(std::move(part));
+    if (context.is_master()) {
+      float global_lo = std::numeric_limits<float>::max();
+      float global_hi = std::numeric_limits<float>::lowest();
+      for (auto& buffer : parts) {
+        global_lo = std::min(global_lo, buffer.read<float>());
+        global_hi = std::max(global_hi, buffer.read<float>());
+      }
+      util::ByteBuffer result;
+      result.write_string("field_range");
+      result.write_string(field);
+      result.write<float>(global_lo);
+      result.write<float>(global_hi);
+      context.send_final(std::move(result));
+    }
+  }
+};
+
+/// Decodes the query.field_range result payload.
+struct FieldRange {
+  std::string field;
+  float lo = 0.0f;
+  float hi = 0.0f;
+};
+
+class IsoTimeseriesCommand final : public core::Command {
+ public:
+  std::string name() const override { return "iso.timeseries"; }
+
+  void execute(core::CommandContext& context) override {
+    const auto& params = context.params();
+    const std::string dataset = params.get_or("dataset", "");
+    if (dataset.empty()) {
+      throw std::invalid_argument("iso.timeseries: 'dataset' parameter required");
+    }
+    const std::string field = params.get_or("field", "density");
+    const auto iso = static_cast<float>(params.get_double("iso", 0.0));
+
+    BlockAccess access(context, dataset, /*use_dms=*/true);
+    // OBL that crosses time-step files: the animation marches through them.
+    access.configure_prefetcher(params.get_or("prefetch", "obl"), /*wrap_steps=*/true);
+    const auto& meta = access.meta();
+    const int step0 = static_cast<int>(params.get_int("step0", 0));
+    const int step1 =
+        static_cast<int>(params.get_int("step1", meta.timestep_count() - 1));
+    const int blocks = meta.block_count();
+    const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+
+    std::uint64_t total_triangles = 0;
+    context.phases().enter(core::kPhaseCompute);
+    for (int step = step0; step <= step1; ++step) {
+      TriangleMesh frame;
+      for (int b = begin; b < end; ++b) {
+        const auto block = access.load(step, b);
+        extract_isosurface(*block, field, iso, frame);
+      }
+      total_triangles += frame.triangle_count();
+      // One fragment per (worker, step); the step index rides in the level
+      // field so the client can bucket frames for playback.
+      context.stream_partial(encode_mesh_fragment(frame, step));
+      context.report_progress(static_cast<double>(step - step0 + 1) /
+                              std::max(1, step1 - step0 + 1));
+    }
+    context.phases().stop();
+
+    util::ByteBuffer part;
+    part.write<std::uint64_t>(total_triangles);
+    auto parts = context.gather_at_master(std::move(part));
+    if (context.is_master()) {
+      std::uint64_t triangles = 0;
+      for (auto& buffer : parts) {
+        triangles += buffer.read<std::uint64_t>();
+      }
+      context.send_final(encode_summary(triangles, 0, 0));
+    }
+  }
+};
+
+}  // namespace
+
+void register_query_commands(core::CommandRegistry& registry) {
+  registry.register_command("query.field_range",
+                            [] { return std::make_unique<FieldRangeCommand>(); });
+  registry.register_command("iso.timeseries",
+                            [] { return std::make_unique<IsoTimeseriesCommand>(); });
+}
+
+}  // namespace vira::algo

@@ -1,0 +1,26 @@
+#include "algo/cfd_command.hpp"
+
+namespace vira::algo {
+
+void register_iso_commands(core::CommandRegistry& registry);
+void register_vortex_commands(core::CommandRegistry& registry);
+void register_pathline_commands(core::CommandRegistry& registry);
+void register_streakline_commands(core::CommandRegistry& registry);
+void register_query_commands(core::CommandRegistry& registry);
+void register_extra_commands(core::CommandRegistry& registry);
+
+void register_builtin_commands() {
+  static const bool once = [] {
+    auto& registry = core::CommandRegistry::global();
+    register_iso_commands(registry);
+    register_vortex_commands(registry);
+    register_pathline_commands(registry);
+    register_streakline_commands(registry);
+    register_query_commands(registry);
+    register_extra_commands(registry);
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace vira::algo

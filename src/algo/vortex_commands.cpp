@@ -1,0 +1,213 @@
+/// \file vortex_commands.cpp
+/// λ2 vortex-region extraction commands (paper Sec. 6.3 / Sec. 7.2):
+///
+///   vortex.simple   (SimpleVortex)   — no data management.
+///   vortex.dataman  (VortexDataMan)  — DMS + OBL prefetch; computes the
+///                                      λ2 field per block, then extracts
+///                                      the boundary isosurface, gathers at
+///                                      the master.
+///   vortex.streamed (StreamedVortex) — DMS + OBL prefetch; walks cells one
+///                                      by one, computing λ2 lazily per
+///                                      node, and streams a fragment every
+///                                      `stream_cells` active cells —
+///                                      avoiding a full λ2 pre-pass before
+///                                      the first triangle leaves the node.
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/cfd_command.hpp"
+#include "algo/isosurface.hpp"
+#include "algo/lambda2.hpp"
+#include "algo/payloads.hpp"
+
+namespace vira::algo {
+
+namespace {
+
+struct VortexParams {
+  std::string dataset;
+  int step = 0;
+  float threshold = 0.0f;  ///< λ2 boundary ("about zero", Sec. 1.1)
+  int stream_cells = 256;
+
+  static VortexParams from(const util::ParamList& params) {
+    VortexParams p;
+    p.dataset = params.get_or("dataset", "");
+    if (p.dataset.empty()) {
+      throw std::invalid_argument("vortex command: 'dataset' parameter required");
+    }
+    p.step = static_cast<int>(params.get_int("step", 0));
+    p.threshold = static_cast<float>(params.get_double("iso", 0.0));
+    p.stream_cells = static_cast<int>(params.get_int("stream_cells", 256));
+    return p;
+  }
+};
+
+void run_monolithic_vortex(core::CommandContext& context, bool use_dms) {
+  const auto p = VortexParams::from(context.params());
+  BlockAccess access(context, p.dataset, use_dms);
+  if (use_dms) {
+    access.configure_prefetcher(context.params().get_or("prefetch", "obl"), false);
+  }
+
+  const int blocks = access.meta().block_count();
+  const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+  TriangleMesh mine;
+  std::size_t active_cells = 0;
+  context.phases().enter(core::kPhaseCompute);
+  for (int b = begin; b < end; ++b) {
+    const auto block = access.load(p.step, b);
+    // λ2 needs mutation (adds the scalar field): work on a private copy.
+    grid::StructuredBlock working = *block;
+    compute_lambda2_field(working);
+    active_cells += extract_isosurface(working, kLambda2Field, p.threshold, mine);
+    context.report_progress(static_cast<double>(b - begin + 1) / std::max(1, end - begin));
+  }
+  context.phases().stop();
+
+  util::ByteBuffer part;
+  mine.serialize(part);
+  part.write<std::uint64_t>(active_cells);
+  auto parts = context.gather_at_master(std::move(part));
+  if (context.is_master()) {
+    TriangleMesh merged;
+    std::uint64_t total_active = 0;
+    for (auto& buffer : parts) {
+      merged.merge(TriangleMesh::deserialize(buffer));
+      total_active += buffer.read<std::uint64_t>();
+    }
+    context.send_final(encode_mesh_fragment(merged));
+  }
+}
+
+class SimpleVortexCommand final : public core::Command {
+ public:
+  std::string name() const override { return "vortex.simple"; }
+  void execute(core::CommandContext& context) override {
+    run_monolithic_vortex(context, /*use_dms=*/false);
+  }
+};
+
+class VortexDataManCommand final : public core::Command {
+ public:
+  std::string name() const override { return "vortex.dataman"; }
+  void execute(core::CommandContext& context) override {
+    run_monolithic_vortex(context, /*use_dms=*/true);
+  }
+};
+
+/// Streaming variant: "processes all cells one by one, computes the λ2
+/// value at each grid point, and determines immediately if it is an active
+/// cell [...] Whenever this active cell list reaches a user specified
+/// length, it is given to the triangulator and the result is directly
+/// transmitted to the visualization client."
+class StreamedVortexCommand final : public core::Command {
+ public:
+  std::string name() const override { return "vortex.streamed"; }
+
+  void execute(core::CommandContext& context) override {
+    const auto p = VortexParams::from(context.params());
+    BlockAccess access(context, p.dataset, /*use_dms=*/true);
+    access.configure_prefetcher(context.params().get_or("prefetch", "obl"), false);
+
+    const int blocks = access.meta().block_count();
+    const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+    std::uint64_t total_triangles = 0;
+    std::uint64_t total_active = 0;
+
+    context.phases().enter(core::kPhaseCompute);
+    for (int b = begin; b < end; ++b) {
+      const auto block_ptr = access.load(p.step, b);
+      grid::StructuredBlock working = *block_ptr;
+      auto& lambda2_values = working.scalar(kLambda2Field);
+      // Lazy per-node λ2 with a computed-bitmap: only nodes belonging to
+      // visited cells are evaluated, and the first fragment leaves before
+      // the block's field pass would have finished.
+      std::vector<std::uint8_t> computed(lambda2_values.size(), 0);
+      auto lambda2_node = [&](int i, int j, int k) -> float {
+        const auto idx = working.node_index(i, j, k);
+        if (!computed[static_cast<std::size_t>(idx)]) {
+          lambda2_values[static_cast<std::size_t>(idx)] =
+              static_cast<float>(lambda2_at(working, i, j, k));
+          computed[static_cast<std::size_t>(idx)] = 1;
+        }
+        return lambda2_values[static_cast<std::size_t>(idx)];
+      };
+
+      struct ActiveCell {
+        int ci, cj, ck;
+      };
+      std::vector<ActiveCell> active_list;
+      auto flush = [&]() {
+        if (active_list.empty()) {
+          return;
+        }
+        TriangleMesh fragment;
+        for (const auto& cell : active_list) {
+          triangulate_cell(working, kLambda2Field, p.threshold, cell.ci, cell.cj, cell.ck,
+                           fragment);
+        }
+        total_triangles += fragment.triangle_count();
+        active_list.clear();
+        if (!fragment.empty()) {
+          context.stream_partial(encode_mesh_fragment(fragment));
+        }
+      };
+
+      for (int ck = 0; ck < working.cells_k(); ++ck) {
+        for (int cj = 0; cj < working.cells_j(); ++cj) {
+          for (int ci = 0; ci < working.cells_i(); ++ci) {
+            bool below = false;
+            bool at_or_above = false;
+            for (int dk = 0; dk < 2; ++dk) {
+              for (int dj = 0; dj < 2; ++dj) {
+                for (int di = 0; di < 2; ++di) {
+                  const float value = lambda2_node(ci + di, cj + dj, ck + dk);
+                  (value < p.threshold ? below : at_or_above) = true;
+                }
+              }
+            }
+            if (below && at_or_above) {
+              active_list.push_back({ci, cj, ck});
+              ++total_active;
+              if (active_list.size() >= static_cast<std::size_t>(p.stream_cells)) {
+                flush();
+              }
+            }
+          }
+        }
+      }
+      flush();
+      context.report_progress(static_cast<double>(b - begin + 1) / std::max(1, end - begin));
+    }
+    context.phases().stop();
+
+    util::ByteBuffer part;
+    part.write<std::uint64_t>(total_triangles);
+    part.write<std::uint64_t>(total_active);
+    auto parts = context.gather_at_master(std::move(part));
+    if (context.is_master()) {
+      std::uint64_t triangles = 0;
+      std::uint64_t cells = 0;
+      for (auto& buffer : parts) {
+        triangles += buffer.read<std::uint64_t>();
+        cells += buffer.read<std::uint64_t>();
+      }
+      context.send_final(encode_summary(triangles, cells, 0));
+    }
+  }
+};
+
+}  // namespace
+
+void register_vortex_commands(core::CommandRegistry& registry) {
+  registry.register_command("vortex.simple",
+                            [] { return std::make_unique<SimpleVortexCommand>(); });
+  registry.register_command("vortex.dataman",
+                            [] { return std::make_unique<VortexDataManCommand>(); });
+  registry.register_command("vortex.streamed",
+                            [] { return std::make_unique<StreamedVortexCommand>(); });
+}
+
+}  // namespace vira::algo

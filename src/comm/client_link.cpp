@@ -1,0 +1,254 @@
+#include "comm/client_link.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/blocking_queue.hpp"
+
+namespace vira::comm {
+
+// ---------------------------------------------------------------------------
+// In-process pair
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class InProcLink final : public ClientLink {
+ public:
+  using Queue = util::BlockingQueue<Message>;
+
+  InProcLink(std::shared_ptr<Queue> outgoing, std::shared_ptr<Queue> incoming)
+      : outgoing_(std::move(outgoing)), incoming_(std::move(incoming)) {}
+
+  void send(Message msg) override { outgoing_->push(std::move(msg)); }
+
+  std::optional<Message> recv(std::chrono::milliseconds timeout) override {
+    return incoming_->pop_for(timeout);
+  }
+
+  void close() override {
+    outgoing_->close();
+    incoming_->close();
+  }
+
+  bool closed() const override { return incoming_->closed(); }
+
+ private:
+  std::shared_ptr<Queue> outgoing_;
+  std::shared_ptr<Queue> incoming_;
+};
+
+}  // namespace
+
+std::pair<std::shared_ptr<ClientLink>, std::shared_ptr<ClientLink>> make_inproc_link_pair() {
+  auto a_to_b = std::make_shared<InProcLink::Queue>();
+  auto b_to_a = std::make_shared<InProcLink::Queue>();
+  return {std::make_shared<InProcLink>(a_to_b, b_to_a),
+          std::make_shared<InProcLink>(b_to_a, a_to_b)};
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Frame layout: [i32 source][i32 tag][u64 payload bytes][payload].
+class TcpLink final : public ClientLink {
+ public:
+  explicit TcpLink(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpLink() override {
+    close();
+    // The fd itself is released only here, when no other thread can still
+    // be blocked in recv()/send() on it (the owner joined its consumers).
+    ::close(fd_);
+  }
+
+  void send(Message msg) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (closed_) {
+      return;
+    }
+    const std::int32_t source = msg.source;
+    const std::int32_t tag = msg.tag;
+    const std::uint64_t size = msg.payload.size();
+    if (!write_all(&source, sizeof(source)) || !write_all(&tag, sizeof(tag)) ||
+        !write_all(&size, sizeof(size)) || !write_all(msg.payload.data(), size)) {
+      do_close();
+    }
+  }
+
+  std::optional<Message> recv(std::chrono::milliseconds timeout) override {
+    if (closed_.load()) {
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready <= 0) {
+      return std::nullopt;
+    }
+    std::int32_t source = 0;
+    std::int32_t tag = 0;
+    std::uint64_t size = 0;
+    if (!read_all(&source, sizeof(source)) || !read_all(&tag, sizeof(tag)) ||
+        !read_all(&size, sizeof(size))) {
+      do_close();
+      return std::nullopt;
+    }
+    if (size > (1ull << 32)) {  // sanity: 4 GiB frame cap
+      do_close();
+      return std::nullopt;
+    }
+    std::vector<std::byte> payload(size);
+    if (!read_all(payload.data(), size)) {
+      do_close();
+      return std::nullopt;
+    }
+    Message msg;
+    msg.source = source;
+    msg.tag = tag;
+    msg.payload = util::ByteBuffer(std::move(payload));
+    return msg;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    do_close();
+  }
+
+  bool closed() const override { return closed_; }
+
+ private:
+  /// Half-close: wakes any thread blocked in recv()/send() via shutdown();
+  /// the descriptor stays open until destruction so concurrent syscalls
+  /// never race against close().
+  void do_close() {
+    if (!closed_.exchange(true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  bool write_all(const void* data, std::uint64_t size) {
+    const char* cursor = static_cast<const char*>(data);
+    while (size > 0) {
+      const ssize_t written = ::send(fd_, cursor, size, MSG_NOSIGNAL);
+      if (written <= 0) {
+        return false;
+      }
+      cursor += written;
+      size -= static_cast<std::uint64_t>(written);
+    }
+    return true;
+  }
+
+  bool read_all(void* data, std::uint64_t size) {
+    char* cursor = static_cast<char*>(data);
+    while (size > 0) {
+      const ssize_t got = ::recv(fd_, cursor, size, 0);
+      if (got <= 0) {
+        return false;
+      }
+      cursor += got;
+      size -= static_cast<std::uint64_t>(got);
+    }
+    return true;
+  }
+
+  int fd_;
+  std::mutex send_mutex_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("TcpListener: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("TcpListener: bind() failed");
+  }
+  if (::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("TcpListener: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::stop() {
+  if (!stopped_.exchange(true) && fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpListener::close() {
+  stop();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<ClientLink> TcpListener::accept(std::chrono::milliseconds timeout) {
+  if (fd_ < 0 || stopped_.load()) {
+    return nullptr;
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0) {
+    return nullptr;
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return nullptr;
+  }
+  return std::make_unique<TcpLink>(client);
+}
+
+std::unique_ptr<ClientLink> tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("tcp_connect: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp_connect: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp_connect: connect() to " + host + ":" + std::to_string(port) +
+                             " failed");
+  }
+  return std::make_unique<TcpLink>(fd);
+}
+
+}  // namespace vira::comm

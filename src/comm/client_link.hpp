@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file client_link.hpp
+/// Bidirectional framed message stream between the visualization client and
+/// the Viracocha scheduler (the TCP/IP edge of the paper's Figure 2).
+///
+/// Two implementations share one interface, so the runtime does not care
+/// whether the client lives in the same process (tests, examples) or talks
+/// real TCP over a socket (tcp_backend_demo): exactly the protocol
+/// transparency the paper's layer-1 design prescribes.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "comm/message.hpp"
+
+namespace vira::comm {
+
+class ClientLink {
+ public:
+  virtual ~ClientLink() = default;
+
+  /// Sends one framed message. Thread-safe against itself. Sends on a
+  /// closed link are dropped.
+  virtual void send(Message msg) = 0;
+
+  /// Receives the next message, blocking up to `timeout`. Returns nullopt
+  /// on timeout or when the link is closed and drained. Single consumer.
+  virtual std::optional<Message> recv(std::chrono::milliseconds timeout) = 0;
+
+  virtual void close() = 0;
+  virtual bool closed() const = 0;
+};
+
+/// Creates a connected pair of in-process links (A→B and B→A share queues).
+std::pair<std::shared_ptr<ClientLink>, std::shared_ptr<ClientLink>> make_inproc_link_pair();
+
+/// Listening TCP socket on localhost; hands out one ClientLink per accepted
+/// connection. Port 0 binds an ephemeral port (read back via port()).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one connection; nullptr on timeout.
+  std::unique_ptr<ClientLink> accept(std::chrono::milliseconds timeout);
+
+  /// Wakes a thread blocked in accept() without releasing the descriptor
+  /// (safe to call concurrently with accept). Subsequent accepts fail fast.
+  void stop();
+
+  /// Releases the descriptor. Only call once no thread is inside accept().
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::atomic<bool> stopped_{false};
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to a TcpListener; throws std::runtime_error on failure.
+std::unique_ptr<ClientLink> tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace vira::comm

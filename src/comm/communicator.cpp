@@ -1,0 +1,171 @@
+#include "comm/communicator.hpp"
+
+namespace vira::comm {
+
+namespace {
+constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+}
+
+Communicator::Communicator(std::shared_ptr<Transport> transport, int rank)
+    : transport_(std::move(transport)), rank_(rank) {
+  if (rank_ < 0 || rank_ >= transport_->size()) {
+    throw std::out_of_range("Communicator: rank outside transport");
+  }
+}
+
+void Communicator::send(int dest, int tag, util::ByteBuffer payload) {
+  if (tag < 0) {
+    throw std::invalid_argument("Communicator::send: negative tags are reserved");
+  }
+  send_internal(dest, tag, std::move(payload));
+}
+
+void Communicator::send_internal(int dest, int tag, util::ByteBuffer payload) {
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  transport_->send(dest, std::move(msg));
+}
+
+std::optional<Message> Communicator::take_buffered(int source, int tag) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    const bool source_ok = source == kAnySource || it->source == source;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (source_ok && tag_ok) {
+      Message msg = std::move(*it);
+      pending_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+void Communicator::pump(std::chrono::milliseconds timeout) {
+  auto msg = transport_->recv(rank_, timeout);
+  if (msg) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(std::move(*msg));
+  } else if (transport_->is_shut_down()) {
+    throw TransportClosed();
+  }
+}
+
+Message Communicator::recv_matching(int source, int tag) {
+  // Short pump slices: with several threads receiving on this rank, a
+  // message buffered by a sibling thread is noticed at the next iteration.
+  while (true) {
+    if (auto msg = take_buffered(source, tag)) {
+      return std::move(*msg);
+    }
+    pump(std::chrono::milliseconds(5));
+  }
+}
+
+Message Communicator::recv(int source, int tag) { return recv_matching(source, tag); }
+
+std::optional<Message> Communicator::try_recv(int source, int tag,
+                                              std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (auto msg = take_buffered(source, tag)) {
+      return msg;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return std::nullopt;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pump(std::min(remaining, kPumpSlice));
+  }
+}
+
+std::optional<std::pair<int, int>> Communicator::probe(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (!pending_.empty()) {
+      return std::make_pair(pending_.front().source, pending_.front().tag);
+    }
+  }
+  auto msg = transport_->recv(rank_, timeout);
+  if (msg) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(std::move(*msg));
+    return std::make_pair(pending_.back().source, pending_.back().tag);
+  }
+  if (transport_->is_shut_down()) {
+    throw TransportClosed();
+  }
+  return std::nullopt;
+}
+
+void Communicator::barrier() {
+  constexpr int kRoot = 0;
+  util::ByteBuffer token;
+  if (rank_ == kRoot) {
+    // Receive from each specific peer: per-pair FIFO then guarantees a
+    // message from barrier N+1 can never be mistaken for barrier N.
+    for (int peer = 1; peer < size(); ++peer) {
+      (void)recv_matching(peer, kTagBarrierArrive);
+    }
+    for (int peer = 1; peer < size(); ++peer) {
+      send_internal(peer, kTagBarrierRelease, util::ByteBuffer());
+    }
+  } else {
+    send_internal(kRoot, kTagBarrierArrive, std::move(token));
+    (void)recv_matching(kRoot, kTagBarrierRelease);
+  }
+}
+
+util::ByteBuffer Communicator::broadcast(util::ByteBuffer payload, int root) {
+  if (rank_ == root) {
+    for (int peer = 0; peer < size(); ++peer) {
+      if (peer != root) {
+        util::ByteBuffer copy = payload;
+        send_internal(peer, kTagBroadcast, std::move(copy));
+      }
+    }
+    return payload;
+  }
+  return recv_matching(root, kTagBroadcast).payload;
+}
+
+std::vector<util::ByteBuffer> Communicator::gather(util::ByteBuffer payload, int root) {
+  if (rank_ != root) {
+    send_internal(root, kTagGather, std::move(payload));
+    return {};
+  }
+  std::vector<util::ByteBuffer> results(static_cast<std::size_t>(size()));
+  results[static_cast<std::size_t>(root)] = std::move(payload);
+  // Per-source receives keep successive gather rounds separated (FIFO per
+  // pair); ANY_SOURCE could steal a fast peer's next-round contribution.
+  for (int peer = 0; peer < size(); ++peer) {
+    if (peer == root) {
+      continue;
+    }
+    Message msg = recv_matching(peer, kTagGather);
+    results[static_cast<std::size_t>(peer)] = std::move(msg.payload);
+  }
+  return results;
+}
+
+double Communicator::reduce_sum(double value, int root) {
+  if (rank_ != root) {
+    util::ByteBuffer payload;
+    payload.write<double>(value);
+    send_internal(root, kTagReduce, std::move(payload));
+    return value;
+  }
+  double sum = value;
+  for (int peer = 0; peer < size(); ++peer) {
+    if (peer == root) {
+      continue;
+    }
+    Message msg = recv_matching(peer, kTagReduce);
+    sum += msg.payload.read<double>();
+  }
+  return sum;
+}
+
+}  // namespace vira::comm

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file message.hpp
+/// Wire unit of Viracocha's communication layer.
+///
+/// The paper's layer 1 "hides implementation details about used
+/// communication protocols" — scheduler and workers talk through a generic
+/// interface whether the bytes move over MPI or TCP/IP. A Message carries a
+/// source endpoint, an integer tag (negative tags are reserved for the
+/// framework's collectives and control traffic) and an opaque payload.
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace vira::comm {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  util::ByteBuffer payload;
+};
+
+/// Wildcards for receive matching (mirroring MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = INT32_MIN;
+
+}  // namespace vira::comm

@@ -1,0 +1,39 @@
+#include "comm/transport.hpp"
+
+#include <stdexcept>
+
+namespace vira::comm {
+
+InProcTransport::InProcTransport(int size) {
+  if (size <= 0) {
+    throw std::invalid_argument("InProcTransport: size must be positive");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int endpoint = 0; endpoint < size; ++endpoint) {
+    mailboxes_.push_back(std::make_unique<util::BlockingQueue<Message>>());
+  }
+}
+
+void InProcTransport::send(int dest, Message msg) {
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("InProcTransport::send: bad destination endpoint");
+  }
+  mailboxes_[static_cast<std::size_t>(dest)]->push(std::move(msg));
+}
+
+std::optional<Message> InProcTransport::recv(int self, std::chrono::milliseconds timeout) {
+  if (self < 0 || self >= size()) {
+    throw std::out_of_range("InProcTransport::recv: bad endpoint");
+  }
+  return mailboxes_[static_cast<std::size_t>(self)]->pop_for(timeout);
+}
+
+void InProcTransport::shutdown() {
+  for (auto& mailbox : mailboxes_) {
+    mailbox->close();
+  }
+}
+
+bool InProcTransport::is_shut_down() const { return mailboxes_.front()->closed(); }
+
+}  // namespace vira::comm

@@ -1,0 +1,162 @@
+#include "core/backend.hpp"
+
+#include <filesystem>
+
+#include "core/remote_server_api.hpp"
+#include "util/log.hpp"
+
+namespace vira::core {
+
+Backend::Backend(BackendConfig config) : config_(std::move(config)) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("Backend: need at least one worker");
+  }
+
+  transport_ = std::make_shared<comm::InProcTransport>(config_.workers + 1);
+  source_ = std::make_shared<VmbDataSource>();
+  source_->set_read_delay_us_per_mb(config_.read_delay_us_per_mb);
+  data_server_ = std::make_shared<dms::DataServer>(config_.environment);
+
+  // Worker communicators first: the message-based DMS wiring shares them
+  // between the worker loop and the proxy's prefetch thread.
+  std::vector<std::shared_ptr<comm::Communicator>> worker_comms;
+  for (int index = 0; index < config_.workers; ++index) {
+    worker_comms.push_back(std::make_shared<comm::Communicator>(transport_, index + 1));
+  }
+
+  // One proxy per worker node (paper Fig. 3).
+  for (int index = 0; index < config_.workers; ++index) {
+    dms::DataProxyConfig proxy_config;
+    proxy_config.proxy_id = index;
+    proxy_config.cache.l1_capacity_bytes = config_.l1_cache_bytes;
+    proxy_config.cache.policy = config_.cache_policy;
+    if (config_.l2_directory == "<auto>") {
+      proxy_config.cache.l2_directory =
+          (std::filesystem::temp_directory_path() /
+           ("vira_l2_proxy_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)) + "_" +
+            std::to_string(index)))
+              .string();
+      proxy_config.cache.l2_capacity_bytes = config_.l2_cache_bytes;
+    } else if (!config_.l2_directory.empty()) {
+      proxy_config.cache.l2_directory = config_.l2_directory + "/proxy_" + std::to_string(index);
+      proxy_config.cache.l2_capacity_bytes = config_.l2_cache_bytes;
+    }
+    proxy_config.async_prefetch = config_.async_prefetch;
+    proxy_config.prefetch_depth = config_.prefetch_depth;
+    std::shared_ptr<dms::ServerApi> server_api = data_server_;
+    if (config_.dms_over_messages) {
+      server_api = std::make_shared<RemoteServerApi>(worker_comms[static_cast<std::size_t>(index)]);
+    }
+    proxies_.push_back(std::make_shared<dms::DataProxy>(proxy_config, server_api, source_));
+  }
+
+  // Peer transfer across proxies ("across work group boundaries").
+  for (auto& proxy : proxies_) {
+    proxy->set_peer_fetch([this](int peer, dms::ItemId id) -> dms::Blob {
+      if (peer < 0 || peer >= static_cast<int>(proxies_.size())) {
+        return nullptr;
+      }
+      return proxies_[static_cast<std::size_t>(peer)]->cache().peek(id);
+    });
+  }
+
+  scheduler_ = std::make_unique<Scheduler>(transport_, config_.workers);
+  if (config_.dms_over_messages) {
+    scheduler_->set_data_server(data_server_);
+  }
+  for (int index = 0; index < config_.workers; ++index) {
+    workers_.push_back(std::make_unique<Worker>(worker_comms[static_cast<std::size_t>(index)],
+                                                proxies_[index], source_,
+                                                &CommandRegistry::global()));
+  }
+
+  scheduler_thread_ = std::thread([this] { scheduler_->run(); });
+  for (auto& worker : workers_) {
+    worker_threads_.emplace_back([&worker] { worker->run(); });
+  }
+}
+
+Backend::~Backend() { shutdown(); }
+
+std::shared_ptr<comm::ClientLink> Backend::connect() {
+  auto [client_side, server_side] = comm::make_inproc_link_pair();
+  scheduler_->attach_client(server_side);
+  return client_side;
+}
+
+std::uint16_t Backend::serve_tcp(std::uint16_t port) {
+  listener_ = std::make_unique<comm::TcpListener>(port);
+  const std::uint16_t bound = listener_->port();
+  accept_thread_ = std::thread([this] {
+    // Every accepted connection becomes an additional client; the
+    // scheduler routes each request's results back to its submitter.
+    while (!down_.load()) {
+      auto link = listener_->accept(std::chrono::milliseconds(200));
+      if (link) {
+        VIRA_INFO("backend") << "TCP client connected";
+        scheduler_->attach_client(std::shared_ptr<comm::ClientLink>(link.release()));
+      }
+    }
+  });
+  VIRA_INFO("backend") << "listening on 127.0.0.1:" << bound;
+  return bound;
+}
+
+void Backend::shutdown() {
+  if (down_.exchange(true)) {
+    return;
+  }
+  // Wake the acceptor first (half-close keeps the fd valid while the
+  // thread may still be inside accept()), join it, then release sockets.
+  if (listener_) {
+    listener_->stop();
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listener_) {
+    listener_->close();
+  }
+  scheduler_->stop();
+  if (scheduler_thread_.joinable()) {
+    scheduler_thread_.join();
+  }
+  for (auto& thread : worker_threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  transport_->shutdown();
+  // Drain every proxy's prefetch pipeline BEFORE members destruct: an
+  // in-flight speculative load may peer-peek into a sibling proxy's cache,
+  // and the proxies_ vector destroys siblings one by one.
+  for (auto& proxy : proxies_) {
+    proxy->quiesce();
+  }
+}
+
+void Backend::clear_caches() {
+  for (auto& proxy : proxies_) {
+    proxy->clear_cache();
+  }
+}
+
+dms::DmsCounters Backend::dms_counters() const {
+  dms::DmsCounters total;
+  for (const auto& proxy : proxies_) {
+    const auto counters = proxy->stats().snapshot();
+    total.requests += counters.requests;
+    total.l1_hits += counters.l1_hits;
+    total.l2_hits += counters.l2_hits;
+    total.misses += counters.misses;
+    total.prefetch_issued += counters.prefetch_issued;
+    total.prefetch_useful += counters.prefetch_useful;
+    total.evictions_l1 += counters.evictions_l1;
+    total.evictions_l2 += counters.evictions_l2;
+    total.bytes_loaded += counters.bytes_loaded;
+    total.load_seconds += counters.load_seconds;
+  }
+  return total;
+}
+
+}  // namespace vira::core

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file backend.hpp
+/// The assembled Viracocha post-processing backend.
+///
+/// Owns the whole server side of Figure 2: the rank transport, the
+/// scheduler (rank 0), N workers (ranks 1..N, one thread each), the DMS
+/// (central data server + one proxy per worker, with peer transfer wired
+/// across proxies), and the client attachment point (in-process link or a
+/// real TCP listener).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comm/client_link.hpp"
+#include "core/scheduler.hpp"
+#include "core/worker.hpp"
+#include "dms/data_server.hpp"
+
+namespace vira::core {
+
+struct BackendConfig {
+  int workers = 4;
+
+  /// Per-worker primary cache budget; "fbr" won the paper's evaluation.
+  std::uint64_t l1_cache_bytes = 256ull << 20;
+  std::string cache_policy = "fbr";
+  /// Secondary (disk) cache directory; empty disables the tier.
+  /// "<auto>" picks a temp dir per proxy.
+  std::string l2_directory;
+  std::uint64_t l2_cache_bytes = 1ull << 30;
+
+  bool async_prefetch = true;
+  std::size_t prefetch_depth = 2;
+
+  dms::LoadEnvironment environment;
+  /// Artificial storage slow-down (µs per MiB) for I/O-sensitive benches.
+  double read_delay_us_per_mb = 0.0;
+
+  /// Route proxy↔server DMS traffic through rank messages serviced by the
+  /// scheduler (the paper's distributed wiring, at the cost of "additional
+  /// communication for every load operation", Sec. 4.3). false = direct
+  /// calls (single-process wiring).
+  bool dms_over_messages = false;
+};
+
+class Backend {
+ public:
+  explicit Backend(BackendConfig config = BackendConfig{});
+  ~Backend();
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// In-process client connection (the examples' default).
+  std::shared_ptr<comm::ClientLink> connect();
+
+  /// Starts a localhost TCP listener; the first accepted connection becomes
+  /// the client. Returns the bound port.
+  std::uint16_t serve_tcp(std::uint16_t port = 0);
+
+  /// Stops scheduler, workers and the TCP acceptor. Idempotent.
+  void shutdown();
+
+  /// --- introspection for benches and tests --------------------------------
+  int worker_count() const { return config_.workers; }
+  VmbDataSource& source() { return *source_; }
+  dms::DataServer& data_server() { return *data_server_; }
+  dms::DataProxy& worker_proxy(int index) { return *proxies_.at(static_cast<std::size_t>(index)); }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  /// Drops every proxy's cache (cold-start switch).
+  void clear_caches();
+
+  /// Merged DMS counters over all proxies.
+  dms::DmsCounters dms_counters() const;
+
+ private:
+  BackendConfig config_;
+  std::shared_ptr<comm::InProcTransport> transport_;
+  std::shared_ptr<VmbDataSource> source_;
+  std::shared_ptr<dms::DataServer> data_server_;
+  std::vector<std::shared_ptr<dms::DataProxy>> proxies_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::vector<std::thread> worker_threads_;
+  std::thread scheduler_thread_;
+
+  std::unique_ptr<comm::TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> down_{false};
+};
+
+}  // namespace vira::core

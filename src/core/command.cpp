@@ -1,0 +1,153 @@
+#include "core/command.hpp"
+
+#include <algorithm>
+
+namespace vira::core {
+
+CommandContext::CommandContext(std::uint64_t request_id, const util::ParamList& params,
+                               comm::Communicator* comm, std::vector<int> group_ranks,
+                               int master_rank, dms::DataProxy* proxy, Hooks hooks)
+    : request_id_(request_id),
+      params_(params),
+      comm_(comm),
+      group_ranks_(std::move(group_ranks)),
+      master_rank_(master_rank),
+      proxy_(proxy),
+      hooks_(std::move(hooks)) {
+  if (comm_ != nullptr) {
+    const auto it = std::find(group_ranks_.begin(), group_ranks_.end(), comm_->rank());
+    group_rank_ = it != group_ranks_.end()
+                      ? static_cast<int>(std::distance(group_ranks_.begin(), it))
+                      : -1;
+  } else if (!group_ranks_.empty()) {
+    group_rank_ = 0;
+  }
+}
+
+bool CommandContext::is_master() const {
+  return comm_ == nullptr || comm_->rank() == master_rank_;
+}
+
+comm::Communicator& CommandContext::comm() {
+  if (comm_ == nullptr) {
+    throw std::logic_error("CommandContext: no communicator (single-process context)");
+  }
+  return *comm_;
+}
+
+dms::DataProxy& CommandContext::proxy() {
+  if (proxy_ == nullptr) {
+    throw std::logic_error("CommandContext: no data proxy attached");
+  }
+  return *proxy_;
+}
+
+const grid::DatasetMeta& CommandContext::dataset_meta(const std::string& dir) {
+  if (!hooks_.dataset_meta) {
+    throw std::logic_error("CommandContext: no dataset meta hook");
+  }
+  return hooks_.dataset_meta(dir);
+}
+
+std::vector<util::ByteBuffer> CommandContext::gather_at_master(util::ByteBuffer part) {
+  // Group-internal gather over point-to-point messages; the tag encodes the
+  // request so packets of concurrent commands cannot mix.
+  const int tag = static_cast<int>(request_id_ % 1000000) + 2000000;
+  if (comm_ == nullptr || group_size() <= 1) {
+    std::vector<util::ByteBuffer> parts;
+    parts.push_back(std::move(part));
+    return parts;
+  }
+  if (!is_master()) {
+    comm_->send(master_rank_, tag, std::move(part));
+    return {};
+  }
+  std::vector<util::ByteBuffer> parts(static_cast<std::size_t>(group_size()));
+  for (std::size_t member = 0; member < group_ranks_.size(); ++member) {
+    const int rank = group_ranks_[member];
+    if (rank == comm_->rank()) {
+      parts[member] = std::move(part);
+    } else {
+      parts[member] = comm_->recv(rank, tag).payload;
+    }
+  }
+  return parts;
+}
+
+void CommandContext::group_barrier() {
+  if (comm_ == nullptr || group_size() <= 1) {
+    return;
+  }
+  const int tag = static_cast<int>(request_id_ % 1000000) + 3000000;
+  if (comm_->rank() == master_rank_) {
+    for (const int rank : group_ranks_) {
+      if (rank != master_rank_) {
+        (void)comm_->recv(rank, tag);
+      }
+    }
+    for (const int rank : group_ranks_) {
+      if (rank != master_rank_) {
+        comm_->send(rank, tag, {});
+      }
+    }
+  } else {
+    comm_->send(master_rank_, tag, {});
+    (void)comm_->recv(master_rank_, tag);
+  }
+}
+
+void CommandContext::stream_partial(util::ByteBuffer fragment) {
+  if (hooks_.stream_partial) {
+    util::ScopedPhase phase(phases_, kPhaseSend);
+    hooks_.stream_partial(std::move(fragment));
+  }
+}
+
+void CommandContext::send_final(util::ByteBuffer result) {
+  if (hooks_.send_final) {
+    util::ScopedPhase phase(phases_, kPhaseSend);
+    hooks_.send_final(std::move(result));
+  }
+}
+
+void CommandContext::report_progress(double fraction) {
+  if (hooks_.report_progress) {
+    hooks_.report_progress(fraction);
+  }
+}
+
+void CommandRegistry::register_command(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Command> CommandRegistry::create(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("CommandRegistry: unknown command '" + name + "'");
+  }
+  return it->second();
+}
+
+bool CommandRegistry::knows(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> CommandRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+CommandRegistry& CommandRegistry::global() {
+  static CommandRegistry registry;
+  return registry;
+}
+
+}  // namespace vira::core

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file command.hpp
+/// The command abstraction — Viracocha's uppermost layer (paper Sec. 3).
+///
+/// "Actually applied computing algorithms are merely implemented on the
+/// uppermost layer. This design allows the reuse of the Viracocha framework
+/// for purposes different from CFD post-processing by simply exchanging
+/// this topmost layer."
+///
+/// A Command runs on every worker of a work group. The CommandContext gives
+/// it everything the middle layer provides: its work-group communicator
+/// slice, the node's data proxy, streaming, result collection and phase
+/// accounting. Commands register in the CommandRegistry by name and are
+/// instantiated per execution.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "dms/data_proxy.hpp"
+#include "grid/dataset_io.hpp"
+#include "util/param_list.hpp"
+#include "util/timer.hpp"
+
+namespace vira::core {
+
+/// Canonical phase names used by every CFD command so Fig. 15's breakdown
+/// is comparable across commands.
+inline constexpr const char* kPhaseCompute = "compute";
+inline constexpr const char* kPhaseRead = "read";
+inline constexpr const char* kPhaseSend = "send";
+
+class CommandContext {
+ public:
+  /// Hooks the runtime injects; commands never see the scheduler directly.
+  struct Hooks {
+    std::function<void(util::ByteBuffer fragment)> stream_partial;
+    std::function<void(util::ByteBuffer result)> send_final;  ///< master only
+    std::function<void(double fraction)> report_progress;
+    std::function<const grid::DatasetMeta&(const std::string& dir)> dataset_meta;
+  };
+
+  CommandContext(std::uint64_t request_id, const util::ParamList& params,
+                 comm::Communicator* comm, std::vector<int> group_ranks, int master_rank,
+                 dms::DataProxy* proxy, Hooks hooks);
+
+  /// --- identity -----------------------------------------------------------
+  std::uint64_t request_id() const { return request_id_; }
+  const util::ParamList& params() const { return params_; }
+
+  /// --- work group ---------------------------------------------------------
+  /// Rank of this worker within the group (0..group_size-1).
+  int group_rank() const { return group_rank_; }
+  int group_size() const { return static_cast<int>(group_ranks_.size()); }
+  /// Global communicator ranks of the group.
+  const std::vector<int>& group_ranks() const { return group_ranks_; }
+  bool is_master() const;
+  int master_rank() const { return master_rank_; }
+
+  /// Raw communicator (global ranks!). Use the helpers below where they fit.
+  comm::Communicator& comm();
+
+  /// Gathers one buffer per group member at the master (returns empty
+  /// elsewhere). Group-internal; tags are derived from the request id.
+  std::vector<util::ByteBuffer> gather_at_master(util::ByteBuffer part);
+
+  /// Group-wide barrier.
+  void group_barrier();
+
+  /// --- data ---------------------------------------------------------------
+  dms::DataProxy& proxy();
+  const grid::DatasetMeta& dataset_meta(const std::string& dir);
+
+  /// --- results ------------------------------------------------------------
+  /// Ships an intermediate fragment to the visualization client right now
+  /// (paper Sec. 5). Any worker may stream.
+  void stream_partial(util::ByteBuffer fragment);
+  /// Ships the merged final result; only the master calls this.
+  void send_final(util::ByteBuffer result);
+  void report_progress(double fraction);
+
+  /// --- accounting ----------------------------------------------------------
+  util::PhaseTimer& phases() { return phases_; }
+
+ private:
+  std::uint64_t request_id_;
+  const util::ParamList& params_;
+  comm::Communicator* comm_;
+  std::vector<int> group_ranks_;
+  int group_rank_ = -1;
+  int master_rank_;
+  dms::DataProxy* proxy_;
+  Hooks hooks_;
+  util::PhaseTimer phases_;
+};
+
+class Command {
+ public:
+  virtual ~Command() = default;
+  virtual std::string name() const = 0;
+  /// Runs on every group member. Throwing aborts the command; the error is
+  /// reported to the client.
+  virtual void execute(CommandContext& context) = 0;
+};
+
+/// Name → factory registry (thread-safe).
+class CommandRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Command>()>;
+
+  void register_command(const std::string& name, Factory factory);
+  std::unique_ptr<Command> create(const std::string& name) const;
+  bool knows(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Registry pre-loaded with all built-in CFD commands (algo layer calls
+  /// register_builtin_commands during Backend construction).
+  static CommandRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace vira::core

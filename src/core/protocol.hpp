@@ -1,0 +1,192 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Wire protocol of the Viracocha runtime (paper Fig. 2).
+///
+/// Client ↔ scheduler messages travel over a comm::ClientLink (TCP/IP or
+/// in-process); scheduler ↔ worker messages over the rank transport (the
+/// MPI role). Tags identify message kinds; payload layouts are defined by
+/// the serialize/deserialize pairs below.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/byte_buffer.hpp"
+#include "util/param_list.hpp"
+
+namespace vira::core {
+
+/// Client link tags (client ↔ scheduler).
+enum ClientTag : int {
+  kTagSubmit = 1,     ///< client → scheduler: CommandRequest
+  kTagCancel = 2,     ///< client → scheduler: request_id
+  kTagPartial = 10,   ///< scheduler → client: streamed fragment
+  kTagFinal = 11,     ///< scheduler → client: merged final result
+  kTagComplete = 12,  ///< scheduler → client: CommandStats, command finished
+  kTagError = 13,     ///< scheduler → client: error text
+  kTagProgress = 14,  ///< scheduler → client: fraction in [0,1]
+};
+
+/// Rank transport tags (scheduler ↔ workers). User commands use tags >= 0
+/// for intra-group traffic; runtime control tags live here.
+enum WorkerTag : int {
+  kTagExecute = 1000,     ///< scheduler → worker: ExecuteOrder
+  kTagWorkerDone = 1001,  ///< worker → scheduler: WorkerReport
+  kTagStream = 1002,      ///< worker → scheduler: fragment to forward
+  kTagFinalResult = 1003, ///< master worker → scheduler: merged result
+  kTagWorkerError = 1004, ///< worker → scheduler: error text
+  kTagShutdown = 1005,    ///< scheduler → worker: exit the loop
+  kTagProgressUp = 1006,  ///< worker → scheduler: progress fraction
+};
+
+/// A client's command submission.
+struct CommandRequest {
+  std::uint64_t request_id = 0;
+  std::string command;
+  util::ParamList params;
+
+  void serialize(util::ByteBuffer& out) const {
+    out.write<std::uint64_t>(request_id);
+    out.write_string(command);
+    params.serialize(out);
+  }
+  static CommandRequest deserialize(util::ByteBuffer& in) {
+    CommandRequest request;
+    request.request_id = in.read<std::uint64_t>();
+    request.command = in.read_string();
+    request.params = util::ParamList::deserialize(in);
+    return request;
+  }
+};
+
+/// Scheduler → worker execution order.
+struct ExecuteOrder {
+  std::uint64_t request_id = 0;
+  std::string command;
+  util::ParamList params;
+  std::vector<std::int32_t> group_ranks;  ///< all ranks of the work group
+  std::int32_t master_rank = -1;          ///< collects the final result
+
+  void serialize(util::ByteBuffer& out) const {
+    out.write<std::uint64_t>(request_id);
+    out.write_string(command);
+    params.serialize(out);
+    out.write_vector(group_ranks);
+    out.write<std::int32_t>(master_rank);
+  }
+  static ExecuteOrder deserialize(util::ByteBuffer& in) {
+    ExecuteOrder order;
+    order.request_id = in.read<std::uint64_t>();
+    order.command = in.read_string();
+    order.params = util::ParamList::deserialize(in);
+    order.group_ranks = in.read_vector<std::int32_t>();
+    order.master_rank = in.read<std::int32_t>();
+    return order;
+  }
+};
+
+/// Worker → scheduler completion report (phase seconds for Fig. 15).
+struct WorkerReport {
+  std::uint64_t request_id = 0;
+  std::int32_t rank = -1;
+  bool success = true;
+  std::string error;
+  std::map<std::string, double> phase_seconds;
+
+  void serialize(util::ByteBuffer& out) const {
+    out.write<std::uint64_t>(request_id);
+    out.write<std::int32_t>(rank);
+    out.write<std::uint8_t>(success ? 1 : 0);
+    out.write_string(error);
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(phase_seconds.size()));
+    for (const auto& [phase, seconds] : phase_seconds) {
+      out.write_string(phase);
+      out.write<double>(seconds);
+    }
+  }
+  static WorkerReport deserialize(util::ByteBuffer& in) {
+    WorkerReport report;
+    report.request_id = in.read<std::uint64_t>();
+    report.rank = in.read<std::int32_t>();
+    report.success = in.read<std::uint8_t>() != 0;
+    report.error = in.read_string();
+    const auto count = in.read<std::uint32_t>();
+    for (std::uint32_t n = 0; n < count; ++n) {
+      std::string phase = in.read_string();
+      report.phase_seconds[phase] = in.read<double>();
+    }
+    return report;
+  }
+};
+
+/// Scheduler → client summary when a command finishes. The runtime values
+/// the paper reports: total runtime, latency (first streamed fragment),
+/// and the compute/read/send split.
+struct CommandStats {
+  std::uint64_t request_id = 0;
+  bool success = true;
+  std::string error;
+  double total_runtime = 0.0;   ///< seconds, submission → completion (server side)
+  double latency = 0.0;         ///< seconds, submission → first data packet
+  std::uint64_t partial_packets = 0;
+  std::uint64_t result_bytes = 0;
+  int workers = 0;
+  std::map<std::string, double> phase_seconds;  ///< summed over workers
+
+  void serialize(util::ByteBuffer& out) const {
+    out.write<std::uint64_t>(request_id);
+    out.write<std::uint8_t>(success ? 1 : 0);
+    out.write_string(error);
+    out.write<double>(total_runtime);
+    out.write<double>(latency);
+    out.write<std::uint64_t>(partial_packets);
+    out.write<std::uint64_t>(result_bytes);
+    out.write<std::int32_t>(workers);
+    out.write<std::uint32_t>(static_cast<std::uint32_t>(phase_seconds.size()));
+    for (const auto& [phase, seconds] : phase_seconds) {
+      out.write_string(phase);
+      out.write<double>(seconds);
+    }
+  }
+  static CommandStats deserialize(util::ByteBuffer& in) {
+    CommandStats stats;
+    stats.request_id = in.read<std::uint64_t>();
+    stats.success = in.read<std::uint8_t>() != 0;
+    stats.error = in.read_string();
+    stats.total_runtime = in.read<double>();
+    stats.latency = in.read<double>();
+    stats.partial_packets = in.read<std::uint64_t>();
+    stats.result_bytes = in.read<std::uint64_t>();
+    stats.workers = in.read<std::int32_t>();
+    const auto count = in.read<std::uint32_t>();
+    for (std::uint32_t n = 0; n < count; ++n) {
+      std::string phase = in.read_string();
+      stats.phase_seconds[phase] = in.read<double>();
+    }
+    return stats;
+  }
+};
+
+/// Fragment header prepended to every streamed / final payload so the
+/// client can route by request.
+struct FragmentHeader {
+  std::uint64_t request_id = 0;
+  std::int32_t worker_rank = -1;
+  std::uint32_t sequence = 0;
+
+  void serialize(util::ByteBuffer& out) const {
+    out.write<std::uint64_t>(request_id);
+    out.write<std::int32_t>(worker_rank);
+    out.write<std::uint32_t>(sequence);
+  }
+  static FragmentHeader deserialize(util::ByteBuffer& in) {
+    FragmentHeader header;
+    header.request_id = in.read<std::uint64_t>();
+    header.worker_rank = in.read<std::int32_t>();
+    header.sequence = in.read<std::uint32_t>();
+    return header;
+  }
+};
+
+}  // namespace vira::core

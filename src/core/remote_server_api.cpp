@@ -1,0 +1,160 @@
+#include "core/remote_server_api.hpp"
+
+#include "dms/data_server.hpp"
+
+namespace vira::core {
+
+RemoteServerApi::RemoteServerApi(std::shared_ptr<comm::Communicator> comm)
+    : comm_(std::move(comm)) {
+  if (!comm_) {
+    throw std::invalid_argument("RemoteServerApi: communicator required");
+  }
+}
+
+util::ByteBuffer RemoteServerApi::call(DmsOp op, util::ByteBuffer args) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int reply_tag =
+      kDmsReplyTagBase + static_cast<int>(next_sequence_++ % kDmsReplyTagRange);
+  util::ByteBuffer payload;
+  payload.write<std::uint8_t>(static_cast<std::uint8_t>(op));
+  payload.write<std::int32_t>(reply_tag);
+  payload.write_raw(args.data(), args.size());
+  comm_->send(0, kTagDmsRequest, std::move(payload));
+  return comm_->recv(0, reply_tag).payload;
+}
+
+void RemoteServerApi::notify(DmsOp op, util::ByteBuffer args) {
+  util::ByteBuffer payload;
+  payload.write<std::uint8_t>(static_cast<std::uint8_t>(op));
+  payload.write<std::int32_t>(-1);  // no reply expected
+  payload.write_raw(args.data(), args.size());
+  comm_->send(0, kTagDmsNotify, std::move(payload));
+}
+
+dms::ItemId RemoteServerApi::intern(const dms::DataItemName& name) {
+  util::ByteBuffer args;
+  name.serialize(args);
+  auto reply = call(DmsOp::kIntern, std::move(args));
+  return reply.read<dms::ItemId>();
+}
+
+std::optional<dms::DataItemName> RemoteServerApi::lookup(dms::ItemId id) {
+  util::ByteBuffer args;
+  args.write<dms::ItemId>(id);
+  auto reply = call(DmsOp::kLookup, std::move(args));
+  if (reply.read<std::uint8_t>() == 0) {
+    return std::nullopt;
+  }
+  return dms::DataItemName::deserialize(reply);
+}
+
+dms::StrategyDecision RemoteServerApi::choose_strategy(int proxy, dms::ItemId id,
+                                                       std::uint64_t item_bytes,
+                                                       std::uint64_t file_bytes,
+                                                       const std::string& file_key) {
+  util::ByteBuffer args;
+  args.write<std::int32_t>(proxy);
+  args.write<dms::ItemId>(id);
+  args.write<std::uint64_t>(item_bytes);
+  args.write<std::uint64_t>(file_bytes);
+  args.write_string(file_key);
+  auto reply = call(DmsOp::kChooseStrategy, std::move(args));
+  dms::StrategyDecision decision;
+  decision.kind = static_cast<dms::StrategyKind>(reply.read<std::uint8_t>());
+  decision.peer = reply.read<std::int32_t>();
+  return decision;
+}
+
+void RemoteServerApi::report_insert(int proxy, dms::ItemId id) {
+  util::ByteBuffer args;
+  args.write<std::int32_t>(proxy);
+  args.write<dms::ItemId>(id);
+  notify(DmsOp::kReportInsert, std::move(args));
+}
+
+void RemoteServerApi::report_evict(int proxy, dms::ItemId id) {
+  util::ByteBuffer args;
+  args.write<std::int32_t>(proxy);
+  args.write<dms::ItemId>(id);
+  notify(DmsOp::kReportEvict, std::move(args));
+}
+
+void RemoteServerApi::begin_file_read(const std::string& file_key) {
+  util::ByteBuffer args;
+  args.write_string(file_key);
+  notify(DmsOp::kBeginFileRead, std::move(args));
+}
+
+void RemoteServerApi::end_file_read(const std::string& file_key) {
+  util::ByteBuffer args;
+  args.write_string(file_key);
+  notify(DmsOp::kEndFileRead, std::move(args));
+}
+
+void RemoteServerApi::observe_disk_bandwidth(double bytes_per_second) {
+  util::ByteBuffer args;
+  args.write<double>(bytes_per_second);
+  notify(DmsOp::kObserveBandwidth, std::move(args));
+}
+
+void service_dms_message(dms::DataServer& server, comm::Communicator& comm, comm::Message& msg,
+                         bool expects_reply) {
+  const auto op = static_cast<DmsOp>(msg.payload.read<std::uint8_t>());
+  const auto reply_tag = msg.payload.read<std::int32_t>();
+
+  util::ByteBuffer reply;
+  switch (op) {
+    case DmsOp::kIntern: {
+      const auto name = dms::DataItemName::deserialize(msg.payload);
+      reply.write<dms::ItemId>(server.intern(name));
+      break;
+    }
+    case DmsOp::kLookup: {
+      const auto id = msg.payload.read<dms::ItemId>();
+      const auto name = server.lookup(id);
+      reply.write<std::uint8_t>(name ? 1 : 0);
+      if (name) {
+        name->serialize(reply);
+      }
+      break;
+    }
+    case DmsOp::kChooseStrategy: {
+      const auto proxy = msg.payload.read<std::int32_t>();
+      const auto id = msg.payload.read<dms::ItemId>();
+      const auto item_bytes = msg.payload.read<std::uint64_t>();
+      const auto file_bytes = msg.payload.read<std::uint64_t>();
+      const auto file_key = msg.payload.read_string();
+      const auto decision = server.choose_strategy(proxy, id, item_bytes, file_bytes, file_key);
+      reply.write<std::uint8_t>(static_cast<std::uint8_t>(decision.kind));
+      reply.write<std::int32_t>(decision.peer);
+      break;
+    }
+    case DmsOp::kReportInsert: {
+      const auto proxy = msg.payload.read<std::int32_t>();
+      const auto id = msg.payload.read<dms::ItemId>();
+      server.report_insert(proxy, id);
+      break;
+    }
+    case DmsOp::kReportEvict: {
+      const auto proxy = msg.payload.read<std::int32_t>();
+      const auto id = msg.payload.read<dms::ItemId>();
+      server.report_evict(proxy, id);
+      break;
+    }
+    case DmsOp::kBeginFileRead:
+      server.begin_file_read(msg.payload.read_string());
+      break;
+    case DmsOp::kEndFileRead:
+      server.end_file_read(msg.payload.read_string());
+      break;
+    case DmsOp::kObserveBandwidth:
+      server.observe_disk_bandwidth(msg.payload.read<double>());
+      break;
+  }
+
+  if (expects_reply && reply_tag >= 0) {
+    comm.send(msg.source, reply_tag, std::move(reply));
+  }
+}
+
+}  // namespace vira::core

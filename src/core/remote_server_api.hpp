@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file remote_server_api.hpp
+/// Message-based DMS server access (the paper's distributed wiring).
+///
+/// "Each time a block has to be loaded into cache to fulfill a request,
+/// first of all, a proxy asks the data manager server which strategy to
+/// use. [...] The drawback is additional communication for every load
+/// operation." (Sec. 4.3)
+///
+/// RemoteServerApi implements dms::ServerApi by sending requests to the
+/// scheduler rank (0), which services them against the real DataServer
+/// (Scheduler::handle_dms_request). Query ops block on a reply delivered
+/// under a per-call unique tag; registry/telemetry ops are fire-and-forget
+/// notifications. Calls are serialized per proxy (one mutex), mirroring
+/// the one-request-at-a-time behaviour of a real MPI proxy.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "comm/communicator.hpp"
+#include "dms/data_server.hpp"
+#include "dms/server_api.hpp"
+
+namespace vira::core {
+
+/// Rank-transport tags for DMS traffic (see protocol.hpp for the rest).
+inline constexpr int kTagDmsRequest = 1100;  ///< worker → scheduler, expects a reply
+inline constexpr int kTagDmsNotify = 1101;   ///< worker → scheduler, one-way
+inline constexpr int kDmsReplyTagBase = 4000000;
+inline constexpr int kDmsReplyTagRange = 1000000;
+
+/// Operation codes inside DMS request/notify payloads.
+enum class DmsOp : std::uint8_t {
+  kIntern = 1,
+  kLookup = 2,
+  kChooseStrategy = 3,
+  kReportInsert = 4,
+  kReportEvict = 5,
+  kBeginFileRead = 6,
+  kEndFileRead = 7,
+  kObserveBandwidth = 8,
+};
+
+class RemoteServerApi final : public dms::ServerApi {
+ public:
+  /// `comm` is the worker's communicator; it must outlive this object.
+  explicit RemoteServerApi(std::shared_ptr<comm::Communicator> comm);
+
+  dms::ItemId intern(const dms::DataItemName& name) override;
+  std::optional<dms::DataItemName> lookup(dms::ItemId id) override;
+  dms::StrategyDecision choose_strategy(int proxy, dms::ItemId id, std::uint64_t item_bytes,
+                                        std::uint64_t file_bytes,
+                                        const std::string& file_key) override;
+  void report_insert(int proxy, dms::ItemId id) override;
+  void report_evict(int proxy, dms::ItemId id) override;
+  void begin_file_read(const std::string& file_key) override;
+  void end_file_read(const std::string& file_key) override;
+  void observe_disk_bandwidth(double bytes_per_second) override;
+
+ private:
+  /// Round-trip: sends [op][reply_tag][args] and blocks for the reply.
+  util::ByteBuffer call(DmsOp op, util::ByteBuffer args);
+  /// One-way: sends [op][args].
+  void notify(DmsOp op, util::ByteBuffer args);
+
+  std::shared_ptr<comm::Communicator> comm_;
+  std::mutex mutex_;
+  std::uint32_t next_sequence_ = 0;
+};
+
+/// Scheduler-side dispatcher: applies one DMS request/notify message to the
+/// DataServer, replying through `comm` when the op demands it. Shared by
+/// Scheduler so the protocol lives in one file.
+void service_dms_message(dms::DataServer& server, comm::Communicator& comm,
+                         comm::Message& msg, bool expects_reply);
+
+}  // namespace vira::core

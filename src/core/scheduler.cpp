@@ -1,0 +1,343 @@
+#include "core/scheduler.hpp"
+
+#include <thread>
+
+#include "core/remote_server_api.hpp"
+
+#include "util/log.hpp"
+
+namespace vira::core {
+
+namespace {
+constexpr auto kPollSlice = std::chrono::milliseconds(2);
+}
+
+Scheduler::Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count)
+    : comm_(std::move(transport), 0), worker_count_(worker_count) {
+  for (int rank = 1; rank <= worker_count_; ++rank) {
+    free_.insert(rank);
+  }
+}
+
+void Scheduler::attach_client(std::shared_ptr<comm::ClientLink> link) {
+  std::lock_guard<std::mutex> lock(client_mutex_);
+  clients_.push_back(std::move(link));
+}
+
+std::size_t Scheduler::client_count() const {
+  std::lock_guard<std::mutex> lock(client_mutex_);
+  std::size_t live = 0;
+  for (const auto& client : clients_) {
+    if (client && !client->closed()) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void Scheduler::send_to_client(std::size_t client, int tag, util::ByteBuffer payload) {
+  std::shared_ptr<comm::ClientLink> link;
+  {
+    std::lock_guard<std::mutex> lock(client_mutex_);
+    if (client < clients_.size()) {
+      link = clients_[client];
+    }
+  }
+  if (link && !link->closed()) {
+    comm::Message msg;
+    msg.source = 0;
+    msg.tag = tag;
+    msg.payload = std::move(payload);
+    link->send(std::move(msg));
+  }
+}
+
+void Scheduler::run() {
+  running_ = true;
+  VIRA_INFO("scheduler") << "serving " << worker_count_ << " workers";
+  while (running_) {
+    poll_clients();
+    poll_workers();
+    dispatch_pending();
+  }
+  // Orderly worker shutdown.
+  for (int rank = 1; rank <= worker_count_; ++rank) {
+    comm_.send(rank, kTagShutdown, {});
+  }
+  VIRA_INFO("scheduler") << "stopped";
+}
+
+void Scheduler::stop() { running_ = false; }
+
+std::size_t Scheduler::free_workers() const { return free_.size(); }
+
+std::size_t Scheduler::queued_requests() const { return pending_.size(); }
+
+void Scheduler::poll_clients() {
+  // Snapshot the link list, then poll each without blocking long. Requests
+  // are internally re-keyed: different clients may reuse the same
+  // client-side request id, so the scheduler assigns a globally unique id
+  // for worker traffic and translates back at the client boundary.
+  std::vector<std::shared_ptr<comm::ClientLink>> links;
+  {
+    std::lock_guard<std::mutex> lock(client_mutex_);
+    links = clients_;
+  }
+  if (links.empty()) {
+    std::this_thread::sleep_for(kPollSlice);
+    return;
+  }
+
+  bool any = false;
+  for (std::size_t client = 0; client < links.size(); ++client) {
+    if (!links[client] || links[client]->closed()) {
+      continue;
+    }
+    auto msg = links[client]->recv(std::chrono::milliseconds(0));
+    if (!msg) {
+      continue;
+    }
+    any = true;
+    switch (msg->tag) {
+      case kTagSubmit: {
+        auto request = CommandRequest::deserialize(msg->payload);
+        VIRA_DEBUG("scheduler") << "client " << client << " submits request "
+                                << request.request_id << " (" << request.command << ")";
+        pending_.emplace_back(std::move(request), client);
+        break;
+      }
+      case kTagCancel: {
+        const auto client_request = msg->payload.read<std::uint64_t>();
+        auto key = std::make_pair(client, client_request);
+        auto it = by_client_.find(key);
+        if (it != by_client_.end()) {
+          auto group_it = groups_.find(it->second);
+          if (group_it != groups_.end()) {
+            // Workers are not interrupted mid-block; we simply stop
+            // forwarding (paper Sec. 5: meaningless extractions "can be
+            // discarded immediately" from the client's perspective).
+            group_it->second.cancelled = true;
+          }
+        } else {
+          for (auto qit = pending_.begin(); qit != pending_.end(); ++qit) {
+            if (qit->second == client && qit->first.request_id == client_request) {
+              pending_.erase(qit);
+              break;
+            }
+          }
+        }
+        break;
+      }
+      default:
+        VIRA_WARN("scheduler") << "dropping unknown client tag " << msg->tag;
+    }
+  }
+  if (!any) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Scheduler::poll_workers() {
+  // Drain everything currently available without blocking long.
+  while (true) {
+    auto msg = comm_.try_recv(comm::kAnySource, comm::kAnyTag, kPollSlice);
+    if (!msg) {
+      return;
+    }
+    switch (msg->tag) {
+      case kTagStream:
+        handle_stream(*msg, /*final=*/false);
+        break;
+      case kTagFinalResult:
+        handle_stream(*msg, /*final=*/true);
+        break;
+      case kTagWorkerDone:
+        handle_done(*msg);
+        break;
+      case kTagWorkerError:
+        handle_error(*msg);
+        break;
+      case kTagProgressUp:
+        handle_progress(*msg);
+        break;
+      case kTagDmsRequest:
+      case kTagDmsNotify:
+        if (data_server_) {
+          service_dms_message(*data_server_, comm_, *msg, msg->tag == kTagDmsRequest);
+        } else {
+          VIRA_WARN("scheduler") << "DMS message but no data server attached";
+        }
+        break;
+      default:
+        VIRA_WARN("scheduler") << "dropping unknown worker tag " << msg->tag << " from "
+                               << msg->source;
+    }
+  }
+}
+
+void Scheduler::handle_stream(comm::Message& msg, bool final) {
+  // Peek the (internal) request id without consuming the payload.
+  const std::size_t rewind = msg.payload.read_pos();
+  FragmentHeader header = FragmentHeader::deserialize(msg.payload);
+  msg.payload.seek(rewind);
+
+  auto it = groups_.find(header.request_id);
+  if (it == groups_.end()) {
+    return;  // stale fragment of a finished/cancelled request
+  }
+  Group& group = it->second;
+  if (group.cancelled) {
+    return;
+  }
+  if (group.first_packet_seconds < 0.0) {
+    group.first_packet_seconds = group.timer.seconds();
+  }
+  if (final) {
+    group.result_bytes += msg.payload.size();
+  } else {
+    ++group.partial_packets;
+  }
+  // Translate the internal id back to the client's own request id: the
+  // id is the first u64 of the serialized FragmentHeader.
+  const std::uint64_t client_request = group.request.request_id;
+  std::memcpy(msg.payload.data(), &client_request, sizeof(client_request));
+  send_to_client(group.client, final ? kTagFinal : kTagPartial, std::move(msg.payload));
+}
+
+void Scheduler::handle_done(comm::Message& msg) {
+  auto report = WorkerReport::deserialize(msg.payload);
+  auto it = groups_.find(report.request_id);
+  if (it == groups_.end()) {
+    VIRA_WARN("scheduler") << "done report for unknown request " << report.request_id;
+    free_.insert(report.rank);
+    return;
+  }
+  Group& group = it->second;
+  if (!report.success) {
+    group.failed = true;
+    if (group.error.empty()) {
+      group.error = report.error;
+    }
+  }
+  for (const auto& [phase, seconds] : report.phase_seconds) {
+    group.phase_seconds[phase] += seconds;
+  }
+  free_.insert(report.rank);
+  if (--group.pending == 0) {
+    finish_group(report.request_id);
+  }
+}
+
+void Scheduler::handle_error(comm::Message& msg) {
+  const auto request_id = msg.payload.read<std::uint64_t>();
+  auto it = groups_.find(request_id);
+  if (it != groups_.end()) {
+    it->second.failed = true;
+    it->second.error = msg.payload.read_string();
+  }
+}
+
+void Scheduler::handle_progress(comm::Message& msg) {
+  const auto request_id = msg.payload.read<std::uint64_t>();
+  const double fraction = msg.payload.read<double>();
+  auto it = groups_.find(request_id);
+  if (it == groups_.end() || it->second.cancelled) {
+    return;
+  }
+  util::ByteBuffer payload;
+  payload.write<std::uint64_t>(it->second.request.request_id);
+  payload.write<double>(fraction);
+  send_to_client(it->second.client, kTagProgress, std::move(payload));
+}
+
+void Scheduler::finish_group(std::uint64_t internal_id) {
+  auto it = groups_.find(internal_id);
+  Group& group = it->second;
+
+  CommandStats stats;
+  stats.request_id = group.request.request_id;
+  stats.success = !group.failed;
+  stats.error = group.error;
+  stats.total_runtime = group.timer.seconds();
+  stats.latency = group.first_packet_seconds >= 0.0 ? group.first_packet_seconds
+                                                    : stats.total_runtime;
+  stats.partial_packets = group.partial_packets;
+  stats.result_bytes = group.result_bytes;
+  stats.workers = static_cast<int>(group.ranks.size());
+  stats.phase_seconds = group.phase_seconds;
+
+  if (group.failed) {
+    util::ByteBuffer error_payload;
+    error_payload.write<std::uint64_t>(group.request.request_id);
+    error_payload.write_string(group.error);
+    send_to_client(group.client, kTagError, std::move(error_payload));
+  }
+  util::ByteBuffer payload;
+  stats.serialize(payload);
+  send_to_client(group.client, kTagComplete, std::move(payload));
+
+  VIRA_DEBUG("scheduler") << "request " << group.request.request_id << " (client "
+                          << group.client << ") finished in " << stats.total_runtime
+                          << "s (latency " << stats.latency << "s)";
+  by_client_.erase(std::make_pair(group.client, group.request.request_id));
+  groups_.erase(it);
+}
+
+void Scheduler::dispatch_pending() {
+  while (!pending_.empty()) {
+    const auto& [next, client] = pending_.front();
+    const int total = worker_count_;
+    int wanted = static_cast<int>(next.params.get_int("workers", 0));
+    if (wanted <= 0 || wanted > total) {
+      wanted = total;
+    }
+    if (static_cast<int>(free_.size()) < wanted) {
+      return;  // wait for workers to free up
+    }
+    auto [request, client_index] = std::move(pending_.front());
+    pending_.pop_front();
+    start_group(std::move(request), client_index);
+  }
+}
+
+void Scheduler::start_group(CommandRequest request, std::size_t client) {
+  const int total = worker_count_;
+  int wanted = static_cast<int>(request.params.get_int("workers", 0));
+  if (wanted <= 0 || wanted > total) {
+    wanted = total;
+  }
+
+  const std::uint64_t internal_id = next_internal_id_++;
+
+  Group group;
+  group.request = request;
+  group.client = client;
+  for (auto it = free_.begin(); it != free_.end() && static_cast<int>(group.ranks.size()) < wanted;) {
+    group.ranks.push_back(*it);
+    it = free_.erase(it);
+  }
+  group.master = group.ranks.front();
+  group.pending = static_cast<int>(group.ranks.size());
+  group.timer.restart();
+
+  ExecuteOrder order;
+  order.request_id = internal_id;  // workers talk in internal ids
+  order.command = request.command;
+  order.params = request.params;
+  order.group_ranks.assign(group.ranks.begin(), group.ranks.end());
+  order.master_rank = group.master;
+
+  VIRA_DEBUG("scheduler") << "request " << request.request_id << " (client " << client
+                          << ") -> group of " << group.ranks.size() << " workers (master "
+                          << group.master << ")";
+
+  for (const int rank : group.ranks) {
+    util::ByteBuffer payload;
+    order.serialize(payload);
+    comm_.send(rank, kTagExecute, std::move(payload));
+  }
+  by_client_[std::make_pair(client, request.request_id)] = internal_id;
+  groups_.emplace(internal_id, std::move(group));
+}
+
+}  // namespace vira::core

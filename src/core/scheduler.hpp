@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The Viracocha scheduler (paper Sec. 3, Fig. 2).
+///
+/// "Whenever the user requires a new CFD feature, a command is sent from
+/// ViSTA FlowLib to the scheduler of Viracocha. As soon as enough processes
+/// (called workers) are available, they form a work group and a new
+/// parallel post-processing task is started."
+///
+/// Single thread, two inputs: the client link (submissions, cancels) and
+/// the rank transport (worker traffic). It forms work groups, forwards
+/// streamed fragments to the client as they arrive, measures per-request
+/// total runtime and latency on the server side (exactly where the paper
+/// measured), and frees workers when every group member reported done.
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <utility>
+#include <vector>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "comm/client_link.hpp"
+#include "comm/communicator.hpp"
+#include "dms/data_server.hpp"
+#include "core/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace vira::core {
+
+class Scheduler {
+ public:
+  Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count);
+
+  /// Attaches an additional client connection (multiple visualization
+  /// hosts may be served concurrently; results are routed back to the
+  /// client that submitted the request). Thread-safe.
+  void attach_client(std::shared_ptr<comm::ClientLink> link);
+
+  /// Number of live client connections (closed links are pruned lazily).
+  std::size_t client_count() const;
+
+  /// Enables servicing of message-based DMS traffic (RemoteServerApi):
+  /// the scheduler answers strategy/naming requests against this server.
+  void set_data_server(std::shared_ptr<dms::DataServer> server) {
+    data_server_ = std::move(server);
+  }
+
+  /// Blocks servicing requests until stop(). Sends kTagShutdown to all
+  /// workers on the way out.
+  void run();
+  void stop();
+
+  /// Diagnostics.
+  std::size_t free_workers() const;
+  std::size_t queued_requests() const;
+
+ private:
+  struct Group {
+    CommandRequest request;
+    std::size_t client = 0;  ///< index of the submitting client
+    std::vector<int> ranks;
+    int master = -1;
+    int pending = 0;  ///< workers that have not reported done yet
+    bool failed = false;
+    std::string error;
+    bool cancelled = false;
+    util::WallTimer timer;
+    double first_packet_seconds = -1.0;
+    std::uint64_t partial_packets = 0;
+    std::uint64_t result_bytes = 0;
+    std::map<std::string, double> phase_seconds;
+  };
+
+  void poll_clients();
+  void poll_workers();
+  void dispatch_pending();
+  void start_group(CommandRequest request, std::size_t client);
+  void finish_group(std::uint64_t request_id);
+  void send_to_client(std::size_t client, int tag, util::ByteBuffer payload);
+
+  void handle_stream(comm::Message& msg, bool final);
+  void handle_done(comm::Message& msg);
+  void handle_error(comm::Message& msg);
+  void handle_progress(comm::Message& msg);
+
+  comm::Communicator comm_;
+  int worker_count_;
+  std::atomic<bool> running_{false};
+  std::shared_ptr<dms::DataServer> data_server_;
+
+  mutable std::mutex client_mutex_;
+  std::vector<std::shared_ptr<comm::ClientLink>> clients_;
+
+  std::set<int> free_;  // free worker ranks
+  /// (request, submitting client index)
+  std::deque<std::pair<CommandRequest, std::size_t>> pending_;
+  /// Keyed by scheduler-internal request id (client ids may collide).
+  std::map<std::uint64_t, Group> groups_;
+  /// (client index, client request id) -> internal id, for cancels.
+  std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t> by_client_;
+  std::uint64_t next_internal_id_ = 1;
+};
+
+}  // namespace vira::core

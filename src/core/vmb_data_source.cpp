@@ -1,0 +1,109 @@
+#include "core/vmb_data_source.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace vira::core {
+
+const grid::DatasetReader& VmbDataSource::reader(const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = readers_.find(dir);
+  if (it == readers_.end()) {
+    it = readers_.emplace(dir, std::make_unique<grid::DatasetReader>(dir)).first;
+  }
+  return *it->second;
+}
+
+const grid::DatasetMeta& VmbDataSource::meta(const std::string& dir) const {
+  return reader(dir).meta();
+}
+
+std::pair<int, int> VmbDataSource::step_block(const dms::DataItemName& name) {
+  if (name.type != "block") {
+    throw std::invalid_argument("VmbDataSource: unsupported item type '" + name.type + "'");
+  }
+  return {static_cast<int>(name.params.get_int("step", -1)),
+          static_cast<int>(name.params.get_int("block", -1))};
+}
+
+void VmbDataSource::apply_delay(std::uint64_t bytes) const {
+  if (delay_us_per_mb_ > 0.0) {
+    const double us = delay_us_per_mb_ * static_cast<double>(bytes) / (1024.0 * 1024.0);
+    std::this_thread::sleep_for(std::chrono::microseconds(static_cast<long>(us)));
+  }
+}
+
+util::ByteBuffer VmbDataSource::load(const dms::DataItemName& name) {
+  const auto [step, block] = step_block(name);
+  auto bytes = reader(name.source).read_block_bytes(step, block);
+  apply_delay(bytes.size());
+  return bytes;
+}
+
+std::uint64_t VmbDataSource::item_bytes(const dms::DataItemName& name) const {
+  const auto [step, block] = step_block(name);
+  const auto& meta_ref = reader(name.source).meta();
+  return meta_ref.steps.at(static_cast<std::size_t>(step))
+      .blocks.at(static_cast<std::size_t>(block))
+      .size;
+}
+
+std::uint64_t VmbDataSource::file_bytes(const dms::DataItemName& name) const {
+  const auto [step, block] = step_block(name);
+  (void)block;
+  const auto& step_info = reader(name.source).meta().steps.at(static_cast<std::size_t>(step));
+  std::uint64_t total = 0;
+  for (const auto& info : step_info.blocks) {
+    total += info.size;
+  }
+  return total;
+}
+
+std::string VmbDataSource::file_key(const dms::DataItemName& name) const {
+  const auto [step, block] = step_block(name);
+  (void)block;
+  return name.source + "/" +
+         reader(name.source).meta().steps.at(static_cast<std::size_t>(step)).filename;
+}
+
+std::vector<std::pair<dms::DataItemName, util::ByteBuffer>> VmbDataSource::load_file(
+    const dms::DataItemName& name) {
+  const auto [step, block] = step_block(name);
+  (void)block;
+  const auto& ds = reader(name.source);
+  std::vector<std::pair<dms::DataItemName, util::ByteBuffer>> items;
+  const auto& step_info = ds.meta().steps.at(static_cast<std::size_t>(step));
+  items.reserve(step_info.blocks.size());
+  for (std::size_t b = 0; b < step_info.blocks.size(); ++b) {
+    auto bytes = ds.read_block_bytes(step, static_cast<int>(b));
+    apply_delay(bytes.size());
+    items.emplace_back(dms::block_item(name.source, step, static_cast<int>(b)),
+                       std::move(bytes));
+  }
+  return items;
+}
+
+dms::SuccessorFn make_block_successor(dms::NameResolver& resolver, int blocks_per_step,
+                                      int step_count, bool wrap_steps) {
+  return [&resolver, blocks_per_step, step_count,
+          wrap_steps](dms::ItemId id) -> std::optional<dms::ItemId> {
+    const auto name = resolver.reverse(id);
+    if (!name || name->type != "block") {
+      return std::nullopt;
+    }
+    int step = static_cast<int>(name->params.get_int("step", 0));
+    int block = static_cast<int>(name->params.get_int("block", 0)) + 1;
+    if (block >= blocks_per_step) {
+      if (!wrap_steps) {
+        return std::nullopt;
+      }
+      block = 0;
+      if (++step >= step_count) {
+        return std::nullopt;
+      }
+    }
+    return resolver.resolve(dms::block_item(name->source, step, block));
+  };
+}
+
+}  // namespace vira::core

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file vmb_data_source.hpp
+/// CFD manipulation methods: the DataSource over .vmb multi-block datasets.
+///
+/// This is the application-layer piece the DMS design deliberately leaves
+/// open (paper Sec. 4): it knows the .vmb layout, so "block" items resolve
+/// to single-block byte-range reads, and a collective load pulls a whole
+/// time-step file. Dataset readers are cached per directory (the index is
+/// read once).
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dms/data_source.hpp"
+#include "dms/name_service.hpp"
+#include "dms/prefetcher.hpp"
+#include "grid/dataset_io.hpp"
+
+namespace vira::core {
+
+class VmbDataSource final : public dms::DataSource {
+ public:
+  util::ByteBuffer load(const dms::DataItemName& name) override;
+  std::uint64_t item_bytes(const dms::DataItemName& name) const override;
+  std::uint64_t file_bytes(const dms::DataItemName& name) const override;
+  std::string file_key(const dms::DataItemName& name) const override;
+  std::vector<std::pair<dms::DataItemName, util::ByteBuffer>> load_file(
+      const dms::DataItemName& name) override;
+
+  /// Cached dataset metadata for `dir` (also used by commands via the
+  /// context hook).
+  const grid::DatasetMeta& meta(const std::string& dir) const;
+
+  /// Optional artificial per-load delay (benchmarks use it to emulate a
+  /// slower storage tier than the build machine's SSD).
+  void set_read_delay_us_per_mb(double us) { delay_us_per_mb_ = us; }
+
+ private:
+  const grid::DatasetReader& reader(const std::string& dir) const;
+  static std::pair<int, int> step_block(const dms::DataItemName& name);
+  void apply_delay(std::uint64_t bytes) const;
+
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, std::unique_ptr<grid::DatasetReader>> readers_;
+  double delay_us_per_mb_ = 0.0;
+};
+
+/// The "next block" relation in file order (paper Sec. 4.2: "the simple
+/// approach maintains the order of files a data set is stored"): block b →
+/// block b+1 of the same time step; optionally wraps into the next step's
+/// block 0 (useful for time-marching commands).
+dms::SuccessorFn make_block_successor(dms::NameResolver& resolver, int blocks_per_step,
+                                      int step_count, bool wrap_steps = false);
+
+}  // namespace vira::core

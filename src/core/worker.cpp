@@ -1,0 +1,97 @@
+#include "core/worker.hpp"
+
+#include "util/log.hpp"
+
+namespace vira::core {
+
+Worker::Worker(std::shared_ptr<comm::Communicator> comm, std::shared_ptr<dms::DataProxy> proxy,
+               std::shared_ptr<VmbDataSource> source, const CommandRegistry* registry)
+    : comm_(std::move(comm)),
+      proxy_(std::move(proxy)),
+      source_(std::move(source)),
+      registry_(registry != nullptr ? registry : &CommandRegistry::global()) {
+  if (!comm_) {
+    throw std::invalid_argument("Worker: communicator required");
+  }
+}
+
+void Worker::run() {
+  VIRA_DEBUG("worker") << "rank " << comm_->rank() << " entering service loop";
+  try {
+    // Receive only control tags: anything else (e.g. a DMS reply destined
+    // for the proxy's prefetch thread) stays buffered for its addressee.
+    while (true) {
+      if (comm_->try_recv(comm::kAnySource, kTagShutdown, std::chrono::milliseconds(0))) {
+        break;
+      }
+      auto msg = comm_->try_recv(comm::kAnySource, kTagExecute, std::chrono::milliseconds(50));
+      if (msg) {
+        execute_order(ExecuteOrder::deserialize(msg->payload));
+      }
+    }
+  } catch (const comm::TransportClosed&) {
+    // Orderly teardown path.
+  }
+  VIRA_DEBUG("worker") << "rank " << comm_->rank() << " left service loop";
+}
+
+void Worker::execute_order(ExecuteOrder order) {
+  const std::uint64_t request_id = order.request_id;
+  std::uint32_t sequence = 0;
+
+  CommandContext::Hooks hooks;
+  hooks.stream_partial = [this, request_id, &sequence](util::ByteBuffer fragment) {
+    util::ByteBuffer packet;
+    FragmentHeader header{request_id, comm_->rank(), sequence++};
+    header.serialize(packet);
+    packet.write<std::uint64_t>(fragment.size());
+    packet.write_raw(fragment.data(), fragment.size());
+    comm_->send(0, kTagStream, std::move(packet));
+  };
+  hooks.send_final = [this, request_id, &sequence](util::ByteBuffer result) {
+    util::ByteBuffer packet;
+    FragmentHeader header{request_id, comm_->rank(), sequence++};
+    header.serialize(packet);
+    packet.write<std::uint64_t>(result.size());
+    packet.write_raw(result.data(), result.size());
+    comm_->send(0, kTagFinalResult, std::move(packet));
+  };
+  hooks.report_progress = [this, request_id](double fraction) {
+    util::ByteBuffer packet;
+    packet.write<std::uint64_t>(request_id);
+    packet.write<double>(fraction);
+    comm_->send(0, kTagProgressUp, std::move(packet));
+  };
+  hooks.dataset_meta = [this](const std::string& dir) -> const grid::DatasetMeta& {
+    return source_->meta(dir);
+  };
+
+  std::vector<int> group_ranks(order.group_ranks.begin(), order.group_ranks.end());
+  CommandContext context(request_id, order.params, comm_.get(), std::move(group_ranks),
+                         order.master_rank, proxy_.get(), std::move(hooks));
+
+  WorkerReport report;
+  report.request_id = request_id;
+  report.rank = comm_->rank();
+  try {
+    auto command = registry_->create(order.command);
+    VIRA_DEBUG("worker") << "rank " << comm_->rank() << " executing " << order.command
+                         << " (request " << request_id << ")";
+    command->execute(context);
+    context.phases().stop();
+    report.success = true;
+  } catch (const std::exception& e) {
+    context.phases().stop();
+    report.success = false;
+    report.error = e.what();
+    VIRA_ERROR("worker") << "rank " << comm_->rank() << " command " << order.command
+                         << " failed: " << e.what();
+  }
+  report.phase_seconds = context.phases().phases();
+
+  util::ByteBuffer payload;
+  report.serialize(payload);
+  comm_->send(0, kTagWorkerDone, std::move(payload));
+}
+
+}  // namespace vira::core

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file worker.hpp
+/// Worker process of the middle layer (paper Sec. 3).
+///
+/// A worker blocks on its communicator until the scheduler sends an
+/// ExecuteOrder, instantiates the named command from the registry, runs it
+/// with a fully wired CommandContext, and reports completion (with its
+/// phase breakdown) back to the scheduler. Streamed fragments and final
+/// results are relayed through the scheduler to the client link.
+
+#include <memory>
+
+#include "comm/communicator.hpp"
+#include "core/command.hpp"
+#include "core/protocol.hpp"
+#include "core/vmb_data_source.hpp"
+#include "dms/data_proxy.hpp"
+
+namespace vira::core {
+
+class Worker {
+ public:
+  /// `comm` is shared so the DMS's RemoteServerApi (if configured) can use
+  /// the same rank endpoint from the proxy's prefetch thread.
+  Worker(std::shared_ptr<comm::Communicator> comm, std::shared_ptr<dms::DataProxy> proxy,
+         std::shared_ptr<VmbDataSource> source, const CommandRegistry* registry);
+
+  /// Blocks until shutdown (kTagShutdown or transport closed).
+  void run();
+
+  dms::DataProxy& proxy() { return *proxy_; }
+  int rank() const { return comm_->rank(); }
+
+ private:
+  void execute_order(ExecuteOrder order);
+
+  std::shared_ptr<comm::Communicator> comm_;
+  std::shared_ptr<dms::DataProxy> proxy_;
+  std::shared_ptr<VmbDataSource> source_;
+  const CommandRegistry* registry_;
+};
+
+}  // namespace vira::core

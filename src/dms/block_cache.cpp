@@ -1,0 +1,133 @@
+#include "dms/block_cache.hpp"
+
+#include <stdexcept>
+
+namespace vira::dms {
+
+BlockCache::BlockCache(std::uint64_t capacity_bytes, std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity_bytes), policy_(std::move(policy)) {
+  if (!policy_) {
+    throw std::invalid_argument("BlockCache: null policy");
+  }
+}
+
+Blob BlockCache::get(ItemId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  policy_->on_access(id);
+  return it->second.blob;
+}
+
+Blob BlockCache::peek(ItemId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  return it != entries_.end() ? it->second.blob : nullptr;
+}
+
+bool BlockCache::contains(ItemId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(id) > 0;
+}
+
+std::vector<BlockCache::Evicted> BlockCache::put(ItemId id, Blob blob, bool* inserted) {
+  if (!blob) {
+    throw std::invalid_argument("BlockCache::put: null blob");
+  }
+  std::vector<Evicted> evicted;
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  auto existing = entries_.find(id);
+  if (existing != entries_.end()) {
+    policy_->on_access(id);
+    if (inserted != nullptr) {
+      *inserted = false;
+    }
+    return evicted;
+  }
+
+  const std::uint64_t bytes = blob->size();
+  if (bytes > capacity_) {
+    if (inserted != nullptr) {
+      *inserted = false;  // cannot ever fit
+    }
+    return evicted;
+  }
+
+  while (used_ + bytes > capacity_) {
+    auto victim = policy_->victim([&](ItemId candidate) {
+      auto it = entries_.find(candidate);
+      return it != entries_.end() && it->second.pins == 0;
+    });
+    if (!victim) {
+      // Everything pinned: refuse the insert rather than overflow.
+      if (inserted != nullptr) {
+        *inserted = false;
+      }
+      return evicted;
+    }
+    auto victim_it = entries_.find(*victim);
+    used_ -= victim_it->second.blob->size();
+    evicted.push_back(Evicted{*victim, std::move(victim_it->second.blob)});
+    entries_.erase(victim_it);
+    policy_->on_erase(*victim);
+  }
+
+  entries_.emplace(id, Entry{std::move(blob), 0});
+  used_ += bytes;
+  policy_->on_insert(id);
+  if (inserted != nullptr) {
+    *inserted = true;
+  }
+  return evicted;
+}
+
+void BlockCache::erase(ItemId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    used_ -= it->second.blob->size();
+    entries_.erase(it);
+    policy_->on_erase(id);
+  }
+}
+
+void BlockCache::pin(ItemId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++it->second.pins;
+  }
+}
+
+void BlockCache::unpin(ItemId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it != entries_.end() && it->second.pins > 0) {
+    --it->second.pins;
+  }
+}
+
+std::uint64_t BlockCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::size_t BlockCache::item_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<ItemId> BlockCache::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ItemId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace vira::dms

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file block_cache.hpp
+/// Capacity-bounded in-memory item cache (the DMS primary cache).
+///
+/// Eviction order is delegated to a ReplacementPolicy; items can be pinned
+/// while a command is actively working on them so a concurrent prefetch
+/// cannot evict the block under the algorithm's feet. put() returns what
+/// was evicted so the TwoTierCache can demote those blobs to disk.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dms/cache_policy.hpp"
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+class BlockCache {
+ public:
+  BlockCache(std::uint64_t capacity_bytes, std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Returns the blob and records an access, or nullptr on miss.
+  Blob get(ItemId id);
+
+  /// Peek without touching the replacement state (used by peer transfer).
+  Blob peek(ItemId id) const;
+
+  bool contains(ItemId id) const;
+
+  struct Evicted {
+    ItemId id;
+    Blob blob;
+  };
+
+  /// Inserts (or refreshes) an item, evicting as needed to respect
+  /// capacity. Items larger than the whole cache are rejected (returned in
+  /// the eviction list untouched is wrong — the blob is simply not cached;
+  /// `inserted` tells the caller). Pinned items are never evicted.
+  std::vector<Evicted> put(ItemId id, Blob blob, bool* inserted = nullptr);
+
+  void erase(ItemId id);
+
+  /// Pin/unpin; pins nest.
+  void pin(ItemId id);
+  void unpin(ItemId id);
+
+  std::uint64_t size_bytes() const;
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::size_t item_count() const;
+
+  /// All resident ids (diagnostics / peer-transfer registry seeding).
+  std::vector<ItemId> resident() const;
+
+  const ReplacementPolicy& policy() const { return *policy_; }
+
+ private:
+  struct Entry {
+    Blob blob;
+    int pins = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<ItemId, Entry> entries_;
+};
+
+}  // namespace vira::dms

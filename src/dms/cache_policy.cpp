@@ -1,0 +1,233 @@
+#include "dms/cache_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vira::dms {
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+void LruPolicy::on_insert(ItemId id) {
+  if (where_.count(id) > 0) {
+    touch(id);
+    return;
+  }
+  order_.push_back(id);
+  where_[id] = std::prev(order_.end());
+}
+
+void LruPolicy::touch(ItemId id) {
+  auto it = where_.find(id);
+  if (it == where_.end()) {
+    return;
+  }
+  order_.splice(order_.end(), order_, it->second);
+  it->second = std::prev(order_.end());
+}
+
+void LruPolicy::on_access(ItemId id) { touch(id); }
+
+void LruPolicy::on_erase(ItemId id) {
+  auto it = where_.find(id);
+  if (it != where_.end()) {
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+}
+
+std::optional<ItemId> LruPolicy::victim(const EvictableFn& evictable) const {
+  for (const ItemId id : order_) {  // front = least recently used
+    if (evictable(id)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// LFU
+// ---------------------------------------------------------------------------
+
+void LfuPolicy::on_insert(ItemId id) {
+  auto& entry = entries_[id];
+  entry.count += 1;
+  entry.last_use = ++clock_;
+}
+
+void LfuPolicy::on_access(ItemId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  it->second.count += 1;
+  it->second.last_use = ++clock_;
+}
+
+void LfuPolicy::on_erase(ItemId id) { entries_.erase(id); }
+
+std::optional<ItemId> LfuPolicy::victim(const EvictableFn& evictable) const {
+  std::optional<ItemId> best;
+  std::uint64_t best_count = 0;
+  std::uint64_t best_last = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (!evictable(id)) {
+      continue;
+    }
+    if (!best || entry.count < best_count ||
+        (entry.count == best_count && entry.last_use < best_last)) {
+      best = id;
+      best_count = entry.count;
+      best_last = entry.last_use;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// FBR
+// ---------------------------------------------------------------------------
+
+FbrPolicy::FbrPolicy(Params params) : params_(params) {
+  if (params_.new_fraction < 0.0 || params_.old_fraction < 0.0 ||
+      params_.new_fraction + params_.old_fraction > 1.0) {
+    throw std::invalid_argument("FbrPolicy: section fractions invalid");
+  }
+  if (params_.max_count < 2) {
+    throw std::invalid_argument("FbrPolicy: max_count must be >= 2");
+  }
+}
+
+bool FbrPolicy::in_new_section(const Entry& entry) const {
+  const auto new_count =
+      static_cast<std::size_t>(std::ceil(params_.new_fraction * static_cast<double>(stack_.size())));
+  std::size_t index = 0;
+  for (auto it = stack_.begin(); it != stack_.end() && index < new_count; ++it, ++index) {
+    if (it == entry.position) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FbrPolicy::old_section_start() const {
+  const auto old_count =
+      static_cast<std::size_t>(std::ceil(params_.old_fraction * static_cast<double>(stack_.size())));
+  return stack_.size() - std::min(old_count, stack_.size());
+}
+
+void FbrPolicy::maybe_age() {
+  bool needs_aging = false;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.count >= params_.max_count) {
+      needs_aging = true;
+      break;
+    }
+  }
+  if (needs_aging) {
+    for (auto& [id, entry] : entries_) {
+      entry.count = std::max<std::uint64_t>(1, entry.count / 2);
+    }
+  }
+}
+
+void FbrPolicy::touch(Entry& entry, ItemId id) {
+  stack_.erase(entry.position);
+  stack_.push_front(id);
+  entry.position = stack_.begin();
+  entry.last_use = ++clock_;
+}
+
+void FbrPolicy::on_insert(ItemId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    on_access(id);
+    return;
+  }
+  stack_.push_front(id);
+  Entry entry;
+  entry.position = stack_.begin();
+  entry.count = 1;
+  entry.last_use = ++clock_;
+  entries_.emplace(id, entry);
+}
+
+void FbrPolicy::on_access(ItemId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  // Count is bumped only when the item is re-referenced OUTSIDE the new
+  // section: references inside it are attributed to short-term locality.
+  if (!in_new_section(entry)) {
+    entry.count += 1;
+    maybe_age();
+  }
+  touch(entry, id);
+}
+
+void FbrPolicy::on_erase(ItemId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    stack_.erase(it->second.position);
+    entries_.erase(it);
+  }
+}
+
+std::optional<ItemId> FbrPolicy::victim(const EvictableFn& evictable) const {
+  const std::size_t start = old_section_start();
+  std::optional<ItemId> best;
+  std::uint64_t best_count = 0;
+  std::uint64_t best_last = 0;
+  std::size_t index = 0;
+  for (auto it = stack_.begin(); it != stack_.end(); ++it, ++index) {
+    if (index < start) {
+      continue;  // not in the old section
+    }
+    const ItemId id = *it;
+    if (!evictable(id)) {
+      continue;
+    }
+    const Entry& entry = entries_.at(id);
+    if (!best || entry.count < best_count ||
+        (entry.count == best_count && entry.last_use < best_last)) {
+      best = id;
+      best_count = entry.count;
+      best_last = entry.last_use;
+    }
+  }
+  if (best) {
+    return best;
+  }
+  // Old section exhausted (everything pinned): fall back to any evictable
+  // entry, least-recent first, so the cache can still make progress.
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (evictable(*it)) {
+      return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FbrPolicy::count_of(ItemId id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() ? it->second.count : 0;
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(const std::string& name) {
+  if (name == "lru" || name == "LRU") {
+    return std::make_unique<LruPolicy>();
+  }
+  if (name == "lfu" || name == "LFU") {
+    return std::make_unique<LfuPolicy>();
+  }
+  if (name == "fbr" || name == "FBR") {
+    return std::make_unique<FbrPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace vira::dms

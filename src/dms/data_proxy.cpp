@@ -1,0 +1,253 @@
+#include "dms/data_proxy.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace vira::dms {
+
+DataProxy::DataProxy(DataProxyConfig config, std::shared_ptr<ServerApi> server,
+                     std::shared_ptr<DataSource> source, std::shared_ptr<DmsStatistics> stats)
+    : config_(std::move(config)),
+      server_(std::move(server)),
+      source_(std::move(source)),
+      stats_(stats ? std::move(stats) : std::make_shared<DmsStatistics>()),
+      resolver_([this](const DataItemName& name) { return server_->intern(name); }) {
+  if (!server_ || !source_) {
+    throw std::invalid_argument("DataProxy: server and source required");
+  }
+  cache_ = std::make_unique<TwoTierCache>(config_.cache, stats_);
+  // Sequential prefetchers need a successor relation; until
+  // configure_prefetcher() installs one, stay with NullPrefetcher.
+  prefetcher_ = std::make_unique<NullPrefetcher>();
+  if (config_.async_prefetch) {
+    prefetch_thread_ = std::thread([this] { prefetch_worker(); });
+  }
+}
+
+DataProxy::~DataProxy() {
+  prefetch_queue_.close();
+  if (prefetch_thread_.joinable()) {
+    prefetch_thread_.join();
+  }
+}
+
+void DataProxy::configure_prefetcher(const std::string& kind, SuccessorFn successor) {
+  std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+  prefetcher_ = make_prefetcher(kind, std::move(successor));
+}
+
+void DataProxy::set_peer_fetch(PeerFetchFn fn) { peer_fetch_ = std::move(fn); }
+
+Blob DataProxy::request(const DataItemName& name) {
+  const ItemId id = resolver_.resolve(name);
+
+  // Fast path: cached (L1 or promoted from L2).
+  if (Blob blob = cache_->get(id)) {
+    {
+      std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+      prefetcher_->on_request(id, /*was_hit=*/true);
+    }
+    run_prefetch_suggestions();
+    return blob;
+  }
+
+  // Miss: load (deduplicated against concurrent loads of the same item).
+  Blob blob = load_item(id, name, /*from_prefetch=*/false);
+  {
+    std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+    prefetcher_->on_request(id, /*was_hit=*/false);
+  }
+  run_prefetch_suggestions();
+  return blob;
+}
+
+Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetch) {
+  // If someone else is loading this item, wait for them and use the cache.
+  {
+    std::unique_lock<std::mutex> lock(loading_mutex_);
+    while (loading_.count(id) > 0) {
+      loading_cv_.wait(lock);
+    }
+    if (Blob blob = cache_->peek(id)) {
+      return blob;
+    }
+    loading_.insert(id);
+  }
+
+  Blob blob;
+  try {
+    blob = execute_load(id, name, from_prefetch);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(loading_mutex_);
+    loading_.erase(id);
+    loading_cv_.notify_all();
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(loading_mutex_);
+    loading_.erase(id);
+  }
+  loading_cv_.notify_all();
+  return blob;
+}
+
+Blob DataProxy::execute_load(ItemId id, const DataItemName& name, bool from_prefetch) {
+  const std::uint64_t item_bytes = source_->item_bytes(name);
+  const std::uint64_t file_bytes = source_->file_bytes(name);
+  const std::string file_key = source_->file_key(name);
+
+  // Ask the central server which strategy to use (paper Sec. 4.3).
+  const auto decision = server_->choose_strategy(config_.proxy_id, id, item_bytes, file_bytes,
+                                                 file_key);
+
+  util::WallTimer timer;
+  Blob blob;
+
+  if (decision.kind == StrategyKind::kPeerTransfer && peer_fetch_) {
+    blob = peer_fetch_(decision.peer, id);
+    if (blob) {
+      VIRA_TRACE("dms") << "proxy " << config_.proxy_id << " got item " << id << " from peer "
+                        << decision.peer;
+    }
+  }
+
+  if (!blob && decision.kind == StrategyKind::kCollectiveIo) {
+    server_->begin_file_read(file_key);
+    auto items = source_->load_file(name);
+    server_->end_file_read(file_key);
+    for (auto& [item_name, buffer] : items) {
+      const ItemId sibling = resolver_.resolve(item_name);
+      Blob sibling_blob = make_blob(std::move(buffer));
+      if (sibling == id) {
+        blob = sibling_blob;
+      }
+      cache_->put(sibling, sibling_blob, /*from_prefetch=*/sibling != id);
+      server_->report_insert(config_.proxy_id, sibling);
+    }
+  }
+
+  if (!blob) {
+    // Direct disk (also the fallback when a peer raced away or the
+    // collective read failed to yield the item).
+    server_->begin_file_read(file_key);
+    util::ByteBuffer buffer;
+    try {
+      buffer = source_->load(name);
+    } catch (...) {
+      server_->end_file_read(file_key);
+      throw;
+    }
+    server_->end_file_read(file_key);
+    blob = make_blob(std::move(buffer));
+  }
+
+  const double seconds = timer.seconds();
+  stats_->record_load(blob->size(), seconds);
+  if (seconds > 0.0) {
+    server_->observe_disk_bandwidth(static_cast<double>(blob->size()) / seconds);
+  }
+
+  cache_->put(id, blob, from_prefetch);
+  server_->report_insert(config_.proxy_id, id);
+  return blob;
+}
+
+void DataProxy::run_prefetch_suggestions() {
+  std::vector<ItemId> suggestions;
+  {
+    std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+    suggestions = prefetcher_->suggest(config_.prefetch_depth);
+  }
+  for (const ItemId id : suggestions) {
+    if (cache_->contains_l1(id)) {
+      continue;  // already resident
+    }
+    stats_->record_prefetch_issued();
+    if (config_.async_prefetch) {
+      {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        ++prefetch_inflight_;
+      }
+      if (!prefetch_queue_.push(id)) {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        --prefetch_inflight_;
+      }
+    } else {
+      prefetch_one(id);
+    }
+  }
+}
+
+void DataProxy::code_prefetch(const DataItemName& name) {
+  const ItemId id = resolver_.resolve(name);
+  if (cache_->contains_l1(id)) {
+    return;
+  }
+  stats_->record_prefetch_issued();
+  if (config_.async_prefetch) {
+    {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      ++prefetch_inflight_;
+    }
+    if (!prefetch_queue_.push(id)) {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      --prefetch_inflight_;
+    }
+  } else {
+    prefetch_one(id);
+  }
+}
+
+void DataProxy::prefetch_worker() {
+  while (true) {
+    auto id = prefetch_queue_.pop();
+    if (!id) {
+      break;  // closed
+    }
+    try {
+      prefetch_one(*id);
+    } catch (const std::exception& e) {
+      VIRA_WARN("dms") << "prefetch of item " << *id << " failed: " << e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      --prefetch_inflight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void DataProxy::prefetch_one(ItemId id) {
+  if (cache_->contains_l1(id)) {
+    return;
+  }
+  const auto name = resolver_.reverse(id);
+  if (!name) {
+    const auto looked_up = server_->lookup(id);
+    if (!looked_up) {
+      return;
+    }
+    (void)load_item(id, *looked_up, /*from_prefetch=*/true);
+    return;
+  }
+  (void)load_item(id, *name, /*from_prefetch=*/true);
+}
+
+void DataProxy::quiesce() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] { return prefetch_inflight_ == 0; });
+}
+
+void DataProxy::clear_cache() {
+  quiesce();
+  for (const ItemId id : cache_->l1().resident()) {
+    server_->report_evict(config_.proxy_id, id);
+  }
+  cache_->clear();
+}
+
+}  // namespace vira::dms

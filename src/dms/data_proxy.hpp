@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file data_proxy.hpp
+/// Per-node data proxy (paper Sec. 4.1).
+///
+/// "Every computing node owns a data proxy that is responsible for the
+/// retrieval of data asked for by a command. Proxies act like a black box
+/// with the possibility to change system parameters from outside but not
+/// the result of a data request."
+///
+/// request() is the whole story from a command's point of view: cache hit
+/// or — after asking the data server which loading strategy to use — a
+/// load from disk, a peer proxy, or a collective file read. Around that
+/// core the proxy runs the system prefetcher on a background thread
+/// (suggestions from Sec. 4.2) and accepts user-initiated code prefetches.
+/// In-flight loads are deduplicated so a demand request never re-reads a
+/// block the prefetch thread is already fetching.
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "dms/data_source.hpp"
+#include "dms/name_service.hpp"
+#include "dms/server_api.hpp"
+#include "dms/prefetcher.hpp"
+#include "dms/statistics.hpp"
+#include "dms/two_tier_cache.hpp"
+#include "util/blocking_queue.hpp"
+
+namespace vira::dms {
+
+struct DataProxyConfig {
+  int proxy_id = 0;
+  TwoTierCache::Config cache;
+  std::string prefetcher = "obl";
+  std::size_t prefetch_depth = 2;   ///< max suggestions executed per request
+  bool async_prefetch = true;       ///< run prefetches on a background thread
+};
+
+/// Fetches an item from another proxy's cache; null when unavailable.
+/// Wired by the runtime ("proxies are able to communicate and exchange
+/// data across work group boundaries").
+using PeerFetchFn = std::function<Blob(int peer, ItemId id)>;
+
+class DataProxy {
+ public:
+  DataProxy(DataProxyConfig config, std::shared_ptr<ServerApi> server,
+            std::shared_ptr<DataSource> source,
+            std::shared_ptr<DmsStatistics> stats = nullptr);
+  ~DataProxy();
+  DataProxy(const DataProxy&) = delete;
+  DataProxy& operator=(const DataProxy&) = delete;
+
+  /// The one entry point commands use. Blocking; never returns null
+  /// (throws on unloadable items).
+  Blob request(const DataItemName& name);
+
+  /// User-initiated code prefetch (paper: "the worker command itself is
+  /// responsible to determine a suitable code location and a useful time
+  /// to invoke code prefetches"). Non-blocking when async.
+  void code_prefetch(const DataItemName& name);
+
+  /// Installs the successor relation used by the sequential prefetchers;
+  /// replaces the prefetcher configured at construction.
+  void configure_prefetcher(const std::string& kind, SuccessorFn successor);
+
+  void set_peer_fetch(PeerFetchFn fn);
+
+  /// Blocks until queued prefetches finished (tests, phase boundaries).
+  void quiesce();
+
+  /// Drops cached content (cold-start switch for the benches).
+  void clear_cache();
+
+  int id() const { return config_.proxy_id; }
+  TwoTierCache& cache() { return *cache_; }
+  DmsStatistics& stats() { return *stats_; }
+  NameResolver& resolver() { return resolver_; }
+  ServerApi& server() { return *server_; }
+
+ private:
+  Blob load_item(ItemId id, const DataItemName& name, bool from_prefetch);
+  Blob execute_load(ItemId id, const DataItemName& name, bool from_prefetch);
+  void run_prefetch_suggestions();
+  void prefetch_worker();
+  void prefetch_one(ItemId id);
+
+  DataProxyConfig config_;
+  std::shared_ptr<ServerApi> server_;
+  std::shared_ptr<DataSource> source_;
+  std::shared_ptr<DmsStatistics> stats_;
+  std::unique_ptr<TwoTierCache> cache_;
+  NameResolver resolver_;
+  PeerFetchFn peer_fetch_;
+
+  std::mutex prefetcher_mutex_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+
+  /// In-flight load deduplication.
+  std::mutex loading_mutex_;
+  std::condition_variable loading_cv_;
+  std::unordered_set<ItemId> loading_;
+
+  /// Background prefetch machinery.
+  util::BlockingQueue<ItemId> prefetch_queue_;
+  std::thread prefetch_thread_;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  int prefetch_inflight_ = 0;
+};
+
+}  // namespace vira::dms

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file data_source.hpp
+/// Application-layer "manipulation methods" (paper Sec. 4).
+///
+/// "Support of arbitrary data formats is given by dividing data and its
+/// manipulation methods. The DMS handles raw data without any information
+/// about its type or structure. For accessing this data, manipulation
+/// methods have to be implemented on the application layer, which may be
+/// used by the DMS for loading, saving, or transferring data."
+///
+/// A DataSource knows how to turn a DataItemName into bytes (and how big
+/// those bytes are, which the fitness function needs). The CFD
+/// implementation over .vmb datasets lives in core/vmb_data_source.hpp;
+/// tests use in-memory sources.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Reads exactly the item's bytes from backing storage (a "part of a
+  /// file" read). Throws on unknown items or I/O failure.
+  virtual util::ByteBuffer load(const DataItemName& name) = 0;
+
+  /// Size of the item's payload without loading it.
+  virtual std::uint64_t item_bytes(const DataItemName& name) const = 0;
+
+  /// Size of the physical file the item lives in (collective I/O cost).
+  virtual std::uint64_t file_bytes(const DataItemName& name) const = 0;
+
+  /// Key identifying that physical file (concurrency tracking).
+  virtual std::string file_key(const DataItemName& name) const = 0;
+
+  /// Collective read: loads the whole file and returns every item in it
+  /// (the requested one included). Default = just the single item.
+  virtual std::vector<std::pair<DataItemName, util::ByteBuffer>> load_file(
+      const DataItemName& name) {
+    std::vector<std::pair<DataItemName, util::ByteBuffer>> items;
+    items.emplace_back(name, load(name));
+    return items;
+  }
+};
+
+}  // namespace vira::dms

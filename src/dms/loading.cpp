@@ -1,0 +1,96 @@
+#include "dms/loading.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vira::dms {
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kDirectDisk:
+      return "direct-disk";
+    case StrategyKind::kPeerTransfer:
+      return "peer-transfer";
+    case StrategyKind::kCollectiveIo:
+      return "collective-io";
+  }
+  return "?";
+}
+
+double LoadStrategy::fitness(const LoadEnvironment& env, const LoadRequestInfo& request) const {
+  const double seconds = estimated_seconds(env, request);
+  if (!std::isfinite(seconds) || seconds <= 0.0) {
+    return 0.0;
+  }
+  return reliability(env) / seconds;
+}
+
+double DirectDiskStrategy::estimated_seconds(const LoadEnvironment& env,
+                                             const LoadRequestInfo& request) const {
+  // Concurrent readers of the same file share the disk head / link.
+  const double sharing = std::max(1, request.concurrent_same_file + 1);
+  const double bandwidth = env.disk_bandwidth / sharing;
+  return env.disk_latency + static_cast<double>(request.item_bytes) / bandwidth;
+}
+
+double PeerTransferStrategy::estimated_seconds(const LoadEnvironment& env,
+                                               const LoadRequestInfo& request) const {
+  if (!request.peer_has_item) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return env.peer_latency + static_cast<double>(request.item_bytes) / env.peer_bandwidth;
+}
+
+double CollectiveIoStrategy::estimated_seconds(const LoadEnvironment& env,
+                                               const LoadRequestInfo& request) const {
+  // A collective call only makes sense when several proxies want the same
+  // file right now; the whole file is read once and striped.
+  if (request.concurrent_same_file < 1 || request.file_bytes == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double readers = request.concurrent_same_file + 1;
+  // Without a parallel file system the "collective" read still serializes
+  // on one disk head, plus coordination overhead per participant — this is
+  // why the paper found it "of limited use in Viracocha" (Sec. 4.3).
+  const double coordination = 2e-3 * readers;
+  // With a parallel FS the stripes are read concurrently (aggregate
+  // bandwidth scales with participants); otherwise one head reads the whole
+  // file for everyone.
+  const double read_seconds = env.parallel_fs
+                                  ? static_cast<double>(request.file_bytes) /
+                                        (env.disk_bandwidth * readers)
+                                  : static_cast<double>(request.file_bytes) / env.disk_bandwidth;
+  return env.disk_latency + coordination + read_seconds;
+}
+
+FitnessSelector::FitnessSelector() {
+  strategies_.push_back(std::make_unique<DirectDiskStrategy>());
+  strategies_.push_back(std::make_unique<PeerTransferStrategy>());
+  strategies_.push_back(std::make_unique<CollectiveIoStrategy>());
+}
+
+std::vector<FitnessSelector::Scored> FitnessSelector::score(const LoadEnvironment& env,
+                                                            const LoadRequestInfo& request) const {
+  std::vector<Scored> scored;
+  scored.reserve(strategies_.size());
+  for (const auto& strategy : strategies_) {
+    scored.push_back(Scored{strategy->kind(), strategy->name(),
+                            strategy->fitness(env, request),
+                            strategy->estimated_seconds(env, request)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.fitness > b.fitness; });
+  return scored;
+}
+
+StrategyKind FitnessSelector::choose(const LoadEnvironment& env,
+                                     const LoadRequestInfo& request) const {
+  const auto scored = score(env, request);
+  if (scored.empty() || scored.front().fitness <= 0.0) {
+    return StrategyKind::kDirectDisk;
+  }
+  return scored.front().kind;
+}
+
+}  // namespace vira::dms

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file loading.hpp
+/// Loading strategies and adaptive selection (paper Sec. 4.3).
+///
+/// "The Viracocha-DMS provides a set of loading strategies. A centralized
+/// component located at the scheduler node decides on their usage. [...]
+/// This decision is made based on a fitness function that depends on one
+/// or more parameters like bandwidth, reliability, or latency."
+///
+/// Strategies here are *decision* objects: they score themselves for a
+/// request (fitness) and tell the proxy how to execute the load (kind).
+/// Execution lives in DataProxy, which owns the application-layer
+/// manipulation methods (DataSource) and the peer-fetch path.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+enum class StrategyKind {
+  kDirectDisk,    ///< read the item's byte range from its file
+  kPeerTransfer,  ///< copy from another proxy's cache
+  kCollectiveIo,  ///< one reader loads the whole file for all requesters
+};
+
+std::string to_string(StrategyKind kind);
+
+/// What the fitness function sees. Bandwidths in bytes/s, latencies in
+/// seconds, reliabilities in [0,1].
+struct LoadEnvironment {
+  double disk_bandwidth = 80e6;
+  double disk_latency = 8e-3;
+  double disk_reliability = 0.98;
+  double peer_bandwidth = 400e6;
+  double peer_latency = 0.5e-3;
+  double peer_reliability = 0.995;
+  bool parallel_fs = false;  ///< collective calls only help on a parallel FS
+};
+
+/// Per-request facts gathered by the server before deciding.
+struct LoadRequestInfo {
+  std::uint64_t item_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  int concurrent_same_file = 0;  ///< proxies currently reading the same file
+  bool peer_has_item = false;
+};
+
+class LoadStrategy {
+ public:
+  virtual ~LoadStrategy() = default;
+  virtual StrategyKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Expected completion time in seconds; +inf when inapplicable.
+  virtual double estimated_seconds(const LoadEnvironment& env,
+                                   const LoadRequestInfo& request) const = 0;
+
+  /// Fitness = reliability / estimated time; higher is better, <= 0 means
+  /// "do not use".
+  double fitness(const LoadEnvironment& env, const LoadRequestInfo& request) const;
+
+ protected:
+  virtual double reliability(const LoadEnvironment& env) const = 0;
+};
+
+class DirectDiskStrategy final : public LoadStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kDirectDisk; }
+  std::string name() const override { return "direct-disk"; }
+  double estimated_seconds(const LoadEnvironment& env,
+                           const LoadRequestInfo& request) const override;
+
+ protected:
+  double reliability(const LoadEnvironment& env) const override { return env.disk_reliability; }
+};
+
+class PeerTransferStrategy final : public LoadStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kPeerTransfer; }
+  std::string name() const override { return "peer-transfer"; }
+  double estimated_seconds(const LoadEnvironment& env,
+                           const LoadRequestInfo& request) const override;
+
+ protected:
+  double reliability(const LoadEnvironment& env) const override { return env.peer_reliability; }
+};
+
+class CollectiveIoStrategy final : public LoadStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kCollectiveIo; }
+  std::string name() const override { return "collective-io"; }
+  double estimated_seconds(const LoadEnvironment& env,
+                           const LoadRequestInfo& request) const override;
+
+ protected:
+  double reliability(const LoadEnvironment& env) const override { return env.disk_reliability; }
+};
+
+/// Scores every registered strategy and picks the fittest.
+class FitnessSelector {
+ public:
+  FitnessSelector();  ///< registers the three built-in strategies
+
+  struct Scored {
+    StrategyKind kind;
+    std::string name;
+    double fitness;
+    double estimated_seconds;
+  };
+
+  /// All strategies with their scores, best first.
+  std::vector<Scored> score(const LoadEnvironment& env, const LoadRequestInfo& request) const;
+
+  /// The winning strategy kind.
+  StrategyKind choose(const LoadEnvironment& env, const LoadRequestInfo& request) const;
+
+ private:
+  std::vector<std::unique_ptr<LoadStrategy>> strategies_;
+};
+
+}  // namespace vira::dms

@@ -1,0 +1,70 @@
+#include "dms/name_service.hpp"
+
+namespace vira::dms {
+
+ItemId NameService::intern(const DataItemName& name) {
+  const std::string key = name.canonical();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  const ItemId id = by_id_.size();
+  by_id_.push_back(name);
+  by_name_.emplace(key, id);
+  return id;
+}
+
+std::optional<DataItemName> NameService::lookup(ItemId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= by_id_.size()) {
+    return std::nullopt;
+  }
+  return by_id_[id];
+}
+
+std::optional<ItemId> NameService::find(const DataItemName& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name.canonical());
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::size_t NameService::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_id_.size();
+}
+
+ItemId NameResolver::resolve(const DataItemName& name) {
+  const std::string key = name.canonical();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = forward_.find(key);
+    if (it != forward_.end()) {
+      return it->second;
+    }
+  }
+  const ItemId id = resolve_(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  forward_.emplace(key, id);
+  backward_.emplace(id, name);
+  return id;
+}
+
+std::optional<DataItemName> NameResolver::reverse(ItemId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = backward_.find(id);
+  if (it == backward_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::size_t NameResolver::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return forward_.size();
+}
+
+}  // namespace vira::dms

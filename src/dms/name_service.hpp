@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file name_service.hpp
+/// Cluster-wide item naming (paper Sec. 4.1).
+///
+/// "While the data manager server contains a name server handling
+/// unambiguous identifiers, proxies include a name resolver that translates
+/// data item names to identifiers and vice versa."
+///
+/// The NameService lives at the scheduler node and owns the name↔id
+/// bijection; NameResolvers live at each proxy and memoize lookups so
+/// repeated requests do not round-trip.
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+/// Central authority. Thread-safe.
+class NameService {
+ public:
+  /// Returns the id for `name`, allocating one on first sight.
+  ItemId intern(const DataItemName& name);
+
+  /// Reverse lookup; nullopt for unknown ids.
+  std::optional<DataItemName> lookup(ItemId id) const;
+
+  /// Forward lookup without allocation; nullopt if never interned.
+  std::optional<ItemId> find(const DataItemName& name) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, ItemId> by_name_;
+  std::vector<DataItemName> by_id_;
+};
+
+/// Proxy-side memoizing resolver over any resolve function (a direct
+/// NameService call in-process, an RPC in a distributed deployment).
+class NameResolver {
+ public:
+  using ResolveFn = std::function<ItemId(const DataItemName&)>;
+
+  explicit NameResolver(ResolveFn resolve) : resolve_(std::move(resolve)) {}
+
+  ItemId resolve(const DataItemName& name);
+
+  /// Cached reverse mapping (only names this resolver has seen).
+  std::optional<DataItemName> reverse(ItemId id) const;
+
+  std::size_t cache_size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ResolveFn resolve_;
+  std::unordered_map<std::string, ItemId> forward_;
+  std::unordered_map<ItemId, DataItemName> backward_;
+};
+
+}  // namespace vira::dms

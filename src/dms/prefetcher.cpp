@@ -1,0 +1,171 @@
+#include "dms/prefetcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vira::dms {
+
+// ---------------------------------------------------------------------------
+// OBL
+// ---------------------------------------------------------------------------
+
+OblPrefetcher::OblPrefetcher(SuccessorFn successor, int lookahead)
+    : successor_(std::move(successor)), lookahead_(lookahead) {
+  if (!successor_) {
+    throw std::invalid_argument("OblPrefetcher: successor relation required");
+  }
+  if (lookahead_ < 1) {
+    throw std::invalid_argument("OblPrefetcher: lookahead must be >= 1");
+  }
+}
+
+void OblPrefetcher::on_request(ItemId id, bool) {
+  last_ = id;
+  fresh_ = true;
+}
+
+std::vector<ItemId> OblPrefetcher::suggest(std::size_t max_items) {
+  std::vector<ItemId> suggestions;
+  if (!fresh_ || !last_) {
+    return suggestions;
+  }
+  fresh_ = false;
+  std::optional<ItemId> cursor = last_;
+  for (int step = 0; step < lookahead_ && suggestions.size() < max_items; ++step) {
+    cursor = successor_(*cursor);
+    if (!cursor) {
+      break;
+    }
+    suggestions.push_back(*cursor);
+  }
+  return suggestions;
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch-on-miss
+// ---------------------------------------------------------------------------
+
+PrefetchOnMissPrefetcher::PrefetchOnMissPrefetcher(SuccessorFn successor)
+    : successor_(std::move(successor)) {
+  if (!successor_) {
+    throw std::invalid_argument("PrefetchOnMissPrefetcher: successor relation required");
+  }
+}
+
+void PrefetchOnMissPrefetcher::on_request(ItemId id, bool was_hit) {
+  if (!was_hit) {
+    armed_from_ = id;
+  }
+}
+
+std::vector<ItemId> PrefetchOnMissPrefetcher::suggest(std::size_t max_items) {
+  std::vector<ItemId> suggestions;
+  if (!armed_from_ || max_items == 0) {
+    return suggestions;
+  }
+  if (auto next = successor_(*armed_from_)) {
+    suggestions.push_back(*next);
+  }
+  armed_from_.reset();
+  return suggestions;
+}
+
+// ---------------------------------------------------------------------------
+// Markov
+// ---------------------------------------------------------------------------
+
+MarkovPrefetcher::MarkovPrefetcher(SuccessorFn fallback_successor, int order_hint)
+    : fallback_(std::move(fallback_successor)) {
+  (void)order_hint;  // first-order implementation (the paper's choice)
+}
+
+void MarkovPrefetcher::on_request(ItemId id, bool) {
+  if (previous_ && *previous_ != id) {
+    transitions_[*previous_][id] += 1;
+  }
+  previous_ = id;
+  last_ = id;
+  fresh_ = true;
+}
+
+std::vector<ItemId> MarkovPrefetcher::suggest(std::size_t max_items) {
+  std::vector<ItemId> suggestions;
+  if (!fresh_ || !last_ || max_items == 0) {
+    return suggestions;
+  }
+  fresh_ = false;
+
+  auto it = transitions_.find(*last_);
+  if (it != transitions_.end() && !it->second.empty()) {
+    // Rank successors by observed probability (count), best first.
+    std::vector<std::pair<ItemId, std::uint64_t>> ranked(it->second.begin(), it->second.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) {
+        return a.second > b.second;
+      }
+      return a.first < b.first;  // deterministic ties
+    });
+    for (const auto& [next, count] : ranked) {
+      if (suggestions.size() >= max_items) {
+        break;
+      }
+      suggestions.push_back(next);
+    }
+    return suggestions;
+  }
+
+  // Learning phase: no successor information — fall back to OBL.
+  if (fallback_) {
+    if (auto next = fallback_(*last_)) {
+      suggestions.push_back(*next);
+    }
+  }
+  return suggestions;
+}
+
+std::uint64_t MarkovPrefetcher::transition_count(ItemId prev, ItemId next) const {
+  auto it = transitions_.find(prev);
+  if (it == transitions_.end()) {
+    return 0;
+  }
+  auto jt = it->second.find(next);
+  return jt != it->second.end() ? jt->second : 0;
+}
+
+std::optional<ItemId> MarkovPrefetcher::most_likely_successor(ItemId id) const {
+  auto it = transitions_.find(id);
+  if (it == transitions_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  ItemId best = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [next, count] : it->second) {
+    if (count > best_count || (count == best_count && next < best)) {
+      best = next;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Prefetcher> make_prefetcher(const std::string& name, SuccessorFn successor) {
+  if (name == "none" || name.empty()) {
+    return std::make_unique<NullPrefetcher>();
+  }
+  if (name == "obl") {
+    return std::make_unique<OblPrefetcher>(std::move(successor));
+  }
+  if (name == "prefetch-on-miss" || name == "pom") {
+    return std::make_unique<PrefetchOnMissPrefetcher>(std::move(successor));
+  }
+  if (name == "markov") {
+    return std::make_unique<MarkovPrefetcher>(std::move(successor));
+  }
+  throw std::invalid_argument("make_prefetcher: unknown prefetcher '" + name + "'");
+}
+
+}  // namespace vira::dms

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file prefetcher.hpp
+/// System prefetchers (paper Sec. 4.2).
+///
+/// "The system prefetcher uses sequential prefetching with
+/// one-block-lookahead (OBL) or prefetch-on-miss as well as a markov
+/// prefetcher that learns relationships between blocks over time. [...]
+/// Whenever the markov prefetcher is incapable to provide a prefetch
+/// suggestion because of missing successor information about the current
+/// block, the 'next' block is suggested by OBL."
+///
+/// Sequential prefetchers need an explicit successor relation because
+/// "neighboring relations in 3-dimensional CFD data sets are not obvious";
+/// the default relation is file order (the order blocks sit in the step
+/// files), which is how most commands iterate.
+///
+/// Prefetchers are pure policy objects: on_request() feeds them the request
+/// stream, suggest() returns what to fetch next. The DataProxy executes
+/// suggestions on a background thread; the simulation replay executes them
+/// in virtual time. Not thread-safe by themselves — callers serialize.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+/// Successor relation: next item in the explicitly specified order, or
+/// nullopt at the end of the sequence.
+using SuccessorFn = std::function<std::optional<ItemId>(ItemId)>;
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Observes one request. `was_hit` tells whether the cache already held it.
+  virtual void on_request(ItemId id, bool was_hit) = 0;
+
+  /// Items worth fetching now, best first, at most `max_items`.
+  virtual std::vector<ItemId> suggest(std::size_t max_items) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Never prefetches (the "without prefetching" baseline of Figs. 11/14).
+class NullPrefetcher final : public Prefetcher {
+ public:
+  void on_request(ItemId, bool) override {}
+  std::vector<ItemId> suggest(std::size_t) override { return {}; }
+  std::string name() const override { return "none"; }
+};
+
+/// One-Block-Lookahead: always suggest the successor of the last request.
+class OblPrefetcher final : public Prefetcher {
+ public:
+  explicit OblPrefetcher(SuccessorFn successor, int lookahead = 1);
+
+  void on_request(ItemId id, bool was_hit) override;
+  std::vector<ItemId> suggest(std::size_t max_items) override;
+  std::string name() const override { return "obl"; }
+
+ private:
+  SuccessorFn successor_;
+  int lookahead_;
+  std::optional<ItemId> last_;
+  bool fresh_ = false;  ///< a new request arrived since the last suggest()
+};
+
+/// Prefetch-on-miss: like OBL but only armed by cache misses.
+class PrefetchOnMissPrefetcher final : public Prefetcher {
+ public:
+  explicit PrefetchOnMissPrefetcher(SuccessorFn successor);
+
+  void on_request(ItemId id, bool was_hit) override;
+  std::vector<ItemId> suggest(std::size_t max_items) override;
+  std::string name() const override { return "prefetch-on-miss"; }
+
+ private:
+  SuccessorFn successor_;
+  std::optional<ItemId> armed_from_;
+};
+
+/// First-order Markov prefetcher with OBL fallback.
+///
+/// Learns a probability graph over observed (previous → next) transitions;
+/// suggestions are the most likely successors of the last request. During
+/// the learning phase — no successor information yet — it falls back to
+/// OBL, exactly as the paper prescribes.
+class MarkovPrefetcher final : public Prefetcher {
+ public:
+  /// `fallback_successor` may be null to disable the OBL fallback
+  /// (used by tests to isolate the learned graph).
+  explicit MarkovPrefetcher(SuccessorFn fallback_successor, int order_hint = 1);
+
+  void on_request(ItemId id, bool was_hit) override;
+  std::vector<ItemId> suggest(std::size_t max_items) override;
+  std::string name() const override { return "markov"; }
+
+  /// Transition count prev→next (tests / diagnostics).
+  std::uint64_t transition_count(ItemId prev, ItemId next) const;
+  /// Most probable successor of `id`, if any transition was recorded.
+  std::optional<ItemId> most_likely_successor(ItemId id) const;
+
+ private:
+  SuccessorFn fallback_;
+  std::optional<ItemId> previous_;
+  std::optional<ItemId> last_;
+  bool fresh_ = false;
+  std::unordered_map<ItemId, std::unordered_map<ItemId, std::uint64_t>> transitions_;
+};
+
+/// Factory ("none" / "obl" / "prefetch-on-miss" / "markov").
+std::unique_ptr<Prefetcher> make_prefetcher(const std::string& name, SuccessorFn successor);
+
+}  // namespace vira::dms

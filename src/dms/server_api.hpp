@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file server_api.hpp
+/// The proxy-facing surface of the central data manager server.
+///
+/// DataProxy talks to the server exclusively through this interface, which
+/// has two implementations: DataServer itself (direct calls — the single-
+/// process wiring) and core::RemoteServerApi (the paper's wiring: "a proxy
+/// asks the data manager server which strategy to use" as a message to the
+/// scheduler node, Sec. 4.3).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dms/data_item.hpp"
+#include "dms/loading.hpp"
+
+namespace vira::dms {
+
+/// Outcome of the server's per-load strategy decision.
+struct StrategyDecision {
+  StrategyKind kind = StrategyKind::kDirectDisk;
+  int peer = -1;  ///< source proxy for peer transfer
+};
+
+class ServerApi {
+ public:
+  virtual ~ServerApi() = default;
+
+  /// --- naming --------------------------------------------------------------
+  virtual ItemId intern(const DataItemName& name) = 0;
+  virtual std::optional<DataItemName> lookup(ItemId id) = 0;
+
+  /// --- strategy decision ----------------------------------------------------
+  virtual StrategyDecision choose_strategy(int proxy, ItemId id, std::uint64_t item_bytes,
+                                           std::uint64_t file_bytes,
+                                           const std::string& file_key) = 0;
+
+  /// --- registry / telemetry (one-way notifications) -------------------------
+  virtual void report_insert(int proxy, ItemId id) = 0;
+  virtual void report_evict(int proxy, ItemId id) = 0;
+  virtual void begin_file_read(const std::string& file_key) = 0;
+  virtual void end_file_read(const std::string& file_key) = 0;
+  virtual void observe_disk_bandwidth(double bytes_per_second) = 0;
+};
+
+}  // namespace vira::dms

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file statistics.hpp
+/// The DMS "statistical unit" (paper Sec. 4.2): it "records various
+/// information of the system behavior" and feeds the system prefetcher and
+/// the adaptive load-strategy selection. Also the source of every cache
+/// metric the benches report.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+struct DmsCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t misses = 0;           ///< forced loads (cold or capacity)
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_useful = 0;  ///< prefetched items later requested
+  std::uint64_t evictions_l1 = 0;
+  std::uint64_t evictions_l2 = 0;
+  std::uint64_t bytes_loaded = 0;
+  double load_seconds = 0.0;
+
+  double hit_rate() const {
+    const auto total = requests;
+    return total > 0 ? static_cast<double>(l1_hits + l2_hits) / static_cast<double>(total) : 0.0;
+  }
+  double miss_rate() const { return requests > 0 ? 1.0 - hit_rate() : 0.0; }
+};
+
+/// Thread-safe statistics collector with optional request-trace recording
+/// (traces feed the Markov prefetcher's offline evaluation and the
+/// cache-policy ablation bench).
+class DmsStatistics {
+ public:
+  void record_request(ItemId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests;
+    if (trace_enabled_) {
+      trace_.push_back(id);
+    }
+  }
+  void record_l1_hit() { bump(&DmsCounters::l1_hits); }
+  void record_l2_hit() { bump(&DmsCounters::l2_hits); }
+  void record_miss() { bump(&DmsCounters::misses); }
+  void record_prefetch_issued() { bump(&DmsCounters::prefetch_issued); }
+  void record_prefetch_useful() { bump(&DmsCounters::prefetch_useful); }
+  void record_eviction_l1() { bump(&DmsCounters::evictions_l1); }
+  void record_eviction_l2() { bump(&DmsCounters::evictions_l2); }
+
+  void record_load(std::uint64_t bytes, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.bytes_loaded += bytes;
+    counters_.load_seconds += seconds;
+  }
+
+  /// Observed disk bandwidth in bytes/s (fed to the fitness function).
+  double observed_load_bandwidth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.load_seconds > 0.0
+               ? static_cast<double>(counters_.bytes_loaded) / counters_.load_seconds
+               : 0.0;
+  }
+
+  DmsCounters snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_ = DmsCounters{};
+    trace_.clear();
+  }
+
+  void enable_trace(bool enabled) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_enabled_ = enabled;
+  }
+
+  std::vector<ItemId> trace() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trace_;
+  }
+
+ private:
+  void bump(std::uint64_t DmsCounters::* member) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.*member += 1;
+  }
+
+  mutable std::mutex mutex_;
+  DmsCounters counters_;
+  bool trace_enabled_ = false;
+  std::vector<ItemId> trace_;
+};
+
+}  // namespace vira::dms

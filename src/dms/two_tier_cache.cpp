@@ -1,0 +1,191 @@
+#include "dms/two_tier_cache.hpp"
+
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace vira::dms {
+
+namespace {
+
+void write_blob_file(const std::string& path, const util::ByteBuffer& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+}
+
+std::optional<util::ByteBuffer> read_blob_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> data(size);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    return std::nullopt;
+  }
+  return util::ByteBuffer(std::move(data));
+}
+
+}  // namespace
+
+TwoTierCache::TwoTierCache(Config config, std::shared_ptr<DmsStatistics> stats)
+    : config_(std::move(config)),
+      stats_(std::move(stats)),
+      l1_(config_.l1_capacity_bytes, make_policy(config_.policy)) {
+  if (!stats_) {
+    stats_ = std::make_shared<DmsStatistics>();
+  }
+  if (!config_.l2_directory.empty()) {
+    std::filesystem::create_directories(config_.l2_directory);
+  }
+}
+
+TwoTierCache::~TwoTierCache() {
+  if (!config_.l2_directory.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(config_.l2_directory, ec);
+  }
+}
+
+std::string TwoTierCache::l2_path(ItemId id) const {
+  return config_.l2_directory + "/item_" + std::to_string(id) + ".blob";
+}
+
+Blob TwoTierCache::get(ItemId id) {
+  stats_->record_request(id);
+  if (Blob blob = l1_.get(id)) {
+    stats_->record_l1_hit();
+    note_requested(id);
+    return blob;
+  }
+  if (!config_.l2_directory.empty()) {
+    if (Blob blob = promote(id)) {
+      stats_->record_l2_hit();
+      note_requested(id);
+      return blob;
+    }
+  }
+  stats_->record_miss();
+  return nullptr;
+}
+
+void TwoTierCache::note_requested(ItemId id) {
+  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  auto it = prefetched_pending_.find(id);
+  if (it != prefetched_pending_.end()) {
+    stats_->record_prefetch_useful();
+    prefetched_pending_.erase(it);
+  }
+}
+
+void TwoTierCache::put(ItemId id, Blob blob, bool from_prefetch) {
+  if (from_prefetch) {
+    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    prefetched_pending_[id] = true;
+  }
+  auto evicted = l1_.put(id, std::move(blob));
+  for (auto& victim : evicted) {
+    stats_->record_eviction_l1();
+    if (!config_.l2_directory.empty()) {
+      demote(victim.id, victim.blob);
+    }
+  }
+}
+
+bool TwoTierCache::contains(ItemId id) const {
+  if (l1_.contains(id)) {
+    return true;
+  }
+  if (config_.l2_directory.empty()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(l2_mutex_);
+  return l2_index_.count(id) > 0;
+}
+
+bool TwoTierCache::contains_l1(ItemId id) const { return l1_.contains(id); }
+
+void TwoTierCache::demote(ItemId id, const Blob& blob) {
+  std::lock_guard<std::mutex> lock(l2_mutex_);
+  if (l2_index_.count(id) > 0) {
+    return;  // already spilled
+  }
+  const std::uint64_t bytes = blob->size();
+  if (bytes > config_.l2_capacity_bytes) {
+    return;
+  }
+  evict_l2_to_fit(bytes);
+  write_blob_file(l2_path(id), *blob);
+  l2_order_.push_back(id);
+  l2_index_[id] = {std::prev(l2_order_.end()), bytes};
+  l2_used_ += bytes;
+}
+
+void TwoTierCache::evict_l2_to_fit(std::uint64_t incoming) {
+  while (l2_used_ + incoming > config_.l2_capacity_bytes && !l2_order_.empty()) {
+    const ItemId victim = l2_order_.front();
+    l2_order_.pop_front();
+    auto it = l2_index_.find(victim);
+    if (it != l2_index_.end()) {
+      l2_used_ -= it->second.second;
+      std::error_code ec;
+      std::filesystem::remove(l2_path(victim), ec);
+      l2_index_.erase(it);
+      stats_->record_eviction_l2();
+    }
+  }
+}
+
+Blob TwoTierCache::promote(ItemId id) {
+  std::unique_lock<std::mutex> lock(l2_mutex_);
+  auto it = l2_index_.find(id);
+  if (it == l2_index_.end()) {
+    return nullptr;
+  }
+  auto buffer = read_blob_file(l2_path(id));
+  // Remove from L2 (the blob moves back up).
+  l2_used_ -= it->second.second;
+  l2_order_.erase(it->second.first);
+  l2_index_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove(l2_path(id), ec);
+  lock.unlock();
+
+  if (!buffer) {
+    VIRA_WARN("dms") << "L2 spill file for item " << id << " unreadable; treating as miss";
+    return nullptr;
+  }
+  Blob blob = make_blob(std::move(*buffer));
+  put(id, blob);
+  return blob;
+}
+
+void TwoTierCache::clear() {
+  for (const ItemId id : l1_.resident()) {
+    l1_.erase(id);
+  }
+  std::lock_guard<std::mutex> lock(l2_mutex_);
+  for (const auto& [id, entry] : l2_index_) {
+    std::error_code ec;
+    std::filesystem::remove(l2_path(id), ec);
+  }
+  l2_index_.clear();
+  l2_order_.clear();
+  l2_used_ = 0;
+  std::lock_guard<std::mutex> plock(prefetch_mutex_);
+  prefetched_pending_.clear();
+}
+
+std::uint64_t TwoTierCache::l2_size_bytes() const {
+  std::lock_guard<std::mutex> lock(l2_mutex_);
+  return l2_used_;
+}
+
+std::size_t TwoTierCache::l2_item_count() const {
+  std::lock_guard<std::mutex> lock(l2_mutex_);
+  return l2_index_.size();
+}
+
+}  // namespace vira::dms

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file analytic_fields.hpp
+/// Analytic unsteady flow fields.
+///
+/// These serve two purposes: (1) they populate the synthetic Engine and
+/// Propfan datasets (the original RWTH/DLR data is proprietary — see
+/// DESIGN.md), and (2) they give algorithm tests ground truth (a Lamb–Oseen
+/// vortex has a known λ2-negative core; a rigid rotation advects particles
+/// on exact circles).
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "math/vec3.hpp"
+
+namespace vira::grid {
+
+using math::Vec3;
+
+/// Time-dependent velocity field u(p, t).
+class FlowField {
+ public:
+  virtual ~FlowField() = default;
+  virtual Vec3 velocity(const Vec3& p, double t) const = 0;
+
+  /// A pressure-like scalar; default derives a Bernoulli-style value from
+  /// the local speed, normalized by the field's reference speed so the
+  /// result stays O(1) whether the flow moves at 1 m/s or 150 m/s.
+  virtual double pressure(const Vec3& p, double t) const {
+    const Vec3 u = velocity(p, t);
+    const double uref = reference_speed();
+    return 1.0 - 0.5 * u.norm2() / (uref * uref);
+  }
+
+  /// Characteristic speed used to normalize the default pressure.
+  virtual double reference_speed() const { return 1.0; }
+};
+
+/// Constant velocity everywhere.
+class UniformFlow final : public FlowField {
+ public:
+  explicit UniformFlow(const Vec3& u) : u_(u) {}
+  Vec3 velocity(const Vec3&, double) const override { return u_; }
+
+ private:
+  Vec3 u_;
+};
+
+/// Solid-body rotation with angular velocity `omega` about an axis through
+/// `center` with direction `axis` (normalized internally).
+class RigidRotation final : public FlowField {
+ public:
+  RigidRotation(const Vec3& center, const Vec3& axis, double omega)
+      : center_(center), axis_(axis.normalized()), omega_(omega) {}
+
+  Vec3 velocity(const Vec3& p, double) const override {
+    return (axis_ * omega_).cross(p - center_);
+  }
+
+ private:
+  Vec3 center_;
+  Vec3 axis_;
+  double omega_;
+};
+
+/// Lamb–Oseen vortex: a viscous line vortex with circulation `gamma`, core
+/// radius `core` (optionally growing in time), axis through `center` along
+/// `axis`. The classic λ2 test case: λ2 < 0 inside the core.
+class LambOseenVortex final : public FlowField {
+ public:
+  LambOseenVortex(const Vec3& center, const Vec3& axis, double gamma, double core,
+                  double core_growth = 0.0)
+      : center_(center),
+        axis_(axis.normalized()),
+        gamma_(gamma),
+        core_(core),
+        core_growth_(core_growth) {}
+
+  Vec3 velocity(const Vec3& p, double t) const override {
+    const Vec3 rel = p - center_;
+    const Vec3 radial = rel - axis_ * rel.dot(axis_);
+    const double r = radial.norm();
+    const double rc2 = core_radius2(t);
+    if (r < 1e-12) {
+      return {};
+    }
+    constexpr double kTwoPi = 6.28318530717958647692;
+    const double v_theta = gamma_ / (kTwoPi * r) * (1.0 - std::exp(-r * r / rc2));
+    const Vec3 tangent = axis_.cross(radial / r);
+    return tangent * v_theta;
+  }
+
+ private:
+  double core_radius2(double t) const {
+    const double rc = core_ + core_growth_ * t;
+    return rc * rc;
+  }
+
+  Vec3 center_;
+  Vec3 axis_;
+  double gamma_;
+  double core_;
+  double core_growth_;
+};
+
+/// Arnold–Beltrami–Childress flow: fully 3D, chaotic particle paths; used
+/// by property tests to stress integrators and locators.
+class AbcFlow final : public FlowField {
+ public:
+  AbcFlow(double a = 1.0, double b = std::sqrt(2.0 / 3.0), double c = std::sqrt(1.0 / 3.0))
+      : a_(a), b_(b), c_(c) {}
+
+  Vec3 velocity(const Vec3& p, double) const override {
+    return {a_ * std::sin(p.z) + c_ * std::cos(p.y), b_ * std::sin(p.x) + a_ * std::cos(p.z),
+            c_ * std::sin(p.y) + b_ * std::cos(p.x)};
+  }
+
+ private:
+  double a_;
+  double b_;
+  double c_;
+};
+
+/// Weighted superposition of fields, each with a time-periodic modulation
+/// weight w_i(t) = base_i + amp_i · sin(freq_i · t + phase_i). This is how
+/// the synthetic datasets get genuinely unsteady, time-coherent content.
+class SuperposedFlow final : public FlowField {
+ public:
+  struct Component {
+    std::shared_ptr<const FlowField> field;
+    double base = 1.0;
+    double amplitude = 0.0;
+    double frequency = 0.0;
+    double phase = 0.0;
+  };
+
+  void add(std::shared_ptr<const FlowField> field, double base = 1.0, double amplitude = 0.0,
+           double frequency = 0.0, double phase = 0.0) {
+    components_.push_back({std::move(field), base, amplitude, frequency, phase});
+  }
+
+  Vec3 velocity(const Vec3& p, double t) const override {
+    Vec3 u;
+    for (const auto& c : components_) {
+      const double weight = c.base + c.amplitude * std::sin(c.frequency * t + c.phase);
+      u += c.field->velocity(p, t) * weight;
+    }
+    return u;
+  }
+
+  double reference_speed() const override { return reference_speed_; }
+  void set_reference_speed(double uref) { reference_speed_ = uref; }
+
+  std::size_t component_count() const { return components_.size(); }
+
+ private:
+  std::vector<Component> components_;
+  double reference_speed_ = 1.0;
+};
+
+}  // namespace vira::grid

@@ -1,0 +1,122 @@
+#include "grid/bsp_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vira::grid {
+
+BspTree::BspTree(const StructuredBlock& block, const std::string& field, BuildParams params)
+    : block_(block), field_(&block.scalar(field)) {
+  if (params.max_leaf_cells < 1) {
+    throw std::invalid_argument("BspTree: max_leaf_cells must be >= 1");
+  }
+  const CellRange all{0, block.cells_i(), 0, block.cells_j(), 0, block.cells_k()};
+  nodes_.reserve(static_cast<std::size_t>(2 * all.cell_count() / params.max_leaf_cells + 8));
+  build(all, params);
+}
+
+void BspTree::compute_node_data(Node& node) const {
+  // Nodes of the range cover cell corners [i0..i1] × [j0..j1] × [k0..k1].
+  float smin = std::numeric_limits<float>::max();
+  float smax = std::numeric_limits<float>::lowest();
+  Aabb box;
+  for (int k = node.range.k0; k <= node.range.k1; ++k) {
+    for (int j = node.range.j0; j <= node.range.j1; ++j) {
+      for (int i = node.range.i0; i <= node.range.i1; ++i) {
+        const auto idx = block_.node_index(i, j, k);
+        const float s = (*field_)[idx];
+        smin = std::min(smin, s);
+        smax = std::max(smax, s);
+        box.expand(block_.point(i, j, k));
+      }
+    }
+  }
+  node.smin = smin;
+  node.smax = smax;
+  node.bounds = box;
+}
+
+std::int32_t BspTree::build(const CellRange& range, const BuildParams& params) {
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{range, {}, 0.0f, 0.0f, -1, -1});
+
+  const int di = range.i1 - range.i0;
+  const int dj = range.j1 - range.j0;
+  const int dk = range.k1 - range.k0;
+
+  if (range.cell_count() <= params.max_leaf_cells) {
+    compute_node_data(nodes_[index]);
+    ++leaf_count_;
+    return index;
+  }
+
+  // Split the longest index axis at its midpoint.
+  CellRange left = range;
+  CellRange right = range;
+  if (di >= dj && di >= dk) {
+    const int mid = range.i0 + di / 2;
+    left.i1 = mid;
+    right.i0 = mid;
+  } else if (dj >= dk) {
+    const int mid = range.j0 + dj / 2;
+    left.j1 = mid;
+    right.j0 = mid;
+  } else {
+    const int mid = range.k0 + dk / 2;
+    left.k1 = mid;
+    right.k0 = mid;
+  }
+
+  const auto left_index = build(left, params);
+  const auto right_index = build(right, params);
+  Node& node = nodes_[index];
+  node.left = left_index;
+  node.right = right_index;
+  node.smin = std::min(nodes_[left_index].smin, nodes_[right_index].smin);
+  node.smax = std::max(nodes_[left_index].smax, nodes_[right_index].smax);
+  node.bounds = nodes_[left_index].bounds;
+  node.bounds.expand(nodes_[right_index].bounds);
+  return index;
+}
+
+std::pair<float, float> BspTree::root_range() const {
+  return {nodes_.front().smin, nodes_.front().smax};
+}
+
+void BspTree::traverse(const Vec3& viewpoint, float iso,
+                       const std::function<void(const CellRange&)>& visit) const {
+  traverse_impl(0, viewpoint, iso, visit);
+}
+
+void BspTree::traverse_impl(std::int32_t index, const Vec3& viewpoint, float iso,
+                            const std::function<void(const CellRange&)>& visit) const {
+  const Node& node = nodes_[index];
+  if (iso < node.smin || iso > node.smax) {
+    return;  // prune: no active cells below this node
+  }
+  if (node.left < 0) {
+    visit(node.range);
+    return;
+  }
+  const double dl = nodes_[node.left].bounds.distance2(viewpoint);
+  const double dr = nodes_[node.right].bounds.distance2(viewpoint);
+  if (dl <= dr) {
+    traverse_impl(node.left, viewpoint, iso, visit);
+    traverse_impl(node.right, viewpoint, iso, visit);
+  } else {
+    traverse_impl(node.right, viewpoint, iso, visit);
+    traverse_impl(node.left, viewpoint, iso, visit);
+  }
+}
+
+void BspTree::traverse_unordered(float iso,
+                                 const std::function<void(const CellRange&)>& visit) const {
+  for (const Node& node : nodes_) {
+    if (node.left < 0 && iso >= node.smin && iso <= node.smax) {
+      visit(node.range);
+    }
+  }
+}
+
+}  // namespace vira::grid

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file bsp_tree.hpp
+/// View-dependent space partitioning over a block's cells.
+///
+/// The ViewerIso command (paper Sec. 6.3) builds a binary space-partitioning
+/// tree per block and traverses it front-to-back with respect to the
+/// viewer's position, pruning "branches labeling empty regions" — nodes
+/// whose scalar min/max interval does not straddle the iso-value. Because
+/// the blocks are logically Cartesian, the tree splits cell *index* ranges
+/// (a kd-style BSP); each node carries the world-space bounding box and the
+/// scalar interval of its cells.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/structured_block.hpp"
+
+namespace vira::grid {
+
+/// Half-open cell index range [i0,i1) × [j0,j1) × [k0,k1).
+struct CellRange {
+  int i0 = 0;
+  int i1 = 0;
+  int j0 = 0;
+  int j1 = 0;
+  int k0 = 0;
+  int k1 = 0;
+
+  std::int64_t cell_count() const {
+    return static_cast<std::int64_t>(i1 - i0) * (j1 - j0) * (k1 - k0);
+  }
+  bool operator==(const CellRange&) const = default;
+};
+
+class BspTree {
+ public:
+  struct BuildParams {
+    /// Leaves hold at most this many cells.
+    int max_leaf_cells;
+  };
+
+  /// Builds over all cells of `block` using node scalar field `field`.
+  /// The block must outlive the tree.
+  BspTree(const StructuredBlock& block, const std::string& field, BuildParams params = BuildParams{128});
+
+  /// Visits leaves whose scalar interval contains `iso`, front-to-back with
+  /// respect to `viewpoint` (closer child first at every inner node).
+  void traverse(const Vec3& viewpoint, float iso,
+                const std::function<void(const CellRange&)>& visit) const;
+
+  /// Visits matching leaves in build order (no view sorting); used by the
+  /// non-view-dependent streamed algorithms and by tests.
+  void traverse_unordered(float iso, const std::function<void(const CellRange&)>& visit) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const { return leaf_count_; }
+  /// Scalar interval of the root (whole block).
+  std::pair<float, float> root_range() const;
+
+ private:
+  struct Node {
+    CellRange range;
+    Aabb bounds;
+    float smin = 0.0f;
+    float smax = 0.0f;
+    std::int32_t left = -1;   // index into nodes_; -1 for leaves
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const CellRange& range, const BuildParams& params);
+  void compute_node_data(Node& node) const;
+  void traverse_impl(std::int32_t index, const Vec3& viewpoint, float iso,
+                     const std::function<void(const CellRange&)>& visit) const;
+
+  const StructuredBlock& block_;
+  const std::vector<float>* field_ = nullptr;
+  std::vector<Node> nodes_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace vira::grid

@@ -1,0 +1,115 @@
+#include "grid/cell_locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vira::grid {
+
+CellLocator::CellLocator(const StructuredBlock& block, double target_cells_per_bin)
+    : block_(block), bounds_(block.bounds()) {
+  const double ncells = static_cast<double>(block.cell_count());
+  const double bins_total = std::max(1.0, ncells / std::max(1.0, target_cells_per_bin));
+  const Vec3 extent = bounds_.extent();
+  const double volume = std::max(1e-300, extent.x * extent.y * extent.z);
+  const double scale = std::cbrt(bins_total / volume);
+  auto axis_bins = [&](double len) {
+    return std::clamp(static_cast<int>(std::ceil(len * scale)), 1, 256);
+  };
+  bins_i_ = axis_bins(extent.x);
+  bins_j_ = axis_bins(extent.y);
+  bins_k_ = axis_bins(extent.z);
+  bins_.assign(static_cast<std::size_t>(bins_i_) * bins_j_ * bins_k_, {});
+
+  const int ci_max = block.cells_i();
+  const int cj_max = block.cells_j();
+  auto clamp_bin = [](int v, int n) { return std::clamp(v, 0, n - 1); };
+
+  for (int ck = 0; ck < block.cells_k(); ++ck) {
+    for (int cj = 0; cj < block.cells_j(); ++cj) {
+      for (int ci = 0; ci < block.cells_i(); ++ci) {
+        const Aabb cell_box = block.cell_bounds(ci, cj, ck);
+        const Vec3 rel_lo = cell_box.lo - bounds_.lo;
+        const Vec3 rel_hi = cell_box.hi - bounds_.lo;
+        const Vec3 extent_safe{std::max(extent.x, 1e-300), std::max(extent.y, 1e-300),
+                               std::max(extent.z, 1e-300)};
+        const int bi0 = clamp_bin(static_cast<int>(rel_lo.x / extent_safe.x * bins_i_), bins_i_);
+        const int bi1 = clamp_bin(static_cast<int>(rel_hi.x / extent_safe.x * bins_i_), bins_i_);
+        const int bj0 = clamp_bin(static_cast<int>(rel_lo.y / extent_safe.y * bins_j_), bins_j_);
+        const int bj1 = clamp_bin(static_cast<int>(rel_hi.y / extent_safe.y * bins_j_), bins_j_);
+        const int bk0 = clamp_bin(static_cast<int>(rel_lo.z / extent_safe.z * bins_k_), bins_k_);
+        const int bk1 = clamp_bin(static_cast<int>(rel_hi.z / extent_safe.z * bins_k_), bins_k_);
+        const std::int32_t packed =
+            ci + static_cast<std::int32_t>(cj) * ci_max +
+            static_cast<std::int32_t>(ck) * ci_max * cj_max;
+        for (int bk = bk0; bk <= bk1; ++bk) {
+          for (int bj = bj0; bj <= bj1; ++bj) {
+            for (int bi = bi0; bi <= bi1; ++bi) {
+              bins_[bin_index(bi, bj, bk)].push_back(packed);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::optional<CellCoord> CellLocator::try_cell(int ci, int cj, int ck, const Vec3& p) const {
+  if (ci < 0 || cj < 0 || ck < 0 || ci >= block_.cells_i() || cj >= block_.cells_j() ||
+      ck >= block_.cells_k()) {
+    return std::nullopt;
+  }
+  if (!block_.cell_bounds(ci, cj, ck).contains(p, 1e-9)) {
+    return std::nullopt;
+  }
+  return block_.world_to_local(ci, cj, ck, p, 1e-6);
+}
+
+std::optional<CellCoord> CellLocator::locate(const Vec3& p) const {
+  if (!bounds_.contains(p, 1e-9)) {
+    return std::nullopt;
+  }
+  const Vec3 extent = bounds_.extent();
+  auto to_bin = [&](double rel, double len, int n) {
+    if (len <= 0.0) {
+      return 0;
+    }
+    return std::clamp(static_cast<int>(rel / len * n), 0, n - 1);
+  };
+  const int bi = to_bin(p.x - bounds_.lo.x, extent.x, bins_i_);
+  const int bj = to_bin(p.y - bounds_.lo.y, extent.y, bins_j_);
+  const int bk = to_bin(p.z - bounds_.lo.z, extent.z, bins_k_);
+
+  const int ci_max = block_.cells_i();
+  const int cj_max = block_.cells_j();
+  for (const std::int32_t packed : bins_[bin_index(bi, bj, bk)]) {
+    const int ci = packed % ci_max;
+    const int cj = (packed / ci_max) % cj_max;
+    const int ck = packed / (ci_max * cj_max);
+    if (auto coord = try_cell(ci, cj, ck, p)) {
+      return coord;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CellCoord> CellLocator::locate(const Vec3& p, const CellCoord& hint) const {
+  // Try the hint cell itself, then its 26-neighbourhood.
+  if (auto coord = try_cell(hint.i, hint.j, hint.k, p)) {
+    return coord;
+  }
+  for (int dk = -1; dk <= 1; ++dk) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      for (int di = -1; di <= 1; ++di) {
+        if (di == 0 && dj == 0 && dk == 0) {
+          continue;
+        }
+        if (auto coord = try_cell(hint.i + di, hint.j + dj, hint.k + dk, p)) {
+          return coord;
+        }
+      }
+    }
+  }
+  return locate(p);
+}
+
+}  // namespace vira::grid

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file cell_locator.hpp
+/// Point location in a curvilinear block.
+///
+/// Particle tracing needs "which cell contains p, and at which local
+/// coordinates" thousands of times per trace. A uniform bin grid over the
+/// block's bounding box maps a query point to a short candidate cell list;
+/// each candidate is verified by Newton inversion of its trilinear map.
+/// Queries can pass a hint cell (the cell of the previous integration
+/// point) which is tried — together with its 26 neighbours — before the
+/// bins, making the common "particle moved one cell" case O(1).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "grid/structured_block.hpp"
+
+namespace vira::grid {
+
+class CellLocator {
+ public:
+  /// Builds bins over `block`; the block must outlive the locator.
+  /// `target_cells_per_bin` tunes bin resolution.
+  explicit CellLocator(const StructuredBlock& block, double target_cells_per_bin = 8.0);
+
+  /// Finds the cell containing `p`. Returns nullopt if `p` lies outside
+  /// the block (or inside a gap of a degenerate mesh).
+  std::optional<CellCoord> locate(const Vec3& p) const;
+
+  /// Like locate(), but first tries `hint` and its neighbourhood.
+  std::optional<CellCoord> locate(const Vec3& p, const CellCoord& hint) const;
+
+  const StructuredBlock& block() const { return block_; }
+
+  /// Diagnostics.
+  int bins_i() const { return bins_i_; }
+  int bins_j() const { return bins_j_; }
+  int bins_k() const { return bins_k_; }
+
+ private:
+  std::optional<CellCoord> try_cell(int ci, int cj, int ck, const Vec3& p) const;
+  std::size_t bin_index(int bi, int bj, int bk) const {
+    return (static_cast<std::size_t>(bk) * bins_j_ + bj) * bins_i_ + bi;
+  }
+
+  const StructuredBlock& block_;
+  Aabb bounds_;
+  int bins_i_ = 1;
+  int bins_j_ = 1;
+  int bins_k_ = 1;
+  /// Per bin: packed cell indices (ci + cj*Ci + ck*Ci*Cj).
+  std::vector<std::vector<std::int32_t>> bins_;
+};
+
+}  // namespace vira::grid

@@ -1,0 +1,404 @@
+#include "grid/structured_block.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vira::grid {
+
+namespace {
+
+/// Trilinear corner weights in marching-cubes corner order (see header).
+void corner_weights(double u, double v, double w, std::array<double, 8>& weights) {
+  const double iu = 1.0 - u;
+  const double iv = 1.0 - v;
+  const double iw = 1.0 - w;
+  weights[0] = iu * iv * iw;
+  weights[1] = u * iv * iw;
+  weights[2] = u * v * iw;
+  weights[3] = iu * v * iw;
+  weights[4] = iu * iv * w;
+  weights[5] = u * iv * w;
+  weights[6] = u * v * w;
+  weights[7] = iu * v * w;
+}
+
+/// Partial derivatives of the corner weights w.r.t. (u,v,w).
+void corner_weight_gradients(double u, double v, double w, std::array<double, 8>& du,
+                             std::array<double, 8>& dv, std::array<double, 8>& dw) {
+  const double iu = 1.0 - u;
+  const double iv = 1.0 - v;
+  const double iw = 1.0 - w;
+  du = {-iv * iw, iv * iw, v * iw, -v * iw, -iv * w, iv * w, v * w, -v * w};
+  dv = {-iu * iw, -u * iw, u * iw, iu * iw, -iu * w, -u * w, u * w, iu * w};
+  dw = {-iu * iv, -u * iv, -u * v, -iu * v, iu * iv, u * iv, u * v, iu * v};
+}
+
+constexpr std::uint32_t kBlockMagic = 0x564d4231;  // "VMB1"
+
+}  // namespace
+
+StructuredBlock::StructuredBlock(int ni, int nj, int nk) : ni_(ni), nj_(nj), nk_(nk) {
+  if (ni < 2 || nj < 2 || nk < 2) {
+    throw std::invalid_argument("StructuredBlock: each dimension needs >= 2 nodes");
+  }
+  const auto n = node_count();
+  points_.assign(static_cast<std::size_t>(n) * 3, 0.0f);
+  velocity_.assign(static_cast<std::size_t>(n) * 3, 0.0f);
+}
+
+const Aabb& StructuredBlock::bounds() const {
+  if (bounds_dirty_) {
+    bounds_ = Aabb();
+    for (std::size_t idx = 0; idx + 2 < points_.size(); idx += 3) {
+      bounds_.expand({points_[idx], points_[idx + 1], points_[idx + 2]});
+    }
+    bounds_dirty_ = false;
+  }
+  return bounds_;
+}
+
+std::vector<std::string> StructuredBlock::scalar_names() const {
+  std::vector<std::string> names;
+  names.reserve(scalars_.size());
+  for (const auto& [name, values] : scalars_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<float>& StructuredBlock::scalar(const std::string& name) {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) {
+    it = scalars_.emplace(name, std::vector<float>(static_cast<std::size_t>(node_count()), 0.0f))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<float>& StructuredBlock::scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) {
+    throw std::out_of_range("StructuredBlock: unknown scalar field '" + name + "'");
+  }
+  return it->second;
+}
+
+std::pair<float, float> StructuredBlock::scalar_range(const std::string& name) const {
+  const auto& values = scalar(name);
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (const float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+std::array<std::int64_t, 8> StructuredBlock::cell_corners(int ci, int cj, int ck) const {
+  return {node_index(ci, cj, ck),         node_index(ci + 1, cj, ck),
+          node_index(ci + 1, cj + 1, ck), node_index(ci, cj + 1, ck),
+          node_index(ci, cj, ck + 1),     node_index(ci + 1, cj, ck + 1),
+          node_index(ci + 1, cj + 1, ck + 1), node_index(ci, cj + 1, ck + 1)};
+}
+
+Aabb StructuredBlock::cell_bounds(int ci, int cj, int ck) const {
+  Aabb box;
+  for (const auto corner : cell_corners(ci, cj, ck)) {
+    const auto idx = corner * 3;
+    box.expand({points_[idx], points_[idx + 1], points_[idx + 2]});
+  }
+  return box;
+}
+
+Vec3 StructuredBlock::interpolate_position(const CellCoord& c) const {
+  std::array<double, 8> weights;
+  corner_weights(c.u, c.v, c.w, weights);
+  const auto corners = cell_corners(c.i, c.j, c.k);
+  Vec3 p;
+  for (int n = 0; n < 8; ++n) {
+    const auto idx = corners[n] * 3;
+    p += Vec3(points_[idx], points_[idx + 1], points_[idx + 2]) * weights[n];
+  }
+  return p;
+}
+
+Vec3 StructuredBlock::interpolate_velocity(const CellCoord& c) const {
+  std::array<double, 8> weights;
+  corner_weights(c.u, c.v, c.w, weights);
+  const auto corners = cell_corners(c.i, c.j, c.k);
+  Vec3 u;
+  for (int n = 0; n < 8; ++n) {
+    const auto idx = corners[n] * 3;
+    u += Vec3(velocity_[idx], velocity_[idx + 1], velocity_[idx + 2]) * weights[n];
+  }
+  return u;
+}
+
+double StructuredBlock::interpolate_scalar(const std::string& name, const CellCoord& c) const {
+  std::array<double, 8> weights;
+  corner_weights(c.u, c.v, c.w, weights);
+  const auto corners = cell_corners(c.i, c.j, c.k);
+  const auto& values = scalar(name);
+  double s = 0.0;
+  for (int n = 0; n < 8; ++n) {
+    s += static_cast<double>(values[corners[n]]) * weights[n];
+  }
+  return s;
+}
+
+std::optional<CellCoord> StructuredBlock::world_to_local(int ci, int cj, int ck, const Vec3& p,
+                                                         double eps) const {
+  CellCoord coord{ci, cj, ck, 0.5, 0.5, 0.5};
+  const auto corners = cell_corners(ci, cj, ck);
+  std::array<Vec3, 8> pts;
+  for (int n = 0; n < 8; ++n) {
+    const auto idx = corners[n] * 3;
+    pts[n] = {points_[idx], points_[idx + 1], points_[idx + 2]};
+  }
+
+  // Newton iteration on F(u,v,w) = X(u,v,w) - p.
+  for (int iter = 0; iter < 25; ++iter) {
+    std::array<double, 8> weights;
+    corner_weights(coord.u, coord.v, coord.w, weights);
+    Vec3 x;
+    for (int n = 0; n < 8; ++n) {
+      x += pts[n] * weights[n];
+    }
+    const Vec3 residual = x - p;
+    if (residual.norm2() < 1e-24) {
+      break;
+    }
+
+    std::array<double, 8> du;
+    std::array<double, 8> dv;
+    std::array<double, 8> dw;
+    corner_weight_gradients(coord.u, coord.v, coord.w, du, dv, dw);
+    Vec3 xu;
+    Vec3 xv;
+    Vec3 xw;
+    for (int n = 0; n < 8; ++n) {
+      xu += pts[n] * du[n];
+      xv += pts[n] * dv[n];
+      xw += pts[n] * dw[n];
+    }
+    const Mat3 jac = Mat3::from_cols(xu, xv, xw);
+    if (std::fabs(jac.det()) < 1e-30) {
+      return std::nullopt;  // degenerate cell
+    }
+    const Vec3 step = jac.inverse() * residual;
+    coord.u -= step.x;
+    coord.v -= step.y;
+    coord.w -= step.z;
+    // Keep the iterate in a sane neighbourhood of the cell.
+    coord.u = std::clamp(coord.u, -0.5, 1.5);
+    coord.v = std::clamp(coord.v, -0.5, 1.5);
+    coord.w = std::clamp(coord.w, -0.5, 1.5);
+    if (step.norm2() < 1e-26) {
+      break;
+    }
+  }
+
+  const double lo = -eps;
+  const double hi = 1.0 + eps;
+  if (coord.u < lo || coord.u > hi || coord.v < lo || coord.v > hi || coord.w < lo ||
+      coord.w > hi) {
+    return std::nullopt;
+  }
+  coord.u = std::clamp(coord.u, 0.0, 1.0);
+  coord.v = std::clamp(coord.v, 0.0, 1.0);
+  coord.w = std::clamp(coord.w, 0.0, 1.0);
+
+  // Reject false positives of the clamped Newton iterate: the mapped-back
+  // point must actually coincide with the query.
+  const Vec3 mapped = interpolate_position(coord);
+  const double scale = cell_bounds(ci, cj, ck).diagonal();
+  if ((mapped - p).norm() > 1e-6 * (1.0 + scale)) {
+    return std::nullopt;
+  }
+  return coord;
+}
+
+Mat3 StructuredBlock::position_jacobian(int i, int j, int k) const {
+  auto central = [&](auto getter, int axis) -> Vec3 {
+    int lo[3] = {i, j, k};
+    int hi[3] = {i, j, k};
+    const int dims[3] = {ni_, nj_, nk_};
+    double h = 2.0;
+    if (lo[axis] > 0) {
+      --lo[axis];
+    } else {
+      h -= 1.0;
+    }
+    if (hi[axis] < dims[axis] - 1) {
+      ++hi[axis];
+    } else {
+      h -= 1.0;
+    }
+    const Vec3 a = getter(lo[0], lo[1], lo[2]);
+    const Vec3 b = getter(hi[0], hi[1], hi[2]);
+    return (b - a) / h;
+  };
+  auto pos = [&](int a, int b, int c) { return point(a, b, c); };
+  return Mat3::from_cols(central(pos, 0), central(pos, 1), central(pos, 2));
+}
+
+Mat3 StructuredBlock::velocity_gradient(int i, int j, int k) const {
+  auto central = [&](int axis) -> Vec3 {
+    int lo[3] = {i, j, k};
+    int hi[3] = {i, j, k};
+    const int dims[3] = {ni_, nj_, nk_};
+    double h = 2.0;
+    if (lo[axis] > 0) {
+      --lo[axis];
+    } else {
+      h -= 1.0;
+    }
+    if (hi[axis] < dims[axis] - 1) {
+      ++hi[axis];
+    } else {
+      h -= 1.0;
+    }
+    const Vec3 a = velocity(lo[0], lo[1], lo[2]);
+    const Vec3 b = velocity(hi[0], hi[1], hi[2]);
+    return (b - a) / h;
+  };
+
+  // F[c][axis] = du_c/dξ_axis; J[c][axis] = dx_c/dξ_axis.
+  const Mat3 f = Mat3::from_cols(central(0), central(1), central(2));
+  const Mat3 jac = position_jacobian(i, j, k);
+  return f * jac.inverse();  // du_i/dx_j
+}
+
+Vec3 StructuredBlock::scalar_gradient(const std::string& name, int i, int j, int k) const {
+  const auto& values = scalar(name);
+  auto central = [&](int axis) -> double {
+    int lo[3] = {i, j, k};
+    int hi[3] = {i, j, k};
+    const int dims[3] = {ni_, nj_, nk_};
+    double h = 2.0;
+    if (lo[axis] > 0) {
+      --lo[axis];
+    } else {
+      h -= 1.0;
+    }
+    if (hi[axis] < dims[axis] - 1) {
+      ++hi[axis];
+    } else {
+      h -= 1.0;
+    }
+    return (static_cast<double>(values[node_index(hi[0], hi[1], hi[2])]) -
+            static_cast<double>(values[node_index(lo[0], lo[1], lo[2])])) /
+           h;
+  };
+  // ds/dx_j = Σ_k (ds/dξ_k)(J⁻¹)[k][j]
+  const Vec3 dxi{central(0), central(1), central(2)};
+  const Mat3 inv = position_jacobian(i, j, k).inverse();
+  return {dxi.x * inv(0, 0) + dxi.y * inv(1, 0) + dxi.z * inv(2, 0),
+          dxi.x * inv(0, 1) + dxi.y * inv(1, 1) + dxi.z * inv(2, 1),
+          dxi.x * inv(0, 2) + dxi.y * inv(1, 2) + dxi.z * inv(2, 2)};
+}
+
+StructuredBlock StructuredBlock::coarsened(int stride) const {
+  if (stride < 1) {
+    throw std::invalid_argument("StructuredBlock::coarsened: stride must be >= 1");
+  }
+  auto pick_indices = [stride](int n) {
+    std::vector<int> indices;
+    for (int i = 0; i < n - 1; i += stride) {
+      indices.push_back(i);
+    }
+    indices.push_back(n - 1);
+    return indices;
+  };
+  const auto is = pick_indices(ni_);
+  const auto js = pick_indices(nj_);
+  const auto ks = pick_indices(nk_);
+
+  StructuredBlock coarse(static_cast<int>(is.size()), static_cast<int>(js.size()),
+                         static_cast<int>(ks.size()));
+  coarse.block_id_ = block_id_;
+  coarse.time_ = time_;
+  for (const auto& [name, values] : scalars_) {
+    coarse.scalar(name);
+  }
+  for (std::size_t kk = 0; kk < ks.size(); ++kk) {
+    for (std::size_t jj = 0; jj < js.size(); ++jj) {
+      for (std::size_t ii = 0; ii < is.size(); ++ii) {
+        const int si = is[ii];
+        const int sj = js[jj];
+        const int sk = ks[kk];
+        const int di = static_cast<int>(ii);
+        const int dj = static_cast<int>(jj);
+        const int dk = static_cast<int>(kk);
+        coarse.set_point(di, dj, dk, point(si, sj, sk));
+        coarse.set_velocity(di, dj, dk, velocity(si, sj, sk));
+        for (const auto& [name, values] : scalars_) {
+          coarse.scalar(name)[coarse.node_index(di, dj, dk)] = values[node_index(si, sj, sk)];
+        }
+      }
+    }
+  }
+  return coarse;
+}
+
+void StructuredBlock::serialize(util::ByteBuffer& out) const {
+  out.write<std::uint32_t>(kBlockMagic);
+  out.write<std::int32_t>(ni_);
+  out.write<std::int32_t>(nj_);
+  out.write<std::int32_t>(nk_);
+  out.write<std::int32_t>(block_id_);
+  out.write<double>(time_);
+  out.write_vector(points_);
+  out.write_vector(velocity_);
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(scalars_.size()));
+  for (const auto& [name, values] : scalars_) {
+    out.write_string(name);
+    out.write_vector(values);
+  }
+}
+
+StructuredBlock StructuredBlock::deserialize(util::ByteBuffer& in) {
+  const auto magic = in.read<std::uint32_t>();
+  if (magic != kBlockMagic) {
+    throw std::runtime_error("StructuredBlock::deserialize: bad magic");
+  }
+  const auto ni = in.read<std::int32_t>();
+  const auto nj = in.read<std::int32_t>();
+  const auto nk = in.read<std::int32_t>();
+  StructuredBlock block(ni, nj, nk);
+  block.block_id_ = in.read<std::int32_t>();
+  block.time_ = in.read<double>();
+  block.points_ = in.read_vector<float>();
+  block.velocity_ = in.read_vector<float>();
+  if (block.points_.size() != static_cast<std::size_t>(block.node_count()) * 3 ||
+      block.velocity_.size() != static_cast<std::size_t>(block.node_count()) * 3) {
+    throw std::runtime_error("StructuredBlock::deserialize: truncated payload");
+  }
+  const auto nscalars = in.read<std::uint32_t>();
+  for (std::uint32_t s = 0; s < nscalars; ++s) {
+    std::string name = in.read_string();
+    auto values = in.read_vector<float>();
+    if (values.size() != static_cast<std::size_t>(block.node_count())) {
+      throw std::runtime_error("StructuredBlock::deserialize: scalar size mismatch");
+    }
+    block.scalars_[std::move(name)] = std::move(values);
+  }
+  block.bounds_dirty_ = true;
+  return block;
+}
+
+std::uint64_t StructuredBlock::serialized_size() const {
+  std::uint64_t size = 4 + 4 * 4 + 8;                       // header
+  size += 8 + points_.size() * sizeof(float);               // points
+  size += 8 + velocity_.size() * sizeof(float);             // velocity
+  size += 4;                                                // scalar count
+  for (const auto& [name, values] : scalars_) {
+    size += 8 + name.size() + 8 + values.size() * sizeof(float);
+  }
+  return size;
+}
+
+}  // namespace vira::grid

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file structured_block.hpp
+/// Curvilinear structured grid block — the unit of CFD data in Viracocha.
+///
+/// The paper's datasets are "multi-block data sets consisting of several
+/// curvilinear blocks" (Sec. 6.1). A block is a logically Cartesian grid of
+/// ni×nj×nk nodes; every node carries a world position, a velocity vector
+/// and any number of named scalar fields (pressure, density, λ2, ...).
+/// Storage is float (as CFD solver output typically is); all computations
+/// are performed in double.
+///
+/// A block serializes to a flat byte blob — that blob is exactly the "data
+/// item" the DMS caches and ships between nodes without understanding its
+/// structure (Sec. 4: raw data and manipulation methods are separated).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "math/mat3.hpp"
+#include "math/vec3.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vira::grid {
+
+using math::Aabb;
+using math::Mat3;
+using math::Vec3;
+
+/// Local coordinates inside one hexahedral cell, each in [0,1].
+struct CellCoord {
+  int i = 0;
+  int j = 0;
+  int k = 0;
+  double u = 0.0;
+  double v = 0.0;
+  double w = 0.0;
+};
+
+class StructuredBlock {
+ public:
+  StructuredBlock() = default;
+  StructuredBlock(int ni, int nj, int nk);
+
+  /// --- topology -----------------------------------------------------------
+  int ni() const noexcept { return ni_; }
+  int nj() const noexcept { return nj_; }
+  int nk() const noexcept { return nk_; }
+  std::int64_t node_count() const noexcept {
+    return static_cast<std::int64_t>(ni_) * nj_ * nk_;
+  }
+  std::int64_t cell_count() const noexcept {
+    return static_cast<std::int64_t>(ni_ - 1) * (nj_ - 1) * (nk_ - 1);
+  }
+  int cells_i() const noexcept { return ni_ - 1; }
+  int cells_j() const noexcept { return nj_ - 1; }
+  int cells_k() const noexcept { return nk_ - 1; }
+
+  std::int64_t node_index(int i, int j, int k) const noexcept {
+    return (static_cast<std::int64_t>(k) * nj_ + j) * ni_ + i;
+  }
+
+  /// --- identity -----------------------------------------------------------
+  int block_id() const noexcept { return block_id_; }
+  void set_block_id(int id) noexcept { block_id_ = id; }
+  double time() const noexcept { return time_; }
+  void set_time(double t) noexcept { time_ = t; }
+
+  /// --- geometry -----------------------------------------------------------
+  Vec3 point(int i, int j, int k) const {
+    const auto idx = node_index(i, j, k) * 3;
+    return {points_[idx], points_[idx + 1], points_[idx + 2]};
+  }
+  void set_point(int i, int j, int k, const Vec3& p) {
+    const auto idx = node_index(i, j, k) * 3;
+    points_[idx] = static_cast<float>(p.x);
+    points_[idx + 1] = static_cast<float>(p.y);
+    points_[idx + 2] = static_cast<float>(p.z);
+    bounds_dirty_ = true;
+  }
+
+  /// Bounding box over all nodes (cached; recomputed after edits).
+  const Aabb& bounds() const;
+
+  /// --- velocity -----------------------------------------------------------
+  Vec3 velocity(int i, int j, int k) const {
+    const auto idx = node_index(i, j, k) * 3;
+    return {velocity_[idx], velocity_[idx + 1], velocity_[idx + 2]};
+  }
+  void set_velocity(int i, int j, int k, const Vec3& u) {
+    const auto idx = node_index(i, j, k) * 3;
+    velocity_[idx] = static_cast<float>(u.x);
+    velocity_[idx + 1] = static_cast<float>(u.y);
+    velocity_[idx + 2] = static_cast<float>(u.z);
+  }
+
+  /// --- named node scalars --------------------------------------------------
+  bool has_scalar(const std::string& name) const { return scalars_.count(name) > 0; }
+  std::vector<std::string> scalar_names() const;
+  /// Creates the field (zero-filled) if absent.
+  std::vector<float>& scalar(const std::string& name);
+  const std::vector<float>& scalar(const std::string& name) const;
+  float scalar_at(const std::string& name, int i, int j, int k) const {
+    return scalar(name)[node_index(i, j, k)];
+  }
+  void set_scalar_at(const std::string& name, int i, int j, int k, float value) {
+    scalar(name)[node_index(i, j, k)] = value;
+  }
+  /// Min/max of a scalar field over the block.
+  std::pair<float, float> scalar_range(const std::string& name) const;
+
+  /// --- cell access ----------------------------------------------------------
+  /// Corner node indices of cell (ci,cj,ck) in marching-cubes order:
+  /// 0:(i,j,k) 1:(i+1,j,k) 2:(i+1,j+1,k) 3:(i,j+1,k)
+  /// 4:(i,j,k+1) 5:(i+1,j,k+1) 6:(i+1,j+1,k+1) 7:(i,j+1,k+1)
+  std::array<std::int64_t, 8> cell_corners(int ci, int cj, int ck) const;
+
+  Aabb cell_bounds(int ci, int cj, int ck) const;
+
+  /// --- interpolation ----------------------------------------------------------
+  /// Trilinear position inside a cell.
+  Vec3 interpolate_position(const CellCoord& c) const;
+  /// Trilinear velocity inside a cell.
+  Vec3 interpolate_velocity(const CellCoord& c) const;
+  /// Trilinear scalar inside a cell.
+  double interpolate_scalar(const std::string& name, const CellCoord& c) const;
+
+  /// Inverts the trilinear map of cell (ci,cj,ck): finds (u,v,w) with
+  /// X(u,v,w) = p via Newton iteration. Returns the coordinate if the point
+  /// lies inside the cell (within `eps` in local space), nullopt otherwise.
+  std::optional<CellCoord> world_to_local(int ci, int cj, int ck, const Vec3& p,
+                                          double eps = 1e-9) const;
+
+  /// --- derivatives --------------------------------------------------------
+  /// Velocity gradient tensor G(i,j) = ∂u_i/∂x_j at a node, computed from
+  /// computational-space finite differences and the inverse metric Jacobian
+  /// (central differences inside, one-sided at block faces).
+  Mat3 velocity_gradient(int i, int j, int k) const;
+
+  /// Spatial gradient ∇s of a node scalar at a node (same metric-term
+  /// scheme as velocity_gradient). Drives isosurface normals.
+  Vec3 scalar_gradient(const std::string& name, int i, int j, int k) const;
+
+  /// --- multiresolution (Sec. 5.3) -------------------------------------------
+  /// Subsampled copy taking every `stride`-th node in each direction
+  /// (boundary nodes always kept) — the coarse level for progressive
+  /// computation.
+  StructuredBlock coarsened(int stride) const;
+
+  /// --- serialization ----------------------------------------------------------
+  void serialize(util::ByteBuffer& out) const;
+  static StructuredBlock deserialize(util::ByteBuffer& in);
+
+  /// Bytes the serialized form occupies (header + payloads).
+  std::uint64_t serialized_size() const;
+
+ private:
+  Mat3 position_jacobian(int i, int j, int k) const;
+
+  int ni_ = 0;
+  int nj_ = 0;
+  int nk_ = 0;
+  int block_id_ = -1;
+  double time_ = 0.0;
+  std::vector<float> points_;
+  std::vector<float> velocity_;
+  std::map<std::string, std::vector<float>> scalars_;
+
+  mutable Aabb bounds_;
+  mutable bool bounds_dirty_ = true;
+};
+
+}  // namespace vira::grid

@@ -1,0 +1,330 @@
+#include "grid/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace vira::grid {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Swirl about an axis whose strength decays with axial distance from a
+/// rotor plane — a cheap but structurally faithful blade-row model.
+class BladeRowSwirl final : public FlowField {
+ public:
+  BladeRowSwirl(const Vec3& plane_point, const Vec3& axis, double omega, double axial_decay)
+      : plane_point_(plane_point),
+        axis_(axis.normalized()),
+        omega_(omega),
+        axial_decay_(axial_decay) {}
+
+  Vec3 velocity(const Vec3& p, double) const override {
+    const Vec3 rel = p - plane_point_;
+    const double axial = rel.dot(axis_);
+    const double weight = std::exp(-axial * axial / (axial_decay_ * axial_decay_));
+    return (axis_ * omega_).cross(rel - axis_ * axial) * weight;
+  }
+
+ private:
+  Vec3 plane_point_;
+  Vec3 axis_;
+  double omega_;
+  double axial_decay_;
+};
+
+/// A blade-tip vortex: a Lamb–Oseen filament parallel to the machine axis
+/// whose azimuthal anchor position rotates with the blade row.
+class RotatingTipVortex final : public FlowField {
+ public:
+  RotatingTipVortex(const Vec3& axis_origin, const Vec3& axis, double anchor_radius,
+                    double anchor_phase, double row_omega, double gamma, double core)
+      : axis_origin_(axis_origin),
+        axis_(axis.normalized()),
+        anchor_radius_(anchor_radius),
+        anchor_phase_(anchor_phase),
+        row_omega_(row_omega),
+        gamma_(gamma),
+        core_(core) {}
+
+  Vec3 velocity(const Vec3& p, double t) const override {
+    const double phase = anchor_phase_ + row_omega_ * t;
+    // Build an orthonormal frame (e1, e2) perpendicular to the axis.
+    const Vec3 e1 = pick_perpendicular(axis_);
+    const Vec3 e2 = axis_.cross(e1);
+    const Vec3 anchor =
+        axis_origin_ + (e1 * std::cos(phase) + e2 * std::sin(phase)) * anchor_radius_;
+    const LambOseenVortex filament(anchor, axis_, gamma_, core_);
+    return filament.velocity(p, t);
+  }
+
+ private:
+  static Vec3 pick_perpendicular(const Vec3& axis) {
+    const Vec3 trial = std::fabs(axis.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+    return axis.cross(trial).normalized();
+  }
+
+  Vec3 axis_origin_;
+  Vec3 axis_;
+  double anchor_radius_;
+  double anchor_phase_;
+  double row_omega_;
+  double gamma_;
+  double core_;
+};
+
+/// Builds a curvilinear annular-sector block.
+/// Parameterization: ξ → radius [r0,r1], η → angle [th0,th1], ζ → axial
+/// coordinate [a0,a1] along `axis` (0=x machine axis, 2=z cylinder axis).
+StructuredBlock make_sector_block(int id, int ni, int nj, int nk, double r0, double r1,
+                                  double th0, double th1, double a0, double a1, int axis,
+                                  double waviness, util::Rng& rng) {
+  StructuredBlock block(ni, nj, nk);
+  block.set_block_id(id);
+  const double jitter = rng.uniform(0.0, 2.0 * kPi);
+  for (int k = 0; k < nk; ++k) {
+    const double w = nk > 1 ? static_cast<double>(k) / (nk - 1) : 0.0;
+    const double a = a0 + (a1 - a0) * w;
+    for (int j = 0; j < nj; ++j) {
+      const double v = nj > 1 ? static_cast<double>(j) / (nj - 1) : 0.0;
+      const double th = th0 + (th1 - th0) * v;
+      for (int i = 0; i < ni; ++i) {
+        const double u = ni > 1 ? static_cast<double>(i) / (ni - 1) : 0.0;
+        // Mild radial waviness makes the mapping genuinely curvilinear.
+        const double r =
+            (r0 + (r1 - r0) * u) * (1.0 + waviness * std::sin(3.0 * th + 5.0 * w + jitter));
+        Vec3 p;
+        if (axis == 2) {  // cylinder about z (Engine)
+          p = {r * std::cos(th), r * std::sin(th), a};
+        } else {  // annulus about x (Propfan)
+          p = {a, r * std::cos(th), r * std::sin(th)};
+        }
+        block.set_point(i, j, k, p);
+      }
+    }
+  }
+  return block;
+}
+
+/// Core (near-axis) block of the engine cylinder: a square cross-section
+/// column, slightly rounded so its cells stay curvilinear.
+StructuredBlock make_core_block(int id, int ni, int nj, int nk, double half_width, double z0,
+                                double z1) {
+  StructuredBlock block(ni, nj, nk);
+  block.set_block_id(id);
+  for (int k = 0; k < nk; ++k) {
+    const double w = nk > 1 ? static_cast<double>(k) / (nk - 1) : 0.0;
+    const double z = z0 + (z1 - z0) * w;
+    for (int j = 0; j < nj; ++j) {
+      const double v = nj > 1 ? 2.0 * j / (nj - 1) - 1.0 : 0.0;  // [-1,1]
+      for (int i = 0; i < ni; ++i) {
+        const double u = ni > 1 ? 2.0 * i / (ni - 1) - 1.0 : 0.0;
+        // Rounded-square mapping: pull corners inwards so the core block
+        // roughly inscribes the surrounding annulus.
+        const double bulge = 1.0 - 0.2 * u * u * v * v;
+        block.set_point(i, j, k, {half_width * u * bulge, half_width * v * bulge, z});
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace
+
+void sample_fields(StructuredBlock& block, const FlowField& field, double t) {
+  block.set_time(t);
+  auto& pressure = block.scalar("pressure");
+  auto& density = block.scalar("density");
+  for (int k = 0; k < block.nk(); ++k) {
+    for (int j = 0; j < block.nj(); ++j) {
+      for (int i = 0; i < block.ni(); ++i) {
+        const Vec3 p = block.point(i, j, k);
+        const Vec3 u = field.velocity(p, t);
+        block.set_velocity(i, j, k, u);
+        const double press = field.pressure(p, t);
+        const auto idx = block.node_index(i, j, k);
+        pressure[idx] = static_cast<float>(press);
+        // Pseudo-compressible density: isentropic relation around
+        // (rho0, p0) = (1.2, 1.0), clamped away from vacuum.
+        const double ratio = std::max(0.3, press);
+        density[idx] = static_cast<float>(1.2 * std::pow(ratio, 1.0 / 1.4));
+      }
+    }
+  }
+}
+
+std::shared_ptr<const FlowField> make_engine_flow(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto flow = std::make_shared<SuperposedFlow>();
+  // Intake jet: downward axial flow (valves at z = 0.1 m). Kept moderate
+  // so particles recirculate for several crank angles instead of being
+  // flushed straight through.
+  flow->add(std::make_shared<UniformFlow>(Vec3{0.0, 0.0, -2.5}), 1.0, 0.6, 35.0,
+            rng.uniform(0.0, kPi));
+  // Swirl about the cylinder axis; strength breathes with crank angle.
+  flow->add(std::make_shared<RigidRotation>(Vec3{0, 0, 0}, Vec3{0, 0, 1}, 180.0), 1.0, 0.6, 25.0,
+            rng.uniform(0.0, kPi));
+  // Tumble vortex about a horizontal axis mid-cylinder.
+  flow->add(std::make_shared<LambOseenVortex>(Vec3{0.0, 0.0, 0.05}, Vec3{0, 1, 0}, 0.9, 0.018),
+            1.0, 0.4, 18.0, rng.uniform(0.0, kPi));
+  // Two intake-port vortices under the valves (counter-rotating pair).
+  flow->add(std::make_shared<LambOseenVortex>(Vec3{0.02, 0.015, 0.08}, Vec3{0, 0, 1}, 0.5, 0.01),
+            1.0, 0.5, 42.0, rng.uniform(0.0, kPi));
+  flow->add(std::make_shared<LambOseenVortex>(Vec3{-0.02, 0.015, 0.08}, Vec3{0, 0, 1}, -0.5, 0.01),
+            1.0, 0.5, 42.0, rng.uniform(0.0, kPi));
+  flow->set_reference_speed(16.0);  // keeps the Bernoulli pressure O(1)
+  return flow;
+}
+
+std::shared_ptr<const FlowField> make_propfan_flow(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto flow = std::make_shared<SuperposedFlow>();
+  const Vec3 axis{1, 0, 0};
+  // Freestream along the machine axis.
+  flow->add(std::make_shared<UniformFlow>(Vec3{40.0, 0.0, 0.0}), 1.0, 0.1, 12.0,
+            rng.uniform(0.0, kPi));
+  // Two counter-rotating blade rows (front at x=-0.25, rear at x=+0.25).
+  flow->add(std::make_shared<BladeRowSwirl>(Vec3{-0.25, 0, 0}, axis, 110.0, 0.35), 1.0, 0.15,
+            20.0, rng.uniform(0.0, kPi));
+  flow->add(std::make_shared<BladeRowSwirl>(Vec3{0.25, 0, 0}, axis, -110.0, 0.35), 1.0, 0.15,
+            20.0, rng.uniform(0.0, kPi));
+  // Blade-tip vortices: 6 per row at 85% span, rotating with the row.
+  const double tip_radius = 0.85;
+  for (int blade = 0; blade < 6; ++blade) {
+    const double phase = 2.0 * kPi * blade / 6.0;
+    flow->add(std::make_shared<RotatingTipVortex>(Vec3{-0.25, 0, 0}, axis, tip_radius, phase,
+                                                  9.0, 1.6, 0.05),
+              1.0, 0.0, 0.0, 0.0);
+    flow->add(std::make_shared<RotatingTipVortex>(Vec3{0.25, 0, 0}, axis, tip_radius,
+                                                  phase + kPi / 6.0, -9.0, -1.6, 0.05),
+              1.0, 0.0, 0.0, 0.0);
+  }
+  flow->set_reference_speed(140.0);  // freestream + blade-tip speeds
+  return flow;
+}
+
+DatasetMeta generate_engine(const GeneratorConfig& config) {
+  const int timesteps = config.timesteps > 0 ? config.timesteps : 63;
+  const int ni = config.ni > 0 ? config.ni : 22;
+  const int nj = config.nj > 0 ? config.nj : 16;
+  const int nk = config.nk > 0 ? config.nk : 12;
+
+  const auto flow = make_engine_flow(config.seed);
+  util::Rng rng(config.seed);
+
+  // Geometry: cylinder bore radius 45 mm, height 100 mm.
+  constexpr double kBore = 0.045;
+  constexpr double kCore = 0.016;
+  constexpr double kHeight = 0.10;
+  constexpr int kSectors = 11;
+  constexpr int kLayers = 2;  // 1 core + 11*2 = 23 blocks
+
+  // Pre-build static geometry once; fields are resampled per time step.
+  std::vector<StructuredBlock> geometry;
+  geometry.push_back(make_core_block(0, ni, nj, nk, kCore, 0.0, kHeight));
+  int id = 1;
+  for (int layer = 0; layer < kLayers; ++layer) {
+    const double z0 = kHeight * layer / kLayers;
+    const double z1 = kHeight * (layer + 1) / kLayers;
+    for (int sector = 0; sector < kSectors; ++sector) {
+      const double th0 = 2.0 * kPi * sector / kSectors;
+      const double th1 = 2.0 * kPi * (sector + 1) / kSectors;
+      geometry.push_back(make_sector_block(id++, ni, nj, nk, kCore * 0.9, kBore, th0, th1, z0, z1,
+                                           /*axis=*/2, 0.015, rng));
+    }
+  }
+
+  DatasetWriter writer(config.directory, "Engine");
+  for (int step = 0; step < timesteps; ++step) {
+    const double t = step * config.dt;
+    writer.begin_timestep(t);
+    for (auto& block : geometry) {
+      sample_fields(block, *flow, t);
+      writer.add_block(block);
+    }
+    writer.end_timestep();
+  }
+  return writer.finish();
+}
+
+DatasetMeta generate_propfan(const GeneratorConfig& config) {
+  const int timesteps = config.timesteps > 0 ? config.timesteps : 50;
+  const int ni = config.ni > 0 ? config.ni : 16;
+  const int nj = config.nj > 0 ? config.nj : 13;
+  const int nk = config.nk > 0 ? config.nk : 11;
+
+  const auto flow = make_propfan_flow(config.seed);
+  util::Rng rng(config.seed);
+
+  // Geometry: annulus about the x axis, hub 0.3 m, tip 1.0 m, x ∈ [-0.6, 0.6].
+  constexpr double kHub = 0.3;
+  constexpr double kTip = 1.0;
+  constexpr double kX0 = -0.6;
+  constexpr double kX1 = 0.6;
+  constexpr int kPassages = 12;  // azimuthal
+  constexpr int kSegments = 12;  // axial: 12 × 12 = 144 blocks
+
+  std::vector<StructuredBlock> geometry;
+  int id = 0;
+  for (int segment = 0; segment < kSegments; ++segment) {
+    const double a0 = kX0 + (kX1 - kX0) * segment / kSegments;
+    const double a1 = kX0 + (kX1 - kX0) * (segment + 1) / kSegments;
+    for (int passage = 0; passage < kPassages; ++passage) {
+      const double th0 = 2.0 * kPi * passage / kPassages;
+      const double th1 = 2.0 * kPi * (passage + 1) / kPassages;
+      geometry.push_back(make_sector_block(id++, ni, nj, nk, kHub, kTip, th0, th1, a0, a1,
+                                           /*axis=*/0, 0.01, rng));
+    }
+  }
+
+  DatasetWriter writer(config.directory, "Propfan");
+  for (int step = 0; step < timesteps; ++step) {
+    const double t = step * config.dt;
+    writer.begin_timestep(t);
+    for (auto& block : geometry) {
+      sample_fields(block, *flow, t);
+      writer.add_block(block);
+    }
+    writer.end_timestep();
+  }
+  return writer.finish();
+}
+
+DatasetMeta generate_box(const std::string& directory, const FlowField& field, int timesteps,
+                         int ni, int nj, int nk, const Vec3& lo, const Vec3& hi, double dt,
+                         int nblocks) {
+  DatasetWriter writer(directory, "Box");
+  // Split the box into `nblocks` slabs along x.
+  std::vector<StructuredBlock> geometry;
+  for (int b = 0; b < nblocks; ++b) {
+    StructuredBlock block(ni, nj, nk);
+    block.set_block_id(b);
+    const double x0 = lo.x + (hi.x - lo.x) * b / nblocks;
+    const double x1 = lo.x + (hi.x - lo.x) * (b + 1) / nblocks;
+    for (int k = 0; k < nk; ++k) {
+      for (int j = 0; j < nj; ++j) {
+        for (int i = 0; i < ni; ++i) {
+          const double u = ni > 1 ? static_cast<double>(i) / (ni - 1) : 0.0;
+          const double v = nj > 1 ? static_cast<double>(j) / (nj - 1) : 0.0;
+          const double w = nk > 1 ? static_cast<double>(k) / (nk - 1) : 0.0;
+          block.set_point(i, j, k,
+                          {x0 + (x1 - x0) * u, lo.y + (hi.y - lo.y) * v, lo.z + (hi.z - lo.z) * w});
+        }
+      }
+    }
+    geometry.push_back(std::move(block));
+  }
+  for (int step = 0; step < timesteps; ++step) {
+    const double t = step * dt;
+    writer.begin_timestep(t);
+    for (auto& block : geometry) {
+      sample_fields(block, field, t);
+      writer.add_block(block);
+    }
+    writer.end_timestep();
+  }
+  return writer.finish();
+}
+
+}  // namespace vira::grid

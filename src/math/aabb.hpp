@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file aabb.hpp
+/// Axis-aligned bounding boxes (block extents, BSP leaves, locator bins).
+
+#include <limits>
+
+#include "math/vec3.hpp"
+
+namespace vira::math {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void expand(const Vec3& p) {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+
+  void expand(const Aabb& other) {
+    lo = min(lo, other.lo);
+    hi = max(hi, other.hi);
+  }
+
+  bool contains(const Vec3& p, double eps = 0.0) const {
+    return p.x >= lo.x - eps && p.x <= hi.x + eps && p.y >= lo.y - eps && p.y <= hi.y + eps &&
+           p.z >= lo.z - eps && p.z <= hi.z + eps;
+  }
+
+  bool overlaps(const Aabb& other) const {
+    return lo.x <= other.hi.x && hi.x >= other.lo.x && lo.y <= other.hi.y && hi.y >= other.lo.y &&
+           lo.z <= other.hi.z && hi.z >= other.lo.z;
+  }
+
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return hi - lo; }
+
+  double diagonal() const { return valid() ? (hi - lo).norm() : 0.0; }
+
+  /// Squared distance from a point to the box (0 if inside).
+  double distance2(const Vec3& p) const {
+    double d2 = 0.0;
+    for (int axis = 0; axis < 3; ++axis) {
+      const double v = p[axis];
+      if (v < lo[axis]) {
+        const double d = lo[axis] - v;
+        d2 += d * d;
+      } else if (v > hi[axis]) {
+        const double d = v - hi[axis];
+        d2 += d * d;
+      }
+    }
+    return d2;
+  }
+};
+
+}  // namespace vira::math

@@ -1,0 +1,117 @@
+#include "math/eigen_sym3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vira::math {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+std::array<double, 3> eigenvalues_sym3(const Mat3& a) {
+  const double a00 = a(0, 0);
+  const double a11 = a(1, 1);
+  const double a22 = a(2, 2);
+  const double a01 = a(0, 1);
+  const double a02 = a(0, 2);
+  const double a12 = a(1, 2);
+
+  const double off = a01 * a01 + a02 * a02 + a12 * a12;
+  if (off == 0.0) {
+    // Already diagonal.
+    std::array<double, 3> v{a00, a11, a22};
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  const double q = (a00 + a11 + a22) / 3.0;
+  const double b00 = a00 - q;
+  const double b11 = a11 - q;
+  const double b22 = a22 - q;
+  const double p2 = b00 * b00 + b11 * b11 + b22 * b22 + 2.0 * off;
+  const double p = std::sqrt(p2 / 6.0);
+
+  // det(B) / 2 with B = (A - qI) / p
+  const double inv_p = 1.0 / p;
+  const double c00 = b00 * inv_p;
+  const double c11 = b11 * inv_p;
+  const double c22 = b22 * inv_p;
+  const double c01 = a01 * inv_p;
+  const double c02 = a02 * inv_p;
+  const double c12 = a12 * inv_p;
+  const double half_det = 0.5 * (c00 * (c11 * c22 - c12 * c12) - c01 * (c01 * c22 - c12 * c02) +
+                                 c02 * (c01 * c12 - c11 * c02));
+
+  const double r = std::clamp(half_det, -1.0, 1.0);
+  const double phi = std::acos(r) / 3.0;
+
+  const double e2 = q + 2.0 * p * std::cos(phi);                   // largest
+  const double e0 = q + 2.0 * p * std::cos(phi + 2.0 * kPi / 3.0); // smallest
+  const double e1 = 3.0 * q - e0 - e2;                             // middle (trace preserved)
+  return {e0, e1, e2};
+}
+
+double middle_eigenvalue_sym3(const Mat3& a) { return eigenvalues_sym3(a)[1]; }
+
+EigenSym3 eigen_decompose_sym3(const Mat3& a) {
+  // Cyclic Jacobi; symmetric input assumed (upper triangle used).
+  Mat3 d = a;
+  Mat3 v = Mat3::identity();
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        off += d(i, j) * d(i, j);
+      }
+    }
+    if (off < 1e-30) {
+      break;
+    }
+    for (int p = 0; p < 3; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        if (std::fabs(d(p, q)) < 1e-300) {
+          continue;
+        }
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        Mat3 rot = Mat3::identity();
+        rot(p, p) = c;
+        rot(q, q) = c;
+        rot(p, q) = s;
+        rot(q, p) = -s;
+
+        d = rot.transpose() * d * rot;
+        v = v * rot;
+      }
+    }
+  }
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::array<int, 3> order{0, 1, 2};
+  std::sort(order.begin(), order.end(), [&](int i, int j) { return d(i, i) < d(j, j); });
+
+  EigenSym3 result;
+  for (int k = 0; k < 3; ++k) {
+    result.values[k] = d(order[k], order[k]);
+    for (int row = 0; row < 3; ++row) {
+      result.vectors(row, k) = v(row, order[k]);
+    }
+  }
+  return result;
+}
+
+double lambda2_of(const Mat3& velocity_gradient) {
+  const Mat3 s = velocity_gradient.symmetric_part();
+  const Mat3 q = velocity_gradient.antisymmetric_part();
+  return middle_eigenvalue_sym3(s * s + q * q);
+}
+
+}  // namespace vira::math

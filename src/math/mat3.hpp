@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file mat3.hpp
+/// 3x3 matrix; row-major. Carries exactly what the λ2 criterion and the
+/// curvilinear metric terms need: products, transpose, inverse,
+/// symmetric/antisymmetric split.
+
+#include <array>
+#include <cmath>
+
+#include "math/vec3.hpp"
+
+namespace vira::math {
+
+struct Mat3 {
+  // m[row][col]
+  std::array<std::array<double, 3>, 3> m{{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}};
+
+  constexpr Mat3() = default;
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+    return r;
+  }
+
+  static constexpr Mat3 from_rows(const Vec3& r0, const Vec3& r1, const Vec3& r2) {
+    Mat3 r;
+    r.m[0] = {r0.x, r0.y, r0.z};
+    r.m[1] = {r1.x, r1.y, r1.z};
+    r.m[2] = {r2.x, r2.y, r2.z};
+    return r;
+  }
+
+  static constexpr Mat3 from_cols(const Vec3& c0, const Vec3& c1, const Vec3& c2) {
+    Mat3 r;
+    r.m[0] = {c0.x, c1.x, c2.x};
+    r.m[1] = {c0.y, c1.y, c2.y};
+    r.m[2] = {c0.z, c1.z, c2.z};
+    return r;
+  }
+
+  constexpr double operator()(int row, int col) const { return m[row][col]; }
+  double& operator()(int row, int col) { return m[row][col]; }
+
+  constexpr Mat3 operator+(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] + o.m[i][j];
+    return r;
+  }
+
+  constexpr Mat3 operator-(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] - o.m[i][j];
+    return r;
+  }
+
+  constexpr Mat3 operator*(double s) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] * s;
+    return r;
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double sum = 0.0;
+        for (int k = 0; k < 3; ++k) sum += m[i][k] * o.m[k][j];
+        r.m[i][j] = sum;
+      }
+    }
+    return r;
+  }
+
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  constexpr Mat3 transpose() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  constexpr double det() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  constexpr double trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+
+  /// Inverse via adjugate. Returns identity-scaled garbage if singular;
+  /// callers that may face singular Jacobians check det() first.
+  constexpr Mat3 inverse() const {
+    const double d = det();
+    const double inv = d != 0.0 ? 1.0 / d : 0.0;
+    Mat3 r;
+    r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv;
+    r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv;
+    r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv;
+    r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv;
+    r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv;
+    r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv;
+    r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv;
+    r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv;
+    r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv;
+    return r;
+  }
+
+  /// Symmetric part S = (A + Aᵀ)/2  — strain-rate tensor.
+  constexpr Mat3 symmetric_part() const { return (*this + transpose()) * 0.5; }
+
+  /// Antisymmetric part Q = (A - Aᵀ)/2 — rotation-rate tensor.
+  constexpr Mat3 antisymmetric_part() const { return (*this - transpose()) * 0.5; }
+
+  double frobenius_norm() const {
+    double sum = 0.0;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) sum += m[i][j] * m[i][j];
+    return std::sqrt(sum);
+  }
+};
+
+}  // namespace vira::math

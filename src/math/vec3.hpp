@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file vec3.hpp
+/// 3-component vector used throughout grids, geometry and integration.
+/// double precision; field storage in StructuredBlock is float and converts
+/// on access (the original system stored single-precision CFD data too).
+
+#include <cmath>
+#include <cstddef>
+
+namespace vira::math {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Component-wise min/max, for bounding boxes.
+inline Vec3 min(const Vec3& a, const Vec3& b) {
+  return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+inline Vec3 max(const Vec3& a, const Vec3& b) {
+  return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+/// Linear interpolation a + t (b - a).
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) { return a + (b - a) * t; }
+
+}  // namespace vira::math

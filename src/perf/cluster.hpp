@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file cluster.hpp
+/// Virtual cluster model for the performance figures.
+///
+/// The paper measured on a 24-CPU SUN Fire 6800 (900 MHz UltraSPARC-III,
+/// Sec. 6.2) with the data on a file server. This build machine cannot
+/// reproduce those wall-clock curves (see DESIGN.md), so the figure benches
+/// replay the real per-block costs — measured by running the real
+/// algorithms on the real (synthetic) datasets — on this model inside the
+/// vira::sim discrete-event engine.
+///
+/// Calibration: `calibrate` anchors the model against the measured Engine
+/// isosurface profile such that (a) one virtual worker spends ≈
+/// `anchor_compute_seconds` computing the Engine isosurface — the order of
+/// magnitude Fig. 6 reports — and (b) reading the data cold takes about as
+/// long as computing it, the 50/49 compute/read split of Fig. 15's
+/// SimpleIso pie. Everything else (scaling shapes, crossovers, prefetch
+/// overlap, streaming latencies) then *emerges* from the replayed policies.
+
+#include <cstdint>
+
+namespace vira::perf {
+
+struct ClusterModel {
+  int cpus = 24;                  ///< SUN Fire 6800 node
+  /// Virtual-CPU slowdown relative to the build host. NOTE: this factor
+  /// folds together (a) the 900 MHz UltraSPARC-III being slower than a
+  /// modern core AND (b) the synthetic datasets being resolution-scaled
+  /// (fewer cells per block than the originals, see DESIGN.md). It is a
+  /// time-unit conversion, not a literal hardware claim.
+  double cpu_scale = 100.0;
+  double disk_bandwidth = 50e6;   ///< bytes/s, file-server link (shared)
+  double disk_latency = 5e-3;     ///< per-request seek + queue
+  double client_bandwidth = 12e6; ///< backend → viz host TCP link
+  double client_latency = 4e-3;   ///< per-packet
+  double intra_bandwidth = 250e6; ///< worker ↔ worker (gather at master)
+  double intra_latency = 5e-4;
+  double dispatch_seconds = 0.08; ///< scheduler work-group formation (fixed)
+  double per_worker_overhead = 0.06; ///< group formation + collection per member
+  double cache_hit_seconds = 2e-4;///< primary-cache lookup + hand-over
+  double fragment_pack_seconds = 8e-3; ///< worker-side packing per streamed fragment
+};
+
+}  // namespace vira::perf

@@ -1,0 +1,230 @@
+#include "perf/profile.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "algo/block_sampler.hpp"
+#include "algo/isosurface.hpp"
+#include "algo/lambda2.hpp"
+#include "grid/bsp_tree.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace vira::perf {
+
+double ExtractionProfile::host_compute_seconds() const {
+  double total = 0.0;
+  for (const auto& block : blocks) {
+    total += block.compute_seconds;
+  }
+  return total;
+}
+
+std::uint64_t ExtractionProfile::total_read_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) {
+    total += block.read_bytes;
+  }
+  return total;
+}
+
+std::uint64_t ExtractionProfile::total_result_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) {
+    total += block.result_bytes;
+  }
+  return total;
+}
+
+namespace {
+
+std::uint64_t block_bytes(const grid::DatasetReader& reader, int step, int block) {
+  return reader.meta()
+      .steps.at(static_cast<std::size_t>(step))
+      .blocks.at(static_cast<std::size_t>(block))
+      .size;
+}
+
+}  // namespace
+
+ExtractionProfile profile_iso(const grid::DatasetReader& reader, int step,
+                              const std::string& field, float iso, int stream_cells,
+                              int repeats) {
+  ExtractionProfile profile;
+  profile.command = "iso";
+  const int blocks = reader.meta().block_count();
+  for (int b = 0; b < blocks; ++b) {
+    const auto block = reader.read_block(step, b);
+    BlockCost cost;
+    cost.block = b;
+    cost.read_bytes = block_bytes(reader, step, b);
+
+    algo::TriangleMesh mesh;
+    std::size_t active = 0;
+    cost.compute_seconds = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < std::max(1, repeats); ++rep) {
+      const double t0 = util::thread_cpu_seconds();
+      algo::TriangleMesh attempt;
+      active = algo::extract_isosurface(block, field, iso, attempt);
+      cost.compute_seconds = std::min(cost.compute_seconds, util::thread_cpu_seconds() - t0);
+      mesh = std::move(attempt);
+    }
+
+    cost.result_bytes = mesh.vertex_count() * 12 + mesh.triangle_count() * 12;
+    if (stream_cells > 0) {
+      cost.stream_fragments =
+          static_cast<int>((active + stream_cells - 1) / static_cast<std::size_t>(stream_cells));
+    }
+    profile.blocks.push_back(cost);
+  }
+  return profile;
+}
+
+ExtractionProfile profile_vortex(const grid::DatasetReader& reader, int step, float threshold,
+                                 int stream_cells) {
+  ExtractionProfile profile;
+  profile.command = "vortex";
+  const int blocks = reader.meta().block_count();
+  for (int b = 0; b < blocks; ++b) {
+    auto block = reader.read_block(step, b);
+    BlockCost cost;
+    cost.block = b;
+    cost.read_bytes = block_bytes(reader, step, b);
+
+    const double t0 = util::thread_cpu_seconds();
+    algo::compute_lambda2_field(block);
+    algo::TriangleMesh mesh;
+    const auto active = algo::extract_isosurface(block, algo::kLambda2Field, threshold, mesh);
+    cost.compute_seconds = util::thread_cpu_seconds() - t0;
+
+    cost.result_bytes = mesh.vertex_count() * 12 + mesh.triangle_count() * 12;
+    if (stream_cells > 0) {
+      cost.stream_fragments = std::max<int>(
+          active > 0 ? 1 : 0,
+          static_cast<int>(active / static_cast<std::size_t>(stream_cells)));
+    }
+    profile.blocks.push_back(cost);
+  }
+  return profile;
+}
+
+ExtractionProfile profile_viewer_iso(const grid::DatasetReader& reader, int step,
+                                     const std::string& field, float iso, int stream_cells) {
+  ExtractionProfile profile;
+  profile.command = "viewer-iso";
+  const int blocks = reader.meta().block_count();
+  for (int b = 0; b < blocks; ++b) {
+    const auto block = reader.read_block(step, b);
+    BlockCost cost;
+    cost.block = b;
+    cost.read_bytes = block_bytes(reader, step, b);
+
+    const double t0 = util::thread_cpu_seconds();
+    // The "true cost of streaming" includes building and traversing the
+    // per-block BSP tree (paper Sec. 7.1 keeps it online on purpose).
+    grid::BspTree tree(block, field, grid::BspTree::BuildParams{64});
+    algo::TriangleMesh mesh;
+    std::size_t active = 0;
+    tree.traverse_unordered(iso, [&](const grid::CellRange& range) {
+      active += algo::extract_isosurface_range(block, field, iso, range, mesh);
+    });
+    cost.compute_seconds = util::thread_cpu_seconds() - t0;
+
+    cost.result_bytes = mesh.vertex_count() * 12 + mesh.triangle_count() * 12;
+    if (stream_cells > 0) {
+      cost.stream_fragments = std::max<int>(
+          mesh.empty() ? 0 : 1,
+          static_cast<int>(active / static_cast<std::size_t>(stream_cells)));
+    }
+    profile.blocks.push_back(cost);
+  }
+  return profile;
+}
+
+double PathlineProfile::host_compute_seconds() const {
+  double total = 0.0;
+  for (const auto& seed : seeds) {
+    for (const auto& request : seed) {
+      total += request.compute_before_seconds;
+    }
+  }
+  for (const double tail : tail_compute_seconds) {
+    total += tail;
+  }
+  return total;
+}
+
+PathlineProfile profile_pathlines(const grid::DatasetReader& reader, int step0, int step1,
+                                  int seed_count, std::uint64_t seed_rng) {
+  PathlineProfile profile;
+  const auto& meta = reader.meta();
+  const auto bounds = meta.bounds();
+  util::Rng rng(seed_rng);
+
+  // Moderate accuracy: the paper's pathline command is I/O-bound (Fig. 13
+  // shows SimplePathlines ≈ 2.3x PathlinesDataMan), so the per-visit
+  // integration work must not swamp the block loads.
+  algo::IntegratorParams params;
+  params.tolerance = 2e-3;
+  params.h_init = 1e-3;
+
+  // Per-(step, block) decode cache so profiling is not dominated by
+  // repeated decodes — and so compute timing excludes the read path.
+  std::map<std::pair<int, int>, std::shared_ptr<const grid::StructuredBlock>> decoded;
+  auto decode = [&](int step, int block) {
+    auto key = std::make_pair(step, block);
+    auto it = decoded.find(key);
+    if (it == decoded.end()) {
+      it = decoded
+               .emplace(key, std::make_shared<const grid::StructuredBlock>(
+                                 reader.read_block(step, block)))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (int s = 0; s < seed_count; ++s) {
+    math::Vec3 position{rng.uniform(bounds.lo.x, bounds.hi.x),
+                        rng.uniform(bounds.lo.y, bounds.hi.y),
+                        rng.uniform(bounds.lo.z, bounds.hi.z)};
+    std::vector<PathRequest> trace;
+    double compute_marker = util::thread_cpu_seconds();
+
+    auto record_request = [&](int step, int block) {
+      const double now = util::thread_cpu_seconds();
+      PathRequest request;
+      request.step = step;
+      request.block = block;
+      request.compute_before_seconds = now - compute_marker;
+      request.read_bytes = block_bytes(reader, step, block);
+      trace.push_back(request);
+      compute_marker = util::thread_cpu_seconds();
+    };
+
+    double h = params.h_init;
+    bool alive = true;
+    std::vector<algo::PathPoint> path;
+    for (int step = step0; step < step1 && alive; ++step) {
+      const auto& info_a = meta.steps[static_cast<std::size_t>(step)];
+      const auto& info_b = meta.steps[static_cast<std::size_t>(step + 1)];
+      algo::BlockSampler level_a(info_a, [&](int block) {
+        record_request(step, block);
+        return decode(step, block);
+      });
+      algo::BlockSampler level_b(info_b, [&](int block) {
+        record_request(step + 1, block);
+        return decode(step + 1, block);
+      });
+      alive = algo::integrate_interval_two_level(level_a, level_b, info_a.time, info_b.time,
+                                                 position, h, params, path);
+    }
+    profile.tail_compute_seconds.push_back(util::thread_cpu_seconds() - compute_marker);
+    profile.result_bytes += path.size() * 20;
+    profile.seeds.push_back(std::move(trace));
+  }
+  return profile;
+}
+
+}  // namespace vira::perf

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file profile.hpp
+/// Cost profiling: runs the *real* extraction algorithms once, single
+/// threaded, and records what each block (or each pathline integration
+/// segment) actually cost on this host — CPU seconds, bytes read, bytes of
+/// geometry produced, stream flushes. These measured costs drive the
+/// cluster replay; nothing in the figures is a guessed constant except the
+/// calibrated cluster model itself.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/dataset_io.hpp"
+#include "math/vec3.hpp"
+
+namespace vira::perf {
+
+struct BlockCost {
+  int block = 0;
+  double compute_seconds = 0.0;     ///< host CPU seconds for this block
+  std::uint64_t read_bytes = 0;     ///< serialized block size on disk
+  std::uint64_t result_bytes = 0;   ///< geometry bytes produced
+  int stream_fragments = 0;         ///< flushes a streaming command would emit
+};
+
+struct ExtractionProfile {
+  std::string command;
+  std::vector<BlockCost> blocks;
+  double host_compute_seconds() const;
+  std::uint64_t total_read_bytes() const;
+  std::uint64_t total_result_bytes() const;
+};
+
+/// Profiles plain isosurface extraction of `field` at `iso` over one step.
+/// `stream_cells` > 0 additionally counts the fragment flushes the
+/// streaming variant would produce. `repeats` re-times each block and keeps
+/// the fastest run (suppresses host scheduling noise).
+ExtractionProfile profile_iso(const grid::DatasetReader& reader, int step,
+                              const std::string& field, float iso, int stream_cells = 0,
+                              int repeats = 2);
+
+/// Profiles λ2 extraction (gradient + eigenvalues + triangulation).
+ExtractionProfile profile_vortex(const grid::DatasetReader& reader, int step, float threshold,
+                                 int stream_cells = 0);
+
+/// ViewerIso profile: same numbers as profile_iso plus the BSP build cost.
+ExtractionProfile profile_viewer_iso(const grid::DatasetReader& reader, int step,
+                                     const std::string& field, float iso, int stream_cells);
+
+/// One DMS item request a pathline made, with the compute time spent since
+/// the previous request.
+struct PathRequest {
+  int step = 0;
+  int block = 0;
+  double compute_before_seconds = 0.0;
+  std::uint64_t read_bytes = 0;
+};
+
+struct PathlineProfile {
+  /// One entry per seed: its full request/compute trace.
+  std::vector<std::vector<PathRequest>> seeds;
+  std::vector<double> tail_compute_seconds;  ///< per seed, after the last request
+  std::uint64_t result_bytes = 0;
+  double host_compute_seconds() const;
+};
+
+/// Integrates `seed_count` pathlines (steps [step0, step1]) recording each
+/// block request with the host compute time since the previous one.
+PathlineProfile profile_pathlines(const grid::DatasetReader& reader, int step0, int step1,
+                                  int seed_count, std::uint64_t seed_rng = 7);
+
+}  // namespace vira::perf

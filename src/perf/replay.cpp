@@ -1,0 +1,461 @@
+#include "perf/replay.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dms/prefetcher.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace vira::perf {
+
+namespace {
+
+/// Per-worker view of the shared disk: loads serialize on the file-server
+/// link; a load in flight is joinable so a demand request never duplicates
+/// a running prefetch.
+struct InflightLoad {
+  vira::sim::ProcessHandle handle;
+  /// Set when a demand request joined this load: it is promoted to demand
+  /// priority (stops yielding the disk to other speculation).
+  std::shared_ptr<bool> boosted = std::make_shared<bool>(false);
+};
+
+struct WorkerCacheState {
+  std::set<std::uint64_t> cached;
+  std::set<std::uint64_t> prefetched_pending;  // inserted by prefetch, not yet used
+  std::map<std::uint64_t, InflightLoad> inflight;
+};
+
+struct Shared {
+  vira::sim::Engine engine;
+  vira::sim::Resource disk;
+  vira::sim::Resource client;
+  vira::sim::Resource intra;
+  vira::sim::Resource cpus;  ///< the node's processors (24 on the SUN Fire)
+  const ClusterModel& cluster;
+  ReplayResult result;
+  double first_packet_time = -1.0;
+  double finish_time = 0.0;
+  int demand_waiting = 0;  ///< demand loads queued at the disk right now
+
+  explicit Shared(const ClusterModel& model)
+      : disk(engine, 1, "disk"),
+        client(engine, 1, "client-link"),
+        intra(engine, 1, "intra"),
+        cpus(engine, model.cpus, "cpus"),
+        cluster(model) {}
+};
+
+double load_seconds(const ClusterModel& cluster, std::uint64_t bytes) {
+  return cluster.disk_latency + static_cast<double>(bytes) / cluster.disk_bandwidth;
+}
+
+/// Burns CPU time on one of the node's processors: more workers than CPUs
+/// queue here (irrelevant for the paper's ≤16-worker sweeps on 24 CPUs,
+/// decisive if a caller oversubscribes).
+vira::sim::Task<void> burn_cpu(Shared& shared, double seconds) {
+  co_await shared.cpus.acquire();
+  co_await shared.engine.delay(seconds);
+  shared.cpus.release();
+}
+
+/// Loads one item through the shared disk into a worker cache.
+/// Prefetch loads are LOW priority: they back off while any demand load is
+/// queued, so speculation can never delay a worker that is actually
+/// blocked on data (with a single shared disk head a FIFO queue would let
+/// prefetches hurt at high worker counts — the real DMS serves demand
+/// requests first).
+vira::sim::Task<void> load_item(Shared& shared, WorkerCacheState& cache, std::uint64_t item,
+                                std::uint64_t bytes, bool from_prefetch,
+                                std::shared_ptr<bool> boosted) {
+  if (from_prefetch) {
+    // Transfer in small slices, yielding the disk between slices whenever a
+    // demand load is queued — speculation must never block a worker that is
+    // actually starved for data. Once a demand joins this very load
+    // (boosted), it stops yielding and runs at demand priority.
+    double remaining = load_seconds(shared.cluster, bytes);
+    const double slice = 0.02;
+    while (remaining > 0.0) {
+      while (!*boosted && (shared.demand_waiting > 0 || shared.disk.available() == 0)) {
+        co_await shared.engine.delay(1e-3);
+        if (shared.demand_waiting == 0 && shared.disk.available() > 0) {
+          break;
+        }
+      }
+      co_await shared.disk.acquire();
+      const double chunk = *boosted ? remaining : std::min(slice, remaining);
+      co_await shared.engine.delay(chunk);
+      shared.disk.release();
+      remaining -= chunk;
+    }
+  } else {
+    co_await shared.disk.acquire();
+    co_await shared.engine.delay(load_seconds(shared.cluster, bytes));
+    shared.disk.release();
+  }
+  cache.cached.insert(item);
+  if (from_prefetch) {
+    cache.prefetched_pending.insert(item);
+  }
+  cache.inflight.erase(item);
+}
+
+/// Acquires an item for demand use; accounts wait time as read phase.
+vira::sim::Task<void> demand_item(Shared& shared, WorkerCacheState& cache, std::uint64_t item,
+                                  std::uint64_t bytes, bool use_dms) {
+  const double wait_start = shared.engine.now();
+  if (use_dms && cache.cached.count(item) > 0) {
+    ++shared.result.cache_hits;
+    if (cache.prefetched_pending.erase(item) > 0) {
+      ++shared.result.prefetch_useful;
+    }
+    co_await shared.engine.delay(shared.cluster.cache_hit_seconds);
+    shared.result.read_seconds += shared.engine.now() - wait_start;
+    co_return;
+  }
+  auto inflight = cache.inflight.find(item);
+  if (use_dms && inflight != cache.inflight.end()) {
+    *inflight->second.boosted = true;  // promote to demand priority
+    co_await inflight->second.handle.join();
+    ++shared.result.cache_hits;
+    if (cache.prefetched_pending.erase(item) > 0) {
+      ++shared.result.prefetch_useful;
+    }
+    shared.result.read_seconds += shared.engine.now() - wait_start;
+    co_return;
+  }
+  ++shared.result.demand_loads;
+  ++shared.demand_waiting;
+  co_await shared.disk.acquire();
+  --shared.demand_waiting;
+  co_await shared.engine.delay(load_seconds(shared.cluster, bytes));
+  shared.disk.release();
+  if (use_dms) {
+    cache.cached.insert(item);
+  }
+  shared.result.read_seconds += shared.engine.now() - wait_start;
+}
+
+void spawn_prefetch(Shared& shared, WorkerCacheState& cache, std::uint64_t item,
+                    std::uint64_t bytes) {
+  if (cache.cached.count(item) > 0 || cache.inflight.count(item) > 0) {
+    return;
+  }
+  ++shared.result.prefetch_issued;
+  InflightLoad load;
+  load.handle = shared.engine.spawn(load_item(shared, cache, item, bytes, true, load.boosted));
+  cache.inflight.emplace(item, std::move(load));
+}
+
+vira::sim::Task<void> send_packet(Shared& shared, std::uint64_t bytes, bool record_first) {
+  const double start = shared.engine.now();
+  // Worker-side packing/serialization: the overhead streaming "generally
+  // introduces ... compared to standard transfer methods" (paper Sec. 5).
+  co_await shared.engine.delay(shared.cluster.fragment_pack_seconds);
+  co_await shared.client.acquire();
+  co_await shared.engine.delay(shared.cluster.client_latency +
+                               static_cast<double>(bytes) / shared.cluster.client_bandwidth);
+  shared.client.release();
+  shared.result.send_seconds += shared.engine.now() - start;
+  ++shared.result.fragments;
+  if (record_first && shared.first_packet_time < 0.0) {
+    shared.first_packet_time = shared.engine.now();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extraction replay
+// ---------------------------------------------------------------------------
+
+struct ExtractionShared {
+  Shared base;
+  vira::sim::Channel<std::uint64_t> gather;  ///< result bytes per worker
+  explicit ExtractionShared(const ClusterModel& model) : base(model), gather(base.engine) {}
+};
+
+std::pair<int, int> chunk(int total, int rank, int size) {
+  const int base = total / size;
+  const int extra = total % size;
+  const int begin = rank * base + std::min(rank, extra);
+  return {begin, begin + base + (rank < extra ? 1 : 0)};
+}
+
+vira::sim::Task<void> extraction_worker(ExtractionShared& shared, const ExtractionProfile& profile,
+                                        const ReplayConfig& config, WorkerCacheState& cache,
+                                        int rank) {
+  Shared& s = shared.base;
+  // The scheduler messages group members one after another; bigger groups
+  // take longer to form and collect (the overhead that makes 16 workers
+  // slower than 8 in Fig. 6).
+  co_await s.engine.delay(s.cluster.dispatch_seconds +
+                          s.cluster.per_worker_overhead * config.workers);
+
+  const auto [begin, end] = chunk(static_cast<int>(profile.blocks.size()), rank, config.workers);
+  std::uint64_t my_result_bytes = 0;
+
+  for (int b = begin; b < end; ++b) {
+    const BlockCost& cost = profile.blocks[static_cast<std::size_t>(b)];
+    // System prefetch: start loading the next owned block before computing
+    // on this one ("computation time can be optimally overlapped with I/O",
+    // paper Sec. 7.2).
+    if (config.use_dms && config.prefetch && b + 1 < end) {
+      const BlockCost& next = profile.blocks[static_cast<std::size_t>(b + 1)];
+      spawn_prefetch(s, cache, static_cast<std::uint64_t>(b + 1), next.read_bytes);
+    }
+    co_await demand_item(s, cache, static_cast<std::uint64_t>(b), cost.read_bytes,
+                         config.use_dms);
+
+    my_result_bytes += cost.result_bytes;
+    if (config.streaming && cost.stream_fragments > 0) {
+      // Fragments leave DURING the block's computation ("whenever a
+      // user-specified number of triangles is computed, these fragments
+      // ... are directly streamed", Sec. 6.3): interleave compute slices
+      // with sends.
+      const std::uint64_t fragment_bytes =
+          cost.result_bytes / static_cast<std::uint64_t>(cost.stream_fragments);
+      const double slice = cost.compute_seconds * s.cluster.cpu_scale /
+                           static_cast<double>(cost.stream_fragments);
+      for (int f = 0; f < cost.stream_fragments; ++f) {
+        const double compute_start = s.engine.now();
+        co_await burn_cpu(s, slice);
+        s.result.compute_seconds += s.engine.now() - compute_start;
+        co_await send_packet(s, fragment_bytes, /*record_first=*/true);
+      }
+    } else {
+      const double compute_start = s.engine.now();
+      co_await burn_cpu(s, cost.compute_seconds * s.cluster.cpu_scale);
+      s.result.compute_seconds += s.engine.now() - compute_start;
+    }
+  }
+  // Report to the master: streamed commands only send a small summary.
+  shared.gather.push(config.streaming ? 64 : my_result_bytes);
+}
+
+vira::sim::Task<void> extraction_master(ExtractionShared& shared, const ReplayConfig& config) {
+  Shared& s = shared.base;
+  std::uint64_t total_bytes = 0;
+  for (int w = 0; w < config.workers; ++w) {
+    auto part = co_await shared.gather.pop();
+    if (!part) {
+      break;
+    }
+    // Receive the worker's partial result over the intra link.
+    const double start = s.engine.now();
+    co_await s.intra.acquire();
+    co_await s.engine.delay(s.cluster.intra_latency +
+                            static_cast<double>(*part) / s.cluster.intra_bandwidth);
+    s.intra.release();
+    s.result.send_seconds += s.engine.now() - start;
+    total_bytes += *part;
+  }
+  // Ship the merged package (or the end-of-stream summary) to the client.
+  co_await send_packet(s, total_bytes, /*record_first=*/!config.streaming);
+  s.finish_time = s.engine.now();
+}
+
+}  // namespace
+
+ReplayResult replay_extraction(const ExtractionProfile& profile, const ClusterModel& cluster,
+                               const ReplayConfig& config) {
+  ExtractionShared shared(cluster);
+  const std::size_t cache_count =
+      config.shared_cache ? 1 : static_cast<std::size_t>(config.workers);
+  std::vector<WorkerCacheState> caches(cache_count);
+  auto cache_of = [&](int worker) -> WorkerCacheState& {
+    return caches[config.shared_cache ? 0 : static_cast<std::size_t>(worker)];
+  };
+
+  if (config.use_dms && config.warm_cache) {
+    // The paper's warm runs: one identical prior call filled the caches, so
+    // every owned block is already resident at its worker's proxy.
+    for (int w = 0; w < config.workers; ++w) {
+      const auto [begin, end] =
+          chunk(static_cast<int>(profile.blocks.size()), w, config.workers);
+      for (int b = begin; b < end; ++b) {
+        cache_of(w).cached.insert(static_cast<std::uint64_t>(b));
+      }
+    }
+  }
+
+  for (int w = 0; w < config.workers; ++w) {
+    shared.base.engine.spawn(extraction_worker(shared, profile, config, cache_of(w), w));
+  }
+  shared.base.engine.spawn(extraction_master(shared, config));
+  shared.base.engine.run();
+
+  ReplayResult result = shared.base.result;
+  result.total_runtime = shared.base.finish_time;
+  result.latency = shared.base.first_packet_time >= 0.0 ? shared.base.first_packet_time
+                                                        : shared.base.finish_time;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Pathline replay
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t path_item(int step, int block) {
+  return static_cast<std::uint64_t>(step) * 100000ull + static_cast<std::uint64_t>(block);
+}
+
+struct PathShared {
+  Shared base;
+  vira::sim::Channel<std::uint64_t> gather;
+  explicit PathShared(const ClusterModel& model) : base(model), gather(base.engine) {}
+};
+
+vira::sim::Task<void> pathline_worker(PathShared& shared, const PathlineProfile& profile,
+                                      const PathlineReplayConfig& config,
+                                      WorkerCacheState& cache, int rank,
+                                      vira::dms::Prefetcher* prefetcher) {
+  Shared& s = shared.base;
+  co_await s.engine.delay(s.cluster.dispatch_seconds +
+                          s.cluster.per_worker_overhead * config.workers);
+
+  std::uint64_t my_result_bytes = 0;
+  const std::size_t seed_count = profile.seeds.size();
+  for (std::size_t seed = rank; seed < seed_count;
+       seed += static_cast<std::size_t>(config.workers)) {
+    for (const PathRequest& request : profile.seeds[seed]) {
+      // Compute burst since the previous request (prefetches overlap it).
+      const double compute_start = s.engine.now();
+      co_await burn_cpu(s, request.compute_before_seconds * s.cluster.cpu_scale);
+      s.result.compute_seconds += s.engine.now() - compute_start;
+
+      const std::uint64_t item = path_item(request.step, request.block);
+      const auto bytes =
+          static_cast<std::uint64_t>(request.read_bytes * config.read_bytes_scale);
+      const bool was_hit = cache.cached.count(item) > 0 || cache.inflight.count(item) > 0;
+      co_await demand_item(s, cache, item, bytes, config.use_dms);
+
+      prefetcher->on_request(item, was_hit);
+      if (config.use_dms && config.prefetcher != "none") {
+        for (const auto suggestion :
+             prefetcher->suggest(static_cast<std::size_t>(config.prefetch_depth))) {
+          spawn_prefetch(s, cache, suggestion, bytes);
+        }
+      }
+    }
+    const double tail_start = s.engine.now();
+    co_await burn_cpu(s, profile.tail_compute_seconds[seed] * s.cluster.cpu_scale);
+    s.result.compute_seconds += s.engine.now() - tail_start;
+    my_result_bytes += profile.result_bytes / std::max<std::size_t>(1, seed_count);
+  }
+  shared.gather.push(my_result_bytes);
+}
+
+vira::sim::Task<void> pathline_master(PathShared& shared, const PathlineReplayConfig& config) {
+  Shared& s = shared.base;
+  std::uint64_t total_bytes = 0;
+  for (int w = 0; w < config.workers; ++w) {
+    auto part = co_await shared.gather.pop();
+    if (!part) {
+      break;
+    }
+    const double start = s.engine.now();
+    co_await s.intra.acquire();
+    co_await s.engine.delay(s.cluster.intra_latency +
+                            static_cast<double>(*part) / s.cluster.intra_bandwidth);
+    s.intra.release();
+    s.result.send_seconds += s.engine.now() - start;
+    total_bytes += *part;
+  }
+  co_await send_packet(s, total_bytes, /*record_first=*/true);
+  s.finish_time = s.engine.now();
+}
+
+}  // namespace
+
+ReplayResult replay_pathlines(const PathlineProfile& profile, const ClusterModel& cluster,
+                              const PathlineReplayConfig& config) {
+  PathShared shared(cluster);
+  const std::size_t cache_count =
+      config.shared_cache ? 1 : static_cast<std::size_t>(config.workers);
+  std::vector<WorkerCacheState> caches(cache_count);
+  auto cache_of = [&](int worker) -> WorkerCacheState& {
+    return caches[config.shared_cache ? 0 : static_cast<std::size_t>(worker)];
+  };
+
+  // Per-worker prefetcher instances — the real policy objects (Sec. 7.3).
+  vira::dms::SuccessorFn successor = nullptr;
+  if (config.blocks_per_step > 0) {
+    const int blocks = config.blocks_per_step;
+    successor = [blocks](vira::dms::ItemId id) -> std::optional<vira::dms::ItemId> {
+      const auto block = id % 100000ull;
+      if (static_cast<int>(block) + 1 >= blocks) {
+        return std::nullopt;
+      }
+      return id + 1;
+    };
+  }
+  std::vector<std::unique_ptr<vira::dms::Prefetcher>> prefetchers;
+  for (int w = 0; w < config.workers; ++w) {
+    if (config.prefetcher == "none" || !successor) {
+      prefetchers.push_back(std::make_unique<vira::dms::NullPrefetcher>());
+    } else {
+      prefetchers.push_back(vira::dms::make_prefetcher(config.prefetcher, successor));
+    }
+  }
+
+  // Learning passes (paper Sec. 7.3: "after a learning phase, the data
+  // requests even of time-dependent particle tracing can be predicted quite
+  // well"): feed earlier executions of the same command through the
+  // prefetchers so the Markov graph is populated; caches stay cold.
+  for (int pass = 0; pass < config.learning_passes; ++pass) {
+    for (std::size_t seed = 0; seed < profile.seeds.size(); ++seed) {
+      auto& prefetcher = *prefetchers[seed % static_cast<std::size_t>(config.workers)];
+      for (const auto& request : profile.seeds[seed]) {
+        prefetcher.on_request(path_item(request.step, request.block), false);
+        (void)prefetcher.suggest(2);
+      }
+    }
+  }
+
+  if (config.use_dms && config.warm_cache) {
+    // Warm = the identical previous run left every requested item in the
+    // requesting worker's cache.
+    for (std::size_t seed = 0; seed < profile.seeds.size(); ++seed) {
+      auto& cache = cache_of(static_cast<int>(seed % static_cast<std::size_t>(config.workers)));
+      for (const auto& request : profile.seeds[seed]) {
+        cache.cached.insert(path_item(request.step, request.block));
+      }
+    }
+  }
+
+  for (int w = 0; w < config.workers; ++w) {
+    shared.base.engine.spawn(pathline_worker(shared, profile, config, cache_of(w), w,
+                                             prefetchers[static_cast<std::size_t>(w)].get()));
+  }
+  shared.base.engine.spawn(pathline_master(shared, config));
+  shared.base.engine.run();
+
+  ReplayResult result = shared.base.result;
+  result.total_runtime = shared.base.finish_time;
+  result.latency = shared.base.first_packet_time >= 0.0 ? shared.base.first_packet_time
+                                                        : shared.base.finish_time;
+  return result;
+}
+
+ClusterModel calibrate_cluster(const ExtractionProfile& engine_iso,
+                               double anchor_compute_seconds) {
+  ClusterModel cluster;
+  const double host_compute = engine_iso.host_compute_seconds();
+  if (host_compute > 0.0) {
+    cluster.cpu_scale = anchor_compute_seconds / host_compute;
+  }
+  const auto read_bytes = engine_iso.total_read_bytes();
+  if (read_bytes > 0) {
+    // Fig. 15 anchor: cold reads ≈ compute for the Engine isosurface.
+    cluster.disk_bandwidth = static_cast<double>(read_bytes) / anchor_compute_seconds;
+  }
+  return cluster;
+}
+
+}  // namespace vira::perf

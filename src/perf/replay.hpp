@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file replay.hpp
+/// Discrete-event replay of Viracocha's execution on the virtual cluster.
+///
+/// The replay re-runs the framework's *policies* — chunked block
+/// distribution, per-worker caches, prefetch overlap (loads proceed while
+/// the CPU computes), streaming over the shared client link, result gather
+/// at the master — as sim coroutines, with every duration taken from a
+/// measured profile scaled by the calibrated cluster model. The paper's
+/// figure shapes (who wins, saturation points, flat streaming latency)
+/// emerge; none of them is hard-coded.
+
+#include <cstdint>
+#include <string>
+
+#include "perf/cluster.hpp"
+#include "perf/profile.hpp"
+
+namespace vira::perf {
+
+struct ReplayConfig {
+  int workers = 1;
+  bool use_dms = true;      ///< false = the Simple* commands (no caching)
+  bool warm_cache = true;   ///< paper Sec. 7: "operated on cached data"
+  bool prefetch = false;    ///< overlap loads of the next owned block
+  bool streaming = false;   ///< ship fragments during computation
+  /// One proxy cache shared by all workers — the paper's testbed is a
+  /// single shared-memory node ("every computing NODE owns a data proxy",
+  /// Sec. 4.1). false models a distributed-memory cluster (per-worker
+  /// caches, duplicated cold loads).
+  bool shared_cache = true;
+};
+
+struct ReplayResult {
+  double total_runtime = 0.0;    ///< submission → final packet at client
+  double latency = 0.0;          ///< submission → first data packet at client
+  double compute_seconds = 0.0;  ///< summed over workers (virtual CPU time)
+  double read_seconds = 0.0;     ///< demand-load wait time summed over workers
+  double send_seconds = 0.0;     ///< send time summed over workers (+ master)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t demand_loads = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_useful = 0;
+  std::uint64_t fragments = 0;
+
+  double phase_total() const { return compute_seconds + read_seconds + send_seconds; }
+};
+
+/// Replays a block-sweep extraction command (the iso/vortex families).
+ReplayResult replay_extraction(const ExtractionProfile& profile, const ClusterModel& cluster,
+                               const ReplayConfig& config);
+
+struct PathlineReplayConfig {
+  int workers = 1;
+  bool use_dms = true;
+  bool warm_cache = true;
+  std::string prefetcher = "none";  ///< "none" | "obl" | "markov"
+  int blocks_per_step = 0;          ///< needed by the OBL successor relation
+  /// Prior executions of the same command fed through the prefetchers
+  /// before the measured (cold-cache) run — the Markov learning phase.
+  int learning_passes = 0;
+  /// Single node-wide proxy cache (the paper's SMP testbed); see
+  /// ReplayConfig::shared_cache.
+  bool shared_cache = true;
+  /// Suggestions taken per request: deeper pipelines hide loads behind
+  /// more future compute (one block's load rarely fits into one
+  /// inter-request compute gap).
+  int prefetch_depth = 4;
+  /// Multiplier on per-request read bytes. Extraction commands scale
+  /// compute AND reads together with dataset resolution, so the iso-anchored
+  /// calibration covers both; pathline *integration* work scales with trace
+  /// length, not block size — so loads are modeled at the paper's original
+  /// block size (paper bytes-per-block / synthetic bytes-per-block). See
+  /// EXPERIMENTS.md.
+  double read_bytes_scale = 1.0;
+};
+
+/// Replays the pathline command: seeds round-robin across workers, each
+/// seed's measured request/compute trace driven through a per-worker cache
+/// and a *real* prefetcher instance (MarkovPrefetcher / OblPrefetcher).
+ReplayResult replay_pathlines(const PathlineProfile& profile, const ClusterModel& cluster,
+                              const PathlineReplayConfig& config);
+
+/// Anchors the cluster model against the measured Engine isosurface
+/// profile (see cluster.hpp). `anchor_compute_seconds` is what one virtual
+/// worker should spend computing that surface.
+ClusterModel calibrate_cluster(const ExtractionProfile& engine_iso,
+                               double anchor_compute_seconds = 17.0);
+
+}  // namespace vira::perf

@@ -1,0 +1,116 @@
+#include "perf/testbed.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "algo/lambda2.hpp"
+#include "grid/synthetic.hpp"
+
+namespace vira::perf {
+
+std::string data_root() {
+  if (const char* env = std::getenv("VIRA_DATA_DIR")) {
+    return env;
+  }
+  return (std::filesystem::temp_directory_path() / "vira_bench_data").string();
+}
+
+std::string engine_dir() { return data_root() + "/engine"; }
+std::string propfan_dir() { return data_root() + "/propfan"; }
+
+namespace {
+
+/// Bump when the synthetic flow fields change so cached bench datasets
+/// regenerate.
+constexpr int kGeneratorVersion = 2;
+
+bool dataset_ready(const std::string& dir, int steps, int blocks) {
+  if (!std::filesystem::exists(dir + "/dataset.vmi")) {
+    return false;
+  }
+  std::ifstream version_file(dir + "/GENERATOR_VERSION");
+  int version = 0;
+  version_file >> version;
+  if (version != kGeneratorVersion) {
+    return false;
+  }
+  try {
+    grid::DatasetReader reader(dir);
+    return reader.meta().timestep_count() == steps && reader.meta().block_count() == blocks;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void stamp_version(const std::string& dir) {
+  std::ofstream version_file(dir + "/GENERATOR_VERSION");
+  version_file << kGeneratorVersion << "\n";
+}
+
+}  // namespace
+
+grid::DatasetMeta ensure_engine() {
+  const auto dir = engine_dir();
+  if (!dataset_ready(dir, 63, 23)) {
+    std::cerr << "[testbed] generating Engine dataset (23 blocks x 63 steps) in " << dir
+              << " ...\n";
+    std::filesystem::remove_all(dir);
+    grid::GeneratorConfig config;
+    config.directory = dir;
+    config.timesteps = 63;
+    config.ni = 18;
+    config.nj = 13;
+    config.nk = 10;
+    const auto meta = grid::generate_engine(config);
+    stamp_version(dir);
+    return meta;
+  }
+  return grid::DatasetReader(dir).meta();
+}
+
+grid::DatasetMeta ensure_propfan() {
+  const auto dir = propfan_dir();
+  if (!dataset_ready(dir, 50, 144)) {
+    std::cerr << "[testbed] generating Propfan dataset (144 blocks x 50 steps) in " << dir
+              << " ...\n";
+    std::filesystem::remove_all(dir);
+    grid::GeneratorConfig config;
+    config.directory = dir;
+    config.timesteps = 50;
+    config.ni = 14;
+    config.nj = 11;
+    config.nk = 9;
+    const auto meta = grid::generate_propfan(config);
+    stamp_version(dir);
+    return meta;
+  }
+  return grid::DatasetReader(dir).meta();
+}
+
+double density_iso_mid(const grid::DatasetReader& reader, int step) {
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (int b = 0; b < reader.meta().block_count(); ++b) {
+    const auto block = reader.read_block(step, b);
+    const auto [blo, bhi] = block.scalar_range("density");
+    lo = std::min(lo, blo);
+    hi = std::max(hi, bhi);
+  }
+  return 0.5 * (lo + hi);
+}
+
+double lambda2_threshold(const grid::DatasetReader& reader, int step) {
+  float lo = std::numeric_limits<float>::max();
+  for (int b = 0; b < reader.meta().block_count(); ++b) {
+    auto block = reader.read_block(step, b);
+    const auto [blo, bhi] = algo::compute_lambda2_field(block);
+    (void)bhi;
+    lo = std::min(lo, blo);
+  }
+  // "About zero": a few percent into the vortical (negative) range.
+  return 0.02 * static_cast<double>(lo);
+}
+
+}  // namespace vira::perf

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file testbed.hpp
+/// Bench dataset management (paper Sec. 6: the test bed).
+///
+/// Benches share one generated copy of the Engine and Propfan datasets,
+/// placed under $VIRA_DATA_DIR (default: <temp>/vira_bench_data) and
+/// generated on first use. Block and time-step counts match Table 1; node
+/// resolution is scaled (DESIGN.md documents the substitution).
+
+#include <string>
+
+#include "grid/dataset_io.hpp"
+
+namespace vira::perf {
+
+/// Root directory for bench datasets.
+std::string data_root();
+
+/// Paths of the two datasets (inside data_root()).
+std::string engine_dir();
+std::string propfan_dir();
+
+/// Generates the dataset if missing (or stale); returns its metadata.
+grid::DatasetMeta ensure_engine();
+grid::DatasetMeta ensure_propfan();
+
+/// Midpoint of the density range of step 0 — a guaranteed-valid iso value.
+double density_iso_mid(const grid::DatasetReader& reader, int step = 0);
+
+/// A λ2 threshold slightly below zero scaled to the dataset's λ2 range
+/// ("in practice a value about zero is used", paper Sec. 1.1).
+double lambda2_threshold(const grid::DatasetReader& reader, int step = 0);
+
+}  // namespace vira::perf

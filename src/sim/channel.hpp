@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file channel.hpp
+/// Unbounded message channel between simulation processes.
+///
+/// push() never blocks (virtual transports model latency/bandwidth with
+/// explicit delays before pushing); pop() suspends the consumer until a
+/// message is available. Items are handed to waiting consumers at push
+/// time (direct handoff), so a later ready-path pop can never steal an item
+/// that was already granted — consumers are served strictly FIFO. close()
+/// releases all blocked consumers with std::nullopt, the end-of-stream
+/// marker.
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace vira::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool closed() const noexcept { return closed_; }
+
+  /// Enqueues an item. If a consumer is waiting the item is handed to it
+  /// directly and the consumer is scheduled.
+  void push(T item) {
+    if (closed_) {
+      return;
+    }
+    if (!consumers_.empty()) {
+      Waiter waiter = consumers_.front();
+      consumers_.pop_front();
+      waiter.slot->emplace(std::move(item));
+      engine_.schedule_now(waiter.handle);
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  /// Closes the channel: already-queued items still drain; blocked and
+  /// future consumers receive std::nullopt.
+  void close() {
+    closed_ = true;
+    while (!consumers_.empty()) {
+      Waiter waiter = consumers_.front();
+      consumers_.pop_front();
+      engine_.schedule_now(waiter.handle);  // slot stays empty => nullopt
+    }
+  }
+
+  struct PopAwaiter {
+    Channel& channel;
+    std::optional<T> slot;
+
+    bool await_ready() {
+      if (!channel.items_.empty()) {
+        slot.emplace(std::move(channel.items_.front()));
+        channel.items_.pop_front();
+        return true;
+      }
+      return channel.closed_;
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      channel.consumers_.push_back(Waiter{h, &slot});
+    }
+
+    std::optional<T> await_resume() { return std::move(slot); }
+  };
+
+  /// Suspends until an item (or close) arrives. Returns nullopt only when
+  /// the channel is closed and no item was granted.
+  PopAwaiter pop() { return PopAwaiter{*this, std::nullopt}; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  Engine& engine_;
+  std::deque<T> items_;
+  std::deque<Waiter> consumers_;
+  bool closed_ = false;
+};
+
+}  // namespace vira::sim

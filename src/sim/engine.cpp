@@ -1,0 +1,56 @@
+#include "sim/engine.hpp"
+
+namespace vira::sim {
+
+Engine::~Engine() {
+  // Unprocessed events reference coroutine frames owned by roots_ (or by
+  // parent frames, which are transitively owned by roots_); destroying the
+  // roots tears everything down.
+  while (!events_.empty()) {
+    events_.pop();
+  }
+  for (auto& root : roots_) {
+    if (root.handle) {
+      root.handle.destroy();
+    }
+  }
+}
+
+void Engine::step(const Event& event) {
+  now_ = event.time;
+  ++events_processed_;
+  event.handle.resume();
+}
+
+void Engine::check_errors() {
+  for (const auto& root : roots_) {
+    if (root.state->error) {
+      std::rethrow_exception(root.state->error);
+    }
+  }
+}
+
+void Engine::run() {
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    step(event);
+  }
+  check_errors();
+}
+
+bool Engine::run_until(double t_end) {
+  while (!events_.empty() && events_.top().time <= t_end) {
+    const Event event = events_.top();
+    events_.pop();
+    step(event);
+  }
+  check_errors();
+  if (events_.empty()) {
+    return false;
+  }
+  now_ = t_end;
+  return true;
+}
+
+}  // namespace vira::sim

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file resource.hpp
+/// Contended resources for the cluster model.
+///
+/// A Resource has integer capacity (e.g. 24 CPUs, 1 disk head, 1 client
+/// uplink). Processes `co_await resource.acquire()` and must `release()`
+/// afterwards (or use the RAII `Lease` from `acquire_scoped`). Waiters are
+/// served FIFO, which keeps the simulation deterministic and mirrors the
+/// paper's first-come-first-served scheduler queue.
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace vira::sim {
+
+class Resource {
+ public:
+  Resource(Engine& engine, std::int64_t capacity, std::string name = {})
+      : engine_(engine), capacity_(capacity), available_(capacity), name_(std::move(name)) {
+    if (capacity <= 0) {
+      throw std::invalid_argument("sim::Resource: capacity must be positive");
+    }
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::int64_t capacity() const noexcept { return capacity_; }
+  std::int64_t available() const noexcept { return available_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+  const std::string& name() const noexcept { return name_; }
+
+  struct AcquireAwaiter {
+    Resource& resource;
+    std::int64_t units;
+
+    bool await_ready() const noexcept { return false; }
+
+    /// Returns false (continue without suspending) when the grant is
+    /// immediate; units are reserved exactly once, either here or in
+    /// wake_waiters().
+    bool await_suspend(std::coroutine_handle<> h) {
+      if (resource.waiters_.empty() && resource.available_ >= units) {
+        resource.available_ -= units;
+        return false;
+      }
+      resource.waiters_.push_back({h, units});
+      return true;
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  /// Acquire `units` capacity; FIFO among waiters. `units` must not exceed
+  /// total capacity (would deadlock forever otherwise).
+  AcquireAwaiter acquire(std::int64_t units = 1) {
+    if (units > capacity_) {
+      throw std::invalid_argument("sim::Resource::acquire: units exceed capacity");
+    }
+    return AcquireAwaiter{*this, units};
+  }
+
+  void release(std::int64_t units = 1) {
+    available_ += units;
+    if (available_ > capacity_) {
+      throw std::logic_error("sim::Resource::release: over-release");
+    }
+    wake_waiters();
+  }
+
+  /// RAII holder; releases on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Resource* resource, std::int64_t units) : resource_(resource), units_(units) {}
+    Lease(Lease&& other) noexcept
+        : resource_(std::exchange(other.resource_, nullptr)), units_(other.units_) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        reset();
+        resource_ = std::exchange(other.resource_, nullptr);
+        units_ = other.units_;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { reset(); }
+
+    void reset() {
+      if (resource_ != nullptr) {
+        resource_->release(units_);
+        resource_ = nullptr;
+      }
+    }
+
+   private:
+    Resource* resource_ = nullptr;
+    std::int64_t units_ = 0;
+  };
+
+  /// Coroutine helper: acquires and wraps into a Lease.
+  Task<Lease> acquire_scoped(std::int64_t units = 1) {
+    co_await acquire(units);
+    co_return Lease(this, units);
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::int64_t units;
+  };
+
+  /// Wakes queued waiters in FIFO order while the head's request fits.
+  /// Units are reserved here, at grant time, so later ready-path acquirers
+  /// cannot overtake a waiter that was already granted.
+  void wake_waiters() {
+    while (!waiters_.empty() && waiters_.front().units <= available_) {
+      const Waiter waiter = waiters_.front();
+      waiters_.pop_front();
+      available_ -= waiter.units;
+      engine_.schedule_now(waiter.handle);
+    }
+  }
+
+  Engine& engine_;
+  std::int64_t capacity_;
+  std::int64_t available_;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace vira::sim

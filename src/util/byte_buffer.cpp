@@ -1,0 +1,56 @@
+#include "util/byte_buffer.hpp"
+
+namespace vira::util {
+
+ByteBuffer ByteBuffer::copy_of(const void* src, std::size_t size) {
+  ByteBuffer buffer;
+  buffer.write_raw(src, size);
+  return buffer;
+}
+
+void ByteBuffer::write_raw(const void* src, std::size_t size) {
+  if (size == 0) {
+    return;
+  }
+  const std::size_t offset = data_.size();
+  data_.resize(offset + size);
+  std::memcpy(data_.data() + offset, src, size);
+}
+
+void ByteBuffer::write_string(const std::string& s) {
+  write<std::uint64_t>(s.size());
+  write_raw(s.data(), s.size());
+}
+
+void ByteBuffer::seek(std::size_t pos) {
+  if (pos > data_.size()) {
+    throw std::out_of_range("ByteBuffer::seek past end");
+  }
+  read_pos_ = pos;
+}
+
+void ByteBuffer::check_available(std::size_t size) const {
+  if (read_pos_ + size > data_.size()) {
+    throw std::out_of_range("ByteBuffer: read past end (want " + std::to_string(size) +
+                            " bytes, have " + std::to_string(data_.size() - read_pos_) + ")");
+  }
+}
+
+void ByteBuffer::read_raw(void* dst, std::size_t size) {
+  if (size == 0) {
+    return;
+  }
+  check_available(size);
+  std::memcpy(dst, data_.data() + read_pos_, size);
+  read_pos_ += size;
+}
+
+std::string ByteBuffer::read_string() {
+  const auto size = read<std::uint64_t>();
+  check_available(size);
+  std::string s(size, '\0');
+  read_raw(s.data(), size);
+  return s;
+}
+
+}  // namespace vira::util

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file byte_buffer.hpp
+/// Growable binary buffer with separate read/write cursors.
+///
+/// ByteBuffer is the wire unit of the communication layer: command
+/// parameters, streamed geometry fragments and DMS blocks are all encoded
+/// into ByteBuffers before crossing a Transport. All multi-byte values are
+/// stored in native byte order; Viracocha only ever talks to itself, so no
+/// endianness conversion is performed (the original system made the same
+/// assumption for its MPI payloads).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vira::util {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  /// Wraps a copy of raw memory.
+  static ByteBuffer copy_of(const void* src, std::size_t size);
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  const std::byte* data() const noexcept { return data_.data(); }
+  std::byte* data() noexcept { return data_.data(); }
+  std::span<const std::byte> bytes() const noexcept { return {data_.data(), data_.size()}; }
+
+  void clear() noexcept {
+    data_.clear();
+    read_pos_ = 0;
+  }
+  void reserve(std::size_t bytes) { data_.reserve(bytes); }
+
+  /// --- writing -----------------------------------------------------------
+  void write_raw(const void* src, std::size_t size);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    write_raw(&value, sizeof(T));
+  }
+
+  void write_string(const std::string& s);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint64_t>(v.size());
+    if (!v.empty()) {
+      write_raw(v.data(), v.size() * sizeof(T));
+    }
+  }
+
+  /// --- reading -----------------------------------------------------------
+  std::size_t read_pos() const noexcept { return read_pos_; }
+  void seek(std::size_t pos);
+  std::size_t remaining() const noexcept { return data_.size() - read_pos_; }
+
+  void read_raw(void* dst, std::size_t size);
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    read_raw(&value, sizeof(T));
+    return value;
+  }
+
+  std::string read_string();
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto count = read<std::uint64_t>();
+    check_available(count * sizeof(T));
+    std::vector<T> v(count);
+    if (count > 0) {
+      read_raw(v.data(), count * sizeof(T));
+    }
+    return v;
+  }
+
+  bool operator==(const ByteBuffer& other) const noexcept { return data_ == other.data_; }
+
+ private:
+  void check_available(std::size_t size) const;
+
+  std::vector<std::byte> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace vira::util

@@ -1,0 +1,276 @@
+#include "util/compression.hpp"
+
+#include <cstring>
+
+namespace vira::util {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 1 + 8;
+
+void write_header(std::vector<std::byte>& out, Codec codec, std::uint64_t raw_size) {
+  out.resize(kHeaderSize);
+  out[0] = static_cast<std::byte>(codec);
+  std::memcpy(out.data() + 1, &raw_size, sizeof(raw_size));
+}
+
+/// --- RLE -------------------------------------------------------------------
+/// Runs of 4..259 equal bytes become [0xFF][count-4][byte]; the escape byte
+/// 0xFF itself is emitted as a run of length >= 1.
+
+void rle_compress(const std::byte* input, std::size_t size, std::vector<std::byte>& out) {
+  // Long runs (4..255) encode as [0xFF][run-4 in 0..251][byte]; the escape
+  // byte itself, when appearing 1..3 times, encodes as [0xFF][252+count-1]
+  // [0xFF]. The two field ranges are disjoint.
+  std::size_t i = 0;
+  while (i < size) {
+    std::size_t run = 1;
+    while (i + run < size && input[i + run] == input[i] && run < 255) {
+      ++run;
+    }
+    if (run >= 4) {
+      out.push_back(std::byte{0xFF});
+      out.push_back(static_cast<std::byte>(run - 4));
+      out.push_back(input[i]);
+      i += run;
+    } else if (input[i] == std::byte{0xFF}) {
+      out.push_back(std::byte{0xFF});
+      out.push_back(static_cast<std::byte>(252 + run - 1));
+      out.push_back(input[i]);
+      i += run;
+    } else {
+      out.push_back(input[i]);
+      ++i;
+    }
+  }
+}
+
+bool rle_decompress(const std::byte* input, std::size_t size, std::vector<std::byte>& out,
+                    std::size_t expected) {
+  std::size_t i = 0;
+  while (i < size) {
+    if (input[i] == std::byte{0xFF}) {
+      if (i + 2 >= size) {
+        return false;
+      }
+      const auto field = static_cast<unsigned>(input[i + 1]);
+      const std::size_t run = field >= 252 ? (field - 252 + 1) : (field + 4);
+      out.insert(out.end(), run, input[i + 2]);
+      i += 3;
+    } else {
+      out.push_back(input[i]);
+      ++i;
+    }
+    if (out.size() > expected) {
+      return false;
+    }
+  }
+  return out.size() == expected;
+}
+
+/// --- LZ77 ------------------------------------------------------------------
+/// Token stream: [literal count u8][literals...] then optionally
+/// [match length u8 >= 4][offset u16]; literal count 255 means "255
+/// literals and more follow". Window 64 KiB, greedy hash-chain matcher.
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 255;
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kHashSize = 1 << 15;
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // into kHashSize range
+}
+
+void lz_compress(const std::byte* input, std::size_t size, std::vector<std::byte>& out) {
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(size, -1);
+
+  std::size_t literal_start = 0;
+  // Literal runs: [255][255 literals] repeated while more than 254 remain,
+  // then a final [n][n literals] with n in 0..254.
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t count = end - literal_start;
+    while (count >= 255) {
+      out.push_back(std::byte{255});
+      out.insert(out.end(), input + literal_start, input + literal_start + 255);
+      literal_start += 255;
+      count -= 255;
+    }
+    out.push_back(static_cast<std::byte>(count));
+    out.insert(out.end(), input + literal_start, input + literal_start + count);
+    literal_start += count;
+  };
+
+  std::size_t i = 0;
+  while (i < size) {
+    std::size_t best_len = 0;
+    std::size_t best_offset = 0;
+    if (i + kMinMatch <= size) {
+      const auto bucket = hash4(input + i) % kHashSize;
+      const std::int64_t old_head = head[bucket];
+      std::int64_t candidate = old_head;
+      int chain = 0;
+      while (candidate >= 0 && chain < 32) {
+        const auto offset = i - static_cast<std::size_t>(candidate);
+        if (offset > kWindow) {
+          break;
+        }
+        std::size_t len = 0;
+        const std::size_t limit = std::min(size - i, kMaxMatch);
+        while (len < limit && input[candidate + len] == input[i + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_offset = offset;
+        }
+        candidate = prev[static_cast<std::size_t>(candidate)];
+        ++chain;
+      }
+      prev[i] = old_head;  // chain this position behind the previous head
+      head[bucket] = static_cast<std::int64_t>(i);
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(i);
+      out.push_back(static_cast<std::byte>(best_len));
+      const auto offset16 = static_cast<std::uint16_t>(best_offset);
+      out.push_back(static_cast<std::byte>(offset16 & 0xFF));
+      out.push_back(static_cast<std::byte>(offset16 >> 8));
+      // Index the skipped positions so later matches can reference them.
+      for (std::size_t k = 1; k < best_len && i + k + kMinMatch <= size; ++k) {
+        const auto bucket = hash4(input + i + k) % kHashSize;
+        prev[i + k] = head[bucket];
+        head[bucket] = static_cast<std::int64_t>(i + k);
+      }
+      i += best_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(size);
+}
+
+bool lz_decompress(const std::byte* input, std::size_t size, std::vector<std::byte>& out,
+                   std::size_t expected) {
+  std::size_t i = 0;
+  while (i < size) {
+    // Literal run: chained [255][255 bytes] chunks, then [n][n bytes].
+    while (true) {
+      if (i >= size) {
+        return out.size() == expected;
+      }
+      const std::size_t count = static_cast<unsigned>(input[i]);
+      ++i;
+      if (i + count > size || out.size() + count > expected) {
+        return false;
+      }
+      out.insert(out.end(), input + i, input + i + count);
+      i += count;
+      if (count != 255) {
+        break;
+      }
+    }
+    if (i >= size) {
+      break;
+    }
+    // Match.
+    const std::size_t len = static_cast<unsigned>(input[i]);
+    if (i + 3 > size || len < kMinMatch) {
+      return false;
+    }
+    const std::size_t offset = static_cast<unsigned>(input[i + 1]) |
+                               (static_cast<unsigned>(input[i + 2]) << 8);
+    i += 3;
+    if (offset == 0 || offset > out.size() || out.size() + len > expected) {
+      return false;
+    }
+    const std::size_t start = out.size() - offset;
+    for (std::size_t k = 0; k < len; ++k) {
+      out.push_back(out[start + k]);  // overlapping copies are well-defined here
+    }
+  }
+  return out.size() == expected;
+}
+
+}  // namespace
+
+std::vector<std::byte> compress(const std::byte* input, std::size_t size, Codec codec) {
+  std::vector<std::byte> out;
+  write_header(out, codec, size);
+  switch (codec) {
+    case Codec::kStore:
+      out.insert(out.end(), input, input + size);
+      return out;
+    case Codec::kRle:
+      rle_compress(input, size, out);
+      break;
+    case Codec::kLz:
+      lz_compress(input, size, out);
+      break;
+  }
+  if (out.size() >= size + kHeaderSize) {
+    // Expansion: store raw instead.
+    out.clear();
+    write_header(out, Codec::kStore, size);
+    out.insert(out.end(), input, input + size);
+  }
+  return out;
+}
+
+std::vector<std::byte> compress(const ByteBuffer& input, Codec codec) {
+  return compress(input.data(), input.size(), codec);
+}
+
+std::optional<std::vector<std::byte>> decompress(const std::byte* input, std::size_t size) {
+  if (size < kHeaderSize) {
+    return std::nullopt;
+  }
+  const auto codec = static_cast<Codec>(input[0]);
+  std::uint64_t raw_size = 0;
+  std::memcpy(&raw_size, input + 1, sizeof(raw_size));
+  if (raw_size > (1ull << 33)) {
+    return std::nullopt;  // sanity: 8 GiB cap
+  }
+  std::vector<std::byte> out;
+  out.reserve(raw_size);
+  const std::byte* payload = input + kHeaderSize;
+  const std::size_t payload_size = size - kHeaderSize;
+  switch (codec) {
+    case Codec::kStore:
+      if (payload_size != raw_size) {
+        return std::nullopt;
+      }
+      out.assign(payload, payload + payload_size);
+      return out;
+    case Codec::kRle:
+      if (!rle_decompress(payload, payload_size, out, raw_size)) {
+        return std::nullopt;
+      }
+      return out;
+    case Codec::kLz:
+      if (!lz_decompress(payload, payload_size, out, raw_size)) {
+        return std::nullopt;
+      }
+      return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<ByteBuffer> decompress(const ByteBuffer& input) {
+  auto bytes = decompress(input.data(), input.size());
+  if (!bytes) {
+    return std::nullopt;
+  }
+  return ByteBuffer(std::move(*bytes));
+}
+
+double compression_ratio(std::size_t raw, std::size_t compressed) {
+  return raw > 0 ? static_cast<double>(compressed) / static_cast<double>(raw) : 1.0;
+}
+
+}  // namespace vira::util

@@ -1,0 +1,65 @@
+#include "util/log.hpp"
+
+#include <chrono>
+#include <iostream>
+
+namespace vira::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() = default;
+
+void Logger::set_level(LogLevel level) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Logger::set_stream(std::ostream* stream) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_ = stream;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (level < level_) {
+    return;
+  }
+  std::ostream& out = stream_ != nullptr ? *stream_ : std::cerr;
+  out << '[' << to_string(level) << "] [" << elapsed << "s]";
+  if (!component.empty()) {
+    out << " [" << component << ']';
+  }
+  out << ' ' << message << '\n';
+}
+
+}  // namespace vira::util

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file log.hpp
+/// Thread-safe leveled logging for the Viracocha framework.
+///
+/// The logger writes single-line records to a std::ostream (stderr by
+/// default). Records carry a monotonic timestamp, severity, and an optional
+/// component tag so that scheduler/worker/DMS output can be told apart when
+/// many threads log concurrently.
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vira::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the fixed-width human-readable name of a level ("TRACE", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logger. All members are safe to call from any thread.
+class Logger {
+ public:
+  /// The singleton used by the VIRA_LOG macros.
+  static Logger& instance();
+
+  /// Minimum severity that is emitted; records below it are dropped.
+  void set_level(LogLevel level) noexcept;
+  LogLevel level() const noexcept;
+
+  /// Redirects output. The stream must outlive all logging calls.
+  /// Passing nullptr restores the default (stderr).
+  void set_stream(std::ostream* stream) noexcept;
+
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Emits one record. `component` may be empty.
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* stream_ = nullptr;  // nullptr => stderr
+};
+
+/// Builder used by the macros; flushes one record on destruction.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  ~LogRecord() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vira::util
+
+#define VIRA_LOG_AT(level, component)                        \
+  if (!::vira::util::Logger::instance().enabled(level)) {    \
+  } else                                                     \
+    ::vira::util::LogRecord(level, component)
+
+#define VIRA_TRACE(component) VIRA_LOG_AT(::vira::util::LogLevel::kTrace, component)
+#define VIRA_DEBUG(component) VIRA_LOG_AT(::vira::util::LogLevel::kDebug, component)
+#define VIRA_INFO(component) VIRA_LOG_AT(::vira::util::LogLevel::kInfo, component)
+#define VIRA_WARN(component) VIRA_LOG_AT(::vira::util::LogLevel::kWarn, component)
+#define VIRA_ERROR(component) VIRA_LOG_AT(::vira::util::LogLevel::kError, component)

@@ -1,0 +1,128 @@
+#include "util/param_list.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vira::util {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void ParamList::set_double(const std::string& key, double value) { values_[key] = format_double(value); }
+
+void ParamList::set_int(const std::string& key, std::int64_t value) { values_[key] = std::to_string(value); }
+
+void ParamList::set_bool(const std::string& key, bool value) { values_[key] = value ? "1" : "0"; }
+
+void ParamList::set_doubles(const std::string& key, const std::vector<double>& values) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out << ',';
+    }
+    out << format_double(values[i]);
+  }
+  values_[key] = out.str();
+}
+
+std::optional<std::string> ParamList::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string ParamList::get_or(const std::string& key, const std::string& fallback) const {
+  auto value = get(key);
+  return value ? *value : fallback;
+}
+
+double ParamList::get_double(const std::string& key, double fallback) const {
+  auto value = get(key);
+  if (!value) {
+    return fallback;
+  }
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::int64_t ParamList::get_int(const std::string& key, std::int64_t fallback) const {
+  auto value = get(key);
+  if (!value) {
+    return fallback;
+  }
+  try {
+    return std::stoll(*value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool ParamList::get_bool(const std::string& key, bool fallback) const {
+  auto value = get(key);
+  if (!value) {
+    return fallback;
+  }
+  return *value == "1" || *value == "true";
+}
+
+std::vector<double> ParamList::get_doubles(const std::string& key) const {
+  std::vector<double> out;
+  auto value = get(key);
+  if (!value) {
+    return out;
+  }
+  std::istringstream in(*value);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) {
+      out.push_back(std::stod(token));
+    }
+  }
+  return out;
+}
+
+std::string ParamList::canonical() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) {
+      out << ';';
+    }
+    first = false;
+    out << key << '=' << value;
+  }
+  return out.str();
+}
+
+void ParamList::serialize(ByteBuffer& out) const {
+  out.write<std::uint64_t>(values_.size());
+  for (const auto& [key, value] : values_) {
+    out.write_string(key);
+    out.write_string(value);
+  }
+}
+
+ParamList ParamList::deserialize(ByteBuffer& in) {
+  ParamList list;
+  const auto count = in.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key = in.read_string();
+    std::string value = in.read_string();
+    list.values_[std::move(key)] = std::move(value);
+  }
+  return list;
+}
+
+}  // namespace vira::util

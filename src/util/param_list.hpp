@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file param_list.hpp
+/// Ordered key/value parameter lists.
+///
+/// Commands are steered "by simple parameters" (paper Fig. 1) — an
+/// iso-value, a viewpoint, seed points. ParamList is that parameter set:
+/// it serializes onto the wire with the command request, and it is part of
+/// the DMS data-item name (Sec. 4: "a data item is fully named by a source
+/// file, a data type and format as well as an optional parameter list").
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace vira::util {
+
+class ParamList {
+ public:
+  ParamList() = default;
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+  void set_double(const std::string& key, double value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_bool(const std::string& key, bool value);
+  void set_doubles(const std::string& key, const std::vector<double>& values);
+
+  bool contains(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::vector<double> get_doubles(const std::string& key) const;
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Canonical "k1=v1;k2=v2" rendering (keys sorted); used in data-item
+  /// names so identical parameter sets map to identical names.
+  std::string canonical() const;
+
+  void serialize(ByteBuffer& out) const;
+  static ParamList deserialize(ByteBuffer& in);
+
+  bool operator==(const ParamList& other) const { return values_ == other.values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vira::util

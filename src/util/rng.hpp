@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random numbers (SplitMix64 core).
+///
+/// Every stochastic part of this reproduction (synthetic datasets, seed
+/// clouds, request traces) draws from this generator so that tests and
+/// benchmarks are bit-reproducible across runs.
+
+#include <cmath>
+#include <cstdint>
+
+namespace vira::util {
+
+/// SplitMix64: tiny, fast, passes BigCrush when used as a stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  /// Derives an independent child stream (e.g. one per block).
+  Rng fork(std::uint64_t salt) { return Rng(next_u64() ^ (salt * 0xd1342543de82ef95ull)); }
+
+ private:
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace vira::util

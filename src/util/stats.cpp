@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace vira::util {
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  std::size_t index = 0;
+  if (span > 0.0) {
+    const double t = (x - lo_) / span;
+    const auto scaled = static_cast<long long>(std::floor(t * static_cast<double>(counts_.size())));
+    if (scaled < 0) {
+      index = 0;
+    } else if (scaled >= static_cast<long long>(counts_.size())) {
+      index = counts_.size() - 1;
+    } else {
+      index = static_cast<std::size_t>(scaled);
+    }
+  }
+  ++counts_[index];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative >= target) {
+      return lo_ + bucket_width * (static_cast<double>(i) + 0.5);
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double left = lo_ + bucket_width * static_cast<double>(i);
+    const auto bar = peak > 0 ? static_cast<std::size_t>(counts_[i] * width / peak) : 0;
+    out << "[" << left << ", " << (left + bucket_width) << ") " << std::string(bar, '#') << ' '
+        << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace vira::util

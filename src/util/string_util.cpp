@@ -1,0 +1,64 @@
+#include "util/string_util.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vira::util {
+
+std::string human_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[64];
+  if (unit == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, units[unit]);
+  }
+  return buffer;
+}
+
+std::string human_seconds(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f s", seconds);
+  return buffer;
+}
+
+std::vector<std::string> split(const std::string& text, char separator) {
+  std::vector<std::string> parts;
+  std::string token;
+  std::istringstream in(text);
+  while (std::getline(in, token, separator)) {
+    parts.push_back(token);
+  }
+  return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& separator) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out << separator;
+    }
+    out << parts[i];
+  }
+  return out.str();
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string pad(const std::string& text, std::size_t width, bool left_align) {
+  if (text.size() >= width) {
+    return text.substr(0, width);
+  }
+  const std::string fill(width - text.size(), ' ');
+  return left_align ? text + fill : fill + text;
+}
+
+}  // namespace vira::util

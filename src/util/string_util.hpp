@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file string_util.hpp
+/// Small string / formatting helpers shared by reports and logs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vira::util {
+
+/// "1.12 GB", "19.5 GB", "287 KB" — matches the paper's Table 1 style.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed precision seconds, e.g. "12.345 s".
+std::string human_seconds(double seconds);
+
+std::vector<std::string> split(const std::string& text, char separator);
+
+std::string join(const std::vector<std::string>& parts, const std::string& separator);
+
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Left-pads/truncates to an exact width (for ASCII tables).
+std::string pad(const std::string& text, std::size_t width, bool left_align = true);
+
+}  // namespace vira::util

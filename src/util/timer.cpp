@@ -1,0 +1,65 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace vira::util {
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void PhaseTimer::enter(const std::string& phase) {
+  flush();
+  current_ = phase;
+  entered_ = Clock::now();
+}
+
+void PhaseTimer::flush() {
+  if (!current_.empty()) {
+    phases_[current_] += std::chrono::duration<double>(Clock::now() - entered_).count();
+  }
+}
+
+double PhaseTimer::seconds(const std::string& phase) const {
+  auto it = phases_.find(phase);
+  double value = it != phases_.end() ? it->second : 0.0;
+  if (phase == current_ && !current_.empty()) {
+    value += std::chrono::duration<double>(Clock::now() - entered_).count();
+  }
+  return value;
+}
+
+double PhaseTimer::total() const {
+  double sum = 0.0;
+  for (const auto& [name, secs] : phases_) {
+    sum += secs;
+  }
+  if (!current_.empty()) {
+    sum += std::chrono::duration<double>(Clock::now() - entered_).count();
+  }
+  return sum;
+}
+
+void PhaseTimer::merge(const PhaseTimer& other) {
+  for (const auto& [name, secs] : other.phases_) {
+    phases_[name] += secs;
+  }
+}
+
+void PhaseTimer::reset() {
+  phases_.clear();
+  current_.clear();
+}
+
+ScopedPhase::ScopedPhase(PhaseTimer& timer, std::string phase)
+    : timer_(timer), previous_(timer.current()) {
+  timer_.enter(std::move(phase));
+}
+
+ScopedPhase::~ScopedPhase() { timer_.enter(previous_); }
+
+}  // namespace vira::util

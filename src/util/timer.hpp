@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock and CPU timers plus a phase-accounting helper.
+///
+/// The paper's evaluation (Sec. 7, Fig. 15) splits command runtime into
+/// compute / read / send shares; PhaseTimer provides exactly that
+/// attribution for the real (threaded) runtime.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vira::util {
+
+/// Monotonic wall-clock stopwatch with pause/resume semantics.
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+
+  void restart() {
+    accumulated_ = 0.0;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  void pause() {
+    if (running_) {
+      accumulated_ += std::chrono::duration<double>(Clock::now() - start_).count();
+      running_ = false;
+    }
+  }
+
+  void resume() {
+    if (!running_) {
+      running_ = true;
+      start_ = Clock::now();
+    }
+  }
+
+  /// Seconds accumulated so far (keeps running).
+  double seconds() const {
+    double total = accumulated_;
+    if (running_) {
+      total += std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    return total;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  double accumulated_ = 0.0;
+  bool running_ = true;
+};
+
+/// Per-thread CPU time in seconds (CLOCK_THREAD_CPUTIME_ID).
+double thread_cpu_seconds();
+
+/// Accumulates named phases ("compute", "read", "send", ...) so a command
+/// can report where its runtime went. Not thread-safe; each worker keeps
+/// its own instance and the master merges them.
+class PhaseTimer {
+ public:
+  /// Starts (or resumes) accounting the named phase, stopping the previous
+  /// one. Passing an empty name stops accounting entirely.
+  void enter(const std::string& phase);
+
+  /// Stops the current phase.
+  void stop() { enter(std::string()); }
+
+  /// Seconds accumulated in a phase (0 for unknown names).
+  double seconds(const std::string& phase) const;
+
+  /// All phases with their accumulated seconds.
+  const std::map<std::string, double>& phases() const { return phases_; }
+
+  /// Name of the phase currently being accounted (empty if none).
+  const std::string& current() const { return current_; }
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// Adds the phases of another timer into this one.
+  void merge(const PhaseTimer& other);
+
+  void reset();
+
+ private:
+  void flush();
+
+  using Clock = std::chrono::steady_clock;
+  std::map<std::string, double> phases_;
+  std::string current_;
+  Clock::time_point entered_{};
+};
+
+/// RAII phase guard: enters `phase` on construction, restores the previous
+/// phase on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string phase);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+  std::string previous_;
+};
+
+}  // namespace vira::util

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file assembly.hpp
+/// Client-side assembly of streamed fragments (paper Sec. 5.2: "Over
+/// there, they come in one by one, are assembled, and prepared just in
+/// time for the next rendering loop").
+///
+/// GeometryCollector consumes Packets and maintains the merged picture:
+/// plain mesh fragments accumulate; progressive fragments (level-tagged)
+/// replace the geometry of coarser levels; polylines accumulate; the
+/// summary (if any) is kept for bookkeeping.
+
+#include <map>
+
+#include "algo/geometry.hpp"
+#include "algo/payloads.hpp"
+#include "viz/session.hpp"
+
+namespace vira::viz {
+
+class GeometryCollector {
+ public:
+  /// Consumes a kPartial / kFinal packet (others are ignored).
+  /// Returns true if the packet carried geometry.
+  bool consume(Packet& packet) {
+    if (packet.kind != Packet::Kind::kPartial && packet.kind != Packet::Kind::kFinal) {
+      return false;
+    }
+    auto fragment = algo::decode_fragment(packet.payload);
+    if (fragment.kind == algo::kPayloadMesh) {
+      if (fragment.level < 0) {
+        mesh_.merge(fragment.mesh);
+      } else {
+        levels_[fragment.level].merge(fragment.mesh);
+        best_level_ = std::max(best_level_, fragment.level);
+      }
+      ++fragments_;
+      return true;
+    }
+    if (fragment.kind == algo::kPayloadLines) {
+      lines_.merge(fragment.lines);
+      ++fragments_;
+      return true;
+    }
+    if (fragment.kind == algo::kPayloadSummary) {
+      summary_triangles_ = fragment.triangles;
+      summary_active_cells_ = fragment.active_cells;
+      have_summary_ = true;
+    }
+    return false;
+  }
+
+  /// Current renderable mesh: the finest progressive level received so
+  /// far, merged with all non-progressive fragments.
+  algo::TriangleMesh current_mesh() const {
+    algo::TriangleMesh result = mesh_;
+    auto it = levels_.find(best_level_);
+    if (it != levels_.end()) {
+      result.merge(it->second);
+    }
+    return result;
+  }
+
+  const algo::TriangleMesh& flat_mesh() const { return mesh_; }
+  const algo::PolylineSet& lines() const { return lines_; }
+  const std::map<int, algo::TriangleMesh>& levels() const { return levels_; }
+
+  std::size_t fragment_count() const { return fragments_; }
+  bool have_summary() const { return have_summary_; }
+  std::uint64_t summary_triangles() const { return summary_triangles_; }
+  std::uint64_t summary_active_cells() const { return summary_active_cells_; }
+
+ private:
+  algo::TriangleMesh mesh_;
+  algo::PolylineSet lines_;
+  std::map<int, algo::TriangleMesh> levels_;
+  int best_level_ = -1;
+  std::size_t fragments_ = 0;
+  bool have_summary_ = false;
+  std::uint64_t summary_triangles_ = 0;
+  std::uint64_t summary_active_cells_ = 0;
+};
+
+}  // namespace vira::viz

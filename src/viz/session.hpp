@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file session.hpp
+/// Client-side extraction manager (the role ViSTA FlowLib's
+/// ExtractionManager plays in paper Fig. 2).
+///
+/// An ExtractionSession sits on a ClientLink (in-process or TCP), submits
+/// commands, and demultiplexes incoming packets into per-request
+/// ResultStreams. A background receiver thread keeps draining the link so
+/// streamed fragments arrive while the render loop (or bench harness) does
+/// other work — the paper's "they come in one by one, are assembled, and
+/// prepared just in time for the next rendering loop".
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "comm/client_link.hpp"
+#include "core/protocol.hpp"
+#include "util/blocking_queue.hpp"
+#include "util/param_list.hpp"
+
+namespace vira::viz {
+
+/// One delivery from the backend.
+struct Packet {
+  enum class Kind { kPartial, kFinal, kProgress, kError, kComplete };
+  Kind kind;
+  core::FragmentHeader header;       ///< valid for kPartial / kFinal
+  util::ByteBuffer payload;          ///< fragment body (header stripped)
+  double progress = 0.0;             ///< valid for kProgress
+  std::string error;                 ///< valid for kError
+  core::CommandStats stats;          ///< valid for kComplete
+  double client_seconds = 0.0;       ///< receive time relative to submission
+};
+
+/// Per-request stream of packets; ends with kComplete (or kError followed
+/// by kComplete).
+class ResultStream {
+ public:
+  /// Next packet; nullopt on timeout or after the stream finished and
+  /// drained.
+  std::optional<Packet> next(std::chrono::milliseconds timeout = std::chrono::milliseconds(30000));
+
+  /// Drains everything up to completion; returns the final CommandStats.
+  /// Partial/final payload fragments are appended to `fragments` if given.
+  core::CommandStats wait(std::vector<util::ByteBuffer>* fragments = nullptr,
+                          std::chrono::milliseconds timeout = std::chrono::milliseconds(300000));
+
+  std::uint64_t request_id() const { return request_id_; }
+  /// Seconds from submission until the first kPartial/kFinal arrived at the
+  /// client (client-side latency; -1 before any data packet).
+  double first_data_seconds() const { return first_data_seconds_.load(); }
+
+ private:
+  friend class ExtractionSession;
+  explicit ResultStream(std::uint64_t request_id) : request_id_(request_id) {}
+
+  std::uint64_t request_id_;
+  util::BlockingQueue<Packet> queue_;
+  std::atomic<double> first_data_seconds_{-1.0};
+};
+
+class ExtractionSession {
+ public:
+  explicit ExtractionSession(std::shared_ptr<comm::ClientLink> link);
+  ~ExtractionSession();
+  ExtractionSession(const ExtractionSession&) = delete;
+  ExtractionSession& operator=(const ExtractionSession&) = delete;
+
+  /// Submits a command; the returned stream delivers its packets.
+  std::shared_ptr<ResultStream> submit(const std::string& command,
+                                       const util::ParamList& params);
+
+  /// Requests cancellation of an in-flight command.
+  void cancel(std::uint64_t request_id);
+
+  void close();
+
+ private:
+  void receive_loop();
+
+  std::shared_ptr<comm::ClientLink> link_;
+  std::thread receiver_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  std::mutex streams_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<ResultStream>> streams_;
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> submit_times_;
+};
+
+}  // namespace vira::viz

@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "comm/client_link.hpp"
+#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
+
+namespace vc = vira::comm;
+namespace vu = vira::util;
+
+namespace {
+
+vu::ByteBuffer make_payload(const std::string& text) {
+  vu::ByteBuffer buf;
+  buf.write_string(text);
+  return buf;
+}
+
+std::string read_payload(vu::ByteBuffer& buf) { return buf.read_string(); }
+
+/// Runs `body(rank, comm)` on `size` threads over a shared InProcTransport.
+void run_ranks(int size, const std::function<void(int, vc::Communicator&)>& body) {
+  auto transport = std::make_shared<vc::InProcTransport>(size);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int rank = 0; rank < size; ++rank) {
+    threads.emplace_back([&, rank] {
+      vc::Communicator comm(transport, rank);
+      body(rank, comm);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InProcTransport
+// ---------------------------------------------------------------------------
+
+TEST(InProcTransport, DeliversToAddressedEndpoint) {
+  vc::InProcTransport transport(3);
+  vc::Message msg;
+  msg.source = 0;
+  msg.tag = 7;
+  msg.payload = make_payload("hello");
+  transport.send(2, std::move(msg));
+
+  auto received = transport.recv(2, std::chrono::milliseconds(100));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->source, 0);
+  EXPECT_EQ(received->tag, 7);
+  EXPECT_EQ(read_payload(received->payload), "hello");
+
+  EXPECT_FALSE(transport.recv(0, std::chrono::milliseconds(1)).has_value());
+}
+
+TEST(InProcTransport, RejectsBadEndpoints) {
+  vc::InProcTransport transport(2);
+  vc::Message msg;
+  EXPECT_THROW(transport.send(5, std::move(msg)), std::out_of_range);
+  EXPECT_THROW((void)transport.recv(-1, std::chrono::milliseconds(1)), std::out_of_range);
+  EXPECT_THROW(vc::InProcTransport(0), std::invalid_argument);
+}
+
+TEST(InProcTransport, ShutdownReleasesReceivers) {
+  auto transport = std::make_shared<vc::InProcTransport>(1);
+  std::thread receiver([&] {
+    const auto msg = transport->recv(0, std::chrono::milliseconds(5000));
+    EXPECT_FALSE(msg.has_value());
+  });
+  transport->shutdown();
+  receiver.join();
+  EXPECT_TRUE(transport->is_shut_down());
+}
+
+// ---------------------------------------------------------------------------
+// Communicator point-to-point
+// ---------------------------------------------------------------------------
+
+TEST(Communicator, SendRecvWithTagMatching) {
+  run_ranks(2, [](int rank, vc::Communicator& comm) {
+    if (rank == 0) {
+      comm.send(1, 5, make_payload("tag5"));
+      comm.send(1, 9, make_payload("tag9"));
+    } else {
+      // Receive out of order: tag 9 first, then tag 5 from the buffer.
+      auto msg9 = comm.recv(0, 9);
+      EXPECT_EQ(read_payload(msg9.payload), "tag9");
+      auto msg5 = comm.recv(0, 5);
+      EXPECT_EQ(read_payload(msg5.payload), "tag5");
+    }
+  });
+}
+
+TEST(Communicator, AnySourceAndAnyTagWildcards) {
+  run_ranks(3, [](int rank, vc::Communicator& comm) {
+    if (rank == 0) {
+      int seen = 0;
+      for (int n = 0; n < 2; ++n) {
+        auto msg = comm.recv(vc::kAnySource, vc::kAnyTag);
+        seen += msg.source;
+      }
+      EXPECT_EQ(seen, 3);  // 1 + 2
+    } else {
+      comm.send(0, rank * 10, make_payload("x"));
+    }
+  });
+}
+
+TEST(Communicator, TryRecvTimesOutCleanly) {
+  auto transport = std::make_shared<vc::InProcTransport>(1);
+  vc::Communicator comm(transport, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(comm.try_recv(vc::kAnySource, 1, std::chrono::milliseconds(30)).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(Communicator, ProbePeeksWithoutConsuming) {
+  run_ranks(2, [](int rank, vc::Communicator& comm) {
+    if (rank == 0) {
+      comm.send(1, 3, make_payload("peek"));
+    } else {
+      std::optional<std::pair<int, int>> header;
+      while (!header) {
+        header = comm.probe(std::chrono::milliseconds(50));
+      }
+      EXPECT_EQ(header->first, 0);
+      EXPECT_EQ(header->second, 3);
+      auto msg = comm.recv(0, 3);
+      EXPECT_EQ(read_payload(msg.payload), "peek");
+    }
+  });
+}
+
+TEST(Communicator, NegativeUserTagRejected) {
+  auto transport = std::make_shared<vc::InProcTransport>(2);
+  vc::Communicator comm(transport, 0);
+  EXPECT_THROW(comm.send(1, -3, {}), std::invalid_argument);
+}
+
+TEST(Communicator, RecvThrowsAfterShutdown) {
+  auto transport = std::make_shared<vc::InProcTransport>(1);
+  vc::Communicator comm(transport, 0);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    transport->shutdown();
+  });
+  EXPECT_THROW((void)comm.recv(), vc::TransportClosed);
+  closer.join();
+}
+
+TEST(Communicator, FifoPerSenderPair) {
+  run_ranks(2, [](int rank, vc::Communicator& comm) {
+    constexpr int kCount = 200;
+    if (rank == 0) {
+      for (int n = 0; n < kCount; ++n) {
+        vu::ByteBuffer buf;
+        buf.write<int>(n);
+        comm.send(1, 1, std::move(buf));
+      }
+    } else {
+      for (int n = 0; n < kCount; ++n) {
+        auto msg = comm.recv(0, 1);
+        EXPECT_EQ(msg.payload.read<int>(), n);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Communicator collectives
+// ---------------------------------------------------------------------------
+
+TEST(Communicator, BarrierSynchronizesRepeatedly) {
+  std::atomic<int> phase_counter{0};
+  run_ranks(4, [&](int rank, vc::Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      if (rank == round % 4) {
+        // Stagger one rank to provoke the fast-peer overtaking scenario.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      comm.barrier();
+      phase_counter.fetch_add(1);
+      comm.barrier();
+      EXPECT_EQ(phase_counter.load() % 4, 0) << "round " << round;
+    }
+  });
+  EXPECT_EQ(phase_counter.load(), 20);
+}
+
+TEST(Communicator, BroadcastDeliversRootPayload) {
+  run_ranks(3, [](int rank, vc::Communicator& comm) {
+    vu::ByteBuffer payload;
+    if (rank == 1) {
+      payload = make_payload("from-root");
+    }
+    auto result = comm.broadcast(std::move(payload), 1);
+    EXPECT_EQ(read_payload(result), "from-root");
+  });
+}
+
+TEST(Communicator, GatherCollectsByRank) {
+  run_ranks(4, [](int rank, vc::Communicator& comm) {
+    vu::ByteBuffer mine;
+    mine.write<int>(rank * rank);
+    auto gathered = comm.gather(std::move(mine), 0);
+    if (rank == 0) {
+      ASSERT_EQ(gathered.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(r)].read<int>(), r * r);
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST(Communicator, ReduceSumsDoubles) {
+  run_ranks(4, [](int rank, vc::Communicator& comm) {
+    const double result = comm.reduce_sum(static_cast<double>(rank + 1), 2);
+    if (rank == 2) {
+      EXPECT_DOUBLE_EQ(result, 10.0);
+    }
+  });
+}
+
+TEST(Communicator, ConsecutiveGathersDoNotBleed) {
+  run_ranks(3, [](int rank, vc::Communicator& comm) {
+    for (int round = 0; round < 10; ++round) {
+      vu::ByteBuffer mine;
+      mine.write<int>(round * 100 + rank);
+      auto gathered = comm.gather(std::move(mine), 0);
+      if (rank == 0) {
+        for (int r = 0; r < 3; ++r) {
+          EXPECT_EQ(gathered[static_cast<std::size_t>(r)].read<int>(), round * 100 + r);
+        }
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ClientLink (in-process and TCP)
+// ---------------------------------------------------------------------------
+
+class ClientLinkTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "inproc") {
+      auto [a, b] = vc::make_inproc_link_pair();
+      client_ = a;
+      server_ = b;
+    } else {
+      listener_ = std::make_unique<vc::TcpListener>();
+      auto connect_future = std::async(std::launch::async, [&] {
+        return vc::tcp_connect("127.0.0.1", listener_->port());
+      });
+      server_ = listener_->accept(std::chrono::milliseconds(2000));
+      client_ = std::shared_ptr<vc::ClientLink>(connect_future.get().release());
+      ASSERT_TRUE(server_ != nullptr);
+    }
+  }
+
+  std::shared_ptr<vc::ClientLink> client_;
+  std::shared_ptr<vc::ClientLink> server_;
+  std::unique_ptr<vc::TcpListener> listener_;
+};
+
+TEST_P(ClientLinkTest, RoundTripsFrames) {
+  vc::Message msg;
+  msg.source = 42;
+  msg.tag = 7;
+  msg.payload = make_payload("request");
+  client_->send(std::move(msg));
+
+  auto received = server_->recv(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->source, 42);
+  EXPECT_EQ(received->tag, 7);
+  EXPECT_EQ(read_payload(received->payload), "request");
+
+  vc::Message reply;
+  reply.tag = 8;
+  reply.payload = make_payload("response");
+  server_->send(std::move(reply));
+  auto back = client_->recv(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(read_payload(back->payload), "response");
+}
+
+TEST_P(ClientLinkTest, LargePayloadSurvives) {
+  std::vector<float> big(200000);
+  std::iota(big.begin(), big.end(), 0.0f);
+  vc::Message msg;
+  msg.tag = 1;
+  msg.payload.write_vector(big);
+  client_->send(std::move(msg));
+
+  auto received = server_->recv(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(received.has_value());
+  const auto restored = received->payload.read_vector<float>();
+  ASSERT_EQ(restored.size(), big.size());
+  EXPECT_EQ(restored[123456], 123456.0f);
+}
+
+TEST_P(ClientLinkTest, RecvTimesOutWithoutTraffic) {
+  EXPECT_FALSE(server_->recv(std::chrono::milliseconds(20)).has_value());
+}
+
+TEST_P(ClientLinkTest, CloseUnblocksPeer) {
+  client_->close();
+  // The server side eventually observes end-of-stream as nullopt.
+  auto msg = server_->recv(std::chrono::milliseconds(2000));
+  EXPECT_FALSE(msg.has_value());
+}
+
+TEST_P(ClientLinkTest, ManyFramesKeepOrder) {
+  constexpr int kCount = 500;
+  std::thread sender([&] {
+    for (int n = 0; n < kCount; ++n) {
+      vc::Message msg;
+      msg.tag = n;
+      msg.payload.write<int>(n);
+      client_->send(std::move(msg));
+    }
+  });
+  for (int n = 0; n < kCount; ++n) {
+    auto msg = server_->recv(std::chrono::milliseconds(2000));
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->tag, n);
+    EXPECT_EQ(msg->payload.read<int>(), n);
+  }
+  sender.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, ClientLinkTest, ::testing::Values("inproc", "tcp"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Stress
+// ---------------------------------------------------------------------------
+
+TEST(Communicator, EightRankAllToAll) {
+  constexpr int kRanks = 8;
+  constexpr int kMessages = 50;
+  run_ranks(kRanks, [](int rank, vc::Communicator& comm) {
+    // Everyone sends kMessages to every other rank, then receives the same.
+    for (int peer = 0; peer < kRanks; ++peer) {
+      if (peer == rank) {
+        continue;
+      }
+      for (int n = 0; n < kMessages; ++n) {
+        vu::ByteBuffer buf;
+        buf.write<int>(rank * 1000 + n);
+        comm.send(peer, /*tag=*/n % 5, std::move(buf));
+      }
+    }
+    int received = 0;
+    long long sum = 0;
+    while (received < (kRanks - 1) * kMessages) {
+      auto msg = comm.recv(vc::kAnySource, vc::kAnyTag);
+      sum += msg.payload.read<int>() % 1000;
+      ++received;
+    }
+    // Each peer contributed sum over n of n = kMessages*(kMessages-1)/2.
+    EXPECT_EQ(sum, static_cast<long long>(kRanks - 1) * kMessages * (kMessages - 1) / 2);
+  });
+}
+
+TEST(Communicator, MixedCollectivesAndPointToPoint) {
+  run_ranks(4, [](int rank, vc::Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      // p2p ring exchange...
+      const int next = (rank + 1) % 4;
+      const int prior = (rank + 3) % 4;
+      vu::ByteBuffer buf;
+      buf.write<int>(rank + round);
+      comm.send(next, 100 + round, std::move(buf));
+      auto msg = comm.recv(prior, 100 + round);
+      EXPECT_EQ(msg.payload.read<int>(), prior + round);
+      // ...interleaved with collectives.
+      const double total = comm.reduce_sum(1.0, 0);
+      if (rank == 0) {
+        EXPECT_DOUBLE_EQ(total, 4.0);
+      }
+      comm.barrier();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Collectives across rank counts (parameterized)
+// ---------------------------------------------------------------------------
+
+class CollectiveSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweepTest, GatherBroadcastReduceAgree) {
+  const int ranks = GetParam();
+  run_ranks(ranks, [ranks](int rank, vc::Communicator& comm) {
+    // Gather rank squares at the last rank.
+    vu::ByteBuffer mine;
+    mine.write<int>(rank * rank);
+    auto gathered = comm.gather(std::move(mine), ranks - 1);
+    if (rank == ranks - 1) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(r)].read<int>(), r * r);
+      }
+    }
+    // Broadcast a token from rank 0.
+    vu::ByteBuffer token;
+    if (rank == 0) {
+      token.write<int>(ranks * 11);
+    }
+    auto result = comm.broadcast(std::move(token), 0);
+    EXPECT_EQ(result.read<int>(), ranks * 11);
+    // Reduce: Σ r = n(n-1)/2.
+    const double sum = comm.reduce_sum(static_cast<double>(rank), 0);
+    if (rank == 0) {
+      EXPECT_DOUBLE_EQ(sum, ranks * (ranks - 1) / 2.0);
+    }
+    comm.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweepTest, ::testing::Values(2, 3, 5, 8),
+                         [](const auto& info) {
+                           return "ranks" + std::to_string(info.param);
+                         });

@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "core/backend.hpp"
+#include "core/vmb_data_source.hpp"
+#include "grid/synthetic.hpp"
+#include "viz/session.hpp"
+
+namespace vc = vira::core;
+namespace vg = vira::grid;
+namespace vu = vira::util;
+
+namespace {
+
+/// Echoes its "text" parameter back, optionally streaming N partials first,
+/// optionally failing, optionally touching blocks through the DMS.
+class EchoCommand final : public vc::Command {
+ public:
+  std::string name() const override { return "test.echo"; }
+
+  void execute(vc::CommandContext& context) override {
+    const auto& params = context.params();
+    if (params.get_bool("fail", false)) {
+      throw std::runtime_error("echo asked to fail");
+    }
+    context.phases().enter(vc::kPhaseCompute);
+
+    const auto partials = params.get_int("partials", 0);
+    for (int n = 0; n < partials; ++n) {
+      vu::ByteBuffer fragment;
+      fragment.write_string("partial-" + std::to_string(context.group_rank()) + "-" +
+                            std::to_string(n));
+      context.stream_partial(std::move(fragment));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Touch a dataset block if requested (exercises the DMS path).
+    const auto dataset = params.get_or("dataset", "");
+    if (!dataset.empty()) {
+      context.phases().enter(vc::kPhaseRead);
+      const auto blob = context.proxy().request(vira::dms::block_item(dataset, 0, 0));
+      EXPECT_NE(blob, nullptr);
+      context.phases().enter(vc::kPhaseCompute);
+    }
+
+    // Gather per-worker contributions at the master.
+    vu::ByteBuffer part;
+    part.write<std::int32_t>(context.group_rank());
+    auto parts = context.gather_at_master(std::move(part));
+    if (context.is_master()) {
+      vu::ByteBuffer result;
+      result.write_string(params.get_or("text", ""));
+      result.write<std::uint32_t>(static_cast<std::uint32_t>(parts.size()));
+      context.send_final(std::move(result));
+    }
+    context.phases().stop();
+  }
+};
+
+struct RegisterCommands {
+  RegisterCommands() {
+    vc::CommandRegistry::global().register_command(
+        "test.echo", [] { return std::make_unique<EchoCommand>(); });
+  }
+};
+RegisterCommands register_commands;  // NOLINT
+
+std::string make_dataset() {
+  static std::string dir;
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() / "vira_core_test_ds").string();
+    std::filesystem::remove_all(dir);
+    vg::UniformFlow flow({1, 0, 0});
+    vg::generate_box(dir, flow, 2, 5, 5, 5, {0, 0, 0}, {1, 1, 1}, 0.1, 3);
+  }
+  return dir;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(CommandRegistry, CreateAndErrors) {
+  auto& registry = vc::CommandRegistry::global();
+  EXPECT_TRUE(registry.knows("test.echo"));
+  auto command = registry.create("test.echo");
+  EXPECT_EQ(command->name(), "test.echo");
+  EXPECT_THROW(registry.create("no.such.command"), std::invalid_argument);
+  EXPECT_FALSE(registry.knows("no.such.command"));
+}
+
+// ---------------------------------------------------------------------------
+// Backend end-to-end over the in-process link
+// ---------------------------------------------------------------------------
+
+TEST(Backend, RoundTripSingleWorker) {
+  vc::BackendConfig config;
+  config.workers = 1;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set("text", "hello-viracocha");
+  auto stream = session.submit("test.echo", params);
+
+  std::vector<vu::ByteBuffer> fragments;
+  const auto stats = stream->wait(&fragments);
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.workers, 1);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].read_string(), "hello-viracocha");
+  EXPECT_EQ(fragments[0].read<std::uint32_t>(), 1u);
+}
+
+TEST(Backend, WorkGroupGathersAllWorkers) {
+  vc::BackendConfig config;
+  config.workers = 4;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set("text", "group");
+  params.set_int("workers", 4);
+  auto stream = session.submit("test.echo", params);
+  std::vector<vu::ByteBuffer> fragments;
+  const auto stats = stream->wait(&fragments);
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.workers, 4);
+  ASSERT_EQ(fragments.size(), 1u);
+  (void)fragments[0].read_string();
+  EXPECT_EQ(fragments[0].read<std::uint32_t>(), 4u);
+}
+
+TEST(Backend, StreamedPartialsArriveBeforeCompletion) {
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set_int("partials", 3);
+  params.set_int("workers", 2);
+  auto stream = session.submit("test.echo", params);
+
+  int partials = 0;
+  int finals = 0;
+  bool complete = false;
+  while (!complete) {
+    auto packet = stream->next(std::chrono::milliseconds(10000));
+    ASSERT_TRUE(packet.has_value());
+    switch (packet->kind) {
+      case vira::viz::Packet::Kind::kPartial:
+        ++partials;
+        EXPECT_FALSE(complete);
+        break;
+      case vira::viz::Packet::Kind::kFinal:
+        ++finals;
+        break;
+      case vira::viz::Packet::Kind::kComplete:
+        complete = true;
+        EXPECT_TRUE(packet->stats.success);
+        EXPECT_EQ(packet->stats.partial_packets, 6u);
+        // Streaming latency must be at most the total runtime.
+        EXPECT_LE(packet->stats.latency, packet->stats.total_runtime + 1e-9);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(partials, 6);  // 3 per worker x 2 workers
+  EXPECT_EQ(finals, 1);
+  EXPECT_GE(stream->first_data_seconds(), 0.0);
+}
+
+TEST(Backend, CommandErrorsReachTheClient) {
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set_bool("fail", true);
+  auto stream = session.submit("test.echo", params);
+  const auto stats = stream->wait();
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.error.find("echo asked to fail"), std::string::npos);
+}
+
+TEST(Backend, UnknownCommandFailsGracefully) {
+  vc::BackendConfig config;
+  config.workers = 1;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+  auto stream = session.submit("does.not.exist", {});
+  const auto stats = stream->wait();
+  EXPECT_FALSE(stats.success);
+}
+
+TEST(Backend, SequentialRequestsReuseWorkers) {
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  for (int round = 0; round < 5; ++round) {
+    vu::ParamList params;
+    params.set("text", "round-" + std::to_string(round));
+    auto stream = session.submit("test.echo", params);
+    std::vector<vu::ByteBuffer> fragments;
+    const auto stats = stream->wait(&fragments);
+    EXPECT_TRUE(stats.success);
+    ASSERT_EQ(fragments.size(), 1u);
+    EXPECT_EQ(fragments[0].read_string(), "round-" + std::to_string(round));
+  }
+}
+
+TEST(Backend, ConcurrentRequestsQueueWhenWorkersBusy) {
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  // Two requests, each wanting both workers: the second must queue and
+  // still complete correctly.
+  vu::ParamList params;
+  params.set_int("partials", 5);
+  params.set_int("workers", 2);
+  auto first = session.submit("test.echo", params);
+  auto second = session.submit("test.echo", params);
+  EXPECT_TRUE(first->wait().success);
+  EXPECT_TRUE(second->wait().success);
+}
+
+TEST(Backend, SmallerGroupsRunConcurrently) {
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set_int("partials", 3);
+  params.set_int("workers", 1);
+  auto a = session.submit("test.echo", params);
+  auto b = session.submit("test.echo", params);
+  EXPECT_TRUE(a->wait().success);
+  EXPECT_TRUE(b->wait().success);
+}
+
+TEST(Backend, DmsPathWorksThroughCommands) {
+  const auto dataset = make_dataset();
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set("dataset", dataset);
+  params.set_int("workers", 2);
+  EXPECT_TRUE(session.submit("test.echo", params)->wait().success);
+  const auto counters_first = backend.dms_counters();
+  EXPECT_GE(counters_first.misses, 1u);
+
+  // Second run: cached.
+  EXPECT_TRUE(session.submit("test.echo", params)->wait().success);
+  const auto counters_second = backend.dms_counters();
+  EXPECT_GE(counters_second.l1_hits, counters_first.l1_hits + 2);
+
+  // Cold start switch.
+  backend.clear_caches();
+  EXPECT_TRUE(session.submit("test.echo", params)->wait().success);
+  EXPECT_GE(backend.dms_counters().misses, counters_second.misses + 1);
+}
+
+TEST(Backend, PhaseBreakdownIsReported) {
+  const auto dataset = make_dataset();
+  vc::BackendConfig config;
+  config.workers = 1;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set("dataset", dataset);
+  const auto stats = session.submit("test.echo", params)->wait();
+  EXPECT_TRUE(stats.success);
+  EXPECT_GT(stats.phase_seconds.count(vc::kPhaseCompute), 0u);
+  EXPECT_GT(stats.phase_seconds.count(vc::kPhaseRead), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend over real TCP
+// ---------------------------------------------------------------------------
+
+TEST(Backend, TcpClientRoundTrip) {
+  vc::BackendConfig config;
+  config.workers = 2;
+  vc::Backend backend(config);
+  const auto port = backend.serve_tcp();
+  ASSERT_GT(port, 0);
+
+  auto link = vira::comm::tcp_connect("127.0.0.1", port);
+  vira::viz::ExtractionSession session(std::shared_ptr<vira::comm::ClientLink>(link.release()));
+
+  vu::ParamList params;
+  params.set("text", "over-tcp");
+  params.set_int("partials", 2);
+  auto stream = session.submit("test.echo", params);
+  std::vector<vu::ByteBuffer> fragments;
+  const auto stats = stream->wait(&fragments);
+  EXPECT_TRUE(stats.success);
+  ASSERT_GE(fragments.size(), 1u);
+  EXPECT_EQ(fragments.back().read_string(), "over-tcp");
+}
+
+// ---------------------------------------------------------------------------
+// VmbDataSource
+// ---------------------------------------------------------------------------
+
+TEST(VmbDataSource, LoadsExactBlockBytes) {
+  const auto dataset = make_dataset();
+  vc::VmbDataSource source;
+  const auto name = vira::dms::block_item(dataset, 1, 2);
+  auto bytes = source.load(name);
+  EXPECT_EQ(bytes.size(), source.item_bytes(name));
+  const auto block = vg::StructuredBlock::deserialize(bytes);
+  EXPECT_EQ(block.block_id(), 2);
+}
+
+TEST(VmbDataSource, FileBytesSumBlocks) {
+  const auto dataset = make_dataset();
+  vc::VmbDataSource source;
+  const auto name = vira::dms::block_item(dataset, 0, 0);
+  std::uint64_t sum = 0;
+  for (int b = 0; b < 3; ++b) {
+    sum += source.item_bytes(vira::dms::block_item(dataset, 0, b));
+  }
+  EXPECT_EQ(source.file_bytes(name), sum);
+  EXPECT_NE(source.file_key(name), source.file_key(vira::dms::block_item(dataset, 1, 0)));
+}
+
+TEST(VmbDataSource, CollectiveLoadReturnsWholeStep) {
+  const auto dataset = make_dataset();
+  vc::VmbDataSource source;
+  auto items = source.load_file(vira::dms::block_item(dataset, 0, 1));
+  EXPECT_EQ(items.size(), 3u);
+}
+
+TEST(VmbDataSource, RejectsUnknownItemTypes) {
+  vc::VmbDataSource source;
+  vira::dms::DataItemName bad;
+  bad.source = "somewhere";
+  bad.type = "exotic";
+  EXPECT_THROW((void)source.item_bytes(bad), std::invalid_argument);
+}
+
+TEST(VmbDataSource, BlockSuccessorWalksFileOrder) {
+  vira::dms::NameService names;
+  vira::dms::NameResolver resolver(
+      [&names](const vira::dms::DataItemName& name) { return names.intern(name); });
+  auto successor = vc::make_block_successor(resolver, /*blocks_per_step=*/3, /*step_count=*/2,
+                                            /*wrap_steps=*/true);
+  const auto id00 = resolver.resolve(vira::dms::block_item("ds", 0, 0));
+  const auto id01 = resolver.resolve(vira::dms::block_item("ds", 0, 1));
+  const auto id02 = resolver.resolve(vira::dms::block_item("ds", 0, 2));
+  const auto id10 = resolver.resolve(vira::dms::block_item("ds", 1, 0));
+  const auto id12 = resolver.resolve(vira::dms::block_item("ds", 1, 2));
+
+  EXPECT_EQ(successor(id00).value(), id01);
+  EXPECT_EQ(successor(id01).value(), id02);
+  EXPECT_EQ(successor(id02).value(), id10);   // wraps into the next step
+  EXPECT_FALSE(successor(id12).has_value());  // end of dataset
+
+  auto no_wrap = vc::make_block_successor(resolver, 3, 2, /*wrap_steps=*/false);
+  EXPECT_FALSE(no_wrap(id02).has_value());
+}
+
+namespace {
+
+/// Fails on exactly one group member — the partial-failure scenario.
+class FailRankCommand final : public vc::Command {
+ public:
+  std::string name() const override { return "test.fail_rank"; }
+  void execute(vc::CommandContext& context) override {
+    const auto victim = context.params().get_int("victim", 1);
+    if (context.group_rank() == victim) {
+      throw std::runtime_error("rank " + std::to_string(victim) + " was told to fail");
+    }
+    // Survivors still gather (non-victims must not deadlock: the victim
+    // never reaches the gather, so survivors must not wait on it).
+    if (context.is_master() && context.group_size() == 1) {
+      context.send_final({});
+    }
+  }
+};
+
+struct RegisterFailRank {
+  RegisterFailRank() {
+    vc::CommandRegistry::global().register_command(
+        "test.fail_rank", [] { return std::make_unique<FailRankCommand>(); });
+  }
+};
+RegisterFailRank register_fail_rank;  // NOLINT
+
+}  // namespace
+
+TEST(Backend, PartialWorkerFailureFailsCommandButFreesWorkers) {
+  vc::BackendConfig config;
+  config.workers = 3;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList params;
+  params.set_int("workers", 3);
+  params.set_int("victim", 1);
+  const auto stats = session.submit("test.fail_rank", params)->wait();
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.error.find("told to fail"), std::string::npos);
+
+  // All three workers are free again: a full-width command completes.
+  vu::ParamList ok_params;
+  ok_params.set("text", "recovered");
+  ok_params.set_int("workers", 3);
+  const auto next = session.submit("test.echo", ok_params)->wait();
+  EXPECT_TRUE(next.success) << next.error;
+}

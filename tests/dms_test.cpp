@@ -1,0 +1,1036 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "dms/block_cache.hpp"
+#include "dms/cache_policy.hpp"
+#include "dms/data_proxy.hpp"
+#include "dms/data_server.hpp"
+#include "dms/loading.hpp"
+#include "dms/name_service.hpp"
+#include "dms/prefetcher.hpp"
+#include "dms/two_tier_cache.hpp"
+
+namespace vd = vira::dms;
+namespace vu = vira::util;
+
+namespace {
+
+vd::Blob blob_of_size(std::size_t bytes, char fill = 'x') {
+  vu::ByteBuffer buf;
+  std::string payload(bytes, fill);
+  buf.write_raw(payload.data(), payload.size());
+  return vd::make_blob(std::move(buf));
+}
+
+vd::DataItemName item(const std::string& source, int step, int block) {
+  return vd::block_item(source, step, block);
+}
+
+/// In-memory data source: items are 100-byte payloads keyed by canonical
+/// name; per-source "files" group 4 items. Optionally injects failures.
+class FakeSource final : public vd::DataSource {
+ public:
+  vu::ByteBuffer load(const vd::DataItemName& name) override {
+    ++loads_;
+    if (fail_next_ > 0) {
+      --fail_next_;
+      throw std::runtime_error("injected load failure");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(load_delay_us_));
+    vu::ByteBuffer buf;
+    buf.write_string(name.canonical());
+    std::string pad(100, 'd');
+    buf.write_raw(pad.data(), pad.size());
+    return buf;
+  }
+
+  std::uint64_t item_bytes(const vd::DataItemName& name) const override {
+    return 108 + name.canonical().size();
+  }
+  std::uint64_t file_bytes(const vd::DataItemName&) const override { return 4 * 120; }
+  std::string file_key(const vd::DataItemName& name) const override {
+    return name.source + "#" + name.params.get_or("step", "0");
+  }
+
+  std::vector<std::pair<vd::DataItemName, vu::ByteBuffer>> load_file(
+      const vd::DataItemName& name) override {
+    ++file_loads_;
+    std::vector<std::pair<vd::DataItemName, vu::ByteBuffer>> items;
+    const int step = static_cast<int>(name.params.get_int("step", 0));
+    for (int b = 0; b < 4; ++b) {
+      auto sibling = vd::block_item(name.source, step, b);
+      items.emplace_back(sibling, load(sibling));
+    }
+    return items;
+  }
+
+  int loads() const { return loads_; }
+  int file_loads() const { return file_loads_; }
+  void fail_next(int n) { fail_next_ = n; }
+  void set_load_delay_us(int us) { load_delay_us_ = us; }
+
+ private:
+  std::atomic<int> loads_{0};
+  std::atomic<int> file_loads_{0};
+  std::atomic<int> fail_next_{0};
+  std::atomic<int> load_delay_us_{0};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Name service
+// ---------------------------------------------------------------------------
+
+TEST(NameService, InternIsIdempotent) {
+  vd::NameService names;
+  const auto a = names.intern(item("engine", 0, 3));
+  const auto b = names.intern(item("engine", 0, 3));
+  const auto c = names.intern(item("engine", 0, 4));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(NameService, LookupInvertsIntern) {
+  vd::NameService names;
+  const auto original = item("propfan", 7, 11);
+  const auto id = names.intern(original);
+  const auto back = names.lookup(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, original);
+  EXPECT_FALSE(names.lookup(999).has_value());
+}
+
+TEST(NameService, FindDoesNotAllocate) {
+  vd::NameService names;
+  EXPECT_FALSE(names.find(item("x", 0, 0)).has_value());
+  EXPECT_EQ(names.size(), 0u);
+  names.intern(item("x", 0, 0));
+  EXPECT_TRUE(names.find(item("x", 0, 0)).has_value());
+}
+
+TEST(NameService, ParameterListDistinguishesItems) {
+  // "Simply naming data items with file names would be inadequate."
+  vd::NameService names;
+  vd::DataItemName lambda2;
+  lambda2.source = "engine/step_0000.vmb";
+  lambda2.type = "lambda2-field";
+  lambda2.params.set_double("threshold", 0.0);
+  vd::DataItemName raw;
+  raw.source = "engine/step_0000.vmb";
+  raw.type = "block";
+  EXPECT_NE(names.intern(lambda2), names.intern(raw));
+}
+
+TEST(NameResolver, CachesForwardAndBackward) {
+  vd::NameService names;
+  int calls = 0;
+  vd::NameResolver resolver([&](const vd::DataItemName& name) {
+    ++calls;
+    return names.intern(name);
+  });
+  const auto id = resolver.resolve(item("engine", 1, 2));
+  (void)resolver.resolve(item("engine", 1, 2));
+  EXPECT_EQ(calls, 1);
+  const auto back = resolver.reverse(id);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->params.get_int("block", -1), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Replacement policies
+// ---------------------------------------------------------------------------
+
+TEST(CachePolicies, LruEvictsLeastRecent) {
+  vd::LruPolicy lru;
+  for (vd::ItemId id : {1, 2, 3}) {
+    lru.on_insert(id);
+  }
+  lru.on_access(1);  // order now 2, 3, 1
+  auto victim = lru.victim([](vd::ItemId) { return true; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+  lru.on_erase(2);
+  victim = lru.victim([](vd::ItemId) { return true; });
+  EXPECT_EQ(*victim, 3u);
+}
+
+TEST(CachePolicies, LruRespectsPinning) {
+  vd::LruPolicy lru;
+  for (vd::ItemId id : {1, 2, 3}) {
+    lru.on_insert(id);
+  }
+  auto victim = lru.victim([](vd::ItemId id) { return id != 1; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+  victim = lru.victim([](vd::ItemId) { return false; });
+  EXPECT_FALSE(victim.has_value());
+}
+
+TEST(CachePolicies, LfuEvictsLeastFrequent) {
+  vd::LfuPolicy lfu;
+  for (vd::ItemId id : {1, 2, 3}) {
+    lfu.on_insert(id);
+  }
+  lfu.on_access(1);
+  lfu.on_access(1);
+  lfu.on_access(3);
+  auto victim = lfu.victim([](vd::ItemId) { return true; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+}
+
+TEST(CachePolicies, LfuBreaksTiesByRecency) {
+  vd::LfuPolicy lfu;
+  lfu.on_insert(1);
+  lfu.on_insert(2);
+  // Equal counts; 1 was used less recently.
+  auto victim = lfu.victim([](vd::ItemId) { return true; });
+  EXPECT_EQ(*victim, 1u);
+}
+
+TEST(CachePolicies, FbrNewSectionDoesNotInflateCounts) {
+  vd::FbrPolicy fbr(vd::FbrPolicy::Params{0.5, 0.5, 64});
+  for (vd::ItemId id : {1, 2, 3, 4}) {
+    fbr.on_insert(id);
+  }
+  // Item 4 is MRU (new section). Accessing it repeatedly must NOT bump its
+  // count — that's the locality factoring of FBR.
+  const auto before = fbr.count_of(4);
+  fbr.on_access(4);
+  fbr.on_access(4);
+  EXPECT_EQ(fbr.count_of(4), before);
+  // Item 1 is at the cold end (old section): re-referencing it does count.
+  const auto before1 = fbr.count_of(1);
+  fbr.on_access(1);
+  EXPECT_EQ(fbr.count_of(1), before1 + 1);
+}
+
+TEST(CachePolicies, FbrEvictsColdInfrequentFirst) {
+  vd::FbrPolicy fbr(vd::FbrPolicy::Params{0.25, 0.75, 64});
+  for (vd::ItemId id : {1, 2, 3, 4}) {
+    fbr.on_insert(id);
+  }
+  // Touch 1 from the old section several times -> high count.
+  fbr.on_access(1);
+  fbr.on_access(2);
+  fbr.on_access(1);
+  // Stack (MRU->LRU): 1, 2, 4, 3 roughly; victim should be a cold,
+  // low-count entry — not item 1.
+  const auto victim = fbr.victim([](vd::ItemId) { return true; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NE(*victim, 1u);
+}
+
+TEST(CachePolicies, FbrAgingHalvesCounts) {
+  vd::FbrPolicy fbr(vd::FbrPolicy::Params{0.0, 1.0, 4});
+  fbr.on_insert(1);
+  fbr.on_insert(2);
+  for (int n = 0; n < 10; ++n) {
+    fbr.on_access(1);
+  }
+  // max_count = 4 forces halving; counts stay bounded.
+  EXPECT_LE(fbr.count_of(1), 4u);
+  EXPECT_GE(fbr.count_of(1), 1u);
+}
+
+TEST(CachePolicies, FactoryKnowsAllPolicies) {
+  EXPECT_EQ(vd::make_policy("lru")->name(), "LRU");
+  EXPECT_EQ(vd::make_policy("lfu")->name(), "LFU");
+  EXPECT_EQ(vd::make_policy("fbr")->name(), "FBR");
+  EXPECT_THROW(vd::make_policy("marx"), std::invalid_argument);
+}
+
+/// Property sweep: on a loopy CFD-like trace, FBR must not be worse than
+/// LFU and both frequency policies should beat LRU (the paper's Sec. 4.2
+/// claim). The trace alternates a hot working set with sequential sweeps —
+/// the pattern repeated parameter studies produce.
+class PolicyTraceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyTraceTest, HitRateOnCfdLikeTraceIsSane) {
+  auto policy = vd::make_policy(GetParam());
+  vd::BlockCache cache(12 * 128, std::move(policy));  // room for 12 items
+  std::uint64_t hits = 0;
+  std::uint64_t requests = 0;
+  auto touch = [&](vd::ItemId id) {
+    ++requests;
+    if (cache.get(id)) {
+      ++hits;
+    } else {
+      cache.put(id, blob_of_size(128));
+    }
+  };
+  for (int round = 0; round < 30; ++round) {
+    for (int rep = 0; rep < 2; ++rep) {
+      for (vd::ItemId hot : {0, 1, 2, 3}) {
+        touch(hot);  // hot working set: revisited every round
+      }
+    }
+    // Cold sequential sweep as large as the cache: never revisited.
+    const auto sweep_base = static_cast<vd::ItemId>(100 + round * 12);
+    for (vd::ItemId sweep = sweep_base; sweep < sweep_base + 12; ++sweep) {
+      touch(sweep);
+    }
+  }
+  const double hit_rate = static_cast<double>(hits) / static_cast<double>(requests);
+  if (GetParam() == "lru") {
+    // LRU lets the oversized sweep flush the hot set every round.
+    EXPECT_LT(hit_rate, 0.30);
+  } else {
+    // Frequency-based policies keep the hot set resident (paper Sec. 4.2).
+    EXPECT_GT(hit_rate, 0.32);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyTraceTest, ::testing::Values("lru", "lfu", "fbr"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// BlockCache
+// ---------------------------------------------------------------------------
+
+TEST(BlockCache, HitAndMiss) {
+  vd::BlockCache cache(1024, std::make_unique<vd::LruPolicy>());
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(1, blob_of_size(100));
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.size_bytes(), 100u);
+  EXPECT_EQ(cache.item_count(), 1u);
+}
+
+TEST(BlockCache, EvictsToRespectCapacity) {
+  vd::BlockCache cache(250, std::make_unique<vd::LruPolicy>());
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  const auto evicted = cache.put(3, blob_of_size(100));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id, 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_LE(cache.size_bytes(), 250u);
+}
+
+TEST(BlockCache, PinnedItemsSurviveEviction) {
+  vd::BlockCache cache(250, std::make_unique<vd::LruPolicy>());
+  cache.put(1, blob_of_size(100));
+  cache.pin(1);
+  cache.put(2, blob_of_size(100));
+  const auto evicted = cache.put(3, blob_of_size(100));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id, 2u);
+  EXPECT_TRUE(cache.contains(1));
+  cache.unpin(1);
+}
+
+TEST(BlockCache, OversizedItemRejected) {
+  vd::BlockCache cache(100, std::make_unique<vd::LruPolicy>());
+  bool inserted = true;
+  cache.put(1, blob_of_size(500), &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(BlockCache, AllPinnedRefusesInsert) {
+  vd::BlockCache cache(200, std::make_unique<vd::LruPolicy>());
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  cache.pin(1);
+  cache.pin(2);
+  bool inserted = true;
+  cache.put(3, blob_of_size(100), &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(BlockCache, PeekDoesNotTouchPolicy) {
+  vd::BlockCache cache(250, std::make_unique<vd::LruPolicy>());
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  (void)cache.peek(1);  // must NOT refresh 1
+  const auto evicted = cache.put(3, blob_of_size(100));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TwoTierCache
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string l2_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("vira_l2_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+}  // namespace
+
+TEST(TwoTierCache, DemotionAndPromotion) {
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 250;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("promo");
+  config.l2_capacity_bytes = 10000;
+  vd::TwoTierCache cache(config, stats);
+
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  cache.put(3, blob_of_size(100));  // evicts 1 -> L2
+
+  EXPECT_FALSE(cache.contains_l1(1));
+  EXPECT_TRUE(cache.contains(1));  // still reachable via L2
+  EXPECT_EQ(cache.l2_item_count(), 1u);
+
+  // L2 hit: promoted back to L1 — which in turn demotes item 2.
+  const auto blob = cache.get(1);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_TRUE(cache.contains_l1(1));
+  EXPECT_EQ(cache.l2_item_count(), 1u);
+  EXPECT_FALSE(cache.contains_l1(2));
+
+  const auto counters = stats->snapshot();
+  EXPECT_EQ(counters.l2_hits, 1u);
+  EXPECT_EQ(counters.evictions_l1, 2u);  // 1 demoted, then another for the promotion
+}
+
+TEST(TwoTierCache, DisabledSecondaryTierMisses) {
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 250;
+  config.policy = "lru";
+  vd::TwoTierCache cache(config, stats);
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  cache.put(3, blob_of_size(100));
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(stats->snapshot().misses, 1u);
+}
+
+TEST(TwoTierCache, L2CapacityEnforced) {
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 150;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("cap");
+  config.l2_capacity_bytes = 250;
+  vd::TwoTierCache cache(config, stats);
+  for (vd::ItemId id = 0; id < 6; ++id) {
+    cache.put(id, blob_of_size(100));
+  }
+  EXPECT_LE(cache.l2_size_bytes(), 250u);
+  EXPECT_GT(stats->snapshot().evictions_l2, 0u);
+}
+
+TEST(TwoTierCache, PrefetchUsefulnessTracked) {
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 1000;
+  config.policy = "fbr";
+  vd::TwoTierCache cache(config, stats);
+  cache.put(7, blob_of_size(100), /*from_prefetch=*/true);
+  EXPECT_EQ(stats->snapshot().prefetch_useful, 0u);
+  (void)cache.get(7);
+  EXPECT_EQ(stats->snapshot().prefetch_useful, 1u);
+  (void)cache.get(7);  // second hit does not double-count
+  EXPECT_EQ(stats->snapshot().prefetch_useful, 1u);
+}
+
+TEST(TwoTierCache, ClearDropsBothTiers) {
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 150;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("clear");
+  config.l2_capacity_bytes = 1000;
+  vd::TwoTierCache cache(config, stats);
+  for (vd::ItemId id = 0; id < 4; ++id) {
+    cache.put(id, blob_of_size(100));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.l1().item_count(), 0u);
+  EXPECT_EQ(cache.l2_item_count(), 0u);
+  EXPECT_EQ(cache.get(0), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetchers
+// ---------------------------------------------------------------------------
+
+namespace {
+vd::SuccessorFn linear_successor(vd::ItemId limit) {
+  return [limit](vd::ItemId id) -> std::optional<vd::ItemId> {
+    if (id + 1 >= limit) {
+      return std::nullopt;
+    }
+    return id + 1;
+  };
+}
+}  // namespace
+
+TEST(Prefetchers, OblSuggestsSuccessor) {
+  vd::OblPrefetcher obl(linear_successor(100));
+  obl.on_request(5, false);
+  const auto suggestions = obl.suggest(4);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0], 6u);
+  // No new request -> no repeated suggestion spam.
+  EXPECT_TRUE(obl.suggest(4).empty());
+}
+
+TEST(Prefetchers, OblLookaheadDepth) {
+  vd::OblPrefetcher obl(linear_successor(100), /*lookahead=*/3);
+  obl.on_request(5, true);
+  const auto suggestions = obl.suggest(8);
+  EXPECT_EQ(suggestions, (std::vector<vd::ItemId>{6, 7, 8}));
+}
+
+TEST(Prefetchers, OblStopsAtSequenceEnd) {
+  vd::OblPrefetcher obl(linear_successor(7));
+  obl.on_request(6, false);
+  EXPECT_TRUE(obl.suggest(4).empty());
+}
+
+TEST(Prefetchers, PrefetchOnMissOnlyArmsOnMisses) {
+  vd::PrefetchOnMissPrefetcher pom(linear_successor(100));
+  pom.on_request(3, /*was_hit=*/true);
+  EXPECT_TRUE(pom.suggest(4).empty());
+  pom.on_request(4, /*was_hit=*/false);
+  const auto suggestions = pom.suggest(4);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0], 5u);
+}
+
+TEST(Prefetchers, MarkovLearnsTransitions) {
+  vd::MarkovPrefetcher markov(nullptr);
+  // Teach 1 -> 5 -> 9 twice, 1 -> 3 once.
+  for (int round = 0; round < 2; ++round) {
+    markov.on_request(1, false);
+    markov.on_request(5, false);
+    markov.on_request(9, false);
+  }
+  markov.on_request(1, false);
+  markov.on_request(3, false);
+
+  EXPECT_EQ(markov.transition_count(1, 5), 2u);
+  EXPECT_EQ(markov.transition_count(1, 3), 1u);
+  EXPECT_EQ(markov.most_likely_successor(1).value(), 5u);
+  EXPECT_EQ(markov.most_likely_successor(5).value(), 9u);
+}
+
+TEST(Prefetchers, MarkovFallsBackToOblWhileLearning) {
+  vd::MarkovPrefetcher markov(linear_successor(100));
+  markov.on_request(10, false);  // nothing learned about 10 yet
+  const auto suggestions = markov.suggest(2);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0], 11u);  // OBL fallback
+}
+
+TEST(Prefetchers, MarkovPredictsAfterLearning) {
+  vd::MarkovPrefetcher markov(linear_successor(100));
+  // Non-sequential pattern 2 -> 40 that OBL can never guess.
+  for (int round = 0; round < 3; ++round) {
+    markov.on_request(2, false);
+    markov.on_request(40, false);
+  }
+  markov.on_request(2, false);
+  const auto suggestions = markov.suggest(2);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0], 40u);
+}
+
+TEST(Prefetchers, MarkovRanksMultipleSuccessors) {
+  vd::MarkovPrefetcher markov(nullptr);
+  markov.on_request(1, false);
+  markov.on_request(2, false);
+  markov.on_request(1, false);
+  markov.on_request(2, false);
+  markov.on_request(1, false);
+  markov.on_request(7, false);
+  markov.on_request(1, false);
+  const auto suggestions = markov.suggest(5);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0], 2u);  // seen twice
+  EXPECT_EQ(suggestions[1], 7u);  // seen once
+}
+
+TEST(Prefetchers, FactoryCoversAllKinds) {
+  auto successor = linear_successor(10);
+  EXPECT_EQ(vd::make_prefetcher("none", successor)->name(), "none");
+  EXPECT_EQ(vd::make_prefetcher("obl", successor)->name(), "obl");
+  EXPECT_EQ(vd::make_prefetcher("pom", successor)->name(), "prefetch-on-miss");
+  EXPECT_EQ(vd::make_prefetcher("markov", successor)->name(), "markov");
+  EXPECT_THROW(vd::make_prefetcher("psychic", successor), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Loading strategies / fitness
+// ---------------------------------------------------------------------------
+
+TEST(Loading, DirectDiskAlwaysApplicable) {
+  vd::DirectDiskStrategy direct;
+  vd::LoadEnvironment env;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 1 << 20;
+  EXPECT_GT(direct.fitness(env, request), 0.0);
+}
+
+TEST(Loading, PeerTransferRequiresHolder) {
+  vd::PeerTransferStrategy peer;
+  vd::LoadEnvironment env;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 1 << 20;
+  request.peer_has_item = false;
+  EXPECT_EQ(peer.fitness(env, request), 0.0);
+  request.peer_has_item = true;
+  EXPECT_GT(peer.fitness(env, request), 0.0);
+}
+
+TEST(Loading, PeerBeatsDiskWhenNetworkIsFast) {
+  vd::FitnessSelector selector;
+  vd::LoadEnvironment env;
+  env.peer_bandwidth = 1e9;
+  env.disk_bandwidth = 20e6;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 4 << 20;
+  request.peer_has_item = true;
+  EXPECT_EQ(selector.choose(env, request), vd::StrategyKind::kPeerTransfer);
+}
+
+TEST(Loading, DiskBeatsPeerWhenNetworkIsSlow) {
+  vd::FitnessSelector selector;
+  vd::LoadEnvironment env;
+  env.peer_bandwidth = 1e6;  // ISDN-era cluster interconnect
+  env.disk_bandwidth = 100e6;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 4 << 20;
+  request.peer_has_item = true;
+  EXPECT_EQ(selector.choose(env, request), vd::StrategyKind::kDirectDisk);
+}
+
+TEST(Loading, CollectiveNeedsConcurrencyAndParallelFs) {
+  vd::FitnessSelector selector;
+  vd::LoadEnvironment env;
+  env.parallel_fs = true;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 1 << 20;
+  request.file_bytes = 4 << 20;
+  request.concurrent_same_file = 0;
+  EXPECT_NE(selector.choose(env, request), vd::StrategyKind::kCollectiveIo);
+  // Many concurrent readers of the same file on a parallel FS.
+  request.concurrent_same_file = 8;
+  EXPECT_EQ(selector.choose(env, request), vd::StrategyKind::kCollectiveIo);
+}
+
+TEST(Loading, CollectiveRarelyWinsWithoutParallelFs) {
+  // The paper's observation: "coordinating proxies that access a file
+  // together is more expensive than the benefit of collective file access"
+  // without a parallel file system.
+  vd::FitnessSelector selector;
+  vd::LoadEnvironment env;
+  env.parallel_fs = false;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 1 << 20;
+  request.file_bytes = 16 << 20;
+  request.concurrent_same_file = 8;
+  EXPECT_NE(selector.choose(env, request), vd::StrategyKind::kCollectiveIo);
+}
+
+TEST(Loading, ScoresAreSortedBestFirst) {
+  vd::FitnessSelector selector;
+  vd::LoadEnvironment env;
+  vd::LoadRequestInfo request;
+  request.item_bytes = 1 << 20;
+  request.peer_has_item = true;
+  const auto scored = selector.score(env, request);
+  ASSERT_EQ(scored.size(), 3u);
+  EXPECT_GE(scored[0].fitness, scored[1].fitness);
+  EXPECT_GE(scored[1].fitness, scored[2].fitness);
+}
+
+// ---------------------------------------------------------------------------
+// DataServer
+// ---------------------------------------------------------------------------
+
+TEST(DataServer, RegistryTracksHolders) {
+  vd::DataServer server;
+  EXPECT_FALSE(server.holder_of(1, 0).has_value());
+  server.report_insert(2, 1);
+  server.report_insert(3, 1);
+  const auto holder = server.holder_of(1, 2);
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(*holder, 3);
+  server.report_evict(3, 1);
+  EXPECT_FALSE(server.holder_of(1, 2).has_value());
+  EXPECT_TRUE(server.holder_of(1, 9).has_value());
+}
+
+TEST(DataServer, FileReadConcurrencyGauge) {
+  vd::DataServer server;
+  EXPECT_EQ(server.concurrent_readers("f"), 0);
+  server.begin_file_read("f");
+  server.begin_file_read("f");
+  EXPECT_EQ(server.concurrent_readers("f"), 2);
+  server.end_file_read("f");
+  EXPECT_EQ(server.concurrent_readers("f"), 1);
+  server.end_file_read("f");
+  EXPECT_EQ(server.concurrent_readers("f"), 0);
+}
+
+TEST(DataServer, ChoosesPeerWhenAvailable) {
+  vd::LoadEnvironment env;
+  env.peer_bandwidth = 1e9;
+  env.disk_bandwidth = 10e6;
+  vd::DataServer server(env);
+  server.report_insert(5, 42);
+  const auto decision = server.choose_strategy(0, 42, 1 << 20, 4 << 20, "f");
+  EXPECT_EQ(decision.kind, vd::StrategyKind::kPeerTransfer);
+  EXPECT_EQ(decision.peer, 5);
+}
+
+TEST(DataServer, FallsBackWhenHolderIsSelf) {
+  vd::LoadEnvironment env;
+  env.peer_bandwidth = 1e9;
+  env.disk_bandwidth = 10e6;
+  vd::DataServer server(env);
+  server.report_insert(0, 42);  // only holder is the requester itself
+  const auto decision = server.choose_strategy(0, 42, 1 << 20, 4 << 20, "f");
+  EXPECT_EQ(decision.kind, vd::StrategyKind::kDirectDisk);
+}
+
+TEST(DataServer, BandwidthObservationMovesEnvironment) {
+  vd::DataServer server;
+  const double before = server.environment().disk_bandwidth;
+  for (int n = 0; n < 20; ++n) {
+    server.observe_disk_bandwidth(before * 3.0);
+  }
+  EXPECT_GT(server.environment().disk_bandwidth, before * 2.0);
+  server.observe_disk_bandwidth(-5.0);  // ignored
+}
+
+// ---------------------------------------------------------------------------
+// DataProxy (integration of the DMS pieces)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ProxyFixture {
+  std::shared_ptr<vd::DataServer> server = std::make_shared<vd::DataServer>();
+  std::shared_ptr<FakeSource> source = std::make_shared<FakeSource>();
+
+  std::unique_ptr<vd::DataProxy> make_proxy(int id, std::uint64_t l1 = 1 << 20,
+                                            bool async_prefetch = false) {
+    vd::DataProxyConfig config;
+    config.proxy_id = id;
+    config.cache.l1_capacity_bytes = l1;
+    config.cache.policy = "fbr";
+    config.async_prefetch = async_prefetch;
+    return std::make_unique<vd::DataProxy>(config, server, source);
+  }
+};
+
+}  // namespace
+
+TEST(DataProxy, CachesRepeatedRequests) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0);
+  const auto name = item("engine", 0, 0);
+  const auto first = proxy->request(name);
+  const auto second = proxy->request(name);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first, second);      // same shared blob
+  EXPECT_EQ(fx.source->loads(), 1);  // only one disk read
+  const auto counters = proxy->stats().snapshot();
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_EQ(counters.l1_hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+}
+
+TEST(DataProxy, OblPrefetchWarmsNextBlock) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0, 1 << 20, /*async_prefetch=*/false);
+  // Successor relation: next block of the same step, 4 blocks per step.
+  auto& resolver = proxy->resolver();
+  proxy->configure_prefetcher("obl", [&resolver](vd::ItemId id) -> std::optional<vd::ItemId> {
+    const auto name = resolver.reverse(id);
+    if (!name) {
+      return std::nullopt;
+    }
+    const auto block = name->params.get_int("block", 0);
+    if (block + 1 >= 4) {
+      return std::nullopt;
+    }
+    auto next = *name;
+    next.params.set_int("block", block + 1);
+    return resolver.resolve(next);
+  });
+
+  (void)proxy->request(item("engine", 0, 0));
+  // Synchronous prefetch: block 1 must now be resident.
+  const int loads_after_first = fx.source->loads();
+  EXPECT_GE(loads_after_first, 2);  // demand + prefetch
+  (void)proxy->request(item("engine", 0, 1));
+  EXPECT_EQ(fx.source->loads(), loads_after_first + 1);  // its own prefetch of block 2 only
+  const auto counters = proxy->stats().snapshot();
+  EXPECT_GE(counters.prefetch_useful, 1u);
+}
+
+TEST(DataProxy, AsyncPrefetchEventuallyLands) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0, 1 << 20, /*async_prefetch=*/true);
+  auto& resolver = proxy->resolver();
+  proxy->configure_prefetcher("obl", [&resolver](vd::ItemId id) -> std::optional<vd::ItemId> {
+    const auto name = resolver.reverse(id);
+    if (!name) {
+      return std::nullopt;
+    }
+    auto next = *name;
+    next.params.set_int("block", name->params.get_int("block", 0) + 1);
+    return resolver.resolve(next);
+  });
+  (void)proxy->request(item("engine", 0, 0));
+  proxy->quiesce();
+  EXPECT_GE(fx.source->loads(), 2);
+  EXPECT_GE(proxy->stats().snapshot().prefetch_issued, 1u);
+}
+
+TEST(DataProxy, PeerTransferServesFromOtherProxy) {
+  ProxyFixture fx;
+  vd::LoadEnvironment env;
+  env.peer_bandwidth = 1e12;  // make peer transfer irresistible
+  env.disk_bandwidth = 1e6;
+  fx.server->set_environment(env);
+
+  auto proxy_a = fx.make_proxy(0);
+  auto proxy_b = fx.make_proxy(1);
+  // Wire peer fetch: b can peek into a and vice versa.
+  vd::DataProxy* proxies[2] = {proxy_a.get(), proxy_b.get()};
+  auto peer_fetch = [&proxies](int peer, vd::ItemId id) -> vd::Blob {
+    return proxies[peer]->cache().peek(id);
+  };
+  proxy_a->set_peer_fetch(peer_fetch);
+  proxy_b->set_peer_fetch(peer_fetch);
+
+  const auto name = item("engine", 3, 2);
+  (void)proxy_a->request(name);  // disk load, registers holder
+  EXPECT_EQ(fx.source->loads(), 1);
+  (void)proxy_b->request(name);  // must come from proxy A, not disk
+  EXPECT_EQ(fx.source->loads(), 1);
+  const auto decisions = fx.server->decision_counts();
+  EXPECT_GE(decisions.at("peer-transfer"), 1u);
+}
+
+TEST(DataProxy, PeerRaceFallsBackToDisk) {
+  ProxyFixture fx;
+  vd::LoadEnvironment env;
+  env.peer_bandwidth = 1e12;
+  env.disk_bandwidth = 1e6;
+  fx.server->set_environment(env);
+
+  auto proxy_a = fx.make_proxy(0);
+  auto proxy_b = fx.make_proxy(1);
+  // Peer fetch that always fails (cache emptied between decision and fetch).
+  proxy_b->set_peer_fetch([](int, vd::ItemId) -> vd::Blob { return nullptr; });
+
+  const auto name = item("engine", 1, 1);
+  (void)proxy_a->request(name);
+  const auto blob = proxy_b->request(name);  // decision says peer; fetch fails
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(fx.source->loads(), 2);  // fell back to disk
+}
+
+TEST(DataProxy, LoadFailurePropagatesAndRecovers) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0);
+  fx.source->fail_next(1);
+  EXPECT_THROW((void)proxy->request(item("engine", 0, 0)), std::runtime_error);
+  // Next attempt succeeds and caches.
+  const auto blob = proxy->request(item("engine", 0, 0));
+  ASSERT_NE(blob, nullptr);
+  EXPECT_NE(proxy->cache().peek(proxy->resolver().resolve(item("engine", 0, 0))), nullptr);
+}
+
+TEST(DataProxy, ConcurrentRequestsLoadOnce) {
+  ProxyFixture fx;
+  fx.source->set_load_delay_us(2000);
+  auto proxy = fx.make_proxy(0);
+  const auto name = item("engine", 2, 2);
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      if (proxy->request(name) != nullptr) {
+        ++successes;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(successes.load(), 8);
+  EXPECT_EQ(fx.source->loads(), 1);  // in-flight deduplication
+}
+
+TEST(DataProxy, CodePrefetchWarmsCache) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0, 1 << 20, /*async_prefetch=*/false);
+  proxy->code_prefetch(item("engine", 5, 0));
+  // Demand request is now a hit: no extra load.
+  const int loads = fx.source->loads();
+  (void)proxy->request(item("engine", 5, 0));
+  EXPECT_EQ(fx.source->loads(), loads);
+  EXPECT_EQ(proxy->stats().snapshot().prefetch_useful, 1u);
+}
+
+TEST(DataProxy, ClearCacheForcesColdStart) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0);
+  (void)proxy->request(item("engine", 0, 0));
+  proxy->clear_cache();
+  (void)proxy->request(item("engine", 0, 0));
+  EXPECT_EQ(fx.source->loads(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Markov prefetching through the real proxy (pathline-style access)
+// ---------------------------------------------------------------------------
+
+TEST(DataProxy, MarkovLearnsPathlikeRequestsAcrossRuns) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0, 1 << 20, /*async_prefetch=*/false);
+  // Markov with no OBL fallback: only learned transitions fire.
+  proxy->configure_prefetcher("markov", nullptr);
+
+  // A pathline-like non-sequential block tour, repeated twice.
+  const int tour[] = {3, 7, 1, 7, 2, 9};
+  for (const int block : tour) {
+    (void)proxy->request(item("engine", 0, block));
+  }
+  const auto after_first = proxy->stats().snapshot();
+
+  proxy->clear_cache();  // cold caches, but the transition graph persists
+  for (const int block : tour) {
+    (void)proxy->request(item("engine", 0, block));
+  }
+  const auto after_second = proxy->stats().snapshot();
+
+  // Second tour: the prefetcher predicted (almost) every next block.
+  const auto useful_second = after_second.prefetch_useful - after_first.prefetch_useful;
+  EXPECT_GE(useful_second, 4u);
+}
+
+TEST(DataProxy, PrefetcherSwapsAtRuntime) {
+  ProxyFixture fx;
+  auto proxy = fx.make_proxy(0, 1 << 20, /*async_prefetch=*/false);
+  auto successor = [](vd::ItemId id) -> std::optional<vd::ItemId> { return id + 1; };
+  proxy->configure_prefetcher("obl", successor);
+  (void)proxy->request(item("engine", 0, 0));
+  const auto with_obl = proxy->stats().snapshot().prefetch_issued;
+  EXPECT_GE(with_obl, 1u);
+
+  proxy->configure_prefetcher("none", nullptr);
+  (void)proxy->request(item("engine", 0, 5));
+  EXPECT_EQ(proxy->stats().snapshot().prefetch_issued, with_obl);  // no new prefetches
+}
+
+// ---------------------------------------------------------------------------
+// FBR parameter validation and two-tier failure handling
+// ---------------------------------------------------------------------------
+
+TEST(CachePolicies, FbrRejectsBadParameters) {
+  EXPECT_THROW(vd::FbrPolicy(vd::FbrPolicy::Params{0.7, 0.7, 64}), std::invalid_argument);
+  EXPECT_THROW(vd::FbrPolicy(vd::FbrPolicy::Params{-0.1, 0.5, 64}), std::invalid_argument);
+  EXPECT_THROW(vd::FbrPolicy(vd::FbrPolicy::Params{0.25, 0.5, 1}), std::invalid_argument);
+}
+
+TEST(TwoTierCache, UnreadableSpillFileDegradesToMiss) {
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 250;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("corrupt");
+  config.l2_capacity_bytes = 10000;
+  vd::TwoTierCache cache(config, stats);
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  cache.put(3, blob_of_size(100));  // demotes 1 to L2
+  ASSERT_EQ(cache.l2_item_count(), 1u);
+
+  // Sabotage the spill file.
+  std::filesystem::remove(config.l2_directory + "/item_1.blob");
+
+  // Promotion fails gracefully: treated as a miss, no crash.
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_GE(stats->snapshot().misses, 1u);
+}
+
+TEST(DmsStatistics, TraceRecordingCapturesRequestOrder) {
+  vd::DmsStatistics stats;
+  stats.enable_trace(true);
+  stats.record_request(5);
+  stats.record_request(2);
+  stats.record_request(5);
+  EXPECT_EQ(stats.trace(), (std::vector<vd::ItemId>{5, 2, 5}));
+  stats.reset();
+  EXPECT_TRUE(stats.trace().empty());
+}
+
+TEST(DmsStatistics, BandwidthObservation) {
+  vd::DmsStatistics stats;
+  stats.record_load(1000000, 0.5);
+  stats.record_load(1000000, 0.5);
+  EXPECT_NEAR(stats.observed_load_bandwidth(), 2e6, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Collective I/O execution path
+// ---------------------------------------------------------------------------
+
+TEST(DataProxy, CollectiveLoadWarmsSiblingBlocks) {
+  ProxyFixture fx;
+  vd::LoadEnvironment env;
+  env.parallel_fs = true;   // collective calls only help on a parallel FS
+  env.disk_bandwidth = 1e4; // slow link: byte volume dominates the decision
+  fx.server->set_environment(env);
+  auto proxy = fx.make_proxy(0);
+
+  // Simulate several other proxies currently reading the same step file.
+  const auto name = item("engine", 4, 1);
+  const auto file_key = fx.source->file_key(name);
+  for (int reader = 0; reader < 6; ++reader) {
+    fx.server->begin_file_read(file_key);
+  }
+
+  const auto blob = proxy->request(name);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_GE(fx.source->file_loads(), 1);  // whole-file read happened
+
+  // Siblings of the collective read are already resident: no new loads.
+  const int loads_before = fx.source->loads();
+  for (int b = 0; b < 4; ++b) {
+    ASSERT_NE(proxy->request(item("engine", 4, b)), nullptr);
+  }
+  EXPECT_EQ(fx.source->loads(), loads_before);
+  const auto decisions = fx.server->decision_counts();
+  EXPECT_GE(decisions.at("collective-io"), 1u);
+  for (int reader = 0; reader < 6; ++reader) {
+    fx.server->end_file_read(file_key);
+  }
+}
+
+TEST(DataProxy, CollectiveNotChosenOnPlainFilesystem) {
+  ProxyFixture fx;  // default env: parallel_fs = false
+  auto proxy = fx.make_proxy(0);
+  const auto name = item("engine", 2, 0);
+  const auto file_key = fx.source->file_key(name);
+  for (int reader = 0; reader < 6; ++reader) {
+    fx.server->begin_file_read(file_key);
+  }
+  ASSERT_NE(proxy->request(name), nullptr);
+  EXPECT_EQ(fx.source->file_loads(), 0);  // "of limited use in Viracocha"
+  for (int reader = 0; reader < 6; ++reader) {
+    fx.server->end_file_read(file_key);
+  }
+}

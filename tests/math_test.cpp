@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/aabb.hpp"
+#include "math/eigen_sym3.hpp"
+#include "math/mat3.hpp"
+#include "math/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace vm = vira::math;
+
+// ---------------------------------------------------------------------------
+// Vec3 / Mat3
+// ---------------------------------------------------------------------------
+
+TEST(Vec3, BasicAlgebra) {
+  const vm::Vec3 a{1, 2, 3};
+  const vm::Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (vm::Vec3{5, 7, 9}));
+  EXPECT_EQ(a - b, (vm::Vec3{-3, -3, -3}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_EQ(a.cross(b), (vm::Vec3{-3, 6, -3}));
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ(vm::Vec3(3, 4, 0).norm(), 5.0);
+}
+
+TEST(Vec3, NormalizedHandlesZero) {
+  EXPECT_EQ(vm::Vec3{}.normalized(), vm::Vec3{});
+  const auto n = vm::Vec3(0, 0, 2).normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+}
+
+TEST(Vec3, LerpEndpointsAndMidpoint) {
+  const vm::Vec3 a{0, 0, 0};
+  const vm::Vec3 b{2, 4, 6};
+  EXPECT_EQ(vm::lerp(a, b, 0.0), a);
+  EXPECT_EQ(vm::lerp(a, b, 1.0), b);
+  EXPECT_EQ(vm::lerp(a, b, 0.5), (vm::Vec3{1, 2, 3}));
+}
+
+TEST(Mat3, MultiplyAndInverse) {
+  vm::Mat3 a;
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 1) = 3;
+  a(2, 2) = 4;
+  a(2, 0) = 1;
+  const vm::Mat3 inv = a.inverse();
+  const vm::Mat3 id = a * inv;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(id(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat3, DetTraceTranspose) {
+  const vm::Mat3 m = vm::Mat3::from_rows({1, 2, 3}, {0, 1, 4}, {5, 6, 0});
+  EXPECT_DOUBLE_EQ(m.det(), 1.0);
+  EXPECT_DOUBLE_EQ(m.trace(), 2.0);
+  EXPECT_DOUBLE_EQ(m.transpose()(0, 2), 5.0);
+}
+
+TEST(Mat3, SymmetricAntisymmetricSplit) {
+  const vm::Mat3 m = vm::Mat3::from_rows({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  const vm::Mat3 s = m.symmetric_part();
+  const vm::Mat3 q = m.antisymmetric_part();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(s(i, j), s(j, i));
+      EXPECT_DOUBLE_EQ(q(i, j), -q(j, i));
+      EXPECT_DOUBLE_EQ(s(i, j) + q(i, j), m(i, j));
+    }
+  }
+}
+
+TEST(Mat3, MatrixVectorProduct) {
+  const vm::Mat3 m = vm::Mat3::from_rows({1, 0, 0}, {0, 2, 0}, {0, 0, 3});
+  EXPECT_EQ(m * vm::Vec3(1, 1, 1), (vm::Vec3{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric eigenvalues
+// ---------------------------------------------------------------------------
+
+TEST(EigenSym3, DiagonalMatrix) {
+  vm::Mat3 d;
+  d(0, 0) = 3;
+  d(1, 1) = -1;
+  d(2, 2) = 2;
+  const auto ev = vm::eigenvalues_sym3(d);
+  EXPECT_DOUBLE_EQ(ev[0], -1.0);
+  EXPECT_DOUBLE_EQ(ev[1], 2.0);
+  EXPECT_DOUBLE_EQ(ev[2], 3.0);
+}
+
+TEST(EigenSym3, KnownSymmetricMatrix) {
+  // [[2,1,0],[1,2,0],[0,0,5]] has eigenvalues 1, 3, 5.
+  vm::Mat3 m;
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  m(2, 2) = 5;
+  const auto ev = vm::eigenvalues_sym3(m);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 3.0, 1e-12);
+  EXPECT_NEAR(ev[2], 5.0, 1e-12);
+  EXPECT_NEAR(vm::middle_eigenvalue_sym3(m), 3.0, 1e-12);
+}
+
+TEST(EigenSym3, RepeatedEigenvalues) {
+  // Identity scaled: all eigenvalues equal.
+  const vm::Mat3 m = vm::Mat3::identity() * 4.0;
+  const auto ev = vm::eigenvalues_sym3(m);
+  EXPECT_NEAR(ev[0], 4.0, 1e-12);
+  EXPECT_NEAR(ev[1], 4.0, 1e-12);
+  EXPECT_NEAR(ev[2], 4.0, 1e-12);
+}
+
+TEST(EigenSym3, RandomMatricesSatisfyInvariants) {
+  vira::util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    vm::Mat3 m;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i; j < 3; ++j) {
+        const double v = rng.uniform(-5.0, 5.0);
+        m(i, j) = v;
+        m(j, i) = v;
+      }
+    }
+    const auto ev = vm::eigenvalues_sym3(m);
+    // Sorted.
+    EXPECT_LE(ev[0], ev[1] + 1e-9);
+    EXPECT_LE(ev[1], ev[2] + 1e-9);
+    // Trace and determinant are preserved by similarity.
+    EXPECT_NEAR(ev[0] + ev[1] + ev[2], m.trace(), 1e-9);
+    EXPECT_NEAR(ev[0] * ev[1] * ev[2], m.det(), 1e-7);
+    // Characteristic polynomial root check: det(A - λI) ≈ 0.
+    for (const double lambda : ev) {
+      vm::Mat3 shifted = m;
+      shifted(0, 0) -= lambda;
+      shifted(1, 1) -= lambda;
+      shifted(2, 2) -= lambda;
+      EXPECT_NEAR(shifted.det(), 0.0, 1e-6 * (1.0 + std::fabs(m.det())));
+    }
+  }
+}
+
+TEST(EigenSym3, FullDecompositionReconstructs) {
+  vira::util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    vm::Mat3 m;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i; j < 3; ++j) {
+        const double v = rng.uniform(-3.0, 3.0);
+        m(i, j) = v;
+        m(j, i) = v;
+      }
+    }
+    const auto eig = vm::eigen_decompose_sym3(m);
+    // A v_k = λ_k v_k for every eigenpair.
+    for (int k = 0; k < 3; ++k) {
+      const vm::Vec3 v{eig.vectors(0, k), eig.vectors(1, k), eig.vectors(2, k)};
+      const vm::Vec3 av = m * v;
+      const vm::Vec3 lv = v * eig.values[k];
+      EXPECT_NEAR((av - lv).norm(), 0.0, 1e-8);
+      EXPECT_NEAR(v.norm(), 1.0, 1e-9);
+    }
+    // Eigenvalues agree with the analytic path.
+    const auto analytic = vm::eigenvalues_sym3(m);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_NEAR(eig.values[k], analytic[k], 1e-8);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// λ2 criterion
+// ---------------------------------------------------------------------------
+
+TEST(Lambda2, RigidRotationIsVortical) {
+  // u = ω × r with ω = (0,0,1): grad u = [[0,-1,0],[1,0,0],[0,0,0]].
+  const vm::Mat3 grad = vm::Mat3::from_rows({0, -1, 0}, {1, 0, 0}, {0, 0, 0});
+  // S = 0, Q = grad, S²+Q² has eigenvalues {-1,-1,0}; λ2 = -1 < 0: vortex.
+  EXPECT_NEAR(vm::lambda2_of(grad), -1.0, 1e-12);
+}
+
+TEST(Lambda2, PureShearIsNotVortical) {
+  // u = (y, 0, 0): grad u = [[0,1,0],[0,0,0],[0,0,0]].
+  const vm::Mat3 grad = vm::Mat3::from_rows({0, 1, 0}, {0, 0, 0}, {0, 0, 0});
+  // S²+Q² = diag(1/4·..) — middle eigenvalue is 0 (boundary, not interior).
+  EXPECT_GE(vm::lambda2_of(grad), -1e-12);
+}
+
+TEST(Lambda2, PureStrainIsPositive) {
+  // Uniaxial extension u = (x, -y/2, -z/2): symmetric gradient, no rotation.
+  const vm::Mat3 grad = vm::Mat3::from_rows({1, 0, 0}, {0, -0.5, 0}, {0, 0, -0.5});
+  EXPECT_GT(vm::lambda2_of(grad), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Aabb
+// ---------------------------------------------------------------------------
+
+TEST(Aabb, ExpandAndContain) {
+  vm::Aabb box;
+  EXPECT_FALSE(box.valid());
+  box.expand({0, 0, 0});
+  box.expand({1, 2, 3});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains({0.5, 1.0, 1.5}));
+  EXPECT_FALSE(box.contains({2, 0, 0}));
+  EXPECT_TRUE(box.contains({1.05, 0, 0}, 0.1));
+  EXPECT_EQ(box.center(), (vm::Vec3{0.5, 1.0, 1.5}));
+}
+
+TEST(Aabb, OverlapAndDistance) {
+  const vm::Aabb a({0, 0, 0}, {1, 1, 1});
+  const vm::Aabb b({0.5, 0.5, 0.5}, {2, 2, 2});
+  const vm::Aabb c({3, 3, 3}, {4, 4, 4});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_DOUBLE_EQ(a.distance2({0.5, 0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(a.distance2({2, 1, 1}), 1.0);
+}

@@ -1,0 +1,466 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace vs = vira::sim;
+
+namespace {
+
+vs::Task<void> record_at(vs::Engine& engine, std::vector<double>& log, double dt) {
+  co_await engine.delay(dt);
+  log.push_back(engine.now());
+}
+
+vs::Task<int> add_later(vs::Engine& engine, int a, int b, double dt) {
+  co_await engine.delay(dt);
+  co_return a + b;
+}
+
+}  // namespace
+
+TEST(SimEngine, DelayAdvancesVirtualTime) {
+  vs::Engine engine;
+  std::vector<double> log;
+  engine.spawn(record_at(engine, log, 5.0));
+  engine.spawn(record_at(engine, log, 2.0));
+  engine.spawn(record_at(engine, log, 8.0));
+  engine.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 2.0);
+  EXPECT_DOUBLE_EQ(log[1], 5.0);
+  EXPECT_DOUBLE_EQ(log[2], 8.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0);
+}
+
+TEST(SimEngine, ZeroDelayDoesNotSuspend) {
+  vs::Engine engine;
+  std::vector<double> log;
+  engine.spawn([](vs::Engine& e, std::vector<double>& out) -> vs::Task<void> {
+    co_await e.delay(0.0);
+    out.push_back(e.now());
+    co_await e.delay(-1.0);  // negative treated as zero
+    out.push_back(e.now());
+  }(engine, log));
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 0.0);
+  EXPECT_DOUBLE_EQ(log[1], 0.0);
+}
+
+TEST(SimEngine, SubtaskReturnsValue) {
+  vs::Engine engine;
+  int result = 0;
+  engine.spawn([](vs::Engine& e, int& out) -> vs::Task<void> {
+    out = co_await add_later(e, 2, 3, 1.5);
+    out += co_await add_later(e, 10, 20, 0.5);
+  }(engine, result));
+  engine.run();
+  EXPECT_EQ(result, 35);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(SimEngine, JoinWaitsForCompletion) {
+  vs::Engine engine;
+  std::vector<std::string> order;
+  auto worker = engine.spawn([](vs::Engine& e, std::vector<std::string>& out) -> vs::Task<void> {
+    co_await e.delay(3.0);
+    out.push_back("worker");
+  }(engine, order));
+  engine.spawn([](vs::Engine& e, vs::ProcessHandle h, std::vector<std::string>& out) -> vs::Task<void> {
+    co_await h.join();
+    out.push_back("joiner@" + std::to_string(e.now()));
+  }(engine, worker, order));
+  engine.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "worker");
+  EXPECT_EQ(order[1], "joiner@3.000000");
+}
+
+TEST(SimEngine, JoinOnFinishedProcessIsImmediate) {
+  vs::Engine engine;
+  auto worker = engine.spawn([](vs::Engine& e) -> vs::Task<void> { co_await e.delay(1.0); }(engine));
+  engine.run();
+  EXPECT_TRUE(worker.done());
+  bool joined = false;
+  engine.spawn([](vs::ProcessHandle h, bool& out) -> vs::Task<void> {
+    co_await h.join();
+    out = true;
+  }(worker, joined));
+  engine.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(SimEngine, ExceptionsPropagateFromRun) {
+  vs::Engine engine;
+  engine.spawn([](vs::Engine& e) -> vs::Task<void> {
+    co_await e.delay(1.0);
+    throw std::runtime_error("boom");
+  }(engine));
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(SimEngine, SubtaskExceptionReachesParent) {
+  vs::Engine engine;
+  bool caught = false;
+  engine.spawn([](vs::Engine& e, bool& out) -> vs::Task<void> {
+    try {
+      co_await [](vs::Engine& e2) -> vs::Task<int> {
+        co_await e2.delay(0.5);
+        throw std::runtime_error("inner");
+      }(e);
+    } catch (const std::runtime_error&) {
+      out = true;
+    }
+  }(engine, caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimEngine, RunUntilStopsAtBoundary) {
+  vs::Engine engine;
+  std::vector<double> log;
+  engine.spawn(record_at(engine, log, 1.0));
+  engine.spawn(record_at(engine, log, 10.0));
+  const bool more = engine.run_until(5.0);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  engine.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(SimEngine, DeterministicEventCount) {
+  auto run_once = [] {
+    vs::Engine engine;
+    std::vector<double> log;
+    for (int i = 0; i < 20; ++i) {
+      engine.spawn(record_at(engine, log, static_cast<double>((i * 7) % 5)));
+    }
+    engine.run();
+    return std::make_pair(engine.events_processed(), log);
+  };
+  const auto [count_a, log_a] = run_once();
+  const auto [count_b, log_b] = run_once();
+  EXPECT_EQ(count_a, count_b);
+  EXPECT_EQ(log_a, log_b);
+}
+
+TEST(SimEngine, FifoTieBreakAtEqualTimes) {
+  vs::Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn([](vs::Engine& e, std::vector<int>& out, int id) -> vs::Task<void> {
+      co_await e.delay(1.0);
+      out.push_back(id);
+    }(engine, order, i));
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Resource
+// ---------------------------------------------------------------------------
+
+TEST(SimResource, SerializesBeyondCapacity) {
+  vs::Engine engine;
+  vs::Resource cpu(engine, 2, "cpu");
+  std::vector<double> finish_times;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn([](vs::Engine& e, vs::Resource& r, std::vector<double>& out) -> vs::Task<void> {
+      co_await r.acquire();
+      co_await e.delay(10.0);
+      r.release();
+      out.push_back(e.now());
+    }(engine, cpu, finish_times));
+  }
+  engine.run();
+  ASSERT_EQ(finish_times.size(), 4u);
+  // Two run in [0,10], two in [10,20].
+  EXPECT_DOUBLE_EQ(finish_times[0], 10.0);
+  EXPECT_DOUBLE_EQ(finish_times[1], 10.0);
+  EXPECT_DOUBLE_EQ(finish_times[2], 20.0);
+  EXPECT_DOUBLE_EQ(finish_times[3], 20.0);
+  EXPECT_EQ(cpu.available(), 2);
+}
+
+TEST(SimResource, LeaseReleasesAutomatically) {
+  vs::Engine engine;
+  vs::Resource disk(engine, 1, "disk");
+  std::vector<double> times;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](vs::Engine& e, vs::Resource& r, std::vector<double>& out) -> vs::Task<void> {
+      auto lease = co_await r.acquire_scoped();
+      co_await e.delay(1.0);
+      out.push_back(e.now());
+    }(engine, disk, times));
+  }
+  engine.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[2], 3.0);
+  EXPECT_EQ(disk.available(), 1);
+}
+
+TEST(SimResource, FifoFairnessForWaiters) {
+  vs::Engine engine;
+  vs::Resource r(engine, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    engine.spawn([](vs::Engine& e, vs::Resource& res, std::vector<int>& out, int id) -> vs::Task<void> {
+      co_await res.acquire();
+      co_await e.delay(1.0);
+      res.release();
+      out.push_back(id);
+    }(engine, r, order, i));
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SimResource, OverCapacityAcquireThrows) {
+  vs::Engine engine;
+  vs::Resource r(engine, 2);
+  EXPECT_THROW(r.acquire(3), std::invalid_argument);
+  EXPECT_THROW(vs::Resource(engine, 0), std::invalid_argument);
+}
+
+TEST(SimResource, MultiUnitAcquireBlocksUntilEnough) {
+  vs::Engine engine;
+  vs::Resource r(engine, 4);
+  std::vector<std::pair<int, double>> events;
+  // Holder takes 3 units for 5s; big requester needs 2 and must wait.
+  engine.spawn([](vs::Engine& e, vs::Resource& res, std::vector<std::pair<int, double>>& out) -> vs::Task<void> {
+    co_await res.acquire(3);
+    out.emplace_back(0, e.now());
+    co_await e.delay(5.0);
+    res.release(3);
+  }(engine, r, events));
+  engine.spawn([](vs::Engine& e, vs::Resource& res, std::vector<std::pair<int, double>>& out) -> vs::Task<void> {
+    co_await e.delay(1.0);
+    co_await res.acquire(2);
+    out.emplace_back(1, e.now());
+    res.release(2);
+  }(engine, r, events));
+  engine.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].second, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+TEST(SimChannel, ProducerConsumerInVirtualTime) {
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  std::vector<std::pair<int, double>> received;
+
+  engine.spawn([](vs::Engine& e, vs::Channel<int>& ch) -> vs::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await e.delay(2.0);
+      ch.push(i);
+    }
+    ch.close();
+  }(engine, channel));
+
+  engine.spawn([](vs::Channel<int>& ch, vs::Engine& e,
+                  std::vector<std::pair<int, double>>& out) -> vs::Task<void> {
+    while (true) {
+      auto item = co_await ch.pop();
+      if (!item) {
+        break;
+      }
+      out.emplace_back(*item, e.now());
+    }
+  }(channel, engine, received));
+
+  engine.run();
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0].first, 0);
+  EXPECT_DOUBLE_EQ(received[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(received[2].second, 6.0);
+}
+
+TEST(SimChannel, CloseReleasesBlockedConsumer) {
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  bool got_eos = false;
+  engine.spawn([](vs::Channel<int>& ch, bool& out) -> vs::Task<void> {
+    const auto item = co_await ch.pop();
+    out = !item.has_value();
+  }(channel, got_eos));
+  engine.spawn([](vs::Engine& e, vs::Channel<int>& ch) -> vs::Task<void> {
+    co_await e.delay(1.0);
+    ch.close();
+  }(engine, channel));
+  engine.run();
+  EXPECT_TRUE(got_eos);
+}
+
+TEST(SimChannel, QueuedItemsDrainAfterClose) {
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  channel.push(1);
+  channel.push(2);
+  channel.close();
+  std::vector<int> drained;
+  engine.spawn([](vs::Channel<int>& ch, std::vector<int>& out) -> vs::Task<void> {
+    while (true) {
+      auto item = co_await ch.pop();
+      if (!item) {
+        break;
+      }
+      out.push_back(*item);
+    }
+  }(channel, drained));
+  engine.run();
+  EXPECT_EQ(drained, (std::vector<int>{1, 2}));
+}
+
+TEST(SimChannel, TwoConsumersServedFifo) {
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  std::vector<std::pair<int, int>> received;  // (consumer, item)
+  for (int c = 0; c < 2; ++c) {
+    engine.spawn([](vs::Channel<int>& ch, std::vector<std::pair<int, int>>& out, int id) -> vs::Task<void> {
+      auto item = co_await ch.pop();
+      if (item) {
+        out.emplace_back(id, *item);
+      }
+    }(channel, received, c));
+  }
+  engine.spawn([](vs::Engine& e, vs::Channel<int>& ch) -> vs::Task<void> {
+    co_await e.delay(1.0);
+    ch.push(100);
+    co_await e.delay(1.0);
+    ch.push(200);
+    ch.close();
+  }(engine, channel));
+  engine.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(received[1], (std::pair<int, int>{1, 200}));
+}
+
+// ---------------------------------------------------------------------------
+// Stress and lifetime edge cases
+// ---------------------------------------------------------------------------
+
+TEST(SimEngine, ThousandProcessesShareOneResource) {
+  vs::Engine engine;
+  vs::Resource resource(engine, 4);
+  int completed = 0;
+  for (int n = 0; n < 1000; ++n) {
+    engine.spawn([](vs::Engine& e, vs::Resource& r, int& done) -> vs::Task<void> {
+      co_await r.acquire();
+      co_await e.delay(0.5);
+      r.release();
+      ++done;
+    }(engine, resource, completed));
+  }
+  engine.run();
+  EXPECT_EQ(completed, 1000);
+  // 1000 jobs x 0.5s / 4 servers = 125s of virtual time.
+  EXPECT_DOUBLE_EQ(engine.now(), 125.0);
+  EXPECT_EQ(resource.available(), 4);
+}
+
+TEST(SimEngine, DestructionWithPendingEventsIsClean) {
+  // Processes still suspended when the engine dies must be destroyed
+  // without leaks or crashes (ASAN-friendly by construction).
+  auto engine = std::make_unique<vs::Engine>();
+  vs::Resource resource(*engine, 1);
+  for (int n = 0; n < 10; ++n) {
+    engine->spawn([](vs::Engine& e, vs::Resource& r) -> vs::Task<void> {
+      co_await r.acquire();
+      co_await e.delay(1e9);  // effectively forever
+      r.release();
+    }(*engine, resource));
+  }
+  engine->run_until(5.0);  // leaves 9 waiters + 1 sleeper pending
+  engine.reset();          // must not crash
+  SUCCEED();
+}
+
+TEST(SimEngine, TaskMoveSemantics) {
+  vs::Engine engine;
+  bool ran = false;
+  auto task = [](bool& flag) -> vs::Task<void> {
+    flag = true;
+    co_return;
+  }(ran);
+  vs::Task<void> moved = std::move(task);
+  EXPECT_FALSE(task.valid());  // NOLINT(bugprone-use-after-move) — intentional
+  EXPECT_TRUE(moved.valid());
+  engine.spawn(std::move(moved));
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEngine, NestedSubtasksThreeDeep) {
+  vs::Engine engine;
+  double result = 0.0;
+  engine.spawn([](vs::Engine& e, double& out) -> vs::Task<void> {
+    auto inner = [](vs::Engine& e2) -> vs::Task<double> {
+      auto innermost = [](vs::Engine& e3) -> vs::Task<double> {
+        co_await e3.delay(1.0);
+        co_return 21.0;
+      }(e2);
+      const double x = co_await std::move(innermost);
+      co_await e2.delay(1.0);
+      co_return x * 2.0;
+    }(e);
+    out = co_await std::move(inner);
+  }(engine, result));
+  engine.run();
+  EXPECT_DOUBLE_EQ(result, 42.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(SimResource, QueueLengthVisible) {
+  vs::Engine engine;
+  vs::Resource r(engine, 1);
+  for (int n = 0; n < 3; ++n) {
+    engine.spawn([](vs::Engine& e, vs::Resource& res) -> vs::Task<void> {
+      co_await res.acquire();
+      co_await e.delay(1.0);
+      res.release();
+    }(engine, r));
+  }
+  engine.run_until(0.5);
+  EXPECT_EQ(r.queue_length(), 2u);  // one holds, two wait
+  engine.run();
+  EXPECT_EQ(r.queue_length(), 0u);
+}
+
+TEST(SimChannel, LargeBacklogDrains) {
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  for (int n = 0; n < 10000; ++n) {
+    channel.push(n);
+  }
+  channel.close();
+  long long sum = 0;
+  engine.spawn([](vs::Channel<int>& ch, long long& out) -> vs::Task<void> {
+    while (auto item = co_await ch.pop()) {
+      out += *item;
+    }
+  }(channel, sum));
+  engine.run();
+  EXPECT_EQ(sum, 10000LL * 9999 / 2);
+}
+
+TEST(SimChannel, PushAfterCloseIsDropped) {
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  channel.close();
+  channel.push(7);
+  EXPECT_EQ(channel.size(), 0u);
+  EXPECT_TRUE(channel.closed());
+}

@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/log.hpp"
+#include "util/param_list.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace vu = vira::util;
+
+// ---------------------------------------------------------------------------
+// ByteBuffer
+// ---------------------------------------------------------------------------
+
+TEST(ByteBuffer, RoundTripsScalars) {
+  vu::ByteBuffer buf;
+  buf.write<std::int32_t>(-42);
+  buf.write<double>(3.25);
+  buf.write<std::uint8_t>(0xff);
+  EXPECT_EQ(buf.read<std::int32_t>(), -42);
+  EXPECT_EQ(buf.read<double>(), 3.25);
+  EXPECT_EQ(buf.read<std::uint8_t>(), 0xff);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, RoundTripsStringsAndVectors) {
+  vu::ByteBuffer buf;
+  buf.write_string("viracocha");
+  buf.write_string("");
+  buf.write_vector<float>({1.0f, 2.0f, 3.5f});
+  buf.write_vector<std::int64_t>({});
+  EXPECT_EQ(buf.read_string(), "viracocha");
+  EXPECT_EQ(buf.read_string(), "");
+  EXPECT_EQ(buf.read_vector<float>(), (std::vector<float>{1.0f, 2.0f, 3.5f}));
+  EXPECT_TRUE(buf.read_vector<std::int64_t>().empty());
+}
+
+TEST(ByteBuffer, ReadPastEndThrows) {
+  vu::ByteBuffer buf;
+  buf.write<std::int16_t>(7);
+  (void)buf.read<std::int16_t>();
+  EXPECT_THROW((void)buf.read<std::int16_t>(), std::out_of_range);
+}
+
+TEST(ByteBuffer, CorruptStringLengthThrows) {
+  vu::ByteBuffer buf;
+  buf.write<std::uint64_t>(1u << 30);  // length prefix with no payload
+  EXPECT_THROW((void)buf.read_string(), std::out_of_range);
+}
+
+TEST(ByteBuffer, SeekAllowsRereading) {
+  vu::ByteBuffer buf;
+  buf.write<int>(1);
+  buf.write<int>(2);
+  EXPECT_EQ(buf.read<int>(), 1);
+  buf.seek(0);
+  EXPECT_EQ(buf.read<int>(), 1);
+  EXPECT_EQ(buf.read<int>(), 2);
+  EXPECT_THROW(buf.seek(1000), std::out_of_range);
+}
+
+TEST(ByteBuffer, CopyOfCopiesRawBytes) {
+  const std::uint32_t value = 0xdeadbeef;
+  auto buf = vu::ByteBuffer::copy_of(&value, sizeof(value));
+  EXPECT_EQ(buf.size(), sizeof(value));
+  EXPECT_EQ(buf.read<std::uint32_t>(), value);
+}
+
+// ---------------------------------------------------------------------------
+// ParamList
+// ---------------------------------------------------------------------------
+
+TEST(ParamList, TypedAccessors) {
+  vu::ParamList params;
+  params.set_double("iso", 0.25);
+  params.set_int("timestep", 12);
+  params.set_bool("stream", true);
+  params.set("field", "density");
+
+  EXPECT_DOUBLE_EQ(params.get_double("iso", 0.0), 0.25);
+  EXPECT_EQ(params.get_int("timestep", -1), 12);
+  EXPECT_TRUE(params.get_bool("stream", false));
+  EXPECT_EQ(params.get_or("field", ""), "density");
+  EXPECT_EQ(params.get_int("missing", 99), 99);
+  EXPECT_FALSE(params.get("missing").has_value());
+}
+
+TEST(ParamList, DoubleVectorRoundTrip) {
+  vu::ParamList params;
+  params.set_doubles("seed", {1.5, -2.0, 0.25});
+  const auto seed = params.get_doubles("seed");
+  ASSERT_EQ(seed.size(), 3u);
+  EXPECT_DOUBLE_EQ(seed[0], 1.5);
+  EXPECT_DOUBLE_EQ(seed[1], -2.0);
+  EXPECT_DOUBLE_EQ(seed[2], 0.25);
+}
+
+TEST(ParamList, CanonicalIsOrderIndependent) {
+  vu::ParamList a;
+  a.set("b", "2");
+  a.set("a", "1");
+  vu::ParamList b;
+  b.set("a", "1");
+  b.set("b", "2");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.canonical(), "a=1;b=2");
+}
+
+TEST(ParamList, SerializationRoundTrip) {
+  vu::ParamList params;
+  params.set_double("iso", 0.125);
+  params.set("viewpoint", "1,2,3");
+  vu::ByteBuffer buf;
+  params.serialize(buf);
+  const auto restored = vu::ParamList::deserialize(buf);
+  EXPECT_EQ(restored, params);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  vu::Rng a(123);
+  vu::Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  vu::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  vu::Rng rng(42);
+  vu::RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.add(rng.normal());
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  vu::Rng rng(9);
+  auto a = rng.fork(1);
+  auto b = rng.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStat, MatchesClosedForm) {
+  vu::RunningStat stat;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    stat.add(x);
+  }
+  EXPECT_EQ(stat.count(), 4u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stat.sum(), 10.0);
+  EXPECT_NEAR(stat.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 4.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  vu::RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  vu::Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    hist.add(static_cast<double>(i % 10) + 0.5);
+  }
+  EXPECT_EQ(hist.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(hist.bucket(b), 10u);
+  }
+  EXPECT_NEAR(hist.quantile(0.5), 4.5, 1.01);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  vu::Histogram hist(0.0, 1.0, 4);
+  hist.add(-100.0);
+  hist.add(100.0);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(3), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// string_util
+// ---------------------------------------------------------------------------
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(vu::human_bytes(512), "512 B");
+  EXPECT_EQ(vu::human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(vu::human_bytes(static_cast<std::uint64_t>(1.12 * 1024 * 1024 * 1024)), "1.12 GB");
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto parts = vu::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(vu::join({"x", "y", "z"}, "-"), "x-y-z");
+}
+
+TEST(StringUtil, PadWidths) {
+  EXPECT_EQ(vu::pad("ab", 5), "ab   ");
+  EXPECT_EQ(vu::pad("ab", 5, false), "   ab");
+  EXPECT_EQ(vu::pad("abcdef", 3), "abc");
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+TEST(PhaseTimer, AttributesTimeToPhases) {
+  vu::PhaseTimer timer;
+  timer.enter("compute");
+  timer.enter("read");
+  timer.stop();
+  EXPECT_GE(timer.seconds("compute"), 0.0);
+  EXPECT_GE(timer.seconds("read"), 0.0);
+  EXPECT_EQ(timer.seconds("send"), 0.0);
+  EXPECT_EQ(timer.phases().size(), 2u);
+}
+
+TEST(PhaseTimer, MergeAccumulates) {
+  vu::PhaseTimer a;
+  a.enter("compute");
+  a.stop();
+  vu::PhaseTimer b;
+  b.enter("compute");
+  b.enter("send");
+  b.stop();
+  a.merge(b);
+  EXPECT_EQ(a.phases().size(), 2u);
+}
+
+TEST(ScopedPhase, RestoresPreviousPhase) {
+  vu::PhaseTimer timer;
+  timer.enter("outer");
+  {
+    vu::ScopedPhase inner(timer, "inner");
+    EXPECT_EQ(timer.current(), "inner");
+  }
+  EXPECT_EQ(timer.current(), "outer");
+  timer.stop();
+}
+
+TEST(WallTimer, PauseStopsAccumulation) {
+  vu::WallTimer timer;
+  timer.pause();
+  const double t0 = timer.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_DOUBLE_EQ(timer.seconds(), t0);
+  timer.resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(timer.seconds(), t0);
+}
+
+// ---------------------------------------------------------------------------
+// BlockingQueue
+// ---------------------------------------------------------------------------
+
+TEST(BlockingQueue, FifoOrder) {
+  vu::BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, CloseReleasesConsumers) {
+  vu::BlockingQueue<int> q;
+  std::thread consumer([&] {
+    const auto item = q.pop();
+    EXPECT_FALSE(item.has_value());
+  });
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(q.push(1));
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  vu::BlockingQueue<int> q;
+  const auto item = q.pop_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(item.has_value());
+}
+
+TEST(BlockingQueue, ManyProducersOneConsumer) {
+  vu::BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(p * kPerProducer + i);
+      }
+    });
+  }
+  int count = 0;
+  long long sum = 0;
+  while (count < kProducers * kPerProducer) {
+    auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    sum += *item;
+    ++count;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+TEST(Logger, RespectsLevelAndComponent) {
+  std::ostringstream sink;
+  auto& logger = vu::Logger::instance();
+  logger.set_stream(&sink);
+  logger.set_level(vu::LogLevel::kWarn);
+
+  VIRA_INFO("test") << "hidden";
+  VIRA_WARN("test") << "visible " << 42;
+
+  logger.set_stream(nullptr);
+  logger.set_level(vu::LogLevel::kInfo);
+
+  const std::string output = sink.str();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible 42"), std::string::npos);
+  EXPECT_NE(output.find("[test]"), std::string::npos);
+}

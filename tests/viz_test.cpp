@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "algo/payloads.hpp"
+#include "viz/assembly.hpp"
+#include "viz/session.hpp"
+
+namespace va = vira::algo;
+namespace vv = vira::viz;
+
+namespace {
+
+vv::Packet mesh_packet(const va::TriangleMesh& mesh, int level = -1,
+                       vv::Packet::Kind kind = vv::Packet::Kind::kPartial) {
+  vv::Packet packet;
+  packet.kind = kind;
+  packet.payload = va::encode_mesh_fragment(mesh, level);
+  return packet;
+}
+
+va::TriangleMesh one_triangle(double z) {
+  va::TriangleMesh mesh;
+  mesh.add_triangle({0, 0, z}, {1, 0, z}, {0, 1, z});
+  return mesh;
+}
+
+}  // namespace
+
+TEST(GeometryCollector, AccumulatesFlatMeshFragments) {
+  vv::GeometryCollector collector;
+  auto p1 = mesh_packet(one_triangle(0.0));
+  auto p2 = mesh_packet(one_triangle(1.0), -1, vv::Packet::Kind::kFinal);
+  EXPECT_TRUE(collector.consume(p1));
+  EXPECT_TRUE(collector.consume(p2));
+  EXPECT_EQ(collector.flat_mesh().triangle_count(), 2u);
+  EXPECT_EQ(collector.fragment_count(), 2u);
+}
+
+TEST(GeometryCollector, ProgressiveLevelsReplaceNotAppend) {
+  vv::GeometryCollector collector;
+  // Coarse level: 1 triangle; fine level: 3 triangles.
+  auto coarse = mesh_packet(one_triangle(0.0), 0);
+  collector.consume(coarse);
+  EXPECT_EQ(collector.current_mesh().triangle_count(), 1u);
+
+  va::TriangleMesh fine;
+  fine.merge(one_triangle(0.0));
+  fine.merge(one_triangle(0.5));
+  fine.merge(one_triangle(1.0));
+  auto fine_packet = mesh_packet(fine, 2);
+  collector.consume(fine_packet);
+  // current_mesh shows the finest level only, not coarse+fine.
+  EXPECT_EQ(collector.current_mesh().triangle_count(), 3u);
+  EXPECT_EQ(collector.levels().size(), 2u);
+}
+
+TEST(GeometryCollector, ProgressiveLevelAccumulatesWithinLevel) {
+  vv::GeometryCollector collector;
+  auto a = mesh_packet(one_triangle(0.0), 1);
+  auto b = mesh_packet(one_triangle(2.0), 1);
+  collector.consume(a);
+  collector.consume(b);
+  EXPECT_EQ(collector.levels().at(1).triangle_count(), 2u);
+}
+
+TEST(GeometryCollector, CollectsLines) {
+  va::PolylineSet lines;
+  lines.begin_line();
+  lines.add_point({0, 0, 0}, 0.0);
+  lines.add_point({1, 1, 1}, 1.0);
+  vv::Packet packet;
+  packet.kind = vv::Packet::Kind::kFinal;
+  packet.payload = va::encode_lines_fragment(lines);
+  vv::GeometryCollector collector;
+  EXPECT_TRUE(collector.consume(packet));
+  EXPECT_EQ(collector.lines().line_count(), 1u);
+}
+
+TEST(GeometryCollector, SummaryIsKeptButNotGeometry) {
+  vv::Packet packet;
+  packet.kind = vv::Packet::Kind::kFinal;
+  packet.payload = va::encode_summary(123, 45, 6);
+  vv::GeometryCollector collector;
+  EXPECT_FALSE(collector.consume(packet));  // no geometry carried
+  EXPECT_TRUE(collector.have_summary());
+  EXPECT_EQ(collector.summary_triangles(), 123u);
+  EXPECT_EQ(collector.summary_active_cells(), 45u);
+}
+
+TEST(GeometryCollector, IgnoresNonDataPackets) {
+  vv::Packet progress;
+  progress.kind = vv::Packet::Kind::kProgress;
+  progress.progress = 0.5;
+  vv::GeometryCollector collector;
+  EXPECT_FALSE(collector.consume(progress));
+  EXPECT_EQ(collector.fragment_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultStream / ExtractionSession over a bare link (no backend)
+// ---------------------------------------------------------------------------
+
+TEST(ExtractionSession, SubmitWritesRequestFrame) {
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  vira::util::ParamList params;
+  params.set("dataset", "/x");
+  auto stream = session.submit("iso.dataman", params);
+  EXPECT_GT(stream->request_id(), 0u);
+
+  auto msg = server_side->recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, vira::core::kTagSubmit);
+  const auto request = vira::core::CommandRequest::deserialize(msg->payload);
+  EXPECT_EQ(request.command, "iso.dataman");
+  EXPECT_EQ(request.params.get_or("dataset", ""), "/x");
+  EXPECT_EQ(request.request_id, stream->request_id());
+  session.close();
+}
+
+TEST(ExtractionSession, CancelSendsCancelFrame) {
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  session.cancel(42);
+  auto msg = server_side->recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tag, vira::core::kTagCancel);
+  EXPECT_EQ(msg->payload.read<std::uint64_t>(), 42u);
+  session.close();
+}
+
+TEST(ExtractionSession, LinkCloseUnblocksWaiters) {
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  auto stream = session.submit("whatever", {});
+  server_side->close();
+  // The stream must end (nullopt) rather than hang.
+  const auto packet = stream->next(std::chrono::milliseconds(2000));
+  EXPECT_FALSE(packet.has_value());
+  session.close();
+}
+
+TEST(ExtractionSession, CompleteClosesTheStream) {
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  auto stream = session.submit("x", {});
+
+  // Fake a backend: reply with a Complete packet for that request.
+  auto submit = server_side->recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(submit.has_value());
+  const auto request = vira::core::CommandRequest::deserialize(submit->payload);
+  vira::core::CommandStats stats;
+  stats.request_id = request.request_id;
+  stats.success = true;
+  stats.total_runtime = 1.5;
+  vira::comm::Message reply;
+  reply.tag = vira::core::kTagComplete;
+  stats.serialize(reply.payload);
+  server_side->send(std::move(reply));
+
+  auto packet = stream->next(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->kind, vv::Packet::Kind::kComplete);
+  EXPECT_DOUBLE_EQ(packet->stats.total_runtime, 1.5);
+  // Stream is closed afterwards.
+  EXPECT_FALSE(stream->next(std::chrono::milliseconds(50)).has_value());
+  session.close();
+}
+
+TEST(ExtractionSession, PacketsForUnknownRequestsAreDropped) {
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  // Progress for a request nobody submitted.
+  vira::comm::Message stray;
+  stray.tag = vira::core::kTagProgress;
+  stray.payload.write<std::uint64_t>(999);
+  stray.payload.write<double>(0.5);
+  server_side->send(std::move(stray));
+  // Session stays healthy: a later real exchange still works.
+  auto stream = session.submit("x", {});
+  auto submit = server_side->recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(submit.has_value());
+  session.close();
+}

@@ -1,0 +1,154 @@
+/// \file viracocha_cli.cpp
+/// Command-line Viracocha client.
+///
+/// Connects to a running viracocha-server, submits one command and writes
+/// the assembled geometry to an OBJ file — the smallest possible
+/// "visualization host".
+///
+///   viracocha-cli --host H --port N --command NAME [--out FILE]
+///                 [key=value ...]
+///
+/// Examples:
+///   viracocha-cli --port 5999 --command query.field_range
+///       dataset=/data/engine field=density
+///   viracocha-cli --port 5999 --command iso.dataman --out surface.obj
+///       dataset=/data/engine field=density iso=0.85 workers=4
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "viz/assembly.hpp"
+#include "viz/session.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: viracocha-cli [--host H] [--port N] --command NAME [--out FILE]\n"
+               "                     [key=value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vira;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 5999;
+  std::string command;
+  std::string out_path;
+  util::ParamList params;
+
+  for (int arg = 1; arg < argc; ++arg) {
+    const std::string token = argv[arg];
+    auto next = [&]() -> const char* {
+      if (arg + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++arg];
+    };
+    if (token == "--host") {
+      host = next();
+    } else if (token == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (token == "--command") {
+      command = next();
+    } else if (token == "--out") {
+      out_path = next();
+    } else if (token == "--help" || token == "-h") {
+      usage();
+      return 0;
+    } else if (token.find('=') != std::string::npos) {
+      const auto split = token.find('=');
+      params.set(token.substr(0, split), token.substr(split + 1));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", token.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (command.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::unique_ptr<comm::ClientLink> link;
+  try {
+    link = comm::tcp_connect(host, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "connection failed: %s\n", e.what());
+    return 1;
+  }
+  viz::ExtractionSession session(std::shared_ptr<comm::ClientLink>(link.release()));
+
+  auto stream = session.submit(command, params);
+  viz::GeometryCollector collector;
+  core::CommandStats stats;
+  std::vector<util::ByteBuffer> raw_finals;
+  while (true) {
+    auto packet = stream->next(std::chrono::milliseconds(600000));
+    if (!packet) {
+      std::fprintf(stderr, "connection lost / timeout\n");
+      return 1;
+    }
+    if (packet->kind == viz::Packet::Kind::kProgress) {
+      std::fprintf(stderr, "\rprogress: %3.0f%%", packet->progress * 100.0);
+      continue;
+    }
+    if (packet->kind == viz::Packet::Kind::kComplete) {
+      stats = packet->stats;
+      break;
+    }
+    if (packet->kind == viz::Packet::Kind::kFinal) {
+      // Keep a copy for non-geometry payloads (query results).
+      util::ByteBuffer copy = packet->payload;
+      copy.seek(0);
+      raw_finals.push_back(std::move(copy));
+    }
+    collector.consume(*packet);
+  }
+  std::fprintf(stderr, "\r");
+
+  if (!stats.success) {
+    std::fprintf(stderr, "command failed: %s\n", stats.error.c_str());
+    return 1;
+  }
+  std::printf("%s: %.3fs total, %.3fs latency, %d workers, %llu fragments\n", command.c_str(),
+              stats.total_runtime, stats.latency, stats.workers,
+              static_cast<unsigned long long>(stats.partial_packets));
+
+  // Query result payloads.
+  for (auto& payload : raw_finals) {
+    try {
+      const auto kind = payload.read_string();
+      if (kind == "field_range") {
+        const auto field = payload.read_string();
+        const auto lo = payload.read<float>();
+        const auto hi = payload.read<float>();
+        std::printf("%s range: [%g, %g]\n", field.c_str(), lo, hi);
+      }
+    } catch (const std::exception&) {
+      // Geometry payload; handled by the collector below.
+    }
+  }
+
+  if (collector.flat_mesh().triangle_count() > 0) {
+    const auto path = out_path.empty() ? command + ".obj" : out_path;
+    collector.current_mesh().write_obj(path, command);
+    std::printf("mesh: %zu triangles -> %s\n", collector.flat_mesh().triangle_count(),
+                path.c_str());
+  }
+  if (collector.lines().line_count() > 0) {
+    const auto path = out_path.empty() ? command + ".obj" : out_path;
+    collector.lines().write_obj(path);
+    std::printf("lines: %zu polylines -> %s\n", collector.lines().line_count(), path.c_str());
+  }
+  if (collector.have_summary()) {
+    std::printf("summary: %llu triangles, %llu active cells\n",
+                static_cast<unsigned long long>(collector.summary_triangles()),
+                static_cast<unsigned long long>(collector.summary_active_cells()));
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file viracocha_server.cpp
+/// Standalone Viracocha post-processing server.
+///
+/// Runs the scheduler + worker backend and serves visualization clients on
+/// a TCP port — the HPC-side half of the paper's Figure 2 as its own
+/// process.
+///
+///   viracocha-server [--port N] [--workers N] [--cache-mb N]
+///                    [--policy lru|lfu|fbr] [--l2-dir PATH]
+///                    [--dms-messages]
+///
+/// The server runs until stdin reaches EOF (or the process is signalled),
+/// so `viracocha-server < /dev/null` starts and stops immediately while
+/// `viracocha-server` under a terminal serves until Ctrl-D.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "algo/cfd_command.hpp"
+#include "core/backend.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: viracocha-server [--port N] [--workers N] [--cache-mb N]\n"
+               "                        [--policy lru|lfu|fbr] [--l2-dir PATH]\n"
+               "                        [--dms-messages] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vira;
+
+  core::BackendConfig config;
+  std::uint16_t port = 5999;
+
+  for (int arg = 1; arg < argc; ++arg) {
+    const std::string flag = argv[arg];
+    auto next = [&]() -> const char* {
+      if (arg + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++arg];
+    };
+    if (flag == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (flag == "--workers") {
+      config.workers = std::atoi(next());
+    } else if (flag == "--cache-mb") {
+      config.l1_cache_bytes = static_cast<std::uint64_t>(std::atoll(next())) << 20;
+    } else if (flag == "--policy") {
+      config.cache_policy = next();
+    } else if (flag == "--l2-dir") {
+      config.l2_directory = next();
+    } else if (flag == "--dms-messages") {
+      config.dms_over_messages = true;
+    } else if (flag == "--verbose") {
+      util::Logger::instance().set_level(util::LogLevel::kDebug);
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  algo::register_builtin_commands();
+  core::Backend backend(config);
+  std::uint16_t bound = 0;
+  try {
+    bound = backend.serve_tcp(port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "viracocha-server: cannot listen on port %u: %s\n", port, e.what());
+    return 1;
+  }
+  std::printf("viracocha-server: %d workers, %s caches, listening on 127.0.0.1:%u\n",
+              config.workers, config.cache_policy.c_str(), bound);
+  std::printf("(serving until stdin closes)\n");
+  std::fflush(stdout);
+
+  // Serve until EOF on stdin.
+  char buffer[256];
+  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+    if (std::strncmp(buffer, "quit", 4) == 0) {
+      break;
+    }
+  }
+  std::printf("viracocha-server: shutting down\n");
+  return 0;
+}
