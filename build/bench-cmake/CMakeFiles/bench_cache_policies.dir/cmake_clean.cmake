@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_policies"
+  "../bench/bench_cache_policies.pdb"
+  "CMakeFiles/bench_cache_policies.dir/bench_cache_policies.cpp.o"
+  "CMakeFiles/bench_cache_policies.dir/bench_cache_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

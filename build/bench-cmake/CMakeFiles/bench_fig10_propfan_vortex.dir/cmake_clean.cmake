@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_propfan_vortex"
+  "../bench/bench_fig10_propfan_vortex.pdb"
+  "CMakeFiles/bench_fig10_propfan_vortex.dir/bench_fig10_propfan_vortex.cpp.o"
+  "CMakeFiles/bench_fig10_propfan_vortex.dir/bench_fig10_propfan_vortex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_propfan_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

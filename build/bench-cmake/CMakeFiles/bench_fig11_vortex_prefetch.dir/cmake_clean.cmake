@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_vortex_prefetch"
+  "../bench/bench_fig11_vortex_prefetch.pdb"
+  "CMakeFiles/bench_fig11_vortex_prefetch.dir/bench_fig11_vortex_prefetch.cpp.o"
+  "CMakeFiles/bench_fig11_vortex_prefetch.dir/bench_fig11_vortex_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vortex_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

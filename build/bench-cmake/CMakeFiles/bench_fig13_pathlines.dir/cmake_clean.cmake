@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_pathlines"
+  "../bench/bench_fig13_pathlines.pdb"
+  "CMakeFiles/bench_fig13_pathlines.dir/bench_fig13_pathlines.cpp.o"
+  "CMakeFiles/bench_fig13_pathlines.dir/bench_fig13_pathlines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pathlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_pathline_prefetch"
+  "../bench/bench_fig14_pathline_prefetch.pdb"
+  "CMakeFiles/bench_fig14_pathline_prefetch.dir/bench_fig14_pathline_prefetch.cpp.o"
+  "CMakeFiles/bench_fig14_pathline_prefetch.dir/bench_fig14_pathline_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pathline_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

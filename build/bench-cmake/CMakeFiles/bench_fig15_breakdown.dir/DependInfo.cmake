@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_breakdown.cpp" "bench-cmake/CMakeFiles/bench_fig15_breakdown.dir/bench_fig15_breakdown.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_fig15_breakdown.dir/bench_fig15_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/vira_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/vira_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vira_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vira_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/vira_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dms/CMakeFiles/vira_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_engine_iso"
+  "../bench/bench_fig6_engine_iso.pdb"
+  "CMakeFiles/bench_fig6_engine_iso.dir/bench_fig6_engine_iso.cpp.o"
+  "CMakeFiles/bench_fig6_engine_iso.dir/bench_fig6_engine_iso.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_engine_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_propfan_iso"
+  "../bench/bench_fig7_propfan_iso.pdb"
+  "CMakeFiles/bench_fig7_propfan_iso.dir/bench_fig7_propfan_iso.cpp.o"
+  "CMakeFiles/bench_fig7_propfan_iso.dir/bench_fig7_propfan_iso.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_propfan_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_engine_vortex"
+  "../bench/bench_fig9_engine_vortex.pdb"
+  "CMakeFiles/bench_fig9_engine_vortex.dir/bench_fig9_engine_vortex.cpp.o"
+  "CMakeFiles/bench_fig9_engine_vortex.dir/bench_fig9_engine_vortex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_engine_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

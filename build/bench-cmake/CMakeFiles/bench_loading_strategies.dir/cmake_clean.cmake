@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_loading_strategies"
+  "../bench/bench_loading_strategies.pdb"
+  "CMakeFiles/bench_loading_strategies.dir/bench_loading_strategies.cpp.o"
+  "CMakeFiles/bench_loading_strategies.dir/bench_loading_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loading_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

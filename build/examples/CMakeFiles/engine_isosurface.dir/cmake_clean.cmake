@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_isosurface.dir/engine_isosurface.cpp.o"
+  "CMakeFiles/engine_isosurface.dir/engine_isosurface.cpp.o.d"
+  "engine_isosurface"
+  "engine_isosurface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_isosurface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

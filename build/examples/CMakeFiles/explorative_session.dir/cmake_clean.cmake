@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explorative_session.dir/explorative_session.cpp.o"
+  "CMakeFiles/explorative_session.dir/explorative_session.cpp.o.d"
+  "explorative_session"
+  "explorative_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explorative_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

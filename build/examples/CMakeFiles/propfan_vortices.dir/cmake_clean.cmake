@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propfan_vortices.dir/propfan_vortices.cpp.o"
+  "CMakeFiles/propfan_vortices.dir/propfan_vortices.cpp.o.d"
+  "propfan_vortices"
+  "propfan_vortices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propfan_vortices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for propfan_vortices.
+# This may be replaced when dependencies are built.

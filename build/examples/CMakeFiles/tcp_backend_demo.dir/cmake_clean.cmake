@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_backend_demo.dir/tcp_backend_demo.cpp.o"
+  "CMakeFiles/tcp_backend_demo.dir/tcp_backend_demo.cpp.o.d"
+  "tcp_backend_demo"
+  "tcp_backend_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_backend_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

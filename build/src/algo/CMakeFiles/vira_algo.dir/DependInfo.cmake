@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/block_sampler.cpp" "src/algo/CMakeFiles/vira_algo.dir/block_sampler.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/block_sampler.cpp.o.d"
+  "/root/repo/src/algo/cfd_command.cpp" "src/algo/CMakeFiles/vira_algo.dir/cfd_command.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/cfd_command.cpp.o.d"
+  "/root/repo/src/algo/extra_commands.cpp" "src/algo/CMakeFiles/vira_algo.dir/extra_commands.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/extra_commands.cpp.o.d"
+  "/root/repo/src/algo/geometry.cpp" "src/algo/CMakeFiles/vira_algo.dir/geometry.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/geometry.cpp.o.d"
+  "/root/repo/src/algo/integrator.cpp" "src/algo/CMakeFiles/vira_algo.dir/integrator.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/integrator.cpp.o.d"
+  "/root/repo/src/algo/iso_commands.cpp" "src/algo/CMakeFiles/vira_algo.dir/iso_commands.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/iso_commands.cpp.o.d"
+  "/root/repo/src/algo/isosurface.cpp" "src/algo/CMakeFiles/vira_algo.dir/isosurface.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/isosurface.cpp.o.d"
+  "/root/repo/src/algo/lambda2.cpp" "src/algo/CMakeFiles/vira_algo.dir/lambda2.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/lambda2.cpp.o.d"
+  "/root/repo/src/algo/pathline_commands.cpp" "src/algo/CMakeFiles/vira_algo.dir/pathline_commands.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/pathline_commands.cpp.o.d"
+  "/root/repo/src/algo/query_commands.cpp" "src/algo/CMakeFiles/vira_algo.dir/query_commands.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/query_commands.cpp.o.d"
+  "/root/repo/src/algo/register.cpp" "src/algo/CMakeFiles/vira_algo.dir/register.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/register.cpp.o.d"
+  "/root/repo/src/algo/streakline_commands.cpp" "src/algo/CMakeFiles/vira_algo.dir/streakline_commands.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/streakline_commands.cpp.o.d"
+  "/root/repo/src/algo/vortex_commands.cpp" "src/algo/CMakeFiles/vira_algo.dir/vortex_commands.cpp.o" "gcc" "src/algo/CMakeFiles/vira_algo.dir/vortex_commands.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vira_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/vira_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vira_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dms/CMakeFiles/vira_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

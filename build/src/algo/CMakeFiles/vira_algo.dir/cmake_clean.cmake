@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_algo.dir/block_sampler.cpp.o"
+  "CMakeFiles/vira_algo.dir/block_sampler.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/cfd_command.cpp.o"
+  "CMakeFiles/vira_algo.dir/cfd_command.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/extra_commands.cpp.o"
+  "CMakeFiles/vira_algo.dir/extra_commands.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/geometry.cpp.o"
+  "CMakeFiles/vira_algo.dir/geometry.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/integrator.cpp.o"
+  "CMakeFiles/vira_algo.dir/integrator.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/iso_commands.cpp.o"
+  "CMakeFiles/vira_algo.dir/iso_commands.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/isosurface.cpp.o"
+  "CMakeFiles/vira_algo.dir/isosurface.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/lambda2.cpp.o"
+  "CMakeFiles/vira_algo.dir/lambda2.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/pathline_commands.cpp.o"
+  "CMakeFiles/vira_algo.dir/pathline_commands.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/query_commands.cpp.o"
+  "CMakeFiles/vira_algo.dir/query_commands.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/register.cpp.o"
+  "CMakeFiles/vira_algo.dir/register.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/streakline_commands.cpp.o"
+  "CMakeFiles/vira_algo.dir/streakline_commands.cpp.o.d"
+  "CMakeFiles/vira_algo.dir/vortex_commands.cpp.o"
+  "CMakeFiles/vira_algo.dir/vortex_commands.cpp.o.d"
+  "libvira_algo.a"
+  "libvira_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

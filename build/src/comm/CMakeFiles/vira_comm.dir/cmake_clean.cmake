@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_comm.dir/client_link.cpp.o"
+  "CMakeFiles/vira_comm.dir/client_link.cpp.o.d"
+  "CMakeFiles/vira_comm.dir/communicator.cpp.o"
+  "CMakeFiles/vira_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/vira_comm.dir/transport.cpp.o"
+  "CMakeFiles/vira_comm.dir/transport.cpp.o.d"
+  "libvira_comm.a"
+  "libvira_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/vira_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/vira_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/command.cpp" "src/core/CMakeFiles/vira_core.dir/command.cpp.o" "gcc" "src/core/CMakeFiles/vira_core.dir/command.cpp.o.d"
+  "/root/repo/src/core/remote_server_api.cpp" "src/core/CMakeFiles/vira_core.dir/remote_server_api.cpp.o" "gcc" "src/core/CMakeFiles/vira_core.dir/remote_server_api.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/vira_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/vira_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/vmb_data_source.cpp" "src/core/CMakeFiles/vira_core.dir/vmb_data_source.cpp.o" "gcc" "src/core/CMakeFiles/vira_core.dir/vmb_data_source.cpp.o.d"
+  "/root/repo/src/core/worker.cpp" "src/core/CMakeFiles/vira_core.dir/worker.cpp.o" "gcc" "src/core/CMakeFiles/vira_core.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/vira_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dms/CMakeFiles/vira_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vira_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/vira_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

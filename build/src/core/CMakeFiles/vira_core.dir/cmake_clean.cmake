@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_core.dir/backend.cpp.o"
+  "CMakeFiles/vira_core.dir/backend.cpp.o.d"
+  "CMakeFiles/vira_core.dir/command.cpp.o"
+  "CMakeFiles/vira_core.dir/command.cpp.o.d"
+  "CMakeFiles/vira_core.dir/remote_server_api.cpp.o"
+  "CMakeFiles/vira_core.dir/remote_server_api.cpp.o.d"
+  "CMakeFiles/vira_core.dir/scheduler.cpp.o"
+  "CMakeFiles/vira_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vira_core.dir/vmb_data_source.cpp.o"
+  "CMakeFiles/vira_core.dir/vmb_data_source.cpp.o.d"
+  "CMakeFiles/vira_core.dir/worker.cpp.o"
+  "CMakeFiles/vira_core.dir/worker.cpp.o.d"
+  "libvira_core.a"
+  "libvira_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

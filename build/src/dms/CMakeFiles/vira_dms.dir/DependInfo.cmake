@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dms/block_cache.cpp" "src/dms/CMakeFiles/vira_dms.dir/block_cache.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/block_cache.cpp.o.d"
+  "/root/repo/src/dms/cache_policy.cpp" "src/dms/CMakeFiles/vira_dms.dir/cache_policy.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/cache_policy.cpp.o.d"
+  "/root/repo/src/dms/data_proxy.cpp" "src/dms/CMakeFiles/vira_dms.dir/data_proxy.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/data_proxy.cpp.o.d"
+  "/root/repo/src/dms/data_server.cpp" "src/dms/CMakeFiles/vira_dms.dir/data_server.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/data_server.cpp.o.d"
+  "/root/repo/src/dms/loading.cpp" "src/dms/CMakeFiles/vira_dms.dir/loading.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/loading.cpp.o.d"
+  "/root/repo/src/dms/name_service.cpp" "src/dms/CMakeFiles/vira_dms.dir/name_service.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/name_service.cpp.o.d"
+  "/root/repo/src/dms/prefetcher.cpp" "src/dms/CMakeFiles/vira_dms.dir/prefetcher.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/dms/two_tier_cache.cpp" "src/dms/CMakeFiles/vira_dms.dir/two_tier_cache.cpp.o" "gcc" "src/dms/CMakeFiles/vira_dms.dir/two_tier_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_dms.dir/block_cache.cpp.o"
+  "CMakeFiles/vira_dms.dir/block_cache.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/cache_policy.cpp.o"
+  "CMakeFiles/vira_dms.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/data_proxy.cpp.o"
+  "CMakeFiles/vira_dms.dir/data_proxy.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/data_server.cpp.o"
+  "CMakeFiles/vira_dms.dir/data_server.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/loading.cpp.o"
+  "CMakeFiles/vira_dms.dir/loading.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/name_service.cpp.o"
+  "CMakeFiles/vira_dms.dir/name_service.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/prefetcher.cpp.o"
+  "CMakeFiles/vira_dms.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/vira_dms.dir/two_tier_cache.cpp.o"
+  "CMakeFiles/vira_dms.dir/two_tier_cache.cpp.o.d"
+  "libvira_dms.a"
+  "libvira_dms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_dms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/bsp_tree.cpp" "src/grid/CMakeFiles/vira_grid.dir/bsp_tree.cpp.o" "gcc" "src/grid/CMakeFiles/vira_grid.dir/bsp_tree.cpp.o.d"
+  "/root/repo/src/grid/cell_locator.cpp" "src/grid/CMakeFiles/vira_grid.dir/cell_locator.cpp.o" "gcc" "src/grid/CMakeFiles/vira_grid.dir/cell_locator.cpp.o.d"
+  "/root/repo/src/grid/dataset_io.cpp" "src/grid/CMakeFiles/vira_grid.dir/dataset_io.cpp.o" "gcc" "src/grid/CMakeFiles/vira_grid.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/grid/structured_block.cpp" "src/grid/CMakeFiles/vira_grid.dir/structured_block.cpp.o" "gcc" "src/grid/CMakeFiles/vira_grid.dir/structured_block.cpp.o.d"
+  "/root/repo/src/grid/synthetic.cpp" "src/grid/CMakeFiles/vira_grid.dir/synthetic.cpp.o" "gcc" "src/grid/CMakeFiles/vira_grid.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/vira_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

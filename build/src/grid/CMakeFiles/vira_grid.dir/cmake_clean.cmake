@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_grid.dir/bsp_tree.cpp.o"
+  "CMakeFiles/vira_grid.dir/bsp_tree.cpp.o.d"
+  "CMakeFiles/vira_grid.dir/cell_locator.cpp.o"
+  "CMakeFiles/vira_grid.dir/cell_locator.cpp.o.d"
+  "CMakeFiles/vira_grid.dir/dataset_io.cpp.o"
+  "CMakeFiles/vira_grid.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/vira_grid.dir/structured_block.cpp.o"
+  "CMakeFiles/vira_grid.dir/structured_block.cpp.o.d"
+  "CMakeFiles/vira_grid.dir/synthetic.cpp.o"
+  "CMakeFiles/vira_grid.dir/synthetic.cpp.o.d"
+  "libvira_grid.a"
+  "libvira_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_math.dir/eigen_sym3.cpp.o"
+  "CMakeFiles/vira_math.dir/eigen_sym3.cpp.o.d"
+  "libvira_math.a"
+  "libvira_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

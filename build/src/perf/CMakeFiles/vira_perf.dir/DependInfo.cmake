@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/profile.cpp" "src/perf/CMakeFiles/vira_perf.dir/profile.cpp.o" "gcc" "src/perf/CMakeFiles/vira_perf.dir/profile.cpp.o.d"
+  "/root/repo/src/perf/replay.cpp" "src/perf/CMakeFiles/vira_perf.dir/replay.cpp.o" "gcc" "src/perf/CMakeFiles/vira_perf.dir/replay.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/perf/CMakeFiles/vira_perf.dir/report.cpp.o" "gcc" "src/perf/CMakeFiles/vira_perf.dir/report.cpp.o.d"
+  "/root/repo/src/perf/testbed.cpp" "src/perf/CMakeFiles/vira_perf.dir/testbed.cpp.o" "gcc" "src/perf/CMakeFiles/vira_perf.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/vira_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dms/CMakeFiles/vira_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vira_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vira_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vira_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/vira_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vira_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

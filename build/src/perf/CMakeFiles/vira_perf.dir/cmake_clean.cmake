@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_perf.dir/profile.cpp.o"
+  "CMakeFiles/vira_perf.dir/profile.cpp.o.d"
+  "CMakeFiles/vira_perf.dir/replay.cpp.o"
+  "CMakeFiles/vira_perf.dir/replay.cpp.o.d"
+  "CMakeFiles/vira_perf.dir/report.cpp.o"
+  "CMakeFiles/vira_perf.dir/report.cpp.o.d"
+  "CMakeFiles/vira_perf.dir/testbed.cpp.o"
+  "CMakeFiles/vira_perf.dir/testbed.cpp.o.d"
+  "libvira_perf.a"
+  "libvira_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

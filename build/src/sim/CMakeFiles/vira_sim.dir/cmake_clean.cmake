@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_sim.dir/engine.cpp.o"
+  "CMakeFiles/vira_sim.dir/engine.cpp.o.d"
+  "libvira_sim.a"
+  "libvira_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

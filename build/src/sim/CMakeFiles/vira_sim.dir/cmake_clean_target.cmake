@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvira_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cpp" "src/util/CMakeFiles/vira_util.dir/byte_buffer.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/util/compression.cpp" "src/util/CMakeFiles/vira_util.dir/compression.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/compression.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/vira_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/param_list.cpp" "src/util/CMakeFiles/vira_util.dir/param_list.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/param_list.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/vira_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/util/CMakeFiles/vira_util.dir/string_util.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/string_util.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/util/CMakeFiles/vira_util.dir/timer.cpp.o" "gcc" "src/util/CMakeFiles/vira_util.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

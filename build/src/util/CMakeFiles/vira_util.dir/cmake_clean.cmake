@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/vira_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/vira_util.dir/compression.cpp.o"
+  "CMakeFiles/vira_util.dir/compression.cpp.o.d"
+  "CMakeFiles/vira_util.dir/log.cpp.o"
+  "CMakeFiles/vira_util.dir/log.cpp.o.d"
+  "CMakeFiles/vira_util.dir/param_list.cpp.o"
+  "CMakeFiles/vira_util.dir/param_list.cpp.o.d"
+  "CMakeFiles/vira_util.dir/stats.cpp.o"
+  "CMakeFiles/vira_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vira_util.dir/string_util.cpp.o"
+  "CMakeFiles/vira_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/vira_util.dir/timer.cpp.o"
+  "CMakeFiles/vira_util.dir/timer.cpp.o.d"
+  "libvira_util.a"
+  "libvira_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vira_viz.dir/session.cpp.o"
+  "CMakeFiles/vira_viz.dir/session.cpp.o.d"
+  "libvira_viz.a"
+  "libvira_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vira_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

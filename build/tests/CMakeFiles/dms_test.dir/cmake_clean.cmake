@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dms_test.dir/dms_test.cpp.o"
+  "CMakeFiles/dms_test.dir/dms_test.cpp.o.d"
+  "dms_test"
+  "dms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(math_test "/root/repo/build/tests/math_test")
+set_tests_properties(math_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(grid_test "/root/repo/build/tests/grid_test")
+set_tests_properties(grid_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(comm_test "/root/repo/build/tests/comm_test")
+set_tests_properties(comm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dms_test "/root/repo/build/tests/dms_test")
+set_tests_properties(dms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;22;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;25;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(algo_test "/root/repo/build/tests/algo_test")
+set_tests_properties(algo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;28;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(commands_test "/root/repo/build/tests/commands_test")
+set_tests_properties(commands_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;31;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(perf_test "/root/repo/build/tests/perf_test")
+set_tests_properties(perf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;34;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compression_test "/root/repo/build/tests/compression_test")
+set_tests_properties(compression_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;37;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(viz_test "/root/repo/build/tests/viz_test")
+set_tests_properties(viz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;40;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;43;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tools_test "/root/repo/build/tests/tools_test")
+set_tests_properties(tools_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;46;vira_add_test;/root/repo/tests/CMakeLists.txt;0;")

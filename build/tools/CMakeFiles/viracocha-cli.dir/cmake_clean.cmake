@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viracocha-cli.dir/viracocha_cli.cpp.o"
+  "CMakeFiles/viracocha-cli.dir/viracocha_cli.cpp.o.d"
+  "viracocha-cli"
+  "viracocha-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viracocha-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viracocha-server.dir/viracocha_server.cpp.o"
+  "CMakeFiles/viracocha-server.dir/viracocha_server.cpp.o.d"
+  "viracocha-server"
+  "viracocha-server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viracocha-server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
