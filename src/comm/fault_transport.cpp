@@ -1,0 +1,166 @@
+#include "comm/fault_transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace vira::comm {
+
+FaultInjectingTransport::FaultInjectingTransport(std::shared_ptr<Transport> inner,
+                                                 FaultInjectionConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultInjectingTransport: inner transport required");
+  }
+  if (config_.drop_rate < 0.0 || config_.drop_rate > 1.0 || config_.duplicate_rate < 0.0 ||
+      config_.duplicate_rate > 1.0 || config_.delay_rate < 0.0 || config_.delay_rate > 1.0) {
+    throw std::invalid_argument("FaultInjectingTransport: rates must be in [0, 1]");
+  }
+}
+
+FaultInjectingTransport::~FaultInjectingTransport() {
+  stopping_ = true;
+  delay_cv_.notify_all();
+  if (delay_thread_.joinable()) {
+    delay_thread_.join();
+  }
+}
+
+void FaultInjectingTransport::send(int dest, Message msg) {
+  bool duplicate = false;
+  std::chrono::milliseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_.count(dest) > 0 || dead_.count(msg.source) > 0) {
+      ++stats_.suppressed_dead;
+      return;
+    }
+    if (faults_possible()) {
+      if (config_.drop_rate > 0.0 && rng_.next_double() < config_.drop_rate) {
+        ++stats_.dropped;
+        return;
+      }
+      if (config_.duplicate_rate > 0.0 && rng_.next_double() < config_.duplicate_rate) {
+        ++stats_.duplicated;
+        duplicate = true;
+      }
+      if (config_.delay_rate > 0.0 && rng_.next_double() < config_.delay_rate) {
+        ++stats_.delayed;
+        const auto span = std::max<std::int64_t>(1, config_.max_delay.count());
+        delay = std::chrono::milliseconds(
+            1 + static_cast<std::int64_t>(rng_.next_below(static_cast<std::uint64_t>(span))));
+      }
+    }
+    ++stats_.forwarded;
+  }
+  if (duplicate) {
+    Message copy = msg;
+    if (delay.count() > 0) {
+      deliver_later(dest, std::move(copy), delay);
+    } else {
+      inner_->send(dest, std::move(copy));
+    }
+  }
+  if (delay.count() > 0) {
+    deliver_later(dest, std::move(msg), delay);
+  } else {
+    inner_->send(dest, std::move(msg));
+  }
+}
+
+std::optional<Message> FaultInjectingTransport::recv(int self, std::chrono::milliseconds timeout) {
+  auto msg = inner_->recv(self, timeout);
+  if (!msg) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_.count(self) > 0 || dead_.count(msg->source) > 0) {
+    // A crashed rank reads nothing; mail from a crashed rank (queued before
+    // the crash) is discarded, like an undelivered socket buffer.
+    ++stats_.suppressed_dead;
+    return std::nullopt;
+  }
+  return msg;
+}
+
+void FaultInjectingTransport::shutdown() {
+  stopping_ = true;
+  delay_cv_.notify_all();
+  inner_->shutdown();
+}
+
+void FaultInjectingTransport::kill_rank(int rank) {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("FaultInjectingTransport::kill_rank: bad rank");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dead_.insert(rank);
+  }
+  VIRA_WARN("fault") << "rank " << rank << " killed (delivery suppressed)";
+}
+
+bool FaultInjectingTransport::is_dead(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_.count(rank) > 0;
+}
+
+std::size_t FaultInjectingTransport::dead_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_.size();
+}
+
+FaultInjectionStats FaultInjectingTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FaultInjectingTransport::deliver_later(int dest, Message msg,
+                                            std::chrono::milliseconds delay) {
+  {
+    std::lock_guard<std::mutex> lock(delay_mutex_);
+    delayed_.push_back({std::chrono::steady_clock::now() + delay, dest, std::move(msg)});
+    if (!delay_thread_running_.exchange(true)) {
+      delay_thread_ = std::thread([this] { delay_loop(); });
+    }
+  }
+  delay_cv_.notify_one();
+}
+
+void FaultInjectingTransport::delay_loop() {
+  std::unique_lock<std::mutex> lock(delay_mutex_);
+  while (!stopping_) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock, [&] { return stopping_ || !delayed_.empty(); });
+      continue;
+    }
+    auto earliest = std::min_element(
+        delayed_.begin(), delayed_.end(),
+        [](const Delayed& a, const Delayed& b) { return a.due < b.due; });
+    const auto now = std::chrono::steady_clock::now();
+    if (earliest->due > now) {
+      delay_cv_.wait_until(lock, earliest->due);
+      continue;
+    }
+    Delayed item = std::move(*earliest);
+    delayed_.erase(earliest);
+    lock.unlock();
+    // Re-check the death list at delivery time: the destination (or sender)
+    // may have been killed while the message was in flight.
+    bool suppressed = false;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (dead_.count(item.dest) > 0 || dead_.count(item.msg.source) > 0) {
+        ++stats_.suppressed_dead;
+        suppressed = true;
+      }
+    }
+    if (!suppressed && !inner_->is_shut_down()) {
+      inner_->send(item.dest, std::move(item.msg));
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace vira::comm

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file fault_transport.hpp
+/// Fault-injecting Transport decorator (failure-model test harness).
+///
+/// Wraps any Transport and, driven by a seeded util::Rng, perturbs the
+/// message flow the way flaky interconnects and dying nodes do in the
+/// remote/distributed visualization deployments that followed Viracocha:
+///
+///   * drop      — the message silently never arrives,
+///   * duplicate — the message is delivered twice,
+///   * delay     — the message is held back by a background thread and
+///                 delivered late (breaking FIFO, as reordering networks do),
+///   * kill_rank — a rank "crashes": nothing is delivered to or from it any
+///                 more, mid-request, until global shutdown.
+///
+/// With all rates at zero and no killed ranks the decorator is a strict
+/// pass-through — zero behavior change — so the same test suite can run
+/// with and without faults. All methods are thread-safe (the wrapped
+/// Transport already must be).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "util/rng.hpp"
+
+namespace vira::comm {
+
+/// Probabilities are per message, evaluated independently in the order
+/// drop → duplicate → delay.
+struct FaultInjectionConfig {
+  std::uint64_t seed = 0x5eedULL;
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  /// Delayed messages are held a uniform [1, max_delay] ms.
+  std::chrono::milliseconds max_delay{5};
+};
+
+/// Counters of everything the injector did (for benches and assertions).
+struct FaultInjectionStats {
+  std::uint64_t forwarded = 0;   ///< messages passed through unharmed
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t suppressed_dead = 0;  ///< messages to/from killed ranks
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::shared_ptr<Transport> inner, FaultInjectionConfig config);
+  ~FaultInjectingTransport() override;
+
+  int size() const override { return inner_->size(); }
+  void send(int dest, Message msg) override;
+  std::optional<Message> recv(int self, std::chrono::milliseconds timeout) override;
+  void shutdown() override;
+  bool is_shut_down() const override { return inner_->is_shut_down(); }
+
+  /// Simulates a crash of `rank`: from now on nothing is delivered to or
+  /// from it. Irreversible (a crashed process does not come back).
+  void kill_rank(int rank);
+  bool is_dead(int rank) const;
+  std::size_t dead_count() const;
+
+  FaultInjectionStats stats() const;
+
+ private:
+  bool faults_possible() const {
+    return config_.drop_rate > 0.0 || config_.duplicate_rate > 0.0 || config_.delay_rate > 0.0;
+  }
+  void deliver_later(int dest, Message msg, std::chrono::milliseconds delay);
+  void delay_loop();
+
+  std::shared_ptr<Transport> inner_;
+  FaultInjectionConfig config_;
+
+  mutable std::mutex mutex_;  ///< guards rng_, dead_, stats_
+  util::Rng rng_;
+  std::set<int> dead_;
+  FaultInjectionStats stats_;
+
+  /// Delayed-delivery machinery (started lazily on the first delay).
+  struct Delayed {
+    std::chrono::steady_clock::time_point due;
+    int dest;
+    Message msg;
+  };
+  std::mutex delay_mutex_;
+  std::condition_variable delay_cv_;
+  std::vector<Delayed> delayed_;  ///< unsorted; the loop scans for the earliest
+  std::thread delay_thread_;
+  std::atomic<bool> delay_thread_running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace vira::comm

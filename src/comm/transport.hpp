@@ -9,6 +9,9 @@
 /// collectives rely on. Implementations: InProcTransport (threads sharing
 /// mailboxes — the role MPI played on the paper's shared-memory SUN Fire)
 /// and, for the client link, the framed stream in `client_link.hpp`.
+/// Decorators may weaken the guarantees deliberately: FaultInjectingTransport
+/// (fault_transport.hpp) drops/delays/duplicates messages and crashes ranks
+/// to exercise the runtime's failure model (DESIGN.md "Failure model").
 
 #include <chrono>
 #include <memory>

@@ -13,6 +13,12 @@ Backend::Backend(BackendConfig config) : config_(std::move(config)) {
   }
 
   transport_ = std::make_shared<comm::InProcTransport>(config_.workers + 1);
+  std::shared_ptr<comm::Transport> rank_transport = transport_;
+  if (config_.fault_injection) {
+    fault_transport_ =
+        std::make_shared<comm::FaultInjectingTransport>(transport_, *config_.fault_injection);
+    rank_transport = fault_transport_;
+  }
   source_ = std::make_shared<VmbDataSource>();
   source_->set_read_delay_us_per_mb(config_.read_delay_us_per_mb);
   data_server_ = std::make_shared<dms::DataServer>(config_.environment);
@@ -21,7 +27,7 @@ Backend::Backend(BackendConfig config) : config_(std::move(config)) {
   // between the worker loop and the proxy's prefetch thread.
   std::vector<std::shared_ptr<comm::Communicator>> worker_comms;
   for (int index = 0; index < config_.workers; ++index) {
-    worker_comms.push_back(std::make_shared<comm::Communicator>(transport_, index + 1));
+    worker_comms.push_back(std::make_shared<comm::Communicator>(rank_transport, index + 1));
   }
 
   // One proxy per worker node (paper Fig. 3).
@@ -60,14 +66,14 @@ Backend::Backend(BackendConfig config) : config_(std::move(config)) {
     });
   }
 
-  scheduler_ = std::make_unique<Scheduler>(transport_, config_.workers);
+  scheduler_ = std::make_unique<Scheduler>(rank_transport, config_.workers, config_.scheduler);
   if (config_.dms_over_messages) {
     scheduler_->set_data_server(data_server_);
   }
   for (int index = 0; index < config_.workers; ++index) {
     workers_.push_back(std::make_unique<Worker>(worker_comms[static_cast<std::size_t>(index)],
                                                 proxies_[index], source_,
-                                                &CommandRegistry::global()));
+                                                &CommandRegistry::global(), config_.worker));
   }
 
   scheduler_thread_ = std::thread([this] { scheduler_->run(); });
@@ -121,12 +127,19 @@ void Backend::shutdown() {
   if (scheduler_thread_.joinable()) {
     scheduler_thread_.join();
   }
+  // Close the transport BEFORE joining workers: a rank "killed" by the
+  // fault harness can never receive the orderly kTagShutdown (delivery to
+  // it is suppressed), so its service loop only exits via TransportClosed.
+  if (fault_transport_) {
+    fault_transport_->shutdown();  // forwards to the inner transport
+  } else {
+    transport_->shutdown();
+  }
   for (auto& thread : worker_threads_) {
     if (thread.joinable()) {
       thread.join();
     }
   }
-  transport_->shutdown();
   // Drain every proxy's prefetch pipeline BEFORE members destruct: an
   // in-flight speculative load may peer-peek into a sibling proxy's cache,
   // and the proxies_ vector destroys siblings one by one.
@@ -153,6 +166,9 @@ dms::DmsCounters Backend::dms_counters() const {
     total.prefetch_useful += counters.prefetch_useful;
     total.evictions_l1 += counters.evictions_l1;
     total.evictions_l2 += counters.evictions_l2;
+    total.l2_respills += counters.l2_respills;
+    total.demotions_dropped_oversize += counters.demotions_dropped_oversize;
+    total.demotions_dropped_io += counters.demotions_dropped_io;
     total.bytes_loaded += counters.bytes_loaded;
     total.load_seconds += counters.load_seconds;
   }

@@ -12,10 +12,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "comm/client_link.hpp"
+#include "comm/fault_transport.hpp"
 #include "core/scheduler.hpp"
 #include "core/worker.hpp"
 #include "dms/data_server.hpp"
@@ -45,6 +47,15 @@ struct BackendConfig {
   /// communication for every load operation", Sec. 4.3). false = direct
   /// calls (single-process wiring).
   bool dms_over_messages = false;
+
+  /// Liveness / recovery policy (DESIGN.md "Failure model").
+  WorkerConfig worker;
+  SchedulerConfig scheduler;
+
+  /// When set, the rank transport is wrapped in a FaultInjectingTransport
+  /// (drops / duplicates / delays / rank kills) — the failure-model test
+  /// harness. Unset = the plain transport, zero overhead.
+  std::optional<comm::FaultInjectionConfig> fault_injection;
 };
 
 class Backend {
@@ -70,6 +81,8 @@ class Backend {
   dms::DataServer& data_server() { return *data_server_; }
   dms::DataProxy& worker_proxy(int index) { return *proxies_.at(static_cast<std::size_t>(index)); }
   Scheduler& scheduler() { return *scheduler_; }
+  /// The injection harness, or nullptr when fault_injection was not set.
+  comm::FaultInjectingTransport* fault_transport() { return fault_transport_.get(); }
 
   /// Drops every proxy's cache (cold-start switch).
   void clear_caches();
@@ -80,6 +93,7 @@ class Backend {
  private:
   BackendConfig config_;
   std::shared_ptr<comm::InProcTransport> transport_;
+  std::shared_ptr<comm::FaultInjectingTransport> fault_transport_;
   std::shared_ptr<VmbDataSource> source_;
   std::shared_ptr<dms::DataServer> data_server_;
   std::vector<std::shared_ptr<dms::DataProxy>> proxies_;

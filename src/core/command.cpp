@@ -49,6 +49,26 @@ const grid::DatasetMeta& CommandContext::dataset_meta(const std::string& dir) {
   return hooks_.dataset_meta(dir);
 }
 
+bool CommandContext::aborted() const { return hooks_.should_abort && hooks_.should_abort(); }
+
+void CommandContext::check_abort() const {
+  if (aborted()) {
+    throw CommandAborted();
+  }
+}
+
+comm::Message CommandContext::recv_abortable(int source, int tag) {
+  // Bounded waits so an abandoned attempt notices the abort within one
+  // slice instead of blocking forever on a dead peer.
+  constexpr auto kAbortSlice = std::chrono::milliseconds(20);
+  while (true) {
+    if (auto msg = comm_->try_recv(source, tag, kAbortSlice)) {
+      return std::move(*msg);
+    }
+    check_abort();
+  }
+}
+
 std::vector<util::ByteBuffer> CommandContext::gather_at_master(util::ByteBuffer part) {
   // Group-internal gather over point-to-point messages; the tag encodes the
   // request so packets of concurrent commands cannot mix.
@@ -68,7 +88,7 @@ std::vector<util::ByteBuffer> CommandContext::gather_at_master(util::ByteBuffer 
     if (rank == comm_->rank()) {
       parts[member] = std::move(part);
     } else {
-      parts[member] = comm_->recv(rank, tag).payload;
+      parts[member] = recv_abortable(rank, tag).payload;
     }
   }
   return parts;
@@ -82,7 +102,7 @@ void CommandContext::group_barrier() {
   if (comm_->rank() == master_rank_) {
     for (const int rank : group_ranks_) {
       if (rank != master_rank_) {
-        (void)comm_->recv(rank, tag);
+        (void)recv_abortable(rank, tag);
       }
     }
     for (const int rank : group_ranks_) {
@@ -92,7 +112,7 @@ void CommandContext::group_barrier() {
     }
   } else {
     comm_->send(master_rank_, tag, {});
-    (void)comm_->recv(master_rank_, tag);
+    (void)recv_abortable(master_rank_, tag);
   }
 }
 

@@ -35,6 +35,16 @@ inline constexpr const char* kPhaseCompute = "compute";
 inline constexpr const char* kPhaseRead = "read";
 inline constexpr const char* kPhaseSend = "send";
 
+/// Thrown out of CommandContext collectives (and check_abort()) when the
+/// scheduler has abandoned this execution attempt — typically because a
+/// group member died and the request is being re-dispatched to a re-formed
+/// group. Workers treat it like any command failure: report done
+/// (unsuccessfully) and return to the pool.
+class CommandAborted : public std::runtime_error {
+ public:
+  CommandAborted() : std::runtime_error("command aborted: work group abandoned") {}
+};
+
 class CommandContext {
  public:
   /// Hooks the runtime injects; commands never see the scheduler directly.
@@ -43,6 +53,10 @@ class CommandContext {
     std::function<void(util::ByteBuffer result)> send_final;  ///< master only
     std::function<void(double fraction)> report_progress;
     std::function<const grid::DatasetMeta&(const std::string& dir)> dataset_meta;
+    /// Polled inside blocking collectives (and by check_abort()): true once
+    /// the scheduler has abandoned this attempt, so a worker stuck waiting
+    /// on a dead peer unblocks instead of hanging forever.
+    std::function<bool()> should_abort;
   };
 
   CommandContext(std::uint64_t request_id, const util::ParamList& params,
@@ -84,10 +98,19 @@ class CommandContext {
   void send_final(util::ByteBuffer result);
   void report_progress(double fraction);
 
+  /// --- failure handling -----------------------------------------------------
+  /// True once the scheduler has abandoned this execution attempt.
+  bool aborted() const;
+  /// Throws CommandAborted if aborted(); long compute loops should call this
+  /// between blocks so abandoned attempts stop burning the worker.
+  void check_abort() const;
+
   /// --- accounting ----------------------------------------------------------
   util::PhaseTimer& phases() { return phases_; }
 
  private:
+  /// recv that polls the abort hook between bounded waits.
+  comm::Message recv_abortable(int source, int tag);
   std::uint64_t request_id_;
   const util::ParamList& params_;
   comm::Communicator* comm_;

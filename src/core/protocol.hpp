@@ -26,6 +26,7 @@ enum ClientTag : int {
   kTagComplete = 12,  ///< scheduler → client: CommandStats, command finished
   kTagError = 13,     ///< scheduler → client: error text
   kTagProgress = 14,  ///< scheduler → client: fraction in [0,1]
+  kTagDegraded = 15,  ///< scheduler → client: request degraded (retry count)
 };
 
 /// Rank transport tags (scheduler ↔ workers). User commands use tags >= 0
@@ -38,6 +39,28 @@ enum WorkerTag : int {
   kTagWorkerError = 1004, ///< worker → scheduler: error text
   kTagShutdown = 1005,    ///< scheduler → worker: exit the loop
   kTagProgressUp = 1006,  ///< worker → scheduler: progress fraction
+  kTagHeartbeat = 1007,   ///< worker → scheduler: Heartbeat (liveness)
+  kTagGroupAbort = 1008,  ///< scheduler → worker: abandon the named request
+};
+
+/// Periodic worker → scheduler liveness beacon. Sent from a dedicated
+/// thread so a worker deep inside a long command still proves it is alive;
+/// `current_request` (0 = idle) lets the scheduler detect lost execute
+/// orders and lost done reports, not just dead processes.
+struct Heartbeat {
+  std::int32_t rank = -1;
+  std::uint64_t current_request = 0;  ///< internal id being executed, 0 = idle
+
+  void serialize(util::ByteBuffer& out) const {
+    out.write<std::int32_t>(rank);
+    out.write<std::uint64_t>(current_request);
+  }
+  static Heartbeat deserialize(util::ByteBuffer& in) {
+    Heartbeat beat;
+    beat.rank = in.read<std::int32_t>();
+    beat.current_request = in.read<std::uint64_t>();
+    return beat;
+  }
 };
 
 /// A client's command submission.
@@ -132,7 +155,13 @@ struct CommandStats {
   std::uint64_t partial_packets = 0;
   std::uint64_t result_bytes = 0;
   int workers = 0;
+  /// Times the scheduler re-formed the work group after a member was lost
+  /// (worker death, lost order, lost report). > 0 means the request ran
+  /// degraded but the client still saw every fragment exactly once.
+  std::uint32_t retries = 0;
   std::map<std::string, double> phase_seconds;  ///< summed over workers
+
+  bool degraded() const { return retries > 0; }
 
   void serialize(util::ByteBuffer& out) const {
     out.write<std::uint64_t>(request_id);
@@ -143,6 +172,7 @@ struct CommandStats {
     out.write<std::uint64_t>(partial_packets);
     out.write<std::uint64_t>(result_bytes);
     out.write<std::int32_t>(workers);
+    out.write<std::uint32_t>(retries);
     out.write<std::uint32_t>(static_cast<std::uint32_t>(phase_seconds.size()));
     for (const auto& [phase, seconds] : phase_seconds) {
       out.write_string(phase);
@@ -159,6 +189,7 @@ struct CommandStats {
     stats.partial_packets = in.read<std::uint64_t>();
     stats.result_bytes = in.read<std::uint64_t>();
     stats.workers = in.read<std::int32_t>();
+    stats.retries = in.read<std::uint32_t>();
     const auto count = in.read<std::uint32_t>();
     for (std::uint32_t n = 0; n < count; ++n) {
       std::string phase = in.read_string();
@@ -169,21 +200,26 @@ struct CommandStats {
 };
 
 /// Fragment header prepended to every streamed / final payload so the
-/// client can route by request.
+/// client can route by request. `partition` is the producing worker's rank
+/// WITHIN its work group (its partition index), not its global rank: a
+/// retried attempt re-forms the group from different physical ranks, but
+/// partition k always recomputes the same share of the data, so
+/// (request, partition, sequence) is a stable fragment identity the
+/// scheduler uses to deduplicate retried deliveries.
 struct FragmentHeader {
   std::uint64_t request_id = 0;
-  std::int32_t worker_rank = -1;
+  std::int32_t partition = -1;
   std::uint32_t sequence = 0;
 
   void serialize(util::ByteBuffer& out) const {
     out.write<std::uint64_t>(request_id);
-    out.write<std::int32_t>(worker_rank);
+    out.write<std::int32_t>(partition);
     out.write<std::uint32_t>(sequence);
   }
   static FragmentHeader deserialize(util::ByteBuffer& in) {
     FragmentHeader header;
     header.request_id = in.read<std::uint64_t>();
-    header.worker_rank = in.read<std::int32_t>();
+    header.partition = in.read<std::int32_t>();
     header.sequence = in.read<std::uint32_t>();
     return header;
   }

@@ -1,5 +1,6 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "core/remote_server_api.hpp"
@@ -10,12 +11,24 @@ namespace vira::core {
 
 namespace {
 constexpr auto kPollSlice = std::chrono::milliseconds(2);
-}
 
-Scheduler::Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count)
-    : comm_(std::move(transport), 0), worker_count_(worker_count) {
+/// Stable fragment identity within one logical request: partition index in
+/// the high half, per-partition sequence in the low half. Partition indices
+/// survive work-group re-formation (see FragmentHeader), so this key makes
+/// retried deliveries — and transport-level duplicates — idempotent.
+std::uint64_t fragment_key(const FragmentHeader& header) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(header.partition)) << 32) |
+         header.sequence;
+}
+}  // namespace
+
+Scheduler::Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count,
+                     SchedulerConfig config)
+    : comm_(std::move(transport), 0), worker_count_(worker_count), config_(config) {
+  const auto now = Clock::now();
   for (int rank = 1; rank <= worker_count_; ++rank) {
     free_.insert(rank);
+    last_seen_[rank] = now;
   }
 }
 
@@ -54,13 +67,23 @@ void Scheduler::send_to_client(std::size_t client, int tag, util::ByteBuffer pay
 
 void Scheduler::run() {
   running_ = true;
+  {
+    // Workers have had no chance to speak yet; restart the death clocks so
+    // construction-to-run delay cannot count against them.
+    const auto now = Clock::now();
+    for (int rank = 1; rank <= worker_count_; ++rank) {
+      last_seen_[rank] = now;
+    }
+  }
   VIRA_INFO("scheduler") << "serving " << worker_count_ << " workers";
   while (running_) {
     poll_clients();
     poll_workers();
+    check_liveness();
     dispatch_pending();
   }
-  // Orderly worker shutdown.
+  // Orderly worker shutdown (dead ranks included: the message is cheap and
+  // a wrongly-declared-dead worker still deserves to exit).
   for (int rank = 1; rank <= worker_count_; ++rank) {
     comm_.send(rank, kTagShutdown, {});
   }
@@ -103,7 +126,10 @@ void Scheduler::poll_clients() {
         auto request = CommandRequest::deserialize(msg->payload);
         VIRA_DEBUG("scheduler") << "client " << client << " submits request "
                                 << request.request_id << " (" << request.command << ")";
-        pending_.emplace_back(std::move(request), client);
+        PendingRequest entry;
+        entry.request = std::move(request);
+        entry.client = client;
+        pending_.push_back(std::move(entry));
         break;
       }
       case kTagCancel: {
@@ -120,7 +146,7 @@ void Scheduler::poll_clients() {
           }
         } else {
           for (auto qit = pending_.begin(); qit != pending_.end(); ++qit) {
-            if (qit->second == client && qit->first.request_id == client_request) {
+            if (qit->client == client && qit->request.request_id == client_request) {
               pending_.erase(qit);
               break;
             }
@@ -144,6 +170,9 @@ void Scheduler::poll_workers() {
     if (!msg) {
       return;
     }
+    if (msg->source >= 1 && msg->source <= worker_count_) {
+      last_seen_[msg->source] = Clock::now();
+    }
     switch (msg->tag) {
       case kTagStream:
         handle_stream(*msg, /*final=*/false);
@@ -160,6 +189,9 @@ void Scheduler::poll_workers() {
       case kTagProgressUp:
         handle_progress(*msg);
         break;
+      case kTagHeartbeat:
+        handle_heartbeat(*msg);
+        break;
       case kTagDmsRequest:
       case kTagDmsNotify:
         if (data_server_) {
@@ -175,6 +207,12 @@ void Scheduler::poll_workers() {
   }
 }
 
+void Scheduler::handle_heartbeat(comm::Message& msg) {
+  const auto beat = Heartbeat::deserialize(msg.payload);
+  last_heartbeat_[msg.source] = Clock::now();
+  reported_request_[msg.source] = beat.current_request;
+}
+
 void Scheduler::handle_stream(comm::Message& msg, bool final) {
   // Peek the (internal) request id without consuming the payload.
   const std::size_t rewind = msg.payload.read_pos();
@@ -183,14 +221,21 @@ void Scheduler::handle_stream(comm::Message& msg, bool final) {
 
   auto it = groups_.find(header.request_id);
   if (it == groups_.end()) {
-    return;  // stale fragment of a finished/cancelled request
+    return;  // stale fragment of a finished/cancelled/abandoned request
   }
   Group& group = it->second;
   if (group.cancelled) {
     return;
   }
+  // Exactly-once forwarding: a retried attempt recomputes fragments the
+  // previous attempt already delivered, and a faulty transport may duplicate
+  // messages outright. (partition, sequence) identifies a fragment across
+  // attempts; the set travels with the request through retries.
+  if (!group.seen_fragments.insert(fragment_key(header)).second) {
+    return;
+  }
   if (group.first_packet_seconds < 0.0) {
-    group.first_packet_seconds = group.timer.seconds();
+    group.first_packet_seconds = group.total_seconds();
   }
   if (final) {
     group.result_bytes += msg.payload.size();
@@ -208,11 +253,17 @@ void Scheduler::handle_done(comm::Message& msg) {
   auto report = WorkerReport::deserialize(msg.payload);
   auto it = groups_.find(report.request_id);
   if (it == groups_.end()) {
-    VIRA_WARN("scheduler") << "done report for unknown request " << report.request_id;
-    free_.insert(report.rank);
+    // Straggler of an abandoned attempt (or a report that outlived its
+    // group): the worker is idle again either way.
+    VIRA_DEBUG("scheduler") << "done report for unknown request " << report.request_id
+                            << " from rank " << report.rank;
+    if (!dead_.count(report.rank)) {
+      free_.insert(report.rank);
+    }
     return;
   }
   Group& group = it->second;
+  group.done_ranks.insert(report.rank);
   if (!report.success) {
     group.failed = true;
     if (group.error.empty()) {
@@ -222,7 +273,9 @@ void Scheduler::handle_done(comm::Message& msg) {
   for (const auto& [phase, seconds] : report.phase_seconds) {
     group.phase_seconds[phase] += seconds;
   }
-  free_.insert(report.rank);
+  if (!dead_.count(report.rank)) {
+    free_.insert(report.rank);
+  }
   if (--group.pending == 0) {
     finish_group(report.request_id);
   }
@@ -250,6 +303,173 @@ void Scheduler::handle_progress(comm::Message& msg) {
   send_to_client(it->second.client, kTagProgress, std::move(payload));
 }
 
+void Scheduler::check_liveness() {
+  if (!config_.liveness) {
+    return;
+  }
+  const auto now = Clock::now();
+
+  // (1) Rank death: nothing heard for death_timeout. Heartbeats flow every
+  // few tens of milliseconds from a dedicated worker thread, so a silent
+  // rank is dead (killed, wedged, or unreachable), not merely busy.
+  for (int rank = 1; rank <= worker_count_; ++rank) {
+    if (dead_.count(rank)) {
+      continue;
+    }
+    if (now - last_seen_[rank] > config_.death_timeout) {
+      dead_.insert(rank);
+      free_.erase(rank);
+      lost_workers_.fetch_add(1);
+      VIRA_WARN("scheduler") << "worker rank " << rank << " declared dead (silent for "
+                             << config_.death_timeout.count() << "ms); "
+                             << (worker_count_ - dead_.size()) << " workers remain";
+    }
+  }
+
+  // (2) Per-group health. A group is unrecoverable in place when a member
+  // is dead, or when a member's recent heartbeats name a different request
+  // (its execute order or its done report was lost in transit).
+  std::vector<std::pair<std::uint64_t, std::string>> to_recover;
+  for (auto& [internal_id, group] : groups_) {
+    std::string reason;
+    for (const int rank : group.ranks) {
+      if (group.done_ranks.count(rank)) {
+        continue;
+      }
+      if (dead_.count(rank)) {
+        reason = "member rank " + std::to_string(rank) + " died";
+        break;
+      }
+      const auto beat = last_heartbeat_.find(rank);
+      if (beat != last_heartbeat_.end() &&
+          beat->second > group.dispatched_at + config_.idle_grace &&
+          reported_request_[rank] != internal_id) {
+        reason = "member rank " + std::to_string(rank) + " is not executing the request";
+        break;
+      }
+    }
+    if (reason.empty() && config_.request_timeout.count() > 0 &&
+        now - group.dispatched_at > config_.request_timeout) {
+      reason = "attempt exceeded request_timeout";
+    }
+    if (!reason.empty()) {
+      to_recover.emplace_back(internal_id, std::move(reason));
+    }
+  }
+  for (auto& [internal_id, reason] : to_recover) {
+    recover_group(internal_id, reason);
+  }
+}
+
+void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reason) {
+  auto it = groups_.find(internal_id);
+  if (it == groups_.end()) {
+    return;
+  }
+  Group& group = it->second;
+  VIRA_WARN("scheduler") << "abandoning attempt " << group.attempt + 1 << " of request "
+                         << group.request.request_id << " (client " << group.client
+                         << "): " << reason;
+
+  // Unstick the survivors: an alive member may be blocked in a collective
+  // on the lost one. The abort flag makes its next bounded wait throw
+  // CommandAborted; its done report then arrives for an unknown request and
+  // frees it. Members whose heartbeats already say they are NOT executing
+  // this request (lost order / already finished) return to the pool now —
+  // no done report is coming from them.
+  for (const int rank : group.ranks) {
+    if (group.done_ranks.count(rank) || dead_.count(rank)) {
+      continue;
+    }
+    util::ByteBuffer abort_payload;
+    abort_payload.write<std::uint64_t>(internal_id);
+    comm_.send(rank, kTagGroupAbort, std::move(abort_payload));
+    const auto beat = last_heartbeat_.find(rank);
+    if (beat != last_heartbeat_.end() &&
+        beat->second > group.dispatched_at + config_.idle_grace &&
+        reported_request_[rank] != internal_id) {
+      free_.insert(rank);
+    }
+  }
+
+  by_client_.erase(std::make_pair(group.client, group.request.request_id));
+
+  if (group.cancelled) {
+    // The client walked away from this request already; don't spend a
+    // retry on it, just close it out.
+    group.failed = true;
+    group.error = "request cancelled; " + reason;
+    CommandStats stats;
+    stats.request_id = group.request.request_id;
+    stats.success = false;
+    stats.error = group.error;
+    stats.total_runtime = group.total_seconds();
+    stats.retries = static_cast<std::uint32_t>(group.attempt);
+    util::ByteBuffer payload;
+    stats.serialize(payload);
+    send_to_client(group.client, kTagComplete, std::move(payload));
+    groups_.erase(it);
+    return;
+  }
+
+  if (group.attempt >= config_.max_retries) {
+    group.failed = true;
+    group.error = "request failed after " + std::to_string(group.attempt + 1) +
+                  " attempts: " + reason;
+    // finish_group needs pending bookkeeping ignored; report directly.
+    CommandStats stats;
+    stats.request_id = group.request.request_id;
+    stats.success = false;
+    stats.error = group.error;
+    stats.total_runtime = group.total_seconds();
+    stats.latency = group.first_packet_seconds >= 0.0 ? group.first_packet_seconds
+                                                      : stats.total_runtime;
+    stats.partial_packets = group.partial_packets;
+    stats.result_bytes = group.result_bytes;
+    stats.workers = group.width;
+    stats.retries = static_cast<std::uint32_t>(group.attempt);
+    stats.phase_seconds = group.phase_seconds;
+    util::ByteBuffer error_payload;
+    error_payload.write<std::uint64_t>(group.request.request_id);
+    error_payload.write_string(group.error);
+    send_to_client(group.client, kTagError, std::move(error_payload));
+    util::ByteBuffer payload;
+    stats.serialize(payload);
+    send_to_client(group.client, kTagComplete, std::move(payload));
+    groups_.erase(it);
+    return;
+  }
+
+  total_retries_.fetch_add(1);
+
+  PendingRequest retry;
+  retry.client = group.client;
+  retry.attempt = group.attempt + 1;
+  // The group width is pinned across retries: partition k of a narrower or
+  // wider group would cover a different share of the data and break the
+  // fragment identity the dedup set relies on.
+  retry.width = group.width;
+  retry.not_before =
+      Clock::now() + config_.retry_backoff * (1 << std::min(group.attempt, 16));
+  retry.elapsed_before = group.total_seconds();
+  retry.first_packet_seconds = group.first_packet_seconds;
+  retry.partial_packets = group.partial_packets;
+  retry.result_bytes = group.result_bytes;
+  retry.phase_seconds = std::move(group.phase_seconds);
+  retry.seen_fragments = std::move(group.seen_fragments);
+  retry.request = std::move(group.request);
+
+  // Tell the client the request is running degraded (attempt count so far).
+  util::ByteBuffer degraded;
+  degraded.write<std::uint64_t>(retry.request.request_id);
+  degraded.write<std::uint32_t>(static_cast<std::uint32_t>(retry.attempt));
+  send_to_client(retry.client, kTagDegraded, std::move(degraded));
+
+  groups_.erase(it);
+  // Head of the queue: a wounded request should not wait behind new work.
+  pending_.push_front(std::move(retry));
+}
+
 void Scheduler::finish_group(std::uint64_t internal_id) {
   auto it = groups_.find(internal_id);
   Group& group = it->second;
@@ -258,12 +478,13 @@ void Scheduler::finish_group(std::uint64_t internal_id) {
   stats.request_id = group.request.request_id;
   stats.success = !group.failed;
   stats.error = group.error;
-  stats.total_runtime = group.timer.seconds();
+  stats.total_runtime = group.total_seconds();
   stats.latency = group.first_packet_seconds >= 0.0 ? group.first_packet_seconds
                                                     : stats.total_runtime;
   stats.partial_packets = group.partial_packets;
   stats.result_bytes = group.result_bytes;
   stats.workers = static_cast<int>(group.ranks.size());
+  stats.retries = static_cast<std::uint32_t>(group.attempt);
   stats.phase_seconds = group.phase_seconds;
 
   if (group.failed) {
@@ -278,65 +499,110 @@ void Scheduler::finish_group(std::uint64_t internal_id) {
 
   VIRA_DEBUG("scheduler") << "request " << group.request.request_id << " (client "
                           << group.client << ") finished in " << stats.total_runtime
-                          << "s (latency " << stats.latency << "s)";
+                          << "s (latency " << stats.latency << "s, retries "
+                          << stats.retries << ")";
   by_client_.erase(std::make_pair(group.client, group.request.request_id));
   groups_.erase(it);
 }
 
+void Scheduler::fail_pending(PendingRequest& entry, const std::string& reason) {
+  VIRA_WARN("scheduler") << "request " << entry.request.request_id << " (client "
+                         << entry.client << ") failed: " << reason;
+  CommandStats stats;
+  stats.request_id = entry.request.request_id;
+  stats.success = false;
+  stats.error = reason;
+  stats.total_runtime = entry.elapsed_before;
+  stats.latency =
+      entry.first_packet_seconds >= 0.0 ? entry.first_packet_seconds : entry.elapsed_before;
+  stats.partial_packets = entry.partial_packets;
+  stats.result_bytes = entry.result_bytes;
+  stats.workers = entry.width;
+  stats.retries = static_cast<std::uint32_t>(entry.attempt);
+  stats.phase_seconds = entry.phase_seconds;
+  util::ByteBuffer error_payload;
+  error_payload.write<std::uint64_t>(entry.request.request_id);
+  error_payload.write_string(reason);
+  send_to_client(entry.client, kTagError, std::move(error_payload));
+  util::ByteBuffer payload;
+  stats.serialize(payload);
+  send_to_client(entry.client, kTagComplete, std::move(payload));
+}
+
 void Scheduler::dispatch_pending() {
   while (!pending_.empty()) {
-    const auto& [next, client] = pending_.front();
-    const int total = worker_count_;
-    int wanted = static_cast<int>(next.params.get_int("workers", 0));
-    if (wanted <= 0 || wanted > total) {
-      wanted = total;
+    PendingRequest& head = pending_.front();
+    if (head.not_before > Clock::now()) {
+      return;  // backoff gate; retries sit at the head, so wait it out
+    }
+    const int alive = worker_count_ - static_cast<int>(dead_.size());
+    int wanted = head.width;
+    if (wanted <= 0) {
+      wanted = static_cast<int>(head.request.params.get_int("workers", 0));
+      if (wanted <= 0 || wanted > alive) {
+        wanted = alive;
+      }
+    }
+    if (wanted > alive || alive == 0) {
+      // A retry's width is pinned (see recover_group); if the pool shrank
+      // below it the request can never run faithfully again.
+      fail_pending(head, "not enough workers alive (" + std::to_string(alive) + " of " +
+                             std::to_string(wanted) + " required)");
+      pending_.pop_front();
+      continue;
     }
     if (static_cast<int>(free_.size()) < wanted) {
       return;  // wait for workers to free up
     }
-    auto [request, client_index] = std::move(pending_.front());
+    PendingRequest entry = std::move(pending_.front());
     pending_.pop_front();
-    start_group(std::move(request), client_index);
+    entry.width = wanted;
+    start_group(std::move(entry));
   }
 }
 
-void Scheduler::start_group(CommandRequest request, std::size_t client) {
-  const int total = worker_count_;
-  int wanted = static_cast<int>(request.params.get_int("workers", 0));
-  if (wanted <= 0 || wanted > total) {
-    wanted = total;
-  }
-
+void Scheduler::start_group(PendingRequest entry) {
   const std::uint64_t internal_id = next_internal_id_++;
 
   Group group;
-  group.request = request;
-  group.client = client;
-  for (auto it = free_.begin(); it != free_.end() && static_cast<int>(group.ranks.size()) < wanted;) {
+  group.client = entry.client;
+  group.width = entry.width;
+  group.attempt = entry.attempt;
+  group.elapsed_before = entry.elapsed_before;
+  group.first_packet_seconds = entry.first_packet_seconds;
+  group.partial_packets = entry.partial_packets;
+  group.result_bytes = entry.result_bytes;
+  group.phase_seconds = std::move(entry.phase_seconds);
+  group.seen_fragments = std::move(entry.seen_fragments);
+  group.request = std::move(entry.request);
+  for (auto it = free_.begin();
+       it != free_.end() && static_cast<int>(group.ranks.size()) < entry.width;) {
     group.ranks.push_back(*it);
     it = free_.erase(it);
   }
   group.master = group.ranks.front();
   group.pending = static_cast<int>(group.ranks.size());
   group.timer.restart();
+  group.dispatched_at = Clock::now();
 
   ExecuteOrder order;
   order.request_id = internal_id;  // workers talk in internal ids
-  order.command = request.command;
-  order.params = request.params;
+  order.command = group.request.command;
+  order.params = group.request.params;
   order.group_ranks.assign(group.ranks.begin(), group.ranks.end());
   order.master_rank = group.master;
 
-  VIRA_DEBUG("scheduler") << "request " << request.request_id << " (client " << client
-                          << ") -> group of " << group.ranks.size() << " workers (master "
-                          << group.master << ")";
+  VIRA_DEBUG("scheduler") << "request " << group.request.request_id << " (client "
+                          << group.client << ") -> group of " << group.ranks.size()
+                          << " workers (master " << group.master << ", attempt "
+                          << group.attempt + 1 << ")";
 
   for (const int rank : group.ranks) {
     util::ByteBuffer payload;
     order.serialize(payload);
     comm_.send(rank, kTagExecute, std::move(payload));
   }
-  by_client_[std::make_pair(client, request.request_id)] = internal_id;
+  by_client_[std::make_pair(group.client, group.request.request_id)] = internal_id;
   groups_.emplace(internal_id, std::move(group));
 }
 

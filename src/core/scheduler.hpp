@@ -13,6 +13,14 @@
 /// streamed fragments to the client as they arrive, measures per-request
 /// total runtime and latency on the server side (exactly where the paper
 /// measured), and frees workers when every group member reported done.
+///
+/// Failure model (DESIGN.md "Failure model"): workers heartbeat; the
+/// scheduler tracks last-seen per rank and declares a worker dead after
+/// `death_timeout`. Losing a group member does not fail the request —
+/// the scheduler aborts the surviving members, re-forms the work group at
+/// the same width and re-dispatches with bounded retries and exponential
+/// backoff. Fragments already forwarded to the client are deduplicated by
+/// (partition, sequence), so retried delivery stays exactly-once.
 
 #include <atomic>
 #include <cstring>
@@ -31,9 +39,33 @@
 
 namespace vira::core {
 
+/// Liveness / recovery policy knobs.
+struct SchedulerConfig {
+  /// Master switch; false restores the seed's fail-stop behavior exactly.
+  bool liveness = true;
+  /// No message (heartbeat or otherwise) from a rank for this long →
+  /// the rank is declared dead and permanently removed from the pool.
+  std::chrono::milliseconds death_timeout{2000};
+  /// A member whose heartbeats — arriving this long after dispatch — name a
+  /// different request has lost its execute order (or its done report was
+  /// lost); the group is re-formed. Also the grace before believing such a
+  /// mismatch.
+  std::chrono::milliseconds idle_grace{500};
+  /// Work-group re-formations per request before giving up.
+  int max_retries = 2;
+  /// Backoff before re-dispatch: retry_backoff * 2^attempt.
+  std::chrono::milliseconds retry_backoff{10};
+  /// Whole-attempt watchdog (0 = disabled): an attempt older than this is
+  /// aborted and retried even if every member still looks alive — the
+  /// safety net for lossy transports that silently swallow group-internal
+  /// collective traffic.
+  std::chrono::milliseconds request_timeout{0};
+};
+
 class Scheduler {
  public:
-  Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count);
+  Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count,
+            SchedulerConfig config = SchedulerConfig{});
 
   /// Attaches an additional client connection (multiple visualization
   /// hosts may be served concurrently; results are routed back to the
@@ -57,28 +89,60 @@ class Scheduler {
   /// Diagnostics.
   std::size_t free_workers() const;
   std::size_t queued_requests() const;
+  /// Ranks declared dead so far (they never return to the pool).
+  std::size_t lost_workers() const { return lost_workers_.load(); }
+  /// Work-group re-formations performed so far (all requests).
+  std::uint64_t total_retries() const { return total_retries_.load(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued request plus everything a retry must carry across attempts.
+  struct PendingRequest {
+    CommandRequest request;
+    std::size_t client = 0;
+    int attempt = 0;  ///< 0 = first dispatch
+    int width = 0;    ///< fixed after the first dispatch (0 = derive)
+    Clock::time_point not_before{};  ///< backoff gate
+    double elapsed_before = 0.0;     ///< seconds burned by earlier attempts
+    double first_packet_seconds = -1.0;
+    std::uint64_t partial_packets = 0;
+    std::uint64_t result_bytes = 0;
+    std::map<std::string, double> phase_seconds;
+    std::set<std::uint64_t> seen_fragments;  ///< fragment ids already forwarded
+  };
+
   struct Group {
     CommandRequest request;
     std::size_t client = 0;  ///< index of the submitting client
     std::vector<int> ranks;
     int master = -1;
+    int width = 0;
     int pending = 0;  ///< workers that have not reported done yet
+    int attempt = 0;
     bool failed = false;
     std::string error;
     bool cancelled = false;
-    util::WallTimer timer;
+    util::WallTimer timer;          ///< this attempt only
+    Clock::time_point dispatched_at{};
+    double elapsed_before = 0.0;    ///< earlier attempts
     double first_packet_seconds = -1.0;
     std::uint64_t partial_packets = 0;
     std::uint64_t result_bytes = 0;
     std::map<std::string, double> phase_seconds;
+    std::set<int> done_ranks;
+    std::set<std::uint64_t> seen_fragments;
+
+    double total_seconds() const { return elapsed_before + timer.seconds(); }
   };
 
   void poll_clients();
   void poll_workers();
   void dispatch_pending();
-  void start_group(CommandRequest request, std::size_t client);
+  void check_liveness();
+  void recover_group(std::uint64_t internal_id, const std::string& reason);
+  void fail_pending(PendingRequest& entry, const std::string& reason);
+  void start_group(PendingRequest entry);
   void finish_group(std::uint64_t request_id);
   void send_to_client(std::size_t client, int tag, util::ByteBuffer payload);
 
@@ -86,9 +150,11 @@ class Scheduler {
   void handle_done(comm::Message& msg);
   void handle_error(comm::Message& msg);
   void handle_progress(comm::Message& msg);
+  void handle_heartbeat(comm::Message& msg);
 
   comm::Communicator comm_;
   int worker_count_;
+  SchedulerConfig config_;
   std::atomic<bool> running_{false};
   std::shared_ptr<dms::DataServer> data_server_;
 
@@ -96,13 +162,22 @@ class Scheduler {
   std::vector<std::shared_ptr<comm::ClientLink>> clients_;
 
   std::set<int> free_;  // free worker ranks
-  /// (request, submitting client index)
-  std::deque<std::pair<CommandRequest, std::size_t>> pending_;
-  /// Keyed by scheduler-internal request id (client ids may collide).
+  std::deque<PendingRequest> pending_;
+  /// Keyed by scheduler-internal request id (client ids may collide; each
+  /// retry attempt gets a fresh internal id so stragglers of an abandoned
+  /// attempt can never corrupt its successor).
   std::map<std::uint64_t, Group> groups_;
   /// (client index, client request id) -> internal id, for cancels.
   std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t> by_client_;
   std::uint64_t next_internal_id_ = 1;
+
+  /// --- liveness bookkeeping ------------------------------------------------
+  std::map<int, Clock::time_point> last_seen_;       ///< any message
+  std::map<int, Clock::time_point> last_heartbeat_;  ///< heartbeats only
+  std::map<int, std::uint64_t> reported_request_;    ///< from heartbeats
+  std::set<int> dead_;
+  std::atomic<std::size_t> lost_workers_{0};
+  std::atomic<std::uint64_t> total_retries_{0};
 };
 
 }  // namespace vira::core

@@ -1,15 +1,19 @@
 #include "core/worker.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace vira::core {
 
 Worker::Worker(std::shared_ptr<comm::Communicator> comm, std::shared_ptr<dms::DataProxy> proxy,
-               std::shared_ptr<VmbDataSource> source, const CommandRegistry* registry)
+               std::shared_ptr<VmbDataSource> source, const CommandRegistry* registry,
+               WorkerConfig config)
     : comm_(std::move(comm)),
       proxy_(std::move(proxy)),
       source_(std::move(source)),
-      registry_(registry != nullptr ? registry : &CommandRegistry::global()) {
+      registry_(registry != nullptr ? registry : &CommandRegistry::global()),
+      config_(config) {
   if (!comm_) {
     throw std::invalid_argument("Worker: communicator required");
   }
@@ -17,6 +21,11 @@ Worker::Worker(std::shared_ptr<comm::Communicator> comm, std::shared_ptr<dms::Da
 
 void Worker::run() {
   VIRA_DEBUG("worker") << "rank " << comm_->rank() << " entering service loop";
+  stopping_ = false;
+  std::thread heartbeat;
+  if (config_.heartbeat_interval.count() > 0) {
+    heartbeat = std::thread([this] { heartbeat_loop(); });
+  }
   try {
     // Receive only control tags: anything else (e.g. a DMS reply destined
     // for the proxy's prefetch thread) stays buffered for its addressee.
@@ -32,25 +41,75 @@ void Worker::run() {
   } catch (const comm::TransportClosed&) {
     // Orderly teardown path.
   }
+  stopping_ = true;
+  if (heartbeat.joinable()) {
+    heartbeat.join();
+  }
   VIRA_DEBUG("worker") << "rank " << comm_->rank() << " left service loop";
+}
+
+void Worker::heartbeat_loop() {
+  // The beacon must keep flowing while the service thread is stuck in a
+  // long compute loop or a collective — that is the whole point: liveness
+  // is about the process, progress is judged by the scheduler.
+  while (!stopping_) {
+    try {
+      Heartbeat beat;
+      beat.rank = comm_->rank();
+      beat.current_request = current_request_.load();
+      util::ByteBuffer payload;
+      beat.serialize(payload);
+      comm_->send(0, kTagHeartbeat, std::move(payload));
+      // Poll with a small nonzero timeout: this thread must pump the
+      // transport itself, because the service thread stops pumping while it
+      // is inside command compute code.
+      auto abort_msg =
+          comm_->try_recv(comm::kAnySource, kTagGroupAbort, std::chrono::milliseconds(1));
+      if (abort_msg) {
+        const auto request_id = abort_msg->payload.read<std::uint64_t>();
+        abort_request_.store(request_id);
+        VIRA_DEBUG("worker") << "rank " << comm_->rank() << " told to abandon request "
+                             << request_id;
+      }
+    } catch (const comm::TransportClosed&) {
+      return;
+    }
+    const auto interval = config_.heartbeat_interval;
+    for (auto slept = std::chrono::milliseconds(0); slept < interval && !stopping_;
+         slept += std::chrono::milliseconds(5)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
 }
 
 void Worker::execute_order(ExecuteOrder order) {
   const std::uint64_t request_id = order.request_id;
   std::uint32_t sequence = 0;
 
+  // Partition index = this rank's slot in the group. It is the stable
+  // fragment identity across retries: a re-formed group maps partition k to
+  // the same share of the data even when a different physical rank runs it.
+  const auto slot = std::find(order.group_ranks.begin(), order.group_ranks.end(),
+                              static_cast<std::int32_t>(comm_->rank()));
+  const std::int32_t partition =
+      slot != order.group_ranks.end()
+          ? static_cast<std::int32_t>(std::distance(order.group_ranks.begin(), slot))
+          : -1;
+
+  current_request_.store(request_id);
+
   CommandContext::Hooks hooks;
-  hooks.stream_partial = [this, request_id, &sequence](util::ByteBuffer fragment) {
+  hooks.stream_partial = [this, request_id, partition, &sequence](util::ByteBuffer fragment) {
     util::ByteBuffer packet;
-    FragmentHeader header{request_id, comm_->rank(), sequence++};
+    FragmentHeader header{request_id, partition, sequence++};
     header.serialize(packet);
     packet.write<std::uint64_t>(fragment.size());
     packet.write_raw(fragment.data(), fragment.size());
     comm_->send(0, kTagStream, std::move(packet));
   };
-  hooks.send_final = [this, request_id, &sequence](util::ByteBuffer result) {
+  hooks.send_final = [this, request_id, partition, &sequence](util::ByteBuffer result) {
     util::ByteBuffer packet;
-    FragmentHeader header{request_id, comm_->rank(), sequence++};
+    FragmentHeader header{request_id, partition, sequence++};
     header.serialize(packet);
     packet.write<std::uint64_t>(result.size());
     packet.write_raw(result.data(), result.size());
@@ -65,6 +124,7 @@ void Worker::execute_order(ExecuteOrder order) {
   hooks.dataset_meta = [this](const std::string& dir) -> const grid::DatasetMeta& {
     return source_->meta(dir);
   };
+  hooks.should_abort = [this, request_id] { return abort_request_.load() == request_id; };
 
   std::vector<int> group_ranks(order.group_ranks.begin(), order.group_ranks.end());
   CommandContext context(request_id, order.params, comm_.get(), std::move(group_ranks),
@@ -80,6 +140,12 @@ void Worker::execute_order(ExecuteOrder order) {
     command->execute(context);
     context.phases().stop();
     report.success = true;
+  } catch (const CommandAborted& e) {
+    context.phases().stop();
+    report.success = false;
+    report.error = e.what();
+    VIRA_DEBUG("worker") << "rank " << comm_->rank() << " abandoned " << order.command
+                         << " (request " << request_id << ")";
   } catch (const std::exception& e) {
     context.phases().stop();
     report.success = false;
@@ -88,6 +154,7 @@ void Worker::execute_order(ExecuteOrder order) {
                          << " failed: " << e.what();
   }
   report.phase_seconds = context.phases().phases();
+  current_request_.store(0);
 
   util::ByteBuffer payload;
   report.serialize(payload);

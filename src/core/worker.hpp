@@ -8,8 +8,17 @@
 /// with a fully wired CommandContext, and reports completion (with its
 /// phase breakdown) back to the scheduler. Streamed fragments and final
 /// results are relayed through the scheduler to the client link.
+///
+/// Liveness: while run() is active a dedicated heartbeat thread sends
+/// kTagHeartbeat beacons (rank + currently executed request) every
+/// `WorkerConfig::heartbeat_interval`, even while the service thread is
+/// deep inside a long command. The same thread polls for kTagGroupAbort so
+/// a worker stuck in a collective on a dead peer unblocks and returns to
+/// the pool (see DESIGN.md "Failure model").
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "comm/communicator.hpp"
 #include "core/command.hpp"
@@ -19,12 +28,19 @@
 
 namespace vira::core {
 
+struct WorkerConfig {
+  /// Zero disables heartbeats (and abort polling) entirely — the seed's
+  /// original fail-stop behavior.
+  std::chrono::milliseconds heartbeat_interval{25};
+};
+
 class Worker {
  public:
   /// `comm` is shared so the DMS's RemoteServerApi (if configured) can use
   /// the same rank endpoint from the proxy's prefetch thread.
   Worker(std::shared_ptr<comm::Communicator> comm, std::shared_ptr<dms::DataProxy> proxy,
-         std::shared_ptr<VmbDataSource> source, const CommandRegistry* registry);
+         std::shared_ptr<VmbDataSource> source, const CommandRegistry* registry,
+         WorkerConfig config = WorkerConfig{});
 
   /// Blocks until shutdown (kTagShutdown or transport closed).
   void run();
@@ -34,11 +50,20 @@ class Worker {
 
  private:
   void execute_order(ExecuteOrder order);
+  void heartbeat_loop();
 
   std::shared_ptr<comm::Communicator> comm_;
   std::shared_ptr<dms::DataProxy> proxy_;
   std::shared_ptr<VmbDataSource> source_;
   const CommandRegistry* registry_;
+  WorkerConfig config_;
+
+  /// Internal id of the request being executed (0 = idle); read by the
+  /// heartbeat thread so beacons carry what the worker is doing.
+  std::atomic<std::uint64_t> current_request_{0};
+  /// Internal id the scheduler told us to abandon (0 = none).
+  std::atomic<std::uint64_t> abort_request_{0};
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace vira::core

@@ -24,6 +24,15 @@ struct DmsCounters {
   std::uint64_t prefetch_useful = 0;  ///< prefetched items later requested
   std::uint64_t evictions_l1 = 0;
   std::uint64_t evictions_l2 = 0;
+  /// Demotions re-triggered by an L2 promote: the promoted blob's re-insert
+  /// into L1 evicted another resident, which spilled right back to disk.
+  /// A high value relative to l2_hits means the tiers are thrashing.
+  std::uint64_t l2_respills = 0;
+  /// Demotions dropped because the blob alone exceeds the whole L2 budget.
+  std::uint64_t demotions_dropped_oversize = 0;
+  /// Demotions dropped because the spill-file write failed (disk full, I/O
+  /// error); the item is NOT indexed and a later get() reloads it.
+  std::uint64_t demotions_dropped_io = 0;
   std::uint64_t bytes_loaded = 0;
   double load_seconds = 0.0;
 
@@ -53,6 +62,9 @@ class DmsStatistics {
   void record_prefetch_useful() { bump(&DmsCounters::prefetch_useful); }
   void record_eviction_l1() { bump(&DmsCounters::evictions_l1); }
   void record_eviction_l2() { bump(&DmsCounters::evictions_l2); }
+  void record_l2_respill() { bump(&DmsCounters::l2_respills); }
+  void record_demotion_dropped_oversize() { bump(&DmsCounters::demotions_dropped_oversize); }
+  void record_demotion_dropped_io() { bump(&DmsCounters::demotions_dropped_io); }
 
   void record_load(std::uint64_t bytes, double seconds) {
     std::lock_guard<std::mutex> lock(mutex_);

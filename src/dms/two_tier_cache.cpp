@@ -8,9 +8,23 @@ namespace vira::dms {
 
 namespace {
 
-void write_blob_file(const std::string& path, const util::ByteBuffer& blob) {
+/// Writes the spill file and reports whether every byte reached the stream.
+/// A failed write (disk full, bad directory, I/O error) leaves no partial
+/// file behind: a truncated spill that got indexed would later deserialize
+/// as a corrupt block.
+bool write_blob_file(const std::string& path, const util::ByteBuffer& blob) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
   out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  out.close();  // flushes; close failures surface in the stream state
+  if (!out) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return false;
+  }
+  return true;
 }
 
 std::optional<util::ByteBuffer> read_blob_file(const std::string& path) {
@@ -18,7 +32,11 @@ std::optional<util::ByteBuffer> read_blob_file(const std::string& path) {
   if (!in) {
     return std::nullopt;
   }
-  const auto size = static_cast<std::uint64_t>(in.tellg());
+  const auto end = in.tellg();
+  if (end < 0) {
+    return std::nullopt;  // tellg() failed; casting -1 would allocate 2^64
+  }
+  const auto size = static_cast<std::uint64_t>(end);
   in.seekg(0);
   std::vector<std::byte> data(size);
   in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
@@ -81,6 +99,10 @@ void TwoTierCache::note_requested(ItemId id) {
 }
 
 void TwoTierCache::put(ItemId id, Blob blob, bool from_prefetch) {
+  put_internal(id, std::move(blob), from_prefetch, /*respill=*/false);
+}
+
+void TwoTierCache::put_internal(ItemId id, Blob blob, bool from_prefetch, bool respill) {
   if (from_prefetch) {
     std::lock_guard<std::mutex> lock(prefetch_mutex_);
     prefetched_pending_[id] = true;
@@ -89,7 +111,7 @@ void TwoTierCache::put(ItemId id, Blob blob, bool from_prefetch) {
   for (auto& victim : evicted) {
     stats_->record_eviction_l1();
     if (!config_.l2_directory.empty()) {
-      demote(victim.id, victim.blob);
+      demote(victim.id, victim.blob, respill);
     }
   }
 }
@@ -107,17 +129,36 @@ bool TwoTierCache::contains(ItemId id) const {
 
 bool TwoTierCache::contains_l1(ItemId id) const { return l1_.contains(id); }
 
-void TwoTierCache::demote(ItemId id, const Blob& blob) {
+void TwoTierCache::demote(ItemId id, const Blob& blob, bool respill) {
   std::lock_guard<std::mutex> lock(l2_mutex_);
   if (l2_index_.count(id) > 0) {
     return;  // already spilled
   }
   const std::uint64_t bytes = blob->size();
   if (bytes > config_.l2_capacity_bytes) {
+    // The blob alone outsizes the whole secondary tier; it is silently lost
+    // from the cache hierarchy (a later request reloads it from storage).
+    // Warn once — a misconfigured L2 budget otherwise looks like a slow disk.
+    stats_->record_demotion_dropped_oversize();
+    if (!warned_oversize_) {
+      warned_oversize_ = true;
+      VIRA_WARN("dms") << "L2 demotion dropped: item " << id << " (" << bytes
+                       << " bytes) exceeds the entire secondary-cache budget ("
+                       << config_.l2_capacity_bytes
+                       << " bytes); further oversize drops are only counted";
+    }
     return;
   }
   evict_l2_to_fit(bytes);
-  write_blob_file(l2_path(id), *blob);
+  if (!write_blob_file(l2_path(id), *blob)) {
+    stats_->record_demotion_dropped_io();
+    VIRA_WARN("dms") << "L2 spill write failed for item " << id
+                     << "; demotion dropped (not indexed)";
+    return;
+  }
+  if (respill) {
+    stats_->record_l2_respill();
+  }
   l2_order_.push_back(id);
   l2_index_[id] = {std::prev(l2_order_.end()), bytes};
   l2_used_ += bytes;
@@ -158,7 +199,9 @@ Blob TwoTierCache::promote(ItemId id) {
     return nullptr;
   }
   Blob blob = make_blob(std::move(*buffer));
-  put(id, blob);
+  // The re-insert may evict another L1 resident straight back to disk;
+  // mark that demotion as a re-spill so tier thrashing is visible.
+  put_internal(id, blob, /*from_prefetch=*/false, /*respill=*/true);
   return blob;
 }
 

@@ -64,7 +64,10 @@ class TwoTierCache {
  private:
   std::string l2_path(ItemId id) const;
   void note_requested(ItemId id);
-  void demote(ItemId id, const Blob& blob);
+  /// `respill` marks demotions caused by an L2 promote's re-insert (tier
+  /// churn accounting).
+  void put_internal(ItemId id, Blob blob, bool from_prefetch, bool respill);
+  void demote(ItemId id, const Blob& blob, bool respill = false);
   Blob promote(ItemId id);
   void evict_l2_to_fit(std::uint64_t incoming);
 
@@ -77,6 +80,7 @@ class TwoTierCache {
   std::list<ItemId> l2_order_;
   std::unordered_map<ItemId, std::pair<std::list<ItemId>::iterator, std::uint64_t>> l2_index_;
   std::uint64_t l2_used_ = 0;
+  bool warned_oversize_ = false;  ///< guarded by l2_mutex_
 
   /// Items inserted by prefetch and not yet requested (usefulness metric).
   std::mutex prefetch_mutex_;

@@ -34,6 +34,7 @@ core::CommandStats ResultStream::wait(std::vector<util::ByteBuffer>* fragments,
         VIRA_WARN("viz") << "request " << request_id_ << " error: " << packet->error;
         break;
       case Packet::Kind::kProgress:
+      case Packet::Kind::kDegraded:
         break;
     }
   }
@@ -101,7 +102,7 @@ void ExtractionSession::receive_loop() {
       continue;
     }
 
-    Packet packet{Packet::Kind::kComplete, {}, {}, 0.0, {}, {}, 0.0};
+    Packet packet{Packet::Kind::kComplete, {}, {}, 0.0, {}, {}, 0, 0.0};
     std::uint64_t request_id = 0;
 
     switch (msg->tag) {
@@ -135,6 +136,12 @@ void ExtractionSession::receive_loop() {
         request_id = packet.stats.request_id;
         break;
       }
+      case core::kTagDegraded: {
+        packet.kind = Packet::Kind::kDegraded;
+        request_id = msg->payload.read<std::uint64_t>();
+        packet.retries = msg->payload.read<std::uint32_t>();
+        break;
+      }
       default:
         VIRA_WARN("viz") << "unknown packet tag " << msg->tag;
         continue;
@@ -161,6 +168,11 @@ void ExtractionSession::receive_loop() {
         packet.kind == Packet::Kind::kPartial || packet.kind == Packet::Kind::kFinal;
     if (is_data && stream->first_data_seconds_.load() < 0.0) {
       stream->first_data_seconds_.store(packet.client_seconds);
+    }
+    if (packet.kind == Packet::Kind::kDegraded) {
+      stream->retry_count_.store(packet.retries);
+      VIRA_WARN("viz") << "request " << request_id << " degraded (retry " << packet.retries
+                       << "): work group re-formed, stream continues";
     }
     const bool complete = packet.kind == Packet::Kind::kComplete;
     stream->queue_.push(std::move(packet));

@@ -28,13 +28,14 @@ namespace vira::viz {
 
 /// One delivery from the backend.
 struct Packet {
-  enum class Kind { kPartial, kFinal, kProgress, kError, kComplete };
+  enum class Kind { kPartial, kFinal, kProgress, kError, kComplete, kDegraded };
   Kind kind;
   core::FragmentHeader header;       ///< valid for kPartial / kFinal
   util::ByteBuffer payload;          ///< fragment body (header stripped)
   double progress = 0.0;             ///< valid for kProgress
   std::string error;                 ///< valid for kError
   core::CommandStats stats;          ///< valid for kComplete
+  std::uint32_t retries = 0;         ///< valid for kDegraded
   double client_seconds = 0.0;       ///< receive time relative to submission
 };
 
@@ -56,6 +57,14 @@ class ResultStream {
   /// client (client-side latency; -1 before any data packet).
   double first_data_seconds() const { return first_data_seconds_.load(); }
 
+  /// True once the backend reported that it lost a worker mid-request and
+  /// re-formed the work group (the request keeps streaming; fragments stay
+  /// exactly-once). Mirrors CommandStats::degraded() but is visible while
+  /// the request is still in flight.
+  bool degraded() const { return retry_count_.load() > 0; }
+  /// Work-group re-formations reported for this request so far.
+  std::uint32_t retry_count() const { return retry_count_.load(); }
+
  private:
   friend class ExtractionSession;
   explicit ResultStream(std::uint64_t request_id) : request_id_(request_id) {}
@@ -63,6 +72,7 @@ class ResultStream {
   std::uint64_t request_id_;
   util::BlockingQueue<Packet> queue_;
   std::atomic<double> first_data_seconds_{-1.0};
+  std::atomic<std::uint32_t> retry_count_{0};
 };
 
 class ExtractionSession {

@@ -80,6 +80,52 @@ TEST(InProcTransport, ShutdownReleasesReceivers) {
   EXPECT_TRUE(transport->is_shut_down());
 }
 
+TEST(InProcTransport, SendAfterShutdownIsDroppedSilently) {
+  // Teardown race contract (transport.hpp): a send that loses the race with
+  // shutdown() is dropped, not an error — senders on other threads must not
+  // have to synchronize with the teardown path.
+  vc::InProcTransport transport(2);
+  transport.shutdown();
+  EXPECT_TRUE(transport.is_shut_down());
+  vc::Message msg;
+  msg.source = 0;
+  msg.tag = 1;
+  msg.payload = make_payload("too late");
+  EXPECT_NO_THROW(transport.send(1, std::move(msg)));
+  EXPECT_FALSE(transport.recv(1, std::chrono::milliseconds(20)).has_value());
+}
+
+TEST(InProcTransport, SendsRacingShutdownNeverThrowOrHang) {
+  // Hammer send() from several threads while shutdown() lands mid-stream.
+  // Every send must return cleanly (delivered or dropped) and receivers
+  // drain to end-of-stream.
+  auto transport = std::make_shared<vc::InProcTransport>(3);
+  std::vector<std::thread> senders;
+  senders.reserve(2);
+  for (int s = 0; s < 2; ++s) {
+    senders.emplace_back([transport, s] {
+      for (int i = 0; i < 2000; ++i) {
+        vc::Message msg;
+        msg.source = s;
+        msg.tag = i;
+        msg.payload = make_payload("x");
+        EXPECT_NO_THROW(transport->send(2, std::move(msg)));
+      }
+    });
+  }
+  std::thread receiver([transport] {
+    while (transport->recv(2, std::chrono::milliseconds(50)).has_value()) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  transport->shutdown();
+  for (auto& t : senders) {
+    t.join();
+  }
+  receiver.join();
+  EXPECT_TRUE(transport->is_shut_down());
+}
+
 // ---------------------------------------------------------------------------
 // Communicator point-to-point
 // ---------------------------------------------------------------------------

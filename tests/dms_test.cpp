@@ -455,6 +455,84 @@ TEST(TwoTierCache, ClearDropsBothTiers) {
   EXPECT_EQ(cache.get(0), nullptr);
 }
 
+TEST(TwoTierCache, PromotionAtCapacityRecordsRespill) {
+  // Regression: at a full L1, promoting an L2 hit re-inserts the blob and
+  // immediately demotes another resident straight back to disk. The churn
+  // must be visible (l2_respills) and must not corrupt either tier.
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 250;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("respill");
+  config.l2_capacity_bytes = 10000;
+  vd::TwoTierCache cache(config, stats);
+
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));
+  cache.put(3, blob_of_size(100));  // L1 full {2,3}; 1 spilled to L2
+
+  // Cycle through one item more than L1 holds: every access is an L2 hit
+  // whose promotion respills the current LRU victim.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_NE(cache.get(1), nullptr);
+    ASSERT_NE(cache.get(2), nullptr);
+    ASSERT_NE(cache.get(3), nullptr);
+  }
+
+  const auto counters = stats->snapshot();
+  EXPECT_EQ(counters.l2_hits, 6u);
+  EXPECT_EQ(counters.l2_respills, 6u);  // every promotion churned one out
+  EXPECT_EQ(cache.l2_item_count(), 1u);
+  // All three items are still reachable somewhere in the hierarchy.
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(TwoTierCache, OversizeDemotionIsDroppedAndCounted) {
+  // A blob larger than the whole L2 budget cannot be spilled; it must be
+  // dropped from the hierarchy, counted, and never indexed.
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 150;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("oversize");
+  config.l2_capacity_bytes = 50;  // smaller than any test blob
+  vd::TwoTierCache cache(config, stats);
+
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));  // evicts 1; demotion exceeds the L2 budget
+
+  EXPECT_EQ(stats->snapshot().demotions_dropped_oversize, 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.l2_item_count(), 0u);
+  EXPECT_EQ(cache.l2_size_bytes(), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);  // a later request is a clean miss
+}
+
+TEST(TwoTierCache, FailedSpillWriteIsNotIndexed) {
+  // If the spill file cannot be written the demotion must be dropped and
+  // counted — indexing a missing/truncated file would later surface as a
+  // corrupt block instead of a cache miss.
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 150;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("badio");
+  config.l2_capacity_bytes = 10000;
+  vd::TwoTierCache cache(config, stats);
+  // Pull the directory out from under the cache so the spill write fails.
+  std::filesystem::remove_all(config.l2_directory);
+
+  cache.put(1, blob_of_size(100));
+  cache.put(2, blob_of_size(100));  // evicts 1; the spill write fails
+
+  EXPECT_EQ(stats->snapshot().demotions_dropped_io, 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.l2_item_count(), 0u);
+  EXPECT_EQ(cache.get(1), nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Prefetchers
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -334,6 +336,78 @@ TEST(BlockingQueue, ManyProducersOneConsumer) {
   }
   const long long n = kProducers * kPerProducer;
   EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(BlockingQueue, CloseUnblocksPopForPromptly) {
+  // Shutdown race: a consumer parked in pop_for() with a long timeout must
+  // be released by close() right away, not after the timeout expires.
+  vu::BlockingQueue<int> q;
+  std::atomic<bool> released{false};
+  std::thread consumer([&] {
+    const auto item = q.pop_for(std::chrono::seconds(30));
+    EXPECT_FALSE(item.has_value());
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto before = std::chrono::steady_clock::now();
+  q.close();
+  consumer.join();
+  const auto waited = std::chrono::steady_clock::now() - before;
+  EXPECT_TRUE(released.load());
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST(BlockingQueue, CloseIsIdempotentAndDrainsBufferedItems) {
+  vu::BlockingQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  q.close();  // second close is a no-op
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // late push dropped
+  // Items enqueued before the close still drain (end-of-stream afterwards).
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds(10)).value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, ConcurrentPushPopCloseDoesNotLoseDeliveredItems) {
+  // Producers racing close(): every pop()ed value must be one that push()
+  // acknowledged, and all consumers must terminate.
+  vu::BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  std::atomic<int> accepted{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + 2);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, &accepted, p] {
+      for (int i = 0; i < 1000; ++i) {
+        if (q.push(p * 1000 + i)) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&q, &popped] {
+      while (q.pop().has_value()) {
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  for (auto& t : threads) {
+    t.join();
+  }
+  // Consumers saw at most what was accepted; whatever is left is buffered.
+  int drained = 0;
+  while (q.try_pop().has_value()) {
+    ++drained;
+  }
+  EXPECT_EQ(popped.load() + drained, accepted.load());
 }
 
 // ---------------------------------------------------------------------------
