@@ -4,7 +4,23 @@
 /// compute / read / send percentage split for SimpleIso vs IsoDataMan.
 /// Paper: 50/49/1 without caching → 85/5/10 with caching.
 
+#include <iostream>
+
 #include "bench_common.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+/// One obs::TimelineReport per replay — the uniform compute/read/send
+/// breakdown that replaced this bench's hand-rolled percentage math.
+vira::obs::TimelineReport timeline(const vira::perf::ReplayResult& result) {
+  return vira::obs::TimelineReport::from_phases({{"compute", result.compute_seconds},
+                                                 {"read", result.read_seconds},
+                                                 {"send", result.send_seconds}},
+                                                result.total_runtime);
+}
+
+}  // namespace
 
 int main() {
   using namespace vira;
@@ -20,33 +36,27 @@ int main() {
   simple.workers = 1;
   simple.use_dms = false;
   simple.warm_cache = false;
-  const auto simple_result = perf::replay_extraction(profile, cluster, simple);
+  const auto simple_report = timeline(perf::replay_extraction(profile, cluster, simple));
 
   perf::ReplayConfig dataman;
   dataman.workers = 1;
   dataman.use_dms = true;
   dataman.warm_cache = true;
-  const auto dataman_result = perf::replay_extraction(profile, cluster, dataman);
+  const auto dataman_report = timeline(perf::replay_extraction(profile, cluster, dataman));
 
   perf::print_banner("Figure 15",
                      "Engine isosurface component breakdown, without / with caching");
-  perf::print_breakdown("SimpleIso", simple_result.compute_seconds, simple_result.read_seconds,
-                        simple_result.send_seconds);
-  perf::print_breakdown("IsoDataMan", dataman_result.compute_seconds,
-                        dataman_result.read_seconds, dataman_result.send_seconds);
+  simple_report.print(std::cout, "SimpleIso");
+  dataman_report.print(std::cout, "IsoDataMan");
   perf::print_expectation("SimpleIso ≈ 50% compute / 49% read / 1% send; "
                           "IsoDataMan ≈ 85% compute / 5% read / 10% send");
 
-  const double simple_read = simple_result.read_seconds / simple_result.phase_total();
-  const double simple_compute = simple_result.compute_seconds / simple_result.phase_total();
-  const double dataman_read = dataman_result.read_seconds / dataman_result.phase_total();
-  const double dataman_compute = dataman_result.compute_seconds / dataman_result.phase_total();
-
   bool ok = true;
-  ok &= simple_read > 0.35 && simple_read < 0.65;      // read ≈ compute without caching
-  ok &= simple_compute > 0.35 && simple_compute < 0.65;
-  ok &= dataman_read < 0.12;                           // read collapses with caching
-  ok &= dataman_compute > 0.7;
+  // read ≈ compute without caching; read collapses with caching.
+  ok &= simple_report.share("read") > 0.35 && simple_report.share("read") < 0.65;
+  ok &= simple_report.share("compute") > 0.35 && simple_report.share("compute") < 0.65;
+  ok &= dataman_report.share("read") < 0.12;
+  ok &= dataman_report.share("compute") > 0.7;
   std::printf("\n  shape check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

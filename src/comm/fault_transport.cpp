@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace vira::comm {
+
+namespace {
+/// Fault-injection instruments, mirrored into the shared registry so the
+/// metrics dump shows injected chaos next to the recovery counters.
+struct FaultMetrics {
+  obs::Counter& dropped = obs::Registry::instance().counter("fault.dropped");
+  obs::Counter& duplicated = obs::Registry::instance().counter("fault.duplicated");
+  obs::Counter& delayed = obs::Registry::instance().counter("fault.delayed");
+  obs::Counter& suppressed_dead = obs::Registry::instance().counter("fault.suppressed_dead");
+  obs::Counter& killed = obs::Registry::instance().counter("fault.killed_ranks");
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics* instruments = new FaultMetrics();
+  return *instruments;
+}
+}  // namespace
 
 FaultInjectingTransport::FaultInjectingTransport(std::shared_ptr<Transport> inner,
                                                  FaultInjectionConfig config)
@@ -34,19 +52,23 @@ void FaultInjectingTransport::send(int dest, Message msg) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (dead_.count(dest) > 0 || dead_.count(msg.source) > 0) {
       ++stats_.suppressed_dead;
+      fault_metrics().suppressed_dead.add();
       return;
     }
     if (faults_possible()) {
       if (config_.drop_rate > 0.0 && rng_.next_double() < config_.drop_rate) {
         ++stats_.dropped;
+        fault_metrics().dropped.add();
         return;
       }
       if (config_.duplicate_rate > 0.0 && rng_.next_double() < config_.duplicate_rate) {
         ++stats_.duplicated;
+        fault_metrics().duplicated.add();
         duplicate = true;
       }
       if (config_.delay_rate > 0.0 && rng_.next_double() < config_.delay_rate) {
         ++stats_.delayed;
+        fault_metrics().delayed.add();
         const auto span = std::max<std::int64_t>(1, config_.max_delay.count());
         delay = std::chrono::milliseconds(
             1 + static_cast<std::int64_t>(rng_.next_below(static_cast<std::uint64_t>(span))));
@@ -79,6 +101,7 @@ std::optional<Message> FaultInjectingTransport::recv(int self, std::chrono::mill
     // A crashed rank reads nothing; mail from a crashed rank (queued before
     // the crash) is discarded, like an undelivered socket buffer.
     ++stats_.suppressed_dead;
+    fault_metrics().suppressed_dead.add();
     return std::nullopt;
   }
   return msg;
@@ -98,6 +121,7 @@ void FaultInjectingTransport::kill_rank(int rank) {
     std::lock_guard<std::mutex> lock(mutex_);
     dead_.insert(rank);
   }
+  fault_metrics().killed.add();
   VIRA_WARN("fault") << "rank " << rank << " killed (delivery suppressed)";
 }
 
@@ -153,6 +177,7 @@ void FaultInjectingTransport::delay_loop() {
       std::lock_guard<std::mutex> guard(mutex_);
       if (dead_.count(item.dest) > 0 || dead_.count(item.msg.source) > 0) {
         ++stats_.suppressed_dead;
+        fault_metrics().suppressed_dead.add();
         suppressed = true;
       }
     }

@@ -2,7 +2,22 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace vira::comm {
+
+namespace {
+struct TransportMetrics {
+  obs::Counter& messages = obs::Registry::instance().counter("comm.messages_sent");
+  obs::Counter& bytes = obs::Registry::instance().counter("comm.bytes_sent");
+};
+
+TransportMetrics& metrics() {
+  static TransportMetrics* instruments = new TransportMetrics();
+  return *instruments;
+}
+}  // namespace
 
 InProcTransport::InProcTransport(int size) {
   if (size <= 0) {
@@ -17,6 +32,20 @@ InProcTransport::InProcTransport(int size) {
 void InProcTransport::send(int dest, Message msg) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("InProcTransport::send: bad destination endpoint");
+  }
+  metrics().messages.add();
+  metrics().bytes.add(msg.payload.size());
+  // Gated span: only sends issued from traced work (a span context on this
+  // thread) get a "comm.send" record — heartbeat/teardown chatter stays out
+  // of the trace, and the no-sink path never reaches here.
+  obs::ActiveSpan span;
+  if (obs::current_context().span_id != 0) {
+    span = obs::Tracer::instance().start_child("comm.send");
+    if (span.active()) {
+      span.arg("dest", dest);
+      span.arg("tag", msg.tag);
+      span.arg("bytes", static_cast<std::int64_t>(msg.payload.size()));
+    }
   }
   mailboxes_[static_cast<std::size_t>(dest)]->push(std::move(msg));
 }

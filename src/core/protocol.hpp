@@ -68,17 +68,23 @@ struct CommandRequest {
   std::uint64_t request_id = 0;
   std::string command;
   util::ParamList params;
+  /// obs trace context: span id of the client's "client.request" span
+  /// (0 = untraced). The scheduler parents its per-attempt span under it
+  /// so the exported trace stitches client → scheduler → workers.
+  std::uint64_t parent_span = 0;
 
   void serialize(util::ByteBuffer& out) const {
     out.write<std::uint64_t>(request_id);
     out.write_string(command);
     params.serialize(out);
+    out.write<std::uint64_t>(parent_span);
   }
   static CommandRequest deserialize(util::ByteBuffer& in) {
     CommandRequest request;
     request.request_id = in.read<std::uint64_t>();
     request.command = in.read_string();
     request.params = util::ParamList::deserialize(in);
+    request.parent_span = in.read<std::uint64_t>();
     return request;
   }
 };
@@ -90,6 +96,14 @@ struct ExecuteOrder {
   util::ParamList params;
   std::vector<std::int32_t> group_ranks;  ///< all ranks of the work group
   std::int32_t master_rank = -1;          ///< collects the final result
+  /// obs trace context: span id of the scheduler's "sched.request" attempt
+  /// span (0 = untraced) — the worker's "worker.execute" span parents
+  /// under it, so a retried attempt shows up as a second span tree.
+  std::uint64_t parent_span = 0;
+  /// obs trace context: the client-visible request id (request_id above is
+  /// the scheduler's internal id, which changes across retries). All spans
+  /// of one logical request annotate this id.
+  std::uint64_t trace_request = 0;
 
   void serialize(util::ByteBuffer& out) const {
     out.write<std::uint64_t>(request_id);
@@ -97,6 +111,8 @@ struct ExecuteOrder {
     params.serialize(out);
     out.write_vector(group_ranks);
     out.write<std::int32_t>(master_rank);
+    out.write<std::uint64_t>(parent_span);
+    out.write<std::uint64_t>(trace_request);
   }
   static ExecuteOrder deserialize(util::ByteBuffer& in) {
     ExecuteOrder order;
@@ -105,6 +121,8 @@ struct ExecuteOrder {
     order.params = util::ParamList::deserialize(in);
     order.group_ranks = in.read_vector<std::int32_t>();
     order.master_rank = in.read<std::int32_t>();
+    order.parent_span = in.read<std::uint64_t>();
+    order.trace_request = in.read<std::uint64_t>();
     return order;
   }
 };
@@ -210,17 +228,25 @@ struct FragmentHeader {
   std::uint64_t request_id = 0;
   std::int32_t partition = -1;
   std::uint32_t sequence = 0;
+  /// obs trace context: span id of the producing worker's "send" phase
+  /// span (0 = untraced). Lets trace tooling attribute each client-side
+  /// fragment arrival to the worker-side send that produced it. The field
+  /// is appended after the original triple on the wire, so the scheduler's
+  /// in-place rewrite of the leading request_id word is unaffected.
+  std::uint64_t span_id = 0;
 
   void serialize(util::ByteBuffer& out) const {
     out.write<std::uint64_t>(request_id);
     out.write<std::int32_t>(partition);
     out.write<std::uint32_t>(sequence);
+    out.write<std::uint64_t>(span_id);
   }
   static FragmentHeader deserialize(util::ByteBuffer& in) {
     FragmentHeader header;
     header.request_id = in.read<std::uint64_t>();
     header.partition = in.read<std::int32_t>();
     header.sequence = in.read<std::uint32_t>();
+    header.span_id = in.read<std::uint64_t>();
     return header;
   }
 };

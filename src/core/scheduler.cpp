@@ -5,12 +5,30 @@
 
 #include "core/remote_server_api.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace vira::core {
 
 namespace {
 constexpr auto kPollSlice = std::chrono::milliseconds(2);
+
+/// Scheduler instruments (resolved once; see obs::Registry contract).
+struct SchedulerMetrics {
+  obs::Counter& requests = obs::Registry::instance().counter("sched.requests");
+  obs::Counter& retries = obs::Registry::instance().counter("sched.retries");
+  obs::Counter& degraded = obs::Registry::instance().counter("sched.degraded");
+  obs::Counter& failed = obs::Registry::instance().counter("sched.failed");
+  obs::Counter& lost_workers = obs::Registry::instance().counter("sched.lost_workers");
+  obs::Counter& fragments = obs::Registry::instance().counter("sched.fragments_forwarded");
+  obs::Histogram& runtime = obs::Registry::instance().histogram("sched.request_seconds");
+  obs::Histogram& latency = obs::Registry::instance().histogram("sched.latency_seconds");
+};
+
+SchedulerMetrics& metrics() {
+  static SchedulerMetrics* instruments = new SchedulerMetrics();
+  return *instruments;
+}
 
 /// Stable fragment identity within one logical request: partition index in
 /// the high half, per-partition sequence in the low half. Partition indices
@@ -246,6 +264,13 @@ void Scheduler::handle_stream(comm::Message& msg, bool final) {
   // id is the first u64 of the serialized FragmentHeader.
   const std::uint64_t client_request = group.request.request_id;
   std::memcpy(msg.payload.data(), &client_request, sizeof(client_request));
+  metrics().fragments.add();
+  auto send_span = obs::Tracer::instance().start("link.send", client_request, /*rank=*/0,
+                                                 group.span.context().span_id);
+  if (send_span.active()) {
+    send_span.arg("bytes", static_cast<std::int64_t>(msg.payload.size()));
+    send_span.arg("partition", header.partition);
+  }
   send_to_client(group.client, final ? kTagFinal : kTagPartial, std::move(msg.payload));
 }
 
@@ -320,6 +345,7 @@ void Scheduler::check_liveness() {
       dead_.insert(rank);
       free_.erase(rank);
       lost_workers_.fetch_add(1);
+      metrics().lost_workers.add();
       VIRA_WARN("scheduler") << "worker rank " << rank << " declared dead (silent for "
                              << config_.death_timeout.count() << "ms); "
                              << (worker_count_ - dead_.size()) << " workers remain";
@@ -441,6 +467,7 @@ void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reas
   }
 
   total_retries_.fetch_add(1);
+  metrics().retries.add();
 
   PendingRequest retry;
   retry.client = group.client;
@@ -496,6 +523,16 @@ void Scheduler::finish_group(std::uint64_t internal_id) {
   util::ByteBuffer payload;
   stats.serialize(payload);
   send_to_client(group.client, kTagComplete, std::move(payload));
+
+  metrics().requests.add();
+  metrics().runtime.observe(stats.total_runtime);
+  metrics().latency.observe(stats.latency);
+  if (stats.degraded()) {
+    metrics().degraded.add();
+  }
+  if (group.failed) {
+    metrics().failed.add();
+  }
 
   VIRA_DEBUG("scheduler") << "request " << group.request.request_id << " (client "
                           << group.client << ") finished in " << stats.total_runtime
@@ -585,12 +622,23 @@ void Scheduler::start_group(PendingRequest entry) {
   group.timer.restart();
   group.dispatched_at = Clock::now();
 
+  // One span per attempt, parented under the client's submit span; its id
+  // travels in the execute order so every worker span stitches under it.
+  group.span = obs::Tracer::instance().start("sched.request", group.request.request_id,
+                                             /*rank=*/0, group.request.parent_span);
+  if (group.span.active()) {
+    group.span.arg("attempt", group.attempt + 1);
+    group.span.arg("workers", static_cast<std::int64_t>(group.ranks.size()));
+  }
+
   ExecuteOrder order;
   order.request_id = internal_id;  // workers talk in internal ids
   order.command = group.request.command;
   order.params = group.request.params;
   order.group_ranks.assign(group.ranks.begin(), group.ranks.end());
   order.master_rank = group.master;
+  order.parent_span = group.span.context().span_id;
+  order.trace_request = group.request.request_id;
 
   VIRA_DEBUG("scheduler") << "request " << group.request.request_id << " (client "
                           << group.client << ") -> group of " << group.ranks.size()

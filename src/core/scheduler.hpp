@@ -35,6 +35,7 @@
 #include "comm/communicator.hpp"
 #include "dms/data_server.hpp"
 #include "core/protocol.hpp"
+#include "obs/tracer.hpp"
 #include "util/timer.hpp"
 
 namespace vira::core {
@@ -132,6 +133,10 @@ class Scheduler {
     std::map<std::string, double> phase_seconds;
     std::set<int> done_ranks;
     std::set<std::uint64_t> seen_fragments;
+    /// Per-attempt "sched.request" trace span (parented under the client's
+    /// span; a retried request opens a fresh one, so recovery is visible
+    /// as a second span tree). Ends when the Group is destroyed.
+    obs::ActiveSpan span;
 
     double total_seconds() const { return elapsed_before + timer.seconds(); }
   };

@@ -1,7 +1,10 @@
 #include "core/worker.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/log.hpp"
 
 namespace vira::core {
@@ -98,10 +101,23 @@ void Worker::execute_order(ExecuteOrder order) {
 
   current_request_.store(request_id);
 
+  // Trace context: the span annotates the client-visible request id
+  // (trace_request) and parents under the scheduler's attempt span; the
+  // ContextScope makes every span opened on this thread during execution
+  // (phase mirrors, DMS loads, transport sends) stitch beneath it.
+  auto exec_span = obs::Tracer::instance().start("worker.execute", order.trace_request,
+                                                 comm_->rank(), order.parent_span);
+  if (exec_span.active()) {
+    exec_span.arg("partition", partition);
+    exec_span.arg("internal_request", static_cast<std::int64_t>(request_id));
+  }
+  obs::ContextScope trace_scope(exec_span.context());
+
   CommandContext::Hooks hooks;
   hooks.stream_partial = [this, request_id, partition, &sequence](util::ByteBuffer fragment) {
     util::ByteBuffer packet;
     FragmentHeader header{request_id, partition, sequence++};
+    header.span_id = obs::current_context().span_id;
     header.serialize(packet);
     packet.write<std::uint64_t>(fragment.size());
     packet.write_raw(fragment.data(), fragment.size());
@@ -110,6 +126,7 @@ void Worker::execute_order(ExecuteOrder order) {
   hooks.send_final = [this, request_id, partition, &sequence](util::ByteBuffer result) {
     util::ByteBuffer packet;
     FragmentHeader header{request_id, partition, sequence++};
+    header.span_id = obs::current_context().span_id;
     header.serialize(packet);
     packet.write<std::uint64_t>(result.size());
     packet.write_raw(result.data(), result.size());
@@ -129,6 +146,18 @@ void Worker::execute_order(ExecuteOrder order) {
   std::vector<int> group_ranks(order.group_ranks.begin(), order.group_ranks.end());
   CommandContext context(request_id, order.params, comm_.get(), std::move(group_ranks),
                          order.master_rank, proxy_.get(), std::move(hooks));
+
+  // Mirror PhaseTimer transitions into obs spans ("compute"/"read"/"send"
+  // children of worker.execute) — commands keep their PhaseTimer API, the
+  // trace gets the per-phase intervals for free.
+  auto phase_span = std::make_shared<obs::ActiveSpan>();
+  context.phases().set_listener(
+      [phase_span](const std::string& /*previous*/, const std::string& next) {
+        phase_span->end();
+        if (!next.empty()) {
+          *phase_span = obs::Tracer::instance().start_child(next);
+        }
+      });
 
   WorkerReport report;
   report.request_id = request_id;
@@ -155,6 +184,14 @@ void Worker::execute_order(ExecuteOrder order) {
   }
   report.phase_seconds = context.phases().phases();
   current_request_.store(0);
+  phase_span->end();
+  if (exec_span.active()) {
+    exec_span.arg("success", report.success ? 1 : 0);
+  }
+  exec_span.end();
+
+  static obs::Counter& commands_counter = obs::Registry::instance().counter("worker.commands");
+  commands_counter.add();
 
   util::ByteBuffer payload;
   report.serialize(payload);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/tracer.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -100,6 +101,17 @@ Blob DataProxy::execute_load(ItemId id, const DataItemName& name, bool from_pref
   const std::uint64_t file_bytes = source_->file_bytes(name);
   const std::string file_key = source_->file_key(name);
 
+  // Demand loads run on the worker thread and inherit the worker.execute /
+  // phase context; async prefetches run on the prefetch thread with no
+  // context and trace as request-0 roots (exempted by trace validators).
+  const auto& trace_ctx = obs::current_context();
+  auto span = obs::Tracer::instance().start(from_prefetch ? "dms.prefetch" : "dms.load",
+                                            trace_ctx.request_id, config_.proxy_id + 1,
+                                            trace_ctx.span_id);
+  if (span.active()) {
+    span.arg("item", static_cast<std::int64_t>(id));
+  }
+
   // Ask the central server which strategy to use (paper Sec. 4.3).
   const auto decision = server_->choose_strategy(config_.proxy_id, id, item_bytes, file_bytes,
                                                  file_key);
@@ -147,6 +159,10 @@ Blob DataProxy::execute_load(ItemId id, const DataItemName& name, bool from_pref
 
   const double seconds = timer.seconds();
   stats_->record_load(blob->size(), seconds);
+  if (span.active()) {
+    span.arg("bytes", static_cast<std::int64_t>(blob->size()));
+    span.arg("strategy", static_cast<std::int64_t>(decision.kind));
+  }
   if (seconds > 0.0) {
     server_->observe_disk_bandwidth(static_cast<double>(blob->size()) / seconds);
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dms/data_item.hpp"
+#include "obs/metrics.hpp"
 
 namespace vira::dms {
 
@@ -46,27 +47,39 @@ struct DmsCounters {
 /// Thread-safe statistics collector with optional request-trace recording
 /// (traces feed the Markov prefetcher's offline evaluation and the
 /// cache-policy ablation bench).
+///
+/// Every record_* additionally bumps the process-wide obs::Registry
+/// instruments (dms.* names) so the metrics dump aggregates across all
+/// proxies; the per-instance snapshot() stays the source the benches and
+/// the adaptive strategy read.
 class DmsStatistics {
  public:
   void record_request(ItemId id) {
+    obs_.requests.add();
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.requests;
     if (trace_enabled_) {
       trace_.push_back(id);
     }
   }
-  void record_l1_hit() { bump(&DmsCounters::l1_hits); }
-  void record_l2_hit() { bump(&DmsCounters::l2_hits); }
-  void record_miss() { bump(&DmsCounters::misses); }
-  void record_prefetch_issued() { bump(&DmsCounters::prefetch_issued); }
-  void record_prefetch_useful() { bump(&DmsCounters::prefetch_useful); }
-  void record_eviction_l1() { bump(&DmsCounters::evictions_l1); }
-  void record_eviction_l2() { bump(&DmsCounters::evictions_l2); }
-  void record_l2_respill() { bump(&DmsCounters::l2_respills); }
-  void record_demotion_dropped_oversize() { bump(&DmsCounters::demotions_dropped_oversize); }
-  void record_demotion_dropped_io() { bump(&DmsCounters::demotions_dropped_io); }
+  void record_l1_hit() { bump(&DmsCounters::l1_hits, obs_.l1_hits); }
+  void record_l2_hit() { bump(&DmsCounters::l2_hits, obs_.l2_hits); }
+  void record_miss() { bump(&DmsCounters::misses, obs_.misses); }
+  void record_prefetch_issued() { bump(&DmsCounters::prefetch_issued, obs_.prefetch_issued); }
+  void record_prefetch_useful() { bump(&DmsCounters::prefetch_useful, obs_.prefetch_useful); }
+  void record_eviction_l1() { bump(&DmsCounters::evictions_l1, obs_.evictions_l1); }
+  void record_eviction_l2() { bump(&DmsCounters::evictions_l2, obs_.evictions_l2); }
+  void record_l2_respill() { bump(&DmsCounters::l2_respills, obs_.l2_respills); }
+  void record_demotion_dropped_oversize() {
+    bump(&DmsCounters::demotions_dropped_oversize, obs_.demotions_dropped_oversize);
+  }
+  void record_demotion_dropped_io() {
+    bump(&DmsCounters::demotions_dropped_io, obs_.demotions_dropped_io);
+  }
 
   void record_load(std::uint64_t bytes, double seconds) {
+    obs_.bytes_loaded.add(bytes);
+    obs_.load_seconds.observe(seconds);
     std::lock_guard<std::mutex> lock(mutex_);
     counters_.bytes_loaded += bytes;
     counters_.load_seconds += seconds;
@@ -102,7 +115,28 @@ class DmsStatistics {
   }
 
  private:
-  void bump(std::uint64_t DmsCounters::* member) {
+  /// Shared obs instruments (dms.* names, one set per process, resolved
+  /// once per DmsStatistics instance — registration-time lookup only).
+  struct ObsInstruments {
+    obs::Counter& requests = obs::Registry::instance().counter("dms.requests");
+    obs::Counter& l1_hits = obs::Registry::instance().counter("dms.l1_hits");
+    obs::Counter& l2_hits = obs::Registry::instance().counter("dms.l2_hits");
+    obs::Counter& misses = obs::Registry::instance().counter("dms.misses");
+    obs::Counter& prefetch_issued = obs::Registry::instance().counter("dms.prefetch_issued");
+    obs::Counter& prefetch_useful = obs::Registry::instance().counter("dms.prefetch_useful");
+    obs::Counter& evictions_l1 = obs::Registry::instance().counter("dms.evictions_l1");
+    obs::Counter& evictions_l2 = obs::Registry::instance().counter("dms.evictions_l2");
+    obs::Counter& l2_respills = obs::Registry::instance().counter("dms.l2_respills");
+    obs::Counter& demotions_dropped_oversize =
+        obs::Registry::instance().counter("dms.demotions_dropped_oversize");
+    obs::Counter& demotions_dropped_io =
+        obs::Registry::instance().counter("dms.demotions_dropped_io");
+    obs::Counter& bytes_loaded = obs::Registry::instance().counter("dms.bytes_loaded");
+    obs::Histogram& load_seconds = obs::Registry::instance().histogram("dms.load_seconds");
+  };
+
+  void bump(std::uint64_t DmsCounters::* member, obs::Counter& mirror) {
+    mirror.add();
     std::lock_guard<std::mutex> lock(mutex_);
     counters_.*member += 1;
   }
@@ -111,6 +145,7 @@ class DmsStatistics {
   DmsCounters counters_;
   bool trace_enabled_ = false;
   std::vector<ItemId> trace_;
+  ObsInstruments obs_;
 };
 
 }  // namespace vira::dms

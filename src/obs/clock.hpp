@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file clock.hpp
+/// The one monotonic clock of the observability layer.
+///
+/// Every span timestamp, every log record and every latency histogram
+/// sample is taken against the same process-wide steady_clock epoch
+/// (util::steady_epoch()), so interleaved worker logs, Chrome-trace spans
+/// and metrics line up on a single timeline. Nanosecond ticks keep the
+/// arithmetic integral on the hot path; exporters convert to µs/seconds.
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/timer.hpp"
+
+namespace vira::obs {
+
+/// The shared trace clock: a fixed steady_clock epoch plus helpers to read
+/// it. All obs timestamps are nanoseconds since this epoch.
+class TraceClock {
+ public:
+  std::chrono::steady_clock::time_point epoch() const noexcept { return util::steady_epoch(); }
+
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - util::steady_epoch())
+                                          .count());
+  }
+};
+
+/// Process-wide clock instance shared by tracer, metrics and util::Logger
+/// (the logger reads util::steady_epoch() directly to avoid a layering
+/// cycle; both views are the same epoch by construction).
+inline const TraceClock& clock() noexcept {
+  static const TraceClock instance;
+  return instance;
+}
+
+inline std::uint64_t now_ns() noexcept { return clock().now_ns(); }
+
+inline double ns_to_seconds(std::uint64_t ns) noexcept { return static_cast<double>(ns) * 1e-9; }
+
+}  // namespace vira::obs

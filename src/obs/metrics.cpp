@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vira::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  // Exponential 1 µs .. 100 s, four steps per decade — covers cache hits
+  // through multi-second extractions with ~16% relative resolution.
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e2; decade *= 10.0) {
+    for (const double step : {1.0, 1.8, 3.2, 5.6}) {
+      bounds.push_back(decade * step);
+    }
+  }
+  bounds.push_back(1e2);
+  return bounds;
+}
+
+void Histogram::observe(double value) noexcept {
+  if (std::isnan(value)) {
+    return;
+  }
+  std::size_t bucket = bounds_.size();  // +inf overflow
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = std::clamp(value * 1e9, -9.2e18, 9.2e18);
+  sum_nano_.fetch_add(static_cast<std::int64_t>(clamped), std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::quantile_upper_bound(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_nano_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // never destroyed: references outlive main
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    throw std::logic_error("Registry: '" + name + "' is not a counter");
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kGauge) {
+    throw std::logic_error("Registry: '" + name + "' is not a gauge");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kHistogram) {
+    throw std::logic_error("Registry: '" + name + "' is not a histogram");
+  }
+  return *it->second.histogram;
+}
+
+void Registry::dump(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "counter " << name << ' ' << entry.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "gauge " << name << ' ' << entry.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "histogram " << name << " count=" << h.count() << " sum=" << h.sum()
+            << " mean=" << h.mean() << " p50<=" << h.quantile_upper_bound(0.5)
+            << " p99<=" << h.quantile_upper_bound(0.99) << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace vira::obs

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-wide metrics registry: monotonic counters, gauges and
+/// fixed-bucket latency histograms.
+///
+/// Design contract (ISSUE 2): the hot path is lock-free — every instrument
+/// is a handful of relaxed atomics — and *named lookup happens at
+/// registration time only*. Call sites resolve their instrument once
+/// (typically into a function-local static reference) and bump it forever
+/// after without touching the registry mutex. Instruments live for the
+/// process lifetime; references never dangle.
+///
+/// The registry absorbs the repo's historically scattered counters
+/// (dms::DmsCounters, scheduler retry/lost-worker counts, fault-injection
+/// stats) into one exportable view without replacing their existing
+/// accessors: the owning structs keep their snapshots, and additionally
+/// bump the shared instruments.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vira::obs {
+
+/// Monotonic counter. add() is wait-free (relaxed atomic).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Signed instantaneous value (queue depths, free workers, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over double samples (typically seconds). Bucket
+/// bounds are immutable after construction, so observe() is a linear scan
+/// over a small array plus three relaxed atomics — no locks, no allocation.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf bucket is
+  /// appended. The default covers 1 µs .. 100 s latencies.
+  explicit Histogram(std::vector<double> upper_bounds = default_latency_bounds());
+
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  /// Sum of all observed samples (accumulated in nanosample fixed-point to
+  /// stay a relaxed integer atomic on the hot path).
+  double sum() const noexcept {
+    return static_cast<double>(sum_nano_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double mean() const noexcept {
+    const auto n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts; index i counts samples <= bounds_[i], the final
+  /// entry counts the +inf overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Smallest bucket upper bound with cumulative count >= q * count()
+  /// (+inf bucket reports the largest finite bound). 0 when empty.
+  double quantile_upper_bound(double q) const;
+
+  void reset() noexcept;
+
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds_.size() + 1 entries
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_nano_{0};
+};
+
+/// Name → instrument registry. Lookup (registration) takes a mutex; the
+/// returned references are stable for the process lifetime.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Throws std::logic_error if `name` is already registered as a
+  /// different instrument kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = Histogram::default_latency_bounds());
+
+  /// Plain-text dump of every instrument, sorted by name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> sum=<s> mean=<m> p50<=<b> p99<=<b>
+  void dump(std::ostream& out) const;
+
+  /// Zeroes every instrument (bench/test epoch boundary). Instruments stay
+  /// registered; held references remain valid.
+  void reset();
+
+  /// Registered instrument names (sorted), for tests.
+  std::vector<std::string> names() const;
+
+ private:
+  Registry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace vira::obs

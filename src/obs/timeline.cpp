@@ -1,0 +1,125 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace vira::obs {
+
+namespace {
+
+/// Total length of the union of [begin, end) intervals clipped to
+/// [window_begin, window_end).
+std::uint64_t union_length(std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals,
+                           std::uint64_t window_begin, std::uint64_t window_end) {
+  std::sort(intervals.begin(), intervals.end());
+  std::uint64_t covered = 0;
+  std::uint64_t cursor = window_begin;
+  for (const auto& [begin, end] : intervals) {
+    const std::uint64_t lo = std::max(std::max(begin, cursor), window_begin);
+    const std::uint64_t hi = std::min(end, window_end);
+    if (hi > lo) {
+      covered += hi - lo;
+      cursor = hi;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+TimelineReport TimelineReport::from_phases(const std::map<std::string, double>& phases,
+                                           double wall_seconds) {
+  TimelineReport report;
+  for (const auto& [name, secs] : phases) {
+    if (secs > 0.0) {
+      report.phases_[name] = secs;
+    }
+  }
+  report.wall_seconds_ = wall_seconds > 0.0 ? wall_seconds : 0.0;
+  if (report.wall_seconds_ > 0.0) {
+    report.coverage_ = std::min(1.0, report.total() / report.wall_seconds_);
+  }
+  return report;
+}
+
+TimelineReport TimelineReport::from_spans(const std::vector<SpanRecord>& spans,
+                                          std::uint64_t request_id) {
+  TimelineReport report;
+  std::uint64_t window_begin = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t window_end = 0;
+  bool have_client_span = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> server_intervals;
+
+  for (const auto& span : spans) {
+    if (request_id != 0 && span.request_id != request_id) {
+      continue;
+    }
+    if (span.end_ns < span.begin_ns) {
+      continue;  // malformed; validators flag these separately
+    }
+    if (span.name == "compute" || span.name == "read" || span.name == "send") {
+      report.phases_[span.name] += span.seconds();
+    }
+    if (span.name == "client.request") {
+      // The client-side wall window; prefer it over the raw span extent so
+      // coverage measures "how much of what the user waited for is
+      // accounted".
+      if (!have_client_span || span.end_ns - span.begin_ns > window_end - window_begin) {
+        window_begin = span.begin_ns;
+        window_end = span.end_ns;
+        have_client_span = true;
+      }
+      continue;
+    }
+    if (!have_client_span) {
+      window_begin = std::min(window_begin, span.begin_ns);
+      window_end = std::max(window_end, span.end_ns);
+    }
+    if (span.rank >= 0) {
+      server_intervals.emplace_back(span.begin_ns, span.end_ns);
+    }
+  }
+
+  if (window_end > window_begin && window_begin != std::numeric_limits<std::uint64_t>::max()) {
+    report.wall_seconds_ = static_cast<double>(window_end - window_begin) * 1e-9;
+    const std::uint64_t covered =
+        union_length(std::move(server_intervals), window_begin, window_end);
+    report.coverage_ =
+        static_cast<double>(covered) / static_cast<double>(window_end - window_begin);
+  }
+  return report;
+}
+
+double TimelineReport::seconds(const std::string& phase) const {
+  const auto it = phases_.find(phase);
+  return it != phases_.end() ? it->second : 0.0;
+}
+
+double TimelineReport::total() const {
+  double sum = 0.0;
+  for (const auto& [name, secs] : phases_) {
+    sum += secs;
+  }
+  return sum;
+}
+
+double TimelineReport::share(const std::string& phase) const {
+  const double sum = total();
+  return sum > 0.0 ? seconds(phase) / sum : 0.0;
+}
+
+void TimelineReport::print(std::ostream& out, const std::string& label) const {
+  char row[160];
+  if (total() <= 0.0) {
+    std::snprintf(row, sizeof(row), "  %-20s (no samples)\n", label.c_str());
+    out << row;
+    return;
+  }
+  std::snprintf(row, sizeof(row), "  %-20s compute %5.1f%%   read %5.1f%%   send %5.1f%%\n",
+                label.c_str(), 100.0 * share("compute"), 100.0 * share("read"),
+                100.0 * share("send"));
+  out << row;
+}
+
+}  // namespace vira::obs

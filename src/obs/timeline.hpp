@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Per-command timeline report (ISSUE 2 tentpole, part 4).
+///
+/// One uniform compute / read / send breakdown for every bench and tool,
+/// fed either by real traced spans (from_spans) or by simulated phase
+/// totals (from_phases — the perf::replay_extraction path used by
+/// bench_fig15_breakdown). Replaces the hand-rolled percentage math that
+/// each bench previously reimplemented.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace vira::obs {
+
+class TimelineReport {
+ public:
+  /// Builds a report from explicit phase totals (e.g. a ReplayResult or a
+  /// merged PhaseTimer). `wall_seconds` 0 means "unknown"; shares are then
+  /// relative to the phase total only.
+  static TimelineReport from_phases(const std::map<std::string, double>& phases,
+                                    double wall_seconds = 0.0);
+
+  /// Builds a report from traced spans. Considers spans whose request_id
+  /// matches (`request_id` 0 = all). Phase seconds sum the leaf phase
+  /// spans ("compute" / "read" / "send" — the PhaseTimer mirror); the wall
+  /// window is the "client.request" span when present, else the overall
+  /// span extent; coverage is the unioned server-side (rank >= 0) span
+  /// time inside that window divided by its length.
+  static TimelineReport from_spans(const std::vector<SpanRecord>& spans,
+                                   std::uint64_t request_id = 0);
+
+  /// Seconds attributed to a phase (0 for unknown names).
+  double seconds(const std::string& phase) const;
+
+  /// Phase share of the phase total, in [0, 1] (0 when the total is 0).
+  double share(const std::string& phase) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// Wall window of the underlying request (0 when unknown).
+  double wall_seconds() const noexcept { return wall_seconds_; }
+
+  /// Fraction of the wall window covered by server-side spans, in [0, 1].
+  /// Only meaningful for from_spans reports (0 otherwise).
+  double coverage() const noexcept { return coverage_; }
+
+  const std::map<std::string, double>& phases() const noexcept { return phases_; }
+
+  /// Prints one Fig. 15-style breakdown row:
+  ///   "  <label>  compute xx.x%   read xx.x%   send xx.x%"
+  /// followed by "(no samples)" when the phase total is zero.
+  void print(std::ostream& out, const std::string& label) const;
+
+ private:
+  std::map<std::string, double> phases_;
+  double wall_seconds_ = 0.0;
+  double coverage_ = 0.0;
+};
+
+}  // namespace vira::obs

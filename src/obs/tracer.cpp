@@ -1,0 +1,247 @@
+#include "obs/tracer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace vira::obs {
+
+namespace {
+
+thread_local SpanContext tls_context;
+
+std::uint64_t this_thread_id() {
+  return static_cast<std::uint64_t>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+const SpanContext& current_context() noexcept { return tls_context; }
+
+SpanContext swap_current_context(SpanContext ctx) noexcept {
+  SpanContext previous = tls_context;
+  tls_context = ctx;
+  return previous;
+}
+
+ActiveSpan& ActiveSpan::operator=(ActiveSpan&& other) noexcept {
+  if (this != &other) {
+    end();
+    name_ = std::move(other.name_);
+    request_id_ = other.request_id_;
+    rank_ = other.rank_;
+    span_id_ = other.span_id_;
+    parent_id_ = other.parent_id_;
+    begin_ns_ = other.begin_ns_;
+    args_ = std::move(other.args_);
+    live_ = other.live_;
+    other.live_ = false;
+  }
+  return *this;
+}
+
+void ActiveSpan::arg(const char* key, std::int64_t value) {
+  if (live_) {
+    args_.emplace_back(key, value);
+  }
+}
+
+void ActiveSpan::end() {
+  if (!live_) {
+    return;
+  }
+  live_ = false;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.request_id = request_id_;
+  record.rank = rank_;
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  record.begin_ns = begin_ns_;
+  record.end_ns = now_ns();
+  record.thread_id = this_thread_id();
+  record.args = std::move(args_);
+  Tracer::instance().commit(std::move(record));
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // never destroyed: spans may end during shutdown
+  return *tracer;
+}
+
+ActiveSpan Tracer::start(std::string name, std::uint64_t request_id, std::int32_t rank,
+                         std::uint64_t parent_id) {
+  ActiveSpan span;
+  if (!enabled()) {
+    return span;
+  }
+  span.name_ = std::move(name);
+  span.request_id_ = request_id;
+  span.rank_ = rank;
+  span.span_id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_id_ = parent_id;
+  span.begin_ns_ = now_ns();
+  span.live_ = true;
+  return span;
+}
+
+ActiveSpan Tracer::start_child(std::string name) {
+  const SpanContext& ctx = tls_context;
+  return start(std::move(name), ctx.request_id, ctx.rank, ctx.span_id);
+}
+
+void Tracer::commit(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t max_records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = max_records;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string process_label(std::int32_t rank) {
+  if (rank == kClientRank) {
+    return "client";
+  }
+  if (rank == 0) {
+    return "scheduler (rank 0)";
+  }
+  if (rank > 0) {
+    return "worker (rank " + std::to_string(rank) + ")";
+  }
+  return "untracked";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  const auto records = Tracer::instance().snapshot();
+
+  // pid = rank + 2 keeps pids positive: client (rank -1) → 1, scheduler → 2,
+  // worker N → N + 2, untracked (kNoRank) → 0.
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::vector<std::int32_t> ranks_seen;
+  for (const auto& record : records) {
+    bool seen = false;
+    for (const auto r : ranks_seen) {
+      seen = seen || r == record.rank;
+    }
+    if (!seen) {
+      ranks_seen.push_back(record.rank);
+      std::string label;
+      append_json_escaped(label, process_label(record.rank));
+      if (!first) {
+        out << ',';
+      }
+      first = false;
+      out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << (record.rank + 2)
+          << ",\"tid\":0,\"args\":{\"name\":\"" << label << "\"}}";
+    }
+
+    std::string name;
+    append_json_escaped(name, record.name);
+    const double ts_us = static_cast<double>(record.begin_ns) * 1e-3;
+    const double dur_us =
+        record.end_ns >= record.begin_ns ? static_cast<double>(record.end_ns - record.begin_ns) * 1e-3
+                                         : 0.0;
+    char header[256];
+    std::snprintf(header, sizeof(header),
+                  ",{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                  "\"tid\":%" PRIu64,
+                  name.c_str(), ts_us, dur_us, record.rank + 2,
+                  record.thread_id % 1000000);
+    out << header;
+    out << ",\"args\":{\"request_id\":" << record.request_id << ",\"span_id\":" << record.span_id
+        << ",\"parent_id\":" << record.parent_id << ",\"rank\":" << record.rank;
+    for (const auto& [key, value] : record.args) {
+      std::string escaped;
+      append_json_escaped(escaped, key);
+      out << ",\"" << escaped << "\":" << value;
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    VIRA_WARN("obs") << "cannot open trace file '" << path << "'";
+    return false;
+  }
+  write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void write_metrics_text(std::ostream& out) { Registry::instance().dump(out); }
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    VIRA_WARN("obs") << "cannot open metrics file '" << path << "'";
+    return false;
+  }
+  write_metrics_text(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace vira::obs

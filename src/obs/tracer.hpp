@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file tracer.hpp
+/// Span-based tracer with explicit parent/child context across threads and
+/// ranks (ISSUE 2 tentpole).
+///
+/// A span is a named interval on the shared obs clock, annotated with the
+/// (request_id, rank, span_id) triple that travels inside message headers
+/// (core::CommandRequest::parent_span, core::ExecuteOrder::parent_span /
+/// trace_request, core::FragmentHeader::span_id) so one streamed request
+/// stitches end-to-end: client submit → scheduler attempt → every worker's
+/// execute + phase spans → DMS loads → client-link sends. A retried attempt
+/// opens a second "sched.request" span tree under the same client span, so
+/// failure recovery is visible in the trace rather than averaged away.
+///
+/// Cost model: compiled in always. With no sink attached (the default)
+/// starting a span is one relaxed atomic load and returns an inert handle —
+/// no clock read, no allocation, no lock. With a sink attached each span
+/// costs two clock reads and one short mutex section at end() (the commit
+/// into the in-memory ring). The record store is bounded (set_capacity);
+/// overflow drops new spans and counts them instead of growing without
+/// limit — sampled tracing under sustained load.
+///
+/// Exporters: Chrome trace_event JSON (chrome://tracing / Perfetto) and the
+/// plain-text metrics dump, wired into viracocha-server (dump on
+/// shutdown/SIGUSR1) and viracocha-cli (--trace-out / --metrics-out).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vira::obs {
+
+/// Rank of the visualization client in trace coordinates (workers are
+/// 1..N, the scheduler is 0 — matching the rank transport).
+inline constexpr std::int32_t kClientRank = -1;
+/// Rank not known / not applicable.
+inline constexpr std::int32_t kNoRank = -2;
+
+/// The triple that propagates a trace across threads and ranks. span_id 0
+/// means "no span" (tracing disabled or no parent).
+struct SpanContext {
+  std::uint64_t request_id = 0;
+  std::int32_t rank = kNoRank;
+  std::uint64_t span_id = 0;
+};
+
+/// One finished span as stored by the tracer.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t request_id = 0;
+  std::int32_t rank = kNoRank;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  std::uint64_t begin_ns = 0;   ///< obs::clock() nanoseconds
+  std::uint64_t end_ns = 0;
+  std::uint64_t thread_id = 0;  ///< hashed std::thread::id
+  std::vector<std::pair<std::string, std::int64_t>> args;
+
+  double seconds() const noexcept {
+    return end_ns >= begin_ns ? static_cast<double>(end_ns - begin_ns) * 1e-9 : 0.0;
+  }
+};
+
+class Tracer;
+
+/// Movable RAII handle for an open span. Inert (active() == false) when the
+/// tracer had no sink at start time; every operation on an inert handle is
+/// a no-op. end() commits the record and is idempotent.
+class ActiveSpan {
+ public:
+  ActiveSpan() = default;
+  ActiveSpan(const ActiveSpan&) = delete;
+  ActiveSpan& operator=(const ActiveSpan&) = delete;
+  ActiveSpan(ActiveSpan&& other) noexcept { *this = std::move(other); }
+  ActiveSpan& operator=(ActiveSpan&& other) noexcept;
+  ~ActiveSpan() { end(); }
+
+  bool active() const noexcept { return live_; }
+  /// (request_id, rank, span_id) of this span; all zero/kNoRank when inert.
+  SpanContext context() const noexcept { return {request_id_, rank_, span_id_}; }
+
+  /// Attaches a small integer annotation (exported into Chrome "args").
+  void arg(const char* key, std::int64_t value);
+
+  void end();
+
+ private:
+  friend class Tracer;
+  std::string name_;
+  std::uint64_t request_id_ = 0;
+  std::int32_t rank_ = kNoRank;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::uint64_t begin_ns_ = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args_;
+  bool live_ = false;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Attaches the in-memory sink: spans started from now on are recorded.
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  /// Detaches the sink; already-started spans still commit on end().
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a span. `parent_id` 0 makes a root span. Returns an inert handle
+  /// when no sink is attached.
+  ActiveSpan start(std::string name, std::uint64_t request_id, std::int32_t rank,
+                   std::uint64_t parent_id);
+
+  /// Opens a span inheriting (request, rank, parent) from the calling
+  /// thread's current context (see current_context()).
+  ActiveSpan start_child(std::string name);
+
+  /// Completed spans recorded so far (copy; safe while tracing continues).
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Bounds the record store; spans finishing beyond the cap are dropped
+  /// (and counted) instead of growing memory without limit.
+  void set_capacity(std::size_t max_records);
+  std::uint64_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ActiveSpan;
+  Tracer() = default;
+  void commit(SpanRecord record);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 1u << 20;
+  std::vector<SpanRecord> records_;
+};
+
+/// The calling thread's current span context (what new child spans and
+/// outgoing message headers inherit). Default-initialized per thread.
+const SpanContext& current_context() noexcept;
+
+/// Replaces the thread's current context, returning the previous one (for
+/// non-scoped transitions like PhaseTimer phase changes).
+SpanContext swap_current_context(SpanContext ctx) noexcept;
+
+/// RAII: makes `ctx` the thread's current context, restores on destruction.
+class ContextScope {
+ public:
+  explicit ContextScope(const SpanContext& ctx) : previous_(swap_current_context(ctx)) {}
+  ~ContextScope() { swap_current_context(previous_); }
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  SpanContext previous_;
+};
+
+/// --- exporters -------------------------------------------------------------
+
+/// Chrome trace_event JSON ("X" complete events, pid = rank + 1 with
+/// process_name metadata) from the tracer's current records.
+void write_chrome_trace(std::ostream& out);
+/// Writes the trace to `path`; false (with a log record) on I/O failure.
+bool write_chrome_trace_file(const std::string& path);
+
+/// Plain-text metrics dump (Registry::dump).
+void write_metrics_text(std::ostream& out);
+bool write_metrics_file(const std::string& path);
+
+}  // namespace vira::obs

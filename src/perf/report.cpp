@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
+
+#include "obs/timeline.hpp"
 
 namespace vira::perf {
 
@@ -56,13 +59,10 @@ void print_value(const std::string& label, double value, const std::string& unit
 }
 
 void print_breakdown(const std::string& label, double compute, double read, double send) {
-  const double total = compute + read + send;
-  if (total <= 0.0) {
-    std::printf("  %-20s (no samples)\n", label.c_str());
-    return;
-  }
-  std::printf("  %-20s compute %5.1f%%   read %5.1f%%   send %5.1f%%\n", label.c_str(),
-              100.0 * compute / total, 100.0 * read / total, 100.0 * send / total);
+  // Thin adapter: the percentage math lives in obs::TimelineReport so every
+  // bench/tool renders the same breakdown (ISSUE 2).
+  obs::TimelineReport::from_phases({{"compute", compute}, {"read", read}, {"send", send}})
+      .print(std::cout, label);
 }
 
 void print_expectation(const std::string& text) {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <iostream>
 
+#include "util/timer.hpp"
+
 namespace vira::util {
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -46,9 +48,11 @@ void Logger::set_stream(std::ostream* stream) noexcept {
 }
 
 void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  // One process-wide epoch shared with obs::clock(): log timestamps and
+  // trace spans line up, and the epoch no longer depends on which thread
+  // logged first (the old function-local static raced to pick it).
   using Clock = std::chrono::steady_clock;
-  static const Clock::time_point start = Clock::now();
-  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - steady_epoch()).count();
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (level < level_) {

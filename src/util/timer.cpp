@@ -1,8 +1,15 @@
 #include "util/timer.hpp"
 
+#include <cmath>
 #include <ctime>
+#include <limits>
 
 namespace vira::util {
+
+std::chrono::steady_clock::time_point steady_epoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 
 double thread_cpu_seconds() {
   timespec ts{};
@@ -14,6 +21,9 @@ double thread_cpu_seconds() {
 
 void PhaseTimer::enter(const std::string& phase) {
   flush();
+  if (listener_ && current_ != phase) {
+    listener_(current_, phase);
+  }
   current_ = phase;
   entered_ = Clock::now();
 }
@@ -46,11 +56,26 @@ double PhaseTimer::total() const {
 
 void PhaseTimer::merge(const PhaseTimer& other) {
   for (const auto& [name, secs] : other.phases_) {
-    phases_[name] += secs;
+    add(name, secs);
   }
 }
 
+void PhaseTimer::add(const std::string& phase, double seconds) {
+  // Guard against garbage from deserialized or clock-skewed reports: drop
+  // negative and non-finite contributions, saturate instead of overflowing.
+  if (!std::isfinite(seconds) || seconds <= 0.0 || phase.empty()) {
+    return;
+  }
+  double& slot = phases_[phase];
+  const double next = slot + seconds;
+  slot = std::isfinite(next) ? next : std::numeric_limits<double>::max();
+}
+
 void PhaseTimer::reset() {
+  flush();  // keep listener symmetry: close the open phase before clearing
+  if (listener_ && !current_.empty()) {
+    listener_(current_, std::string());
+  }
   phases_.clear();
   current_.clear();
 }

@@ -9,10 +9,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
 namespace vira::util {
+
+/// Process-wide fixed steady_clock epoch, captured once on first use.
+/// Logger timestamps and the obs trace clock (obs::clock()) both measure
+/// against this epoch, so interleaved log lines and Chrome-trace spans line
+/// up on a single timeline. Call it early (any logging call does) to pin
+/// the epoch near process start.
+std::chrono::steady_clock::time_point steady_epoch() noexcept;
 
 /// Monotonic wall-clock stopwatch with pause/resume semantics.
 class WallTimer {
@@ -61,8 +69,18 @@ double thread_cpu_seconds();
 /// Accumulates named phases ("compute", "read", "send", ...) so a command
 /// can report where its runtime went. Not thread-safe; each worker keeps
 /// its own instance and the master merges them.
+///
+/// Commands should not grow new direct uses: phase attribution now flows
+/// through vira::obs spans (CommandContext installs a listener that mirrors
+/// every transition into the tracer). PhaseTimer remains as the thin
+/// aggregate adapter that perf::profile_* calibration and WorkerReport
+/// serialization consume.
 class PhaseTimer {
  public:
+  /// Callback fired on every phase transition with (previous, next) names
+  /// (either may be empty at the accounting boundaries). Used to mirror
+  /// phases into obs spans without util depending on obs.
+  using Listener = std::function<void(const std::string& previous, const std::string& next)>;
   /// Starts (or resumes) accounting the named phase, stopping the previous
   /// one. Passing an empty name stops accounting entirely.
   void enter(const std::string& phase);
@@ -82,8 +100,16 @@ class PhaseTimer {
   /// Sum over all phases.
   double total() const;
 
-  /// Adds the phases of another timer into this one.
+  /// Adds the phases of another timer into this one. Non-finite and
+  /// negative contributions (clock skew in a deserialized report) are
+  /// dropped, and saturating addition guards against overflow to inf.
   void merge(const PhaseTimer& other);
+
+  /// Adds `seconds` into the named phase, with the same guards as merge().
+  void add(const std::string& phase, double seconds);
+
+  /// Installs (or clears, with nullptr) the transition listener.
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
 
   void reset();
 
@@ -94,6 +120,7 @@ class PhaseTimer {
   std::map<std::string, double> phases_;
   std::string current_;
   Clock::time_point entered_{};
+  Listener listener_;
 };
 
 /// RAII phase guard: enters `phase` on construction, restores the previous

@@ -67,11 +67,18 @@ std::shared_ptr<ResultStream> ExtractionSession::submit(const std::string& comma
   request.command = command;
   request.params = params;
 
+  auto span = obs::Tracer::instance().start("client.request", request.request_id,
+                                            obs::kClientRank, /*parent_id=*/0);
+  request.parent_span = span.context().span_id;
+
   auto stream = std::shared_ptr<ResultStream>(new ResultStream(request.request_id));
   {
     std::lock_guard<std::mutex> lock(streams_mutex_);
     streams_[request.request_id] = stream;
     submit_times_[request.request_id] = std::chrono::steady_clock::now();
+    if (span.active()) {
+      request_spans_[request.request_id] = std::move(span);
+    }
   }
 
   util::ByteBuffer payload;
@@ -180,6 +187,7 @@ void ExtractionSession::receive_loop() {
       std::lock_guard<std::mutex> lock(streams_mutex_);
       streams_.erase(request_id);
       submit_times_.erase(request_id);
+      request_spans_.erase(request_id);  // ends the client.request span
       stream->queue_.close();
     }
   }

@@ -21,6 +21,7 @@
 
 #include "comm/client_link.hpp"
 #include "core/protocol.hpp"
+#include "obs/tracer.hpp"
 #include "util/blocking_queue.hpp"
 #include "util/param_list.hpp"
 
@@ -102,6 +103,10 @@ class ExtractionSession {
   std::mutex streams_mutex_;
   std::map<std::uint64_t, std::shared_ptr<ResultStream>> streams_;
   std::map<std::uint64_t, std::chrono::steady_clock::time_point> submit_times_;
+  /// Open "client.request" spans (submission → kTagComplete); their ids
+  /// ride in CommandRequest::parent_span so the backend trace stitches
+  /// under the client's view of the request.
+  std::map<std::uint64_t, obs::ActiveSpan> request_spans_;
 };
 
 }  // namespace vira::viz

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/blocking_queue.hpp"
@@ -255,6 +258,43 @@ TEST(PhaseTimer, MergeAccumulates) {
   b.stop();
   a.merge(b);
   EXPECT_EQ(a.phases().size(), 2u);
+}
+
+TEST(PhaseTimer, AddRejectsGarbageSamples) {
+  vu::PhaseTimer timer;
+  timer.add("compute", 1.5);
+  timer.add("compute", -3.0);  // negative: dropped
+  timer.add("compute", std::numeric_limits<double>::quiet_NaN());
+  timer.add("compute", std::numeric_limits<double>::infinity());
+  timer.add("", 2.0);  // unnamed phase: dropped
+  EXPECT_DOUBLE_EQ(timer.seconds("compute"), 1.5);
+  EXPECT_EQ(timer.phases().size(), 1u);
+}
+
+TEST(PhaseTimer, MergeSaturatesInsteadOfOverflowing) {
+  vu::PhaseTimer a;
+  a.add("compute", std::numeric_limits<double>::max());
+  vu::PhaseTimer b;
+  b.add("compute", std::numeric_limits<double>::max());
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds("compute"), std::numeric_limits<double>::max());
+  EXPECT_TRUE(std::isfinite(a.seconds("compute")));
+}
+
+TEST(PhaseTimer, ListenerSeesEveryTransition) {
+  vu::PhaseTimer timer;
+  std::vector<std::pair<std::string, std::string>> transitions;
+  timer.set_listener([&](const std::string& from, const std::string& to) {
+    transitions.emplace_back(from, to);
+  });
+  timer.enter("read");
+  timer.enter("read");  // same phase: no transition
+  timer.enter("compute");
+  timer.reset();  // open phase closes with an empty "next"
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], (std::pair<std::string, std::string>{"", "read"}));
+  EXPECT_EQ(transitions[1], (std::pair<std::string, std::string>{"read", "compute"}));
+  EXPECT_EQ(transitions[2], (std::pair<std::string, std::string>{"compute", ""}));
 }
 
 TEST(ScopedPhase, RestoresPreviousPhase) {

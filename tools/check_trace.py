@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates a vira::obs Chrome-trace export.
+
+Invariants checked (ISSUE 2 satellite):
+  * the file is well-formed Chrome trace_event JSON (object with a
+    "traceEvents" list of "X"/"M" events),
+  * every complete ("X") event carries ts >= 0, dur >= 0 and the obs args
+    (span_id, parent_id, request_id, rank),
+  * span ids are unique,
+  * no orphans: every nonzero parent_id resolves to an exported span,
+  * request consistency: a child annotates the same request_id as its
+    parent whenever both are nonzero (request-0 spans — e.g. async
+    prefetches — are exempt).
+
+Usage: check_trace.py TRACE.json [--require NAME ...] [--min-spans N]
+Exit status 0 = all invariants hold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print("check_trace: FAIL: %s" % message)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--require", action="append", default=[],
+                        help="span name that must appear at least once")
+    parser.add_argument("--min-spans", type=int, default=1)
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail("cannot parse %s: %s" % (args.trace, error))
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents list")
+
+    spans = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            fail("unexpected event phase %r" % phase)
+        for key in ("name", "ts", "dur", "pid", "tid", "args"):
+            if key not in event:
+                fail("X event missing %r: %r" % (key, event))
+        if event["ts"] < 0 or event["dur"] < 0:
+            fail("negative ts/dur in %r" % event)
+        span_args = event["args"]
+        for key in ("span_id", "parent_id", "request_id", "rank"):
+            if key not in span_args:
+                fail("span %r missing arg %r" % (event["name"], key))
+        span_id = span_args["span_id"]
+        if span_id in spans:
+            fail("duplicate span_id %d" % span_id)
+        spans[span_id] = event
+
+    if len(spans) < args.min_spans:
+        fail("only %d spans exported (need >= %d)" % (len(spans), args.min_spans))
+
+    names = set()
+    for span_id, event in spans.items():
+        names.add(event["name"])
+        parent_id = event["args"]["parent_id"]
+        if parent_id == 0:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            fail("span %d (%s) has orphan parent %d" %
+                 (span_id, event["name"], parent_id))
+        child_request = event["args"]["request_id"]
+        parent_request = parent["args"]["request_id"]
+        if child_request and parent_request and child_request != parent_request:
+            fail("span %d (%s) request %d != parent request %d" %
+                 (span_id, event["name"], child_request, parent_request))
+
+    for required in args.require:
+        if required not in names:
+            fail("required span %r not present (have: %s)" %
+                 (required, ", ".join(sorted(names))))
+
+    print("check_trace: OK: %d spans, %d names" % (len(spans), len(names)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

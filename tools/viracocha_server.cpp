@@ -7,18 +7,24 @@
 ///
 ///   viracocha-server [--port N] [--workers N] [--cache-mb N]
 ///                    [--policy lru|lfu|fbr] [--l2-dir PATH]
-///                    [--dms-messages]
+///                    [--dms-messages] [--trace-out FILE] [--metrics-out FILE]
 ///
 /// The server runs until stdin reaches EOF (or the process is signalled),
 /// so `viracocha-server < /dev/null` starts and stops immediately while
 /// `viracocha-server` under a terminal serves until Ctrl-D.
+///
+/// Observability: with --trace-out / --metrics-out, the server dumps the
+/// Chrome trace and the metrics text on shutdown, and SIGUSR1 triggers a
+/// live dump at any time without stopping service.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "algo/cfd_command.hpp"
 #include "core/backend.hpp"
+#include "obs/tracer.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -27,7 +33,32 @@ void usage() {
   std::fprintf(stderr,
                "usage: viracocha-server [--port N] [--workers N] [--cache-mb N]\n"
                "                        [--policy lru|lfu|fbr] [--l2-dir PATH]\n"
-               "                        [--dms-messages] [--verbose]\n");
+               "                        [--dms-messages] [--verbose]\n"
+               "                        [--trace-out FILE] [--metrics-out FILE]\n");
+}
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+volatile std::sig_atomic_t g_exit_requested = 0;
+
+void on_sigusr1(int) { g_dump_requested = 1; }
+void on_terminate(int) { g_exit_requested = 1; }
+
+std::string g_trace_out;
+std::string g_metrics_out;
+
+void dump_observability() {
+  if (!g_trace_out.empty()) {
+    if (vira::obs::write_chrome_trace_file(g_trace_out)) {
+      std::printf("viracocha-server: trace (%zu spans) -> %s\n",
+                  vira::obs::Tracer::instance().size(), g_trace_out.c_str());
+    }
+  }
+  if (!g_metrics_out.empty()) {
+    if (vira::obs::write_metrics_file(g_metrics_out)) {
+      std::printf("viracocha-server: metrics -> %s\n", g_metrics_out.c_str());
+    }
+  }
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -59,6 +90,10 @@ int main(int argc, char** argv) {
       config.l2_directory = next();
     } else if (flag == "--dms-messages") {
       config.dms_over_messages = true;
+    } else if (flag == "--trace-out") {
+      g_trace_out = next();
+    } else if (flag == "--metrics-out") {
+      g_metrics_out = next();
     } else if (flag == "--verbose") {
       util::Logger::instance().set_level(util::LogLevel::kDebug);
     } else if (flag == "--help" || flag == "-h") {
@@ -70,6 +105,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (!g_trace_out.empty()) {
+    obs::Tracer::instance().enable();
+  }
+  // No SA_RESTART: a signal must interrupt the blocking fgets below so
+  // SIGUSR1 dumps promptly and SIGINT/SIGTERM shuts down with a dump.
+  struct sigaction dump_action {};
+  dump_action.sa_handler = on_sigusr1;
+  sigaction(SIGUSR1, &dump_action, nullptr);
+  struct sigaction exit_action {};
+  exit_action.sa_handler = on_terminate;
+  sigaction(SIGINT, &exit_action, nullptr);
+  sigaction(SIGTERM, &exit_action, nullptr);
 
   algo::register_builtin_commands();
   core::Backend backend(config);
@@ -85,13 +133,26 @@ int main(int argc, char** argv) {
   std::printf("(serving until stdin closes)\n");
   std::fflush(stdout);
 
-  // Serve until EOF on stdin.
+  // Serve until EOF on stdin, SIGINT or SIGTERM. A SIGUSR1 interrupts the
+  // read, dumps the trace/metrics and resumes service.
   char buffer[256];
-  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
-    if (std::strncmp(buffer, "quit", 4) == 0) {
-      break;
+  while (!g_exit_requested) {
+    if (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+      if (std::strncmp(buffer, "quit", 4) == 0) {
+        break;
+      }
+      continue;
     }
+    if (g_dump_requested) {
+      g_dump_requested = 0;
+      dump_observability();
+      std::clearerr(stdin);  // EINTR marks stdin EOF-ish; keep serving
+      continue;
+    }
+    break;  // genuine EOF (or termination signal)
   }
   std::printf("viracocha-server: shutting down\n");
+  backend.shutdown();
+  dump_observability();
   return 0;
 }
