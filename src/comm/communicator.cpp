@@ -1,5 +1,7 @@
 #include "comm/communicator.hpp"
 
+#include "util/clock.hpp"
+
 namespace vira::comm {
 
 namespace {
@@ -67,16 +69,22 @@ Message Communicator::recv(int source, int tag) { return recv_matching(source, t
 
 std::optional<Message> Communicator::try_recv(int source, int tag,
                                               std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Deadline arithmetic uses the injectable clock: under a virtual clock
+  // the transport's waits advance virtual time, so the deadline must be
+  // measured on the same timeline.
+  const auto deadline = util::clock_now() + timeout;
   while (true) {
     if (auto msg = take_buffered(source, tag)) {
       return msg;
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = util::clock_now();
     if (now >= deadline) {
       return std::nullopt;
     }
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    // Ceil, not truncate: with a sub-millisecond clock (virtual time), a
+    // fractional remainder truncated to 0ms would make pump() return
+    // without blocking — a busy spin that can never reach the deadline.
+    const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(deadline - now);
     pump(std::min(remaining, kPumpSlice));
   }
 }

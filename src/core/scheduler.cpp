@@ -1,7 +1,8 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
-#include <thread>
+
+#include "util/clock.hpp"
 
 #include "core/remote_server_api.hpp"
 
@@ -43,7 +44,7 @@ std::uint64_t fragment_key(const FragmentHeader& header) {
 Scheduler::Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count,
                      SchedulerConfig config)
     : comm_(std::move(transport), 0), worker_count_(worker_count), config_(config) {
-  const auto now = Clock::now();
+  const auto now = util::clock_now();
   for (int rank = 1; rank <= worker_count_; ++rank) {
     free_.insert(rank);
     last_seen_[rank] = now;
@@ -88,7 +89,7 @@ void Scheduler::run() {
   {
     // Workers have had no chance to speak yet; restart the death clocks so
     // construction-to-run delay cannot count against them.
-    const auto now = Clock::now();
+    const auto now = util::clock_now();
     for (int rank = 1; rank <= worker_count_; ++rank) {
       last_seen_[rank] = now;
     }
@@ -125,7 +126,7 @@ void Scheduler::poll_clients() {
     links = clients_;
   }
   if (links.empty()) {
-    std::this_thread::sleep_for(kPollSlice);
+    util::clock_sleep(kPollSlice);
     return;
   }
 
@@ -177,7 +178,7 @@ void Scheduler::poll_clients() {
     }
   }
   if (!any) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    util::clock_sleep(std::chrono::milliseconds(1));
   }
 }
 
@@ -189,7 +190,7 @@ void Scheduler::poll_workers() {
       return;
     }
     if (msg->source >= 1 && msg->source <= worker_count_) {
-      last_seen_[msg->source] = Clock::now();
+      last_seen_[msg->source] = util::clock_now();
     }
     switch (msg->tag) {
       case kTagStream:
@@ -227,7 +228,7 @@ void Scheduler::poll_workers() {
 
 void Scheduler::handle_heartbeat(comm::Message& msg) {
   const auto beat = Heartbeat::deserialize(msg.payload);
-  last_heartbeat_[msg.source] = Clock::now();
+  last_heartbeat_[msg.source] = util::clock_now();
   reported_request_[msg.source] = beat.current_request;
 }
 
@@ -249,7 +250,7 @@ void Scheduler::handle_stream(comm::Message& msg, bool final) {
   // previous attempt already delivered, and a faulty transport may duplicate
   // messages outright. (partition, sequence) identifies a fragment across
   // attempts; the set travels with the request through retries.
-  if (!group.seen_fragments.insert(fragment_key(header)).second) {
+  if (config_.fragment_dedup && !group.seen_fragments.insert(fragment_key(header)).second) {
     return;
   }
   if (group.first_packet_seconds < 0.0) {
@@ -332,7 +333,7 @@ void Scheduler::check_liveness() {
   if (!config_.liveness) {
     return;
   }
-  const auto now = Clock::now();
+  const auto now = util::clock_now();
 
   // (1) Rank death: nothing heard for death_timeout. Heartbeats flow every
   // few tens of milliseconds from a dedicated worker thread, so a silent
@@ -352,7 +353,53 @@ void Scheduler::check_liveness() {
     }
   }
 
-  // (2) Per-group health. A group is unrecoverable in place when a member
+  // (2) Stale executions. A rank whose heartbeats name an internal id that
+  // no longer exists is grinding on an abandoned attempt — its
+  // kTagGroupAbort was lost in transit (lossy transports drop control
+  // messages like any other). Without a re-send the rank never unblocks:
+  // its heartbeats keep it "alive" forever, it never reports done, and the
+  // pool is one worker short for good. Aborts are idempotent, so re-send
+  // (rate-limited by idle_grace) until the rank moves on.
+  for (const auto& [rank, executing] : reported_request_) {
+    if (executing == 0 || dead_.count(rank) || groups_.count(executing) > 0) {
+      continue;
+    }
+    auto& last_sent = last_stale_abort_[rank];
+    if (now - last_sent < config_.idle_grace) {
+      continue;
+    }
+    last_sent = now;
+    util::ByteBuffer abort_payload;
+    abort_payload.write<std::uint64_t>(executing);
+    comm_.send(rank, kTagGroupAbort, std::move(abort_payload));
+    VIRA_DEBUG("scheduler") << "re-sending abort for abandoned request " << executing
+                            << " to rank " << rank;
+  }
+
+  // (2b) Pool reconciliation. Done reports are at-most-once on a lossy
+  // transport: a worker whose kTagWorkerDone was dropped goes idle
+  // (heartbeats name request 0) without ever being returned to the pool,
+  // and no later message will free it. A rank that reports idle and is not
+  // a member of any live group is certainly free; re-inserting is
+  // idempotent.
+  std::set<int> busy_ranks;
+  for (const auto& [internal_id, group] : groups_) {
+    for (const int rank : group.ranks) {
+      if (!group.done_ranks.count(rank)) {
+        busy_ranks.insert(rank);
+      }
+    }
+  }
+  for (const auto& [rank, executing] : reported_request_) {
+    if (executing == 0 && !dead_.count(rank) && !busy_ranks.count(rank) &&
+        !free_.count(rank)) {
+      VIRA_DEBUG("scheduler") << "rank " << rank
+                              << " reports idle with no live group; returning it to the pool";
+      free_.insert(rank);
+    }
+  }
+
+  // (3) Per-group health. A group is unrecoverable in place when a member
   // is dead, or when a member's recent heartbeats name a different request
   // (its execute order or its done report was lost in transit).
   std::vector<std::pair<std::uint64_t, std::string>> to_recover;
@@ -477,7 +524,7 @@ void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reas
   // fragment identity the dedup set relies on.
   retry.width = group.width;
   retry.not_before =
-      Clock::now() + config_.retry_backoff * (1 << std::min(group.attempt, 16));
+      util::clock_now() + config_.retry_backoff * (1 << std::min(group.attempt, 16));
   retry.elapsed_before = group.total_seconds();
   retry.first_packet_seconds = group.first_packet_seconds;
   retry.partial_packets = group.partial_packets;
@@ -569,7 +616,7 @@ void Scheduler::fail_pending(PendingRequest& entry, const std::string& reason) {
 void Scheduler::dispatch_pending() {
   while (!pending_.empty()) {
     PendingRequest& head = pending_.front();
-    if (head.not_before > Clock::now()) {
+    if (head.not_before > util::clock_now()) {
       return;  // backoff gate; retries sit at the head, so wait it out
     }
     const int alive = worker_count_ - static_cast<int>(dead_.size());
@@ -620,7 +667,7 @@ void Scheduler::start_group(PendingRequest entry) {
   group.master = group.ranks.front();
   group.pending = static_cast<int>(group.ranks.size());
   group.timer.restart();
-  group.dispatched_at = Clock::now();
+  group.dispatched_at = util::clock_now();
 
   // One span per attempt, parented under the client's submit span; its id
   // travels in the execute order so every worker span stitches under it.

@@ -61,6 +61,10 @@ struct SchedulerConfig {
   /// safety net for lossy transports that silently swallow group-internal
   /// collective traffic.
   std::chrono::milliseconds request_timeout{0};
+  /// Exactly-once fragment forwarding (dedup by (partition, sequence)).
+  /// Diagnostic switch: the DST harness disables it to prove its
+  /// exactly-once oracle catches the resulting duplicate deliveries.
+  bool fragment_dedup = true;
 };
 
 class Scheduler {
@@ -94,8 +98,14 @@ class Scheduler {
   std::size_t lost_workers() const { return lost_workers_.load(); }
   /// Work-group re-formations performed so far (all requests).
   std::uint64_t total_retries() const { return total_retries_.load(); }
+  /// Work groups currently in flight. Like free_workers(), callers must
+  /// provide external quiescence (the DST harness reads it while holding
+  /// the serialization token of the virtual clock).
+  std::size_t active_groups() const { return groups_.size(); }
 
  private:
+  /// Time points are steady_clock-typed but every read goes through the
+  /// injectable util clock (virtual under DST, real otherwise).
   using Clock = std::chrono::steady_clock;
 
   /// A queued request plus everything a retry must carry across attempts.
@@ -180,6 +190,10 @@ class Scheduler {
   std::map<int, Clock::time_point> last_seen_;       ///< any message
   std::map<int, Clock::time_point> last_heartbeat_;  ///< heartbeats only
   std::map<int, std::uint64_t> reported_request_;    ///< from heartbeats
+  /// Last time a stale-execution abort was re-sent per rank (see
+  /// check_liveness: a dropped kTagGroupAbort must be retried or the rank
+  /// leaks, stuck executing an abandoned attempt forever).
+  std::map<int, Clock::time_point> last_stale_abort_;
   std::set<int> dead_;
   std::atomic<std::size_t> lost_workers_{0};
   std::atomic<std::uint64_t> total_retries_{0};

@@ -1,7 +1,8 @@
 #include "core/vmb_data_source.hpp"
 
 #include <stdexcept>
-#include <thread>
+
+#include "util/clock.hpp"
 
 namespace vira::core {
 
@@ -29,7 +30,7 @@ std::pair<int, int> VmbDataSource::step_block(const dms::DataItemName& name) {
 void VmbDataSource::apply_delay(std::uint64_t bytes) const {
   if (delay_us_per_mb_ > 0.0) {
     const double us = delay_us_per_mb_ * static_cast<double>(bytes) / (1024.0 * 1024.0);
-    std::this_thread::sleep_for(std::chrono::microseconds(static_cast<long>(us)));
+    util::clock_sleep(std::chrono::microseconds(static_cast<long>(us)));
   }
 }
 

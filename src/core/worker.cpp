@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace vira::core {
@@ -27,7 +28,16 @@ void Worker::run() {
   stopping_ = false;
   std::thread heartbeat;
   if (config_.heartbeat_interval.count() > 0) {
-    heartbeat = std::thread([this] { heartbeat_loop(); });
+    // Announce-before-spawn: a cooperative clock (DST) reserves the
+    // heartbeat thread's schedule slot deterministically, keyed by this
+    // unique name, before the OS thread even starts.
+    const std::string beacon = "worker.hb." + std::to_string(comm_->rank());
+    util::global_clock().announce_thread(beacon);
+    heartbeat = std::thread([this, beacon] {
+      util::global_clock().thread_begin(beacon);
+      heartbeat_loop();
+      util::global_clock().thread_end();
+    });
   }
   try {
     // Receive only control tags: anything else (e.g. a DMS reply destined
@@ -46,7 +56,7 @@ void Worker::run() {
   }
   stopping_ = true;
   if (heartbeat.joinable()) {
-    heartbeat.join();
+    util::global_clock().join_thread(heartbeat);
   }
   VIRA_DEBUG("worker") << "rank " << comm_->rank() << " left service loop";
 }
@@ -80,7 +90,7 @@ void Worker::heartbeat_loop() {
     const auto interval = config_.heartbeat_interval;
     for (auto slept = std::chrono::milliseconds(0); slept < interval && !stopping_;
          slept += std::chrono::milliseconds(5)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      util::clock_sleep(std::chrono::milliseconds(5));
     }
   }
 }

@@ -4,10 +4,18 @@
 #include <stdexcept>
 
 #include "obs/tracer.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace vira::dms {
+
+namespace {
+/// Pacing slice for the clock-routed waits below (in-flight-load dedup,
+/// prefetch pickup, quiesce). Under a virtual clock each slice is one
+/// deterministic scheduling step; in real time it is a short poll.
+constexpr auto kWaitSlice = std::chrono::milliseconds(2);
+}  // namespace
 
 DataProxy::DataProxy(DataProxyConfig config, std::shared_ptr<ServerApi> server,
                      std::shared_ptr<DataSource> source, std::shared_ptr<DmsStatistics> stats)
@@ -24,14 +32,20 @@ DataProxy::DataProxy(DataProxyConfig config, std::shared_ptr<ServerApi> server,
   // configure_prefetcher() installs one, stay with NullPrefetcher.
   prefetcher_ = std::make_unique<NullPrefetcher>();
   if (config_.async_prefetch) {
-    prefetch_thread_ = std::thread([this] { prefetch_worker(); });
+    const std::string name = "dms.prefetch." + std::to_string(config_.proxy_id);
+    util::global_clock().announce_thread(name);
+    prefetch_thread_ = std::thread([this, name] {
+      util::global_clock().thread_begin(name);
+      prefetch_worker();
+      util::global_clock().thread_end();
+    });
   }
 }
 
 DataProxy::~DataProxy() {
   prefetch_queue_.close();
   if (prefetch_thread_.joinable()) {
-    prefetch_thread_.join();
+    util::global_clock().join_thread(prefetch_thread_);
   }
 }
 
@@ -70,7 +84,9 @@ Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetc
   {
     std::unique_lock<std::mutex> lock(loading_mutex_);
     while (loading_.count(id) > 0) {
-      loading_cv_.wait(lock);
+      lock.unlock();
+      util::clock_sleep(kWaitSlice);
+      lock.lock();
     }
     if (Blob blob = cache_->peek(id)) {
       return blob;
@@ -84,7 +100,6 @@ Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetc
   } catch (...) {
     std::lock_guard<std::mutex> lock(loading_mutex_);
     loading_.erase(id);
-    loading_cv_.notify_all();
     throw;
   }
 
@@ -92,7 +107,6 @@ Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetc
     std::lock_guard<std::mutex> lock(loading_mutex_);
     loading_.erase(id);
   }
-  loading_cv_.notify_all();
   return blob;
 }
 
@@ -220,9 +234,16 @@ void DataProxy::code_prefetch(const DataItemName& name) {
 
 void DataProxy::prefetch_worker() {
   while (true) {
-    auto id = prefetch_queue_.pop();
+    // Clock-paced pickup instead of a blocking pop: queued suggestions are
+    // drained immediately, the idle thread sleeps through the injectable
+    // clock (so virtual-time runs schedule it deterministically).
+    auto id = prefetch_queue_.try_pop();
     if (!id) {
-      break;  // closed
+      if (prefetch_queue_.closed()) {
+        break;
+      }
+      util::clock_sleep(kWaitSlice);
+      continue;
     }
     try {
       prefetch_one(*id);
@@ -233,7 +254,6 @@ void DataProxy::prefetch_worker() {
       std::lock_guard<std::mutex> lock(idle_mutex_);
       --prefetch_inflight_;
     }
-    idle_cv_.notify_all();
   }
 }
 
@@ -255,7 +275,11 @@ void DataProxy::prefetch_one(ItemId id) {
 
 void DataProxy::quiesce() {
   std::unique_lock<std::mutex> lock(idle_mutex_);
-  idle_cv_.wait(lock, [&] { return prefetch_inflight_ == 0; });
+  while (prefetch_inflight_ > 0) {
+    lock.unlock();
+    util::clock_sleep(kWaitSlice);
+    lock.lock();
+  }
 }
 
 void DataProxy::clear_cache() {

@@ -16,7 +16,6 @@
 /// In-flight loads are deduplicated so a demand request never re-reads a
 /// block the prefetch thread is already fetching.
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -100,16 +99,16 @@ class DataProxy {
   std::mutex prefetcher_mutex_;
   std::unique_ptr<Prefetcher> prefetcher_;
 
-  /// In-flight load deduplication.
+  /// In-flight load deduplication. Waiters poll in clock-paced slices
+  /// (util::clock_sleep) instead of a condition variable so virtual-time
+  /// runs stay deterministic; see DESIGN.md "Testing strategy".
   std::mutex loading_mutex_;
-  std::condition_variable loading_cv_;
   std::unordered_set<ItemId> loading_;
 
   /// Background prefetch machinery.
   util::BlockingQueue<ItemId> prefetch_queue_;
   std::thread prefetch_thread_;
   std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
   int prefetch_inflight_ = 0;
 };
 

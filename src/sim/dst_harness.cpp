@@ -1,0 +1,738 @@
+#include "sim/dst_harness.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/client_link.hpp"
+#include "comm/communicator.hpp"
+#include "core/command.hpp"
+#include "core/protocol.hpp"
+#include "core/scheduler.hpp"
+#include "core/vmb_data_source.hpp"
+#include "core/worker.hpp"
+#include "dms/data_item.hpp"
+#include "dms/data_server.hpp"
+#include "dms/data_source.hpp"
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace vira::sim {
+
+namespace {
+
+constexpr int kItemsPerFile = 4;
+
+/// In-memory synthetic data source: item i is block i of step 0 of dataset
+/// "dst", with a deterministic seed-derived size and content, grouped into
+/// "files" of kItemsPerFile so the collective-read strategy has something
+/// to collect. Loads burn *virtual* time proportional to the byte count.
+class SimDataSource final : public dms::DataSource {
+ public:
+  SimDataSource(int item_count, int base_bytes, std::uint64_t seed)
+      : item_count_(item_count), base_bytes_(base_bytes), seed_(seed) {}
+
+  util::ByteBuffer load(const dms::DataItemName& name) override {
+    const int block = block_of(name);
+    const std::uint64_t bytes = size_of(block);
+    util::clock_sleep(std::chrono::microseconds(100 + static_cast<long>(bytes / 16)));
+    return content(block, bytes);
+  }
+
+  std::uint64_t item_bytes(const dms::DataItemName& name) const override {
+    return size_of(block_of(name));
+  }
+
+  std::uint64_t file_bytes(const dms::DataItemName& name) const override {
+    const int first = (block_of(name) / kItemsPerFile) * kItemsPerFile;
+    std::uint64_t total = 0;
+    for (int b = first; b < first + kItemsPerFile && b < item_count_; ++b) {
+      total += size_of(b);
+    }
+    return total;
+  }
+
+  std::string file_key(const dms::DataItemName& name) const override {
+    return "dst/f" + std::to_string(block_of(name) / kItemsPerFile);
+  }
+
+  std::vector<std::pair<dms::DataItemName, util::ByteBuffer>> load_file(
+      const dms::DataItemName& name) override {
+    const int first = (block_of(name) / kItemsPerFile) * kItemsPerFile;
+    std::vector<std::pair<dms::DataItemName, util::ByteBuffer>> items;
+    std::uint64_t total = 0;
+    for (int b = first; b < first + kItemsPerFile && b < item_count_; ++b) {
+      const std::uint64_t bytes = size_of(b);
+      total += bytes;
+      items.emplace_back(dms::block_item("dst", 0, b), content(b, bytes));
+    }
+    util::clock_sleep(std::chrono::microseconds(150 + static_cast<long>(total / 16)));
+    return items;
+  }
+
+ private:
+  int block_of(const dms::DataItemName& name) const {
+    const int block = static_cast<int>(name.params.get_int("block", -1));
+    if (name.source != "dst" || block < 0 || block >= item_count_) {
+      throw std::out_of_range("SimDataSource: unknown item " + name.canonical());
+    }
+    return block;
+  }
+
+  std::uint64_t size_of(int block) const {
+    // Deterministic per-item size, varied around the base so eviction and
+    // byte accounting see unequal blobs.
+    const std::uint64_t base = static_cast<std::uint64_t>(base_bytes_);
+    return base / 2 + (static_cast<std::uint64_t>(block) * 2654435761ull) % base;
+  }
+
+  util::ByteBuffer content(int block, std::uint64_t bytes) const {
+    util::Rng rng(seed_ ^ (static_cast<std::uint64_t>(block) * 0x9e3779b97f4a7c15ull));
+    util::ByteBuffer buffer;
+    std::uint64_t word = 0;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      if (i % 8 == 0) {
+        word = rng.next_u64();
+      }
+      buffer.write<std::uint8_t>(static_cast<std::uint8_t>(word >> ((i % 8) * 8)));
+    }
+    return buffer;
+  }
+
+  int item_count_;
+  int base_bytes_;
+  std::uint64_t seed_;
+};
+
+/// The scenario workload command: streams `partials` fragments, touching
+/// the DMS and group collectives in between, then gathers at the master.
+/// Pure product-path plumbing — the parameters decide which scheduler /
+/// worker / DMS features a scenario exercises.
+class DstWorkCommand final : public core::Command {
+ public:
+  std::string name() const override { return "dst.work"; }
+
+  void execute(core::CommandContext& ctx) override {
+    const auto& p = ctx.params();
+    const int partials = static_cast<int>(p.get_int("partials", 1));
+    const int payload = static_cast<int>(p.get_int("payload", 64));
+    const int dms_items = static_cast<int>(p.get_int("dms_items", 0));
+    const int first_item = static_cast<int>(p.get_int("first_item", 0));
+    const int item_count = static_cast<int>(p.get_int("item_count", 1));
+    const bool barrier = p.get_bool("barrier", false);
+    const int fail_rank = static_cast<int>(p.get_int("fail_rank", -1));
+    const int item_sleep_us = static_cast<int>(p.get_int("item_sleep_us", 0));
+
+    for (int i = 0; i < partials; ++i) {
+      ctx.check_abort();
+      if (dms_items > 0) {
+        util::ScopedPhase read_phase(ctx.phases(), core::kPhaseRead);
+        for (int j = 0; j < dms_items; ++j) {
+          const int index =
+              (first_item + i * dms_items + j + ctx.group_rank() * 7) % item_count;
+          (void)ctx.proxy().request(dms::block_item("dst", 0, index));
+        }
+      }
+      if (item_sleep_us > 0) {
+        util::ScopedPhase compute_phase(ctx.phases(), core::kPhaseCompute);
+        util::clock_sleep(std::chrono::microseconds(item_sleep_us));
+      }
+      if (barrier) {
+        ctx.group_barrier();
+      }
+      util::ByteBuffer fragment;
+      for (int k = 0; k < payload; ++k) {
+        fragment.write<std::uint8_t>(static_cast<std::uint8_t>((i * 31 + k) & 0xff));
+      }
+      ctx.stream_partial(std::move(fragment));
+      ctx.report_progress(static_cast<double>(i + 1) / static_cast<double>(partials));
+    }
+
+    if (fail_rank == ctx.group_rank()) {
+      throw std::runtime_error("dst.work: injected failure on partition " +
+                               std::to_string(fail_rank));
+    }
+    if (fail_rank >= 0) {
+      // A sibling partition throws before the collective; skipping the
+      // gather keeps the failure path deterministic instead of stranding
+      // the survivors on a member that will never contribute.
+      return;
+    }
+    util::ByteBuffer mine;
+    mine.write<std::int32_t>(ctx.group_rank());
+    auto parts = ctx.gather_at_master(std::move(mine));
+    if (ctx.is_master()) {
+      util::ByteBuffer merged;
+      merged.write<std::uint64_t>(parts.size());
+      ctx.send_final(std::move(merged));
+    }
+  }
+};
+
+/// The real stack, assembled like core::Backend but DST-shaped: virtual
+/// transport, synthetic data source, direct (in-process) DataServer API,
+/// a local command registry, and clock-announced threads.
+class DstStack {
+ public:
+  DstStack(const Scenario& s, std::shared_ptr<VirtualClock> clock)
+      : scenario_(s), clock_(std::move(clock)) {
+    registry_.register_command("dst.work", [] { return std::make_unique<DstWorkCommand>(); });
+
+    VirtualTransport::Config tconfig;
+    tconfig.size = s.workers + 1;
+    tconfig.faults.seed = s.seed ^ 0xd57f417a5eedull;
+    tconfig.faults.drop_rate = s.drop_rate;
+    tconfig.faults.duplicate_rate = s.duplicate_rate;
+    tconfig.faults.delay_rate = s.delay_rate;
+    tconfig.faults.max_delay = std::chrono::milliseconds(s.max_delay_ms);
+    for (const auto& [ms, rank] : s.kills) {
+      tconfig.kills.emplace_back(std::chrono::milliseconds(ms), rank);
+    }
+    transport_ = std::make_shared<VirtualTransport>(clock_, tconfig);
+
+    source_ = std::make_shared<SimDataSource>(s.item_count, s.item_bytes, s.seed);
+    server_ = std::make_shared<dms::DataServer>();
+
+    std::vector<std::shared_ptr<comm::Communicator>> comms;
+    for (int index = 0; index < s.workers; ++index) {
+      comms.push_back(std::make_shared<comm::Communicator>(transport_, index + 1));
+    }
+
+    for (int index = 0; index < s.workers; ++index) {
+      dms::DataProxyConfig pconfig;
+      pconfig.proxy_id = index;
+      pconfig.cache.l1_capacity_bytes = s.l1_bytes;
+      pconfig.cache.policy = s.policy;
+      if (s.l2) {
+        pconfig.cache.l2_directory = l2_directory(index);
+        pconfig.cache.l2_capacity_bytes = s.l2_bytes;
+      }
+      pconfig.prefetcher = "null";  // configure_prefetcher installs the real one
+      pconfig.async_prefetch = s.async_prefetch;
+      proxies_.push_back(std::make_shared<dms::DataProxy>(pconfig, server_, source_));
+      if (s.prefetcher != "null") {
+        proxies_.back()->configure_prefetcher(
+            s.prefetcher, core::make_block_successor(proxies_.back()->resolver(), s.item_count,
+                                                     /*step_count=*/1, /*wrap_steps=*/false));
+      }
+    }
+    for (auto& proxy : proxies_) {
+      proxy->set_peer_fetch([this](int peer, dms::ItemId id) -> dms::Blob {
+        if (peer < 0 || peer >= static_cast<int>(proxies_.size())) {
+          return nullptr;
+        }
+        return proxies_[static_cast<std::size_t>(peer)]->cache().peek(id);
+      });
+    }
+
+    core::SchedulerConfig sconfig;
+    sconfig.death_timeout = std::chrono::milliseconds(s.death_ms);
+    sconfig.idle_grace = std::chrono::milliseconds(s.idle_grace_ms);
+    sconfig.max_retries = s.max_retries;
+    sconfig.retry_backoff = std::chrono::milliseconds(s.backoff_ms);
+    sconfig.request_timeout = std::chrono::milliseconds(s.request_timeout_ms);
+    sconfig.fragment_dedup = s.fragment_dedup;
+    scheduler_ = std::make_unique<core::Scheduler>(transport_, s.workers, sconfig);
+
+    core::WorkerConfig wconfig;
+    wconfig.heartbeat_interval = std::chrono::milliseconds(s.heartbeat_ms);
+    for (int index = 0; index < s.workers; ++index) {
+      workers_.push_back(std::make_unique<core::Worker>(
+          comms[static_cast<std::size_t>(index)], proxies_[static_cast<std::size_t>(index)],
+          nullptr, &registry_, wconfig));
+    }
+
+    auto [client_side, server_side] = comm::make_inproc_link_pair();
+    client_ = std::move(client_side);
+    scheduler_->attach_client(std::move(server_side));
+  }
+
+  ~DstStack() {
+    stop();
+    // The proxies join their prefetch threads in their destructors (via the
+    // clock), so the stack must be destroyed while the driver still
+    // participates in the machine.
+    workers_.clear();
+    proxies_.clear();
+    if (!l2_root_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(l2_root_, ec);
+    }
+  }
+
+  /// Spawns the scheduler and worker threads as clock participants. Caller
+  /// must hold the machine token (be the driver).
+  void start() {
+    clock_->announce_thread("sched");
+    threads_.emplace_back([this] {
+      clock_->thread_begin("sched");
+      scheduler_->run();
+      clock_->thread_end();
+    });
+    for (int index = 0; index < scenario_.workers; ++index) {
+      const std::string name = "worker." + std::to_string(index + 1);
+      clock_->announce_thread(name);
+      core::Worker* worker = workers_[static_cast<std::size_t>(index)].get();
+      threads_.emplace_back([this, worker, name] {
+        clock_->thread_begin(name);
+        worker->run();
+        clock_->thread_end();
+      });
+    }
+  }
+
+  void stop() {
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    scheduler_->stop();
+    if (!threads_.empty()) {
+      clock_->join_thread(threads_.front());  // scheduler exits, sends shutdowns
+    }
+    // Shut the transport down before joining workers: a killed rank never
+    // receives its orderly kTagShutdown (suppressed), so its service loop
+    // only exits via TransportClosed (mirrors core::Backend::shutdown).
+    transport_->shutdown();
+    for (std::size_t i = 1; i < threads_.size(); ++i) {
+      clock_->join_thread(threads_[i]);
+    }
+    threads_.clear();
+  }
+
+  comm::ClientLink& client() { return *client_; }
+  core::Scheduler& scheduler() { return *scheduler_; }
+  VirtualTransport& transport() { return *transport_; }
+  std::vector<std::shared_ptr<dms::DataProxy>>& proxies() { return proxies_; }
+
+ private:
+  std::string l2_directory(int index) {
+    if (l2_root_.empty()) {
+      // Distinct per stack AND per process: dst_test and vira-dst run the
+      // same seeds concurrently under parallel ctest, and a shared spill
+      // directory would let them clobber each other's L2 files — observed
+      // as a trajectory-hash divergence on replay.
+      static std::atomic<std::uint64_t> counter{0};
+      l2_root_ = (std::filesystem::temp_directory_path() /
+                  ("vira_dst_l2_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(counter.fetch_add(1))))
+                     .string();
+    }
+    return l2_root_ + "/proxy_" + std::to_string(index);
+  }
+
+  Scenario scenario_;
+  std::shared_ptr<VirtualClock> clock_;
+  core::CommandRegistry registry_;
+  std::shared_ptr<VirtualTransport> transport_;
+  std::shared_ptr<SimDataSource> source_;
+  std::shared_ptr<dms::DataServer> server_;
+  std::vector<std::shared_ptr<dms::DataProxy>> proxies_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+  std::vector<std::unique_ptr<core::Worker>> workers_;
+  std::shared_ptr<comm::ClientLink> client_;
+  std::vector<std::thread> threads_;
+  std::string l2_root_;
+  bool stopped_ = false;
+};
+
+/// Client-side bookkeeping for the oracles.
+struct RequestState {
+  bool submitted = false;
+  bool complete = false;
+  bool success = false;
+  bool degraded_seen = false;
+  bool error_seen = false;
+  std::uint32_t retries = 0;
+  std::set<std::pair<std::int32_t, std::uint32_t>> fragments;  ///< (partition, sequence)
+  bool duplicate_reported = false;
+};
+
+}  // namespace
+
+std::string Scenario::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed << ";workers=" << workers << ";drop=" << drop_rate
+      << ";dup=" << duplicate_rate << ";delay=" << delay_rate << ";maxdelay=" << max_delay_ms
+      << ";policy=" << policy << ";l1=" << l1_bytes << ";l2=" << (l2 ? l2_bytes : 0)
+      << ";pf=" << prefetcher << ";apf=" << (async_prefetch ? 1 : 0) << ";items=" << item_count
+      << ";ibytes=" << item_bytes << ";hb=" << heartbeat_ms << ";death=" << death_ms
+      << ";grace=" << idle_grace_ms << ";retries=" << max_retries << ";backoff=" << backoff_ms
+      << ";timeout=" << request_timeout_ms << ";dedup=" << (fragment_dedup ? 1 : 0)
+      << ";stall=" << stall_budget_ms;
+  out << ";kills=";
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    out << (i ? "," : "") << kills[i].first << ":" << kills[i].second;
+  }
+  out << ";reqs=";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const DstRequest& r = requests[i];
+    out << (i ? "," : "") << r.width << ":" << r.partials << ":" << r.payload << ":"
+        << r.dms_items << ":" << r.first_item << ":" << (r.barrier ? 1 : 0) << ":"
+        << r.fail_rank << ":" << r.submit_at_ms << ":" << r.item_sleep_us;
+  }
+  return out.str();
+}
+
+std::optional<Scenario> Scenario::parse(const std::string& text) {
+  Scenario s;
+  s.requests.clear();
+  std::istringstream in(text);
+  std::string field;
+  try {
+    while (std::getline(in, field, ';')) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) {
+        return std::nullopt;
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "seed") {
+        s.seed = std::stoull(value);
+      } else if (key == "workers") {
+        s.workers = std::stoi(value);
+      } else if (key == "drop") {
+        s.drop_rate = std::stod(value);
+      } else if (key == "dup") {
+        s.duplicate_rate = std::stod(value);
+      } else if (key == "delay") {
+        s.delay_rate = std::stod(value);
+      } else if (key == "maxdelay") {
+        s.max_delay_ms = std::stoi(value);
+      } else if (key == "policy") {
+        s.policy = value;
+      } else if (key == "l1") {
+        s.l1_bytes = std::stoull(value);
+      } else if (key == "l2") {
+        s.l2_bytes = std::stoull(value);
+        s.l2 = s.l2_bytes > 0;
+      } else if (key == "pf") {
+        s.prefetcher = value;
+      } else if (key == "apf") {
+        s.async_prefetch = value == "1";
+      } else if (key == "items") {
+        s.item_count = std::stoi(value);
+      } else if (key == "ibytes") {
+        s.item_bytes = std::stoi(value);
+      } else if (key == "hb") {
+        s.heartbeat_ms = std::stoi(value);
+      } else if (key == "death") {
+        s.death_ms = std::stoi(value);
+      } else if (key == "grace") {
+        s.idle_grace_ms = std::stoi(value);
+      } else if (key == "retries") {
+        s.max_retries = std::stoi(value);
+      } else if (key == "backoff") {
+        s.backoff_ms = std::stoi(value);
+      } else if (key == "timeout") {
+        s.request_timeout_ms = std::stoi(value);
+      } else if (key == "dedup") {
+        s.fragment_dedup = value == "1";
+      } else if (key == "stall") {
+        s.stall_budget_ms = std::stoi(value);
+      } else if (key == "kills") {
+        std::istringstream list(value);
+        std::string entry;
+        while (std::getline(list, entry, ',')) {
+          const auto colon = entry.find(':');
+          if (colon == std::string::npos) {
+            return std::nullopt;
+          }
+          s.kills.emplace_back(std::stoi(entry.substr(0, colon)),
+                               std::stoi(entry.substr(colon + 1)));
+        }
+      } else if (key == "reqs") {
+        std::istringstream list(value);
+        std::string entry;
+        while (std::getline(list, entry, ',')) {
+          std::istringstream parts(entry);
+          std::string part;
+          std::vector<int> numbers;
+          while (std::getline(parts, part, ':')) {
+            numbers.push_back(std::stoi(part));
+          }
+          if (numbers.size() != 9) {
+            return std::nullopt;
+          }
+          DstRequest r;
+          r.width = numbers[0];
+          r.partials = numbers[1];
+          r.payload = numbers[2];
+          r.dms_items = numbers[3];
+          r.first_item = numbers[4];
+          r.barrier = numbers[5] != 0;
+          r.fail_rank = numbers[6];
+          r.submit_at_ms = numbers[7];
+          r.item_sleep_us = numbers[8];
+          s.requests.push_back(r);
+        }
+      } else {
+        return std::nullopt;
+      }
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (s.workers < 1 || s.requests.empty()) {
+    return std::nullopt;
+  }
+  return s;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  if (scenario.workers < 1 || scenario.requests.empty()) {
+    throw std::invalid_argument("run_scenario: need >= 1 worker and >= 1 request");
+  }
+  ScenarioResult result;
+  auto clock = std::make_shared<VirtualClock>();
+
+  // Real-time watchdog, outside the token machine: a scenario that stops
+  // consuming *real* CPU progress for this long has wedged the machine (a
+  // bug in the DST conversion, e.g. a product path blocking on a real
+  // primitive) — dump the participant states so the wedge is debuggable.
+  // Reads only happen under the machine lock; determinism is unaffected.
+  std::atomic<bool> scenario_done{false};
+  std::thread watchdog([&clock, &scenario_done] {
+    const auto started = std::chrono::steady_clock::now();
+    std::int64_t last_virtual = -1;
+    std::uint64_t last_switches = 0;
+    while (!scenario_done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (std::chrono::steady_clock::now() - started < std::chrono::seconds(20)) {
+        continue;
+      }
+      const std::int64_t virtual_now = clock->now_ns();
+      const std::uint64_t switches = clock->switches();
+      if (virtual_now == last_virtual && switches == last_switches) {
+        std::cerr << "vira-dst watchdog: machine wedged (no progress in 20s real time)\n";
+        clock->dump_state(std::cerr);
+        std::abort();
+      }
+      last_virtual = virtual_now;
+      last_switches = switches;
+    }
+  });
+
+  util::set_global_clock(clock.get());
+  clock->register_driver();
+  {
+    DstStack stack(scenario, clock);
+    stack.start();
+
+    std::map<std::uint64_t, RequestState> states;
+    for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+      states[static_cast<std::uint64_t>(i + 1)];
+    }
+    const std::int64_t start_ns = clock->now_ns();
+    const std::int64_t stall_ns =
+        static_cast<std::int64_t>(scenario.stall_budget_ms) * 1000000;
+    std::int64_t last_progress = start_ns;
+    auto note_violation = [&result](const std::string& text) {
+      result.violations.push_back(text);
+    };
+
+    auto handle = [&](comm::Message& msg) {
+      switch (msg.tag) {
+        case core::kTagPartial:
+        case core::kTagFinal: {
+          auto header = core::FragmentHeader::deserialize(msg.payload);
+          auto& state = states[header.request_id];
+          ++result.fragments;
+          if (!state.fragments.emplace(header.partition, header.sequence).second &&
+              !state.duplicate_reported) {
+            state.duplicate_reported = true;
+            note_violation("exactly-once: request " + std::to_string(header.request_id) +
+                           " fragment (partition " + std::to_string(header.partition) +
+                           ", sequence " + std::to_string(header.sequence) +
+                           ") delivered twice");
+          }
+          break;
+        }
+        case core::kTagProgress:
+          break;
+        case core::kTagDegraded: {
+          const auto id = msg.payload.read<std::uint64_t>();
+          states[id].degraded_seen = true;
+          break;
+        }
+        case core::kTagError: {
+          const auto id = msg.payload.read<std::uint64_t>();
+          states[id].error_seen = true;
+          break;
+        }
+        case core::kTagComplete: {
+          auto stats = core::CommandStats::deserialize(msg.payload);
+          auto& state = states[stats.request_id];
+          if (state.complete) {
+            note_violation("terminal: request " + std::to_string(stats.request_id) +
+                           " completed twice");
+            break;
+          }
+          state.complete = true;
+          state.success = stats.success;
+          state.retries = stats.retries;
+          ++result.completed;
+          if (stats.success) {
+            ++result.succeeded;
+          } else {
+            ++result.failed;
+          }
+          if (stats.retries > 0) {
+            ++result.degraded;
+            if (!state.degraded_seen) {
+              note_violation("terminal: request " + std::to_string(stats.request_id) +
+                             " retried " + std::to_string(stats.retries) +
+                             "x without a kTagDegraded notice");
+            }
+          }
+          if (!stats.success && !state.error_seen) {
+            note_violation("terminal: request " + std::to_string(stats.request_id) +
+                           " failed without a kTagError notice");
+          }
+          break;
+        }
+        default:
+          note_violation("client: unexpected tag " + std::to_string(msg.tag));
+      }
+    };
+
+    const int total = static_cast<int>(scenario.requests.size());
+    bool stalled = false;
+    while (result.completed < total) {
+      const std::int64_t now = clock->now_ns();
+      for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+        const DstRequest& spec = scenario.requests[i];
+        auto& state = states[static_cast<std::uint64_t>(i + 1)];
+        if (state.submitted ||
+            now - start_ns < static_cast<std::int64_t>(spec.submit_at_ms) * 1000000) {
+          continue;
+        }
+        core::CommandRequest request;
+        request.request_id = static_cast<std::uint64_t>(i + 1);
+        request.command = "dst.work";
+        request.params.set_int("partials", spec.partials);
+        request.params.set_int("payload", spec.payload);
+        request.params.set_int("dms_items", spec.dms_items);
+        request.params.set_int("first_item", spec.first_item);
+        request.params.set_int("item_count", scenario.item_count);
+        request.params.set_bool("barrier", spec.barrier);
+        request.params.set_int("fail_rank", spec.fail_rank);
+        request.params.set_int("item_sleep_us", spec.item_sleep_us);
+        if (spec.width > 0) {
+          request.params.set_int("workers", spec.width);
+        }
+        comm::Message msg;
+        msg.source = 0;
+        msg.tag = core::kTagSubmit;
+        request.serialize(msg.payload);
+        stack.client().send(std::move(msg));
+        state.submitted = true;
+        last_progress = now;
+      }
+      while (auto msg = stack.client().recv(std::chrono::milliseconds(0))) {
+        handle(*msg);
+        last_progress = clock->now_ns();
+      }
+      if (clock->now_ns() - last_progress > stall_ns) {
+        note_violation("stall: no client-visible progress for " +
+                       std::to_string(scenario.stall_budget_ms) + " virtual ms (" +
+                       std::to_string(result.completed) + "/" + std::to_string(total) +
+                       " requests complete)");
+        stalled = true;
+        break;
+      }
+      util::clock_sleep(std::chrono::milliseconds(1));
+    }
+
+    // Worker conservation: with every request terminal, the pool must
+    // settle — every rank free or declared lost, no group or queue entry
+    // leaked. Reads are token-serialized (the scheduler thread is parked).
+    if (!stalled) {
+      const std::int64_t settle_deadline = clock->now_ns() + stall_ns;
+      auto settled = [&] {
+        return stack.scheduler().free_workers() + stack.scheduler().lost_workers() ==
+                   static_cast<std::size_t>(scenario.workers) &&
+               stack.scheduler().active_groups() == 0 &&
+               stack.scheduler().queued_requests() == 0;
+      };
+      while (!settled() && clock->now_ns() < settle_deadline) {
+        util::clock_sleep(std::chrono::milliseconds(5));
+      }
+      if (!settled()) {
+        note_violation(
+            "conservation: pool did not settle (free=" +
+            std::to_string(stack.scheduler().free_workers()) +
+            " lost=" + std::to_string(stack.scheduler().lost_workers()) +
+            " of " + std::to_string(scenario.workers) +
+            ", groups=" + std::to_string(stack.scheduler().active_groups()) +
+            ", queued=" + std::to_string(stack.scheduler().queued_requests()) + ")");
+      }
+    }
+
+    // Cache accounting, after draining the prefetch pipelines in virtual
+    // time so no load is mid-flight.
+    for (auto& proxy : stack.proxies()) {
+      proxy->quiesce();
+    }
+    for (auto& proxy : stack.proxies()) {
+      const auto counters = proxy->stats().snapshot();
+      const std::string tag = "cache(proxy " + std::to_string(proxy->id()) + "): ";
+      if (counters.requests != counters.l1_hits + counters.l2_hits + counters.misses) {
+        note_violation(tag + "requests " + std::to_string(counters.requests) +
+                       " != l1 " + std::to_string(counters.l1_hits) + " + l2 " +
+                       std::to_string(counters.l2_hits) + " + miss " +
+                       std::to_string(counters.misses));
+      }
+      if (counters.prefetch_useful > counters.prefetch_issued) {
+        note_violation(tag + "prefetch_useful exceeds prefetch_issued");
+      }
+      const auto& l1 = proxy->cache().l1();
+      std::uint64_t resident_bytes = 0;
+      for (const dms::ItemId id : l1.resident()) {
+        if (const dms::Blob blob = l1.peek(id)) {
+          resident_bytes += blob->size();
+        } else {
+          note_violation(tag + "resident item " + std::to_string(id) + " has no blob");
+        }
+      }
+      if (resident_bytes != l1.size_bytes()) {
+        note_violation(tag + "L1 byte accounting drifted: resident " +
+                       std::to_string(resident_bytes) + " != accounted " +
+                       std::to_string(l1.size_bytes()));
+      }
+      if (l1.size_bytes() > l1.capacity_bytes()) {
+        note_violation(tag + "L1 over capacity: " + std::to_string(l1.size_bytes()) + " > " +
+                       std::to_string(l1.capacity_bytes()));
+      }
+      if (scenario.l2 && proxy->cache().l2_size_bytes() > scenario.l2_bytes) {
+        note_violation(tag + "L2 over capacity: " +
+                       std::to_string(proxy->cache().l2_size_bytes()) + " > " +
+                       std::to_string(scenario.l2_bytes));
+      }
+    }
+
+    // Finalize the deterministic trajectory before teardown: joins leave
+    // the machine and race the OS, so everything after this point is
+    // excluded from the replay contract.
+    result.trajectory_hash = stack.transport().trajectory_hash();
+    result.transport_events = stack.transport().event_count();
+    result.context_switches = clock->switches();
+    result.virtual_end_ns = clock->now_ns();
+    result.faults = stack.transport().stats();
+    result.ranks_killed = stack.transport().dead_count();
+
+    stack.stop();
+  }
+  clock->unregister_driver();
+  util::set_global_clock(nullptr);
+  scenario_done.store(true);
+  watchdog.join();
+  return result;
+}
+
+}  // namespace vira::sim

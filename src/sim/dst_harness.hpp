@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file dst_harness.hpp
+/// Deterministic simulation-testing harness: runs the *real* scheduler /
+/// worker / DMS stack (no models) under sim::VirtualClock +
+/// sim::VirtualTransport against a seeded Scenario, and checks invariant
+/// oracles over the outcome (DESIGN.md "Testing strategy").
+///
+/// Oracles:
+///   1. exactly-once — no duplicated (request, partition, sequence)
+///      fragment reaches the client (transport duplicates and retry
+///      recomputation included),
+///   2. terminal outcome — every submitted request receives exactly one
+///      kTagComplete; any retried request surfaced kTagDegraded first,
+///   3. worker conservation — after the last completion the pool settles to
+///      free + lost == worker_count with no group leaked,
+///   4. cache accounting — per proxy: requests == l1_hits + l2_hits +
+///      misses, resident bytes equal the byte-count bookkeeping, and both
+///      tiers respect their capacity,
+///   5. stall budget — the scenario makes progress within a (virtual) bound;
+///      a silent stall is a liveness bug, not a timeout.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/fault_transport.hpp"
+#include "sim/dst_clock.hpp"
+#include "sim/dst_transport.hpp"
+
+namespace vira::sim {
+
+/// One client request in the scenario's workload mix.
+struct DstRequest {
+  int width = 0;        ///< worker count (0 = all alive)
+  int partials = 2;     ///< streamed fragments per group member
+  int payload = 64;     ///< bytes per fragment
+  int dms_items = 0;    ///< proxy requests per fragment
+  int first_item = 0;   ///< starting index into the synthetic item space
+  bool barrier = false; ///< group barrier between fragments
+  int fail_rank = -1;   ///< partition that throws (command failure path)
+  int submit_at_ms = 0; ///< virtual submit time
+  int item_sleep_us = 0;  ///< virtual compute per fragment
+};
+
+/// A complete deterministic scenario: workload × fault schedule × stack
+/// configuration. Serializes to a one-line string for replay and shrinking.
+struct Scenario {
+  std::uint64_t seed = 0;  ///< generator seed (0 = hand-built)
+  int workers = 3;
+  std::vector<DstRequest> requests;
+
+  /// Transport faults (rates in [0,1]; kills are (virtual ms, rank)).
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  int max_delay_ms = 5;
+  std::vector<std::pair<int, int>> kills;
+
+  /// DMS configuration.
+  std::string policy = "fbr";
+  std::uint64_t l1_bytes = 16 * 1024;
+  bool l2 = false;
+  std::uint64_t l2_bytes = 64 * 1024;
+  std::string prefetcher = "obl";
+  bool async_prefetch = true;
+  int item_count = 32;
+  int item_bytes = 1024;
+
+  /// Scheduler / worker liveness knobs (virtual milliseconds).
+  int heartbeat_ms = 20;
+  int death_ms = 150;
+  int idle_grace_ms = 40;
+  int max_retries = 3;
+  int backoff_ms = 5;
+  int request_timeout_ms = 0;
+  /// Exactly-once switch — disabled only to demonstrate that the oracle
+  /// catches the resulting duplicates (the deliberate-violation demo).
+  bool fragment_dedup = true;
+
+  /// Virtual progress bound for the stall oracle.
+  int stall_budget_ms = 8000;
+
+  std::string to_string() const;
+  static std::optional<Scenario> parse(const std::string& text);
+};
+
+/// Everything a scenario run produces (all deterministic per scenario).
+struct ScenarioResult {
+  std::vector<std::string> violations;  ///< empty = all oracles passed
+  std::uint64_t trajectory_hash = 0;
+  std::uint64_t transport_events = 0;
+  std::uint64_t context_switches = 0;
+  std::int64_t virtual_end_ns = 0;
+  int completed = 0;  ///< requests that reached kTagComplete
+  int succeeded = 0;
+  int failed = 0;     ///< completed unsuccessfully (kTagError seen)
+  int degraded = 0;   ///< requests that retried at least once
+  std::uint64_t fragments = 0;  ///< partial/final packets accepted
+  comm::FaultInjectionStats faults;
+  std::size_t ranks_killed = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs one scenario under virtual time. Installs the virtual clock as the
+/// process-global util clock for the duration; the process must be
+/// otherwise quiescent (no concurrent real-mode vira threads).
+ScenarioResult run_scenario(const Scenario& scenario);
+
+}  // namespace vira::sim

@@ -1,0 +1,216 @@
+#include "sim/dst_transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vira::sim {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_step(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+}  // namespace
+
+VirtualTransport::VirtualTransport(std::shared_ptr<VirtualClock> clock, Config config)
+    : clock_(std::move(clock)), config_(std::move(config)), rng_(config_.faults.seed) {
+  if (!clock_) {
+    throw std::invalid_argument("VirtualTransport: clock required");
+  }
+  if (config_.size < 1) {
+    throw std::invalid_argument("VirtualTransport: size must be >= 1");
+  }
+  mailboxes_.resize(static_cast<std::size_t>(config_.size));
+  waiters_.resize(static_cast<std::size_t>(config_.size));
+  auto lock = clock_->acquire();
+  for (const auto& [when, rank] : config_.kills) {
+    const int victim = rank;
+    const auto due = std::chrono::duration_cast<std::chrono::nanoseconds>(when).count();
+    clock_->add_timer_locked(due, [this, victim] {
+      // Under the machine lock (timers fire inside schedule_next_locked).
+      if (dead_.insert(victim).second) {
+        util::ByteBuffer none;
+        record_locked('K', victim, -1, 0, none);
+      }
+    });
+  }
+}
+
+void VirtualTransport::record_locked(char kind, int a, int b, int tag,
+                                     const util::ByteBuffer& payload) {
+  ++events_;
+  hash_ = fnv_step(hash_, static_cast<std::uint64_t>(kind));
+  hash_ = fnv_step(hash_, static_cast<std::uint64_t>(clock_->now_ns()));
+  hash_ = fnv_step(hash_, static_cast<std::uint64_t>(static_cast<std::int64_t>(a)));
+  hash_ = fnv_step(hash_, static_cast<std::uint64_t>(static_cast<std::int64_t>(b)));
+  hash_ = fnv_step(hash_, static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  hash_ = fnv_step(hash_, payload.size());
+  const std::byte* bytes = payload.data();
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    acc = (acc << 8) | std::to_integer<std::uint64_t>(bytes[i]);
+    if ((i & 7u) == 7u) {
+      hash_ = fnv_step(hash_, acc);
+      acc = 0;
+    }
+  }
+  if ((payload.size() & 7u) != 0) {
+    hash_ = fnv_step(hash_, acc);
+  }
+}
+
+void VirtualTransport::deliver_locked(int dest, comm::Message msg) {
+  if (down_ || dead_.count(dest) > 0 || dead_.count(msg.source) > 0) {
+    // A kill or shutdown landed while the message was in (virtual) flight.
+    ++stats_.suppressed_dead;
+    return;
+  }
+  record_locked('d', msg.source, dest, msg.tag, msg.payload);
+  mailboxes_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
+  auto& queue = waiters_[static_cast<std::size_t>(dest)];
+  if (!queue.empty()) {
+    VirtualClock::Participant* waiter = queue.front();
+    queue.pop_front();
+    clock_->wake_locked(waiter);
+  }
+}
+
+void VirtualTransport::send(int dest, comm::Message msg) {
+  if (dest < 0 || dest >= config_.size) {
+    throw std::out_of_range("VirtualTransport: bad destination");
+  }
+  auto lock = clock_->acquire();
+  if (down_) {
+    return;  // sends to a shut-down transport are dropped (Transport contract)
+  }
+  // Mirror FaultInjectingTransport::send decision-for-decision so the same
+  // seed consumes the same random stream.
+  if (dead_.count(dest) > 0 || dead_.count(msg.source) > 0) {
+    ++stats_.suppressed_dead;
+    return;
+  }
+  bool duplicate = false;
+  std::chrono::milliseconds delay{0};
+  if (faults_possible()) {
+    if (config_.faults.drop_rate > 0.0 && rng_.next_double() < config_.faults.drop_rate) {
+      ++stats_.dropped;
+      record_locked('D', msg.source, dest, msg.tag, msg.payload);
+      return;
+    }
+    if (config_.faults.duplicate_rate > 0.0 &&
+        rng_.next_double() < config_.faults.duplicate_rate) {
+      ++stats_.duplicated;
+      duplicate = true;
+    }
+    if (config_.faults.delay_rate > 0.0 && rng_.next_double() < config_.faults.delay_rate) {
+      ++stats_.delayed;
+      const auto span = std::max<std::int64_t>(1, config_.faults.max_delay.count());
+      delay = std::chrono::milliseconds(
+          1 + static_cast<std::int64_t>(rng_.next_below(static_cast<std::uint64_t>(span))));
+    }
+  }
+  ++stats_.forwarded;
+
+  const int copies = duplicate ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    comm::Message instance = (copy + 1 == copies) ? std::move(msg) : msg;
+    if (delay.count() > 0) {
+      const auto due =
+          clock_->now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(delay).count();
+      // Capture by shared_ptr: std::function requires copyable callables.
+      auto held = std::make_shared<comm::Message>(std::move(instance));
+      clock_->add_timer_locked(due, [this, dest, held]() mutable {
+        deliver_locked(dest, std::move(*held));
+      });
+    } else {
+      deliver_locked(dest, std::move(instance));
+    }
+  }
+}
+
+std::optional<comm::Message> VirtualTransport::recv(int self,
+                                                    std::chrono::milliseconds timeout) {
+  if (self < 0 || self >= config_.size) {
+    throw std::out_of_range("VirtualTransport: bad endpoint");
+  }
+  auto lock = clock_->acquire();
+  const auto deadline =
+      clock_->now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+  auto& mailbox = mailboxes_[static_cast<std::size_t>(self)];
+  while (true) {
+    while (!mailbox.empty()) {
+      comm::Message msg = std::move(mailbox.front());
+      mailbox.pop_front();
+      if (dead_.count(self) > 0 || dead_.count(msg.source) > 0) {
+        ++stats_.suppressed_dead;  // killed mid-queue; the message evaporates
+        continue;
+      }
+      return msg;
+    }
+    if (down_) {
+      return std::nullopt;  // drained + shut down (Communicator throws)
+    }
+    if (clock_->now_ns() >= deadline) {
+      return std::nullopt;
+    }
+    waiters_[static_cast<std::size_t>(self)].push_back(clock_->self());
+    clock_->wait_for_signal_locked(lock, deadline);
+    // Deadline expiry leaves us in the waiter queue; a delivery may also
+    // have been consumed by a sibling thread of this rank. Drop our stale
+    // registration and re-check.
+    auto& queue = waiters_[static_cast<std::size_t>(self)];
+    queue.erase(std::remove(queue.begin(), queue.end(), clock_->self()), queue.end());
+  }
+}
+
+void VirtualTransport::shutdown() {
+  auto lock = clock_->acquire();
+  if (down_) {
+    return;
+  }
+  down_ = true;
+  util::ByteBuffer none;
+  record_locked('X', -1, -1, 0, none);
+  // Release every blocked receiver, rank-ascending then FIFO: determinism
+  // even for teardown (the hash is already finalized by now, but a
+  // deterministic teardown keeps post-mortem logs comparable).
+  for (auto& queue : waiters_) {
+    while (!queue.empty()) {
+      VirtualClock::Participant* waiter = queue.front();
+      queue.pop_front();
+      clock_->wake_locked(waiter);
+    }
+  }
+}
+
+bool VirtualTransport::is_shut_down() const {
+  auto lock = clock_->acquire();
+  return down_;
+}
+
+comm::FaultInjectionStats VirtualTransport::stats() const {
+  auto lock = clock_->acquire();
+  return stats_;
+}
+
+std::size_t VirtualTransport::dead_count() const {
+  auto lock = clock_->acquire();
+  return dead_.size();
+}
+
+std::uint64_t VirtualTransport::trajectory_hash() const {
+  auto lock = clock_->acquire();
+  return hash_;
+}
+
+std::uint64_t VirtualTransport::event_count() const {
+  auto lock = clock_->acquire();
+  return events_;
+}
+
+}  // namespace vira::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file clock.hpp
+/// The injectable time source of the runtime (DESIGN.md "Testing strategy").
+///
+/// Every component that reads the time or sleeps — scheduler liveness
+/// deadlines, worker heartbeats, DMS prefetch pacing, wall/phase timers —
+/// does so through the process-global Clock so deterministic simulation
+/// testing (sim::VirtualClock) can replace real time wholesale. The default
+/// RealClock forwards to std::chrono::steady_clock / this_thread::sleep_for
+/// with no behavioral change.
+///
+/// The thread hooks exist for cooperative schedulers: a virtual clock must
+/// know every participating thread to serialize them deterministically.
+/// announce_thread() is called by the *spawning* thread before it creates a
+/// std::thread (reserving a deterministic schedule slot under a unique
+/// name); thread_begin()/thread_end() bracket the spawned thread's body;
+/// join_thread() replaces a raw std::thread::join() so a cooperative clock
+/// can release its scheduling token while really blocking. All four are
+/// no-ops on RealClock.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace vira::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual std::chrono::steady_clock::time_point now() = 0;
+  virtual void sleep_for(std::chrono::nanoseconds duration) = 0;
+
+  /// --- cooperative-scheduling hooks (no-ops in real time) ------------------
+  virtual void announce_thread(const std::string& /*name*/) {}
+  virtual void thread_begin(const std::string& /*name*/) {}
+  virtual void thread_end() {}
+  virtual void join_thread(std::thread& thread) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+};
+
+/// Real time: steady_clock + this_thread::sleep_for.
+class RealClock final : public Clock {
+ public:
+  std::chrono::steady_clock::time_point now() override {
+    return std::chrono::steady_clock::now();
+  }
+  void sleep_for(std::chrono::nanoseconds duration) override {
+    if (duration.count() > 0) {
+      std::this_thread::sleep_for(duration);
+    }
+  }
+};
+
+/// The process-global clock (RealClock until overridden).
+Clock& global_clock() noexcept;
+
+/// Installs `clock` as the global time source; nullptr restores RealClock.
+/// Not thread-safe against concurrent time reads — install before the
+/// threads under test start (the DST harness does this around each
+/// scenario, on an otherwise quiescent process).
+void set_global_clock(Clock* clock) noexcept;
+
+inline std::chrono::steady_clock::time_point clock_now() { return global_clock().now(); }
+
+template <typename Rep, typename Period>
+inline void clock_sleep(std::chrono::duration<Rep, Period> duration) {
+  global_clock().sleep_for(std::chrono::duration_cast<std::chrono::nanoseconds>(duration));
+}
+
+}  // namespace vira::util

@@ -25,12 +25,12 @@ void PhaseTimer::enter(const std::string& phase) {
     listener_(current_, phase);
   }
   current_ = phase;
-  entered_ = Clock::now();
+  entered_ = clock_now();
 }
 
 void PhaseTimer::flush() {
   if (!current_.empty()) {
-    phases_[current_] += std::chrono::duration<double>(Clock::now() - entered_).count();
+    phases_[current_] += std::chrono::duration<double>(clock_now() - entered_).count();
   }
 }
 
@@ -38,7 +38,7 @@ double PhaseTimer::seconds(const std::string& phase) const {
   auto it = phases_.find(phase);
   double value = it != phases_.end() ? it->second : 0.0;
   if (phase == current_ && !current_.empty()) {
-    value += std::chrono::duration<double>(Clock::now() - entered_).count();
+    value += std::chrono::duration<double>(clock_now() - entered_).count();
   }
   return value;
 }
@@ -49,7 +49,7 @@ double PhaseTimer::total() const {
     sum += secs;
   }
   if (!current_.empty()) {
-    sum += std::chrono::duration<double>(Clock::now() - entered_).count();
+    sum += std::chrono::duration<double>(clock_now() - entered_).count();
   }
   return sum;
 }

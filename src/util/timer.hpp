@@ -13,6 +13,8 @@
 #include <map>
 #include <string>
 
+#include "util/clock.hpp"
+
 namespace vira::util {
 
 /// Process-wide fixed steady_clock epoch, captured once on first use.
@@ -22,7 +24,8 @@ namespace vira::util {
 /// the epoch near process start.
 std::chrono::steady_clock::time_point steady_epoch() noexcept;
 
-/// Monotonic wall-clock stopwatch with pause/resume semantics.
+/// Monotonic wall-clock stopwatch with pause/resume semantics. Reads the
+/// injectable global clock so simulated runs report virtual durations.
 class WallTimer {
  public:
   WallTimer() { restart(); }
@@ -30,12 +33,12 @@ class WallTimer {
   void restart() {
     accumulated_ = 0.0;
     running_ = true;
-    start_ = Clock::now();
+    start_ = clock_now();
   }
 
   void pause() {
     if (running_) {
-      accumulated_ += std::chrono::duration<double>(Clock::now() - start_).count();
+      accumulated_ += std::chrono::duration<double>(clock_now() - start_).count();
       running_ = false;
     }
   }
@@ -43,7 +46,7 @@ class WallTimer {
   void resume() {
     if (!running_) {
       running_ = true;
-      start_ = Clock::now();
+      start_ = clock_now();
     }
   }
 
@@ -51,14 +54,13 @@ class WallTimer {
   double seconds() const {
     double total = accumulated_;
     if (running_) {
-      total += std::chrono::duration<double>(Clock::now() - start_).count();
+      total += std::chrono::duration<double>(clock_now() - start_).count();
     }
     return total;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_{};
+  std::chrono::steady_clock::time_point start_{};
   double accumulated_ = 0.0;
   bool running_ = true;
 };
@@ -116,10 +118,9 @@ class PhaseTimer {
  private:
   void flush();
 
-  using Clock = std::chrono::steady_clock;
   std::map<std::string, double> phases_;
   std::string current_;
-  Clock::time_point entered_{};
+  std::chrono::steady_clock::time_point entered_{};
   Listener listener_;
 };
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <numeric>
 #include <thread>
@@ -8,6 +9,7 @@
 #include "comm/client_link.hpp"
 #include "comm/communicator.hpp"
 #include "comm/transport.hpp"
+#include "test_util.hpp"
 
 namespace vc = vira::comm;
 namespace vu = vira::util;
@@ -113,11 +115,16 @@ TEST(InProcTransport, SendsRacingShutdownNeverThrowOrHang) {
       }
     });
   }
-  std::thread receiver([transport] {
+  std::atomic<int> received{0};
+  std::thread receiver([transport, &received] {
     while (transport->recv(2, std::chrono::milliseconds(50)).has_value()) {
+      received.fetch_add(1);
     }
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Shut down mid-stream: wait for the exchange to be demonstrably under
+  // way (not a fixed sleep — on a loaded machine 2ms might be before the
+  // first send, which would test nothing).
+  EXPECT_TRUE(vira::test::eventually([&] { return received.load() >= 16; }));
   transport->shutdown();
   for (auto& t : senders) {
     t.join();

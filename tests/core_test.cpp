@@ -6,6 +6,7 @@
 #include "core/backend.hpp"
 #include "core/vmb_data_source.hpp"
 #include "grid/synthetic.hpp"
+#include "test_util.hpp"
 #include "viz/session.hpp"
 
 namespace vc = vira::core;
@@ -215,6 +216,12 @@ TEST(Backend, SequentialRequestsReuseWorkers) {
     EXPECT_TRUE(stats.success);
     ASSERT_EQ(fragments.size(), 1u);
     EXPECT_EQ(fragments[0].read_string(), "round-" + std::to_string(round));
+    // The pool settles back to full strength between rounds. Done reports
+    // arrive after the client's Complete, so this is a predicate-wait, not
+    // an immediate assertion (and not a fixed sleep).
+    EXPECT_TRUE(vira::test::eventually(
+        [&] { return backend.scheduler().free_workers() == 2u; }))
+        << "round " << round << ": free=" << backend.scheduler().free_workers();
   }
 }
 

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "dms/block_cache.hpp"
 #include "dms/cache_policy.hpp"
@@ -11,6 +17,8 @@
 #include "dms/name_service.hpp"
 #include "dms/prefetcher.hpp"
 #include "dms/two_tier_cache.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
 
 namespace vd = vira::dms;
 namespace vu = vira::util;
@@ -1111,4 +1119,311 @@ TEST(DataProxy, CollectiveNotChosenOnPlainFilesystem) {
   for (int reader = 0; reader < 6; ++reader) {
     fx.server->end_file_read(file_key);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Replacement-policy property tests (DESIGN.md "Testing strategy")
+//
+// Each production policy is replayed against a deliberately naive reference
+// model (flat vectors, O(n) scans) over a seeded random op stream; any
+// divergence in victim choice or bookkeeping is a bug in one of the two.
+// The stream derives from the printed master seed, so a failure reproduces
+// with VIRA_TEST_SEED=<printed>.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RefLru {
+  std::vector<vd::ItemId> order;  // front = LRU, back = MRU
+
+  void insert(vd::ItemId id) { access_or_append(id); }
+  void access(vd::ItemId id) {
+    auto it = std::find(order.begin(), order.end(), id);
+    if (it != order.end()) {
+      order.erase(it);
+      order.push_back(id);
+    }
+  }
+  void erase(vd::ItemId id) {
+    auto it = std::find(order.begin(), order.end(), id);
+    if (it != order.end()) {
+      order.erase(it);
+    }
+  }
+  std::optional<vd::ItemId> victim(const vd::EvictableFn& evictable) const {
+    for (const auto id : order) {
+      if (evictable(id)) {
+        return id;
+      }
+    }
+    return std::nullopt;
+  }
+  std::size_t tracked() const { return order.size(); }
+
+ private:
+  void access_or_append(vd::ItemId id) {
+    auto it = std::find(order.begin(), order.end(), id);
+    if (it != order.end()) {
+      order.erase(it);
+    }
+    order.push_back(id);
+  }
+};
+
+struct RefLfu {
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t last = 0;
+  };
+  std::map<vd::ItemId, Entry> entries;
+  std::uint64_t clock = 0;
+
+  void insert(vd::ItemId id) {
+    auto& e = entries[id];
+    e.count += 1;
+    e.last = ++clock;
+  }
+  void access(vd::ItemId id) {
+    auto it = entries.find(id);
+    if (it != entries.end()) {
+      it->second.count += 1;
+      it->second.last = ++clock;
+    }
+  }
+  void erase(vd::ItemId id) { entries.erase(id); }
+  std::optional<vd::ItemId> victim(const vd::EvictableFn& evictable) const {
+    std::optional<vd::ItemId> best;
+    std::uint64_t best_count = 0;
+    std::uint64_t best_last = 0;
+    for (const auto& [id, e] : entries) {
+      if (!evictable(id)) {
+        continue;
+      }
+      if (!best || e.count < best_count || (e.count == best_count && e.last < best_last)) {
+        best = id;
+        best_count = e.count;
+        best_last = e.last;
+      }
+    }
+    return best;
+  }
+  std::size_t tracked() const { return entries.size(); }
+};
+
+/// Reference FBR with the paper's semantics spelled out over flat vectors:
+/// new-section membership by index, counts bumped only outside it, Amax
+/// halving, victims least-frequent-then-least-recent from the old section,
+/// falling back to the coldest evictable entry.
+struct RefFbr {
+  struct Entry {
+    std::uint64_t count = 1;
+    std::uint64_t last = 0;
+  };
+  double new_fraction = 0.25;
+  double old_fraction = 0.5;
+  std::uint64_t max_count = 64;
+  std::vector<vd::ItemId> stack;  // front (index 0) = MRU
+  std::map<vd::ItemId, Entry> entries;
+  std::uint64_t clock = 0;
+
+  std::size_t index_of(vd::ItemId id) const {
+    return static_cast<std::size_t>(
+        std::find(stack.begin(), stack.end(), id) - stack.begin());
+  }
+  bool in_new_section(vd::ItemId id) const {
+    const auto new_count = static_cast<std::size_t>(
+        std::ceil(new_fraction * static_cast<double>(stack.size())));
+    return index_of(id) < new_count;
+  }
+  std::size_t old_section_start() const {
+    const auto old_count = static_cast<std::size_t>(
+        std::ceil(old_fraction * static_cast<double>(stack.size())));
+    return stack.size() - std::min(old_count, stack.size());
+  }
+  void maybe_age() {
+    bool needs = false;
+    for (const auto& [id, e] : entries) {
+      needs = needs || e.count >= max_count;
+    }
+    if (needs) {
+      for (auto& [id, e] : entries) {
+        e.count = std::max<std::uint64_t>(1, e.count / 2);
+      }
+    }
+  }
+  void touch(vd::ItemId id) {
+    stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(index_of(id)));
+    stack.insert(stack.begin(), id);
+    entries[id].last = ++clock;
+  }
+  void insert(vd::ItemId id) {
+    if (entries.count(id) > 0) {
+      access(id);
+      return;
+    }
+    stack.insert(stack.begin(), id);
+    entries[id] = Entry{1, ++clock};
+  }
+  void access(vd::ItemId id) {
+    if (entries.count(id) == 0) {
+      return;
+    }
+    if (!in_new_section(id)) {
+      entries[id].count += 1;
+      maybe_age();
+    }
+    touch(id);
+  }
+  void erase(vd::ItemId id) {
+    if (entries.count(id) > 0) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(index_of(id)));
+      entries.erase(id);
+    }
+  }
+  std::optional<vd::ItemId> victim(const vd::EvictableFn& evictable) const {
+    const std::size_t start = old_section_start();
+    std::optional<vd::ItemId> best;
+    std::uint64_t best_count = 0;
+    std::uint64_t best_last = 0;
+    for (std::size_t i = start; i < stack.size(); ++i) {
+      const auto id = stack[i];
+      if (!evictable(id)) {
+        continue;
+      }
+      const auto& e = entries.at(id);
+      if (!best || e.count < best_count || (e.count == best_count && e.last < best_last)) {
+        best = id;
+        best_count = e.count;
+        best_last = e.last;
+      }
+    }
+    if (best) {
+      return best;
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (evictable(*it)) {
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+  std::size_t tracked() const { return entries.size(); }
+};
+
+/// Drives a production policy and a reference model through the same seeded
+/// op stream, comparing victim choices under randomly pinned subsets.
+template <typename Model>
+void run_policy_property_test(vd::ReplacementPolicy& policy, Model& model,
+                              std::uint64_t seed) {
+  vu::Rng rng(seed);
+  constexpr int kOps = 2500;
+  constexpr std::uint64_t kUniverse = 12;
+  std::set<vd::ItemId> resident;
+  for (int op = 0; op < kOps; ++op) {
+    const auto id = rng.next_below(kUniverse);
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        policy.on_insert(id);
+        model.insert(id);
+        resident.insert(id);
+        break;
+      case 4:
+      case 5:
+      case 6:
+        policy.on_access(id);
+        model.access(id);
+        break;
+      case 7:
+        policy.on_erase(id);
+        model.erase(id);
+        resident.erase(id);
+        break;
+      default: {
+        // Victim comparison under a random pinned subset.
+        std::set<vd::ItemId> pinned;
+        for (const auto r : resident) {
+          if (rng.next_below(4) == 0) {
+            pinned.insert(r);
+          }
+        }
+        const vd::EvictableFn evictable = [&](vd::ItemId candidate) {
+          return pinned.count(candidate) == 0;
+        };
+        const auto got = policy.victim(evictable);
+        const auto want = model.victim(evictable);
+        ASSERT_EQ(got, want) << policy.name() << " diverged at op " << op
+                             << " (seed " << seed << ")";
+        if (got) {
+          EXPECT_EQ(resident.count(*got), 1u);
+          EXPECT_EQ(pinned.count(*got), 0u);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(policy.tracked(), model.tracked())
+        << policy.name() << " bookkeeping diverged at op " << op << " (seed " << seed << ")";
+  }
+}
+
+}  // namespace
+
+TEST(CachePolicyProperties, LruMatchesReferenceModel) {
+  vd::LruPolicy policy;
+  RefLru model;
+  run_policy_property_test(policy, model, vira::test::test_seed(0xa11ce));
+}
+
+TEST(CachePolicyProperties, LfuMatchesReferenceModel) {
+  vd::LfuPolicy policy;
+  RefLfu model;
+  run_policy_property_test(policy, model, vira::test::test_seed(0xbeef));
+}
+
+TEST(CachePolicyProperties, FbrMatchesReferenceModel) {
+  vd::FbrPolicy policy;
+  RefFbr model;
+  run_policy_property_test(policy, model, vira::test::test_seed(0xfb12));
+}
+
+// ---------------------------------------------------------------------------
+// Markov prefetcher: OBL fallback edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Prefetchers, MarkovFallbackIsPerBlockNotGlobal) {
+  // The fallback applies per block: a trained graph for some blocks must
+  // not stop OBL from covering blocks the graph knows nothing about.
+  const vd::SuccessorFn successor = [](vd::ItemId id) -> std::optional<vd::ItemId> {
+    return id + 1;
+  };
+  vd::MarkovPrefetcher markov(successor);
+  markov.on_request(5, false);
+  markov.on_request(9, false);
+  markov.on_request(5, false);
+  markov.on_request(9, false);
+  EXPECT_EQ(markov.transition_count(5, 9), 2u);
+
+  // A block it has never left: still falls back to OBL...
+  markov.on_request(42, false);
+  auto suggestions = markov.suggest(1);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions.front(), 43u);
+
+  // ...while the trained block keeps its learned (non-sequential) edge.
+  markov.on_request(5, false);
+  suggestions = markov.suggest(2);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions.front(), 9u);
+}
+
+TEST(Prefetchers, MarkovWithoutFallbackStaysQuietWhenIgnorant) {
+  vd::MarkovPrefetcher markov(nullptr);
+  markov.on_request(7, false);
+  EXPECT_TRUE(markov.suggest(4).empty());  // nothing learned, no fallback
+  markov.on_request(3, false);
+  markov.on_request(7, false);
+  markov.on_request(3, false);
+  EXPECT_EQ(markov.suggest(4), (std::vector<vd::ItemId>{7}));
 }

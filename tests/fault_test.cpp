@@ -10,6 +10,7 @@
 #include "comm/fault_transport.hpp"
 #include "core/backend.hpp"
 #include "grid/synthetic.hpp"
+#include "test_util.hpp"
 #include "viz/session.hpp"
 
 namespace va = vira::algo;
@@ -254,7 +255,12 @@ TEST_F(FaultRecoveryTest, WorkerKilledMidRequestStillCompletesExactlyOnce) {
   EXPECT_TRUE(stats.degraded());
   EXPECT_TRUE(stream->degraded());
   EXPECT_GE(stream->retry_count(), 1u);
-  EXPECT_EQ(backend.scheduler().lost_workers(), 1u);
+  // Death detection runs on the scheduler's own cadence; the client-side
+  // Complete can beat the death_timeout expiry, so wait on the predicate
+  // instead of asserting instantly.
+  EXPECT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().lost_workers() == 1u; }))
+      << "lost=" << backend.scheduler().lost_workers();
   EXPECT_GE(backend.scheduler().total_retries(), 1u);
 
   // The degraded backend still serves follow-up requests on the survivors.
@@ -271,7 +277,10 @@ TEST_F(FaultRecoveryTest, ZeroFaultRatesChangeNothing) {
     config.workers = 2;
     if (with_injector) {
       vm::FaultInjectionConfig faults;  // all rates zero
-      faults.seed = 1234;
+      // The property must hold for ANY seed; draw it from the printed
+      // master seed so a failing run is reproducible from the log line
+      // (VIRA_TEST_SEED=<printed>).
+      faults.seed = vira::test::test_seed(0xfa17);
       config.fault_injection = faults;
     }
     vc::Backend backend(config);

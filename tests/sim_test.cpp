@@ -163,6 +163,33 @@ TEST(SimEngine, FifoTieBreakAtEqualTimes) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(SimEngine, EqualTimestampsInterleaveInRegistrationOrder) {
+  // Stronger tie-break edge case than FifoTieBreakAtEqualTimes: several
+  // processes repeatedly land on the SAME instants; at every instant the
+  // wake order must equal registration order, even though each round's
+  // events were registered while the previous round was still draining.
+  vs::Engine engine;
+  std::vector<std::pair<int, double>> trace;  // (process, time)
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](vs::Engine& e, std::vector<std::pair<int, double>>& out,
+                    int id) -> vs::Task<void> {
+      for (int round = 0; round < 3; ++round) {
+        co_await e.delay(1.0);
+        out.emplace_back(id, e.now());
+      }
+    }(engine, trace, i));
+  }
+  engine.run();
+  ASSERT_EQ(trace.size(), 9u);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      const auto& [id, at] = trace[static_cast<std::size_t>(round * 3 + i)];
+      EXPECT_EQ(id, i) << "round " << round;
+      EXPECT_DOUBLE_EQ(at, round + 1.0);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Resource
 // ---------------------------------------------------------------------------
@@ -386,6 +413,74 @@ TEST(SimEngine, DestructionWithPendingEventsIsClean) {
   engine->run_until(5.0);  // leaves 9 waiters + 1 sleeper pending
   engine.reset();          // must not crash
   SUCCEED();
+}
+
+TEST(SimResource, WaitersPreemptedByRunUntilResumeInFifoOrder) {
+  // run_until() preempts the simulation mid-contention; resuming with
+  // run() must serve the parked waiters in their original FIFO order, as
+  // if the preemption never happened.
+  vs::Engine engine;
+  vs::Resource resource(engine, 1);
+  std::vector<std::pair<int, double>> grants;  // (process, grant time)
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](vs::Engine& e, vs::Resource& r,
+                    std::vector<std::pair<int, double>>& out, int id) -> vs::Task<void> {
+      const auto lease = co_await r.acquire_scoped();
+      out.emplace_back(id, e.now());
+      co_await e.delay(2.0);
+    }(engine, resource, grants, i));
+  }
+  EXPECT_TRUE(engine.run_until(3.0));  // process 0 done, 1 mid-hold, 2 queued
+  EXPECT_EQ(grants.size(), 2u);
+  EXPECT_EQ(resource.queue_length(), 1u);
+  engine.run();
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_EQ(grants[0], (std::pair<int, double>{0, 0.0}));
+  EXPECT_EQ(grants[1], (std::pair<int, double>{1, 2.0}));
+  EXPECT_EQ(grants[2], (std::pair<int, double>{2, 4.0}));
+  EXPECT_EQ(resource.available(), 1);
+}
+
+TEST(SimResource, CancellationWithHeldLeasesAndQueuedWaitersIsClean) {
+  // Cancellation path: the engine dies while one coroutine HOLDS a lease
+  // and others are queued on the resource. Destroying the suspended frames
+  // runs the holder's Lease destructor, whose release() wakes the queue —
+  // which by then contains handles that are being torn down. This must not
+  // crash or over-release.
+  auto engine = std::make_unique<vs::Engine>();
+  vs::Resource resource(*engine, 1);
+  for (int i = 0; i < 4; ++i) {
+    engine->spawn([](vs::Engine& e, vs::Resource& r) -> vs::Task<void> {
+      const auto lease = co_await r.acquire_scoped();
+      co_await e.delay(100.0);
+    }(*engine, resource));
+  }
+  EXPECT_TRUE(engine->run_until(1.0));  // one holder at t in (0, 100), three queued
+  EXPECT_EQ(resource.queue_length(), 3u);
+  engine.reset();
+  SUCCEED();
+}
+
+TEST(SimChannel, CloseReleasesEveryBlockedConsumer) {
+  // Close-while-awaiting with SEVERAL parked consumers: all of them must
+  // observe end-of-stream (in FIFO order), not just the queue head.
+  vs::Engine engine;
+  vs::Channel<int> channel(engine);
+  std::vector<int> eos_order;
+  for (int c = 0; c < 3; ++c) {
+    engine.spawn([](vs::Channel<int>& ch, std::vector<int>& out, int id) -> vs::Task<void> {
+      const auto item = co_await ch.pop();
+      if (!item) {
+        out.push_back(id);
+      }
+    }(channel, eos_order, c));
+  }
+  engine.spawn([](vs::Engine& e, vs::Channel<int>& ch) -> vs::Task<void> {
+    co_await e.delay(1.0);
+    ch.close();
+  }(engine, channel));
+  engine.run();
+  EXPECT_EQ(eos_order, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(SimEngine, TaskMoveSemantics) {

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file test_util.hpp
+/// Shared helpers for the test suite (DESIGN.md "Testing strategy").
+///
+///  * eventually() — bounded predicate-wait. Replaces fixed sleep_for()
+///    calls in timing-sensitive tests: instead of guessing how long an
+///    asynchronous effect takes (and flaking when CI is slow), poll the
+///    condition until it holds or a generous deadline expires.
+///  * master_seed() — the per-run randomization seed for property tests,
+///    printed once so a failing run is reproducible: re-run with
+///    VIRA_TEST_SEED=<printed value>.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+namespace vira::test {
+
+/// Polls `predicate` every `poll` until it returns true or `timeout`
+/// elapses. Returns the final predicate value, so it slots directly into
+/// EXPECT_TRUE(eventually(...)). The timeout is deliberately generous —
+/// it only bounds the failure case; the common path returns as soon as
+/// the condition holds.
+template <typename Predicate>
+bool eventually(Predicate&& predicate,
+                std::chrono::milliseconds timeout = std::chrono::milliseconds(5000),
+                std::chrono::milliseconds poll = std::chrono::milliseconds(2)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(poll);
+  }
+  return predicate();
+}
+
+/// The run's master randomization seed: VIRA_TEST_SEED if set, otherwise
+/// derived from the wall clock. Printed exactly once per process so any
+/// property-test failure comes with its reproduction recipe.
+inline std::uint64_t master_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t value;
+    if (const char* env = std::getenv("VIRA_TEST_SEED")) {
+      value = std::strtoull(env, nullptr, 10);
+    } else {
+      value = static_cast<std::uint64_t>(
+          std::chrono::system_clock::now().time_since_epoch().count());
+    }
+    std::cout << "[test] master seed = " << value
+              << " (re-run with VIRA_TEST_SEED=" << value << " to reproduce)\n";
+    return value;
+  }();
+  return seed;
+}
+
+/// A seed for one named property test, decorrelated from the other tests
+/// sharing the master seed.
+inline std::uint64_t test_seed(std::uint64_t salt) {
+  std::uint64_t x = master_seed() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace vira::test
