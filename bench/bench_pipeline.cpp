@@ -1,0 +1,168 @@
+/// \file bench_pipeline.cpp
+/// Pipelined block executor ablation (DESIGN.md "Execution engines"):
+/// serial load loop (pipeline_window = 1) vs. overlapped load→decode→
+/// compute→send at window W ∈ {1, 2, 4, 8}, measured as real vortex.dataman (λ2)
+/// extractions over a Backend whose storage is artificially slowed so the
+/// load phase matters. Each run starts cold (caches dropped).
+///
+/// Emits BENCH_pipeline.json (one record per window: wall seconds, the
+/// Fig. 15 compute/read/send split, read-stall fraction) and exits
+/// non-zero if the shape check fails: pipelined (W=4) wall time must be
+/// strictly below serial (W=1), with the phase breakdown still summing to
+/// wall time.
+///
+/// `--smoke` shrinks the storage delay and sweeps only W ∈ {1, 4} — the
+/// CI smoke run.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "algo/cfd_command.hpp"
+#include "core/backend.hpp"
+#include "perf/report.hpp"
+#include "perf/testbed.hpp"
+#include "viz/session.hpp"
+
+namespace {
+
+using namespace vira;
+
+struct WindowResult {
+  int window = 0;
+  bool pipelined = false;  ///< window > 1 and the worker pool was enabled
+  double wall = 0.0;       ///< server-side seconds, submission → completion
+  double compute = 0.0;
+  double read = 0.0;  ///< pipelined runs: stall-on-load time only
+  double send = 0.0;
+  double phase_sum() const { return compute + read + send; }
+  double read_stall_fraction() const {
+    const double sum = phase_sum();
+    return sum > 0.0 ? read / sum : 0.0;
+  }
+};
+
+/// One cold-cache vortex.dataman (λ2) extraction at the given window.
+WindowResult run_window(core::Backend& backend, double iso, int window) {
+  backend.clear_caches();
+  viz::ExtractionSession session(backend.connect());
+
+  util::ParamList params;
+  params.set("dataset", perf::engine_dir());
+  params.set("field", "density");
+  params.set_double("iso", iso);
+  params.set_int("workers", 1);
+  params.set_int("pipeline_window", window);
+
+  auto stream = session.submit("vortex.dataman", params);
+  WindowResult result;
+  result.window = window;
+  result.pipelined = window > 1;
+  while (true) {
+    auto packet = stream->next(std::chrono::milliseconds(120000));
+    if (!packet.has_value()) {
+      std::fprintf(stderr, "window %d: stream stalled\n", window);
+      std::exit(1);
+    }
+    if (packet->kind == viz::Packet::Kind::kComplete) {
+      if (!packet->stats.success) {
+        std::fprintf(stderr, "window %d: command failed: %s\n", window,
+                     packet->stats.error.c_str());
+        std::exit(1);
+      }
+      result.wall = packet->stats.total_runtime;
+      const auto& phases = packet->stats.phase_seconds;
+      const auto phase = [&](const char* name) {
+        const auto it = phases.find(name);
+        return it == phases.end() ? 0.0 : it->second;
+      };
+      result.compute = phase(core::kPhaseCompute);
+      result.read = phase(core::kPhaseRead);
+      result.send = phase(core::kPhaseSend);
+      return result;
+    }
+  }
+}
+
+void write_json(const std::vector<WindowResult>& results, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"pipeline\",\n  \"command\": \"vortex.dataman\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"window\": %d, \"pipelined\": %s, \"wall_s\": %.6f, "
+                  "\"compute_s\": %.6f, \"read_s\": %.6f, \"send_s\": %.6f, "
+                  "\"read_stall_fraction\": %.4f}%s\n",
+                  r.window, r.pipelined ? "true" : "false", r.wall, r.compute, r.read, r.send,
+                  r.read_stall_fraction(), i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  algo::register_builtin_commands();
+  perf::ensure_engine();
+  grid::DatasetReader reader(perf::engine_dir());
+  const double iso = perf::density_iso_mid(reader);
+
+  core::BackendConfig config;
+  config.workers = 1;  // one worker: the window is the only variable
+  config.worker.pipeline_threads = 4;  // W=2 is window-bound, W>=4 pool-bound
+  // Stretch block loads so the read phase is worth hiding (the lever the
+  // I/O-sensitive benches share); smoke keeps it short for CI.
+  config.read_delay_us_per_mb = smoke ? 4e5 : 1.2e6;
+  core::Backend backend(config);
+
+  const std::vector<int> windows = smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  std::vector<WindowResult> results;
+  for (const int window : windows) {
+    results.push_back(run_window(backend, iso, window));
+  }
+
+  perf::print_banner("Pipelined block executor",
+                     "vortex.dataman wall time and read-stall share vs. pipeline window");
+  std::printf("\n  %-8s %-10s %9s %9s %9s %9s %8s\n", "window", "mode", "wall, s", "compute",
+              "read", "send", "stall%");
+  for (const auto& r : results) {
+    std::printf("  %-8d %-10s %9.3f %9.3f %9.3f %9.3f %7.1f%%\n", r.window,
+                r.pipelined ? "pipelined" : "serial", r.wall, r.compute, r.read, r.send,
+                100.0 * r.read_stall_fraction());
+  }
+
+  write_json(results, "BENCH_pipeline.json");
+  std::printf("\n  wrote BENCH_pipeline.json\n");
+  perf::print_expectation("W=4 wall strictly below W=1; read share shrinks with W; "
+                          "compute+read+send ≈ wall");
+
+  const auto* serial = &results.front();
+  const WindowResult* pipelined = nullptr;
+  for (const auto& r : results) {
+    if (r.window == 4) {
+      pipelined = &r;
+    }
+  }
+
+  bool ok = pipelined != nullptr;
+  // Loads are hidden, not moved: stall time and stall share must shrink.
+  ok = ok && pipelined->read < serial->read;
+  ok = ok && pipelined->read_stall_fraction() < serial->read_stall_fraction();
+  // The tentpole claim — overlap strictly beats the serial loop — holds in
+  // the I/O-bound regime the bench sets up. Under an instrumented build
+  // (tsan/asan) compute inflates past the storage delay and wall time is
+  // compute-bound either way, so only the stall checks above apply.
+  const bool read_bound = serial->read > 0.5 * serial->phase_sum();
+  ok = ok && (!read_bound || pipelined->wall < serial->wall);
+  // Fig. 15 semantics: per-worker phases still account the wall time.
+  for (const auto& r : results) {
+    ok = ok && r.phase_sum() > 0.5 * r.wall && r.phase_sum() < 1.1 * r.wall;
+  }
+  std::printf("\n  shape check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+#include "algo/block_pipeline.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+#include "util/timer.hpp"
+
+namespace vira::algo {
+
+namespace {
+
+struct PipelineInstruments {
+  obs::Gauge& in_flight = obs::Registry::instance().gauge("pipeline.in_flight");
+  obs::Counter& stall_ms = obs::Registry::instance().counter("pipeline.stall_ms");
+  obs::Counter& blocks = obs::Registry::instance().counter("pipeline.blocks");
+};
+
+PipelineInstruments& instruments() {
+  static PipelineInstruments instance;
+  return instance;
+}
+
+constexpr auto kStallSlice = std::chrono::milliseconds(1);
+
+}  // namespace
+
+int BlockPipeline::window_from(const util::ParamList& params) {
+  return static_cast<int>(params.get_int("pipeline_window", 4));
+}
+
+BlockPipeline::BlockPipeline(core::CommandContext& context, BlockAccess& access,
+                             std::vector<Item> schedule, int window, bool prefetch_ahead)
+    : context_(context),
+      access_(access),
+      schedule_(std::move(schedule)),
+      window_(window > 1 ? static_cast<std::size_t>(window) : 1),
+      prefetch_ahead_(prefetch_ahead),
+      async_(window > 1 && access.async_capable()) {
+  if (async_) {
+    fill();
+  }
+}
+
+BlockPipeline::~BlockPipeline() { drain(); }
+
+void BlockPipeline::fill() {
+  while (issued_ < schedule_.size() && inflight_.size() < window_) {
+    const auto [step, block] = schedule_[issued_];
+    inflight_.push_back(access_.load_async(step, block));
+    ++issued_;
+    instruments().in_flight.add(1);
+  }
+}
+
+BlockPtr BlockPipeline::next() {
+  if (done()) {
+    throw std::logic_error("BlockPipeline::next past end of schedule");
+  }
+  if (!async_) {
+    // Serial fallback — identical to the historical load loop, including
+    // the optional look-ahead code prefetch (ViewerIso).
+    const auto [step, block] = schedule_[consumed_];
+    if (prefetch_ahead_ && consumed_ + 1 < schedule_.size()) {
+      const auto [next_step, next_block] = schedule_[consumed_ + 1];
+      access_.prefetch(next_step, next_block);
+    }
+    ++consumed_;
+    ++stats_.blocks;
+    instruments().blocks.add(1);
+    return access_.load(step, block);
+  }
+
+  context_.check_abort();
+  auto future = std::move(inflight_.front());
+  inflight_.pop_front();
+  instruments().in_flight.add(-1);
+
+  if (!future.ready()) {
+    // Stall: the only stretch the pipelined path charges to "read". The
+    // ScopedPhase also mirrors a read span into the trace via the worker's
+    // phase listener, so stalls are visible per-stage in the timeline.
+    util::ScopedPhase phase(context_.phases(), core::kPhaseRead);
+    util::WallTimer stall;
+    while (!future.wait_for(kStallSlice)) {
+      context_.check_abort();
+    }
+    const double seconds = stall.seconds();
+    ++stats_.stalls;
+    stats_.stall_seconds += seconds;
+    instruments().stall_ms.add(static_cast<std::uint64_t>(seconds * 1e3));
+  }
+
+  BlockPtr block = future.get();
+  ++consumed_;
+  ++stats_.blocks;
+  instruments().blocks.add(1);
+  fill();
+  return block;
+}
+
+void BlockPipeline::drain() {
+  // Queued loads are cancelled outright; loads already running on the pool
+  // reference this command's BlockAccess, so wait for them to settle
+  // before the command's stack frame goes away.
+  for (auto& future : inflight_) {
+    if (future.cancel()) {
+      instruments().in_flight.add(-1);
+      continue;
+    }
+    while (!future.wait_for(kStallSlice)) {
+    }
+    instruments().in_flight.add(-1);
+  }
+  inflight_.clear();
+}
+
+}  // namespace vira::algo

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file block_pipeline.hpp
+/// The pipelined block executor (DESIGN.md "Execution engines").
+///
+/// Commands iterate their block schedule through a BlockPipeline instead
+/// of calling BlockAccess::load() in a serial loop:
+///
+///   serial   : [load k][compute k][send k][load k+1][compute k+1]...
+///   pipelined: [load k]..[compute k][send k][compute k+1][send k+1]...
+///                 [load k+1 .. k+W on the task pool, overlapped]
+///
+/// next() returns decoded blocks in schedule order while loads and decodes
+/// for the next W blocks run on the node's util::TaskPool. Backpressure:
+/// at most `window` loads are outstanding, so the pipeline holds at most
+/// W decoded blocks + W cached blobs beyond the serial path — memory stays
+/// bounded and the DMS cache accounting stays honest (every load still
+/// goes through DataProxy::request on the pool thread).
+///
+/// Phase accounting redefinition: "read" is the time next() actually
+/// *stalls* waiting for a block that is not ready. Fully hidden loads
+/// contribute zero read time; the serial fallback (no pool, no DMS, or
+/// window <= 1) degenerates to the original load-in-read-phase behavior,
+/// so Fig. 15's phases always sum to wall time either way.
+///
+/// Abort handling: stall waits poll CommandContext::check_abort(), and
+/// destruction cancels queued loads (loads already running on the pool are
+/// drained — they reference the command's BlockAccess and must not outlive
+/// it).
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "algo/cfd_command.hpp"
+
+namespace vira::algo {
+
+struct PipelineStats {
+  std::size_t blocks = 0;        ///< blocks delivered by next()
+  std::size_t stalls = 0;        ///< next() calls that had to wait
+  double stall_seconds = 0.0;    ///< total time stalled on loads
+};
+
+class BlockPipeline {
+ public:
+  /// One schedule entry: (step, block).
+  using Item = std::pair<int, int>;
+
+  /// Reads the window from the command's "pipeline_window" parameter
+  /// (default 4; 0 or 1 disables overlap).
+  static int window_from(const util::ParamList& params);
+
+  /// `window <= 1`, a non-DMS BlockAccess, or a context without a task
+  /// pool all degrade to the serial path. `prefetch_ahead` additionally
+  /// issues a code prefetch for entry k+1 when entry k is loaded *in
+  /// serial mode* (preserves ViewerIso's historical prefetch behavior;
+  /// the async path supersedes it).
+  BlockPipeline(core::CommandContext& context, BlockAccess& access,
+                std::vector<Item> schedule, int window, bool prefetch_ahead = false);
+  ~BlockPipeline();
+  BlockPipeline(const BlockPipeline&) = delete;
+  BlockPipeline& operator=(const BlockPipeline&) = delete;
+
+  std::size_t size() const { return schedule_.size(); }
+  bool done() const { return consumed_ == schedule_.size(); }
+  /// The schedule entry next() will deliver next.
+  const Item& current() const { return schedule_[consumed_]; }
+  bool pipelined() const { return async_; }
+
+  /// Delivers the next block in schedule order. In async mode, stall time
+  /// (waiting on a load that is not finished) is accounted to the read
+  /// phase and pipeline.stall_ms; hidden loads cost nothing. Throws
+  /// core::CommandAborted if the attempt is abandoned while waiting.
+  BlockPtr next();
+
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  void fill();
+  void drain();
+
+  core::CommandContext& context_;
+  BlockAccess& access_;
+  std::vector<Item> schedule_;
+  std::size_t window_;
+  bool prefetch_ahead_;
+  bool async_;
+  std::size_t issued_ = 0;
+  std::size_t consumed_ = 0;
+  std::deque<util::Future<BlockPtr>> inflight_;
+  PipelineStats stats_;
+};
+
+}  // namespace vira::algo

@@ -10,9 +10,10 @@ grid::StructuredBlock decode_block(const dms::Blob& blob) {
   if (!blob) {
     throw std::runtime_error("decode_block: null blob");
   }
-  util::ByteBuffer copy = *blob;  // decoding needs a read cursor
-  copy.seek(0);
-  return grid::StructuredBlock::deserialize(copy);
+  // Non-owning cursor straight over the cached bytes; the blob is shared
+  // and immutable, so no copy is needed to get a read position.
+  util::ByteReader reader(blob->bytes());
+  return grid::StructuredBlock::deserialize(reader);
 }
 
 bool owns_position(std::size_t position, int group_rank, int group_size) {
@@ -43,13 +44,78 @@ BlockAccess::BlockAccess(core::CommandContext& context, std::string dataset, boo
   }
 }
 
-std::shared_ptr<const grid::StructuredBlock> BlockAccess::load(int step, int block) {
+BlockPtr BlockAccess::load(int step, int block) {
+  if (BlockPtr cached = decoded_lookup(decoded_key(step, block))) {
+    return cached;
+  }
   util::ScopedPhase phase(context_.phases(), core::kPhaseRead);
+  BlockPtr loaded = load_uncached(step, block);
+  decoded_insert(decoded_key(step, block), loaded);
+  return loaded;
+}
+
+BlockPtr BlockAccess::load_uncached(int step, int block) {
   if (use_dms_) {
     const auto blob = context_.proxy().request(dms::block_item(dataset_, step, block));
     return std::make_shared<const grid::StructuredBlock>(decode_block(blob));
   }
   return std::make_shared<const grid::StructuredBlock>(direct_reader_->read_block(step, block));
+}
+
+bool BlockAccess::async_capable() const {
+  return use_dms_ && context_.task_pool() != nullptr;
+}
+
+util::Future<BlockPtr> BlockAccess::load_async(int step, int block) {
+  const std::uint64_t key = decoded_key(step, block);
+  if (BlockPtr cached = decoded_lookup(key)) {
+    return util::Future<BlockPtr>::ready_value(std::move(cached));
+  }
+  if (!async_capable()) {
+    throw std::logic_error("BlockAccess::load_async: no task pool / not in DMS mode");
+  }
+  // One pool task does the whole load+decode: request() keeps the DMS
+  // dedup, strategy selection and prefetcher composition identical to the
+  // serial path, and decoding on the pool thread keeps it off the
+  // command's critical path.
+  return context_.task_pool()->submit([this, step, block, key]() -> BlockPtr {
+    const auto blob = context_.proxy().request(dms::block_item(dataset_, step, block));
+    auto decoded = std::make_shared<const grid::StructuredBlock>(decode_block(blob));
+    decoded_insert(key, decoded);
+    return decoded;
+  });
+}
+
+BlockPtr BlockAccess::decoded_lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(decoded_mutex_);
+  auto it = decoded_.find(key);
+  if (it == decoded_.end()) {
+    return nullptr;
+  }
+  decoded_lru_.splice(decoded_lru_.begin(), decoded_lru_, it->second.second);
+  ++decoded_hits_;
+  return it->second.first;
+}
+
+void BlockAccess::decoded_insert(std::uint64_t key, BlockPtr block) {
+  std::lock_guard<std::mutex> lock(decoded_mutex_);
+  auto it = decoded_.find(key);
+  if (it != decoded_.end()) {
+    decoded_lru_.splice(decoded_lru_.begin(), decoded_lru_, it->second.second);
+    it->second.first = std::move(block);
+    return;
+  }
+  decoded_lru_.push_front(key);
+  decoded_.emplace(key, std::make_pair(std::move(block), decoded_lru_.begin()));
+  if (decoded_.size() > kDecodedCapacity) {
+    decoded_.erase(decoded_lru_.back());
+    decoded_lru_.pop_back();
+  }
+}
+
+std::uint64_t BlockAccess::decoded_hits() const {
+  std::lock_guard<std::mutex> lock(decoded_mutex_);
+  return decoded_hits_;
 }
 
 void BlockAccess::prefetch(int step, int block) {

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "algo/block_pipeline.hpp"
 #include "algo/cfd_command.hpp"
 #include "algo/isosurface.hpp"
 #include "algo/payloads.hpp"
@@ -58,11 +59,18 @@ void run_monolithic_iso(core::CommandContext& context, bool use_dms) {
 
   const int blocks = access.meta().block_count();
   const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+  std::vector<BlockPipeline::Item> schedule;
+  for (int b = begin; b < end; ++b) {
+    schedule.emplace_back(p.step, b);
+  }
+  BlockPipeline pipeline(context, access, std::move(schedule),
+                         BlockPipeline::window_from(context.params()));
+
   TriangleMesh mine;
   std::size_t active_cells = 0;
   context.phases().enter(core::kPhaseCompute);
   for (int b = begin; b < end; ++b) {
-    const auto block = access.load(p.step, b);
+    const auto block = pipeline.next();
     active_cells += extract_isosurface(*block, p.field, p.iso, mine, p.normals);
     context.report_progress(static_cast<double>(b - begin + 1) / std::max(1, end - begin));
   }
@@ -136,14 +144,21 @@ class ViewerIsoCommand final : public core::Command {
       }
     }
 
+    // Pipeline over the view-ordered schedule; in serial mode the pipeline
+    // reproduces the historical next-block code prefetch (Sec. 4.2).
+    std::vector<BlockPipeline::Item> schedule;
+    for (const int block_id : mine) {
+      schedule.emplace_back(p.step, block_id);
+    }
+    BlockPipeline pipeline(context, access, std::move(schedule),
+                           BlockPipeline::window_from(context.params()),
+                           /*prefetch_ahead=*/true);
+
     context.phases().enter(core::kPhaseCompute);
     std::size_t total_active = 0;
     std::uint64_t total_triangles = 0;
     for (std::size_t n = 0; n < mine.size(); ++n) {
-      if (n + 1 < mine.size()) {
-        access.prefetch(p.step, mine[n + 1]);  // code prefetch (Sec. 4.2)
-      }
-      const auto block = access.load(p.step, mine[n]);
+      const auto block = pipeline.next();
 
       // 3. Per-block BSP tree, traversed front-to-back, pruning branches
       // whose scalar interval misses the iso value.

@@ -99,6 +99,9 @@ void run_pathlines(core::CommandContext& context, bool use_dms) {
       const auto& info_b = meta.steps[static_cast<std::size_t>(step + 1)];
 
       // The two adjacent time levels the paper's scheme integrates on.
+      // Loads here are demand-driven (the integrator decides which block a
+      // particle enters), so they stay serial; BlockAccess's decoded-block
+      // cache makes revisits across seeds and the step/step+1 overlap free.
       BlockSampler level_a(info_a, [&](int block) {
         return access.load(step, block);
       });

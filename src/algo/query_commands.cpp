@@ -19,6 +19,7 @@
 
 #include <algorithm>
 
+#include "algo/block_pipeline.hpp"
 #include "algo/cfd_command.hpp"
 #include "algo/isosurface.hpp"
 #include "algo/lambda2.hpp"
@@ -45,12 +46,18 @@ class FieldRangeCommand final : public core::Command {
     access.configure_prefetcher(params.get_or("prefetch", "obl"), false);
     const int blocks = access.meta().block_count();
     const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+    std::vector<BlockPipeline::Item> schedule;
+    for (int b = begin; b < end; ++b) {
+      schedule.emplace_back(step, b);
+    }
+    BlockPipeline pipeline(context, access, std::move(schedule),
+                           BlockPipeline::window_from(params));
 
     context.phases().enter(core::kPhaseCompute);
     float lo = std::numeric_limits<float>::max();
     float hi = std::numeric_limits<float>::lowest();
     for (int b = begin; b < end; ++b) {
-      const auto block_ptr = access.load(step, b);
+      const auto block_ptr = pipeline.next();
       if (field == kLambda2Field && !block_ptr->has_scalar(kLambda2Field)) {
         grid::StructuredBlock working = *block_ptr;
         const auto [blo, bhi] = compute_lambda2_field(working);
@@ -115,12 +122,24 @@ class IsoTimeseriesCommand final : public core::Command {
     const int blocks = meta.block_count();
     const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
 
+    // One schedule across the whole animation: the pipeline's look-ahead
+    // naturally crosses step boundaries, overlapping the next step's first
+    // loads with the current step's tail compute.
+    std::vector<BlockPipeline::Item> schedule;
+    for (int step = step0; step <= step1; ++step) {
+      for (int b = begin; b < end; ++b) {
+        schedule.emplace_back(step, b);
+      }
+    }
+    BlockPipeline pipeline(context, access, std::move(schedule),
+                           BlockPipeline::window_from(params));
+
     std::uint64_t total_triangles = 0;
     context.phases().enter(core::kPhaseCompute);
     for (int step = step0; step <= step1; ++step) {
       TriangleMesh frame;
       for (int b = begin; b < end; ++b) {
-        const auto block = access.load(step, b);
+        const auto block = pipeline.next();
         extract_isosurface(*block, field, iso, frame);
       }
       total_triangles += frame.triangle_count();

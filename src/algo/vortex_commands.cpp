@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "algo/block_pipeline.hpp"
 #include "algo/cfd_command.hpp"
 #include "algo/isosurface.hpp"
 #include "algo/lambda2.hpp"
@@ -53,11 +54,18 @@ void run_monolithic_vortex(core::CommandContext& context, bool use_dms) {
 
   const int blocks = access.meta().block_count();
   const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+  std::vector<BlockPipeline::Item> schedule;
+  for (int b = begin; b < end; ++b) {
+    schedule.emplace_back(p.step, b);
+  }
+  BlockPipeline pipeline(context, access, std::move(schedule),
+                         BlockPipeline::window_from(context.params()));
+
   TriangleMesh mine;
   std::size_t active_cells = 0;
   context.phases().enter(core::kPhaseCompute);
   for (int b = begin; b < end; ++b) {
-    const auto block = access.load(p.step, b);
+    const auto block = pipeline.next();
     // λ2 needs mutation (adds the scalar field): work on a private copy.
     grid::StructuredBlock working = *block;
     compute_lambda2_field(working);
@@ -113,12 +121,19 @@ class StreamedVortexCommand final : public core::Command {
 
     const int blocks = access.meta().block_count();
     const auto [begin, end] = chunk_range(blocks, context.group_rank(), context.group_size());
+    std::vector<BlockPipeline::Item> schedule;
+    for (int b = begin; b < end; ++b) {
+      schedule.emplace_back(p.step, b);
+    }
+    BlockPipeline pipeline(context, access, std::move(schedule),
+                           BlockPipeline::window_from(context.params()));
+
     std::uint64_t total_triangles = 0;
     std::uint64_t total_active = 0;
 
     context.phases().enter(core::kPhaseCompute);
     for (int b = begin; b < end; ++b) {
-      const auto block_ptr = access.load(p.step, b);
+      const auto block_ptr = pipeline.next();
       grid::StructuredBlock working = *block_ptr;
       auto& lambda2_values = working.scalar(kLambda2Field);
       // Lazy per-node λ2 with a computed-bitmap: only nodes belonging to

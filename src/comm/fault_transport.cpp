@@ -164,7 +164,11 @@ void FaultInjectingTransport::delay_loop() {
         [](const Delayed& a, const Delayed& b) { return a.due < b.due; });
     const auto now = std::chrono::steady_clock::now();
     if (earliest->due > now) {
-      delay_cv_.wait_until(lock, earliest->due);
+      // Copy the deadline: wait_until releases the lock, and a concurrent
+      // deliver_later() push_back may reallocate delayed_ under us —
+      // wait_until re-reads its deadline argument after re-locking.
+      const auto due = earliest->due;
+      delay_cv_.wait_until(lock, due);
       continue;
     }
     Delayed item = std::move(*earliest);

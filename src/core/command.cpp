@@ -6,14 +6,16 @@ namespace vira::core {
 
 CommandContext::CommandContext(std::uint64_t request_id, const util::ParamList& params,
                                comm::Communicator* comm, std::vector<int> group_ranks,
-                               int master_rank, dms::DataProxy* proxy, Hooks hooks)
+                               int master_rank, dms::DataProxy* proxy, Hooks hooks,
+                               util::TaskPool* pool)
     : request_id_(request_id),
       params_(params),
       comm_(comm),
       group_ranks_(std::move(group_ranks)),
       master_rank_(master_rank),
       proxy_(proxy),
-      hooks_(std::move(hooks)) {
+      hooks_(std::move(hooks)),
+      pool_(pool) {
   if (comm_ != nullptr) {
     const auto it = std::find(group_ranks_.begin(), group_ranks_.end(), comm_->rank());
     group_rank_ = it != group_ranks_.end()

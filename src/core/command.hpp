@@ -25,12 +25,18 @@
 #include "dms/data_proxy.hpp"
 #include "grid/dataset_io.hpp"
 #include "util/param_list.hpp"
+#include "util/task_pool.hpp"
 #include "util/timer.hpp"
 
 namespace vira::core {
 
 /// Canonical phase names used by every CFD command so Fig. 15's breakdown
-/// is comparable across commands.
+/// is comparable across commands. Phases partition the command's wall time
+/// (they always sum to it). Under the pipelined block executor "read" is
+/// redefined as *stall-on-load* time — the stretch the command thread
+/// actually waited for a block that was not ready yet; loads fully hidden
+/// behind computation contribute zero read time, which is exactly the
+/// overlap Fig. 15 measures.
 inline constexpr const char* kPhaseCompute = "compute";
 inline constexpr const char* kPhaseRead = "read";
 inline constexpr const char* kPhaseSend = "send";
@@ -59,9 +65,11 @@ class CommandContext {
     std::function<bool()> should_abort;
   };
 
+  /// `pool` (optional) is the node's shared task pool for the pipelined
+  /// block executor; commands run serially without one.
   CommandContext(std::uint64_t request_id, const util::ParamList& params,
                  comm::Communicator* comm, std::vector<int> group_ranks, int master_rank,
-                 dms::DataProxy* proxy, Hooks hooks);
+                 dms::DataProxy* proxy, Hooks hooks, util::TaskPool* pool = nullptr);
 
   /// --- identity -----------------------------------------------------------
   std::uint64_t request_id() const { return request_id_; }
@@ -89,6 +97,9 @@ class CommandContext {
   /// --- data ---------------------------------------------------------------
   dms::DataProxy& proxy();
   const grid::DatasetMeta& dataset_meta(const std::string& dir);
+  /// The node's task pool for pipelined (overlapped) block loads; nullptr
+  /// means this runtime runs commands strictly serially.
+  util::TaskPool* task_pool() { return pool_; }
 
   /// --- results ------------------------------------------------------------
   /// Ships an intermediate fragment to the visualization client right now
@@ -119,6 +130,7 @@ class CommandContext {
   int master_rank_;
   dms::DataProxy* proxy_;
   Hooks hooks_;
+  util::TaskPool* pool_;
   util::PhaseTimer phases_;
 };
 

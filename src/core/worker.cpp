@@ -26,6 +26,13 @@ Worker::Worker(std::shared_ptr<comm::Communicator> comm, std::shared_ptr<dms::Da
 void Worker::run() {
   VIRA_DEBUG("worker") << "rank " << comm_->rank() << " entering service loop";
   stopping_ = false;
+  if (config_.pipeline_threads > 0) {
+    // The pipelined block executor's pool. TaskPool announces its threads
+    // through the clock seam itself; the rank-qualified name keeps the
+    // participant names unique across workers in one (DST) process.
+    pool_ = std::make_unique<util::TaskPool>(config_.pipeline_threads,
+                                             "worker.pool." + std::to_string(comm_->rank()));
+  }
   std::thread heartbeat;
   if (config_.heartbeat_interval.count() > 0) {
     // Announce-before-spawn: a cooperative clock (DST) reserves the
@@ -58,6 +65,7 @@ void Worker::run() {
   if (heartbeat.joinable()) {
     util::global_clock().join_thread(heartbeat);
   }
+  pool_.reset();  // cancels queued loads, joins pool threads
   VIRA_DEBUG("worker") << "rank " << comm_->rank() << " left service loop";
 }
 
@@ -155,7 +163,7 @@ void Worker::execute_order(ExecuteOrder order) {
 
   std::vector<int> group_ranks(order.group_ranks.begin(), order.group_ranks.end());
   CommandContext context(request_id, order.params, comm_.get(), std::move(group_ranks),
-                         order.master_rank, proxy_.get(), std::move(hooks));
+                         order.master_rank, proxy_.get(), std::move(hooks), pool_.get());
 
   // Mirror PhaseTimer transitions into obs spans ("compute"/"read"/"send"
   // children of worker.execute) — commands keep their PhaseTimer API, the

@@ -32,6 +32,10 @@ struct WorkerConfig {
   /// Zero disables heartbeats (and abort polling) entirely — the seed's
   /// original fail-stop behavior.
   std::chrono::milliseconds heartbeat_interval{25};
+  /// Threads of the node's task pool backing the pipelined block executor
+  /// (algo::BlockPipeline). Zero disables the pool: every command runs its
+  /// load loop strictly serially, the seed's original behavior.
+  int pipeline_threads = 2;
 };
 
 class Worker {
@@ -52,6 +56,9 @@ class Worker {
   void execute_order(ExecuteOrder order);
   void heartbeat_loop();
 
+  /// Live only while run() is active (pool threads are clock participants
+  /// and must begin/end inside the service scope, like the heartbeat).
+  std::unique_ptr<util::TaskPool> pool_;
   std::shared_ptr<comm::Communicator> comm_;
   std::shared_ptr<dms::DataProxy> proxy_;
   std::shared_ptr<VmbDataSource> source_;

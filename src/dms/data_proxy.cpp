@@ -1,5 +1,6 @@
 #include "dms/data_proxy.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
@@ -77,6 +78,67 @@ Blob DataProxy::request(const DataItemName& name) {
   }
   run_prefetch_suggestions();
   return blob;
+}
+
+namespace {
+
+/// Balances one record_async_submit with exactly one record_async_settle,
+/// whichever way the task ends: completion, a thrown load error, or
+/// cancellation before running (the pool drops the callable — and with it
+/// this token — at cancel time).
+class AsyncLoadToken {
+ public:
+  AsyncLoadToken(std::shared_ptr<DmsStatistics> stats, std::uint64_t bytes)
+      : stats_(std::move(stats)), bytes_(bytes) {
+    stats_->record_async_submit(bytes_);
+  }
+  ~AsyncLoadToken() { settle(); }
+  AsyncLoadToken(const AsyncLoadToken&) = delete;
+  AsyncLoadToken& operator=(const AsyncLoadToken&) = delete;
+
+  void settle() {
+    if (!settled_.exchange(true, std::memory_order_acq_rel)) {
+      stats_->record_async_settle(bytes_);
+    }
+  }
+
+ private:
+  std::shared_ptr<DmsStatistics> stats_;
+  std::uint64_t bytes_;
+  std::atomic<bool> settled_{false};
+};
+
+}  // namespace
+
+util::Future<Blob> DataProxy::request_async(const DataItemName& name, util::TaskPool& pool) {
+  const ItemId id = resolver_.resolve(name);
+
+  // Fast path: cached. Settle immediately; the prefetcher still sees the
+  // request so its model and suggestions match the synchronous path.
+  if (Blob blob = cache_->get(id)) {
+    {
+      std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+      prefetcher_->on_request(id, /*was_hit=*/true);
+    }
+    run_prefetch_suggestions();
+    return util::Future<Blob>::ready_value(std::move(blob));
+  }
+
+  // Miss: hand the load to the pool. The expected size is known up front,
+  // so outstanding bytes are accounted from submission — the pipeline's
+  // bounded window therefore bounds this gauge, which DST asserts.
+  const std::uint64_t expected_bytes = source_->item_bytes(name);
+  auto token = std::make_shared<AsyncLoadToken>(stats_, expected_bytes);
+  return pool.submit([this, id, name, token]() -> Blob {
+    Blob blob = load_item(id, name, /*from_prefetch=*/false);
+    {
+      std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+      prefetcher_->on_request(id, /*was_hit=*/false);
+    }
+    run_prefetch_suggestions();
+    token->settle();
+    return blob;
+  });
 }
 
 Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetch) {

@@ -29,6 +29,7 @@
 #include "dms/statistics.hpp"
 #include "dms/two_tier_cache.hpp"
 #include "util/blocking_queue.hpp"
+#include "util/task_pool.hpp"
 
 namespace vira::dms {
 
@@ -57,6 +58,17 @@ class DataProxy {
   /// The one entry point commands use. Blocking; never returns null
   /// (throws on unloadable items).
   Blob request(const DataItemName& name);
+
+  /// Asynchronous request for the pipelined executor: a cache hit settles
+  /// immediately (and still feeds the prefetcher, exactly like request());
+  /// a miss is submitted to `pool` and the returned future delivers the
+  /// blob when the load lands. In-flight dedup, strategy selection and
+  /// cache insertion are the same code path as request(), so accounting
+  /// stays honest. Outstanding bytes are tracked in DmsStatistics
+  /// (async_inflight_bytes / async_peak_bytes) from submission until the
+  /// task settles — including cancellation of a still-queued load, which
+  /// releases its accounting through the task's captured settle token.
+  util::Future<Blob> request_async(const DataItemName& name, util::TaskPool& pool);
 
   /// User-initiated code prefetch (paper: "the worker command itself is
   /// responsible to determine a suitable code location and a useful time

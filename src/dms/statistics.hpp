@@ -6,6 +6,7 @@
 /// the adaptive load-strategy selection. Also the source of every cache
 /// metric the benches report.
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -36,6 +37,14 @@ struct DmsCounters {
   std::uint64_t demotions_dropped_io = 0;
   std::uint64_t bytes_loaded = 0;
   double load_seconds = 0.0;
+  /// Async (pipelined) load accounting: submissions via request_async and
+  /// their settlements (completed, failed, or cancelled before running).
+  /// The in-flight gauge and peak are the DST bounded-memory oracle's
+  /// evidence that pipeline backpressure actually bounds outstanding bytes.
+  std::uint64_t async_submitted = 0;
+  std::uint64_t async_settled = 0;
+  std::uint64_t async_inflight_bytes = 0;
+  std::uint64_t async_peak_bytes = 0;
 
   double hit_rate() const {
     const auto total = requests;
@@ -75,6 +84,27 @@ class DmsStatistics {
   }
   void record_demotion_dropped_io() {
     bump(&DmsCounters::demotions_dropped_io, obs_.demotions_dropped_io);
+  }
+
+  /// An async load was submitted; `bytes` is the item's expected size
+  /// (known from the source before the load runs).
+  void record_async_submit(std::uint64_t bytes) {
+    obs_.async_loads.add();
+    obs_.async_inflight_bytes.add(static_cast<std::int64_t>(bytes));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.async_submitted;
+    counters_.async_inflight_bytes += bytes;
+    counters_.async_peak_bytes =
+        std::max(counters_.async_peak_bytes, counters_.async_inflight_bytes);
+  }
+
+  /// The matching settlement — exactly once per submit, whatever the
+  /// outcome (value delivered, load threw, or task cancelled unrun).
+  void record_async_settle(std::uint64_t bytes) {
+    obs_.async_inflight_bytes.add(-static_cast<std::int64_t>(bytes));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.async_settled;
+    counters_.async_inflight_bytes -= std::min(counters_.async_inflight_bytes, bytes);
   }
 
   void record_load(std::uint64_t bytes, double seconds) {
@@ -133,6 +163,9 @@ class DmsStatistics {
         obs::Registry::instance().counter("dms.demotions_dropped_io");
     obs::Counter& bytes_loaded = obs::Registry::instance().counter("dms.bytes_loaded");
     obs::Histogram& load_seconds = obs::Registry::instance().histogram("dms.load_seconds");
+    obs::Counter& async_loads = obs::Registry::instance().counter("dms.async_loads");
+    obs::Gauge& async_inflight_bytes =
+        obs::Registry::instance().gauge("dms.async_inflight_bytes");
   };
 
   void bump(std::uint64_t DmsCounters::* member, obs::Counter& mirror) {

@@ -361,6 +361,16 @@ void StructuredBlock::serialize(util::ByteBuffer& out) const {
 }
 
 StructuredBlock StructuredBlock::deserialize(util::ByteBuffer& in) {
+  // Delegate to the zero-copy cursor core, then advance the buffer's read
+  // position by however much the cursor consumed so call sites that keep
+  // reading past the block still work.
+  util::ByteReader reader(in);
+  StructuredBlock block = deserialize(reader);
+  in.seek(in.read_pos() + reader.pos());
+  return block;
+}
+
+StructuredBlock StructuredBlock::deserialize(util::ByteReader& in) {
   const auto magic = in.read<std::uint32_t>();
   if (magic != kBlockMagic) {
     throw std::runtime_error("StructuredBlock::deserialize: bad magic");

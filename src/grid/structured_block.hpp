@@ -155,6 +155,9 @@ class StructuredBlock {
   /// --- serialization ----------------------------------------------------------
   void serialize(util::ByteBuffer& out) const;
   static StructuredBlock deserialize(util::ByteBuffer& in);
+  /// Zero-copy variant: decodes through a non-owning cursor (e.g. straight
+  /// over a cached DMS blob) without copying the serialized bytes first.
+  static StructuredBlock deserialize(util::ByteReader& in);
 
   /// Bytes the serialized form occupies (header + payloads).
   std::uint64_t serialized_size() const;

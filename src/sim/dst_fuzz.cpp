@@ -25,6 +25,13 @@ Scenario generate_scenario(std::uint64_t seed) {
   s.l2_bytes = s.l1_bytes * 4;
   s.prefetcher = rng.next_below(3) == 0 ? "null" : "obl";
   s.async_prefetch = rng.next_below(2) == 0;
+  // Pipelined executor: roughly half the scenarios route their DMS loads
+  // through the async task-pool window (exercising request_async, the
+  // in-flight bound and cancellation-on-abort); the rest stay serial.
+  if (rng.next_below(2) == 0) {
+    s.pipeline_threads = 1 + static_cast<int>(rng.next_below(2));
+    s.pipeline_window = 1 + static_cast<int>(rng.next_below(4));
+  }
 
   // Fault schedule. Liveness rule: a lossy transport (drops) needs the
   // whole-attempt watchdog, because dropped group-internal collective
@@ -160,6 +167,12 @@ bool shrink_round(Scenario& best, ScenarioResult& failure, int max_attempts, int
   }
 
   // Stack simplification passes.
+  if (best.pipeline_window > 0 || best.pipeline_threads > 0) {
+    Scenario candidate = best;
+    candidate.pipeline_window = 0;
+    candidate.pipeline_threads = 0;
+    consider(candidate);
+  }
   if (best.l2) {
     Scenario candidate = best;
     candidate.l2 = false;

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <deque>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -128,14 +129,51 @@ class DstWorkCommand final : public core::Command {
     const int fail_rank = static_cast<int>(p.get_int("fail_rank", -1));
     const int item_sleep_us = static_cast<int>(p.get_int("item_sleep_us", 0));
 
+    const int window = static_cast<int>(p.get_int("pipeline_window", 0));
+
     for (int i = 0; i < partials; ++i) {
       ctx.check_abort();
       if (dms_items > 0) {
         util::ScopedPhase read_phase(ctx.phases(), core::kPhaseRead);
-        for (int j = 0; j < dms_items; ++j) {
-          const int index =
-              (first_item + i * dms_items + j + ctx.group_rank() * 7) % item_count;
-          (void)ctx.proxy().request(dms::block_item("dst", 0, index));
+        util::TaskPool* pool = ctx.task_pool();
+        if (pool != nullptr && window > 0) {
+          // Pipelined path: a bounded window of async loads in flight; if
+          // the scheduler abandons the attempt mid-window, loads that have
+          // not started yet are cancelled (their accounting settles via the
+          // tasks' captured tokens — the async oracle checks the balance).
+          std::deque<util::Future<dms::Blob>> inflight;
+          struct CancelGuard {
+            std::deque<util::Future<dms::Blob>>* queue;
+            ~CancelGuard() {
+              for (auto& future : *queue) {
+                future.cancel();
+              }
+            }
+          } guard{&inflight};
+          int issued = 0;
+          int consumed = 0;
+          while (consumed < dms_items) {
+            ctx.check_abort();
+            while (issued < dms_items && inflight.size() < static_cast<std::size_t>(window)) {
+              const int index =
+                  (first_item + i * dms_items + issued + ctx.group_rank() * 7) % item_count;
+              inflight.push_back(
+                  ctx.proxy().request_async(dms::block_item("dst", 0, index), *pool));
+              ++issued;
+            }
+            while (!inflight.front().wait_for(std::chrono::milliseconds(1))) {
+              ctx.check_abort();
+            }
+            (void)inflight.front().get();
+            inflight.pop_front();
+            ++consumed;
+          }
+        } else {
+          for (int j = 0; j < dms_items; ++j) {
+            const int index =
+                (first_item + i * dms_items + j + ctx.group_rank() * 7) % item_count;
+            (void)ctx.proxy().request(dms::block_item("dst", 0, index));
+          }
         }
       }
       if (item_sleep_us > 0) {
@@ -241,6 +279,7 @@ class DstStack {
 
     core::WorkerConfig wconfig;
     wconfig.heartbeat_interval = std::chrono::milliseconds(s.heartbeat_ms);
+    wconfig.pipeline_threads = s.pipeline_threads;
     for (int index = 0; index < s.workers; ++index) {
       workers_.push_back(std::make_unique<core::Worker>(
           comms[static_cast<std::size_t>(index)], proxies_[static_cast<std::size_t>(index)],
@@ -364,6 +403,7 @@ std::string Scenario::to_string() const {
       << ";ibytes=" << item_bytes << ";hb=" << heartbeat_ms << ";death=" << death_ms
       << ";grace=" << idle_grace_ms << ";retries=" << max_retries << ";backoff=" << backoff_ms
       << ";timeout=" << request_timeout_ms << ";dedup=" << (fragment_dedup ? 1 : 0)
+      << ";pt=" << pipeline_threads << ";pw=" << pipeline_window
       << ";stall=" << stall_budget_ms;
   out << ";kills=";
   for (std::size_t i = 0; i < kills.size(); ++i) {
@@ -433,6 +473,10 @@ std::optional<Scenario> Scenario::parse(const std::string& text) {
         s.request_timeout_ms = std::stoi(value);
       } else if (key == "dedup") {
         s.fragment_dedup = value == "1";
+      } else if (key == "pt") {
+        s.pipeline_threads = std::stoi(value);
+      } else if (key == "pw") {
+        s.pipeline_window = std::stoi(value);
       } else if (key == "stall") {
         s.stall_budget_ms = std::stoi(value);
       } else if (key == "kills") {
@@ -623,6 +667,9 @@ ScenarioResult run_scenario(const Scenario& scenario) {
         request.params.set_bool("barrier", spec.barrier);
         request.params.set_int("fail_rank", spec.fail_rank);
         request.params.set_int("item_sleep_us", spec.item_sleep_us);
+        if (scenario.pipeline_window > 0) {
+          request.params.set_int("pipeline_window", scenario.pipeline_window);
+        }
         if (spec.width > 0) {
           request.params.set_int("workers", spec.width);
         }
@@ -678,6 +725,49 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     // time so no load is mid-flight.
     for (auto& proxy : stack.proxies()) {
       proxy->quiesce();
+    }
+
+    // Async (pipelined-executor) accounting. Loads still running when an
+    // attempt was abandoned finish on the pool in virtual time — wait for
+    // the books to balance, then check that every submission settled and
+    // that the bounded window really bounded outstanding bytes. At most
+    // `pipeline_window` submissions are outstanding per attempt plus up to
+    // `pipeline_threads` running tasks surviving an abort (only queued
+    // loads are cancellable); items are at most 1.5 × item_bytes
+    // (SimDataSource::size_of).
+    if (scenario.pipeline_threads > 0 && scenario.pipeline_window > 0) {
+      const std::int64_t drain_deadline = clock->now_ns() + stall_ns;
+      auto async_drained = [&stack] {
+        for (auto& proxy : stack.proxies()) {
+          const auto counters = proxy->stats().snapshot();
+          if (counters.async_submitted != counters.async_settled) {
+            return false;
+          }
+        }
+        return true;
+      };
+      while (!async_drained() && clock->now_ns() < drain_deadline) {
+        util::clock_sleep(std::chrono::milliseconds(2));
+      }
+      const std::uint64_t max_item_bytes =
+          static_cast<std::uint64_t>(scenario.item_bytes) * 3 / 2 + 1;
+      const std::uint64_t inflight_bound =
+          static_cast<std::uint64_t>(scenario.pipeline_window + scenario.pipeline_threads) *
+          max_item_bytes;
+      for (auto& proxy : stack.proxies()) {
+        const auto counters = proxy->stats().snapshot();
+        const std::string tag = "async(proxy " + std::to_string(proxy->id()) + "): ";
+        if (counters.async_submitted != counters.async_settled) {
+          note_violation(tag + "submitted " + std::to_string(counters.async_submitted) +
+                         " != settled " + std::to_string(counters.async_settled) +
+                         " (in-flight bytes leaked: " +
+                         std::to_string(counters.async_inflight_bytes) + ")");
+        }
+        if (counters.async_peak_bytes > inflight_bound) {
+          note_violation(tag + "peak in-flight " + std::to_string(counters.async_peak_bytes) +
+                         " bytes exceeds window bound " + std::to_string(inflight_bound));
+        }
+      }
     }
     for (auto& proxy : stack.proxies()) {
       const auto counters = proxy->stats().snapshot();

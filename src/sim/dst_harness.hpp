@@ -83,6 +83,15 @@ struct Scenario {
   /// catches the resulting duplicates (the deliberate-violation demo).
   bool fragment_dedup = true;
 
+  /// Pipelined (async) executor knobs: worker task-pool threads and the
+  /// bounded in-flight window DstWorkCommand uses for its DMS loads. Both
+  /// zero = the seed's serial request path. When enabled, a sixth oracle
+  /// checks async-load accounting: every submission settles and the peak
+  /// outstanding bytes respect the window bound (backpressure really
+  /// bounds memory).
+  int pipeline_threads = 0;
+  int pipeline_window = 0;
+
   /// Virtual progress bound for the stall oracle.
   int stall_budget_ms = 8000;
 

@@ -98,4 +98,68 @@ class ByteBuffer {
   std::size_t read_pos_ = 0;
 };
 
+/// Non-owning read cursor over a span of immutable bytes.
+///
+/// Mirrors ByteBuffer's read API without copying the underlying storage —
+/// the zero-copy decode path reads DMS blobs (immutable once cached)
+/// through this view instead of deep-copying them just to get a cursor.
+/// The caller must keep the referenced memory alive for the reader's
+/// lifetime.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+  /// Views the buffer's *unread* remainder (from its current read_pos).
+  explicit ByteReader(const ByteBuffer& buffer)
+      : bytes_(buffer.bytes().subspan(buffer.read_pos())) {}
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+  void read_raw(void* dst, std::size_t size) {
+    check_available(size);
+    if (size > 0) {
+      std::memcpy(dst, bytes_.data() + pos_, size);
+      pos_ += size;
+    }
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    read_raw(&value, sizeof(T));
+    return value;
+  }
+
+  std::string read_string() {
+    const auto length = read<std::uint64_t>();
+    check_available(length);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), length);
+    pos_ += length;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto count = read<std::uint64_t>();
+    check_available(count * sizeof(T));
+    std::vector<T> v(count);
+    if (count > 0) {
+      read_raw(v.data(), count * sizeof(T));
+    }
+    return v;
+  }
+
+ private:
+  void check_available(std::size_t size) const {
+    if (size > remaining()) {
+      throw std::out_of_range("ByteReader: read past end of view");
+    }
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace vira::util

@@ -1,0 +1,93 @@
+#include "util/task_pool.hpp"
+
+#include <cstdint>
+
+namespace vira::util {
+
+namespace {
+
+/// Default pool names must still be unique per process: the virtual clock
+/// keys participants by name, and two pools named "pool.0" would collide.
+std::string default_pool_name() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "pool" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+TaskPool::TaskPool(int threads, std::string name)
+    : name_(name.empty() ? default_pool_name() : std::move(name)) {
+  threads_.reserve(threads > 0 ? static_cast<std::size_t>(threads) : 0);
+  for (int i = 0; i < threads; ++i) {
+    const std::string thread_name = name_ + "." + std::to_string(i);
+    // Announce from the spawning thread so a cooperative clock reserves the
+    // schedule slot deterministically before the std::thread exists.
+    global_clock().announce_thread(thread_name);
+    threads_.emplace_back([this, thread_name] {
+      global_clock().thread_begin(thread_name);
+      worker_loop();
+      global_clock().thread_end();
+    });
+  }
+}
+
+TaskPool::~TaskPool() { close(); }
+
+std::size_t TaskPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void TaskPool::close() {
+  std::deque<std::shared_ptr<detail::TaskStateBase>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    orphans.swap(queue_);
+  }
+  // Tasks that never started settle as cancelled so waiters unblock and
+  // resources captured by the callables are released now.
+  for (auto& task : orphans) {
+    task->cancel();
+  }
+  for (auto& thread : threads_) {
+    global_clock().join_thread(thread);
+  }
+  threads_.clear();
+}
+
+bool TaskPool::enqueue(std::shared_ptr<detail::TaskStateBase> task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_.load(std::memory_order_acquire) || threads_.empty()) {
+    return false;
+  }
+  queue_.push_back(std::move(task));
+  return true;
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::TaskStateBase> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task->execute();
+      continue;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    // Clock-paced idle poll (same idiom as the DMS prefetch worker): a cv
+    // wait would block the virtual clock's token machine under DST.
+    clock_sleep(kIdleSlice);
+  }
+}
+
+}  // namespace vira::util

@@ -21,10 +21,18 @@ double thread_cpu_seconds() {
 
 void PhaseTimer::enter(const std::string& phase) {
   flush();
-  if (listener_ && current_ != phase) {
-    listener_(current_, phase);
-  }
+  // Commit the transition before notifying: a throwing listener must not
+  // leave the timer stuck in the old phase (which would double-count it and
+  // leave the mirrored obs span dangling open). Listener errors are
+  // observability problems, never accounting problems — swallow them.
+  const std::string previous = std::move(current_);
   current_ = phase;
+  if (listener_ && previous != current_) {
+    try {
+      listener_(previous, current_);
+    } catch (...) {
+    }
+  }
   entered_ = clock_now();
 }
 
@@ -73,11 +81,15 @@ void PhaseTimer::add(const std::string& phase, double seconds) {
 
 void PhaseTimer::reset() {
   flush();  // keep listener symmetry: close the open phase before clearing
-  if (listener_ && !current_.empty()) {
-    listener_(current_, std::string());
-  }
-  phases_.clear();
+  const std::string previous = std::move(current_);
   current_.clear();
+  phases_.clear();
+  if (listener_ && !previous.empty()) {
+    try {
+      listener_(previous, std::string());
+    } catch (...) {
+    }
+  }
 }
 
 ScopedPhase::ScopedPhase(PhaseTimer& timer, std::string phase)

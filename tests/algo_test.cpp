@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <map>
 
 #include "algo/block_sampler.hpp"
+#include "algo/cfd_command.hpp"
 #include "algo/geometry.hpp"
 #include "algo/integrator.hpp"
 #include "algo/isosurface.hpp"
@@ -617,4 +619,105 @@ TEST(Payloads, SummaryRoundTrip) {
   EXPECT_EQ(decoded.triangles, 100u);
   EXPECT_EQ(decoded.active_cells, 42u);
   EXPECT_EQ(decoded.points, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Block distribution properties (chunk_range / owns_position)
+// ---------------------------------------------------------------------------
+
+TEST(BlockDistribution, ChunkRangePartitionsExhaustively) {
+  // Exhaustive small-N sweep: for every (total, group_size) the per-rank
+  // ranges must be contiguous, disjoint, cover [0, total) exactly, and
+  // have sizes differing by at most one.
+  for (int total = 0; total <= 40; ++total) {
+    for (int size = 1; size <= 8; ++size) {
+      int covered = 0;
+      int min_size = total + 1;
+      int max_size = -1;
+      int expected_begin = 0;
+      for (int rank = 0; rank < size; ++rank) {
+        const auto [begin, end] = va::chunk_range(total, rank, size);
+        ASSERT_LE(begin, end) << "total=" << total << " rank=" << rank << "/" << size;
+        ASSERT_EQ(begin, expected_begin) << "gap/overlap at rank " << rank;
+        expected_begin = end;
+        const int chunk = end - begin;
+        covered += chunk;
+        min_size = std::min(min_size, chunk);
+        max_size = std::max(max_size, chunk);
+      }
+      ASSERT_EQ(expected_begin, total) << "total=" << total << " size=" << size;
+      ASSERT_EQ(covered, total);
+      ASSERT_LE(max_size - min_size, 1) << "unbalanced: total=" << total << " size=" << size;
+    }
+  }
+}
+
+TEST(BlockDistribution, ChunkRangeDegenerateGroup) {
+  // group_size <= 1 means "everything is mine" (also the size-0 guard).
+  EXPECT_EQ(va::chunk_range(17, 0, 1), (std::pair<int, int>{0, 17}));
+  EXPECT_EQ(va::chunk_range(17, 3, 0), (std::pair<int, int>{0, 17}));
+  EXPECT_EQ(va::chunk_range(0, 0, 4), (std::pair<int, int>{0, 0}));
+}
+
+TEST(BlockDistribution, OwnsPositionPartitionsExhaustively) {
+  for (int size = 1; size <= 8; ++size) {
+    std::vector<int> counts(static_cast<std::size_t>(size), 0);
+    const std::size_t positions = 8 * 8 * 3;  // several full round-robin cycles
+    for (std::size_t position = 0; position < positions; ++position) {
+      int owners = 0;
+      for (int rank = 0; rank < size; ++rank) {
+        if (va::owns_position(position, rank, size)) {
+          ++owners;
+          ++counts[static_cast<std::size_t>(rank)];
+        }
+      }
+      ASSERT_EQ(owners, 1) << "position " << position << " size " << size;
+    }
+    const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+    ASSERT_LE(*hi - *lo, 1) << "unbalanced ownership for size " << size;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy block decode
+// ---------------------------------------------------------------------------
+
+TEST(DecodeBlock, DecodesFromSharedBlobWithoutMutatingIt) {
+  const auto block = field_block(5, [](const vm::Vec3& p) { return p.x + 2 * p.y; });
+  auto buffer = std::make_shared<vira::util::ByteBuffer>();
+  block.serialize(*buffer);
+  const vira::dms::Blob blob = buffer;
+
+  const auto first = va::decode_block(blob);
+  // The blob is immutable and shared: decoding must not consume it, so a
+  // second decode of the same cached bytes yields the same block.
+  const auto second = va::decode_block(blob);
+  EXPECT_EQ(blob->read_pos(), 0u);
+
+  for (const auto* decoded : {&first, &second}) {
+    ASSERT_EQ(decoded->ni(), block.ni());
+    ASSERT_EQ(decoded->nj(), block.nj());
+    ASSERT_EQ(decoded->nk(), block.nk());
+    ASSERT_TRUE(decoded->has_scalar("s"));
+    EXPECT_EQ(decoded->scalar("s"), block.scalar("s"));
+  }
+}
+
+TEST(DecodeBlock, NullBlobThrows) {
+  EXPECT_THROW((void)va::decode_block(vira::dms::Blob{}), std::runtime_error);
+}
+
+TEST(DecodeBlock, ByteReaderPathMatchesByteBufferPath) {
+  const auto block = field_block(4, [](const vm::Vec3& p) { return p.z; });
+  vira::util::ByteBuffer stream;
+  block.serialize(stream);
+  block.serialize(stream);  // two consecutive records in one buffer
+
+  // The ByteBuffer overload must advance its cursor exactly one record so
+  // back-to-back records decode cleanly.
+  const auto a = vg::StructuredBlock::deserialize(stream);
+  const auto b = vg::StructuredBlock::deserialize(stream);
+  EXPECT_EQ(stream.remaining(), 0u);
+  EXPECT_EQ(a.scalar("s"), block.scalar("s"));
+  EXPECT_EQ(b.scalar("s"), block.scalar("s"));
 }

@@ -157,6 +157,75 @@ TEST(DstFaultTest, WorkerKillIsRecoveredByRetry) {
   EXPECT_EQ(result.degraded, 1);
 }
 
+// --- Pipelined executor under DST --------------------------------------------
+
+TEST(DstPipelineTest, AsyncExecutorIsDeterministicAndPassesOracles) {
+  // Pool threads run under the virtual clock (announced participants), so
+  // the overlapped load path must replay bit-identically and satisfy the
+  // async accounting oracle (all submissions settle, peak in-flight bytes
+  // bounded by window + pool threads).
+  sim::Scenario scenario;
+  scenario.seed = 4242;
+  scenario.workers = 3;
+  scenario.pipeline_threads = 2;
+  scenario.pipeline_window = 3;
+  sim::DstRequest request;
+  request.width = 3;
+  request.partials = 3;
+  request.dms_items = 4;
+  request.item_sleep_us = 500;
+  scenario.requests.push_back(request);
+
+  const auto first = sim::run_scenario(scenario);
+  EXPECT_TRUE(first.ok()) << (first.violations.empty() ? "" : first.violations.front());
+  EXPECT_EQ(first.succeeded, 1);
+
+  const auto second = sim::run_scenario(scenario);
+  EXPECT_EQ(first.trajectory_hash, second.trajectory_hash);
+  EXPECT_EQ(first.virtual_end_ns, second.virtual_end_ns);
+  EXPECT_EQ(first.context_switches, second.context_switches);
+}
+
+TEST(DstPipelineTest, KillCancelsQueuedLoadsWithBalancedAccounting) {
+  // A worker dies while its pipeline has loads queued and in flight. The
+  // async oracle then requires every submitted load to settle anyway —
+  // queued ones via cancellation (the dropped callable releases its
+  // in-flight token), running ones by completing — and the retry on the
+  // survivors must still succeed.
+  sim::Scenario scenario;
+  scenario.seed = 9001;
+  scenario.workers = 3;
+  scenario.request_timeout_ms = 400;
+  scenario.pipeline_threads = 1;
+  scenario.pipeline_window = 4;
+  scenario.kills.push_back({20, 1});
+  sim::DstRequest request;
+  request.width = 2;
+  request.partials = 3;
+  request.dms_items = 3;
+  request.item_sleep_us = 20000;  // the kill lands mid-attempt
+  scenario.requests.push_back(request);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.ranks_killed, 1u);
+  EXPECT_EQ(result.completed, 1);
+  EXPECT_EQ(result.succeeded, 1);
+  EXPECT_EQ(result.degraded, 1);
+}
+
+TEST(DstPipelineTest, PipelineKnobsRoundTripThroughScenarioString) {
+  sim::Scenario scenario;
+  scenario.pipeline_threads = 2;
+  scenario.pipeline_window = 7;
+  scenario.requests.push_back(sim::DstRequest{});
+  const auto reparsed = sim::Scenario::parse(scenario.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->pipeline_threads, 2);
+  EXPECT_EQ(reparsed->pipeline_window, 7);
+  EXPECT_EQ(reparsed->to_string(), scenario.to_string());
+}
+
 // --- Shrinker ----------------------------------------------------------------
 
 TEST(DstShrinkTest, MinimizesInjectedExactlyOnceViolation) {

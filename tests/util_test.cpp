@@ -16,6 +16,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/string_util.hpp"
+#include "util/task_pool.hpp"
 #include "util/timer.hpp"
 
 namespace vu = vira::util;
@@ -470,4 +471,229 @@ TEST(Logger, RespectsLevelAndComponent) {
   EXPECT_EQ(output.find("hidden"), std::string::npos);
   EXPECT_NE(output.find("visible 42"), std::string::npos);
   EXPECT_NE(output.find("[test]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ByteReader (zero-copy cursor)
+// ---------------------------------------------------------------------------
+
+TEST(ByteReader, ReadsWithoutCopyingBuffer) {
+  vu::ByteBuffer buf;
+  buf.write<std::int32_t>(-7);
+  buf.write_string("cursor");
+  buf.write_vector<float>({1.5f, 2.5f});
+
+  vu::ByteReader reader(buf);
+  EXPECT_EQ(reader.read<std::int32_t>(), -7);
+  EXPECT_EQ(reader.read_string(), "cursor");
+  EXPECT_EQ(reader.read_vector<float>(), (std::vector<float>{1.5f, 2.5f}));
+  EXPECT_EQ(reader.remaining(), 0u);
+  // The source buffer's own read position is untouched by the cursor.
+  EXPECT_EQ(buf.read<std::int32_t>(), -7);
+}
+
+TEST(ByteReader, TracksPositionAndThrowsPastEnd) {
+  vu::ByteBuffer buf;
+  buf.write<std::uint16_t>(9);
+  vu::ByteReader reader(buf);
+  EXPECT_EQ(reader.pos(), 0u);
+  (void)reader.read<std::uint16_t>();
+  EXPECT_EQ(reader.pos(), sizeof(std::uint16_t));
+  EXPECT_THROW((void)reader.read<std::uint16_t>(), std::out_of_range);
+}
+
+TEST(ByteReader, CorruptLengthPrefixThrows) {
+  vu::ByteBuffer buf;
+  buf.write<std::uint64_t>(1ull << 40);  // vector count with no payload
+  vu::ByteReader reader(buf);
+  EXPECT_THROW((void)reader.read_vector<double>(), std::out_of_range);
+}
+
+TEST(ByteReader, StartsAtBufferReadPosition) {
+  vu::ByteBuffer buf;
+  buf.write<std::int32_t>(1);
+  buf.write<std::int32_t>(2);
+  (void)buf.read<std::int32_t>();  // advance the buffer's own cursor
+  vu::ByteReader reader(buf);
+  EXPECT_EQ(reader.read<std::int32_t>(), 2);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool / Future
+// ---------------------------------------------------------------------------
+
+TEST(TaskPool, SubmitReturnsValues) {
+  vu::TaskPool pool(2, "test.pool.values");
+  std::vector<vu::Future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(TaskPool, ZeroThreadsRunsInline) {
+  vu::TaskPool pool(0, "test.pool.inline");
+  std::thread::id task_thread;
+  auto future = pool.submit([&] {
+    task_thread = std::this_thread::get_id();
+    return 1;
+  });
+  EXPECT_TRUE(future.ready());  // executed during submit
+  EXPECT_EQ(task_thread, std::this_thread::get_id());
+  EXPECT_EQ(future.get(), 1);
+}
+
+TEST(TaskPool, ExceptionsPropagateThroughGet) {
+  vu::TaskPool pool(1, "test.pool.throw");
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(TaskPool, CancelQueuedTaskDropsCallable) {
+  vu::TaskPool pool(1, "test.pool.cancel");
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single thread so the next submit stays queued.
+  auto blocker = pool.submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return 0;
+  });
+  // Track callable destruction: cancel must release captured resources
+  // immediately (the DMS in-flight token pattern relies on this).
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  auto queued = pool.submit([&ran, token] {
+    ++ran;
+    return *token;
+  });
+  token.reset();
+
+  EXPECT_TRUE(queued.cancel());
+  EXPECT_TRUE(queued.ready());
+  EXPECT_TRUE(watch.expired());  // callable (and its captures) dropped
+  EXPECT_THROW((void)queued.get(), vu::TaskCancelled);
+
+  release = true;
+  EXPECT_EQ(blocker.get(), 0);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskPool, RunningTaskCannotBeCancelled) {
+  vu::TaskPool pool(1, "test.pool.nocancel");
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto future = pool.submit([&] {
+    started = true;
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return 7;
+  });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_FALSE(future.cancel());
+  release = true;
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(TaskPool, CloseCancelsQueuedAndRejectsNew) {
+  vu::TaskPool pool(1, "test.pool.close");
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&] {
+    started = true;
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return 0;
+  });
+  // Park the queued task behind the running blocker so close() finds it
+  // still queued; release the blocker only once close() is joining.
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  auto queued = pool.submit([] { return 1; });
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release = true;
+  });
+  pool.close();
+  releaser.join();
+  EXPECT_THROW((void)queued.get(), vu::TaskCancelled);
+  // Post-close submissions settle immediately as cancelled.
+  auto rejected = pool.submit([] { return 2; });
+  EXPECT_TRUE(rejected.ready());
+  EXPECT_THROW((void)rejected.get(), vu::TaskCancelled);
+  EXPECT_EQ(blocker.get(), 0);
+}
+
+TEST(TaskPool, FutureWaitForAndReadyValue) {
+  auto ready = vu::Future<std::string>::ready_value("hit");
+  EXPECT_TRUE(ready.valid());
+  EXPECT_TRUE(ready.ready());
+  EXPECT_TRUE(ready.wait_for(std::chrono::nanoseconds(0)));
+  EXPECT_EQ(ready.get(), "hit");
+
+  vu::Future<int> invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_FALSE(invalid.wait_for(std::chrono::milliseconds(1)));
+  EXPECT_THROW((void)invalid.get(), std::logic_error);
+
+  vu::TaskPool pool(1, "test.pool.wait");
+  std::atomic<bool> release{false};
+  auto slow = pool.submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return 3;
+  });
+  EXPECT_FALSE(slow.wait_for(std::chrono::milliseconds(2)));
+  release = true;
+  EXPECT_TRUE(slow.wait_for(std::chrono::seconds(10)));
+  EXPECT_EQ(slow.get(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseTimer listener exception safety
+// ---------------------------------------------------------------------------
+
+TEST(PhaseTimer, ThrowingListenerDoesNotCorruptAccounting) {
+  vu::PhaseTimer timer;
+  int calls = 0;
+  timer.set_listener([&](const std::string&, const std::string&) {
+    ++calls;
+    throw std::runtime_error("listener bug");
+  });
+
+  EXPECT_NO_THROW(timer.enter("compute"));
+  EXPECT_EQ(timer.current(), "compute");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_NO_THROW(timer.enter("read"));
+  EXPECT_EQ(timer.current(), "read");
+  EXPECT_GT(timer.seconds("compute"), 0.0);
+  EXPECT_NO_THROW(timer.reset());
+  EXPECT_EQ(timer.current(), "");
+  EXPECT_EQ(timer.total(), 0.0);
+  EXPECT_GE(calls, 3);
+}
+
+TEST(PhaseTimer, ListenerSeesTransitionPair) {
+  vu::PhaseTimer timer;
+  std::vector<std::pair<std::string, std::string>> transitions;
+  timer.set_listener([&](const std::string& prev, const std::string& next) {
+    transitions.emplace_back(prev, next);
+  });
+  timer.enter("a");
+  timer.enter("b");
+  timer.stop();
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], (std::pair<std::string, std::string>{"", "a"}));
+  EXPECT_EQ(transitions[1], (std::pair<std::string, std::string>{"a", "b"}));
+  EXPECT_EQ(transitions[2], (std::pair<std::string, std::string>{"b", ""}));
 }
