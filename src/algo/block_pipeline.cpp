@@ -70,17 +70,18 @@ BlockPtr BlockPipeline::next() {
   }
 
   context_.check_abort();
-  auto future = std::move(inflight_.front());
-  inflight_.pop_front();
-  instruments().in_flight.add(-1);
-
-  if (!future.ready()) {
+  // Stall on the front future while it still sits in inflight_: if
+  // check_abort() throws mid-stall, drain() (run by the destructor during
+  // unwind) still owns the future and waits for the pool task to settle
+  // before this command's BlockAccess/CommandContext go away. Popping first
+  // would leak a live task referencing freed command state.
+  if (!inflight_.front().ready()) {
     // Stall: the only stretch the pipelined path charges to "read". The
     // ScopedPhase also mirrors a read span into the trace via the worker's
     // phase listener, so stalls are visible per-stage in the timeline.
     util::ScopedPhase phase(context_.phases(), core::kPhaseRead);
     util::WallTimer stall;
-    while (!future.wait_for(kStallSlice)) {
+    while (!inflight_.front().wait_for(kStallSlice)) {
       context_.check_abort();
     }
     const double seconds = stall.seconds();
@@ -88,6 +89,10 @@ BlockPtr BlockPipeline::next() {
     stats_.stall_seconds += seconds;
     instruments().stall_ms.add(static_cast<std::uint64_t>(seconds * 1e3));
   }
+
+  auto future = std::move(inflight_.front());
+  inflight_.pop_front();
+  instruments().in_flight.add(-1);
 
   BlockPtr block = future.get();
   ++consumed_;

@@ -81,7 +81,11 @@ class ByteBuffer {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> read_vector() {
     const auto count = read<std::uint64_t>();
-    check_available(count * sizeof(T));
+    // Divide instead of multiplying: count * sizeof(T) can wrap for an
+    // untrusted on-wire count, sneaking past the bounds check.
+    if (count > remaining() / sizeof(T)) {
+      throw std::out_of_range("ByteBuffer: vector length exceeds remaining bytes");
+    }
     std::vector<T> v(count);
     if (count > 0) {
       read_raw(v.data(), count * sizeof(T));
@@ -143,7 +147,11 @@ class ByteReader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> read_vector() {
     const auto count = read<std::uint64_t>();
-    check_available(count * sizeof(T));
+    // Divide instead of multiplying: count * sizeof(T) can wrap for an
+    // untrusted on-wire count, sneaking past the bounds check.
+    if (count > remaining() / sizeof(T)) {
+      throw std::out_of_range("ByteReader: vector length exceeds remaining bytes");
+    }
     std::vector<T> v(count);
     if (count > 0) {
       read_raw(v.data(), count * sizeof(T));

@@ -39,6 +39,11 @@ std::size_t TaskPool::queued() const {
 }
 
 void TaskPool::close() {
+  // close_mutex_ serializes concurrent closers: the loser blocks here until
+  // the winner has joined every thread, so close() returning always means
+  // the pool is quiescent and safe to destroy. Never taken by pool threads,
+  // so holding it across the joins cannot deadlock.
+  std::lock_guard<std::mutex> close_lock(close_mutex_);
   std::deque<std::shared_ptr<detail::TaskStateBase>> orphans;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -255,6 +255,7 @@ class TaskPool {
   static constexpr std::chrono::nanoseconds kIdleSlice = std::chrono::milliseconds(2);
 
   mutable std::mutex mutex_;
+  std::mutex close_mutex_;  ///< serializes close(); held across thread joins
   std::deque<std::shared_ptr<detail::TaskStateBase>> queue_;
   std::atomic<bool> closed_{false};
   std::vector<std::thread> threads_;
