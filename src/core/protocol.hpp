@@ -27,6 +27,9 @@ enum ClientTag : int {
   kTagError = 13,     ///< scheduler → client: error text
   kTagProgress = 14,  ///< scheduler → client: fraction in [0,1]
   kTagDegraded = 15,  ///< scheduler → client: request degraded (retry count)
+  kTagRejected = 16,  ///< scheduler → client: admission control refused the
+                      ///< submission (request_id + reason); terminal — the
+                      ///< request was never queued and no kTagComplete follows
 };
 
 /// Rank transport tags (scheduler ↔ workers). User commands use tags >= 0
@@ -178,6 +181,12 @@ struct CommandStats {
   /// degraded but the client still saw every fragment exactly once.
   std::uint32_t retries = 0;
   std::map<std::string, double> phase_seconds;  ///< summed over workers
+  /// The width the client's `workers` param asked for (or the full pool for
+  /// a derived width) before the scheduler clamped it to the alive pool or
+  /// molded it down under multi-client pressure. workers < requested_workers
+  /// means the request ran with degraded parallelism — previously that
+  /// clamp was silent and indistinguishable from a full-width run.
+  int requested_workers = 0;
 
   bool degraded() const { return retries > 0; }
 
@@ -196,6 +205,9 @@ struct CommandStats {
       out.write_string(phase);
       out.write<double>(seconds);
     }
+    // Appended after the original layout (same idiom as
+    // FragmentHeader::span_id) so older readers of the prefix still work.
+    out.write<std::int32_t>(requested_workers);
   }
   static CommandStats deserialize(util::ByteBuffer& in) {
     CommandStats stats;
@@ -213,6 +225,7 @@ struct CommandStats {
       std::string phase = in.read_string();
       stats.phase_seconds[phase] = in.read<double>();
     }
+    stats.requested_workers = in.read<std::int32_t>();
     return stats;
   }
 };

@@ -22,13 +22,27 @@ struct SchedulerMetrics {
   obs::Counter& failed = obs::Registry::instance().counter("sched.failed");
   obs::Counter& lost_workers = obs::Registry::instance().counter("sched.lost_workers");
   obs::Counter& fragments = obs::Registry::instance().counter("sched.fragments_forwarded");
+  obs::Counter& backfills = obs::Registry::instance().counter("sched.backfills");
+  obs::Counter& rejected = obs::Registry::instance().counter("sched.rejected");
+  obs::Counter& reaped = obs::Registry::instance().counter("sched.reaped");
+  obs::Counter& molded = obs::Registry::instance().counter("sched.molded");
+  obs::Gauge& queue_depth = obs::Registry::instance().gauge("sched.queue_depth");
   obs::Histogram& runtime = obs::Registry::instance().histogram("sched.request_seconds");
   obs::Histogram& latency = obs::Registry::instance().histogram("sched.latency_seconds");
+  obs::Histogram& wait = obs::Registry::instance().histogram("sched.wait_seconds");
 };
 
 SchedulerMetrics& metrics() {
   static SchedulerMetrics* instruments = new SchedulerMetrics();
   return *instruments;
+}
+
+/// Per-client queue-wait gauge (latest wait in ms). Client count is small
+/// and bounded by attach_client calls, so the registry lookup per dispatch
+/// is cheap and the instrument set stays finite.
+obs::Gauge& client_wait_gauge(std::size_t client) {
+  return obs::Registry::instance().gauge("sched.client." + std::to_string(client) +
+                                         ".wait_ms");
 }
 
 /// Stable fragment identity within one logical request: partition index in
@@ -49,6 +63,7 @@ Scheduler::Scheduler(std::shared_ptr<comm::Transport> transport, int worker_coun
     free_.insert(rank);
     last_seen_[rank] = now;
   }
+  free_count_.store(free_.size(), std::memory_order_relaxed);
 }
 
 void Scheduler::attach_client(std::shared_ptr<comm::ClientLink> link) {
@@ -100,6 +115,11 @@ void Scheduler::run() {
     poll_workers();
     check_liveness();
     dispatch_pending();
+    // Refresh the race-free diagnostic mirrors once per tick; the private
+    // containers themselves are scheduler-thread-only.
+    free_count_.store(free_.size(), std::memory_order_relaxed);
+    pending_count_.store(pending_.size(), std::memory_order_relaxed);
+    group_count_.store(groups_.size(), std::memory_order_relaxed);
   }
   // Orderly worker shutdown (dead ranks included: the message is cheap and
   // a wrongly-declared-dead worker still deserves to exit).
@@ -111,9 +131,13 @@ void Scheduler::run() {
 
 void Scheduler::stop() { running_ = false; }
 
-std::size_t Scheduler::free_workers() const { return free_.size(); }
+std::size_t Scheduler::free_workers() const {
+  return free_count_.load(std::memory_order_relaxed);
+}
 
-std::size_t Scheduler::queued_requests() const { return pending_.size(); }
+std::size_t Scheduler::queued_requests() const {
+  return pending_count_.load(std::memory_order_relaxed);
+}
 
 void Scheduler::poll_clients() {
   // Snapshot the link list, then poll each without blocking long. Requests
@@ -145,9 +169,34 @@ void Scheduler::poll_clients() {
         auto request = CommandRequest::deserialize(msg->payload);
         VIRA_DEBUG("scheduler") << "client " << client << " submits request "
                                 << request.request_id << " (" << request.command << ")";
+        // Admission control: a client may only hold a bounded number of
+        // queued (not yet dispatched) requests; beyond that the submission
+        // is refused outright so pending_ cannot grow without limit.
+        if (config_.max_queue_per_client > 0) {
+          std::size_t depth = 0;
+          for (const auto& queued : pending_) {
+            depth += queued.client == client ? 1 : 0;
+          }
+          if (depth >= config_.max_queue_per_client) {
+            total_rejected_.fetch_add(1);
+            metrics().rejected.add();
+            VIRA_WARN("scheduler")
+                << "rejecting request " << request.request_id << " from client " << client
+                << ": queue depth bound (" << config_.max_queue_per_client << ") reached";
+            util::ByteBuffer payload;
+            payload.write<std::uint64_t>(request.request_id);
+            payload.write_string("admission control: client queue depth bound (" +
+                                 std::to_string(config_.max_queue_per_client) + ") reached");
+            send_to_client(client, kTagRejected, std::move(payload));
+            break;
+          }
+        }
         PendingRequest entry;
-        entry.request = std::move(request);
         entry.client = client;
+        entry.enqueued_at = util::clock_now();
+        entry.queue_span = obs::Tracer::instance().start("sched.queue", request.request_id,
+                                                         /*rank=*/0, request.parent_span);
+        entry.request = std::move(request);
         pending_.push_back(std::move(entry));
         break;
       }
@@ -166,6 +215,12 @@ void Scheduler::poll_clients() {
         } else {
           for (auto qit = pending_.begin(); qit != pending_.end(); ++qit) {
             if (qit->client == client && qit->request.request_id == client_request) {
+              // The request never dispatched, but the client still holds a
+              // ResultStream on it: close it out with kTagError +
+              // kTagComplete (mirroring the in-flight-cancel path in
+              // recover_group) — erasing silently left wait() hanging
+              // until its timeout.
+              fail_pending(*qit, "request cancelled");
               pending_.erase(qit);
               break;
             }
@@ -183,9 +238,16 @@ void Scheduler::poll_clients() {
 }
 
 void Scheduler::poll_workers() {
-  // Drain everything currently available without blocking long.
-  while (true) {
-    auto msg = comm_.try_recv(comm::kAnySource, comm::kAnyTag, kPollSlice);
+  // Drain what is currently available without blocking long — bounded per
+  // tick: a pool streaming partials faster than the poll slice otherwise
+  // keeps this loop fed indefinitely and starves poll_clients, so submits
+  // and cancels would sit unread for the whole duration of a stream.
+  const int budget = 16 * (worker_count_ + 1);
+  for (int processed = 0; processed < budget; ++processed) {
+    // Only the first receive waits out the poll slice (the loop's idle
+    // sleep); the rest take what is already queued and no more.
+    auto msg = comm_.try_recv(comm::kAnySource, comm::kAnyTag,
+                              processed == 0 ? kPollSlice : std::chrono::milliseconds(0));
     if (!msg) {
       return;
     }
@@ -469,7 +531,9 @@ void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reas
 
   if (group.cancelled) {
     // The client walked away from this request already; don't spend a
-    // retry on it, just close it out.
+    // retry on it, just close it out — kTagError first so the failed
+    // completion is never silent (same contract as every other failure
+    // path; the DST terminal oracle checks it).
     group.failed = true;
     group.error = "request cancelled; " + reason;
     CommandStats stats;
@@ -477,7 +541,13 @@ void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reas
     stats.success = false;
     stats.error = group.error;
     stats.total_runtime = group.total_seconds();
+    stats.workers = group.width;
+    stats.requested_workers = group.requested_workers > 0 ? group.requested_workers : group.width;
     stats.retries = static_cast<std::uint32_t>(group.attempt);
+    util::ByteBuffer error_payload;
+    error_payload.write<std::uint64_t>(group.request.request_id);
+    error_payload.write_string(group.error);
+    send_to_client(group.client, kTagError, std::move(error_payload));
     util::ByteBuffer payload;
     stats.serialize(payload);
     send_to_client(group.client, kTagComplete, std::move(payload));
@@ -500,6 +570,7 @@ void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reas
     stats.partial_packets = group.partial_packets;
     stats.result_bytes = group.result_bytes;
     stats.workers = group.width;
+    stats.requested_workers = group.requested_workers > 0 ? group.requested_workers : group.width;
     stats.retries = static_cast<std::uint32_t>(group.attempt);
     stats.phase_seconds = group.phase_seconds;
     util::ByteBuffer error_payload;
@@ -523,6 +594,10 @@ void Scheduler::recover_group(std::uint64_t internal_id, const std::string& reas
   // wider group would cover a different share of the data and break the
   // fragment identity the dedup set relies on.
   retry.width = group.width;
+  retry.requested_workers = group.requested_workers;
+  retry.enqueued_at = util::clock_now();
+  retry.queue_span = obs::Tracer::instance().start("sched.queue", group.request.request_id,
+                                                   /*rank=*/0, group.request.parent_span);
   retry.not_before =
       util::clock_now() + config_.retry_backoff * (1 << std::min(group.attempt, 16));
   retry.elapsed_before = group.total_seconds();
@@ -558,6 +633,8 @@ void Scheduler::finish_group(std::uint64_t internal_id) {
   stats.partial_packets = group.partial_packets;
   stats.result_bytes = group.result_bytes;
   stats.workers = static_cast<int>(group.ranks.size());
+  stats.requested_workers =
+      group.requested_workers > 0 ? group.requested_workers : stats.workers;
   stats.retries = static_cast<std::uint32_t>(group.attempt);
   stats.phase_seconds = group.phase_seconds;
 
@@ -602,6 +679,7 @@ void Scheduler::fail_pending(PendingRequest& entry, const std::string& reason) {
   stats.partial_packets = entry.partial_packets;
   stats.result_bytes = entry.result_bytes;
   stats.workers = entry.width;
+  stats.requested_workers = entry.requested_workers > 0 ? entry.requested_workers : entry.width;
   stats.retries = static_cast<std::uint32_t>(entry.attempt);
   stats.phase_seconds = entry.phase_seconds;
   util::ByteBuffer error_payload;
@@ -613,19 +691,94 @@ void Scheduler::fail_pending(PendingRequest& entry, const std::string& reason) {
   send_to_client(entry.client, kTagComplete, std::move(payload));
 }
 
+bool Scheduler::client_link_closed(std::size_t client) const {
+  std::lock_guard<std::mutex> lock(client_mutex_);
+  if (client >= clients_.size()) {
+    return true;
+  }
+  const auto& link = clients_[client];
+  return !link || link->closed();
+}
+
+int Scheduler::requested_width(const PendingRequest& entry, int alive) const {
+  int requested = static_cast<int>(entry.request.params.get_int("workers", 0));
+  if (requested <= 0) {
+    requested = alive;  // the seed's derived default: the whole pool
+  }
+  return requested;
+}
+
+/// Queue-wait accounting at the moment an entry leaves pending_ for a work
+/// group: histogram + per-client gauge + the sched.queue span closes.
+void Scheduler::note_dispatch(PendingRequest& entry) {
+  const double waited =
+      std::chrono::duration<double>(util::clock_now() - entry.enqueued_at).count();
+  metrics().wait.observe(waited);
+  client_wait_gauge(entry.client).set(static_cast<std::int64_t>(waited * 1000.0));
+  entry.queue_span.end();
+}
+
+/// Drops queued entries and abandons in-flight groups whose client link has
+/// closed: nobody is left to read the results, so computing them only
+/// steals workers from live clients. In-flight members get a group abort
+/// (idempotent; their done reports free them through handle_done), and the
+/// eventual finish_group sends fall into send_to_client's closed-link drop.
+void Scheduler::reap_closed_clients() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (client_link_closed(it->client)) {
+      VIRA_WARN("scheduler") << "reaping queued request " << it->request.request_id
+                             << ": client " << it->client << " link closed";
+      total_reaped_.fetch_add(1);
+      metrics().reaped.add();
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [internal_id, group] : groups_) {
+    if (group.reaped || group.cancelled || !client_link_closed(group.client)) {
+      continue;
+    }
+    VIRA_WARN("scheduler") << "reaping in-flight request " << group.request.request_id
+                           << ": client " << group.client << " link closed";
+    group.cancelled = true;
+    group.reaped = true;
+    total_reaped_.fetch_add(1);
+    metrics().reaped.add();
+    for (const int rank : group.ranks) {
+      if (group.done_ranks.count(rank) || dead_.count(rank)) {
+        continue;
+      }
+      util::ByteBuffer abort_payload;
+      abort_payload.write<std::uint64_t>(internal_id);
+      comm_.send(rank, kTagGroupAbort, std::move(abort_payload));
+    }
+  }
+}
+
 void Scheduler::dispatch_pending() {
+  reap_closed_clients();
+  if (config_.policy == SchedPolicy::kFifo) {
+    dispatch_fifo();
+  } else {
+    dispatch_fair_share();
+  }
+  metrics().queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+}
+
+/// The seed's strict-arrival-order loop, kept reachable as
+/// SchedPolicy::kFifo (the bench baseline and the conservative fallback).
+void Scheduler::dispatch_fifo() {
   while (!pending_.empty()) {
     PendingRequest& head = pending_.front();
     if (head.not_before > util::clock_now()) {
       return;  // backoff gate; retries sit at the head, so wait it out
     }
     const int alive = worker_count_ - static_cast<int>(dead_.size());
+    const int requested = head.width > 0 ? head.requested_workers : requested_width(head, alive);
     int wanted = head.width;
     if (wanted <= 0) {
-      wanted = static_cast<int>(head.request.params.get_int("workers", 0));
-      if (wanted <= 0 || wanted > alive) {
-        wanted = alive;
-      }
+      wanted = requested > alive ? alive : requested;
     }
     if (wanted > alive || alive == 0) {
       // A retry's width is pinned (see recover_group); if the pool shrank
@@ -641,6 +794,139 @@ void Scheduler::dispatch_pending() {
     PendingRequest entry = std::move(pending_.front());
     pending_.pop_front();
     entry.width = wanted;
+    entry.requested_workers = requested;
+    note_dispatch(entry);
+    start_group(std::move(entry));
+  }
+}
+
+/// Per-client deficit-round-robin with molding, backfilling, and aging.
+///
+/// Each pass considers only the oldest queued entry of every client (one
+/// client's own requests never reorder), molds derived widths to
+/// ceil(alive / active clients) so K clients share the pool, and dispatches
+/// the fitting candidate whose client has received the least width-weighted
+/// service. Dispatching past a ready-but-blocked head counts against the
+/// head's aging budget; once `max_head_bypass` is exhausted backfilling
+/// pauses and the head gets the next workers that free up — the
+/// no-starvation bound the DST oracle checks.
+void Scheduler::dispatch_fair_share() {
+  while (!pending_.empty()) {
+    const auto now = util::clock_now();
+    const int alive = worker_count_ - static_cast<int>(dead_.size());
+
+    // Entries that can never run again fail now, wherever they queue:
+    // a pinned retry width above the shrunken pool waits for nothing.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (alive == 0 || it->width > alive) {
+        fail_pending(*it, "not enough workers alive (" + std::to_string(alive) + " of " +
+                              std::to_string(it->width > 0 ? it->width : 1) + " required)");
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pending_.empty() || alive == 0) {
+      return;
+    }
+
+    // Clients with outstanding work (queued or running) define the fair
+    // share derived widths are molded to. Ceiling keeps the split
+    // work-conserving when the pool does not divide evenly.
+    std::set<std::size_t> active_clients;
+    for (const auto& entry : pending_) {
+      active_clients.insert(entry.client);
+    }
+    for (const auto& [internal_id, group] : groups_) {
+      active_clients.insert(group.client);
+    }
+    const int client_count = static_cast<int>(active_clients.size());
+    const int share = std::max(1, (alive + client_count - 1) / client_count);
+
+    // Deficit bookkeeping: drop departed clients; a (re)joining client
+    // starts level with the least-served active client, not at zero, so
+    // accumulated history cannot starve long-running peers.
+    std::uint64_t floor_service = ~0ull;
+    for (auto it = client_service_.begin(); it != client_service_.end();) {
+      if (!active_clients.count(it->first)) {
+        it = client_service_.erase(it);
+      } else {
+        floor_service = std::min(floor_service, it->second);
+        ++it;
+      }
+    }
+    if (floor_service == ~0ull) {
+      floor_service = 0;
+    }
+    for (const std::size_t client : active_clients) {
+      client_service_.emplace(client, floor_service);
+    }
+
+    const auto molded_width = [&](const PendingRequest& entry) {
+      if (entry.width > 0) {
+        return entry.width;  // pinned retry width: never remolded
+      }
+      return std::max(1, std::min(requested_width(entry, alive), share));
+    };
+
+    // Candidates: each client's first queued entry past its backoff gate.
+    std::map<std::size_t, std::size_t> first_of_client;  // client -> index
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      first_of_client.emplace(pending_[i].client, i);
+    }
+
+    PendingRequest& head = pending_.front();
+    const bool head_ready = head.not_before <= now;
+    const bool head_aged = head_ready && head.bypassed >= config_.max_head_bypass;
+
+    std::size_t chosen = pending_.size();
+    std::uint64_t chosen_service = 0;
+    for (const auto& [client, index] : first_of_client) {
+      if (head_aged && index != 0) {
+        continue;  // aged head: strict priority, no further bypassing
+      }
+      PendingRequest& entry = pending_[index];
+      if (entry.not_before > now) {
+        continue;
+      }
+      if (molded_width(entry) > static_cast<int>(free_.size())) {
+        continue;
+      }
+      const std::uint64_t service = client_service_[client];
+      if (chosen == pending_.size() || service < chosen_service ||
+          (service == chosen_service && index < chosen)) {
+        chosen = index;
+        chosen_service = service;
+      }
+    }
+    if (chosen == pending_.size()) {
+      return;  // nothing fits right now; wait for workers to free up
+    }
+
+    if (chosen != 0 && head_ready) {
+      // A backfill jumped the ready head; charge its aging budget.
+      ++head.bypassed;
+      total_backfills_.fetch_add(1);
+      metrics().backfills.add();
+      int seen = max_bypass_observed_.load();
+      while (head.bypassed > seen &&
+             !max_bypass_observed_.compare_exchange_weak(seen, head.bypassed)) {
+      }
+    }
+
+    PendingRequest entry = std::move(pending_[chosen]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(chosen));
+    if (entry.width <= 0) {
+      const int requested = requested_width(entry, alive);
+      const int width = std::max(1, std::min(requested, share));
+      entry.requested_workers = requested;
+      entry.width = width;
+      if (width < requested) {
+        metrics().molded.add();
+      }
+    }
+    client_service_[entry.client] += static_cast<std::uint64_t>(entry.width);
+    note_dispatch(entry);
     start_group(std::move(entry));
   }
 }
@@ -651,6 +937,7 @@ void Scheduler::start_group(PendingRequest entry) {
   Group group;
   group.client = entry.client;
   group.width = entry.width;
+  group.requested_workers = entry.requested_workers;
   group.attempt = entry.attempt;
   group.elapsed_before = entry.elapsed_before;
   group.first_packet_seconds = entry.first_packet_seconds;
@@ -676,6 +963,7 @@ void Scheduler::start_group(PendingRequest entry) {
   if (group.span.active()) {
     group.span.arg("attempt", group.attempt + 1);
     group.span.arg("workers", static_cast<std::int64_t>(group.ranks.size()));
+    group.span.arg("requested_workers", static_cast<std::int64_t>(group.requested_workers));
   }
 
   ExecuteOrder order;

@@ -14,6 +14,15 @@
 /// total runtime and latency on the server side (exactly where the paper
 /// measured), and frees workers when every group member reported done.
 ///
+/// Queueing model (DESIGN.md "Scheduling & QoS"): dispatch follows a
+/// configurable discipline. The default, SchedPolicy::kFairShare, keeps
+/// per-client FIFO order but molds derived group widths so concurrent
+/// clients share the pool, backfills narrow requests past a blocked wide
+/// head (bounded by an aging counter so the head cannot starve), rejects
+/// submissions beyond a per-client queue bound, and reaps work whose
+/// client link has closed. SchedPolicy::kFifo restores the seed's strict
+/// single-queue arrival order.
+///
 /// Failure model (DESIGN.md "Failure model"): workers heartbeat; the
 /// scheduler tracks last-seen per rank and declares a worker dead after
 /// `death_timeout`. Losing a group member does not fail the request —
@@ -40,7 +49,19 @@
 
 namespace vira::core {
 
-/// Liveness / recovery policy knobs.
+/// Queue discipline for dispatch_pending().
+enum class SchedPolicy {
+  /// Strict arrival order, one global queue: the seed behavior. A wide
+  /// blocked head serializes every client behind it.
+  kFifo,
+  /// Per-client FIFO with cross-client backfilling: each client's oldest
+  /// queued request competes for free workers; derived widths are molded
+  /// down so K active clients share the pool; a bypassed head ages (see
+  /// SchedulerConfig::max_head_bypass) and eventually dispatches.
+  kFairShare,
+};
+
+/// Liveness / recovery / QoS policy knobs.
 struct SchedulerConfig {
   /// Master switch; false restores the seed's fail-stop behavior exactly.
   bool liveness = true;
@@ -65,6 +86,21 @@ struct SchedulerConfig {
   /// Diagnostic switch: the DST harness disables it to prove its
   /// exactly-once oracle catches the resulting duplicate deliveries.
   bool fragment_dedup = true;
+
+  /// --- QoS (DESIGN.md "Scheduling & QoS") --------------------------------
+  /// Queue discipline. kFairShare is single-client-identical to kFifo (one
+  /// client's own requests never reorder and mold to the full pool), so the
+  /// seed behavior is preserved unless several clients contend.
+  SchedPolicy policy = SchedPolicy::kFairShare;
+  /// Aging bound: how many times a ready queue head may be bypassed by
+  /// backfilled requests before backfilling pauses and the head gets strict
+  /// priority for the next free workers. Bounds starvation under a
+  /// permanent stream of narrow requests.
+  int max_head_bypass = 8;
+  /// Admission control: queued (not yet dispatched) requests allowed per
+  /// client; a submission beyond the bound is answered with kTagRejected
+  /// instead of growing pending_ without limit. 0 = unbounded.
+  std::size_t max_queue_per_client = 64;
 };
 
 class Scheduler {
@@ -91,17 +127,28 @@ class Scheduler {
   void run();
   void stop();
 
-  /// Diagnostics.
+  /// Diagnostics. free_workers / queued_requests / active_groups read
+  /// atomic mirrors the scheduler loop refreshes once per tick, so any
+  /// thread may poll them (they lag the private containers by <= 1 tick).
   std::size_t free_workers() const;
   std::size_t queued_requests() const;
   /// Ranks declared dead so far (they never return to the pool).
   std::size_t lost_workers() const { return lost_workers_.load(); }
   /// Work-group re-formations performed so far (all requests).
   std::uint64_t total_retries() const { return total_retries_.load(); }
-  /// Work groups currently in flight. Like free_workers(), callers must
-  /// provide external quiescence (the DST harness reads it while holding
-  /// the serialization token of the virtual clock).
-  std::size_t active_groups() const { return groups_.size(); }
+  /// Work groups currently in flight.
+  std::size_t active_groups() const { return group_count_.load(std::memory_order_relaxed); }
+  /// Backfills performed: dispatches of a non-head request while the head
+  /// was ready but blocked on width (kFairShare only).
+  std::uint64_t total_backfills() const { return total_backfills_.load(); }
+  /// Submissions refused by admission control (kTagRejected sent).
+  std::uint64_t total_rejected() const { return total_rejected_.load(); }
+  /// Queued entries and in-flight groups abandoned because their client
+  /// link closed before they ran / finished.
+  std::uint64_t total_reaped() const { return total_reaped_.load(); }
+  /// Highest bypass count any queue head accumulated — the DST
+  /// no-starvation oracle asserts this never exceeds max_head_bypass.
+  int max_head_bypass_observed() const { return max_bypass_observed_.load(); }
 
  private:
   /// Time points are steady_clock-typed but every read goes through the
@@ -114,13 +161,23 @@ class Scheduler {
     std::size_t client = 0;
     int attempt = 0;  ///< 0 = first dispatch
     int width = 0;    ///< fixed after the first dispatch (0 = derive)
-    Clock::time_point not_before{};  ///< backoff gate
-    double elapsed_before = 0.0;     ///< seconds burned by earlier attempts
+    /// Width the client asked for before clamping/molding (recorded at the
+    /// first dispatch; pinned across retries like width).
+    int requested_workers = 0;
+    /// Times a ready head was bypassed by a backfilled dispatch; compared
+    /// against max_head_bypass to age the head into strict priority.
+    int bypassed = 0;
+    Clock::time_point enqueued_at{};  ///< for queue-wait metrics
+    Clock::time_point not_before{};   ///< backoff gate
+    double elapsed_before = 0.0;      ///< seconds burned by earlier attempts
     double first_packet_seconds = -1.0;
     std::uint64_t partial_packets = 0;
     std::uint64_t result_bytes = 0;
     std::map<std::string, double> phase_seconds;
     std::set<std::uint64_t> seen_fragments;  ///< fragment ids already forwarded
+    /// "sched.queue" span covering enqueue → dispatch/terminal, parented
+    /// under the client's request span so queue wait shows up in traces.
+    obs::ActiveSpan queue_span;
   };
 
   struct Group {
@@ -129,11 +186,13 @@ class Scheduler {
     std::vector<int> ranks;
     int master = -1;
     int width = 0;
+    int requested_workers = 0;  ///< pre-clamp/pre-mold width (see CommandStats)
     int pending = 0;  ///< workers that have not reported done yet
     int attempt = 0;
     bool failed = false;
     std::string error;
     bool cancelled = false;
+    bool reaped = false;  ///< cancelled because the client link closed
     util::WallTimer timer;          ///< this attempt only
     Clock::time_point dispatched_at{};
     double elapsed_before = 0.0;    ///< earlier attempts
@@ -154,6 +213,14 @@ class Scheduler {
   void poll_clients();
   void poll_workers();
   void dispatch_pending();
+  void dispatch_fifo();
+  void dispatch_fair_share();
+  void reap_closed_clients();
+  bool client_link_closed(std::size_t client) const;
+  /// Width the entry asks for before clamping: the `workers` param if set,
+  /// else the whole alive pool (the seed's derived default).
+  int requested_width(const PendingRequest& entry, int alive) const;
+  void note_dispatch(PendingRequest& entry);
   void check_liveness();
   void recover_group(std::uint64_t internal_id, const std::string& reason);
   void fail_pending(PendingRequest& entry, const std::string& reason);
@@ -197,6 +264,23 @@ class Scheduler {
   std::set<int> dead_;
   std::atomic<std::size_t> lost_workers_{0};
   std::atomic<std::uint64_t> total_retries_{0};
+
+  /// Race-free mirrors of free_ / pending_ / groups_ sizes for the public
+  /// diagnostics (refreshed once per scheduler-loop tick).
+  std::atomic<std::size_t> free_count_{0};
+  std::atomic<std::size_t> pending_count_{0};
+  std::atomic<std::size_t> group_count_{0};
+
+  /// --- QoS bookkeeping -----------------------------------------------------
+  /// Width-weighted service received per client (deficit-round-robin):
+  /// backfilling picks the dispatchable candidate of the least-served
+  /// client. Entries are pruned when a client goes idle and re-join at the
+  /// least-served active level, so history never starves a newcomer's peers.
+  std::map<std::size_t, std::uint64_t> client_service_;
+  std::atomic<std::uint64_t> total_backfills_{0};
+  std::atomic<std::uint64_t> total_rejected_{0};
+  std::atomic<std::uint64_t> total_reaped_{0};
+  std::atomic<int> max_bypass_observed_{0};
 };
 
 }  // namespace vira::core

@@ -62,6 +62,16 @@ Scenario generate_scenario(std::uint64_t seed) {
   s.max_retries = 2 + static_cast<int>(rng.next_below(3));
   s.backoff_ms = 2 + static_cast<int>(rng.next_below(9));
 
+  // QoS: a third of the scenarios run two clients (molding + backfilling
+  // light up), a quarter run the seed FIFO discipline, a quarter bound the
+  // per-client queue so admission rejections happen under bursts.
+  s.clients = rng.next_below(3) == 0 ? 2 : 1;
+  s.qos_fair = rng.next_below(4) != 0;
+  s.head_bypass = 2 + static_cast<int>(rng.next_below(7));
+  if (rng.next_below(4) == 0) {
+    s.max_queue = 1 + static_cast<int>(rng.next_below(4));
+  }
+
   // Workload mix.
   const int request_count = 1 + static_cast<int>(rng.next_below(4));
   for (int i = 0; i < request_count; ++i) {
@@ -78,6 +88,12 @@ Scenario generate_scenario(std::uint64_t seed) {
     }
     r.submit_at_ms = static_cast<int>(rng.next_below(101));
     r.item_sleep_us = static_cast<int>(rng.next_below(2001));
+    r.client = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(s.clients)));
+    if (rng.next_below(5) == 0) {
+      // Cancels land anywhere from "still queued" to "mid-flight"; the
+      // terminal oracle requires an answer either way.
+      r.cancel_at_ms = r.submit_at_ms + static_cast<int>(rng.next_below(120));
+    }
     s.requests.push_back(r);
   }
   return s;
@@ -164,9 +180,35 @@ bool shrink_round(Scenario& best, ScenarioResult& failure, int max_attempts, int
     if (r.width > 1) {
       with([](DstRequest& q) { q.width = 1; });
     }
+    if (r.cancel_at_ms >= 0) {
+      with([](DstRequest& q) { q.cancel_at_ms = -1; });
+    }
+    if (r.client > 0) {
+      with([](DstRequest& q) { q.client = 0; });
+    }
   }
 
   // Stack simplification passes.
+  if (best.clients > 1) {
+    Scenario candidate = best;
+    candidate.clients = 1;
+    for (auto& request : candidate.requests) {
+      request.client = 0;
+    }
+    consider(candidate);
+  }
+  if (best.max_queue > 0) {
+    Scenario candidate = best;
+    candidate.max_queue = 0;
+    consider(candidate);
+  }
+  if (!best.qos_fair) {
+    // Move toward the default discipline; a failure specific to kFifo
+    // survives this pass (the candidate passes and is not accepted).
+    Scenario candidate = best;
+    candidate.qos_fair = true;
+    consider(candidate);
+  }
   if (best.pipeline_window > 0 || best.pipeline_threads > 0) {
     Scenario candidate = best;
     candidate.pipeline_window = 0;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <filesystem>
@@ -275,6 +276,9 @@ class DstStack {
     sconfig.retry_backoff = std::chrono::milliseconds(s.backoff_ms);
     sconfig.request_timeout = std::chrono::milliseconds(s.request_timeout_ms);
     sconfig.fragment_dedup = s.fragment_dedup;
+    sconfig.policy = s.qos_fair ? core::SchedPolicy::kFairShare : core::SchedPolicy::kFifo;
+    sconfig.max_queue_per_client = static_cast<std::size_t>(std::max(0, s.max_queue));
+    sconfig.max_head_bypass = s.head_bypass;
     scheduler_ = std::make_unique<core::Scheduler>(transport_, s.workers, sconfig);
 
     core::WorkerConfig wconfig;
@@ -286,9 +290,11 @@ class DstStack {
           nullptr, &registry_, wconfig));
     }
 
-    auto [client_side, server_side] = comm::make_inproc_link_pair();
-    client_ = std::move(client_side);
-    scheduler_->attach_client(std::move(server_side));
+    for (int index = 0; index < std::max(1, s.clients); ++index) {
+      auto [client_side, server_side] = comm::make_inproc_link_pair();
+      clients_.push_back(std::move(client_side));
+      scheduler_->attach_client(std::move(server_side));
+    }
   }
 
   ~DstStack() {
@@ -344,7 +350,8 @@ class DstStack {
     threads_.clear();
   }
 
-  comm::ClientLink& client() { return *client_; }
+  comm::ClientLink& client(std::size_t index = 0) { return *clients_.at(index); }
+  std::size_t client_count() const { return clients_.size(); }
   core::Scheduler& scheduler() { return *scheduler_; }
   VirtualTransport& transport() { return *transport_; }
   std::vector<std::shared_ptr<dms::DataProxy>>& proxies() { return proxies_; }
@@ -374,7 +381,7 @@ class DstStack {
   std::vector<std::shared_ptr<dms::DataProxy>> proxies_;
   std::unique_ptr<core::Scheduler> scheduler_;
   std::vector<std::unique_ptr<core::Worker>> workers_;
-  std::shared_ptr<comm::ClientLink> client_;
+  std::vector<std::shared_ptr<comm::ClientLink>> clients_;
   std::vector<std::thread> threads_;
   std::string l2_root_;
   bool stopped_ = false;
@@ -383,7 +390,9 @@ class DstStack {
 /// Client-side bookkeeping for the oracles.
 struct RequestState {
   bool submitted = false;
+  bool cancel_sent = false;
   bool complete = false;
+  bool rejected = false;
   bool success = false;
   bool degraded_seen = false;
   bool error_seen = false;
@@ -403,6 +412,8 @@ std::string Scenario::to_string() const {
       << ";ibytes=" << item_bytes << ";hb=" << heartbeat_ms << ";death=" << death_ms
       << ";grace=" << idle_grace_ms << ";retries=" << max_retries << ";backoff=" << backoff_ms
       << ";timeout=" << request_timeout_ms << ";dedup=" << (fragment_dedup ? 1 : 0)
+      << ";cl=" << clients << ";qos=" << (qos_fair ? 1 : 0) << ";maxq=" << max_queue
+      << ";bypass=" << head_bypass
       << ";pt=" << pipeline_threads << ";pw=" << pipeline_window
       << ";stall=" << stall_budget_ms;
   out << ";kills=";
@@ -414,7 +425,8 @@ std::string Scenario::to_string() const {
     const DstRequest& r = requests[i];
     out << (i ? "," : "") << r.width << ":" << r.partials << ":" << r.payload << ":"
         << r.dms_items << ":" << r.first_item << ":" << (r.barrier ? 1 : 0) << ":"
-        << r.fail_rank << ":" << r.submit_at_ms << ":" << r.item_sleep_us;
+        << r.fail_rank << ":" << r.submit_at_ms << ":" << r.item_sleep_us << ":"
+        << r.client << ":" << r.cancel_at_ms;
   }
   return out.str();
 }
@@ -473,6 +485,14 @@ std::optional<Scenario> Scenario::parse(const std::string& text) {
         s.request_timeout_ms = std::stoi(value);
       } else if (key == "dedup") {
         s.fragment_dedup = value == "1";
+      } else if (key == "cl") {
+        s.clients = std::stoi(value);
+      } else if (key == "qos") {
+        s.qos_fair = value == "1";
+      } else if (key == "maxq") {
+        s.max_queue = std::stoi(value);
+      } else if (key == "bypass") {
+        s.head_bypass = std::stoi(value);
       } else if (key == "pt") {
         s.pipeline_threads = std::stoi(value);
       } else if (key == "pw") {
@@ -500,7 +520,9 @@ std::optional<Scenario> Scenario::parse(const std::string& text) {
           while (std::getline(parts, part, ':')) {
             numbers.push_back(std::stoi(part));
           }
-          if (numbers.size() != 9) {
+          // 9 numbers = the pre-QoS layout; 10/11 append client and
+          // cancel_at_ms (older replay strings stay parseable).
+          if (numbers.size() < 9 || numbers.size() > 11) {
             return std::nullopt;
           }
           DstRequest r;
@@ -513,6 +535,12 @@ std::optional<Scenario> Scenario::parse(const std::string& text) {
           r.fail_rank = numbers[6];
           r.submit_at_ms = numbers[7];
           r.item_sleep_us = numbers[8];
+          if (numbers.size() > 9) {
+            r.client = numbers[9];
+          }
+          if (numbers.size() > 10) {
+            r.cancel_at_ms = numbers[10];
+          }
           s.requests.push_back(r);
         }
       } else {
@@ -609,17 +637,37 @@ ScenarioResult run_scenario(const Scenario& scenario) {
           states[id].error_seen = true;
           break;
         }
+        case core::kTagRejected: {
+          const auto id = msg.payload.read<std::uint64_t>();
+          auto& state = states[id];
+          if (state.rejected || state.complete) {
+            note_violation("terminal: request " + std::to_string(id) +
+                           " rejected after a terminal answer");
+            break;
+          }
+          state.rejected = true;
+          ++result.rejected;
+          auto& terminal = result.terminals[id];
+          terminal.at_ns = clock->now_ns() - start_ns;
+          terminal.rejected = true;
+          break;
+        }
         case core::kTagComplete: {
           auto stats = core::CommandStats::deserialize(msg.payload);
           auto& state = states[stats.request_id];
-          if (state.complete) {
+          if (state.complete || state.rejected) {
             note_violation("terminal: request " + std::to_string(stats.request_id) +
-                           " completed twice");
+                           " completed twice (or after a rejection)");
             break;
           }
           state.complete = true;
           state.success = stats.success;
           state.retries = stats.retries;
+          auto& terminal = result.terminals[stats.request_id];
+          terminal.at_ns = clock->now_ns() - start_ns;
+          terminal.workers = stats.workers;
+          terminal.requested_workers = stats.requested_workers;
+          terminal.success = stats.success;
           ++result.completed;
           if (stats.success) {
             ++result.succeeded;
@@ -645,13 +693,34 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       }
     };
 
+    // Route each request through its client's link (clamped so hand-built
+    // scenarios with out-of-range client indices still run).
+    const auto client_of = [&](const DstRequest& spec) {
+      const int bound = static_cast<int>(stack.client_count());
+      return static_cast<std::size_t>(std::clamp(spec.client, 0, bound - 1));
+    };
+
     const int total = static_cast<int>(scenario.requests.size());
     bool stalled = false;
-    while (result.completed < total) {
+    while (result.completed + result.rejected < total) {
       const std::int64_t now = clock->now_ns();
       for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
         const DstRequest& spec = scenario.requests[i];
         auto& state = states[static_cast<std::uint64_t>(i + 1)];
+        // A scheduled cancel fires once the request is submitted and its
+        // virtual due time passed (terminal answer still required: the
+        // cancelled request completes with an error instead of hanging).
+        if (state.submitted && !state.cancel_sent && spec.cancel_at_ms >= 0 &&
+            !state.complete && !state.rejected &&
+            now - start_ns >= static_cast<std::int64_t>(spec.cancel_at_ms) * 1000000) {
+          comm::Message cancel;
+          cancel.source = 0;
+          cancel.tag = core::kTagCancel;
+          cancel.payload.write<std::uint64_t>(static_cast<std::uint64_t>(i + 1));
+          stack.client(client_of(spec)).send(std::move(cancel));
+          state.cancel_sent = true;
+          last_progress = now;
+        }
         if (state.submitted ||
             now - start_ns < static_cast<std::int64_t>(spec.submit_at_ms) * 1000000) {
           continue;
@@ -677,13 +746,15 @@ ScenarioResult run_scenario(const Scenario& scenario) {
         msg.source = 0;
         msg.tag = core::kTagSubmit;
         request.serialize(msg.payload);
-        stack.client().send(std::move(msg));
+        stack.client(client_of(spec)).send(std::move(msg));
         state.submitted = true;
         last_progress = now;
       }
-      while (auto msg = stack.client().recv(std::chrono::milliseconds(0))) {
-        handle(*msg);
-        last_progress = clock->now_ns();
+      for (std::size_t link = 0; link < stack.client_count(); ++link) {
+        while (auto msg = stack.client(link).recv(std::chrono::milliseconds(0))) {
+          handle(*msg);
+          last_progress = clock->now_ns();
+        }
       }
       if (clock->now_ns() - last_progress > stall_ns) {
         note_violation("stall: no client-visible progress for " +
@@ -718,6 +789,25 @@ ScenarioResult run_scenario(const Scenario& scenario) {
             " of " + std::to_string(scenario.workers) +
             ", groups=" + std::to_string(stack.scheduler().active_groups()) +
             ", queued=" + std::to_string(stack.scheduler().queued_requests()) + ")");
+      }
+    }
+
+    // QoS oracles. No starvation: the aging bound must really bound how
+    // often a ready head was bypassed (kFairShare; trivially 0 under
+    // kFifo). Rejection integrity: an admission-refused request must never
+    // have produced data.
+    result.backfills = stack.scheduler().total_backfills();
+    result.max_head_bypass_seen = stack.scheduler().max_head_bypass_observed();
+    if (result.max_head_bypass_seen > scenario.head_bypass) {
+      note_violation("starvation: a queue head was bypassed " +
+                     std::to_string(result.max_head_bypass_seen) +
+                     " times (aging bound " + std::to_string(scenario.head_bypass) + ")");
+    }
+    for (const auto& [id, state] : states) {
+      if (state.rejected && !state.fragments.empty()) {
+        note_violation("rejection: request " + std::to_string(id) +
+                       " was rejected but delivered " +
+                       std::to_string(state.fragments.size()) + " fragments");
       }
     }
 

@@ -19,6 +19,11 @@
 ///      tiers respect their capacity,
 ///   5. stall budget — the scenario makes progress within a (virtual) bound;
 ///      a silent stall is a liveness bug, not a timeout.
+///   6. terminal answer — every submission ends in exactly one of
+///      kTagComplete or kTagRejected, never both (admission control and the
+///      QoS dispatch may not drop or double-answer a request),
+///   7. no starvation — under kFairShare no queue head is ever bypassed
+///      more than the configured aging bound (max_head_bypass).
 
 #include <cstdint>
 #include <map>
@@ -46,6 +51,8 @@ struct DstRequest {
   int fail_rank = -1;   ///< partition that throws (command failure path)
   int submit_at_ms = 0; ///< virtual submit time
   int item_sleep_us = 0;  ///< virtual compute per fragment
+  int client = 0;         ///< submitting client link (clamped to Scenario::clients)
+  int cancel_at_ms = -1;  ///< virtual time to send kTagCancel (-1 = never)
 };
 
 /// A complete deterministic scenario: workload × fault schedule × stack
@@ -83,6 +90,13 @@ struct Scenario {
   /// catches the resulting duplicates (the deliberate-violation demo).
   bool fragment_dedup = true;
 
+  /// Multi-client QoS knobs (scheduler SchedPolicy et al.). `clients` link
+  /// pairs are attached; each request routes through its DstRequest::client.
+  int clients = 1;
+  bool qos_fair = true;  ///< false = SchedPolicy::kFifo (the seed discipline)
+  int max_queue = 0;     ///< per-client admission bound (0 = unbounded)
+  int head_bypass = 8;   ///< aging bound (SchedulerConfig::max_head_bypass)
+
   /// Pipelined (async) executor knobs: worker task-pool threads and the
   /// bounded in-flight window DstWorkCommand uses for its DMS loads. Both
   /// zero = the seed's serial request path. When enabled, a sixth oracle
@@ -110,7 +124,23 @@ struct ScenarioResult {
   int succeeded = 0;
   int failed = 0;     ///< completed unsuccessfully (kTagError seen)
   int degraded = 0;   ///< requests that retried at least once
+  int rejected = 0;   ///< refused by admission control (kTagRejected)
   std::uint64_t fragments = 0;  ///< partial/final packets accepted
+  std::uint64_t backfills = 0;  ///< scheduler backfill dispatches
+  int max_head_bypass_seen = 0;  ///< vs the scenario's aging bound
+
+  /// Per-request terminal record, keyed by request id (index + 1): virtual
+  /// completion time plus the width the group actually ran at vs asked for.
+  /// Lets targeted tests assert ordering ("the narrow request finished
+  /// while the wide stream was still running") and molding in virtual time.
+  struct Terminal {
+    std::int64_t at_ns = 0;
+    int workers = 0;
+    int requested_workers = 0;
+    bool success = false;
+    bool rejected = false;
+  };
+  std::map<std::uint64_t, Terminal> terminals;
   comm::FaultInjectionStats faults;
   std::size_t ranks_killed = 0;
 

@@ -30,6 +30,16 @@ core::CommandStats ResultStream::wait(std::vector<util::ByteBuffer>* fragments,
         break;
       case Packet::Kind::kComplete:
         return packet->stats;
+      case Packet::Kind::kRejected: {
+        // Terminal without a kTagComplete: synthesize failed stats so
+        // callers see a uniform CommandStats either way.
+        VIRA_WARN("viz") << "request " << request_id_ << " rejected: " << packet->error;
+        core::CommandStats stats;
+        stats.request_id = request_id_;
+        stats.success = false;
+        stats.error = packet->error;
+        return stats;
+      }
       case Packet::Kind::kError:
         VIRA_WARN("viz") << "request " << request_id_ << " error: " << packet->error;
         break;
@@ -149,6 +159,12 @@ void ExtractionSession::receive_loop() {
         packet.retries = msg->payload.read<std::uint32_t>();
         break;
       }
+      case core::kTagRejected: {
+        packet.kind = Packet::Kind::kRejected;
+        request_id = msg->payload.read<std::uint64_t>();
+        packet.error = msg->payload.read_string();
+        break;
+      }
       default:
         VIRA_WARN("viz") << "unknown packet tag " << msg->tag;
         continue;
@@ -181,7 +197,8 @@ void ExtractionSession::receive_loop() {
       VIRA_WARN("viz") << "request " << request_id << " degraded (retry " << packet.retries
                        << "): work group re-formed, stream continues";
     }
-    const bool complete = packet.kind == Packet::Kind::kComplete;
+    const bool complete =
+        packet.kind == Packet::Kind::kComplete || packet.kind == Packet::Kind::kRejected;
     stream->queue_.push(std::move(packet));
     if (complete) {
       std::lock_guard<std::mutex> lock(streams_mutex_);

@@ -29,19 +29,20 @@ namespace vira::viz {
 
 /// One delivery from the backend.
 struct Packet {
-  enum class Kind { kPartial, kFinal, kProgress, kError, kComplete, kDegraded };
+  enum class Kind { kPartial, kFinal, kProgress, kError, kComplete, kDegraded, kRejected };
   Kind kind;
   core::FragmentHeader header;       ///< valid for kPartial / kFinal
   util::ByteBuffer payload;          ///< fragment body (header stripped)
   double progress = 0.0;             ///< valid for kProgress
-  std::string error;                 ///< valid for kError
+  std::string error;                 ///< valid for kError / kRejected (reason)
   core::CommandStats stats;          ///< valid for kComplete
   std::uint32_t retries = 0;         ///< valid for kDegraded
   double client_seconds = 0.0;       ///< receive time relative to submission
 };
 
 /// Per-request stream of packets; ends with kComplete (or kError followed
-/// by kComplete).
+/// by kComplete), or with a single kRejected when admission control
+/// refused the submission (no kTagComplete follows a rejection).
 class ResultStream {
  public:
   /// Next packet; nullopt on timeout or after the stream finished and

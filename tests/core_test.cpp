@@ -7,6 +7,7 @@
 #include "core/vmb_data_source.hpp"
 #include "grid/synthetic.hpp"
 #include "test_util.hpp"
+#include "util/log.hpp"
 #include "viz/session.hpp"
 
 namespace vc = vira::core;
@@ -432,4 +433,201 @@ TEST(Backend, PartialWorkerFailureFailsCommandButFreesWorkers) {
   ok_params.set_int("workers", 3);
   const auto next = session.submit("test.echo", ok_params)->wait();
   EXPECT_TRUE(next.success) << next.error;
+}
+
+// ---------------------------------------------------------------------------
+// QoS scheduling (DESIGN.md "Scheduling & QoS"): queued-cancel answers,
+// fair-share backfilling across clients, the aging bound, admission control
+// and closed-link reaping — the real stack over InProcTransport. Each case
+// has a virtual-time twin in dst_test.cpp.
+
+TEST(SchedulerQos, QueuedCancelCompletesPromptly) {
+  vc::BackendConfig config;
+  config.workers = 1;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  // Occupy the only worker, then queue a second request behind it.
+  vu::ParamList blocker_params;
+  blocker_params.set_int("partials", 150);
+  auto blocker = session.submit("test.echo", blocker_params);
+  vu::ParamList params;
+  params.set("text", "never-runs");
+  auto queued = session.submit("test.echo", params);
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().queued_requests() == 1u; }));
+
+  // A cancel of a never-dispatched request answers from the queue: the
+  // stream terminates with an error now, not after the blocker drains.
+  session.cancel(queued->request_id());
+  const auto cancel_sent = std::chrono::steady_clock::now();
+  const auto stats = queued->wait(nullptr, std::chrono::milliseconds(2000));
+  const auto answer_delay = std::chrono::steady_clock::now() - cancel_sent;
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.error.find("cancelled"), std::string::npos) << stats.error;
+  EXPECT_LT(answer_delay, std::chrono::milliseconds(1000));
+  EXPECT_TRUE(blocker->wait().success);
+}
+
+TEST(SchedulerQos, TwoClientFairShareBackfillsNarrowRequest) {
+  vc::BackendConfig config;
+  config.workers = 4;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession wide_client(backend.connect());
+  vira::viz::ExtractionSession narrow_client(backend.connect());
+
+  // Client A streams full-width requests back to back (~300 ms each).
+  vu::ParamList wide_params;
+  wide_params.set_int("workers", 4);
+  wide_params.set_int("partials", 150);
+  std::vector<std::shared_ptr<vira::viz::ResultStream>> wide;
+  for (int i = 0; i < 3; ++i) {
+    wide.push_back(wide_client.submit("test.echo", wide_params));
+  }
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().active_groups() >= 1u; }));
+
+  // Client B's narrow request must not wait for A's whole backlog: under
+  // FIFO it would sit behind ~900 ms of queue; fair share dispatches it
+  // as soon as molding frees a worker.
+  vu::ParamList narrow_params;
+  narrow_params.set_int("workers", 1);
+  narrow_params.set_int("partials", 1);
+  auto narrow = narrow_client.submit("test.echo", narrow_params);
+  const auto narrow_stats = narrow->wait(nullptr, std::chrono::milliseconds(10000));
+  EXPECT_TRUE(narrow_stats.success) << narrow_stats.error;
+  // The discriminating property (wall-clock-free, so sanitizer slowdowns
+  // don't matter): under FIFO the narrow request would complete *after*
+  // the whole wide backlog; under fair share it overtakes it.
+  EXPECT_TRUE(backend.scheduler().active_groups() >= 1 ||
+              backend.scheduler().queued_requests() >= 1)
+      << "narrow request completed after the entire wide backlog";
+
+  // With two active clients the derived full-width requests mold to the
+  // fair share (ceil(4 / 2) = 2); the clamp is recorded in the stats.
+  bool molded = false;
+  for (auto& stream : wide) {
+    const auto stats = stream->wait();
+    EXPECT_TRUE(stats.success) << stats.error;
+    EXPECT_EQ(stats.requested_workers, 4);
+    molded = molded || stats.workers < stats.requested_workers;
+  }
+  EXPECT_TRUE(molded);
+  EXPECT_GE(backend.scheduler().total_backfills(), 1u);
+}
+
+TEST(SchedulerQos, AgingBoundDispatchesBypassedHead) {
+  vc::BackendConfig config;
+  config.workers = 3;
+  config.scheduler.max_head_bypass = 2;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession client_a(backend.connect());
+  vira::viz::ExtractionSession client_b(backend.connect());
+
+  // Pin two workers with long narrow streams, one per client.
+  vu::ParamList pin_params;
+  pin_params.set_int("workers", 1);
+  pin_params.set_int("partials", 250);
+  auto pin_a = client_a.submit("test.echo", pin_params);
+  auto pin_b = client_b.submit("test.echo", pin_params);
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().free_workers() == 1u; }));
+
+  // Client A's wide request heads the queue but cannot fit: it molds to
+  // the two-client share (2) with only one worker free.
+  vu::ParamList wide_params;
+  wide_params.set_int("workers", 3);
+  wide_params.set("text", "wide");
+  auto wide = client_a.submit("test.echo", wide_params);
+  // The wide request must head the queue before the flood arrives,
+  // otherwise the narrows dispatch as heads and nothing is bypassed.
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().queued_requests() == 1u; }));
+
+  // Client B floods narrow work that backfills past the blocked head —
+  // but only max_head_bypass (2) times; then the head ages into strict
+  // priority and takes the next workers that free up.
+  vu::ParamList narrow_params;
+  narrow_params.set_int("workers", 1);
+  narrow_params.set_int("partials", 3);
+  std::vector<std::shared_ptr<vira::viz::ResultStream>> narrow;
+  for (int i = 0; i < 8; ++i) {
+    narrow.push_back(client_b.submit("test.echo", narrow_params));
+  }
+
+  const auto wide_stats = wide->wait(nullptr, std::chrono::milliseconds(10000));
+  EXPECT_TRUE(wide_stats.success) << wide_stats.error;
+  for (auto& stream : narrow) {
+    EXPECT_TRUE(stream->wait().success);
+  }
+  EXPECT_TRUE(pin_a->wait().success);
+  EXPECT_TRUE(pin_b->wait().success);
+  EXPECT_GE(backend.scheduler().total_backfills(), 1u);
+  EXPECT_LE(backend.scheduler().max_head_bypass_observed(), 2);
+}
+
+TEST(SchedulerQos, AdmissionControlRejectsBeyondQueueBound) {
+  vc::BackendConfig config;
+  config.workers = 1;
+  config.scheduler.max_queue_per_client = 1;
+  vc::Backend backend(config);
+  vira::viz::ExtractionSession session(backend.connect());
+
+  vu::ParamList blocker_params;
+  blocker_params.set_int("partials", 150);
+  auto blocker = session.submit("test.echo", blocker_params);
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().free_workers() == 0u; }));
+
+  vu::ParamList params;
+  params.set("text", "queued");
+  auto queued = session.submit("test.echo", params);
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().queued_requests() == 1u; }));
+
+  // The queue bound is reached: the next submission is refused up front
+  // (kTagRejected), surfaced as a failed CommandStats — no silent drop.
+  auto rejected = session.submit("test.echo", params);
+  const auto stats = rejected->wait(nullptr, std::chrono::milliseconds(2000));
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.error.find("queue depth"), std::string::npos) << stats.error;
+  EXPECT_EQ(backend.scheduler().total_rejected(), 1u);
+
+  // The admitted work is unaffected.
+  EXPECT_TRUE(queued->wait().success);
+  EXPECT_TRUE(blocker->wait().success);
+}
+
+TEST(SchedulerQos, ClosedClientLinkReapsQueuedAndInFlightWork) {
+  vc::BackendConfig config;
+  config.workers = 1;
+  vc::Backend backend(config);
+  auto victim = std::make_unique<vira::viz::ExtractionSession>(backend.connect());
+  vira::viz::ExtractionSession survivor(backend.connect());
+
+  // The victim holds the worker and queues more work, then disconnects.
+  vu::ParamList blocker_params;
+  blocker_params.set_int("partials", 250);
+  victim->submit("test.echo", blocker_params);
+  vu::ParamList queued_params;
+  queued_params.set("text", "orphaned");
+  victim->submit("test.echo", queued_params);
+  ASSERT_TRUE(vira::test::eventually(
+      [&] { return backend.scheduler().queued_requests() == 1u; }));
+  victim.reset();
+
+  // Queued work is dropped and the in-flight group is cancelled; the pool
+  // settles back to full strength instead of serving a dead link.
+  EXPECT_TRUE(vira::test::eventually([&] {
+    return backend.scheduler().queued_requests() == 0u &&
+           backend.scheduler().free_workers() == 1u;
+  })) << "queued=" << backend.scheduler().queued_requests()
+      << " free=" << backend.scheduler().free_workers();
+  EXPECT_GE(backend.scheduler().total_reaped(), 1u);
+
+  // The surviving client is unaffected.
+  vu::ParamList params;
+  params.set("text", "alive");
+  const auto stats = survivor.submit("test.echo", params)->wait();
+  EXPECT_TRUE(stats.success) << stats.error;
 }

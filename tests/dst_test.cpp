@@ -226,6 +226,183 @@ TEST(DstPipelineTest, PipelineKnobsRoundTripThroughScenarioString) {
   EXPECT_EQ(reparsed->to_string(), scenario.to_string());
 }
 
+// --- QoS scheduling under DST ------------------------------------------------
+// Virtual-time twins of the SchedulerQos cases in core_test.cpp: the same
+// behaviors, but with exact (deterministic) completion times to assert on.
+
+TEST(DstQosTest, QueuedCancelAnswersWithinVirtualSecond) {
+  // One worker, a 2-virtual-second blocker, and a queued request cancelled
+  // 10 ms after submission. The cancel must answer from the queue — the
+  // acceptance bound is < 1 s of virtual time, nowhere near the blocker.
+  sim::Scenario scenario;
+  scenario.seed = 31001;
+  scenario.workers = 1;
+  sim::DstRequest blocker;
+  blocker.width = 1;
+  blocker.partials = 4;
+  blocker.item_sleep_us = 500000;  // 4 x 0.5 s = 2 s virtual
+  scenario.requests.push_back(blocker);
+  sim::DstRequest cancelled;
+  cancelled.width = 1;
+  cancelled.partials = 1;
+  cancelled.submit_at_ms = 10;
+  cancelled.cancel_at_ms = 20;
+  scenario.requests.push_back(cancelled);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.completed, 2);
+  EXPECT_EQ(result.failed, 1);  // the cancelled request answers with an error
+  const auto& cancelled_terminal = result.terminals.at(2);
+  const auto& blocker_terminal = result.terminals.at(1);
+  EXPECT_FALSE(cancelled_terminal.success);
+  EXPECT_LT(cancelled_terminal.at_ns, 1'000'000'000) << "cancel rode out the blocker";
+  EXPECT_LT(cancelled_terminal.at_ns, blocker_terminal.at_ns);
+}
+
+TEST(DstQosTest, FairShareBeatsFifoForNarrowClient) {
+  // Client 0 streams three wide requests; client 1 submits one narrow one
+  // just after. Same workload under both disciplines: fair share must
+  // answer the narrow client strictly earlier than the seed FIFO, and the
+  // molding that makes room must be recorded in the stats.
+  sim::Scenario scenario;
+  scenario.seed = 31002;
+  scenario.workers = 4;
+  scenario.clients = 2;
+  for (int i = 0; i < 3; ++i) {
+    sim::DstRequest wide;
+    wide.width = 4;
+    wide.partials = 4;
+    wide.item_sleep_us = 100000;  // ~400 ms virtual each
+    wide.submit_at_ms = i;
+    wide.client = 0;
+    scenario.requests.push_back(wide);
+  }
+  sim::DstRequest narrow;
+  narrow.width = 1;
+  narrow.partials = 1;
+  narrow.item_sleep_us = 1000;
+  narrow.submit_at_ms = 5;
+  narrow.client = 1;
+  scenario.requests.push_back(narrow);
+
+  scenario.qos_fair = true;
+  const auto fair = sim::run_scenario(scenario);
+  EXPECT_TRUE(fair.ok()) << (fair.violations.empty() ? "" : fair.violations.front());
+  scenario.qos_fair = false;
+  const auto fifo = sim::run_scenario(scenario);
+  EXPECT_TRUE(fifo.ok()) << (fifo.violations.empty() ? "" : fifo.violations.front());
+
+  EXPECT_LT(fair.terminals.at(4).at_ns, fifo.terminals.at(4).at_ns);
+  EXPECT_GE(fair.backfills, 1u);
+  EXPECT_EQ(fifo.backfills, 0u);
+  bool molded = false;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto& terminal = fair.terminals.at(id);
+    EXPECT_TRUE(terminal.success);
+    molded = molded || terminal.workers < terminal.requested_workers;
+  }
+  EXPECT_TRUE(molded) << "no wide request was molded below its requested width";
+}
+
+TEST(DstQosTest, AgingBoundHoldsUnderNarrowFlood) {
+  // Two pinned workers leave one free; client 0's wide request heads the
+  // queue (molds to the 2-worker share, cannot fit) while client 1 floods
+  // narrow work. Backfilling may bypass the head only max_head_bypass
+  // times; the no-starvation oracle checks the bound, and the wide request
+  // must still complete once the pins drain.
+  sim::Scenario scenario;
+  scenario.seed = 31003;
+  scenario.workers = 3;
+  scenario.clients = 2;
+  scenario.head_bypass = 2;
+  for (int client = 0; client < 2; ++client) {
+    sim::DstRequest pin;
+    pin.width = 1;
+    pin.partials = 4;
+    pin.item_sleep_us = 100000;  // ~400 ms virtual
+    pin.client = client;
+    scenario.requests.push_back(pin);
+  }
+  sim::DstRequest wide;
+  wide.width = 3;
+  wide.partials = 1;
+  wide.item_sleep_us = 1000;
+  wide.submit_at_ms = 5;
+  wide.client = 0;
+  scenario.requests.push_back(wide);
+  for (int i = 0; i < 6; ++i) {
+    sim::DstRequest flood;
+    flood.width = 1;
+    flood.partials = 1;
+    flood.item_sleep_us = 10000;
+    flood.submit_at_ms = 10 + 2 * i;
+    flood.client = 1;
+    scenario.requests.push_back(flood);
+  }
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.completed, static_cast<int>(scenario.requests.size()));
+  EXPECT_EQ(result.succeeded, static_cast<int>(scenario.requests.size()));
+  EXPECT_GE(result.backfills, 1u);
+  EXPECT_LE(result.max_head_bypass_seen, scenario.head_bypass);
+  EXPECT_TRUE(result.terminals.at(3).success);
+}
+
+TEST(DstQosTest, AdmissionRejectsBeyondQueueBound) {
+  // Per-client bound of one queued request: behind the blocker, the first
+  // submission queues and the next two are refused with kTagRejected —
+  // which the terminal-answer and rejection-integrity oracles then audit.
+  sim::Scenario scenario;
+  scenario.seed = 31004;
+  scenario.workers = 1;
+  scenario.max_queue = 1;
+  sim::DstRequest blocker;
+  blocker.width = 1;
+  blocker.partials = 4;
+  blocker.item_sleep_us = 100000;
+  scenario.requests.push_back(blocker);
+  for (int i = 0; i < 3; ++i) {
+    sim::DstRequest burst;
+    burst.width = 1;
+    burst.partials = 1;
+    burst.submit_at_ms = 10 + 2 * i;
+    scenario.requests.push_back(burst);
+  }
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.rejected, 2);
+  EXPECT_EQ(result.completed, 2);
+  EXPECT_TRUE(result.terminals.at(1).success);
+  EXPECT_TRUE(result.terminals.at(2).success);
+  EXPECT_TRUE(result.terminals.at(3).rejected);
+  EXPECT_TRUE(result.terminals.at(4).rejected);
+}
+
+TEST(DstQosTest, QosKnobsRoundTripThroughScenarioString) {
+  sim::Scenario scenario;
+  scenario.clients = 2;
+  scenario.qos_fair = false;
+  scenario.max_queue = 3;
+  scenario.head_bypass = 5;
+  sim::DstRequest request;
+  request.client = 1;
+  request.cancel_at_ms = 17;
+  scenario.requests.push_back(request);
+  const auto reparsed = sim::Scenario::parse(scenario.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->clients, 2);
+  EXPECT_FALSE(reparsed->qos_fair);
+  EXPECT_EQ(reparsed->max_queue, 3);
+  EXPECT_EQ(reparsed->head_bypass, 5);
+  ASSERT_EQ(reparsed->requests.size(), 1u);
+  EXPECT_EQ(reparsed->requests[0].client, 1);
+  EXPECT_EQ(reparsed->requests[0].cancel_at_ms, 17);
+  EXPECT_EQ(reparsed->to_string(), scenario.to_string());
+}
+
 // --- Shrinker ----------------------------------------------------------------
 
 TEST(DstShrinkTest, MinimizesInjectedExactlyOnceViolation) {

@@ -140,11 +140,14 @@ TEST_F(IntegrationTest, QueuedRequestCancelledBeforeStart) {
   auto queued = session.submit("iso.dataman", iso_params(1));
   session.cancel(queued->request_id());
 
+  // The cancelled queued request must still terminate its stream: kTagError
+  // ("request cancelled") followed by a failed kTagComplete — wait() returns
+  // promptly instead of hanging until its timeout. It must not wait for the
+  // running request to finish first (the entry was erased, not dispatched).
+  const auto stats = queued->wait(nullptr, std::chrono::milliseconds(10000));
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.error.find("cancelled"), std::string::npos) << stats.error;
   EXPECT_TRUE(running->wait().success);
-  // The cancelled queued request never produces a Complete; its stream just
-  // stays silent. Give it a short window to prove nothing arrives.
-  const auto packet = queued->next(std::chrono::milliseconds(300));
-  EXPECT_FALSE(packet.has_value());
 }
 
 // ---------------------------------------------------------------------------

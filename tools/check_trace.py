@@ -10,7 +10,10 @@ Invariants checked (ISSUE 2 satellite):
   * no orphans: every nonzero parent_id resolves to an exported span,
   * request consistency: a child annotates the same request_id as its
     parent whenever both are nonzero (request-0 spans — e.g. async
-    prefetches — are exempt).
+    prefetches — are exempt),
+  * scheduler nesting: every sched.* span that has a parent at all nests
+    under the submitting client.request span (directly, or through other
+    sched.* spans) — scheduler work is always attributable to a client.
 
 Usage: check_trace.py TRACE.json [--require NAME ...] [--min-spans N]
 Exit status 0 = all invariants hold.
@@ -83,6 +86,23 @@ def main():
         if child_request and parent_request and child_request != parent_request:
             fail("span %d (%s) request %d != parent request %d" %
                  (span_id, event["name"], child_request, parent_request))
+        if event["name"].startswith("sched."):
+            # Walk up through scheduler spans; the first non-sched ancestor
+            # must be the client.request span that submitted the work.
+            # (Headless runs — e.g. DST — submit with parent 0 and are
+            # exempt via the `continue` above.)
+            ancestor = parent
+            while ancestor["name"].startswith("sched."):
+                ancestor_parent = ancestor["args"]["parent_id"]
+                if ancestor_parent == 0:
+                    ancestor = None
+                    break
+                ancestor = spans.get(ancestor_parent)
+                if ancestor is None:
+                    break  # orphan; reported by the parent's own check
+            if ancestor is not None and ancestor["name"] != "client.request":
+                fail("sched span %d (%s) nests under %r, not client.request" %
+                     (span_id, event["name"], ancestor["name"]))
 
     for required in args.require:
         if required not in names:
