@@ -187,6 +187,18 @@ struct CommandStats {
   /// means the request ran with degraded parallelism — previously that
   /// clamp was silent and indistinguishable from a full-width run.
   int requested_workers = 0;
+  /// True when the scheduler answered from the result cache: the fragment
+  /// stream was replayed verbatim from a memoized earlier run and no work
+  /// group was formed. `workers` then reports the width of the original
+  /// computation, while total_runtime/latency report the (near-zero)
+  /// replay time.
+  bool cache_hit = false;
+  /// Dataset version the result was computed against (NameService version
+  /// counter; 0 when the scheduler has no result cache attached). For a
+  /// cache hit this is the version recorded with the memoized entry — the
+  /// DST no-stale oracle asserts it is never older than the version
+  /// current at submission.
+  std::uint64_t data_version = 0;
 
   bool degraded() const { return retries > 0; }
 
@@ -208,6 +220,8 @@ struct CommandStats {
     // Appended after the original layout (same idiom as
     // FragmentHeader::span_id) so older readers of the prefix still work.
     out.write<std::int32_t>(requested_workers);
+    out.write<std::uint8_t>(cache_hit ? 1 : 0);
+    out.write<std::uint64_t>(data_version);
   }
   static CommandStats deserialize(util::ByteBuffer& in) {
     CommandStats stats;
@@ -226,6 +240,8 @@ struct CommandStats {
       stats.phase_seconds[phase] = in.read<double>();
     }
     stats.requested_workers = in.read<std::int32_t>();
+    stats.cache_hit = in.read<std::uint8_t>() != 0;
+    stats.data_version = in.read<std::uint64_t>();
     return stats;
   }
 };

@@ -58,6 +58,9 @@ std::uint64_t fragment_key(const FragmentHeader& header) {
 Scheduler::Scheduler(std::shared_ptr<comm::Transport> transport, int worker_count,
                      SchedulerConfig config)
     : comm_(std::move(transport), 0), worker_count_(worker_count), config_(config) {
+  if (config_.result_cache.enabled) {
+    result_cache_ = std::make_unique<ResultCache>(config_.result_cache);
+  }
   const auto now = util::clock_now();
   for (int rank = 1; rank <= worker_count_; ++rank) {
     free_.insert(rank);
@@ -327,6 +330,20 @@ void Scheduler::handle_stream(comm::Message& msg, bool final) {
   // id is the first u64 of the serialized FragmentHeader.
   const std::uint64_t client_request = group.request.request_id;
   std::memcpy(msg.payload.data(), &client_request, sizeof(client_request));
+  if (group.capture) {
+    group.capture_bytes += msg.payload.size();
+    if (group.capture_bytes > config_.result_cache.max_entry_bytes) {
+      // Too big to ever admit; stop copying and free what accumulated.
+      group.capture = false;
+      group.captured.clear();
+      group.captured.shrink_to_fit();
+    } else {
+      CachedResult::Fragment fragment;
+      fragment.final = final;
+      fragment.payload = msg.payload;  // copy; the original streams on
+      group.captured.push_back(std::move(fragment));
+    }
+  }
   metrics().fragments.add();
   auto send_span = obs::Tracer::instance().start("link.send", client_request, /*rank=*/0,
                                                  group.span.context().span_id);
@@ -637,6 +654,28 @@ void Scheduler::finish_group(std::uint64_t internal_id) {
       group.requested_workers > 0 ? group.requested_workers : stats.workers;
   stats.retries = static_cast<std::uint32_t>(group.attempt);
   stats.phase_seconds = group.phase_seconds;
+  if (result_cache_) {
+    stats.data_version = group.cache_version;
+  }
+
+  // Admission: only a fully successful, non-degraded, non-cancelled
+  // first-attempt stream is memoized, and only while the dataset version
+  // it was keyed under is still current. After a mid-flight version bump
+  // the entry's key is unreachable anyway; dropping it beats storing it.
+  if (result_cache_ && group.capture && !group.failed && !group.cancelled &&
+      !group.reaped && group.attempt == 0 &&
+      group.cache_version == current_data_version()) {
+    CachedResult entry;
+    entry.key = group.cache_key;
+    entry.data_version = group.cache_version;
+    entry.workers = stats.workers;
+    entry.requested_workers = stats.requested_workers;
+    entry.partial_packets = group.partial_packets;
+    entry.result_bytes = group.result_bytes;
+    entry.compute_seconds = stats.total_runtime;
+    entry.fragments = std::move(group.captured);
+    result_cache_->insert(std::move(entry));
+  }
 
   if (group.failed) {
     util::ByteBuffer error_payload;
@@ -756,8 +795,118 @@ void Scheduler::reap_closed_clients() {
   }
 }
 
+std::uint64_t Scheduler::current_data_version() const {
+  return data_server_ ? data_server_->names().data_version() : 1;
+}
+
+/// Keys every unchecked attempt-0 entry once and serves cache hits without
+/// forming a work group. Retries are exempt twice over: their fragment
+/// stream is already half-delivered (replaying from zero would duplicate),
+/// and their pinned width may differ from the recorded run.
+void Scheduler::serve_cache_hits() {
+  if (!result_cache_) {
+    return;
+  }
+  const std::uint64_t version = current_data_version();
+  if (last_data_version_ != 0 && version != last_data_version_) {
+    // Dataset changed: entries under older versions are unreachable
+    // through the keys already; reclaim their bytes eagerly.
+    result_cache_->invalidate_all();
+    VIRA_INFO("scheduler") << "dataset version " << version
+                           << ": result cache invalidated";
+  }
+  last_data_version_ = version;
+
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingRequest& entry = *it;
+    if (entry.attempt != 0 || entry.cache_checked) {
+      ++it;
+      continue;
+    }
+    entry.cache_checked = true;
+    entry.cache_key =
+        ResultCache::make_key(entry.request.command, entry.request.params, version);
+    entry.cache_version = version;
+    auto hit = result_cache_->lookup(entry.cache_key);
+    if (!hit) {
+      ++it;
+      continue;
+    }
+    note_dispatch(entry);
+    replay_cached(entry, *hit);
+    it = pending_.erase(it);
+  }
+}
+
+/// Streams a memoized result back: the recorded kTagPartial/kTagFinal
+/// payloads verbatim (re-addressed to this client's request id), then a
+/// synthesized kTagComplete with cache_hit set. Mirrors the normal
+/// delivery path's metrics and span tree (a synthetic sched.request span
+/// with a result_cache.lookup child) so traces and dashboards see one
+/// consistent shape either way.
+void Scheduler::replay_cached(PendingRequest& entry, const CachedResult& hit) {
+  cache_hits_.fetch_add(1);
+  auto span = obs::Tracer::instance().start("sched.request", entry.request.request_id,
+                                            /*rank=*/0, entry.request.parent_span);
+  if (span.active()) {
+    span.arg("cache_hit", 1);
+    span.arg("workers", static_cast<std::int64_t>(hit.workers));
+  }
+  {
+    auto lookup = obs::Tracer::instance().start("result_cache.lookup",
+                                                entry.request.request_id, /*rank=*/0,
+                                                span.context().span_id);
+    if (lookup.active()) {
+      lookup.arg("hit", 1);
+    }
+  }
+
+  const std::uint64_t client_request = entry.request.request_id;
+  for (const auto& fragment : hit.fragments) {
+    util::ByteBuffer payload = fragment.payload;
+    // Re-address the recorded frame: the client's request id is the first
+    // u64 of the serialized FragmentHeader (same rewrite handle_stream
+    // uses on live traffic).
+    std::memcpy(payload.data(), &client_request, sizeof(client_request));
+    metrics().fragments.add();
+    auto send_span = obs::Tracer::instance().start("link.send", client_request, /*rank=*/0,
+                                                   span.context().span_id);
+    if (send_span.active()) {
+      send_span.arg("bytes", static_cast<std::int64_t>(payload.size()));
+    }
+    send_to_client(entry.client, fragment.final ? kTagFinal : kTagPartial,
+                   std::move(payload));
+  }
+
+  CommandStats stats;
+  stats.request_id = client_request;
+  stats.success = true;
+  const double waited =
+      std::chrono::duration<double>(util::clock_now() - entry.enqueued_at).count();
+  stats.total_runtime = waited;
+  stats.latency = waited;
+  stats.partial_packets = hit.partial_packets;
+  stats.result_bytes = hit.result_bytes;
+  stats.workers = hit.workers;
+  stats.requested_workers = hit.requested_workers;
+  stats.retries = 0;
+  stats.cache_hit = true;
+  stats.data_version = hit.data_version;
+  util::ByteBuffer payload;
+  stats.serialize(payload);
+  send_to_client(entry.client, kTagComplete, std::move(payload));
+
+  metrics().requests.add();
+  metrics().runtime.observe(stats.total_runtime);
+  metrics().latency.observe(stats.latency);
+  VIRA_DEBUG("scheduler") << "request " << client_request << " (client " << entry.client
+                          << ") served from result cache (" << hit.fragments.size()
+                          << " fragments, " << hit.result_bytes << " bytes)";
+}
+
 void Scheduler::dispatch_pending() {
   reap_closed_clients();
+  serve_cache_hits();
   if (config_.policy == SchedPolicy::kFifo) {
     dispatch_fifo();
   } else {
@@ -945,6 +1094,13 @@ void Scheduler::start_group(PendingRequest entry) {
   group.result_bytes = entry.result_bytes;
   group.phase_seconds = std::move(entry.phase_seconds);
   group.seen_fragments = std::move(entry.seen_fragments);
+  group.cache_key = std::move(entry.cache_key);
+  group.cache_version = entry.cache_version;
+  // Capture for memoization: first attempt only (a retry's stream is
+  // already half-delivered) and only with dedup on (duplicates in the
+  // recording would replay as duplicates).
+  group.capture = result_cache_ != nullptr && entry.attempt == 0 &&
+                  config_.fragment_dedup && !group.cache_key.empty();
   group.request = std::move(entry.request);
   for (auto it = free_.begin();
        it != free_.end() && static_cast<int>(group.ranks.size()) < entry.width;) {
@@ -964,6 +1120,18 @@ void Scheduler::start_group(PendingRequest entry) {
     group.span.arg("attempt", group.attempt + 1);
     group.span.arg("workers", static_cast<std::int64_t>(group.ranks.size()));
     group.span.arg("requested_workers", static_cast<std::int64_t>(group.requested_workers));
+  }
+  if (result_cache_ && group.attempt == 0) {
+    // The (missed) lookup happened in serve_cache_hits before any
+    // sched.request span existed; record it here under the attempt's span
+    // so the trace shows the decision point (check_trace.py enforces the
+    // result_cache.lookup → sched.request nesting).
+    auto lookup = obs::Tracer::instance().start("result_cache.lookup",
+                                                group.request.request_id, /*rank=*/0,
+                                                group.span.context().span_id);
+    if (lookup.active()) {
+      lookup.arg("hit", 0);
+    }
   }
 
   ExecuteOrder order;

@@ -44,6 +44,7 @@
 #include "comm/communicator.hpp"
 #include "dms/data_server.hpp"
 #include "core/protocol.hpp"
+#include "core/result_cache.hpp"
 #include "obs/tracer.hpp"
 #include "util/timer.hpp"
 
@@ -101,6 +102,11 @@ struct SchedulerConfig {
   /// client; a submission beyond the bound is answered with kTagRejected
   /// instead of growing pending_ without limit. 0 = unbounded.
   std::size_t max_queue_per_client = 64;
+
+  /// --- Result memoization (DESIGN.md "Result memoization") ----------------
+  /// Content-addressed result cache consulted before forming a work group;
+  /// disabled by default (see ResultCacheConfig::enabled).
+  ResultCacheConfig result_cache;
 };
 
 class Scheduler {
@@ -149,6 +155,8 @@ class Scheduler {
   /// Highest bypass count any queue head accumulated — the DST
   /// no-starvation oracle asserts this never exceeds max_head_bypass.
   int max_head_bypass_observed() const { return max_bypass_observed_.load(); }
+  /// Requests served from the result cache (no work group formed).
+  std::uint64_t total_cache_hits() const { return cache_hits_.load(); }
 
  private:
   /// Time points are steady_clock-typed but every read goes through the
@@ -175,6 +183,12 @@ class Scheduler {
     std::uint64_t result_bytes = 0;
     std::map<std::string, double> phase_seconds;
     std::set<std::uint64_t> seen_fragments;  ///< fragment ids already forwarded
+    /// Result-cache bookkeeping: an attempt-0 entry is keyed and looked up
+    /// once (serve_cache_hits); a miss carries the key into the group so
+    /// the finished stream can be admitted under the same key.
+    bool cache_checked = false;
+    std::string cache_key;
+    std::uint64_t cache_version = 0;
     /// "sched.queue" span covering enqueue → dispatch/terminal, parented
     /// under the client's request span so queue wait shows up in traces.
     obs::ActiveSpan queue_span;
@@ -202,6 +216,14 @@ class Scheduler {
     std::map<std::string, double> phase_seconds;
     std::set<int> done_ranks;
     std::set<std::uint64_t> seen_fragments;
+    /// Result-cache capture: every deduplicated fragment forwarded to the
+    /// client is copied here (first attempt only); finish_group admits the
+    /// sequence under cache_key if the stream ended fully successful.
+    bool capture = false;
+    std::uint64_t capture_bytes = 0;
+    std::vector<CachedResult::Fragment> captured;
+    std::string cache_key;
+    std::uint64_t cache_version = 0;
     /// Per-attempt "sched.request" trace span (parented under the client's
     /// span; a retried request opens a fresh one, so recovery is visible
     /// as a second span tree). Ends when the Group is destroyed.
@@ -221,6 +243,13 @@ class Scheduler {
   /// else the whole alive pool (the seed's derived default).
   int requested_width(const PendingRequest& entry, int alive) const;
   void note_dispatch(PendingRequest& entry);
+  /// Current NameService dataset version (1 when no data server attached).
+  std::uint64_t current_data_version() const;
+  /// Keys unchecked attempt-0 entries against the result cache and serves
+  /// hits by replaying the recorded fragment sequence — no work group is
+  /// formed. Runs at the top of dispatch_pending().
+  void serve_cache_hits();
+  void replay_cached(PendingRequest& entry, const CachedResult& hit);
   void check_liveness();
   void recover_group(std::uint64_t internal_id, const std::string& reason);
   void fail_pending(PendingRequest& entry, const std::string& reason);
@@ -239,6 +268,14 @@ class Scheduler {
   SchedulerConfig config_;
   std::atomic<bool> running_{false};
   std::shared_ptr<dms::DataServer> data_server_;
+
+  /// Result memoization (nullptr when config_.result_cache.enabled is
+  /// false). Scheduler-thread-only access.
+  std::unique_ptr<ResultCache> result_cache_;
+  /// Last dataset version observed; a change eagerly purges the cache
+  /// (entries are unreachable anyway — the version is part of the key).
+  std::uint64_t last_data_version_ = 0;
+  std::atomic<std::uint64_t> cache_hits_{0};
 
   mutable std::mutex client_mutex_;
   std::vector<std::shared_ptr<comm::ClientLink>> clients_;

@@ -11,6 +11,8 @@
 /// bijection; NameResolvers live at each proxy and memoize lookups so
 /// repeated requests do not round-trip.
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -36,10 +38,19 @@ class NameService {
 
   std::size_t size() const;
 
+  /// Monotonic dataset version. It starts at 1 and advances whenever the
+  /// underlying data changes (a new simulation run replaced a file, a
+  /// block was rewritten in place). The scheduler's result cache folds the
+  /// version into its content-addressed keys, so a bump instantly makes
+  /// every memoized result stale-proof.
+  std::uint64_t data_version() const { return data_version_.load(std::memory_order_acquire); }
+  void bump_data_version() { data_version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, ItemId> by_name_;
   std::vector<DataItemName> by_id_;
+  std::atomic<std::uint64_t> data_version_{1};
 };
 
 /// Proxy-side memoizing resolver over any resolve function (a direct

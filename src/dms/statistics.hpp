@@ -24,6 +24,12 @@ struct DmsCounters {
   std::uint64_t misses = 0;           ///< forced loads (cold or capacity)
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_useful = 0;  ///< prefetched items later requested
+  /// Prefetched items that left the cache hierarchy (evicted from L1 with
+  /// no L2, dropped demotion, L2 eviction, unreadable spill) before being
+  /// requested even once: pure wasted bandwidth. Also what keeps the
+  /// pending-prefetch bookkeeping bounded — before this counter existed,
+  /// entries for evicted-unrequested items leaked forever.
+  std::uint64_t prefetch_wasted = 0;
   std::uint64_t evictions_l1 = 0;
   std::uint64_t evictions_l2 = 0;
   /// Demotions re-triggered by an L2 promote: the promoted blob's re-insert
@@ -76,6 +82,7 @@ class DmsStatistics {
   void record_miss() { bump(&DmsCounters::misses, obs_.misses); }
   void record_prefetch_issued() { bump(&DmsCounters::prefetch_issued, obs_.prefetch_issued); }
   void record_prefetch_useful() { bump(&DmsCounters::prefetch_useful, obs_.prefetch_useful); }
+  void record_prefetch_wasted() { bump(&DmsCounters::prefetch_wasted, obs_.prefetch_wasted); }
   void record_eviction_l1() { bump(&DmsCounters::evictions_l1, obs_.evictions_l1); }
   void record_eviction_l2() { bump(&DmsCounters::evictions_l2, obs_.evictions_l2); }
   void record_l2_respill() { bump(&DmsCounters::l2_respills, obs_.l2_respills); }
@@ -154,6 +161,7 @@ class DmsStatistics {
     obs::Counter& misses = obs::Registry::instance().counter("dms.misses");
     obs::Counter& prefetch_issued = obs::Registry::instance().counter("dms.prefetch_issued");
     obs::Counter& prefetch_useful = obs::Registry::instance().counter("dms.prefetch_useful");
+    obs::Counter& prefetch_wasted = obs::Registry::instance().counter("dms.prefetch_wasted");
     obs::Counter& evictions_l1 = obs::Registry::instance().counter("dms.evictions_l1");
     obs::Counter& evictions_l2 = obs::Registry::instance().counter("dms.evictions_l2");
     obs::Counter& l2_respills = obs::Registry::instance().counter("dms.l2_respills");

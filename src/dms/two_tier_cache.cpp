@@ -103,16 +103,35 @@ void TwoTierCache::put(ItemId id, Blob blob, bool from_prefetch) {
 }
 
 void TwoTierCache::put_internal(ItemId id, Blob blob, bool from_prefetch, bool respill) {
-  if (from_prefetch) {
+  bool inserted = false;
+  auto evicted = l1_.put(id, std::move(blob), &inserted);
+  if (from_prefetch && inserted) {
+    // Track only what actually entered the cache: an oversize blob L1
+    // refused never becomes "useful", so a pending entry for it could
+    // only ever leak.
     std::lock_guard<std::mutex> lock(prefetch_mutex_);
     prefetched_pending_[id] = true;
   }
-  auto evicted = l1_.put(id, std::move(blob));
   for (auto& victim : evicted) {
     stats_->record_eviction_l1();
-    if (!config_.l2_directory.empty()) {
-      demote(victim.id, victim.blob, respill);
+    const bool demoted = !config_.l2_directory.empty() && demote(victim.id, victim.blob, respill);
+    if (!demoted) {
+      note_gone(victim.id);  // left the hierarchy: unrequested prefetch is wasted
     }
+  }
+}
+
+std::size_t TwoTierCache::prefetch_pending_count() const {
+  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  return prefetched_pending_.size();
+}
+
+void TwoTierCache::note_gone(ItemId id) {
+  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  auto it = prefetched_pending_.find(id);
+  if (it != prefetched_pending_.end()) {
+    prefetched_pending_.erase(it);
+    stats_->record_prefetch_wasted();
   }
 }
 
@@ -129,10 +148,10 @@ bool TwoTierCache::contains(ItemId id) const {
 
 bool TwoTierCache::contains_l1(ItemId id) const { return l1_.contains(id); }
 
-void TwoTierCache::demote(ItemId id, const Blob& blob, bool respill) {
+bool TwoTierCache::demote(ItemId id, const Blob& blob, bool respill) {
   std::lock_guard<std::mutex> lock(l2_mutex_);
   if (l2_index_.count(id) > 0) {
-    return;  // already spilled
+    return true;  // already spilled
   }
   const std::uint64_t bytes = blob->size();
   if (bytes > config_.l2_capacity_bytes) {
@@ -147,14 +166,14 @@ void TwoTierCache::demote(ItemId id, const Blob& blob, bool respill) {
                        << config_.l2_capacity_bytes
                        << " bytes); further oversize drops are only counted";
     }
-    return;
+    return false;
   }
   evict_l2_to_fit(bytes);
   if (!write_blob_file(l2_path(id), *blob)) {
     stats_->record_demotion_dropped_io();
     VIRA_WARN("dms") << "L2 spill write failed for item " << id
                      << "; demotion dropped (not indexed)";
-    return;
+    return false;
   }
   if (respill) {
     stats_->record_l2_respill();
@@ -162,6 +181,7 @@ void TwoTierCache::demote(ItemId id, const Blob& blob, bool respill) {
   l2_order_.push_back(id);
   l2_index_[id] = {std::prev(l2_order_.end()), bytes};
   l2_used_ += bytes;
+  return true;
 }
 
 void TwoTierCache::evict_l2_to_fit(std::uint64_t incoming) {
@@ -175,6 +195,7 @@ void TwoTierCache::evict_l2_to_fit(std::uint64_t incoming) {
       std::filesystem::remove(l2_path(victim), ec);
       l2_index_.erase(it);
       stats_->record_eviction_l2();
+      note_gone(victim);  // fell off the bottom tier: gone for good
     }
   }
 }
@@ -196,6 +217,7 @@ Blob TwoTierCache::promote(ItemId id) {
 
   if (!buffer) {
     VIRA_WARN("dms") << "L2 spill file for item " << id << " unreadable; treating as miss";
+    note_gone(id);  // de-indexed above and unreadable: out of the hierarchy
     return nullptr;
   }
   Blob blob = make_blob(std::move(*buffer));

@@ -61,13 +61,25 @@ class TwoTierCache {
   std::uint64_t l2_size_bytes() const;
   std::size_t l2_item_count() const;
 
+  /// Prefetched-but-never-requested items currently tracked. Bounded by
+  /// cache residency: an item leaving both tiers is erased (and counted
+  /// as prefetch_wasted), so the map cannot outgrow the cache itself.
+  std::size_t prefetch_pending_count() const;
+
  private:
   std::string l2_path(ItemId id) const;
-  void note_requested(ItemId id);
-  /// `respill` marks demotions caused by an L2 promote's re-insert (tier
-  /// churn accounting).
   void put_internal(ItemId id, Blob blob, bool from_prefetch, bool respill);
-  void demote(ItemId id, const Blob& blob, bool respill = false);
+  void note_requested(ItemId id);
+  /// The item left the cache hierarchy entirely (evicted with no L2,
+  /// dropped demotion, L2 eviction, unreadable spill file). If it was a
+  /// still-unrequested prefetch, the speculation is now provably wasted:
+  /// count it and erase the pending entry — leaving it would leak one map
+  /// slot per evicted prefetch for the life of the server.
+  void note_gone(ItemId id);
+  /// `respill` marks demotions caused by an L2 promote's re-insert (tier
+  /// churn accounting). Returns true when the blob is indexed in L2
+  /// afterwards (false = dropped: oversize or spill-write failure).
+  bool demote(ItemId id, const Blob& blob, bool respill = false);
   Blob promote(ItemId id);
   void evict_l2_to_fit(std::uint64_t incoming);
 
@@ -83,7 +95,7 @@ class TwoTierCache {
   bool warned_oversize_ = false;  ///< guarded by l2_mutex_
 
   /// Items inserted by prefetch and not yet requested (usefulness metric).
-  std::mutex prefetch_mutex_;
+  mutable std::mutex prefetch_mutex_;
   std::unordered_map<ItemId, bool> prefetched_pending_;
 };
 

@@ -96,6 +96,29 @@ Scenario generate_scenario(std::uint64_t seed) {
     }
     s.requests.push_back(r);
   }
+
+  // Result cache: a third of the scenarios memoize. Duplicate an earlier
+  // request at a later submit time so warm hits actually occur (the key is
+  // content-addressed — only an identical workload can hit), and
+  // occasionally bump the dataset version mid-run so invalidation and the
+  // no-stale oracle light up. Drawn after everything above so the
+  // pre-existing part of a seed's scenario is unchanged.
+  if (rng.next_below(3) == 0) {
+    s.result_cache_kb = 16 + static_cast<int>(rng.next_below(49));
+    const int repeats = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < repeats; ++i) {
+      DstRequest dup = s.requests[rng.next_below(s.requests.size())];
+      // Only clean successes are memoized, so strip the failure/cancel
+      // injections to make the duplicate actually hit-eligible.
+      dup.fail_rank = -1;
+      dup.cancel_at_ms = -1;
+      dup.submit_at_ms = 150 + static_cast<int>(rng.next_below(251));
+      s.requests.push_back(dup);
+    }
+    if (rng.next_below(3) == 0) {
+      s.bumps.push_back(100 + static_cast<int>(rng.next_below(201)));
+    }
+  }
   return s;
 }
 
@@ -213,6 +236,17 @@ bool shrink_round(Scenario& best, ScenarioResult& failure, int max_attempts, int
     Scenario candidate = best;
     candidate.pipeline_window = 0;
     candidate.pipeline_threads = 0;
+    consider(candidate);
+  }
+  if (best.result_cache_kb > 0) {
+    Scenario candidate = best;
+    candidate.result_cache_kb = 0;
+    candidate.bumps.clear();
+    consider(candidate);
+  }
+  if (!best.bumps.empty()) {
+    Scenario candidate = best;
+    candidate.bumps.clear();
     consider(candidate);
   }
   if (best.l2) {

@@ -279,7 +279,20 @@ class DstStack {
     sconfig.policy = s.qos_fair ? core::SchedPolicy::kFairShare : core::SchedPolicy::kFifo;
     sconfig.max_queue_per_client = static_cast<std::size_t>(std::max(0, s.max_queue));
     sconfig.max_head_bypass = s.head_bypass;
+    if (s.result_cache_kb > 0) {
+      sconfig.result_cache.enabled = true;
+      sconfig.result_cache.memory_bytes = static_cast<std::uint64_t>(s.result_cache_kb) * 1024;
+      // Reuse the scenario's DMS policy so all replacement classes get
+      // exercised on the result-cache side too.
+      sconfig.result_cache.policy = s.policy;
+    }
     scheduler_ = std::make_unique<core::Scheduler>(transport_, s.workers, sconfig);
+    if (s.result_cache_kb > 0) {
+      // Only wired when the cache is on: the name-service version feed is
+      // what invalidation keys off, and leaving it detached in rc=0 runs
+      // keeps legacy trajectories byte-identical.
+      scheduler_->set_data_server(server_);
+    }
 
     core::WorkerConfig wconfig;
     wconfig.heartbeat_interval = std::chrono::milliseconds(s.heartbeat_ms);
@@ -352,6 +365,8 @@ class DstStack {
 
   comm::ClientLink& client(std::size_t index = 0) { return *clients_.at(index); }
   std::size_t client_count() const { return clients_.size(); }
+  /// Invalidates every memoized result (scenario `bumps=` schedule).
+  void bump_data_version() { server_->names().bump_data_version(); }
   core::Scheduler& scheduler() { return *scheduler_; }
   VirtualTransport& transport() { return *transport_; }
   std::vector<std::shared_ptr<dms::DataProxy>>& proxies() { return proxies_; }
@@ -399,7 +414,47 @@ struct RequestState {
   std::uint32_t retries = 0;
   std::set<std::pair<std::int32_t, std::uint32_t>> fragments;  ///< (partition, sequence)
   bool duplicate_reported = false;
+  /// Result-cache oracle state: the dataset version current at submission,
+  /// whether the completion was served from the cache, and the delivered
+  /// fragment stream as an ordered list of content hashes (partition,
+  /// sequence, finality, body bytes — request id excluded, it legitimately
+  /// differs between an original and its replay).
+  std::uint64_t version_at_submit = 1;
+  bool cache_hit = false;
+  std::vector<std::uint64_t> frag_seq;
 };
+
+/// Content hash of one delivered fragment (FNV-1a over the identity the
+/// replay-identical oracle compares: everything except the request id).
+std::uint64_t fragment_hash(const core::FragmentHeader& header, bool final_fragment,
+                            const util::ByteBuffer& payload) {
+  std::uint64_t hash = 14695981039346656037ull;
+  auto mix = [&hash](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(&header.partition, sizeof(header.partition));
+  mix(&header.sequence, sizeof(header.sequence));
+  const std::uint8_t final_flag = final_fragment ? 1 : 0;
+  mix(&final_flag, sizeof(final_flag));
+  const std::size_t body_at = payload.read_pos();
+  mix(payload.data() + body_at, payload.size() - body_at);
+  return hash;
+}
+
+/// Workload identity of a DstRequest: two requests with the same signature
+/// submit byte-identical (command, params) pairs, so a cache hit on one may
+/// only ever replay a result computed for the other.
+std::string workload_signature(const Scenario& scenario, const DstRequest& spec) {
+  std::ostringstream out;
+  out << spec.width << ':' << spec.partials << ':' << spec.payload << ':' << spec.dms_items
+      << ':' << spec.first_item << ':' << (spec.barrier ? 1 : 0) << ':' << spec.fail_rank << ':'
+      << spec.item_sleep_us << ':' << scenario.item_count << ':' << scenario.pipeline_window;
+  return out.str();
+}
 
 }  // namespace
 
@@ -415,7 +470,12 @@ std::string Scenario::to_string() const {
       << ";cl=" << clients << ";qos=" << (qos_fair ? 1 : 0) << ";maxq=" << max_queue
       << ";bypass=" << head_bypass
       << ";pt=" << pipeline_threads << ";pw=" << pipeline_window
+      << ";rc=" << result_cache_kb
       << ";stall=" << stall_budget_ms;
+  out << ";bumps=";
+  for (std::size_t i = 0; i < bumps.size(); ++i) {
+    out << (i ? "," : "") << bumps[i];
+  }
   out << ";kills=";
   for (std::size_t i = 0; i < kills.size(); ++i) {
     out << (i ? "," : "") << kills[i].first << ":" << kills[i].second;
@@ -497,6 +557,14 @@ std::optional<Scenario> Scenario::parse(const std::string& text) {
         s.pipeline_threads = std::stoi(value);
       } else if (key == "pw") {
         s.pipeline_window = std::stoi(value);
+      } else if (key == "rc") {
+        s.result_cache_kb = std::stoi(value);
+      } else if (key == "bumps") {
+        std::istringstream list(value);
+        std::string entry;
+        while (std::getline(list, entry, ',')) {
+          s.bumps.push_back(std::stoi(entry));
+        }
       } else if (key == "stall") {
         s.stall_budget_ms = std::stoi(value);
       } else if (key == "kills") {
@@ -615,8 +683,13 @@ ScenarioResult run_scenario(const Scenario& scenario) {
           auto header = core::FragmentHeader::deserialize(msg.payload);
           auto& state = states[header.request_id];
           ++result.fragments;
-          if (!state.fragments.emplace(header.partition, header.sequence).second &&
-              !state.duplicate_reported) {
+          if (state.fragments.emplace(header.partition, header.sequence).second) {
+            // First delivery only: the replay-identical oracle compares
+            // streams as the client accepts them, and a transport duplicate
+            // is already its own (exactly-once) violation.
+            state.frag_seq.push_back(
+                fragment_hash(header, msg.tag == core::kTagFinal, msg.payload));
+          } else if (!state.duplicate_reported) {
             state.duplicate_reported = true;
             note_violation("exactly-once: request " + std::to_string(header.request_id) +
                            " fragment (partition " + std::to_string(header.partition) +
@@ -663,12 +736,37 @@ ScenarioResult run_scenario(const Scenario& scenario) {
           state.complete = true;
           state.success = stats.success;
           state.retries = stats.retries;
+          state.cache_hit = stats.cache_hit;
           auto& terminal = result.terminals[stats.request_id];
           terminal.at_ns = clock->now_ns() - start_ns;
           terminal.workers = stats.workers;
           terminal.requested_workers = stats.requested_workers;
           terminal.success = stats.success;
+          terminal.cache_hit = stats.cache_hit;
+          terminal.data_version = stats.data_version;
           ++result.completed;
+          if (stats.cache_hit) {
+            ++result.cache_hits;
+            // A hit bypasses the work group entirely: it can only replay a
+            // fully-successful capture, so it must itself be a clean,
+            // retry-free success.
+            if (!stats.success || stats.retries > 0 || state.degraded_seen) {
+              note_violation("result-cache: request " + std::to_string(stats.request_id) +
+                             " was a cache hit but not a clean success (success=" +
+                             std::to_string(stats.success) +
+                             " retries=" + std::to_string(stats.retries) + ")");
+            }
+          }
+          // No-stale: whatever served this request (cache or recompute) must
+          // have been keyed at a dataset version no older than the one
+          // current when the client submitted it.
+          if (scenario.result_cache_kb > 0 && stats.data_version != 0 &&
+              stats.data_version < state.version_at_submit) {
+            note_violation("result-cache: request " + std::to_string(stats.request_id) +
+                           " served at dataset version " + std::to_string(stats.data_version) +
+                           " < version " + std::to_string(state.version_at_submit) +
+                           " current at submission (stale geometry)");
+          }
           if (stats.success) {
             ++result.succeeded;
           } else {
@@ -701,9 +799,24 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     };
 
     const int total = static_cast<int>(scenario.requests.size());
+    // Dataset-version schedule: the driver mirrors the version counter the
+    // scheduler reads (NameService starts at 1, each bump adds 1) so the
+    // no-stale oracle can stamp every submission with the version that was
+    // current when it left the client.
+    std::vector<bool> bump_done(scenario.bumps.size(), false);
+    std::uint64_t driver_version = 1;
     bool stalled = false;
     while (result.completed + result.rejected < total) {
       const std::int64_t now = clock->now_ns();
+      for (std::size_t b = 0; b < scenario.bumps.size(); ++b) {
+        if (!bump_done[b] &&
+            now - start_ns >= static_cast<std::int64_t>(scenario.bumps[b]) * 1000000) {
+          stack.bump_data_version();
+          ++driver_version;
+          bump_done[b] = true;
+          last_progress = now;
+        }
+      }
       for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
         const DstRequest& spec = scenario.requests[i];
         auto& state = states[static_cast<std::uint64_t>(i + 1)];
@@ -748,6 +861,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
         request.serialize(msg.payload);
         stack.client(client_of(spec)).send(std::move(msg));
         state.submitted = true;
+        state.version_at_submit = driver_version;
         last_progress = now;
       }
       for (std::size_t link = 0; link < stack.client_count(); ++link) {
@@ -811,6 +925,42 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       }
     }
 
+    // Replay-identical: every cache-hit stream must be byte-identical (as
+    // hashed per accepted fragment, in delivery order) to the stream of
+    // some genuinely-computed request with the same workload signature.
+    // The cache may only ever replay what a work group really produced.
+    if (scenario.result_cache_kb > 0 && result.cache_hits > 0) {
+      std::map<std::string, std::vector<const std::vector<std::uint64_t>*>> originals;
+      for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+        const auto& state = states[static_cast<std::uint64_t>(i + 1)];
+        if (state.complete && state.success && !state.cache_hit) {
+          originals[workload_signature(scenario, scenario.requests[i])].push_back(
+              &state.frag_seq);
+        }
+      }
+      for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
+        const auto& state = states[static_cast<std::uint64_t>(i + 1)];
+        if (!state.cache_hit) {
+          continue;
+        }
+        const auto it = originals.find(workload_signature(scenario, scenario.requests[i]));
+        bool matched = false;
+        if (it != originals.end()) {
+          for (const auto* original : it->second) {
+            if (*original == state.frag_seq) {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          note_violation("result-cache: request " + std::to_string(i + 1) +
+                         " was a cache hit but its fragment stream matches no computed "
+                         "original with the same workload");
+        }
+      }
+    }
+
     // Cache accounting, after draining the prefetch pipelines in virtual
     // time so no load is mid-flight.
     for (auto& proxy : stack.proxies()) {
@@ -870,6 +1020,18 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       }
       if (counters.prefetch_useful > counters.prefetch_issued) {
         note_violation(tag + "prefetch_useful exceeds prefetch_issued");
+      }
+      // Prefetch bookkeeping boundedness: every still-pending speculative
+      // insert must be backed by a resident item — anything that left both
+      // tiers must have been erased (and counted wasted), or the pending
+      // map grows without bound for the life of the proxy.
+      if (proxy->cache().prefetch_pending_count() >
+          proxy->cache().l1().item_count() + proxy->cache().l2_item_count()) {
+        note_violation(tag + "prefetch bookkeeping leaked: " +
+                       std::to_string(proxy->cache().prefetch_pending_count()) +
+                       " pending entries exceed " +
+                       std::to_string(proxy->cache().l1().item_count()) + " L1 + " +
+                       std::to_string(proxy->cache().l2_item_count()) + " L2 residents");
       }
       const auto& l1 = proxy->cache().l1();
       std::uint64_t resident_bytes = 0;

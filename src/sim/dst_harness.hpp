@@ -23,7 +23,13 @@
 ///      kTagComplete or kTagRejected, never both (admission control and the
 ///      QoS dispatch may not drop or double-answer a request),
 ///   7. no starvation — under kFairShare no queue head is ever bypassed
-///      more than the configured aging bound (max_head_bypass).
+///      more than the configured aging bound (max_head_bypass),
+///   8. result-cache integrity (rc= scenarios) — a cache-hit completion is
+///      successful, retry-free, and its fragment stream is byte-identical
+///      to one a real work group previously computed for the same
+///      workload; no completion ever reports a dataset version older than
+///      the version current when it was submitted (no stale geometry after
+///      an invalidation).
 
 #include <cstdint>
 #include <map>
@@ -106,6 +112,15 @@ struct Scenario {
   int pipeline_threads = 0;
   int pipeline_window = 0;
 
+  /// Scheduler result cache: primary-tier budget in KiB (0 = disabled).
+  /// The cache reuses the scenario's `policy` for replacement so all three
+  /// policy classes get fuzzed here too.
+  int result_cache_kb = 0;
+  /// Virtual times (ms) at which the dataset version is bumped — each bump
+  /// invalidates every memoized result; the no-stale oracle checks that no
+  /// later completion reports an older version.
+  std::vector<int> bumps;
+
   /// Virtual progress bound for the stall oracle.
   int stall_budget_ms = 8000;
 
@@ -128,6 +143,7 @@ struct ScenarioResult {
   std::uint64_t fragments = 0;  ///< partial/final packets accepted
   std::uint64_t backfills = 0;  ///< scheduler backfill dispatches
   int max_head_bypass_seen = 0;  ///< vs the scenario's aging bound
+  int cache_hits = 0;  ///< completions served from the result cache
 
   /// Per-request terminal record, keyed by request id (index + 1): virtual
   /// completion time plus the width the group actually ran at vs asked for.
@@ -139,6 +155,8 @@ struct ScenarioResult {
     int requested_workers = 0;
     bool success = false;
     bool rejected = false;
+    bool cache_hit = false;             ///< served from the result cache
+    std::uint64_t data_version = 0;     ///< version the result was computed against
   };
   std::map<std::uint64_t, Terminal> terminals;
   comm::FaultInjectionStats faults;

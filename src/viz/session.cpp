@@ -19,6 +19,13 @@ core::CommandStats ResultStream::wait(std::vector<util::ByteBuffer>* fragments,
     auto packet = queue_.pop_for(std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - now));
     if (!packet) {
+      if (queue_.closed()) {
+        // Closed-and-drained: no terminal packet is ever coming (link
+        // died, session closed). pop_for returns immediately in that
+        // state, so looping here used to busy-spin at 100% CPU for the
+        // whole timeout — fail fast instead.
+        throw std::runtime_error("ResultStream::wait: stream closed before completion");
+      }
       continue;
     }
     switch (packet->kind) {
@@ -59,6 +66,13 @@ ExtractionSession::~ExtractionSession() { close(); }
 
 void ExtractionSession::close() {
   if (running_.exchange(false)) {
+    {
+      // Stop admitting new streams before the link goes down: a submit
+      // racing this close either registers first (and is closed out by the
+      // loop below) or sees accepting_ == false and is rejected locally.
+      std::lock_guard<std::mutex> lock(streams_mutex_);
+      accepting_ = false;
+    }
     link_->close();
     if (receiver_.joinable()) {
       receiver_.join();
@@ -84,6 +98,19 @@ std::shared_ptr<ResultStream> ExtractionSession::submit(const std::string& comma
   auto stream = std::shared_ptr<ResultStream>(new ResultStream(request.request_id));
   {
     std::lock_guard<std::mutex> lock(streams_mutex_);
+    if (!accepting_) {
+      // Session already closed: the receiver thread is gone, so a stream
+      // registered now would never terminate and wait() would hang (the
+      // link send below would be silently dropped, too). Answer locally
+      // with a terminal rejection instead. Checked under the same lock
+      // that registers the stream, so a racing close() either sees the
+      // registration (and closes the queue) or we see accepting_ false.
+      Packet rejected{Packet::Kind::kRejected, {}, {}, 0.0, {}, {}, 0, 0.0};
+      rejected.error = "session closed";
+      stream->queue_.push(std::move(rejected));
+      stream->queue_.close();
+      return stream;
+    }
     streams_[request.request_id] = stream;
     submit_times_[request.request_id] = std::chrono::steady_clock::now();
     if (span.active()) {

@@ -102,6 +102,10 @@ class ExtractionSession {
   std::atomic<std::uint64_t> next_request_id_{1};
 
   std::mutex streams_mutex_;
+  /// Cleared (under streams_mutex_) at the start of close(): submits after
+  /// that are answered locally with a "session closed" rejection instead
+  /// of registering a stream no receiver will ever terminate.
+  bool accepting_ = true;
   std::map<std::uint64_t, std::shared_ptr<ResultStream>> streams_;
   std::map<std::uint64_t, std::chrono::steady_clock::time_point> submit_times_;
   /// Open "client.request" spans (submission → kTagComplete); their ids

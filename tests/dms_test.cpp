@@ -446,6 +446,61 @@ TEST(TwoTierCache, PrefetchUsefulnessTracked) {
   EXPECT_EQ(stats->snapshot().prefetch_useful, 1u);
 }
 
+TEST(TwoTierCache, EvictedUnrequestedPrefetchIsCountedWastedAndUntracked) {
+  // Regression: pending-prefetch bookkeeping leaked — an item prefetched
+  // into L1 and then evicted (no L2) before anyone requested it stayed in
+  // the pending map forever, growing it without bound on a churning
+  // workload. It must be erased on leaving the hierarchy and surfaced as
+  // prefetch_wasted.
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 250;  // two items resident at most
+  config.policy = "lru";
+  vd::TwoTierCache cache(config, stats);
+
+  for (vd::ItemId id = 0; id < 64; ++id) {
+    cache.put(id, blob_of_size(100), /*from_prefetch=*/true);
+  }
+  // Only the still-resident speculative inserts may be pending.
+  EXPECT_LE(cache.prefetch_pending_count(), cache.l1().item_count());
+  const auto counters = stats->snapshot();
+  // 64 prefetched, 2 resident: everything else left unrequested.
+  EXPECT_EQ(counters.prefetch_wasted, 62u);
+  EXPECT_EQ(counters.prefetch_useful, 0u);
+
+  // A requested survivor is useful, not wasted, and leaves the pending map.
+  ASSERT_NE(cache.get(63), nullptr);
+  EXPECT_EQ(stats->snapshot().prefetch_useful, 1u);
+  EXPECT_EQ(stats->snapshot().prefetch_wasted, 62u);
+  EXPECT_LE(cache.prefetch_pending_count(), 1u);
+}
+
+TEST(TwoTierCache, PrefetchDemotedToL2StaysPendingUntilGone) {
+  // With a secondary tier, demotion keeps the item reachable — the
+  // speculation is not yet wasted. Only falling off L2 settles it.
+  auto stats = std::make_shared<vd::DmsStatistics>();
+  vd::TwoTierCache::Config config;
+  config.l1_capacity_bytes = 250;
+  config.policy = "lru";
+  config.l2_directory = l2_dir("pfpend");
+  config.l2_capacity_bytes = 250;
+  vd::TwoTierCache cache(config, stats);
+
+  cache.put(1, blob_of_size(100), /*from_prefetch=*/true);
+  cache.put(2, blob_of_size(100), /*from_prefetch=*/true);
+  cache.put(3, blob_of_size(100), /*from_prefetch=*/true);  // 1 -> L2
+  EXPECT_EQ(stats->snapshot().prefetch_wasted, 0u);
+  EXPECT_EQ(cache.prefetch_pending_count(), 3u);
+
+  // Push enough through L1 that L2 overflows and item 1 is truly gone.
+  for (vd::ItemId id = 10; id < 16; ++id) {
+    cache.put(id, blob_of_size(100));
+  }
+  EXPECT_GT(stats->snapshot().prefetch_wasted, 0u);
+  EXPECT_LE(cache.prefetch_pending_count(),
+            cache.l1().item_count() + cache.l2_item_count());
+}
+
 TEST(TwoTierCache, ClearDropsBothTiers) {
   auto stats = std::make_shared<vd::DmsStatistics>();
   vd::TwoTierCache::Config config;

@@ -226,6 +226,109 @@ TEST(DstPipelineTest, PipelineKnobsRoundTripThroughScenarioString) {
   EXPECT_EQ(reparsed->to_string(), scenario.to_string());
 }
 
+// --- Result cache under DST --------------------------------------------------
+// Virtual-time coverage of core::ResultCache behind the scheduler: repeat
+// queries replay without a work group, dataset-version bumps invalidate,
+// and a cancel racing a cache hit still answers exactly once.
+
+TEST(DstResultCacheTest, RepeatQueryIsServedFromCacheWithoutRecompute) {
+  sim::Scenario scenario;
+  scenario.seed = 41001;
+  scenario.workers = 2;
+  scenario.result_cache_kb = 64;
+  sim::DstRequest original;
+  original.partials = 2;
+  original.dms_items = 2;
+  original.item_sleep_us = 20000;  // >= 80 ms of virtual compute per run
+  scenario.requests.push_back(original);
+  sim::DstRequest repeat = original;
+  repeat.submit_at_ms = 300;  // well after the original completed
+  scenario.requests.push_back(repeat);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.completed, 2);
+  EXPECT_EQ(result.cache_hits, 1);
+  const auto& first = result.terminals.at(1);
+  const auto& second = result.terminals.at(2);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(second.success);
+  EXPECT_EQ(second.data_version, 1u);
+  // The replay skips the compute entirely: its virtual latency is polling
+  // overhead, nowhere near the original's sleep-driven runtime.
+  const std::int64_t original_latency = first.at_ns;
+  const std::int64_t replay_latency = second.at_ns - 300'000'000;
+  EXPECT_GE(original_latency, 40'000'000);
+  EXPECT_LT(replay_latency, 20'000'000);
+}
+
+TEST(DstResultCacheTest, VersionBumpInvalidatesBeforeTheRepeat) {
+  sim::Scenario scenario;
+  scenario.seed = 41002;
+  scenario.workers = 2;
+  scenario.result_cache_kb = 64;
+  scenario.bumps.push_back(150);  // after the original, before the repeat
+  sim::DstRequest original;
+  original.partials = 2;
+  original.dms_items = 1;
+  original.item_sleep_us = 5000;
+  scenario.requests.push_back(original);
+  sim::DstRequest repeat = original;
+  repeat.submit_at_ms = 300;
+  scenario.requests.push_back(repeat);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.completed, 2);
+  EXPECT_EQ(result.cache_hits, 0) << "a bumped dataset version must not replay stale results";
+  EXPECT_EQ(result.terminals.at(1).data_version, 1u);
+  EXPECT_EQ(result.terminals.at(2).data_version, 2u);
+}
+
+TEST(DstResultCacheTest, CancelRacingACacheHitAnswersExactlyOnce) {
+  // Twin of DstQosTest.QueuedCancelAnswersWithinVirtualSecond for the hit
+  // path: the cancel lands right as the repeat is being served from the
+  // cache. Whatever the interleaving resolves to — hit already streamed
+  // (cancel is a no-op) or cancel got there first (request fails from the
+  // queue) — the terminal-answer and replay-identical oracles must hold.
+  sim::Scenario scenario;
+  scenario.seed = 41003;
+  scenario.workers = 1;
+  scenario.result_cache_kb = 64;
+  sim::DstRequest original;
+  original.partials = 2;
+  original.item_sleep_us = 10000;
+  scenario.requests.push_back(original);
+  sim::DstRequest repeat = original;
+  repeat.submit_at_ms = 200;
+  repeat.cancel_at_ms = 200;  // same tick: maximally racy
+  scenario.requests.push_back(repeat);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.completed, 2);
+  ASSERT_EQ(result.terminals.count(2), 1u);
+  const auto& repeat_terminal = result.terminals.at(2);
+  // Either outcome is legal, but a served hit must be a clean success and a
+  // cancelled request must be a clean failure — never a hybrid.
+  if (repeat_terminal.cache_hit) {
+    EXPECT_TRUE(repeat_terminal.success);
+  }
+}
+
+TEST(DstResultCacheTest, CacheKnobsRoundTripThroughScenarioString) {
+  sim::Scenario scenario;
+  scenario.result_cache_kb = 48;
+  scenario.bumps = {120, 450};
+  scenario.requests.push_back(sim::DstRequest{});
+  const auto reparsed = sim::Scenario::parse(scenario.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->result_cache_kb, 48);
+  EXPECT_EQ(reparsed->bumps, (std::vector<int>{120, 450}));
+  EXPECT_EQ(reparsed->to_string(), scenario.to_string());
+}
+
 // --- QoS scheduling under DST ------------------------------------------------
 // Virtual-time twins of the SchedulerQos cases in core_test.cpp: the same
 // behaviors, but with exact (deterministic) completion times to assert on.

@@ -1,0 +1,256 @@
+// core::ResultCache unit and property tests (DESIGN.md "Result
+// memoization"): keying/canonicalization, entry serialization, admission,
+// invalidation, and — since the cache stores entries through the same
+// dms::TwoTierCache the data path uses — a reference-model replay of its
+// replacement behavior in the style of the dms_test policy property tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/result_cache.hpp"
+#include "util/rng.hpp"
+
+namespace vc = vira::core;
+namespace vu = vira::util;
+
+namespace {
+
+vc::CachedResult entry_for(int query, std::uint64_t version = 1, int fragment_bytes = 200) {
+  vu::ParamList params;
+  params.set_int("q", query);
+  vc::CachedResult entry;
+  entry.key = vc::ResultCache::make_key("test.cmd", params, version);
+  entry.data_version = version;
+  entry.workers = 2;
+  entry.requested_workers = 2;
+  entry.partial_packets = 1;
+  entry.result_bytes = static_cast<std::uint64_t>(fragment_bytes);
+  entry.compute_seconds = 0.25;
+  vc::CachedResult::Fragment fragment;
+  fragment.final = true;
+  for (int i = 0; i < fragment_bytes; ++i) {
+    fragment.payload.write<std::uint8_t>(static_cast<std::uint8_t>((query * 37 + i) & 0xff));
+  }
+  entry.fragments.push_back(std::move(fragment));
+  return entry;
+}
+
+}  // namespace
+
+TEST(ResultCacheKey, CanonicalizesParamOrder) {
+  vu::ParamList forward;
+  forward.set_int("level", 3);
+  forward.set("dataset", "/engine");
+  vu::ParamList reversed;
+  reversed.set("dataset", "/engine");
+  reversed.set_int("level", 3);
+  EXPECT_EQ(vc::ResultCache::make_key("iso", forward, 1),
+            vc::ResultCache::make_key("iso", reversed, 1));
+}
+
+TEST(ResultCacheKey, VersionCommandAndParamsAllSeparate) {
+  vu::ParamList params;
+  params.set_int("level", 3);
+  const auto base = vc::ResultCache::make_key("iso", params, 1);
+  EXPECT_NE(base, vc::ResultCache::make_key("iso", params, 2));
+  EXPECT_NE(base, vc::ResultCache::make_key("vortex", params, 1));
+  vu::ParamList other;
+  other.set_int("level", 4);
+  EXPECT_NE(base, vc::ResultCache::make_key("iso", other, 1));
+  // Stable hashing: the same key always maps to the same ItemId.
+  EXPECT_EQ(vc::ResultCache::key_hash(base), vc::ResultCache::key_hash(base));
+}
+
+TEST(ResultCacheEntry, SerializationRoundTrips) {
+  const auto original = entry_for(7, 3);
+  vu::ByteBuffer buffer;
+  original.serialize(buffer);
+  buffer.seek(0);
+  const auto restored = vc::CachedResult::deserialize(buffer);
+  EXPECT_EQ(restored.key, original.key);
+  EXPECT_EQ(restored.data_version, 3u);
+  EXPECT_EQ(restored.workers, 2);
+  EXPECT_EQ(restored.requested_workers, 2);
+  EXPECT_EQ(restored.partial_packets, 1u);
+  EXPECT_EQ(restored.result_bytes, original.result_bytes);
+  EXPECT_DOUBLE_EQ(restored.compute_seconds, 0.25);
+  ASSERT_EQ(restored.fragments.size(), 1u);
+  EXPECT_TRUE(restored.fragments[0].final);
+  ASSERT_EQ(restored.fragments[0].payload.size(), original.fragments[0].payload.size());
+  EXPECT_EQ(std::memcmp(restored.fragments[0].payload.data(),
+                        original.fragments[0].payload.data(),
+                        original.fragments[0].payload.size()),
+            0);
+  EXPECT_EQ(restored.payload_bytes(), original.payload_bytes());
+}
+
+TEST(ResultCache, LookupReturnsWhatWasInserted) {
+  vc::ResultCacheConfig config;
+  config.enabled = true;
+  vc::ResultCache cache(config);
+  const auto entry = entry_for(1);
+  const auto key = entry.key;
+  EXPECT_TRUE(cache.insert(entry_for(1)));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_GT(cache.stored_bytes(), 0u);
+
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->key, key);
+  ASSERT_EQ(hit->fragments.size(), 1u);
+  EXPECT_EQ(hit->fragments[0].payload.size(), entry.fragments[0].payload.size());
+
+  EXPECT_FALSE(cache.lookup(entry_for(2).key).has_value());
+}
+
+TEST(ResultCache, OversizeEntryIsRefused) {
+  vc::ResultCacheConfig config;
+  config.enabled = true;
+  config.max_entry_bytes = 64;
+  vc::ResultCache cache(config);
+  auto oversize = entry_for(1, 1, 500);
+  const auto key = oversize.key;
+  EXPECT_FALSE(cache.insert(std::move(oversize)));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(ResultCache, InvalidateAllReclaimsEverything) {
+  vc::ResultCacheConfig config;
+  config.enabled = true;
+  vc::ResultCache cache(config);
+  for (int q = 0; q < 5; ++q) {
+    EXPECT_TRUE(cache.insert(entry_for(q)));
+  }
+  EXPECT_EQ(cache.entry_count(), 5u);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stored_bytes(), 0u);
+  EXPECT_FALSE(cache.lookup(entry_for(0).key).has_value());
+}
+
+TEST(ResultCache, CorruptEntryThrowsOnDeserialize) {
+  // The lookup path treats a deserialize failure as a miss; the failure
+  // itself must be a clean throw, not UB on garbage bytes.
+  vu::ByteBuffer garbage;
+  for (int i = 0; i < 16; ++i) {
+    garbage.write<std::uint8_t>(0xff);
+  }
+  garbage.seek(0);
+  EXPECT_THROW(vc::CachedResult::deserialize(garbage), std::exception);
+}
+
+// --- Replacement-behavior property tests -------------------------------------
+// The cache's storage IS a dms::TwoTierCache, so its replacement behavior
+// is replayed against the same kind of naive reference model the dms policy
+// property tests use. Under "lru" with uniform entry sizes, victim choice
+// is fully determined: a flat reference LRU over keys must agree with the
+// production cache on every hit and miss across a seeded op stream.
+
+namespace {
+
+struct RefLruCache {
+  std::deque<std::string> order;  // front = LRU, back = MRU
+  std::size_t capacity = 0;
+
+  bool contains(const std::string& key) const {
+    return std::find(order.begin(), order.end(), key) != order.end();
+  }
+  /// Mirrors ResultCache::lookup: a hit refreshes recency.
+  bool lookup(const std::string& key) {
+    auto it = std::find(order.begin(), order.end(), key);
+    if (it == order.end()) {
+      return false;
+    }
+    order.erase(it);
+    order.push_back(key);
+    return true;
+  }
+  /// Mirrors ResultCache::insert of a not-resident key.
+  void insert(const std::string& key) {
+    while (order.size() >= capacity) {
+      order.pop_front();
+    }
+    order.push_back(key);
+  }
+};
+
+}  // namespace
+
+TEST(ResultCacheProperty, LruReplacementMatchesReferenceModel) {
+  // Uniform entry sizes: measure one serialized entry, then budget the
+  // cache for exactly 4 of them.
+  vu::ByteBuffer probe;
+  entry_for(0).serialize(probe);
+  const std::uint64_t entry_bytes = probe.size();
+  constexpr std::size_t kResident = 4;
+
+  vc::ResultCacheConfig config;
+  config.enabled = true;
+  config.policy = "lru";
+  config.memory_bytes = entry_bytes * kResident;
+  vc::ResultCache cache(config);
+
+  RefLruCache model;
+  model.capacity = kResident;
+
+  vu::Rng rng(0x5eedu);
+  constexpr int kOps = 2000;
+  constexpr int kUniverse = 9;  // > capacity, single-digit keys stay uniform
+  for (int op = 0; op < kOps; ++op) {
+    const int query = static_cast<int>(rng.next_below(kUniverse));
+    const auto key = entry_for(query).key;
+    if (rng.next_below(3) == 0) {
+      // Lookup op: production and model must agree on hit/miss, and both
+      // refresh recency on a hit.
+      const bool hit = cache.lookup(key).has_value();
+      EXPECT_EQ(hit, model.lookup(key)) << "op " << op << " query " << query;
+    } else if (!model.contains(key)) {
+      // Insert op (the scheduler only inserts after a miss ran to
+      // completion, so resident keys are never re-inserted).
+      EXPECT_TRUE(cache.insert(entry_for(query)));
+      model.insert(key);
+    }
+    EXPECT_EQ(cache.entry_count(), model.order.size()) << "op " << op;
+    EXPECT_LE(cache.stored_bytes(), config.memory_bytes) << "op " << op;
+  }
+}
+
+TEST(ResultCacheProperty, AllPoliciesStayBoundedAndContentCorrect) {
+  // lfu/fbr victims differ from LRU, but every policy must respect the
+  // byte budget, and any hit must return the exact fragments originally
+  // inserted for that key — churn may evict, never corrupt.
+  for (const char* policy : {"lru", "lfu", "fbr"}) {
+    vu::ByteBuffer probe;
+    entry_for(0).serialize(probe);
+    vc::ResultCacheConfig config;
+    config.enabled = true;
+    config.policy = policy;
+    config.memory_bytes = probe.size() * 3;
+    vc::ResultCache cache(config);
+
+    vu::Rng rng(0xfeedu);
+    for (int op = 0; op < 1200; ++op) {
+      const int query = static_cast<int>(rng.next_below(8ull));
+      const auto key = entry_for(query).key;
+      if (const auto hit = cache.lookup(key)) {
+        ASSERT_EQ(hit->fragments.size(), 1u) << policy;
+        const auto expected = entry_for(query);
+        ASSERT_EQ(hit->fragments[0].payload.size(), expected.fragments[0].payload.size())
+            << policy;
+        EXPECT_EQ(std::memcmp(hit->fragments[0].payload.data(),
+                              expected.fragments[0].payload.data(),
+                              expected.fragments[0].payload.size()),
+                  0)
+            << policy;
+      } else {
+        cache.insert(entry_for(query));
+      }
+      EXPECT_LE(cache.stored_bytes(), config.memory_bytes) << policy << " op " << op;
+    }
+  }
+}

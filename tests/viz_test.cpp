@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <stdexcept>
+
 #include "algo/payloads.hpp"
 #include "viz/assembly.hpp"
 #include "viz/session.hpp"
@@ -164,6 +167,50 @@ TEST(ExtractionSession, CompleteClosesTheStream) {
   // Stream is closed afterwards.
   EXPECT_FALSE(stream->next(std::chrono::milliseconds(50)).has_value());
   session.close();
+}
+
+TEST(ExtractionSession, WaitFailsFastOnClosedStream) {
+  // Regression: wait() on a closed-and-drained stream hot-spun — pop_for
+  // returns nullopt immediately once the queue is closed, and the old loop
+  // just retried until the full (minutes-long) timeout. It must fail fast.
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  auto stream = session.submit("whatever", {});
+  server_side->close();
+  // Let the receiver notice the dead link and close the stream queues.
+  while (stream->next(std::chrono::milliseconds(2000)).has_value()) {
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(stream->wait(nullptr, std::chrono::milliseconds(60000)), std::runtime_error);
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 50.0) << "wait() rode out its timeout on a closed stream";
+  session.close();
+}
+
+TEST(ExtractionSession, SubmitAfterCloseIsRejectedTerminally) {
+  // Regression: submit() after close() registered a stream on a dead
+  // session — the receiver thread was already gone, the kTagSubmit send
+  // was dropped on the closed link, and wait() hung until timeout. It must
+  // answer locally with a terminal "session closed" rejection.
+  auto [client_side, server_side] = vira::comm::make_inproc_link_pair();
+  vv::ExtractionSession session(client_side);
+  session.close();
+
+  auto stream = session.submit("whatever", {});
+  ASSERT_NE(stream, nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  const auto stats = stream->wait(nullptr, std::chrono::milliseconds(60000));
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.error, "session closed");
+  EXPECT_LT(elapsed, 50.0);
+  // And nothing reached the wire.
+  EXPECT_FALSE(server_side->recv(std::chrono::milliseconds(10)).has_value());
 }
 
 TEST(ExtractionSession, PacketsForUnknownRequestsAreDropped) {

@@ -13,7 +13,10 @@ Invariants checked (ISSUE 2 satellite):
     prefetches — are exempt),
   * scheduler nesting: every sched.* span that has a parent at all nests
     under the submitting client.request span (directly, or through other
-    sched.* spans) — scheduler work is always attributable to a client.
+    sched.* spans) — scheduler work is always attributable to a client,
+  * result-cache nesting: every result_cache.lookup span with a parent is
+    a direct child of a sched.request span — the memoization decision is
+    always attributable to the request it decided for.
 
 Usage: check_trace.py TRACE.json [--require NAME ...] [--min-spans N]
 Exit status 0 = all invariants hold.
@@ -103,6 +106,9 @@ def main():
             if ancestor is not None and ancestor["name"] != "client.request":
                 fail("sched span %d (%s) nests under %r, not client.request" %
                      (span_id, event["name"], ancestor["name"]))
+        if event["name"] == "result_cache.lookup" and parent["name"] != "sched.request":
+            fail("result_cache.lookup span %d nests under %r, not sched.request" %
+                 (span_id, parent["name"]))
 
     for required in args.require:
         if required not in names:

@@ -161,6 +161,10 @@ int main(int argc, char** argv) {
     algo::register_builtin_commands();
     core::BackendConfig backend_config;
     backend_config.workers = local_workers;
+    // Local sessions memoize repeat queries (a re-run of the same command
+    // with identical params replays instantly); remote servers opt in via
+    // their own config.
+    backend_config.scheduler.result_cache.enabled = true;
     backend = std::make_unique<core::Backend>(backend_config);
     link = backend->connect();
   } else {
