@@ -7,14 +7,33 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+
 #include <atomic>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
 
 #include "util/blocking_queue.hpp"
+#include "util/log.hpp"
 
 namespace vira::comm {
+
+void WireHello::serialize(util::ByteBuffer& out) const {
+  out.write<std::uint32_t>(magic);
+  out.write<std::uint32_t>(version);
+  out.write<std::uint32_t>(features);
+  out.write<std::uint8_t>(static_cast<std::uint8_t>(codec));
+}
+
+WireHello WireHello::deserialize(util::ByteBuffer& in) {
+  WireHello hello;
+  hello.magic = in.read<std::uint32_t>();
+  hello.version = in.read<std::uint32_t>();
+  hello.features = in.read<std::uint32_t>();
+  hello.codec = static_cast<util::Codec>(in.read<std::uint8_t>());
+  return hello;
+}
 
 // ---------------------------------------------------------------------------
 // In-process pair
@@ -62,6 +81,11 @@ std::pair<std::shared_ptr<ClientLink>, std::shared_ptr<ClientLink>> make_inproc_
 
 namespace {
 
+/// Size-field flag bit marking a util::compress() payload (mirrors
+/// net::kCompressedFlag; comm sits below net in the layer order, so the
+/// constant is duplicated rather than the dependency inverted).
+constexpr std::uint64_t kWireCompressedFlag = 1ull << 63;
+
 /// Frame layout: [i32 source][i32 tag][u64 payload bytes][payload].
 class TcpLink final : public ClientLink {
  public:
@@ -77,6 +101,14 @@ class TcpLink final : public ClientLink {
     ::close(fd_);
   }
 
+  /// Enables compressed frames after a successful hello/ack negotiation.
+  /// Call before the link is shared across threads.
+  void enable_compression(util::Codec codec, std::size_t threshold) {
+    compress_ = true;
+    codec_ = codec;
+    compress_threshold_ = threshold;
+  }
+
   void send(Message msg) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
     if (closed_) {
@@ -84,9 +116,22 @@ class TcpLink final : public ClientLink {
     }
     const std::int32_t source = msg.source;
     const std::int32_t tag = msg.tag;
-    const std::uint64_t size = msg.payload.size();
+    const std::byte* body = msg.payload.data();
+    std::uint64_t body_size = msg.payload.size();
+    std::uint64_t size_field = body_size;
+    // Negotiated wire compression: large frames shrink to a self-describing
+    // util::compress() stream; incompressible payloads ship raw (bypass).
+    std::vector<std::byte> packed;
+    if (compress_ && body_size >= compress_threshold_) {
+      packed = util::compress(body, body_size, codec_);
+      if (packed.size() < body_size) {
+        body = packed.data();
+        body_size = packed.size();
+        size_field = body_size | kWireCompressedFlag;
+      }
+    }
     if (!write_all(&source, sizeof(source)) || !write_all(&tag, sizeof(tag)) ||
-        !write_all(&size, sizeof(size)) || !write_all(msg.payload.data(), size)) {
+        !write_all(&size_field, sizeof(size_field)) || !write_all(body, body_size)) {
       do_close();
     }
   }
@@ -98,16 +143,19 @@ class TcpLink final : public ClientLink {
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
     if (ready <= 0) {
+      // EINTR while waiting reads as a timeout; callers poll again.
       return std::nullopt;
     }
     std::int32_t source = 0;
     std::int32_t tag = 0;
-    std::uint64_t size = 0;
+    std::uint64_t size_field = 0;
     if (!read_all(&source, sizeof(source)) || !read_all(&tag, sizeof(tag)) ||
-        !read_all(&size, sizeof(size))) {
+        !read_all(&size_field, sizeof(size_field))) {
       do_close();
       return std::nullopt;
     }
+    const bool compressed = (size_field & kWireCompressedFlag) != 0;
+    const std::uint64_t size = size_field & ~kWireCompressedFlag;
     if (size > (1ull << 32)) {  // sanity: 4 GiB frame cap
       do_close();
       return std::nullopt;
@@ -116,6 +164,15 @@ class TcpLink final : public ClientLink {
     if (!read_all(payload.data(), size)) {
       do_close();
       return std::nullopt;
+    }
+    if (compressed) {
+      auto raw = util::decompress(payload.data(), payload.size());
+      if (!raw) {
+        VIRA_WARN("tcp_link") << "undecodable compressed frame; dropping link";
+        do_close();
+        return std::nullopt;
+      }
+      payload = std::move(*raw);
     }
     Message msg;
     msg.source = source;
@@ -141,10 +198,18 @@ class TcpLink final : public ClientLink {
     }
   }
 
+  /// Loops until every byte is out. Partial writes simply continue the
+  /// loop; EINTR (a signal landed mid-syscall) retries instead of killing
+  /// the link; MSG_NOSIGNAL turns a peer disconnect into EPIPE rather than
+  /// a process-fatal SIGPIPE — a client vanishing mid-stream must never
+  /// take the server down with it.
   bool write_all(const void* data, std::uint64_t size) {
     const char* cursor = static_cast<const char*>(data);
     while (size > 0) {
       const ssize_t written = ::send(fd_, cursor, size, MSG_NOSIGNAL);
+      if (written < 0 && errno == EINTR) {
+        continue;
+      }
       if (written <= 0) {
         return false;
       }
@@ -158,6 +223,9 @@ class TcpLink final : public ClientLink {
     char* cursor = static_cast<char*>(data);
     while (size > 0) {
       const ssize_t got = ::recv(fd_, cursor, size, 0);
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
       if (got <= 0) {
         return false;
       }
@@ -170,6 +238,9 @@ class TcpLink final : public ClientLink {
   int fd_;
   std::mutex send_mutex_;
   std::atomic<bool> closed_{false};
+  bool compress_ = false;
+  util::Codec codec_ = util::Codec::kStore;
+  std::size_t compress_threshold_ = 4096;
 };
 
 }  // namespace
@@ -190,7 +261,9 @@ TcpListener::TcpListener(std::uint16_t port) {
     ::close(fd_);
     throw std::runtime_error("TcpListener: bind() failed");
   }
-  if (::listen(fd_, 8) != 0) {
+  // Swarm-sized backlog: hundreds of clients connect in one burst during
+  // bench_swarm; a backlog of 8 made the kernel drop SYNs under that storm.
+  if (::listen(fd_, 512) != 0) {
     ::close(fd_);
     throw std::runtime_error("TcpListener: listen() failed");
   }
@@ -249,6 +322,39 @@ std::unique_ptr<ClientLink> tcp_connect(const std::string& host, std::uint16_t p
                              " failed");
   }
   return std::make_unique<TcpLink>(fd);
+}
+
+std::unique_ptr<ClientLink> tcp_connect(const std::string& host, std::uint16_t port,
+                                        const WireOptions& options) {
+  auto link = tcp_connect(host, port);
+
+  WireHello hello;
+  hello.features = options.compression ? kFeatureWireCompression : 0;
+  hello.codec = options.codec;
+  Message msg;
+  msg.source = -1;
+  msg.tag = kTagHello;
+  hello.serialize(msg.payload);
+  link->send(std::move(msg));
+
+  // The ack is guaranteed to be the first server → client frame: the
+  // scheduler only ever sends in response to a request, and we have not
+  // submitted anything yet.
+  auto reply = link->recv(options.hello_timeout);
+  if (!reply || reply->tag != kTagHelloAck) {
+    link->close();
+    throw std::runtime_error("tcp_connect: no hello ack from " + host + ":" +
+                             std::to_string(port));
+  }
+  const auto ack = WireHello::deserialize(reply->payload);
+  if (ack.magic != kWireMagic) {
+    link->close();
+    throw std::runtime_error("tcp_connect: bad hello ack magic");
+  }
+  if ((ack.features & kFeatureWireCompression) != 0) {
+    static_cast<TcpLink&>(*link).enable_compression(ack.codec, options.compress_threshold);
+  }
+  return link;
 }
 
 }  // namespace vira::comm

@@ -18,8 +18,53 @@
 #include <utility>
 
 #include "comm/message.hpp"
+#include "util/compression.hpp"
 
 namespace vira::comm {
+
+/// --- hello / feature negotiation (docs/PROTOCOL.md) -------------------------
+///
+/// A client that wants per-link features (today: wire compression for large
+/// frames) sends kTagHello as its very first message and waits for
+/// kTagHelloAck before submitting. Legacy clients skip the exchange and the
+/// link speaks the original framing unchanged — negotiation is strictly
+/// opt-in, so the wire stays backward compatible.
+
+/// Client → scheduler: WireHello. Must be the first frame on the link.
+inline constexpr int kTagHello = 17;
+/// Scheduler/frontend → client: WireHello echo with the *granted* features.
+inline constexpr int kTagHelloAck = 18;
+
+/// "VIRA" little-endian — rejects accidental cross-protocol connects.
+inline constexpr std::uint32_t kWireMagic = 0x41524956u;
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Feature flag bits (request in hello, granted subset echoed in the ack).
+inline constexpr std::uint32_t kFeatureWireCompression = 1u << 0;
+
+/// Payload of kTagHello / kTagHelloAck.
+struct WireHello {
+  std::uint32_t magic = kWireMagic;
+  std::uint32_t version = kWireVersion;
+  std::uint32_t features = 0;
+  /// Preferred (hello) / granted (ack) codec for compressed frames.
+  util::Codec codec = util::Codec::kStore;
+
+  void serialize(util::ByteBuffer& out) const;
+  static WireHello deserialize(util::ByteBuffer& in);
+};
+
+/// Per-link wire options a client asks for when connecting.
+struct WireOptions {
+  bool compression = true;
+  /// bench_compression ranks the codecs; kLz wins ratio on serialized
+  /// geometry at acceptable throughput.
+  util::Codec codec = util::Codec::kLz;
+  /// Frames below this many payload bytes are never compressed.
+  std::size_t compress_threshold = 4096;
+  /// How long to wait for the server's kTagHelloAck.
+  std::chrono::milliseconds hello_timeout{5000};
+};
 
 class ClientLink {
  public:
@@ -67,7 +112,15 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connects to a TcpListener; throws std::runtime_error on failure.
+/// Connects to a TcpListener; throws std::runtime_error on failure. The
+/// link speaks the legacy framing (no hello, no compression).
 std::unique_ptr<ClientLink> tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Connects and performs the hello/feature negotiation before returning:
+/// sends kTagHello, waits for kTagHelloAck and enables wire compression on
+/// the link if (and only if) the server granted it. Throws on connect
+/// failure or a missing/invalid ack.
+std::unique_ptr<ClientLink> tcp_connect(const std::string& host, std::uint16_t port,
+                                        const WireOptions& options);
 
 }  // namespace vira::comm

@@ -45,11 +45,36 @@ std::optional<Message> Communicator::take_buffered(int source, int tag) {
 }
 
 void Communicator::pump(std::chrono::milliseconds timeout) {
-  auto msg = transport_->recv(rank_, timeout);
-  if (msg) {
+  // Drain everything already delivered before considering a timed wait.
+  // Pulling a single message per call caps the mailbox drain rate at one
+  // message per caller poll slice — under fan-in load (every worker
+  // streaming fragments at rank 0) the transport queue then backlogs by
+  // seconds while the receiver thinks it is keeping up. The drain is
+  // bounded so one flooded pump cannot hold take_buffered() callers off
+  // the pending list indefinitely.
+  constexpr int kDrainBound = 1024;
+  int drained = 0;
+  while (drained < kDrainBound) {
+    auto msg = transport_->recv(rank_, std::chrono::milliseconds(0));
+    if (!msg) {
+      break;
+    }
     std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.push_back(std::move(*msg));
-  } else if (transport_->is_shut_down()) {
+    ++drained;
+  }
+  if (drained > 0) {
+    return;
+  }
+  if (timeout.count() > 0) {
+    auto msg = transport_->recv(rank_, timeout);
+    if (msg) {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.push_back(std::move(*msg));
+      return;
+    }
+  }
+  if (transport_->is_shut_down()) {
     throw TransportClosed();
   }
 }
@@ -73,19 +98,29 @@ std::optional<Message> Communicator::try_recv(int source, int tag,
   // the transport's waits advance virtual time, so the deadline must be
   // measured on the same timeline.
   const auto deadline = util::clock_now() + timeout;
+  bool pumped = false;
   while (true) {
     if (auto msg = take_buffered(source, tag)) {
       return msg;
     }
     const auto now = util::clock_now();
     if (now >= deadline) {
-      return std::nullopt;
+      if (pumped) {
+        return std::nullopt;
+      }
+      // timeout == 0 still deserves one non-blocking pump: a poller that
+      // never touches the transport can starve a backlogged queue forever
+      // while reporting "nothing to do".
+      pump(std::chrono::milliseconds(0));
+      pumped = true;
+      continue;
     }
     // Ceil, not truncate: with a sub-millisecond clock (virtual time), a
     // fractional remainder truncated to 0ms would make pump() return
     // without blocking — a busy spin that can never reach the deadline.
     const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(deadline - now);
     pump(std::min(remaining, kPumpSlice));
+    pumped = true;
   }
 }
 

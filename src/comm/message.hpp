@@ -19,6 +19,14 @@ struct Message {
   int source = -1;
   int tag = 0;
   util::ByteBuffer payload;
+
+  /// Local trace metadata (never serialized on any wire): the sender may
+  /// annotate a message with the span context it belongs to, so a link
+  /// implementation that defers the actual socket write (the event-loop
+  /// frontend's queued sends) can open a child span covering queue + write
+  /// time. 0 = untraced.
+  std::uint64_t trace_request = 0;
+  std::uint64_t trace_span = 0;
 };
 
 /// Wildcards for receive matching (mirroring MPI_ANY_SOURCE / MPI_ANY_TAG).

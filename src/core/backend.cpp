@@ -91,6 +91,21 @@ std::shared_ptr<comm::ClientLink> Backend::connect() {
 }
 
 std::uint16_t Backend::serve_tcp(std::uint16_t port) {
+  if (config_.net_frontend == BackendConfig::NetFrontend::kEpoll) {
+    event_loop_ = std::make_unique<net::EventLoop>(port, config_.net);
+    event_loop_->set_on_accept([this](std::shared_ptr<comm::ClientLink> link) {
+      VIRA_INFO("backend") << "TCP client connected (event loop)";
+      scheduler_->attach_client(std::move(link));
+    });
+    // Event-driven request pickup: inbound frames (and link closes) pop the
+    // scheduler out of its idle poll wait instead of waiting for the tick.
+    event_loop_->set_on_readable([this] { scheduler_->nudge(); });
+    event_loop_->start();
+    const std::uint16_t bound = event_loop_->port();
+    VIRA_INFO("backend") << "listening on 127.0.0.1:" << bound << " (epoll frontend, "
+                         << config_.net.threads << " thread(s))";
+    return bound;
+  }
   listener_ = std::make_unique<comm::TcpListener>(port);
   const std::uint16_t bound = listener_->port();
   accept_thread_ = std::thread([this] {
@@ -122,6 +137,12 @@ void Backend::shutdown() {
   }
   if (listener_) {
     listener_->close();
+  }
+  // Stop the event loop before the scheduler: teardown closes every link's
+  // incoming queue, so a scheduler tick mid-shutdown sees closed links, not
+  // a recv racing a dying loop thread.
+  if (event_loop_) {
+    event_loop_->stop();
   }
   scheduler_->stop();
   if (scheduler_thread_.joinable()) {

@@ -21,11 +21,24 @@
 #include "core/scheduler.hpp"
 #include "core/worker.hpp"
 #include "dms/data_server.hpp"
+#include "net/event_loop.hpp"
 
 namespace vira::core {
 
 struct BackendConfig {
   int workers = 4;
+
+  /// Which TCP frontend serve_tcp() starts. kEpoll (default) runs the
+  /// vira::net event loop: one thread multiplexes all client sockets with
+  /// backpressure, negotiated wire compression, and event-driven scheduler
+  /// wakeups. kBlocking keeps the seed's accept-thread + blocking-socket
+  /// links (one recv poll per link per scheduler tick) as the conservative
+  /// fallback; those links never negotiate features.
+  enum class NetFrontend { kEpoll, kBlocking };
+  NetFrontend net_frontend = NetFrontend::kEpoll;
+  /// Event-loop tuning (threads, send budgets, reap deadline, compression
+  /// policy). Ignored by the blocking frontend.
+  net::NetConfig net;
 
   /// Per-worker primary cache budget; "fbr" won the paper's evaluation.
   std::uint64_t l1_cache_bytes = 256ull << 20;
@@ -68,8 +81,9 @@ class Backend {
   /// In-process client connection (the examples' default).
   std::shared_ptr<comm::ClientLink> connect();
 
-  /// Starts a localhost TCP listener; the first accepted connection becomes
-  /// the client. Returns the bound port.
+  /// Starts the configured TCP frontend (BackendConfig::net_frontend);
+  /// every accepted connection becomes an additional client. Returns the
+  /// bound port.
   std::uint16_t serve_tcp(std::uint16_t port = 0);
 
   /// Stops scheduler, workers and the TCP acceptor. Idempotent.
@@ -83,6 +97,8 @@ class Backend {
   Scheduler& scheduler() { return *scheduler_; }
   /// The injection harness, or nullptr when fault_injection was not set.
   comm::FaultInjectingTransport* fault_transport() { return fault_transport_.get(); }
+  /// The epoll frontend, or nullptr (blocking frontend / serve_tcp not called).
+  net::EventLoop* event_loop() { return event_loop_.get(); }
 
   /// Drops every proxy's cache (cold-start switch).
   void clear_caches();
@@ -105,6 +121,7 @@ class Backend {
 
   std::unique_ptr<comm::TcpListener> listener_;
   std::thread accept_thread_;
+  std::unique_ptr<net::EventLoop> event_loop_;
   std::atomic<bool> down_{false};
 };
 

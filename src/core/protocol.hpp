@@ -30,6 +30,11 @@ enum ClientTag : int {
   kTagRejected = 16,  ///< scheduler → client: admission control refused the
                       ///< submission (request_id + reason); terminal — the
                       ///< request was never queued and no kTagComplete follows
+  // Tags 17 (hello) and 18 (hello ack) belong to the link-level feature
+  // negotiation and are defined next to the framing in comm/client_link.hpp
+  // (comm::kTagHello / comm::kTagHelloAck): the event-loop frontend answers
+  // them without scheduler involvement; on the blocking fallback the
+  // scheduler answers directly (granting no features).
 };
 
 /// Rank transport tags (scheduler ↔ workers). User commands use tags >= 0
@@ -44,6 +49,10 @@ enum WorkerTag : int {
   kTagProgressUp = 1006,  ///< worker → scheduler: progress fraction
   kTagHeartbeat = 1007,   ///< worker → scheduler: Heartbeat (liveness)
   kTagGroupAbort = 1008,  ///< scheduler → worker: abandon the named request
+  kTagNudge = 1009,       ///< scheduler → itself: a client link turned
+                          ///< readable (event-loop wakeup; empty payload).
+                          ///< Pops the scheduler out of its idle poll wait
+                          ///< so request pickup is event-driven.
 };
 
 /// Periodic worker → scheduler liveness beacon. Sent from a dedicated

@@ -12,8 +12,6 @@
 namespace vira::core {
 
 namespace {
-constexpr auto kPollSlice = std::chrono::milliseconds(2);
-
 /// Scheduler instruments (resolved once; see obs::Registry contract).
 struct SchedulerMetrics {
   obs::Counter& requests = obs::Registry::instance().counter("sched.requests");
@@ -85,7 +83,8 @@ std::size_t Scheduler::client_count() const {
   return live;
 }
 
-void Scheduler::send_to_client(std::size_t client, int tag, util::ByteBuffer payload) {
+void Scheduler::send_to_client(std::size_t client, int tag, util::ByteBuffer payload,
+                               std::uint64_t trace_request, std::uint64_t trace_span) {
   std::shared_ptr<comm::ClientLink> link;
   {
     std::lock_guard<std::mutex> lock(client_mutex_);
@@ -98,7 +97,20 @@ void Scheduler::send_to_client(std::size_t client, int tag, util::ByteBuffer pay
     msg.source = 0;
     msg.tag = tag;
     msg.payload = std::move(payload);
+    msg.trace_request = trace_request;
+    msg.trace_span = trace_span;
     link->send(std::move(msg));
+  }
+}
+
+void Scheduler::nudge() {
+  // Collapse bursts: one kTagNudge in flight at a time. The flag is cleared
+  // by poll_workers when the message is consumed. On a fault-injecting
+  // transport the nudge may be dropped with the flag left set — then pickup
+  // degrades to the idle_poll cadence until the next consumed nudge, which
+  // is the pre-nudge behavior, not a hang.
+  if (!nudge_pending_.exchange(true, std::memory_order_acq_rel)) {
+    comm_.send(0, kTagNudge, {});
   }
 }
 
@@ -153,7 +165,10 @@ void Scheduler::poll_clients() {
     links = clients_;
   }
   if (links.empty()) {
-    util::clock_sleep(kPollSlice);
+    // No one to poll. The idle wait happens in poll_workers' blocking
+    // try_recv instead of a sleep here: a nudge() interrupts that wait, so
+    // the first client's first frames are picked up promptly instead of
+    // after the remainder of a full idle_poll slice.
     return;
   }
 
@@ -231,13 +246,34 @@ void Scheduler::poll_clients() {
         }
         break;
       }
+      case comm::kTagHello: {
+        // Blocking fallback: the scheduler answers feature negotiation
+        // itself (the event-loop frontend intercepts hellos before they
+        // reach here). Grant nothing — the blocking backend's links speak
+        // the plain framing — but always ack: a negotiated connect blocks
+        // on the answer.
+        auto hello = comm::WireHello::deserialize(msg->payload);
+        comm::WireHello ack;
+        ack.features = 0;
+        ack.codec = util::Codec::kStore;
+        if (hello.magic != comm::kWireMagic) {
+          VIRA_WARN("scheduler") << "client " << client << " sent bad hello magic";
+        }
+        util::ByteBuffer payload;
+        ack.serialize(payload);
+        send_to_client(client, comm::kTagHelloAck, std::move(payload));
+        break;
+      }
       default:
         VIRA_WARN("scheduler") << "dropping unknown client tag " << msg->tag;
     }
   }
-  if (!any) {
-    util::clock_sleep(std::chrono::milliseconds(1));
-  }
+  // No sleep on an idle pass: poll_workers' first try_recv waits out the
+  // poll slice (and a nudge interrupts it), so that is the loop's single
+  // idle throttle. An extra sleep here just rations the tick rate — under
+  // load it was the difference between draining the worker mailbox and
+  // backlogging it by seconds.
+  (void)any;
 }
 
 void Scheduler::poll_workers() {
@@ -250,7 +286,7 @@ void Scheduler::poll_workers() {
     // Only the first receive waits out the poll slice (the loop's idle
     // sleep); the rest take what is already queued and no more.
     auto msg = comm_.try_recv(comm::kAnySource, comm::kAnyTag,
-                              processed == 0 ? kPollSlice : std::chrono::milliseconds(0));
+                              processed == 0 ? config_.idle_poll : std::chrono::milliseconds(0));
     if (!msg) {
       return;
     }
@@ -275,6 +311,12 @@ void Scheduler::poll_workers() {
         break;
       case kTagHeartbeat:
         handle_heartbeat(*msg);
+        break;
+      case kTagNudge:
+        // Self-sent wakeup from Scheduler::nudge(): its only job was to pop
+        // the blocking try_recv above. Re-arm the dedup flag; poll_clients
+        // runs next iteration of the scheduler loop.
+        nudge_pending_.store(false, std::memory_order_release);
         break;
       case kTagDmsRequest:
       case kTagDmsNotify:
@@ -351,7 +393,8 @@ void Scheduler::handle_stream(comm::Message& msg, bool final) {
     send_span.arg("bytes", static_cast<std::int64_t>(msg.payload.size()));
     send_span.arg("partition", header.partition);
   }
-  send_to_client(group.client, final ? kTagFinal : kTagPartial, std::move(msg.payload));
+  send_to_client(group.client, final ? kTagFinal : kTagPartial, std::move(msg.payload),
+                 client_request, send_span.context().span_id);
 }
 
 void Scheduler::handle_done(comm::Message& msg) {
@@ -681,11 +724,13 @@ void Scheduler::finish_group(std::uint64_t internal_id) {
     util::ByteBuffer error_payload;
     error_payload.write<std::uint64_t>(group.request.request_id);
     error_payload.write_string(group.error);
-    send_to_client(group.client, kTagError, std::move(error_payload));
+    send_to_client(group.client, kTagError, std::move(error_payload),
+                   group.request.request_id, group.span.context().span_id);
   }
   util::ByteBuffer payload;
   stats.serialize(payload);
-  send_to_client(group.client, kTagComplete, std::move(payload));
+  send_to_client(group.client, kTagComplete, std::move(payload),
+                 group.request.request_id, group.span.context().span_id);
 
   metrics().requests.add();
   metrics().runtime.observe(stats.total_runtime);
@@ -819,14 +864,21 @@ void Scheduler::serve_cache_hits() {
 
   for (auto it = pending_.begin(); it != pending_.end();) {
     PendingRequest& entry = *it;
-    if (entry.attempt != 0 || entry.cache_checked) {
+    if (entry.attempt != 0) {
       ++it;
       continue;
     }
-    entry.cache_checked = true;
-    entry.cache_key =
-        ResultCache::make_key(entry.request.command, entry.request.params, version);
-    entry.cache_version = version;
+    if (!entry.cache_checked) {
+      entry.cache_checked = true;
+      entry.cache_key =
+          ResultCache::make_key(entry.request.command, entry.request.params, version);
+      entry.cache_version = version;
+    }
+    // Re-probe queued entries every pass, not just on arrival: when many
+    // clients submit the same extraction at once (the paper's premise),
+    // the duplicates are all queued before the first completion lands in
+    // the cache. A once-per-entry lookup would compute every one of them;
+    // re-probing turns everything still queued at that point into replays.
     auto hit = result_cache_->lookup(entry.cache_key);
     if (!hit) {
       ++it;
@@ -875,7 +927,7 @@ void Scheduler::replay_cached(PendingRequest& entry, const CachedResult& hit) {
       send_span.arg("bytes", static_cast<std::int64_t>(payload.size()));
     }
     send_to_client(entry.client, fragment.final ? kTagFinal : kTagPartial,
-                   std::move(payload));
+                   std::move(payload), client_request, send_span.context().span_id);
   }
 
   CommandStats stats;

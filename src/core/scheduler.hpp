@@ -87,6 +87,12 @@ struct SchedulerConfig {
   /// Diagnostic switch: the DST harness disables it to prove its
   /// exactly-once oracle catches the resulting duplicate deliveries.
   bool fragment_dedup = true;
+  /// Longest the scheduler loop sleeps when idle (the poll slice for both
+  /// client links and worker traffic). With the event-loop frontend wired
+  /// (nudge() on link readability) this is only the fallback cadence, so
+  /// it can be raised without hurting request pickup latency; with tick
+  /// polling alone it bounds pickup latency directly.
+  std::chrono::milliseconds idle_poll{2};
 
   /// --- QoS (DESIGN.md "Scheduling & QoS") --------------------------------
   /// Queue discipline. kFairShare is single-client-identical to kFifo (one
@@ -132,6 +138,14 @@ class Scheduler {
   /// workers on the way out.
   void run();
   void stop();
+
+  /// Wakes the scheduler loop out of its idle poll wait: a client link
+  /// turned readable (or closed), so poll_clients should run now instead
+  /// of after the poll slice. Thread-safe and cheap to call repeatedly —
+  /// at most one nudge message is in flight at a time (the event loop's
+  /// readability callback fires per batch of inbound frames). Request
+  /// pickup latency thus tracks message arrival, not the tick cadence.
+  void nudge();
 
   /// Diagnostics. free_workers / queued_requests / active_groups read
   /// atomic mirrors the scheduler loop refreshes once per tick, so any
@@ -255,7 +269,11 @@ class Scheduler {
   void fail_pending(PendingRequest& entry, const std::string& reason);
   void start_group(PendingRequest entry);
   void finish_group(std::uint64_t request_id);
-  void send_to_client(std::size_t client, int tag, util::ByteBuffer payload);
+  /// `trace_request`/`trace_span` annotate the message so a deferred-write
+  /// link (the event-loop frontend) can open a "net.send" span under the
+  /// caller's span covering queue + socket time. 0 = untraced send.
+  void send_to_client(std::size_t client, int tag, util::ByteBuffer payload,
+                      std::uint64_t trace_request = 0, std::uint64_t trace_span = 0);
 
   void handle_stream(comm::Message& msg, bool final);
   void handle_done(comm::Message& msg);
@@ -301,6 +319,11 @@ class Scheduler {
   std::set<int> dead_;
   std::atomic<std::size_t> lost_workers_{0};
   std::atomic<std::uint64_t> total_retries_{0};
+
+  /// Nudge dedup: true while a kTagNudge message is in flight so repeated
+  /// readability callbacks collapse into one wakeup. Cleared by the
+  /// scheduler loop when the nudge is consumed.
+  std::atomic<bool> nudge_pending_{false};
 
   /// Race-free mirrors of free_ / pending_ / groups_ sizes for the public
   /// diagnostics (refreshed once per scheduler-loop tick).

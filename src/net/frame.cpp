@@ -1,0 +1,105 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/compression.hpp"
+
+namespace vira::net {
+
+void encode_frame_header(std::byte* out, std::int32_t source, std::int32_t tag,
+                         std::uint64_t payload_size, bool compressed) {
+  const std::uint64_t size_field = payload_size | (compressed ? kCompressedFlag : 0);
+  std::memcpy(out, &source, sizeof(source));
+  std::memcpy(out + sizeof(source), &tag, sizeof(tag));
+  std::memcpy(out + sizeof(source) + sizeof(tag), &size_field, sizeof(size_field));
+}
+
+std::vector<std::byte> encode_frame(const comm::Message& msg, bool compressed) {
+  std::vector<std::byte> frame(kFrameHeaderBytes + msg.payload.size());
+  encode_frame_header(frame.data(), msg.source, msg.tag, msg.payload.size(), compressed);
+  if (msg.payload.size() > 0) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, msg.payload.data(), msg.payload.size());
+  }
+  return frame;
+}
+
+bool FrameParser::fail(std::string reason) {
+  failed_ = true;
+  error_ = std::move(reason);
+  payload_.clear();
+  payload_.shrink_to_fit();
+  return false;
+}
+
+bool FrameParser::finish_frame(std::vector<comm::Message>& out) {
+  comm::Message msg;
+  msg.source = source_;
+  msg.tag = tag_;
+  if (compressed_) {
+    auto raw = util::decompress(payload_.data(), payload_fill_);
+    if (!raw) {
+      return fail("undecodable compressed frame payload");
+    }
+    msg.payload = util::ByteBuffer(std::move(*raw));
+  } else {
+    msg.payload = util::ByteBuffer(std::move(payload_));
+  }
+  out.push_back(std::move(msg));
+  payload_ = {};
+  payload_fill_ = 0;
+  header_fill_ = 0;
+  compressed_ = false;
+  return true;
+}
+
+bool FrameParser::feed(const std::byte* data, std::size_t size,
+                       std::vector<comm::Message>& out) {
+  if (failed_) {
+    return false;
+  }
+  while (size > 0) {
+    if (header_fill_ < kFrameHeaderBytes) {
+      const std::size_t take = std::min(size, kFrameHeaderBytes - header_fill_);
+      std::memcpy(header_ + header_fill_, data, take);
+      header_fill_ += take;
+      data += take;
+      size -= take;
+      if (header_fill_ < kFrameHeaderBytes) {
+        return true;  // header still incomplete; wait for more bytes
+      }
+      std::uint64_t size_field = 0;
+      std::memcpy(&source_, header_, sizeof(source_));
+      std::memcpy(&tag_, header_ + sizeof(source_), sizeof(tag_));
+      std::memcpy(&size_field, header_ + sizeof(source_) + sizeof(tag_), sizeof(size_field));
+      compressed_ = (size_field & kCompressedFlag) != 0;
+      const std::uint64_t payload_size = size_field & ~kCompressedFlag;
+      if (payload_size > max_payload_) {
+        return fail("frame payload size " + std::to_string(payload_size) +
+                    " exceeds cap " + std::to_string(max_payload_));
+      }
+      // Allocation happens only now, after the validated length prefix —
+      // never speculatively from partial input.
+      payload_.resize(static_cast<std::size_t>(payload_size));
+      payload_fill_ = 0;
+      if (payload_size == 0) {
+        if (!finish_frame(out)) {
+          return false;
+        }
+      }
+      continue;
+    }
+    const std::size_t take = std::min(size, payload_.size() - payload_fill_);
+    std::memcpy(payload_.data() + payload_fill_, data, take);
+    payload_fill_ += take;
+    data += take;
+    size -= take;
+    if (payload_fill_ == payload_.size()) {
+      if (!finish_frame(out)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vira::net

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file frame.hpp
+/// Incremental TCP frame codec for the event-loop frontend (ISSUE 7).
+///
+/// The wire layout is the one `comm::TcpLink` has always spoken:
+/// `[i32 source][i32 tag][u64 payload_size][payload]`, native byte order.
+/// This module adds two things on top of the blocking implementation:
+///
+///  * **Incremental parsing.** A `FrameParser` consumes whatever bytes the
+///    socket produced — a header split mid-field, a megabyte of payload, ten
+///    back-to-back small frames — and emits complete `comm::Message`s as
+///    soon as they close. No full-message buffering before the length
+///    prefix arrives: payload storage is reserved only once the 16-byte
+///    header is complete and validated, so a garbage prefix can never make
+///    the parser allocate gigabytes.
+///
+///  * **Compressed frames.** Bit 63 of the size field (`kCompressedFlag`)
+///    marks a payload that is a `util::compress()` stream (self-describing:
+///    codec id + raw size + data). Legacy links never set the bit — and the
+///    pre-existing 4 GiB size sanity cap means a legacy receiver treats an
+///    unexpected compressed frame as a corrupt header and drops the link,
+///    which is exactly the safe failure mode. The flag is only used after
+///    the hello/feature negotiation of docs/PROTOCOL.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/message.hpp"
+
+namespace vira::net {
+
+/// Bytes of the fixed frame prefix: i32 source + i32 tag + u64 size.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Size-field flag bit: the payload is a util::compress() stream.
+inline constexpr std::uint64_t kCompressedFlag = 1ull << 63;
+
+/// Largest accepted payload (matches the blocking TcpLink's sanity cap).
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 32;
+
+/// Writes the 16-byte frame prefix for a payload of `payload_size` bytes.
+void encode_frame_header(std::byte* out, std::int32_t source, std::int32_t tag,
+                         std::uint64_t payload_size, bool compressed);
+
+/// Whole frame (header + payload copy) in one buffer — test/bench helper;
+/// the event loop itself never coalesces (it scatter/gathers with writev).
+std::vector<std::byte> encode_frame(const comm::Message& msg, bool compressed = false);
+
+/// Streaming frame reassembler. Feed it raw socket bytes in any chunking;
+/// complete messages append to the caller's vector. Once malformed input is
+/// detected the parser poisons itself: every later feed() fails too, so a
+/// desynchronized stream can never resynchronize onto garbage.
+class FrameParser {
+ public:
+  explicit FrameParser(std::uint64_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Consumes `size` bytes. Returns false on malformed input (oversized or
+  /// negative-looking length prefix, undecodable compressed payload); the
+  /// stream is then unrecoverable and the link should be dropped.
+  bool feed(const std::byte* data, std::size_t size, std::vector<comm::Message>& out);
+
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// True between frames (no partial header or payload buffered) — a clean
+  /// EOF point. EOF mid-frame means the peer truncated a message.
+  bool at_boundary() const noexcept {
+    return !failed_ && header_fill_ == 0 && payload_.empty();
+  }
+
+  /// Bytes currently buffered for the in-progress frame (tests).
+  std::size_t buffered() const noexcept { return header_fill_ + payload_fill_; }
+
+ private:
+  bool fail(std::string reason);
+  bool finish_frame(std::vector<comm::Message>& out);
+
+  std::uint64_t max_payload_;
+  std::byte header_[kFrameHeaderBytes];
+  std::size_t header_fill_ = 0;
+  std::vector<std::byte> payload_;
+  std::size_t payload_fill_ = 0;
+  std::int32_t source_ = 0;
+  std::int32_t tag_ = 0;
+  bool compressed_ = false;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace vira::net

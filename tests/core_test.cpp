@@ -476,10 +476,12 @@ TEST(SchedulerQos, TwoClientFairShareBackfillsNarrowRequest) {
   vira::viz::ExtractionSession wide_client(backend.connect());
   vira::viz::ExtractionSession narrow_client(backend.connect());
 
-  // Client A streams full-width requests back to back (~300 ms each).
+  // Client A streams full-width requests back to back (~800 ms each — the
+  // pacing must dwarf scheduling noise on a loaded single-core CI box, or
+  // the post-completion queue-state check below races the wide backlog).
   vu::ParamList wide_params;
   wide_params.set_int("workers", 4);
-  wide_params.set_int("partials", 150);
+  wide_params.set_int("partials", 400);
   std::vector<std::shared_ptr<vira::viz::ResultStream>> wide;
   for (int i = 0; i < 3; ++i) {
     wide.push_back(wide_client.submit("test.echo", wide_params));
@@ -488,11 +490,15 @@ TEST(SchedulerQos, TwoClientFairShareBackfillsNarrowRequest) {
       [&] { return backend.scheduler().active_groups() >= 1u; }));
 
   // Client B's narrow request must not wait for A's whole backlog: under
-  // FIFO it would sit behind ~900 ms of queue; fair share dispatches it
-  // as soon as molding frees a worker.
+  // FIFO it would sit behind ~2.4 s of queue; fair share dispatches it as
+  // soon as a worker frees. It streams ~400 ms itself so client B is still
+  // an active client when the next wide request dispatches — a one-packet
+  // request can slip through a single early-freed rank of A's running
+  // group and depart before any wide dispatch ever sees two clients (in
+  // which case nothing would mold).
   vu::ParamList narrow_params;
   narrow_params.set_int("workers", 1);
-  narrow_params.set_int("partials", 1);
+  narrow_params.set_int("partials", 200);
   auto narrow = narrow_client.submit("test.echo", narrow_params);
   const auto narrow_stats = narrow->wait(nullptr, std::chrono::milliseconds(10000));
   EXPECT_TRUE(narrow_stats.success) << narrow_stats.error;

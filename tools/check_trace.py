@@ -16,7 +16,11 @@ Invariants checked (ISSUE 2 satellite):
     sched.* spans) — scheduler work is always attributable to a client,
   * result-cache nesting: every result_cache.lookup span with a parent is
     a direct child of a sched.request span — the memoization decision is
-    always attributable to the request it decided for.
+    always attributable to the request it decided for,
+  * net nesting: every net.send span (the event-loop frontend's queue +
+    socket time for one frame) with a parent reaches a client.request span
+    walking up — wire time is always attributable to the request that paid
+    for it.
 
 Usage: check_trace.py TRACE.json [--require NAME ...] [--min-spans N]
 Exit status 0 = all invariants hold.
@@ -109,6 +113,19 @@ def main():
         if event["name"] == "result_cache.lookup" and parent["name"] != "sched.request":
             fail("result_cache.lookup span %d nests under %r, not sched.request" %
                  (span_id, parent["name"]))
+        if event["name"] == "net.send":
+            # Walk all the way up; a net.send must be attributable to the
+            # client.request that paid for the bytes. (Roots with parent 0
+            # along the way — headless runs — are exempt.)
+            ancestor = parent
+            while ancestor is not None and ancestor["name"] != "client.request":
+                ancestor_parent = ancestor["args"]["parent_id"]
+                if ancestor_parent == 0:
+                    ancestor = None
+                    break
+                ancestor = spans.get(ancestor_parent)
+            if ancestor is not None and ancestor["name"] != "client.request":
+                fail("net.send span %d does not reach client.request" % span_id)
 
     for required in args.require:
         if required not in names:

@@ -7,6 +7,8 @@
 ///
 ///   viracocha-server [--port N] [--workers N] [--cache-mb N]
 ///                    [--policy lru|lfu|fbr] [--l2-dir PATH]
+///                    [--net epoll|blocking] [--net-threads N]
+///                    [--no-compression]
 ///                    [--dms-messages] [--trace-out FILE] [--metrics-out FILE]
 ///
 /// The server runs until stdin reaches EOF (or the process is signalled),
@@ -33,7 +35,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: viracocha-server [--port N] [--workers N] [--cache-mb N]\n"
                "                        [--policy lru|lfu|fbr] [--l2-dir PATH]\n"
-               "                        [--dms-messages] [--verbose]\n"
+               "                        [--net epoll|blocking] [--net-threads N]\n"
+               "                        [--no-compression] [--dms-messages] [--verbose]\n"
                "                        [--trace-out FILE] [--metrics-out FILE]\n");
 }
 
@@ -88,6 +91,21 @@ int main(int argc, char** argv) {
       config.cache_policy = next();
     } else if (flag == "--l2-dir") {
       config.l2_directory = next();
+    } else if (flag == "--net") {
+      const std::string frontend = next();
+      if (frontend == "epoll") {
+        config.net_frontend = core::BackendConfig::NetFrontend::kEpoll;
+      } else if (frontend == "blocking") {
+        config.net_frontend = core::BackendConfig::NetFrontend::kBlocking;
+      } else {
+        std::fprintf(stderr, "unknown --net frontend: %s\n", frontend.c_str());
+        usage();
+        return 2;
+      }
+    } else if (flag == "--net-threads") {
+      config.net.threads = std::atoi(next());
+    } else if (flag == "--no-compression") {
+      config.net.allow_compression = false;
     } else if (flag == "--dms-messages") {
       config.dms_over_messages = true;
     } else if (flag == "--trace-out") {
