@@ -5,7 +5,14 @@
 namespace vira::comm {
 
 namespace {
-constexpr auto kPumpSlice = std::chrono::milliseconds(50);
+// Upper bound on a single blocking transport wait inside try_recv. It must
+// stay small: with several threads receiving on one rank (worker loop,
+// heartbeat poller, peer-transfer service), a sibling thread's pump can pull
+// this caller's message off the transport and buffer it to pending_ — the
+// caller only notices at its next slice boundary, so a long slice turns into
+// added delivery latency (long enough to trip the scheduler's idle-grace
+// watchdog when it exceeds that grace).
+constexpr auto kPumpSlice = std::chrono::milliseconds(5);
 }
 
 Communicator::Communicator(std::shared_ptr<Transport> transport, int rank)

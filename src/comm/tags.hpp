@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file tags.hpp
+/// Registry of the well-known rank-transport tag ranges, so a new subsystem
+/// can claim a range without grepping every layer. Negative tags belong to
+/// the Communicator's own collectives (comm/communicator.hpp); everything
+/// else is positive and listed here:
+///
+///   1000–1009   scheduler ↔ worker control (core/protocol.hpp)
+///   1100–1101   proxy → scheduler DMS traffic (core/remote_server_api.hpp)
+///   1102–1104   proxy ↔ proxy peer transfer (below; payloads in
+///               dms/peer_wire.hpp, narrative in docs/PROTOCOL.md)
+///   2000000+    work-group gathers (request-derived)
+///   3000000+    work-group barriers (request-derived)
+///   4000000+    DMS reply tags (per-call unique)
+///
+/// Peer-fetch replies share the fixed kTagPeerBlock tag; the requester
+/// matches them by the sequence number carried in the payload
+/// (dms/peer_wire.hpp), so no per-call tag range is needed.
+///
+/// The peer-transfer tags are defined at the comm layer (not core) because
+/// the DMS sits below core in the link graph: vira_dms speaks them over a
+/// plain comm::Communicator with no scheduler involvement at all — that is
+/// the point of the sharded path.
+
+namespace vira::comm {
+
+/// Proxy → owning proxy: "send me item X" (expects a kTagPeerBlock reply).
+inline constexpr int kTagPeerFetch = 1102;
+/// Owning proxy → requester: the block (or a signed miss).
+inline constexpr int kTagPeerBlock = 1103;
+/// Loader → replica owners: unsolicited replica placement after a disk load.
+inline constexpr int kTagPeerPush = 1104;
+
+}  // namespace vira::comm

@@ -66,6 +66,29 @@ Backend::Backend(BackendConfig config) : config_(std::move(config)) {
     });
   }
 
+  // Sharded DMS: each proxy gets its own ShardMap instance with the same
+  // (seed, members, vnodes) — identical routing with no shared state, the
+  // way distributed ranks would hold it. Death marks stay local to each
+  // proxy (learned from its own fetch timeouts), like a real deployment.
+  if (config_.dms_shards > 1) {
+    dms::ShardMap::Config shard_config;
+    shard_config.members = std::min(config_.dms_shards, config_.workers);
+    shard_config.replication = config_.dms_replication;
+    for (int index = 0; index < config_.workers; ++index) {
+      proxies_[static_cast<std::size_t>(index)]->configure_sharding(
+          std::make_shared<dms::ShardMap>(shard_config),
+          worker_comms[static_cast<std::size_t>(index)],
+          std::chrono::milliseconds(config_.dms_peer_timeout_ms));
+    }
+    // Bump invalidation must reach every replica, not just the scheduler's
+    // result cache: fan the name service's version feed out to all proxies.
+    data_server_->names().on_bump([this](std::uint64_t version) {
+      for (auto& proxy : proxies_) {
+        proxy->on_data_version(version);
+      }
+    });
+  }
+
   scheduler_ = std::make_unique<Scheduler>(rank_transport, config_.workers, config_.scheduler);
   if (config_.dms_over_messages) {
     scheduler_->set_data_server(data_server_);
@@ -190,6 +213,14 @@ dms::DmsCounters Backend::dms_counters() const {
     total.l2_respills += counters.l2_respills;
     total.demotions_dropped_oversize += counters.demotions_dropped_oversize;
     total.demotions_dropped_io += counters.demotions_dropped_io;
+    total.peer_fetches += counters.peer_fetches;
+    total.peer_fetch_misses += counters.peer_fetch_misses;
+    total.peer_fetch_timeouts += counters.peer_fetch_timeouts;
+    total.peer_pushes += counters.peer_pushes;
+    total.replica_promotions += counters.replica_promotions;
+    total.peer_fallback_disk += counters.peer_fallback_disk;
+    total.shard_misroutes += counters.shard_misroutes;
+    total.stale_replica_rejects += counters.stale_replica_rejects;
     total.bytes_loaded += counters.bytes_loaded;
     total.load_seconds += counters.load_seconds;
   }

@@ -61,6 +61,18 @@ struct BackendConfig {
   /// calls (single-process wiring).
   bool dms_over_messages = false;
 
+  /// Sharded DMS (DESIGN.md §12). dms_shards > 1 spreads block ownership
+  /// over the first min(dms_shards, workers) proxies by consistent hashing;
+  /// misses route proxy→proxy over kTagPeerFetch instead of asking the
+  /// central server for a strategy. dms_replication ≥ 2 places every block
+  /// on R owners so a killed rank's blocks re-serve from a surviving
+  /// replica. The default (1) keeps the legacy central path byte-identical.
+  int dms_shards = 1;
+  int dms_replication = 1;
+  /// Per-attempt peer-fetch timeout before an owner is declared dead and
+  /// the next replica is tried.
+  int dms_peer_timeout_ms = 50;
+
   /// Liveness / recovery policy (DESIGN.md "Failure model").
   WorkerConfig worker;
   SchedulerConfig scheduler;

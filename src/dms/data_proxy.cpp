@@ -1,9 +1,12 @@
 #include "dms/data_proxy.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
 
+#include "comm/tags.hpp"
+#include "dms/peer_wire.hpp"
 #include "obs/tracer.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
@@ -44,10 +47,67 @@ DataProxy::DataProxy(DataProxyConfig config, std::shared_ptr<ServerApi> server,
 }
 
 DataProxy::~DataProxy() {
+  peer_stop_.store(true, std::memory_order_release);
+  if (peer_thread_.joinable()) {
+    util::global_clock().join_thread(peer_thread_);
+  }
   prefetch_queue_.close();
   if (prefetch_thread_.joinable()) {
     util::global_clock().join_thread(prefetch_thread_);
   }
+}
+
+void DataProxy::configure_sharding(std::shared_ptr<ShardMap> map,
+                                   std::shared_ptr<comm::Communicator> comm,
+                                   std::chrono::milliseconds fetch_timeout) {
+  if (!map || !comm) {
+    throw std::invalid_argument("DataProxy::configure_sharding: map and comm required");
+  }
+  if (shard_map_) {
+    throw std::logic_error("DataProxy::configure_sharding: already configured");
+  }
+  shard_map_ = std::move(map);
+  peer_comm_ = std::move(comm);
+  peer_fetch_timeout_ = fetch_timeout;
+  const std::string name = "dms.peer." + std::to_string(config_.proxy_id);
+  util::global_clock().announce_thread(name);
+  peer_thread_ = std::thread([this, name] {
+    util::global_clock().thread_begin(name);
+    peer_service_loop();
+    util::global_clock().thread_end();
+  });
+}
+
+void DataProxy::on_data_version(std::uint64_t version) { raise_data_version(version); }
+
+void DataProxy::raise_data_version(std::uint64_t version) {
+  std::uint64_t current = data_version_.load(std::memory_order_acquire);
+  while (version > current &&
+         !data_version_.compare_exchange_weak(current, version, std::memory_order_acq_rel)) {
+  }
+}
+
+void DataProxy::stamp_version(ItemId id, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  item_version_[id] = version;
+}
+
+std::uint64_t DataProxy::item_version(ItemId id) const {
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  auto it = item_version_.find(id);
+  return it == item_version_.end() ? 0 : it->second;
+}
+
+bool DataProxy::fresh(ItemId id) const {
+  if (!shard_map_) {
+    return true;  // legacy mode: versioning is the result cache's concern
+  }
+  return item_version(id) >= data_version_.load(std::memory_order_acquire);
+}
+
+void DataProxy::evict_stale(ItemId id) {
+  cache_->erase(id);
+  server_->report_evict(config_.proxy_id, id);
 }
 
 void DataProxy::configure_prefetcher(const std::string& kind, SuccessorFn successor) {
@@ -60,14 +120,18 @@ void DataProxy::set_peer_fetch(PeerFetchFn fn) { peer_fetch_ = std::move(fn); }
 Blob DataProxy::request(const DataItemName& name) {
   const ItemId id = resolver_.resolve(name);
 
-  // Fast path: cached (L1 or promoted from L2).
+  // Fast path: cached (L1 or promoted from L2). A hit stamped below the
+  // version floor is a pre-bump replica: drop it and reload.
   if (Blob blob = cache_->get(id)) {
-    {
-      std::lock_guard<std::mutex> lock(prefetcher_mutex_);
-      prefetcher_->on_request(id, /*was_hit=*/true);
+    if (fresh(id)) {
+      {
+        std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+        prefetcher_->on_request(id, /*was_hit=*/true);
+      }
+      run_prefetch_suggestions();
+      return blob;
     }
-    run_prefetch_suggestions();
-    return blob;
+    evict_stale(id);
   }
 
   // Miss: load (deduplicated against concurrent loads of the same item).
@@ -116,12 +180,15 @@ util::Future<Blob> DataProxy::request_async(const DataItemName& name, util::Task
   // Fast path: cached. Settle immediately; the prefetcher still sees the
   // request so its model and suggestions match the synchronous path.
   if (Blob blob = cache_->get(id)) {
-    {
-      std::lock_guard<std::mutex> lock(prefetcher_mutex_);
-      prefetcher_->on_request(id, /*was_hit=*/true);
+    if (fresh(id)) {
+      {
+        std::lock_guard<std::mutex> lock(prefetcher_mutex_);
+        prefetcher_->on_request(id, /*was_hit=*/true);
+      }
+      run_prefetch_suggestions();
+      return util::Future<Blob>::ready_value(std::move(blob));
     }
-    run_prefetch_suggestions();
-    return util::Future<Blob>::ready_value(std::move(blob));
+    evict_stale(id);
   }
 
   // Miss: hand the load to the pool. The expected size is known up front,
@@ -151,7 +218,10 @@ Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetc
       lock.lock();
     }
     if (Blob blob = cache_->peek(id)) {
-      return blob;
+      if (fresh(id)) {
+        return blob;
+      }
+      evict_stale(id);
     }
     loading_.insert(id);
   }
@@ -173,6 +243,9 @@ Blob DataProxy::load_item(ItemId id, const DataItemName& name, bool from_prefetc
 }
 
 Blob DataProxy::execute_load(ItemId id, const DataItemName& name, bool from_prefetch) {
+  if (shard_map_) {
+    return execute_load_sharded(id, name, from_prefetch);
+  }
   const std::uint64_t item_bytes = source_->item_bytes(name);
   const std::uint64_t file_bytes = source_->file_bytes(name);
   const std::string file_key = source_->file_key(name);
@@ -246,6 +319,231 @@ Blob DataProxy::execute_load(ItemId id, const DataItemName& name, bool from_pref
   cache_->put(id, blob, from_prefetch);
   server_->report_insert(config_.proxy_id, id);
   return blob;
+}
+
+Blob DataProxy::execute_load_sharded(ItemId id, const DataItemName& name, bool from_prefetch) {
+  // No central strategy round-trip: the ShardMap is the strategy. Owners
+  // serve from their caches; everyone else peer-fetches from them, walking
+  // the replica list when an owner is dead or silent.
+  const auto& trace_ctx = obs::current_context();
+  auto span = obs::Tracer::instance().start(from_prefetch ? "dms.prefetch" : "dms.load",
+                                            trace_ctx.request_id, config_.proxy_id + 1,
+                                            trace_ctx.span_id);
+  if (span.active()) {
+    span.arg("item", static_cast<std::int64_t>(id));
+    span.arg("sharded", 1);
+  }
+
+  const std::vector<int> owners = shard_map_->owners(id);
+  const bool self_owner =
+      std::find(owners.begin(), owners.end(), config_.proxy_id) != owners.end();
+  const std::uint64_t min_version = data_version_.load(std::memory_order_acquire);
+
+  util::WallTimer timer;
+  Blob blob;
+  std::uint64_t blob_version = min_version;
+  bool from_disk = false;
+
+  if (!self_owner) {
+    // A dead entry earlier in the owner list means whoever answers is a
+    // promoted replica, not the primary — that distinction is the
+    // `dms.replica_promotions` instrument the failover acceptance check
+    // keys on.
+    bool earlier_owner_failed = false;
+    for (const int owner : owners) {
+      if (shard_map_->is_dead(owner)) {
+        earlier_owner_failed = true;
+        continue;
+      }
+      bool timed_out = false;
+      std::uint64_t version = 0;
+      Blob fetched = fetch_from_peer(owner, id, min_version, timed_out, version);
+      if (fetched) {
+        blob = std::move(fetched);
+        blob_version = std::max(blob_version, version);
+        stats_->record_peer_fetch();
+        if (earlier_owner_failed) {
+          stats_->record_replica_promotion();
+        }
+        break;
+      }
+      if (timed_out) {
+        stats_->record_peer_fetch_timeout();
+        shard_map_->mark_dead(owner);
+        earlier_owner_failed = true;
+        continue;
+      }
+      // Signed miss: the owner is alive but does not hold the block (cold,
+      // evicted, or stale-rejected). Replicas evict independently, so try
+      // the rest of the list before paying for the disk.
+      stats_->record_peer_fetch_miss();
+    }
+  }
+
+  if (!blob) {
+    // Disk: we own the item, or every owner replica missed or died.
+    const std::string file_key = source_->file_key(name);
+    server_->begin_file_read(file_key);
+    util::ByteBuffer buffer;
+    try {
+      buffer = source_->load(name);
+    } catch (...) {
+      server_->end_file_read(file_key);
+      throw;
+    }
+    server_->end_file_read(file_key);
+    blob = make_blob(std::move(buffer));
+    from_disk = true;
+    if (!self_owner) {
+      stats_->record_peer_fallback_disk();
+    }
+  }
+
+  const double seconds = timer.seconds();
+  stats_->record_load(blob->size(), seconds);
+  if (span.active()) {
+    span.arg("bytes", static_cast<std::int64_t>(blob->size()));
+    span.arg("disk", from_disk ? 1 : 0);
+  }
+  if (from_disk && seconds > 0.0) {
+    server_->observe_disk_bandwidth(static_cast<double>(blob->size()) / seconds);
+  }
+
+  cache_->put(id, blob, from_prefetch);
+  stamp_version(id, blob_version);
+  server_->report_insert(config_.proxy_id, id);
+  if (from_disk) {
+    // Replica placement: a disk load seeds every live owner, so a later
+    // owner death is covered by a surviving copy instead of a respill.
+    push_to_owners(id, blob, owners, blob_version);
+  }
+  return blob;
+}
+
+Blob DataProxy::fetch_from_peer(int owner, ItemId id, std::uint64_t min_version,
+                                bool& timed_out, std::uint64_t& version_out) {
+  timed_out = false;
+  version_out = 0;
+  // One outstanding fetch per proxy. Acquired cooperatively (try + clock
+  // slice) because the holder parks in clock-routed waits below: a blocking
+  // lock here would stall a virtual-time machine in real time.
+  std::unique_lock<std::mutex> lock(peer_fetch_mutex_, std::try_to_lock);
+  while (!lock.owns_lock()) {
+    util::clock_sleep(kWaitSlice);
+    (void)lock.try_lock();
+  }
+  PeerFetchRequest req;
+  req.id = id;
+  req.seq = peer_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  req.min_version = min_version;
+  req.reply_rank = peer_comm_->rank();
+  util::ByteBuffer payload;
+  req.serialize(payload);
+  peer_comm_->send(owner + 1, comm::kTagPeerFetch, std::move(payload));
+
+  std::chrono::milliseconds waited{0};
+  while (true) {
+    auto msg = peer_comm_->try_recv(comm::kAnySource, comm::kTagPeerBlock, kWaitSlice);
+    if (!msg) {
+      waited += kWaitSlice;
+      if (waited >= peer_fetch_timeout_) {
+        timed_out = true;
+        return nullptr;
+      }
+      continue;
+    }
+    auto reply = PeerBlockReply::deserialize(msg->payload);
+    if (reply.seq != req.seq) {
+      // A reply to an earlier fetch that already timed out, or a transport
+      // duplicate of one we consumed: identified by seq and dropped.
+      continue;
+    }
+    if (reply.found == 0) {
+      return nullptr;
+    }
+    version_out = reply.version;
+    return make_blob(std::move(reply.bytes));
+  }
+}
+
+void DataProxy::push_to_owners(ItemId id, const Blob& blob, const std::vector<int>& owners,
+                               std::uint64_t version) {
+  for (const int owner : owners) {
+    if (owner == config_.proxy_id || shard_map_->is_dead(owner)) {
+      continue;
+    }
+    PeerPush push;
+    push.id = id;
+    push.version = version;
+    push.bytes = util::ByteBuffer::copy_of(blob->data(), blob->size());
+    util::ByteBuffer payload;
+    push.serialize(payload);
+    peer_comm_->send(owner + 1, comm::kTagPeerPush, std::move(payload));
+    stats_->record_peer_push();
+  }
+}
+
+void DataProxy::peer_service_loop() {
+  while (!peer_stop_.load(std::memory_order_acquire)) {
+    try {
+      if (auto msg = peer_comm_->try_recv(comm::kAnySource, comm::kTagPeerFetch, kWaitSlice)) {
+        serve_peer_fetch(*msg);
+        continue;
+      }
+      if (auto msg = peer_comm_->try_recv(comm::kAnySource, comm::kTagPeerPush,
+                                          std::chrono::milliseconds(0))) {
+        apply_peer_push(*msg);
+      }
+    } catch (const comm::TransportClosed&) {
+      return;
+    } catch (const std::exception& e) {
+      VIRA_WARN("dms") << "peer service on proxy " << config_.proxy_id << ": " << e.what();
+    }
+  }
+}
+
+void DataProxy::serve_peer_fetch(const comm::Message& msg) {
+  util::ByteBuffer payload = msg.payload;
+  auto req = PeerFetchRequest::deserialize(payload);
+  // The requester's version floor rides along on every fetch, so even an
+  // owner whose bump listener lags learns of the invalidation here.
+  raise_data_version(req.min_version);
+
+  PeerBlockReply reply;
+  reply.seq = req.seq;
+  if (!shard_map_->is_owner(req.id, config_.proxy_id)) {
+    // Routing disagreement (the requester's map is ahead or behind ours on
+    // death marks). Still answered from cache if possible — but counted.
+    stats_->record_shard_misroute();
+  }
+  if (Blob blob = cache_->peek_deep(req.id)) {
+    const std::uint64_t version = item_version(req.id);
+    if (version < req.min_version) {
+      // Pre-bump replica: refusing is what keeps a stale copy from
+      // resurrecting invalidated bytes. Drop it locally too.
+      evict_stale(req.id);
+      stats_->record_stale_replica_reject();
+    } else {
+      reply.found = 1;
+      reply.version = version;
+      reply.bytes = util::ByteBuffer::copy_of(blob->data(), blob->size());
+    }
+  }
+  util::ByteBuffer out;
+  reply.serialize(out);
+  peer_comm_->send(req.reply_rank, comm::kTagPeerBlock, std::move(out));
+}
+
+void DataProxy::apply_peer_push(comm::Message& msg) {
+  auto push = PeerPush::deserialize(msg.payload);
+  raise_data_version(push.version);
+  if (push.version < data_version_.load(std::memory_order_acquire)) {
+    return;  // the push crossed a bump on the wire; its bytes are already stale
+  }
+  Blob blob = make_blob(std::move(push.bytes));
+  cache_->put(push.id, blob, /*from_prefetch=*/false);
+  stamp_version(push.id, push.version);
+  server_->report_insert(config_.proxy_id, push.id);
 }
 
 void DataProxy::run_prefetch_suggestions() {

@@ -15,17 +15,30 @@
 /// (suggestions from Sec. 4.2) and accepts user-initiated code prefetches.
 /// In-flight loads are deduplicated so a demand request never re-reads a
 /// block the prefetch thread is already fetching.
+///
+/// With configure_sharding() the proxy additionally joins the sharded DMS
+/// (DESIGN.md §12): misses route by a consistent-hash ShardMap straight to
+/// the owning proxies over kTagPeerFetch/kTagPeerBlock messages — no
+/// central strategy round-trip — and a peer-service thread answers the
+/// sibling proxies' fetches from this proxy's cache. Disk loads replicate
+/// to every live owner (kTagPeerPush) so a killed rank's blocks re-serve
+/// from a surviving replica instead of respilling from disk.
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "comm/communicator.hpp"
 #include "dms/data_source.hpp"
 #include "dms/name_service.hpp"
 #include "dms/server_api.hpp"
 #include "dms/prefetcher.hpp"
+#include "dms/shard_map.hpp"
 #include "dms/statistics.hpp"
 #include "dms/two_tier_cache.hpp"
 #include "util/blocking_queue.hpp"
@@ -81,6 +94,27 @@ class DataProxy {
 
   void set_peer_fetch(PeerFetchFn fn);
 
+  /// Joins the sharded DMS (DESIGN.md §12). Must be called before the
+  /// proxy serves requests. Spawns the "dms.peer.<id>" service thread that
+  /// answers sibling fetches/pushes on `comm` (rank = proxy_id + 1 on both
+  /// ends), and switches execute_load() to the shard-routed path: no
+  /// central strategy RPC, owners resolve via `map`, misses on non-owned
+  /// items peer-fetch from the owner replicas with `fetch_timeout` per
+  /// attempt before declaring an owner dead and promoting the next replica.
+  void configure_sharding(std::shared_ptr<ShardMap> map,
+                          std::shared_ptr<comm::Communicator> comm,
+                          std::chrono::milliseconds fetch_timeout = std::chrono::milliseconds(50));
+
+  /// Dataset-version feed (NameService::on_bump). Raises the proxy's
+  /// version floor; cached entries stamped below it are lazily evicted on
+  /// their next touch, and the peer service refuses to serve them — a
+  /// stale replica cannot resurrect pre-bump bytes after the PR-6 result
+  /// cache invalidated downstream results.
+  void on_data_version(std::uint64_t version);
+
+  bool sharded() const { return shard_map_ != nullptr; }
+  std::uint64_t data_version() const { return data_version_.load(std::memory_order_acquire); }
+
   /// Blocks until queued prefetches finished (tests, phase boundaries).
   void quiesce();
 
@@ -96,6 +130,23 @@ class DataProxy {
  private:
   Blob load_item(ItemId id, const DataItemName& name, bool from_prefetch);
   Blob execute_load(ItemId id, const DataItemName& name, bool from_prefetch);
+  Blob execute_load_sharded(ItemId id, const DataItemName& name, bool from_prefetch);
+  Blob fetch_from_peer(int owner, ItemId id, std::uint64_t min_version, bool& timed_out,
+                       std::uint64_t& version_out);
+  void push_to_owners(ItemId id, const Blob& blob, const std::vector<int>& owners,
+                      std::uint64_t version);
+  void peer_service_loop();
+  void serve_peer_fetch(const comm::Message& msg);
+  void apply_peer_push(comm::Message& msg);
+  /// Current-version stamp bookkeeping for the sharded path.
+  void stamp_version(ItemId id, std::uint64_t version);
+  std::uint64_t item_version(ItemId id) const;
+  /// True when the cached entry may be served/returned (always in legacy
+  /// mode; stamp >= version floor in sharded mode).
+  bool fresh(ItemId id) const;
+  /// Stale cache hit: drop the entry everywhere and tell the server.
+  void evict_stale(ItemId id);
+  void raise_data_version(std::uint64_t version);
   void run_prefetch_suggestions();
   void prefetch_worker();
   void prefetch_one(ItemId id);
@@ -122,6 +173,25 @@ class DataProxy {
   std::thread prefetch_thread_;
   std::mutex idle_mutex_;
   int prefetch_inflight_ = 0;
+
+  /// Sharded-DMS state (null/empty in legacy mode; see configure_sharding).
+  std::shared_ptr<ShardMap> shard_map_;
+  std::shared_ptr<comm::Communicator> peer_comm_;
+  std::chrono::milliseconds peer_fetch_timeout_{50};
+  std::thread peer_thread_;
+  std::atomic<bool> peer_stop_{false};
+  /// Fetch sequence numbers: one outstanding fetch per proxy (guarded by
+  /// peer_fetch_mutex_), replies matched by seq so late or duplicated
+  /// kTagPeerBlock messages from earlier fetches are discarded, never
+  /// mistaken for the current answer.
+  std::mutex peer_fetch_mutex_;
+  std::atomic<std::uint64_t> peer_seq_{0};
+  /// Version floor (mirrors NameService::data_version) and per-item stamps
+  /// assigned at insert time. A stamp below the floor marks the entry
+  /// stale: evicted on the next local touch, refused on the peer wire.
+  std::atomic<std::uint64_t> data_version_{1};
+  mutable std::mutex version_mutex_;
+  std::unordered_map<ItemId, std::uint64_t> item_version_;
 };
 
 }  // namespace vira::dms

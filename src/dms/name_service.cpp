@@ -37,6 +37,23 @@ std::size_t NameService::size() const {
   return by_id_.size();
 }
 
+void NameService::bump_data_version() {
+  const std::uint64_t next = data_version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::vector<std::function<void(std::uint64_t)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mutex_);
+    listeners = bump_listeners_;
+  }
+  for (const auto& listener : listeners) {
+    listener(next);
+  }
+}
+
+void NameService::on_bump(std::function<void(std::uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(listeners_mutex_);
+  bump_listeners_.push_back(std::move(listener));
+}
+
 ItemId NameResolver::resolve(const DataItemName& name) {
   const std::string key = name.canonical();
   {

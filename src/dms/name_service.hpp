@@ -44,13 +44,23 @@ class NameService {
   /// version into its content-addressed keys, so a bump instantly makes
   /// every memoized result stale-proof.
   std::uint64_t data_version() const { return data_version_.load(std::memory_order_acquire); }
-  void bump_data_version() { data_version_.fetch_add(1, std::memory_order_acq_rel); }
+  void bump_data_version();
+
+  /// Registers a bump listener, called with the new version after every
+  /// bump_data_version(). The sharded DMS wires one per proxy so a bump
+  /// invalidates the cached replicas on *every* rank, not just the result
+  /// cache at the scheduler — a stale replica answering a peer fetch after
+  /// an invalidation would silently resurrect pre-bump geometry.
+  void on_bump(std::function<void(std::uint64_t)> listener);
 
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, ItemId> by_name_;
   std::vector<DataItemName> by_id_;
   std::atomic<std::uint64_t> data_version_{1};
+
+  mutable std::mutex listeners_mutex_;
+  std::vector<std::function<void(std::uint64_t)>> bump_listeners_;
 };
 
 /// Proxy-side memoizing resolver over any resolve function (a direct

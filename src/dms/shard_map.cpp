@@ -1,0 +1,108 @@
+#include "dms/shard_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vira::dms {
+
+namespace {
+
+/// splitmix64 — the same finalizer the rest of the codebase uses for
+/// decorrelating seeds; good avalanche keeps ring points uniform.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Ring points and item targets must come from *disjoint* hash domains.
+// Without the salts, member 0's vnode inputs (0 * 0x10001 + v = v) make its
+// ring points mix(seed ^ mix(v)) — bit-for-bit equal to the target of
+// ItemId v. Interned ids are small sequential integers, so every id below
+// `vnodes` would land exactly on a member-0 point and member 0 would be
+// primary for the whole working set.
+constexpr std::uint64_t kRingDomain = 0x52494e47u;  // "RING"
+constexpr std::uint64_t kItemDomain = 0x4954454du;  // "ITEM"
+
+}  // namespace
+
+ShardMap::ShardMap(Config config) : config_(config) {
+  if (config_.members < 1) {
+    throw std::invalid_argument("ShardMap: need at least one member");
+  }
+  config_.replication = std::clamp(config_.replication, 1, config_.members);
+  config_.vnodes = std::max(1, config_.vnodes);
+  dead_.assign(static_cast<std::size_t>(config_.members), false);
+  ring_.reserve(static_cast<std::size_t>(config_.members) *
+                static_cast<std::size_t>(config_.vnodes));
+  for (int member = 0; member < config_.members; ++member) {
+    for (int v = 0; v < config_.vnodes; ++v) {
+      const std::uint64_t point =
+          mix(config_.seed ^ kRingDomain ^
+              mix(static_cast<std::uint64_t>(member) * 0x10001ull +
+                  static_cast<std::uint64_t>(v)));
+      ring_.push_back({point, member});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.member < b.member;
+  });
+}
+
+std::vector<int> ShardMap::owners(ItemId id) const {
+  const std::uint64_t target = mix(config_.seed ^ kItemDomain ^ mix(id));
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), target,
+                             [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  std::vector<int> result;
+  result.reserve(static_cast<std::size_t>(config_.replication));
+  std::vector<bool> seen(static_cast<std::size_t>(config_.members), false);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    const int member = it->member;
+    ++it;
+    if (seen[static_cast<std::size_t>(member)] || dead_[static_cast<std::size_t>(member)]) {
+      continue;
+    }
+    seen[static_cast<std::size_t>(member)] = true;
+    result.push_back(member);
+    if (static_cast<int>(result.size()) == config_.replication) {
+      break;
+    }
+  }
+  return result;
+}
+
+int ShardMap::primary(ItemId id) const {
+  const auto list = owners(id);
+  return list.empty() ? -1 : list.front();
+}
+
+bool ShardMap::is_owner(ItemId id, int proxy) const {
+  const auto list = owners(id);
+  return std::find(list.begin(), list.end(), proxy) != list.end();
+}
+
+void ShardMap::mark_dead(int proxy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (proxy >= 0 && proxy < config_.members) {
+    dead_[static_cast<std::size_t>(proxy)] = true;
+  }
+}
+
+void ShardMap::mark_alive(int proxy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (proxy >= 0 && proxy < config_.members) {
+    dead_[static_cast<std::size_t>(proxy)] = false;
+  }
+}
+
+bool ShardMap::is_dead(int proxy) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return proxy >= 0 && proxy < config_.members && dead_[static_cast<std::size_t>(proxy)];
+}
+
+}  // namespace vira::dms

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file shard_map.hpp
+/// Consistent-hash ownership map for the sharded DMS.
+///
+/// The namespace of ItemIds is spread over a ring of virtual nodes; each
+/// participating proxy contributes `vnodes` points. An item's owner list is
+/// found by hashing the id onto the ring and walking clockwise, collecting
+/// the first `replication` distinct *live* proxies — primary first, then the
+/// replicas. Two classic consistent-hashing properties carry the test tier:
+///
+///   * identical (seed, members, vnodes) ⇒ identical routing, on every rank,
+///     with no coordination — proxies never have to agree at runtime;
+///   * marking a proxy dead only changes the owner lists that contained it
+///     (the ring walk simply skips its points), so a rank death moves the
+///     expected ≈ R/N fraction of the keyspace and nothing else.
+///
+/// Death marks are learned locally (a peer fetch that times out marks the
+/// peer dead) and are monotone per map instance; a proxy revived by the
+/// operator gets a fresh map. All methods are thread-safe.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dms/data_item.hpp"
+
+namespace vira::dms {
+
+class ShardMap {
+ public:
+  struct Config {
+    int members = 1;       ///< participating proxies: ids 0 .. members-1
+    int replication = 1;   ///< R distinct owners per item (clamped to members)
+    std::uint64_t seed = 0;
+    int vnodes = 64;       ///< ring points per member
+  };
+
+  explicit ShardMap(Config config);
+
+  /// The first `replication` distinct live owners for `id`, primary first.
+  /// Empty only when every member is dead.
+  std::vector<int> owners(ItemId id) const;
+
+  /// The live primary owner, or -1 when every member is dead.
+  int primary(ItemId id) const;
+
+  /// True when `proxy` appears in owners(id).
+  bool is_owner(ItemId id, int proxy) const;
+
+  void mark_dead(int proxy);
+  void mark_alive(int proxy);
+  bool is_dead(int proxy) const;
+
+  int members() const { return config_.members; }
+  int replication() const { return config_.replication; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int member;
+  };
+
+  Config config_;
+  std::vector<Point> ring_;  ///< sorted by hash; immutable after construction
+
+  mutable std::mutex mutex_;
+  std::vector<bool> dead_;
+};
+
+}  // namespace vira::dms

@@ -41,6 +41,21 @@ struct DmsCounters {
   /// Demotions dropped because the spill-file write failed (disk full, I/O
   /// error); the item is NOT indexed and a later get() reloads it.
   std::uint64_t demotions_dropped_io = 0;
+  /// Sharded-DMS peer transfer (DESIGN.md §12). A "promotion" is a fetch
+  /// answered by a non-primary replica because an earlier owner in the ring
+  /// order was dead or timed out — the failover the replica placement buys.
+  std::uint64_t peer_fetches = 0;         ///< blocks obtained rank↔rank
+  std::uint64_t peer_fetch_misses = 0;    ///< owner answered "not cached"
+  std::uint64_t peer_fetch_timeouts = 0;  ///< owner silent; marked dead
+  std::uint64_t peer_pushes = 0;          ///< replica placements sent
+  std::uint64_t replica_promotions = 0;
+  /// Non-owner loads that exhausted every owner and hit disk.
+  std::uint64_t peer_fallback_disk = 0;
+  /// Fetches this proxy was asked to serve for items it does not own.
+  std::uint64_t shard_misroutes = 0;
+  /// Peer fetches refused because the cached replica pre-dated the
+  /// requester's dataset version (bump invalidation reached this replica).
+  std::uint64_t stale_replica_rejects = 0;
   std::uint64_t bytes_loaded = 0;
   double load_seconds = 0.0;
   /// Async (pipelined) load accounting: submissions via request_async and
@@ -91,6 +106,22 @@ class DmsStatistics {
   }
   void record_demotion_dropped_io() {
     bump(&DmsCounters::demotions_dropped_io, obs_.demotions_dropped_io);
+  }
+  void record_peer_fetch() { bump(&DmsCounters::peer_fetches, obs_.peer_fetches); }
+  void record_peer_fetch_miss() { bump(&DmsCounters::peer_fetch_misses, obs_.peer_fetch_misses); }
+  void record_peer_fetch_timeout() {
+    bump(&DmsCounters::peer_fetch_timeouts, obs_.peer_fetch_timeouts);
+  }
+  void record_peer_push() { bump(&DmsCounters::peer_pushes, obs_.peer_pushes); }
+  void record_replica_promotion() {
+    bump(&DmsCounters::replica_promotions, obs_.replica_promotions);
+  }
+  void record_peer_fallback_disk() {
+    bump(&DmsCounters::peer_fallback_disk, obs_.peer_fallback_disk);
+  }
+  void record_shard_misroute() { bump(&DmsCounters::shard_misroutes, obs_.shard_misroutes); }
+  void record_stale_replica_reject() {
+    bump(&DmsCounters::stale_replica_rejects, obs_.stale_replica_rejects);
   }
 
   /// An async load was submitted; `bytes` is the item's expected size
@@ -169,6 +200,18 @@ class DmsStatistics {
         obs::Registry::instance().counter("dms.demotions_dropped_oversize");
     obs::Counter& demotions_dropped_io =
         obs::Registry::instance().counter("dms.demotions_dropped_io");
+    obs::Counter& peer_fetches = obs::Registry::instance().counter("dms.peer_fetches");
+    obs::Counter& peer_fetch_misses = obs::Registry::instance().counter("dms.peer_fetch_misses");
+    obs::Counter& peer_fetch_timeouts =
+        obs::Registry::instance().counter("dms.peer_fetch_timeouts");
+    obs::Counter& peer_pushes = obs::Registry::instance().counter("dms.peer_pushes");
+    obs::Counter& replica_promotions =
+        obs::Registry::instance().counter("dms.replica_promotions");
+    obs::Counter& peer_fallback_disk =
+        obs::Registry::instance().counter("dms.peer_fallback_disk");
+    obs::Counter& shard_misroutes = obs::Registry::instance().counter("dms.shard_misroutes");
+    obs::Counter& stale_replica_rejects =
+        obs::Registry::instance().counter("dms.stale_replica_rejects");
     obs::Counter& bytes_loaded = obs::Registry::instance().counter("dms.bytes_loaded");
     obs::Histogram& load_seconds = obs::Registry::instance().histogram("dms.load_seconds");
     obs::Counter& async_loads = obs::Registry::instance().counter("dms.async_loads");

@@ -135,6 +135,40 @@ void TwoTierCache::note_gone(ItemId id) {
   }
 }
 
+Blob TwoTierCache::peek_deep(ItemId id) const {
+  if (Blob blob = l1_.peek(id)) {
+    return blob;
+  }
+  if (config_.l2_directory.empty()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(l2_mutex_);
+  if (l2_index_.count(id) == 0) {
+    return nullptr;
+  }
+  auto buffer = read_blob_file(l2_path(id));
+  if (!buffer) {
+    return nullptr;  // unreadable spill; the owning get()/promote() path warns
+  }
+  return make_blob(std::move(*buffer));
+}
+
+void TwoTierCache::erase(ItemId id) {
+  l1_.erase(id);
+  if (!config_.l2_directory.empty()) {
+    std::lock_guard<std::mutex> lock(l2_mutex_);
+    auto it = l2_index_.find(id);
+    if (it != l2_index_.end()) {
+      l2_used_ -= it->second.second;
+      l2_order_.erase(it->second.first);
+      std::error_code ec;
+      std::filesystem::remove(l2_path(id), ec);
+      l2_index_.erase(it);
+    }
+  }
+  note_gone(id);
+}
+
 bool TwoTierCache::contains(ItemId id) const {
   if (l1_.contains(id)) {
     return true;

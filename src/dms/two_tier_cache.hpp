@@ -54,6 +54,18 @@ class TwoTierCache {
   /// Peek L1 without state changes (peer transfer source).
   Blob peek(ItemId id) const { return l1_.peek(id); }
 
+  /// Peek both tiers without state changes: L1, else a read of the L2
+  /// spill file with no promotion (the blob stays on disk, the LRU order
+  /// is untouched). The sharded peer-service thread answers fetches with
+  /// this so serving a sibling never perturbs the local replacement state
+  /// or the hit/miss accounting.
+  Blob peek_deep(ItemId id) const;
+
+  /// Drops the item from both tiers (no demotion, no hit/miss accounting).
+  /// Used by version invalidation: a bump makes the cached bytes stale, so
+  /// the entry must leave the hierarchy before the reload.
+  void erase(ItemId id);
+
   /// Drops everything (both tiers) — the benches' cold-start switch.
   void clear();
 

@@ -119,6 +119,15 @@ Scenario generate_scenario(std::uint64_t seed) {
       s.bumps.push_back(100 + static_cast<int>(rng.next_below(201)));
     }
   }
+
+  // Sharded DMS: a third of the multi-worker scenarios route their DMS
+  // traffic over the shard map (peer fetches, pushes, replica failover when
+  // a kill lands on an owner). Drawn after everything above so every
+  // pre-shard seed keeps its exact scenario.
+  if (s.workers >= 2 && rng.next_below(3) == 0) {
+    s.shards = s.workers;
+    s.repl = 1 + static_cast<int>(rng.next_below(2));
+  }
   return s;
 }
 
@@ -247,6 +256,19 @@ bool shrink_round(Scenario& best, ScenarioResult& failure, int max_attempts, int
   if (!best.bumps.empty()) {
     Scenario candidate = best;
     candidate.bumps.clear();
+    consider(candidate);
+  }
+  if (best.shards > 1) {
+    // Toward the legacy central path; a sharding-specific failure survives
+    // this pass, a generic one sheds the whole peer-transfer machinery.
+    Scenario candidate = best;
+    candidate.shards = 1;
+    candidate.repl = 1;
+    consider(candidate);
+  }
+  if (best.repl > 1) {
+    Scenario candidate = best;
+    candidate.repl = 1;
     consider(candidate);
   }
   if (best.l2) {

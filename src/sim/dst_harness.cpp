@@ -63,6 +63,10 @@ class SimDataSource final : public dms::DataSource {
     return "dst/f" + std::to_string(block_of(name) / kItemsPerFile);
   }
 
+  /// Reference content for the replica-consistency oracle: what any replica
+  /// of `block` must contain, regardless of which rank served it.
+  util::ByteBuffer expected(int block) const { return content(block, size_of(block)); }
+
   std::vector<std::pair<dms::DataItemName, util::ByteBuffer>> load_file(
       const dms::DataItemName& name) override {
     const int first = (block_of(name) / kItemsPerFile) * kItemsPerFile;
@@ -269,6 +273,30 @@ class DstStack {
       });
     }
 
+    // Sharded DMS: every proxy gets its own ShardMap (identical seed ⇒
+    // identical routing, no shared state — death marks stay local, learned
+    // from each proxy's own fetch timeouts) and its worker communicator for
+    // the kTagPeerFetch/kTagPeerBlock/kTagPeerPush traffic.
+    if (s.shards > 1) {
+      dms::ShardMap::Config shard_config;
+      shard_config.members = std::min(s.shards, s.workers);
+      shard_config.replication = s.repl;
+      shard_config.seed = s.seed;
+      for (int index = 0; index < s.workers; ++index) {
+        proxies_[static_cast<std::size_t>(index)]->configure_sharding(
+            std::make_shared<dms::ShardMap>(shard_config), comms[static_cast<std::size_t>(index)],
+            std::chrono::milliseconds(50));
+      }
+      // Bumps must invalidate every replica, not just the scheduler's
+      // result cache — a stale replica serving a pre-bump block over the
+      // peer wire is exactly what oracle 8/9 would flag.
+      server_->names().on_bump([this](std::uint64_t version) {
+        for (auto& proxy : proxies_) {
+          proxy->on_data_version(version);
+        }
+      });
+    }
+
     core::SchedulerConfig sconfig;
     sconfig.death_timeout = std::chrono::milliseconds(s.death_ms);
     sconfig.idle_grace = std::chrono::milliseconds(s.idle_grace_ms);
@@ -365,6 +393,8 @@ class DstStack {
 
   comm::ClientLink& client(std::size_t index = 0) { return *clients_.at(index); }
   std::size_t client_count() const { return clients_.size(); }
+  dms::DataServer& server() { return *server_; }
+  SimDataSource& sim_source() { return *source_; }
   /// Invalidates every memoized result (scenario `bumps=` schedule).
   void bump_data_version() { server_->names().bump_data_version(); }
   core::Scheduler& scheduler() { return *scheduler_; }
@@ -471,6 +501,7 @@ std::string Scenario::to_string() const {
       << ";bypass=" << head_bypass
       << ";pt=" << pipeline_threads << ";pw=" << pipeline_window
       << ";rc=" << result_cache_kb
+      << ";shards=" << shards << ";repl=" << repl
       << ";stall=" << stall_budget_ms;
   out << ";bumps=";
   for (std::size_t i = 0; i < bumps.size(); ++i) {
@@ -559,6 +590,10 @@ std::optional<Scenario> Scenario::parse(const std::string& text) {
         s.pipeline_window = std::stoi(value);
       } else if (key == "rc") {
         s.result_cache_kb = std::stoi(value);
+      } else if (key == "shards") {
+        s.shards = std::stoi(value);
+      } else if (key == "repl") {
+        s.repl = std::stoi(value);
       } else if (key == "bumps") {
         std::istringstream list(value);
         std::string entry;
@@ -806,6 +841,23 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     std::vector<bool> bump_done(scenario.bumps.size(), false);
     std::uint64_t driver_version = 1;
     bool stalled = false;
+    // Post-kill fallback accounting: snapshot the disk-fallback total once
+    // the last scheduled kill has fired; the delta to the end of the run is
+    // what replica coverage failed to absorb (peer_fallback_disk_after_kill).
+    int last_kill_ms = -1;
+    for (const auto& [kill_ms, kill_rank] : scenario.kills) {
+      (void)kill_rank;
+      last_kill_ms = std::max(last_kill_ms, kill_ms);
+    }
+    bool kill_snapshot_done = false;
+    std::uint64_t fallback_at_kill = 0;
+    auto sum_fallback_disk = [&stack] {
+      std::uint64_t total_fallbacks = 0;
+      for (auto& proxy : stack.proxies()) {
+        total_fallbacks += proxy->stats().snapshot().peer_fallback_disk;
+      }
+      return total_fallbacks;
+    };
     while (result.completed + result.rejected < total) {
       const std::int64_t now = clock->now_ns();
       for (std::size_t b = 0; b < scenario.bumps.size(); ++b) {
@@ -816,6 +868,11 @@ ScenarioResult run_scenario(const Scenario& scenario) {
           bump_done[b] = true;
           last_progress = now;
         }
+      }
+      if (!kill_snapshot_done && last_kill_ms >= 0 &&
+          now - start_ns >= static_cast<std::int64_t>(last_kill_ms) * 1000000) {
+        fallback_at_kill = sum_fallback_disk();
+        kill_snapshot_done = true;
       }
       for (std::size_t i = 0; i < scenario.requests.size(); ++i) {
         const DstRequest& spec = scenario.requests[i];
@@ -965,6 +1022,51 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     // time so no load is mid-flight.
     for (auto& proxy : stack.proxies()) {
       proxy->quiesce();
+    }
+
+    // Sharded-DMS aggregates (zero when shards=1: the counters never move).
+    for (auto& proxy : stack.proxies()) {
+      const auto counters = proxy->stats().snapshot();
+      result.peer_fetches += counters.peer_fetches;
+      result.peer_pushes += counters.peer_pushes;
+      result.replica_promotions += counters.replica_promotions;
+      result.peer_fallback_disk += counters.peer_fallback_disk;
+      result.stale_replica_rejects += counters.stale_replica_rejects;
+    }
+    if (kill_snapshot_done) {
+      result.peer_fallback_disk_after_kill = result.peer_fallback_disk - fallback_at_kill;
+    }
+
+    // Replica consistency (oracle 9): whatever path put a block into a
+    // proxy's L1 — own disk load, peer fetch from any replica, unsolicited
+    // push — its bytes must equal the synthetic source's content for that
+    // id. A corrupting serialization bug or a wrong-item reply shows up
+    // here no matter which rank answered.
+    if (scenario.shards > 1) {
+      for (auto& proxy : stack.proxies()) {
+        const std::string tag = "replica(proxy " + std::to_string(proxy->id()) + "): ";
+        const auto& l1 = proxy->cache().l1();
+        for (const dms::ItemId id : l1.resident()) {
+          const dms::Blob blob = l1.peek(id);
+          if (!blob) {
+            continue;  // the byte-accounting oracle already flags this
+          }
+          const auto name = stack.server().names().lookup(id);
+          if (!name) {
+            note_violation(tag + "resident item " + std::to_string(id) +
+                           " has no name-service entry");
+            continue;
+          }
+          const int block = static_cast<int>(name->params.get_int("block", -1));
+          const util::ByteBuffer want = stack.sim_source().expected(block);
+          if (!(*blob == want)) {
+            note_violation(tag + "item " + std::to_string(id) + " (block " +
+                           std::to_string(block) + ") bytes diverge from the source: " +
+                           std::to_string(blob->size()) + " vs " + std::to_string(want.size()) +
+                           " bytes");
+          }
+        }
+      }
     }
 
     // Async (pipelined-executor) accounting. Loads still running when an

@@ -29,7 +29,12 @@
 ///      to one a real work group previously computed for the same
 ///      workload; no completion ever reports a dataset version older than
 ///      the version current when it was submitted (no stale geometry after
-///      an invalidation).
+///      an invalidation),
+///   9. replica consistency (shards>1 scenarios) — after the run settles,
+///      every block resident in any proxy's L1 is byte-identical to the
+///      synthetic source's content for that id: no matter which replica
+///      served it (owner, promoted survivor, peer push), the bytes are the
+///      ones the original store produced.
 
 #include <cstdint>
 #include <map>
@@ -121,6 +126,15 @@ struct Scenario {
   /// later completion reports an older version.
   std::vector<int> bumps;
 
+  /// Sharded DMS (DESIGN.md §12): shards > 1 spreads block ownership over
+  /// the first min(shards, workers) proxies by consistent hashing and
+  /// routes misses proxy→proxy; repl >= 2 replicates each block across
+  /// that many owners so kills compose with peer transfer (the replica-
+  /// failover scenarios). The default (1, 1) is the legacy central path —
+  /// trajectories of pre-shard scenario strings are unchanged.
+  int shards = 1;
+  int repl = 1;
+
   /// Virtual progress bound for the stall oracle.
   int stall_budget_ms = 8000;
 
@@ -144,6 +158,18 @@ struct ScenarioResult {
   std::uint64_t backfills = 0;  ///< scheduler backfill dispatches
   int max_head_bypass_seen = 0;  ///< vs the scenario's aging bound
   int cache_hits = 0;  ///< completions served from the result cache
+
+  /// Sharded-DMS aggregates (all proxies summed; zero in shards=1 runs).
+  std::uint64_t peer_fetches = 0;
+  std::uint64_t peer_pushes = 0;
+  std::uint64_t replica_promotions = 0;
+  std::uint64_t peer_fallback_disk = 0;
+  std::uint64_t stale_replica_rejects = 0;
+  /// peer_fallback_disk accrued after the last scheduled kill fired — the
+  /// replica-coverage measure: with R >= 2 and warm replicas, blocks owned
+  /// by the killed rank re-serve from survivors and this stays 0 (the
+  /// targeted failover tests assert exactly that).
+  std::uint64_t peer_fallback_disk_after_kill = 0;
 
   /// Per-request terminal record, keyed by request id (index + 1): virtual
   /// completion time plus the width the group actually ran at vs asked for.

@@ -488,3 +488,57 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweepTest, ::testing::Values(2, 3
                          [](const auto& info) {
                            return "ranks" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Multi-thread receive on one rank (the sharded-DMS wiring: worker loop,
+// heartbeat poller and peer-transfer service all share a communicator)
+// ---------------------------------------------------------------------------
+
+TEST(Communicator, MessageStolenBySiblingThreadStillReachesItsAddressee) {
+  // A thread polling for tag A pulls a tag-B message off the transport and
+  // buffers it in the unexpected-message queue. The tag-B receiver must get
+  // it from there — a stolen message may never be lost.
+  auto transport = std::make_shared<vc::InProcTransport>(2);
+  vc::Communicator sender(transport, 0);
+  vc::Communicator receiver(transport, 1);
+
+  sender.send(1, /*tag=*/7, make_payload("stolen"));
+  // Poll for the wrong tag until the pump has definitely buffered tag 7.
+  ASSERT_TRUE(vira::test::eventually([&] {
+    EXPECT_FALSE(receiver.try_recv(vc::kAnySource, /*tag=*/99, std::chrono::milliseconds(1)));
+    return receiver.probe(std::chrono::milliseconds(0)).has_value();
+  }));
+  // Now a zero-timeout receive must find it without touching the transport.
+  auto msg = receiver.try_recv(0, 7, std::chrono::milliseconds(0));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(read_payload(msg->payload), "stolen");
+}
+
+TEST(Communicator, ConcurrentPumpingSiblingDoesNotStarveAReceiver) {
+  // Regression: try_recv used to park in a single transport wait as long as
+  // its whole timeout. With a sibling thread pumping the same rank, the
+  // sibling buffers the caller's message and the caller only noticed at its
+  // deadline — long enough to trip the scheduler's idle-grace watchdog. The
+  // wait is now sliced, so delivery happens promptly even mid-wait.
+  auto transport = std::make_shared<vc::InProcTransport>(2);
+  vc::Communicator sender(transport, 0);
+  vc::Communicator receiver(transport, 1);
+
+  std::atomic<bool> stop{false};
+  std::thread sibling([&] {
+    while (!stop.load()) {
+      (void)receiver.try_recv(vc::kAnySource, /*tag=*/99, std::chrono::milliseconds(1));
+    }
+  });
+
+  for (int round = 0; round < 20; ++round) {
+    sender.send(1, /*tag=*/7, make_payload("round"));
+    // The worker-loop shape: a timeout much longer than the delivery should
+    // take. The sibling races us to the transport on every round.
+    auto msg = receiver.try_recv(0, 7, std::chrono::seconds(5));
+    ASSERT_TRUE(msg.has_value()) << "round " << round;
+    EXPECT_EQ(read_payload(msg->payload), "round");
+  }
+  stop.store(true);
+  sibling.join();
+}

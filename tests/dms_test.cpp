@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <optional>
@@ -9,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault_transport.hpp"
+#include "comm/transport.hpp"
 #include "dms/block_cache.hpp"
 #include "dms/cache_policy.hpp"
 #include "dms/data_proxy.hpp"
@@ -16,6 +19,7 @@
 #include "dms/loading.hpp"
 #include "dms/name_service.hpp"
 #include "dms/prefetcher.hpp"
+#include "dms/shard_map.hpp"
 #include "dms/two_tier_cache.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -1481,4 +1485,320 @@ TEST(Prefetchers, MarkovWithoutFallbackStaysQuietWhenIgnorant) {
   markov.on_request(7, false);
   markov.on_request(3, false);
   EXPECT_EQ(markov.suggest(4), (std::vector<vd::ItemId>{7}));
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap property tests (DESIGN.md §12)
+//
+// Brute-force reference style: the map's claims are re-checked directly over
+// seeded random universes of ids instead of trusting the ring arithmetic.
+// Seeds derive from the printed master seed (VIRA_TEST_SEED reproduces).
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapProperties, EveryIdHasExactlyRDistinctLiveOwners) {
+  vu::Rng rng(vira::test::test_seed(0x54a9d));
+  for (int round = 0; round < 20; ++round) {
+    vd::ShardMap::Config config;
+    config.members = 1 + static_cast<int>(rng.next_below(8));
+    config.replication = 1 + static_cast<int>(rng.next_below(4));
+    config.seed = rng.next_u64();
+    vd::ShardMap map(config);
+    const auto expected = static_cast<std::size_t>(std::min(config.replication, config.members));
+    for (int i = 0; i < 200; ++i) {
+      const vd::ItemId id = rng.next_u64();
+      const auto owners = map.owners(id);
+      ASSERT_EQ(owners.size(), expected) << "members=" << config.members
+                                         << " repl=" << config.replication;
+      const std::set<int> distinct(owners.begin(), owners.end());
+      ASSERT_EQ(distinct.size(), owners.size()) << "owner list repeats a member";
+      for (const int owner : owners) {
+        ASSERT_GE(owner, 0);
+        ASSERT_LT(owner, config.members);
+      }
+      ASSERT_EQ(map.primary(id), owners.front());
+      for (int member = 0; member < config.members; ++member) {
+        ASSERT_EQ(map.is_owner(id, member), distinct.count(member) == 1);
+      }
+    }
+  }
+}
+
+TEST(ShardMapProperties, IdenticalConfigsRouteIdenticallyWithoutCoordination) {
+  vu::Rng rng(vira::test::test_seed(0x54a9e));
+  for (int round = 0; round < 10; ++round) {
+    vd::ShardMap::Config config;
+    config.members = 2 + static_cast<int>(rng.next_below(7));
+    config.replication = 1 + static_cast<int>(rng.next_below(3));
+    config.seed = rng.next_u64();
+    vd::ShardMap a(config);
+    vd::ShardMap b(config);
+    vd::ShardMap::Config other = config;
+    other.seed = config.seed + 1;
+    vd::ShardMap c(other);
+    bool seed_matters = false;
+    for (int i = 0; i < 200; ++i) {
+      const vd::ItemId id = rng.next_u64();
+      ASSERT_EQ(a.owners(id), b.owners(id)) << "same config diverged";
+      if (a.owners(id) != c.owners(id)) {
+        seed_matters = true;
+      }
+    }
+    EXPECT_TRUE(seed_matters) << "a different seed never moved any of 200 ids";
+  }
+}
+
+TEST(ShardMapProperties, DeathOnlyMovesKeysTheDeadOwnerServed) {
+  vu::Rng rng(vira::test::test_seed(0xdead5));
+  for (int round = 0; round < 10; ++round) {
+    vd::ShardMap::Config config;
+    config.members = 2 + static_cast<int>(rng.next_below(7));
+    config.replication = 1 + static_cast<int>(rng.next_below(3));
+    config.seed = rng.next_u64();
+    vd::ShardMap map(config);
+
+    constexpr int kIds = 500;
+    std::vector<vd::ItemId> ids;
+    std::vector<std::vector<int>> before;
+    ids.reserve(kIds);
+    before.reserve(kIds);
+    for (int i = 0; i < kIds; ++i) {
+      ids.push_back(rng.next_u64());
+      before.push_back(map.owners(ids.back()));
+    }
+
+    const int dead = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(config.members)));
+    map.mark_dead(dead);
+    EXPECT_TRUE(map.is_dead(dead));
+
+    int moved = 0;
+    for (int i = 0; i < kIds; ++i) {
+      const auto after = map.owners(ids[i]);
+      const bool held = std::find(before[i].begin(), before[i].end(), dead) != before[i].end();
+      if (!held) {
+        // Ids the dead member never owned must be completely untouched.
+        ASSERT_EQ(after, before[i]) << "unrelated id moved on death";
+        continue;
+      }
+      ++moved;
+      // The ring walk merely skips the dead member's points: the surviving
+      // owners keep their order, and at most one new replica is appended.
+      std::vector<int> survivors = before[i];
+      survivors.erase(std::remove(survivors.begin(), survivors.end(), dead), survivors.end());
+      ASSERT_GE(after.size(), survivors.size());
+      ASSERT_TRUE(std::equal(survivors.begin(), survivors.end(), after.begin()))
+          << "surviving owners reshuffled on death";
+      ASSERT_EQ(std::find(after.begin(), after.end(), dead) == after.end(), true);
+      const auto live = static_cast<std::size_t>(std::min(config.replication, config.members - 1));
+      ASSERT_EQ(after.size(), live);
+    }
+    // Movement is the expected ≈ min(R, N)/N fraction of the keyspace, not
+    // a rehash-everything event. Bounds are loose (64 vnodes ⇒ the shares
+    // wobble) but rule out both extremes.
+    const double expected =
+        static_cast<double>(std::min(config.replication, config.members)) / config.members;
+    const double fraction = static_cast<double>(moved) / kIds;
+    EXPECT_LE(fraction, std::min(1.0, 3.0 * expected))
+        << "death moved far more keys than the dead member owned";
+    EXPECT_GE(fraction, expected / 4.0) << "death moved implausibly few keys";
+  }
+}
+
+// Regression: interned ids are small sequential integers, and member 0's
+// vnode inputs are also 0..vnodes-1. Before the ring/item hash domains were
+// separated, the target of ItemId v was bit-for-bit equal to member 0's
+// v-th ring point, so member 0 was primary for every id below `vnodes` —
+// i.e. for the whole working set of any real run.
+TEST(ShardMapProperties, SmallSequentialIdsSpreadAcrossMembers) {
+  vd::ShardMap::Config config;
+  config.members = 4;
+  config.replication = 2;
+  vd::ShardMap map(config);
+  std::vector<int> primaries(static_cast<std::size_t>(config.members), 0);
+  const int ids = 256;
+  for (int id = 0; id < ids; ++id) {
+    primaries[static_cast<std::size_t>(map.primary(static_cast<vd::ItemId>(id)))]++;
+  }
+  for (int member = 0; member < config.members; ++member) {
+    EXPECT_GT(primaries[static_cast<std::size_t>(member)], 0)
+        << "member " << member << " is primary for none of " << ids << " sequential ids";
+    EXPECT_LT(primaries[static_cast<std::size_t>(member)], ids / 2)
+        << "member " << member << " is primary for over half of " << ids
+        << " sequential ids — item targets are colliding with its ring points";
+  }
+}
+
+TEST(ShardMapProperties, AllDeadMeansNoOwners) {
+  vd::ShardMap::Config config;
+  config.members = 3;
+  config.replication = 2;
+  vd::ShardMap map(config);
+  for (int member = 0; member < config.members; ++member) {
+    map.mark_dead(member);
+  }
+  EXPECT_TRUE(map.owners(42).empty());
+  EXPECT_EQ(map.primary(42), -1);
+  map.mark_alive(1);
+  EXPECT_EQ(map.owners(42), std::vector<int>{1});
+}
+
+// ---------------------------------------------------------------------------
+// Sharded DMS peer wire (kTagPeerFetch / kTagPeerBlock / kTagPeerPush)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// `workers` proxies over one in-process wire, ownership consistently hashed
+/// across the first `members` of them with replication `repl` — the same
+/// wiring core::Backend does, minus scheduler and workers.
+struct ShardedFixture {
+  std::shared_ptr<vd::DataServer> server = std::make_shared<vd::DataServer>();
+  std::shared_ptr<FakeSource> source = std::make_shared<FakeSource>();
+  std::shared_ptr<vira::comm::InProcTransport> transport;
+  std::shared_ptr<vira::comm::Transport> wire;
+  vd::ShardMap routes;  ///< reference copy for the tests' own ownership queries
+  std::vector<std::unique_ptr<vd::DataProxy>> proxies;
+
+  ShardedFixture(int workers, int members, int repl,
+                 const vira::comm::FaultInjectionConfig* faults = nullptr)
+      : transport(std::make_shared<vira::comm::InProcTransport>(workers + 1)),
+        wire(faults ? std::static_pointer_cast<vira::comm::Transport>(
+                          std::make_shared<vira::comm::FaultInjectingTransport>(transport, *faults))
+                    : transport),
+        routes(shard_config(members, repl)) {
+    for (int index = 0; index < workers; ++index) {
+      vd::DataProxyConfig config;
+      config.proxy_id = index;
+      config.cache.l1_capacity_bytes = 1 << 20;
+      config.cache.policy = "fbr";
+      config.async_prefetch = false;
+      auto proxy = std::make_unique<vd::DataProxy>(config, server, source);
+      proxy->configure_sharding(std::make_shared<vd::ShardMap>(shard_config(members, repl)),
+                                std::make_shared<vira::comm::Communicator>(wire, index + 1),
+                                std::chrono::milliseconds(50));
+      proxies.push_back(std::move(proxy));
+    }
+  }
+
+  static vd::ShardMap::Config shard_config(int members, int repl) {
+    vd::ShardMap::Config config;
+    config.members = members;
+    config.replication = repl;
+    return config;
+  }
+
+  /// First block item whose primary owner is `owner`, skipping `skip` hits
+  /// (for tests that need several distinct items on the same shard).
+  vd::DataItemName item_owned_by(int owner, int skip = 0) {
+    for (int block = 0; block < 256; ++block) {
+      const auto name = item("shard", 0, block);
+      if (routes.primary(proxies[0]->resolver().resolve(name)) == owner) {
+        if (skip-- == 0) {
+          return name;
+        }
+      }
+    }
+    throw std::logic_error("no block hashed onto the requested owner");
+  }
+};
+
+bool same_bytes(const vd::Blob& a, const vd::Blob& b) {
+  return a && b && a->size() == b->size() && std::memcmp(a->data(), b->data(), a->size()) == 0;
+}
+
+}  // namespace
+
+TEST(ShardedDms, PeerFetchRoundTripServesFromOwner) {
+  ShardedFixture fx(2, 2, 1);
+  const auto name = fx.item_owned_by(0);
+  const auto original = fx.proxies[0]->request(name);  // owner: disk load
+  EXPECT_EQ(fx.source->loads(), 1);
+  const auto fetched = fx.proxies[1]->request(name);  // non-owner: over the wire
+  EXPECT_EQ(fx.source->loads(), 1) << "a warm owner must absorb the miss";
+  EXPECT_TRUE(same_bytes(original, fetched));
+  const auto counters = fx.proxies[1]->stats().snapshot();
+  EXPECT_EQ(counters.peer_fetches, 1u);
+  EXPECT_EQ(counters.peer_fallback_disk, 0u);
+  EXPECT_EQ(counters.peer_fetch_timeouts, 0u);
+}
+
+TEST(ShardedDms, FetchRacingEvictionFallsBackToDiskAndReseedsOwner) {
+  ShardedFixture fx(2, 2, 1);
+  const auto name = fx.item_owned_by(0);
+  const vd::ItemId id = fx.proxies[1]->resolver().resolve(name);
+  // The owner is alive but cold — the steady-state shape of a fetch racing
+  // an eviction. The answer must be a *signed* miss followed by a disk
+  // fallback, never a hang on a silent peer.
+  const auto blob = fx.proxies[1]->request(name);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(fx.source->loads(), 1);
+  const auto counters = fx.proxies[1]->stats().snapshot();
+  EXPECT_EQ(counters.peer_fetch_misses, 1u);
+  EXPECT_EQ(counters.peer_fallback_disk, 1u);
+  EXPECT_EQ(counters.peer_fetch_timeouts, 0u);
+  EXPECT_GE(counters.peer_pushes, 1u);
+  // The fallback pushed a replica back to the owner (async, via its peer
+  // service thread) — the next fetch for this block finds it warm.
+  EXPECT_TRUE(vira::test::eventually(
+      [&] { return fx.proxies[0]->cache().peek(id) != nullptr; }));
+}
+
+TEST(ShardedDms, DuplicatedPeerRepliesAreDedupedBySeq) {
+  vira::comm::FaultInjectionConfig faults;
+  faults.seed = 99;
+  faults.duplicate_rate = 1.0;  // every wire message arrives twice
+  ShardedFixture fx(2, 2, 1, &faults);
+  const auto first = fx.item_owned_by(0, 0);
+  const auto second = fx.item_owned_by(0, 1);
+  const auto original_first = fx.proxies[0]->request(first);
+  const auto original_second = fx.proxies[0]->request(second);
+  EXPECT_EQ(fx.source->loads(), 2);
+
+  // Each fetch is answered at least twice (duplicated request ⇒ the owner
+  // serves it twice ⇒ duplicated replies); the stale extras carry an old
+  // seq and must be discarded, not mistaken for the next fetch's answer.
+  const auto fetched_first = fx.proxies[1]->request(first);
+  const auto fetched_second = fx.proxies[1]->request(second);
+  EXPECT_TRUE(same_bytes(original_first, fetched_first));
+  EXPECT_TRUE(same_bytes(original_second, fetched_second));
+  EXPECT_EQ(fx.source->loads(), 2) << "duplicates must not force disk fallbacks";
+  const auto counters = fx.proxies[1]->stats().snapshot();
+  EXPECT_EQ(counters.peer_fetches, 2u);
+  EXPECT_EQ(counters.peer_fallback_disk, 0u);
+}
+
+TEST(ShardedDms, VersionBumpInvalidatesEveryReplica) {
+  // Regression for bump routing: NameService::bump_data_version() must
+  // invalidate on *all* replicas — after the PR-6 result-cache invalidation
+  // fires, a stale replica may not serve a pre-bump block to anyone.
+  ShardedFixture fx(3, 2, 2);  // proxies 0 and 1 own everything; 2 only requests
+  fx.server->names().on_bump([&fx](std::uint64_t version) {
+    for (auto& proxy : fx.proxies) {
+      proxy->on_data_version(version);
+    }
+  });
+  const auto name = fx.item_owned_by(0);
+  const vd::ItemId id = fx.proxies[2]->resolver().resolve(name);
+
+  // Cold start: both owners sign misses, the requester pays the disk once
+  // and seeds both replicas.
+  const auto original = fx.proxies[2]->request(name);
+  ASSERT_NE(original, nullptr);
+  EXPECT_EQ(fx.source->loads(), 1);
+  ASSERT_TRUE(vira::test::eventually([&] {
+    return fx.proxies[0]->cache().peek(id) != nullptr &&
+           fx.proxies[1]->cache().peek(id) != nullptr;
+  }));
+
+  fx.server->names().bump_data_version();
+
+  // The repeat may not touch any pre-bump copy: the requester's own cache
+  // hit is evicted as stale, both replicas refuse on the wire, and the
+  // bytes come fresh from the source.
+  const auto reloaded = fx.proxies[2]->request(name);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(fx.source->loads(), 2);
+  const auto rejects = fx.proxies[0]->stats().snapshot().stale_replica_rejects +
+                       fx.proxies[1]->stats().snapshot().stale_replica_rejects;
+  EXPECT_GE(rejects, 1u) << "no replica ever refused its stale copy";
+  EXPECT_EQ(fx.proxies[2]->data_version(), 2u);
 }

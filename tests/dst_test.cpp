@@ -506,6 +506,127 @@ TEST(DstQosTest, QosKnobsRoundTripThroughScenarioString) {
   EXPECT_EQ(reparsed->to_string(), scenario.to_string());
 }
 
+// --- Sharded DMS under DST (DESIGN.md §12) -----------------------------------
+
+TEST(DstShardTest, ShardKnobsRoundTripThroughScenarioString) {
+  sim::Scenario scenario;
+  scenario.shards = 3;
+  scenario.repl = 2;
+  scenario.requests.push_back(sim::DstRequest{});
+  const auto reparsed = sim::Scenario::parse(scenario.to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->shards, 3);
+  EXPECT_EQ(reparsed->repl, 2);
+  EXPECT_EQ(reparsed->to_string(), scenario.to_string());
+
+  // Pre-shard scenario strings (no shards=/repl= keys) parse to the legacy
+  // central path, so every recorded repro stays replayable.
+  std::string legacy = scenario.to_string();
+  const auto pos = legacy.find(";shards=3;repl=2");
+  ASSERT_NE(pos, std::string::npos);
+  legacy.erase(pos, std::string(";shards=3;repl=2").size());
+  const auto old_format = sim::Scenario::parse(legacy);
+  ASSERT_TRUE(old_format.has_value());
+  EXPECT_EQ(old_format->shards, 1);
+  EXPECT_EQ(old_format->repl, 1);
+}
+
+TEST(DstShardTest, FaultFreeShardedRunServesPeersWithoutRetries) {
+  // Regression for the communicator pump-slice bug: the peer service thread
+  // pumping a worker's communicator used to delay kTagExecute delivery by a
+  // full 50ms transport wait — past the 40ms idle grace below — so even a
+  // fault-free sharded run retried its request. Deterministic replay: any
+  // reappearance of that delivery latency shows up here as degraded != 0.
+  sim::Scenario scenario;
+  scenario.seed = 7;
+  scenario.workers = 3;
+  scenario.shards = 3;
+  scenario.repl = 2;
+  scenario.l1_bytes = 64 * 1024;
+  scenario.item_count = 16;
+  scenario.idle_grace_ms = 40;
+  sim::DstRequest request;
+  request.partials = 2;
+  request.dms_items = 8;
+  scenario.requests.push_back(request);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.completed, 1);
+  EXPECT_EQ(result.succeeded, 1);
+  EXPECT_EQ(result.degraded, 0) << "a fault-free sharded run must not retry";
+  EXPECT_GT(result.peer_fetches, 0u);
+  EXPECT_GT(result.peer_pushes, 0u);
+}
+
+TEST(DstShardTest, ReplicaFailoverCoversKilledRankWithoutDiskRespill) {
+  // The acceptance scenario: R=2 over two owner shards, warm the replicas,
+  // kill one owner, then run a wide request whose non-owner member must
+  // fetch every block. Blocks whose primary died re-serve from the
+  // surviving replica (dms.replica_promotions), and nothing respills from
+  // disk after the kill — the replica-consistency oracle checks the bytes.
+  sim::Scenario scenario;
+  scenario.seed = 4242;
+  scenario.workers = 3;
+  scenario.shards = 2;  // owners are proxies 0 and 1
+  scenario.repl = 2;    // every block lives on both
+  scenario.l1_bytes = 64 * 1024;
+  scenario.item_count = 8;
+  scenario.kills.push_back({250, 1});  // rank 1 = proxy 0, after the warmup
+
+  sim::DstRequest warmup;  // loads every block, seeding both owner replicas
+  warmup.width = 1;
+  warmup.partials = 2;
+  warmup.dms_items = 8;
+  scenario.requests.push_back(warmup);
+
+  sim::DstRequest wide;  // after the kill: survivors are proxies 1 and 2
+  wide.width = 2;
+  wide.partials = 2;
+  wide.dms_items = 8;
+  wide.submit_at_ms = 600;
+  scenario.requests.push_back(wide);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.ranks_killed, 1u);
+  EXPECT_EQ(result.completed, 2);
+  EXPECT_EQ(result.succeeded, 2);
+  EXPECT_GT(result.peer_pushes, 0u) << "warmup never replicated its loads";
+  EXPECT_GT(result.replica_promotions, 0u)
+      << "no block was ever served by a promoted surviving replica";
+  EXPECT_EQ(result.peer_fallback_disk_after_kill, 0u)
+      << "replica-covered blocks respilled from disk after the kill";
+}
+
+TEST(DstShardTest, KillDuringPeerFetchIsRecovered) {
+  // The kill lands while the wide request is actively peer-fetching (long
+  // per-item compute keeps the group mid-flight). Whatever instant the
+  // fetch is interrupted at, the oracles must hold and the request must
+  // still complete via retry or replica failover.
+  sim::Scenario scenario;
+  scenario.seed = 777;
+  scenario.workers = 3;
+  scenario.shards = 2;
+  scenario.repl = 2;
+  scenario.l1_bytes = 64 * 1024;
+  scenario.item_count = 8;
+  scenario.request_timeout_ms = 2000;
+  scenario.kills.push_back({30, 1});  // mid-attempt
+  sim::DstRequest request;
+  request.width = 2;
+  request.partials = 3;
+  request.dms_items = 8;
+  request.item_sleep_us = 20000;
+  scenario.requests.push_back(request);
+
+  const auto result = sim::run_scenario(scenario);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty() ? "" : result.violations.front());
+  EXPECT_EQ(result.ranks_killed, 1u);
+  EXPECT_EQ(result.completed, 1);
+  EXPECT_EQ(result.succeeded, 1);
+}
+
 // --- Shrinker ----------------------------------------------------------------
 
 TEST(DstShrinkTest, MinimizesInjectedExactlyOnceViolation) {

@@ -9,7 +9,8 @@
 ///                    [--policy lru|lfu|fbr] [--l2-dir PATH]
 ///                    [--net epoll|blocking] [--net-threads N]
 ///                    [--no-compression]
-///                    [--dms-messages] [--trace-out FILE] [--metrics-out FILE]
+///                    [--dms-messages] [--shards N] [--repl N]
+///                    [--trace-out FILE] [--metrics-out FILE]
 ///
 /// The server runs until stdin reaches EOF (or the process is signalled),
 /// so `viracocha-server < /dev/null` starts and stops immediately while
@@ -37,6 +38,7 @@ void usage() {
                "                        [--policy lru|lfu|fbr] [--l2-dir PATH]\n"
                "                        [--net epoll|blocking] [--net-threads N]\n"
                "                        [--no-compression] [--dms-messages] [--verbose]\n"
+               "                        [--shards N] [--repl N]\n"
                "                        [--trace-out FILE] [--metrics-out FILE]\n");
 }
 
@@ -108,6 +110,10 @@ int main(int argc, char** argv) {
       config.net.allow_compression = false;
     } else if (flag == "--dms-messages") {
       config.dms_over_messages = true;
+    } else if (flag == "--shards") {
+      config.dms_shards = std::atoi(next());
+    } else if (flag == "--repl") {
+      config.dms_replication = std::atoi(next());
     } else if (flag == "--trace-out") {
       g_trace_out = next();
     } else if (flag == "--metrics-out") {
