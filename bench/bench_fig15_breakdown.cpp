@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
 namespace {
@@ -32,17 +33,26 @@ int main() {
   const auto cluster = calibrated_cluster();
   const auto profile = perf::profile_iso(reader, 0, "density", iso);
 
+  // profile_iso ran the real extraction kernels and published the kernel
+  // gauges — carry them onto both breakdown rows.
+  auto& registry = obs::Registry::instance();
+  const auto cells_per_sec =
+      static_cast<double>(registry.gauge("kernel.cells_per_sec").value());
+  const bool simd_active = registry.gauge("kernel.simd_active").value() != 0;
+
   perf::ReplayConfig simple;
   simple.workers = 1;
   simple.use_dms = false;
   simple.warm_cache = false;
-  const auto simple_report = timeline(perf::replay_extraction(profile, cluster, simple));
+  auto simple_report = timeline(perf::replay_extraction(profile, cluster, simple));
+  simple_report.set_kernel(cells_per_sec, simd_active);
 
   perf::ReplayConfig dataman;
   dataman.workers = 1;
   dataman.use_dms = true;
   dataman.warm_cache = true;
-  const auto dataman_report = timeline(perf::replay_extraction(profile, cluster, dataman));
+  auto dataman_report = timeline(perf::replay_extraction(profile, cluster, dataman));
+  dataman_report.set_kernel(cells_per_sec, simd_active);
 
   perf::print_banner("Figure 15",
                      "Engine isosurface component breakdown, without / with caching");

@@ -1,5 +1,9 @@
 #include "algo/block_sampler.hpp"
 
+#include <array>
+
+#include "simd/kernels.hpp"
+
 namespace vira::algo {
 
 BlockSampler::BlockSampler(const grid::TimestepInfo& step_info, BlockFetcher fetch)
@@ -54,6 +58,102 @@ std::optional<Vec3> BlockSampler::velocity(const Vec3& p, double) {
   }
   have_hint_ = false;
   return std::nullopt;
+}
+
+void BlockSampler::velocity_batch(const Vec3* p, const double* /*t*/, int n,
+                                  const std::uint8_t* active, Vec3* out, std::uint8_t* ok) {
+  if (static_cast<int>(lane_hints_.size()) != n) {
+    lane_hints_.assign(static_cast<std::size_t>(n), LaneHint{});
+  }
+
+  // Phase 1: locate every live lane. Same hint-then-scan logic as the
+  // scalar velocity(), but against the lane's private hint.
+  std::vector<const grid::StructuredBlock*> blk(static_cast<std::size_t>(n), nullptr);
+  std::vector<grid::CellCoord> coord(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) {
+    ok[l] = 0;
+    if (active != nullptr && active[l] == 0) {
+      continue;
+    }
+    LaneHint& hint = lane_hints_[static_cast<std::size_t>(l)];
+    if (hint.valid && hint.block >= 0) {
+      if (Loaded* loaded = ensure_loaded(hint.block)) {
+        if (auto c = loaded->locator->locate(p[l], hint.cell)) {
+          hint.cell = *c;
+          blk[static_cast<std::size_t>(l)] = loaded->block.get();
+          coord[static_cast<std::size_t>(l)] = *c;
+          ok[l] = 1;
+          continue;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < info_.blocks.size(); ++b) {
+      if (static_cast<int>(b) == hint.block) {
+        continue;  // already tried
+      }
+      if (!info_.blocks[b].bounds.contains(p[l], 1e-9)) {
+        continue;
+      }
+      Loaded* loaded = ensure_loaded(static_cast<int>(b));
+      if (loaded == nullptr) {
+        continue;
+      }
+      if (auto c = loaded->locator->locate(p[l])) {
+        hint.block = static_cast<int>(b);
+        hint.cell = *c;
+        hint.valid = true;
+        blk[static_cast<std::size_t>(l)] = loaded->block.get();
+        coord[static_cast<std::size_t>(l)] = *c;
+        ok[l] = 1;
+        break;
+      }
+    }
+    if (ok[l] == 0) {
+      hint.valid = false;
+    }
+  }
+
+  // Phase 2: interpolate runs of lanes that resolved to the same block in
+  // one gather per velocity component. The gather's corner-sum order
+  // matches interpolate_velocity exactly, so results are bit-identical.
+  std::vector<std::int64_t> idx;
+  std::vector<double> w;
+  std::vector<double> gx, gy, gz;
+  int l = 0;
+  while (l < n) {
+    if (!ok[l]) {
+      ++l;
+      continue;
+    }
+    const grid::StructuredBlock* block = blk[static_cast<std::size_t>(l)];
+    const int begin = l;
+    while (l < n && ok[l] && blk[static_cast<std::size_t>(l)] == block) {
+      ++l;
+    }
+    const int run = l - begin;
+    idx.resize(static_cast<std::size_t>(run) * 8);
+    w.resize(static_cast<std::size_t>(run) * 8);
+    for (int r = 0; r < run; ++r) {
+      const auto& c = coord[static_cast<std::size_t>(begin + r)];
+      const auto corners = block->cell_corners(c.i, c.j, c.k);
+      std::array<double, 8> weights;
+      grid::trilinear_weights(c.u, c.v, c.w, weights);
+      for (int v = 0; v < 8; ++v) {
+        idx[static_cast<std::size_t>(r) * 8 + v] = corners[static_cast<std::size_t>(v)];
+        w[static_cast<std::size_t>(r) * 8 + v] = weights[static_cast<std::size_t>(v)];
+      }
+    }
+    gx.resize(static_cast<std::size_t>(run));
+    gy.resize(static_cast<std::size_t>(run));
+    gz.resize(static_cast<std::size_t>(run));
+    simd::trilinear_gather(block->velocity_x().data(), idx.data(), w.data(), run, gx.data());
+    simd::trilinear_gather(block->velocity_y().data(), idx.data(), w.data(), run, gy.data());
+    simd::trilinear_gather(block->velocity_z().data(), idx.data(), w.data(), run, gz.data());
+    for (int r = 0; r < run; ++r) {
+      out[begin + r] = Vec3{gx[static_cast<std::size_t>(r)], gy[static_cast<std::size_t>(r)],
+                            gz[static_cast<std::size_t>(r)]};
+    }
+  }
 }
 
 }  // namespace vira::algo

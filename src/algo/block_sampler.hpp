@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "algo/integrator.hpp"
 #include "grid/cell_locator.hpp"
@@ -33,6 +34,14 @@ class BlockSampler final : public VelocityProvider {
   BlockSampler(const grid::TimestepInfo& step_info, BlockFetcher fetch);
 
   std::optional<Vec3> velocity(const Vec3& p, double t) override;
+
+  /// Lockstep override: each lane keeps its *own* (block, cell) hint that
+  /// evolves from that lane's query sequence only — exactly what the lane
+  /// would see with a private scalar sampler — so batch trajectories are
+  /// bit-identical to per-seed scalar runs. Lanes resolved to the same
+  /// block are interpolated together through simd::trilinear_gather.
+  void velocity_batch(const Vec3* p, const double* t, int n, const std::uint8_t* active,
+                      Vec3* out, std::uint8_t* ok) override;
 
   /// Blocks touched so far (diagnostics / load-imbalance analysis).
   std::size_t blocks_touched() const { return loaded_.size(); }
@@ -52,6 +61,13 @@ class BlockSampler final : public VelocityProvider {
   int hint_block_ = -1;
   grid::CellCoord hint_cell_{};
   bool have_hint_ = false;
+
+  struct LaneHint {
+    int block = -1;
+    grid::CellCoord cell{};
+    bool valid = false;
+  };
+  std::vector<LaneHint> lane_hints_;  ///< per-lane hints for velocity_batch
 };
 
 }  // namespace vira::algo

@@ -71,7 +71,7 @@ class CutPlaneCommand final : public core::Command {
 
       const auto block_ptr = access.load(step, b);
       grid::StructuredBlock working = *block_ptr;
-      auto& sdf = working.scalar("plane_distance");
+      const auto sdf = working.scalar("plane_distance");  // span into the SoA store
       for (int k = 0; k < working.nk(); ++k) {
         for (int j = 0; j < working.nj(); ++j) {
           for (int i = 0; i < working.ni(); ++i) {

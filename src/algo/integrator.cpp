@@ -5,6 +5,22 @@
 
 namespace vira::algo {
 
+void VelocityProvider::velocity_batch(const Vec3* p, const double* t, int n,
+                                      const std::uint8_t* active, Vec3* out,
+                                      std::uint8_t* ok) {
+  for (int l = 0; l < n; ++l) {
+    if (active != nullptr && active[l] == 0) {
+      ok[l] = 0;
+      continue;
+    }
+    const auto v = velocity(p[l], t[l]);
+    ok[l] = v.has_value() ? 1 : 0;
+    if (v) {
+      out[l] = *v;
+    }
+  }
+}
+
 std::optional<Vec3> rk4_step(VelocityProvider& field, const Vec3& p, double t, double h) {
   const auto k1 = field.velocity(p, t);
   if (!k1) {

@@ -14,6 +14,7 @@
 /// full step is compared against two half steps; the step size shrinks or
 /// grows to keep the estimated local error within tolerance.
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -31,6 +32,14 @@ class VelocityProvider {
  public:
   virtual ~VelocityProvider() = default;
   virtual std::optional<Vec3> velocity(const Vec3& p, double t) = 0;
+
+  /// Batched lookup for the lockstep integrator: for each lane l with
+  /// active[l] != 0, evaluate velocity(p[l], t[l]) into out[l] and set
+  /// ok[l] (1 = in domain). Inactive lanes are skipped and get ok[l] = 0.
+  /// The default loops over velocity(); providers with gather-friendly
+  /// storage (BlockSampler) override it with per-lane-hint batch sampling.
+  virtual void velocity_batch(const Vec3* p, const double* t, int n,
+                              const std::uint8_t* active, Vec3* out, std::uint8_t* ok);
 };
 
 /// Provider over an analytic flow field (never leaves the domain unless a
@@ -105,5 +114,34 @@ std::vector<PathPoint> integrate_streamline(VelocityProvider& field, const Vec3&
 bool integrate_interval_two_level(VelocityProvider& level_a, VelocityProvider& level_b,
                                   double t_a, double t_b, Vec3& p, double& h,
                                   const IntegratorParams& params, std::vector<PathPoint>& out);
+
+/// --- batched (SoA/SIMD) variants -----------------------------------------
+/// The batch integrators advance many seed points in lockstep: every RK4
+/// stage becomes one velocity_batch call across all live lanes, so a
+/// DMS-backed provider touches each block once per stage instead of once
+/// per particle. Per lane they replay the scalar control flow and formulas
+/// exactly (same attempt limits, same step-size updates, same op order),
+/// so each lane's trajectory is identical to its scalar counterpart —
+/// batching changes memory behavior, not results.
+
+/// One classic RK4 step per lane (per-lane step size h[l]); ok[l] = 0 if
+/// any stage of that lane left the domain (inactive lanes too).
+void rk4_step_batch(VelocityProvider& field, const Vec3* p, const double* t, const double* h,
+                    int n, const std::uint8_t* active, Vec3* out, std::uint8_t* ok);
+
+/// Batched integrate_pathline: all seeds advance in lockstep over the true
+/// time-dependent field. Returns one path per seed (first point = seed).
+std::vector<std::vector<PathPoint>> integrate_pathlines_batch(
+    VelocityProvider& field, const std::vector<Vec3>& seeds, double t0, double t1,
+    const IntegratorParams& params);
+
+/// Batched integrate_interval_two_level over `n` lanes. For each lane l
+/// with alive[l] != 0: advances p[l] across [t_a, t_b], updating h[l] and
+/// appending points to outs[l]; clears alive[l] when the lane leaves the
+/// domain. Returns the number of lanes still alive.
+int integrate_interval_two_level_batch(VelocityProvider& level_a, VelocityProvider& level_b,
+                                       double t_a, double t_b, int n, Vec3* p, double* h,
+                                       std::uint8_t* alive, const IntegratorParams& params,
+                                       std::vector<PathPoint>* outs);
 
 }  // namespace vira::algo

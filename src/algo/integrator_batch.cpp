@@ -1,0 +1,327 @@
+/// \file integrator_batch.cpp
+/// Lockstep batch integration across seed points (DESIGN.md §13).
+///
+/// Every RK4 stage is one velocity_batch call over all live lanes, so a
+/// DMS-backed provider samples each decoded block once per stage instead
+/// of once per particle. Per lane, the control flow mirrors the scalar
+/// integrators statement-for-statement (same attempt limits, same
+/// step-size arithmetic, same Vec3 expression order), which is what the
+/// scalar-vs-batch property tests pin down: lane trajectories are
+/// identical to their scalar counterparts, not merely close.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algo/integrator.hpp"
+
+namespace vira::algo {
+
+namespace {
+
+/// Lane arrays one batched RK4 evaluation round needs.
+struct StageBuffers {
+  std::vector<Vec3> pos;
+  std::vector<double> time;
+  std::vector<double> step;
+  std::vector<Vec3> k1, k2, k3, k4;
+  std::vector<std::uint8_t> m1, m2, m3, m4;
+
+  explicit StageBuffers(int n)
+      : pos(n), time(n), step(n), k1(n), k2(n), k3(n), k4(n), m1(n), m2(n), m3(n), m4(n) {}
+};
+
+}  // namespace
+
+void rk4_step_batch(VelocityProvider& field, const Vec3* p, const double* t, const double* h,
+                    int n, const std::uint8_t* active, Vec3* out, std::uint8_t* ok) {
+  // Stage-major: evaluate k1 for every lane, then k2, ... Lanes that leave
+  // the domain at a stage drop out of the later stage masks, exactly like
+  // the scalar early returns.
+  StageBuffers b(n);
+
+  field.velocity_batch(p, t, n, active, b.k1.data(), b.m1.data());
+  for (int l = 0; l < n; ++l) {
+    if (b.m1[l]) {
+      b.pos[l] = p[l] + b.k1[l] * (h[l] / 2.0);
+      b.time[l] = t[l] + h[l] / 2.0;
+    }
+  }
+  field.velocity_batch(b.pos.data(), b.time.data(), n, b.m1.data(), b.k2.data(), b.m2.data());
+  for (int l = 0; l < n; ++l) {
+    if (b.m2[l]) {
+      b.pos[l] = p[l] + b.k2[l] * (h[l] / 2.0);
+    }
+  }
+  field.velocity_batch(b.pos.data(), b.time.data(), n, b.m2.data(), b.k3.data(), b.m3.data());
+  for (int l = 0; l < n; ++l) {
+    if (b.m3[l]) {
+      b.pos[l] = p[l] + b.k3[l] * h[l];
+      b.time[l] = t[l] + h[l];
+    }
+  }
+  field.velocity_batch(b.pos.data(), b.time.data(), n, b.m3.data(), b.k4.data(), b.m4.data());
+
+  for (int l = 0; l < n; ++l) {
+    ok[l] = b.m4[l];
+    if (b.m4[l]) {
+      out[l] = p[l] + (b.k1[l] + b.k2[l] * 2.0 + b.k3[l] * 2.0 + b.k4[l]) * (h[l] / 6.0);
+    }
+  }
+}
+
+std::vector<std::vector<PathPoint>> integrate_pathlines_batch(
+    VelocityProvider& field, const std::vector<Vec3>& seeds, double t0, double t1,
+    const IntegratorParams& params) {
+  const int n = static_cast<int>(seeds.size());
+  std::vector<std::vector<PathPoint>> paths(seeds.size());
+
+  // Per-lane replica of integrate_pathline's state: (p, t, h) plus the
+  // in-flight adaptive-step state (h_att, attempt index).
+  std::vector<Vec3> p(seeds.begin(), seeds.end());
+  std::vector<double> t(n, t0);
+  std::vector<double> h(n, params.h_init);
+  std::vector<double> h_att(n, 0.0);
+  std::vector<int> attempt(n, 0);
+  std::vector<int> step_count(n, 0);
+  std::vector<std::uint8_t> running(n, 1);
+
+  for (int l = 0; l < n; ++l) {
+    paths[l].push_back({p[l], t[l]});
+    if (t[l] >= t1 - 1e-15 || params.max_steps <= 0) {
+      running[l] = 0;
+    }
+  }
+
+  std::vector<Vec3> full(n), half(n), two_halves(n);
+  std::vector<std::uint8_t> full_ok(n), half_ok(n), two_ok(n);
+  std::vector<double> h_half(n);
+
+  while (true) {
+    bool any = false;
+    for (int l = 0; l < n; ++l) {
+      if (!running[l]) {
+        continue;
+      }
+      any = true;
+      if (attempt[l] == 0) {
+        // New outer step: cap by remaining interval, then clamp like
+        // rk4_adaptive_step's entry.
+        h_att[l] = std::clamp(std::min(h[l], t1 - t[l]), params.h_min, params.h_max);
+      }
+    }
+    if (!any) {
+      break;
+    }
+
+    for (int l = 0; l < n; ++l) {
+      h_half[l] = h_att[l] / 2.0;
+    }
+    rk4_step_batch(field, p.data(), t.data(), h_att.data(), n, running.data(), full.data(),
+                   full_ok.data());
+    rk4_step_batch(field, p.data(), t.data(), h_half.data(), n, full_ok.data(), half.data(),
+                   half_ok.data());
+    std::vector<double> t_mid(n);
+    for (int l = 0; l < n; ++l) {
+      t_mid[l] = t[l] + h_half[l];
+    }
+    rk4_step_batch(field, half.data(), t_mid.data(), h_half.data(), n, half_ok.data(),
+                   two_halves.data(), two_ok.data());
+
+    for (int l = 0; l < n; ++l) {
+      if (!running[l]) {
+        continue;
+      }
+      auto accept = [&](const Vec3& position, double h_next) {
+        p[l] = position;
+        t[l] += h_att[l];
+        h[l] = h_next;
+        paths[l].push_back({p[l], t[l]});
+        attempt[l] = 0;
+        ++step_count[l];
+        if (t[l] >= t1 - 1e-15 || step_count[l] >= params.max_steps) {
+          running[l] = 0;
+        }
+      };
+      auto fail_attempt = [&] {
+        ++attempt[l];
+        if (attempt[l] >= 32) {
+          running[l] = 0;  // rk4_adaptive_step gives up -> pathline ends
+        }
+      };
+
+      if (!full_ok[l]) {
+        // Creep toward the boundary with a halved step before giving up.
+        if (h_att[l] > params.h_min) {
+          h_att[l] = std::max(params.h_min, h_att[l] / 2.0);
+          fail_attempt();
+        } else {
+          running[l] = 0;
+        }
+        continue;
+      }
+      if (!two_ok[l]) {
+        // Midpoint left the domain: accept the full step as final.
+        accept(full[l], h_att[l]);
+        continue;
+      }
+      const double error = (two_halves[l] - full[l]).norm() / 15.0;
+      if (error <= params.tolerance || h_att[l] <= params.h_min) {
+        const double safety = 0.9;
+        const double growth =
+            error > 0.0 ? safety * std::pow(params.tolerance / error, 0.2) : 2.0;
+        const double h_next = std::clamp(h_att[l] * std::clamp(growth, 0.2, 2.0),
+                                         params.h_min, params.h_max);
+        accept(two_halves[l], h_next);
+        continue;
+      }
+      h_att[l] = std::max(params.h_min,
+                          h_att[l] * std::clamp(0.9 * std::pow(params.tolerance / error, 0.25),
+                                                0.1, 0.7));
+      fail_attempt();
+    }
+  }
+  return paths;
+}
+
+namespace {
+
+/// One batched two-level blend step: RK4 on both frozen levels, then the
+/// per-lane elapsed-time lerp (two_level_rk4_step's exact semantics,
+/// including the one-level-survives fallbacks).
+void blend_step_batch(VelocityProvider& level_a, VelocityProvider& level_b, const Vec3* p,
+                      const double* t, const double* h, int n, const std::uint8_t* active,
+                      double t_a, double interval, Vec3* out, std::uint8_t* ok) {
+  std::vector<Vec3> pos_a(n), pos_b(n);
+  std::vector<std::uint8_t> ok_a(n), ok_b(n);
+  rk4_step_batch(level_a, p, t, h, n, active, pos_a.data(), ok_a.data());
+  rk4_step_batch(level_b, p, t, h, n, active, pos_b.data(), ok_b.data());
+  for (int l = 0; l < n; ++l) {
+    if (active != nullptr && active[l] == 0) {
+      ok[l] = 0;
+      continue;
+    }
+    if (!ok_a[l] && !ok_b[l]) {
+      ok[l] = 0;
+      continue;
+    }
+    ok[l] = 1;
+    if (!ok_a[l]) {
+      out[l] = pos_b[l];
+    } else if (!ok_b[l]) {
+      out[l] = pos_a[l];
+    } else {
+      const double alpha = (t[l] + h[l] - t_a) / interval;
+      out[l] = math::lerp(pos_a[l], pos_b[l], std::clamp(alpha, 0.0, 1.0));
+    }
+  }
+}
+
+}  // namespace
+
+int integrate_interval_two_level_batch(VelocityProvider& level_a, VelocityProvider& level_b,
+                                       double t_a, double t_b, int n, Vec3* p, double* h,
+                                       std::uint8_t* alive, const IntegratorParams& params,
+                                       std::vector<PathPoint>* outs) {
+  const double interval = t_b - t_a;
+  if (interval <= 0.0) {
+    int count = 0;
+    for (int l = 0; l < n; ++l) {
+      count += alive[l] ? 1 : 0;
+    }
+    return count;
+  }
+
+  std::vector<double> t(n, t_a);
+  std::vector<double> h_try(n, 0.0);
+  std::vector<int> attempt(n, 0);
+  std::vector<int> step_count(n, 0);
+  // `running` = still advancing through this interval; `alive` stays 1 for
+  // lanes that merely finished it.
+  std::vector<std::uint8_t> running(n);
+  for (int l = 0; l < n; ++l) {
+    if (alive[l]) {
+      h[l] = std::clamp(h[l], params.h_min, params.h_max);
+    }
+    running[l] = alive[l] && t_a < t_b - 1e-15 && params.max_steps > 0 ? 1 : 0;
+  }
+
+  std::vector<Vec3> full(n), half(n), two_halves(n);
+  std::vector<std::uint8_t> full_ok(n), half_ok(n), two_ok(n);
+  std::vector<double> h_half(n), t_mid(n);
+
+  while (true) {
+    bool any = false;
+    for (int l = 0; l < n; ++l) {
+      if (!running[l]) {
+        continue;
+      }
+      any = true;
+      if (attempt[l] == 0) {
+        h_try[l] = std::min(h[l], t_b - t[l]);
+      }
+      h_half[l] = h_try[l] / 2.0;
+      t_mid[l] = t[l] + h_half[l];
+    }
+    if (!any) {
+      break;
+    }
+
+    blend_step_batch(level_a, level_b, p, t.data(), h_try.data(), n, running.data(), t_a,
+                     interval, full.data(), full_ok.data());
+    blend_step_batch(level_a, level_b, p, t.data(), h_half.data(), n, full_ok.data(), t_a,
+                     interval, half.data(), half_ok.data());
+    blend_step_batch(level_a, level_b, half.data(), t_mid.data(), h_half.data(), n,
+                     half_ok.data(), t_a, interval, two_halves.data(), two_ok.data());
+
+    for (int l = 0; l < n; ++l) {
+      if (!running[l]) {
+        continue;
+      }
+      auto accept = [&](const Vec3& position) {
+        p[l] = position;
+        t[l] += h_try[l];
+        outs[l].push_back({p[l], t[l]});
+        attempt[l] = 0;
+        ++step_count[l];
+        if (t[l] >= t_b - 1e-15 || step_count[l] >= params.max_steps) {
+          running[l] = 0;  // interval complete (alive stays set)
+        }
+      };
+
+      if (!full_ok[l]) {
+        running[l] = 0;
+        alive[l] = 0;  // left the domain
+        continue;
+      }
+      if (!two_ok[l]) {
+        accept(full[l]);
+        continue;
+      }
+      const double error = (two_halves[l] - full[l]).norm() / 15.0;
+      if (error <= params.tolerance || h_try[l] <= params.h_min) {
+        const double growth =
+            error > 0.0 ? 0.9 * std::pow(params.tolerance / error, 0.2) : 2.0;
+        h[l] = std::clamp(h_try[l] * std::clamp(growth, 0.2, 2.0), params.h_min, params.h_max);
+        accept(two_halves[l]);
+        continue;
+      }
+      h_try[l] = std::max(params.h_min,
+                          h_try[l] * std::clamp(0.9 * std::pow(params.tolerance / error, 0.25),
+                                                0.1, 0.7));
+      ++attempt[l];
+      if (attempt[l] >= 24) {
+        running[l] = 0;
+        alive[l] = 0;  // scalar loop's !accepted -> return false
+      }
+    }
+  }
+
+  int count = 0;
+  for (int l = 0; l < n; ++l) {
+    count += alive[l] ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace vira::algo

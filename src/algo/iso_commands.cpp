@@ -19,8 +19,10 @@
 #include "algo/block_pipeline.hpp"
 #include "algo/cfd_command.hpp"
 #include "algo/isosurface.hpp"
+#include "algo/kernel_stats.hpp"
 #include "algo/payloads.hpp"
 #include "grid/bsp_tree.hpp"
+#include "util/timer.hpp"
 
 namespace vira::algo {
 
@@ -33,6 +35,7 @@ struct IsoParams {
   float iso = 0.0f;
   int stream_cells = 256;
   bool normals = false;  ///< per-vertex shading normals (field gradient)
+  simd::Kernel kernel = simd::default_kernel();
 
   static IsoParams from(const util::ParamList& params) {
     IsoParams p;
@@ -45,6 +48,14 @@ struct IsoParams {
     p.iso = static_cast<float>(params.get_double("iso", 0.0));
     p.stream_cells = static_cast<int>(params.get_int("stream_cells", 256));
     p.normals = params.get_bool("normals", false);
+    const auto kernel_name = params.get_or("kernel", "");
+    if (!kernel_name.empty()) {
+      const auto kernel = simd::parse_kernel(kernel_name);
+      if (!kernel) {
+        throw std::invalid_argument("iso command: unknown kernel '" + kernel_name + "'");
+      }
+      p.kernel = *kernel;
+    }
     return p;
   }
 };
@@ -68,13 +79,20 @@ void run_monolithic_iso(core::CommandContext& context, bool use_dms) {
 
   TriangleMesh mine;
   std::size_t active_cells = 0;
+  std::int64_t kernel_cells = 0;
+  util::WallTimer kernel_timer;
+  kernel_timer.pause();
   context.phases().enter(core::kPhaseCompute);
   for (int b = begin; b < end; ++b) {
     const auto block = pipeline.next();
-    active_cells += extract_isosurface(*block, p.field, p.iso, mine, p.normals);
+    kernel_timer.resume();
+    active_cells += extract_isosurface(*block, p.field, p.iso, mine, p.normals, p.kernel);
+    kernel_timer.pause();
+    kernel_cells += block->cell_count();
     context.report_progress(static_cast<double>(b - begin + 1) / std::max(1, end - begin));
   }
   context.phases().stop();
+  publish_kernel_stats(kernel_cells, kernel_timer.seconds(), p.kernel);
 
   // Gather partial meshes; master merges into one package (paper Sec. 3:
   // "one of them (the master worker) collects these partial results and
@@ -166,7 +184,8 @@ class ViewerIsoCommand final : public core::Command {
       TriangleMesh pending;
       std::size_t pending_cells = 0;
       tree.traverse(viewpoint, p.iso, [&](const grid::CellRange& range) {
-        total_active += extract_isosurface_range(*block, p.field, p.iso, range, pending, p.normals);
+        total_active += extract_isosurface_range(*block, p.field, p.iso, range, pending,
+                                                 p.normals, p.kernel);
         pending_cells += static_cast<std::size_t>(range.cell_count());
         if (pending_cells >= static_cast<std::size_t>(p.stream_cells) && !pending.empty()) {
           total_triangles += pending.triangle_count();

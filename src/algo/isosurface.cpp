@@ -1,11 +1,16 @@
 #include "algo/isosurface.hpp"
 
+#include <algorithm>
 #include <array>
+#include <vector>
+
+#include "simd/kernels.hpp"
 
 namespace vira::algo {
 
 namespace {
 
+using grid::FieldId;
 using grid::StructuredBlock;
 
 /// Kuhn decomposition: six tetrahedra around the 0–6 main diagonal, one per
@@ -15,6 +20,14 @@ using grid::StructuredBlock;
 constexpr int kTets[6][4] = {
     {0, 1, 2, 6}, {0, 1, 5, 6}, {0, 3, 2, 6},
     {0, 3, 7, 6}, {0, 4, 5, 6}, {0, 4, 7, 6},
+};
+
+/// (di,dj,dk) of the 8 cell corners in marching-cubes order — lets the
+/// triangulator address corner nodes directly instead of recovering
+/// (i,j,k) from flat indices with div/mod per corner.
+constexpr int kCornerOffset[8][3] = {
+    {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+    {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
 };
 
 double edge_fraction(float sa, float sb, float iso) {
@@ -71,27 +84,10 @@ std::size_t triangulate_tet(const std::array<Vec3, 8>& pos, const std::array<flo
   return 2;
 }
 
-}  // namespace
-
-bool cell_is_active(const StructuredBlock& block, const std::string& field, float iso, int ci,
-                    int cj, int ck) {
-  const auto& values = block.scalar(field);
-  const auto corners = block.cell_corners(ci, cj, ck);
-  bool any_below = false;
-  bool any_at_or_above = false;
-  for (const auto corner : corners) {
-    if (values[corner] < iso) {
-      any_below = true;
-    } else {
-      any_at_or_above = true;
-    }
-  }
-  return any_below && any_at_or_above;
-}
-
-std::size_t triangulate_cell(const StructuredBlock& block, const std::string& field, float iso,
-                             int ci, int cj, int ck, TriangleMesh& mesh, bool with_normals) {
-  const auto& values = block.scalar(field);
+/// FieldId-resolved triangulation core; `values` is the field's node array.
+std::size_t triangulate_cell_core(const StructuredBlock& block, FieldId field,
+                                  std::span<const float> values, float iso, int ci, int cj,
+                                  int ck, TriangleMesh& mesh, bool with_normals) {
   const auto corners = block.cell_corners(ci, cj, ck);
 
   std::array<float, 8> scalar;
@@ -108,14 +104,12 @@ std::size_t triangulate_cell(const StructuredBlock& block, const std::string& fi
   std::array<Vec3, 8> pos;
   std::array<Vec3, 8> gradients;
   for (int v = 0; v < 8; ++v) {
-    const auto idx = corners[v];
-    const int ni = static_cast<int>(idx % block.ni());
-    const int nj = static_cast<int>((idx / block.ni()) % block.nj());
-    const int nk =
-        static_cast<int>(idx / (static_cast<std::int64_t>(block.ni()) * block.nj()));
-    pos[v] = block.point(ni, nj, nk);
+    const int i = ci + kCornerOffset[v][0];
+    const int j = cj + kCornerOffset[v][1];
+    const int k = ck + kCornerOffset[v][2];
+    pos[v] = block.point(i, j, k);
     if (with_normals) {
-      gradients[v] = block.scalar_gradient(field, ni, nj, nk);
+      gradients[v] = block.scalar_gradient(field, i, j, k);
     }
   }
 
@@ -127,14 +121,68 @@ std::size_t triangulate_cell(const StructuredBlock& block, const std::string& fi
   return triangles;
 }
 
+}  // namespace
+
+bool cell_is_active(const StructuredBlock& block, const std::string& field, float iso, int ci,
+                    int cj, int ck) {
+  const auto values = block.scalar(field);
+  const auto corners = block.cell_corners(ci, cj, ck);
+  bool any_below = false;
+  bool any_at_or_above = false;
+  for (const auto corner : corners) {
+    if (values[corner] < iso) {
+      any_below = true;
+    } else {
+      any_at_or_above = true;
+    }
+  }
+  return any_below && any_at_or_above;
+}
+
+std::size_t triangulate_cell(const StructuredBlock& block, const std::string& field, float iso,
+                             int ci, int cj, int ck, TriangleMesh& mesh, bool with_normals) {
+  const auto values = block.scalar(field);  // throws for unknown fields
+  return triangulate_cell_core(block, block.field_id(field), values, iso, ci, cj, ck, mesh,
+                               with_normals);
+}
+
 std::size_t extract_isosurface_range(const StructuredBlock& block, const std::string& field,
                                      float iso, const grid::CellRange& range, TriangleMesh& mesh,
-                                     bool with_normals) {
+                                     bool with_normals, simd::Kernel kernel) {
+  const auto values = block.scalar(field);  // throws for unknown fields
+  const FieldId id = block.field_id(field);
   std::size_t active = 0;
+
+  if (kernel == simd::Kernel::kSimd) {
+    // Vectorized straddle scan per cell row, then triangulate only the
+    // masked cells. The mask predicate equals the triangulator's own
+    // activity test, so the produced mesh is identical to the scalar path.
+    const int ncells = range.i1 - range.i0;
+    std::vector<std::uint8_t> mask(static_cast<std::size_t>(std::max(ncells, 0)));
+    for (int ck = range.k0; ck < range.k1; ++ck) {
+      for (int cj = range.j0; cj < range.j1; ++cj) {
+        const float* n00 = &values[block.node_index(range.i0, cj, ck)];
+        const float* n01 = &values[block.node_index(range.i0, cj + 1, ck)];
+        const float* n10 = &values[block.node_index(range.i0, cj, ck + 1)];
+        const float* n11 = &values[block.node_index(range.i0, cj + 1, ck + 1)];
+        simd::active_cell_mask(n00, n01, n10, n11, ncells, iso, mask.data());
+        for (int c = 0; c < ncells; ++c) {
+          if (mask[c] &&
+              triangulate_cell_core(block, id, values, iso, range.i0 + c, cj, ck, mesh,
+                                    with_normals) > 0) {
+            ++active;
+          }
+        }
+      }
+    }
+    return active;
+  }
+
   for (int ck = range.k0; ck < range.k1; ++ck) {
     for (int cj = range.j0; cj < range.j1; ++cj) {
       for (int ci = range.i0; ci < range.i1; ++ci) {
-        if (triangulate_cell(block, field, iso, ci, cj, ck, mesh, with_normals) > 0) {
+        if (triangulate_cell_core(block, id, values, iso, ci, cj, ck, mesh, with_normals) >
+            0) {
           ++active;
         }
       }
@@ -144,9 +192,9 @@ std::size_t extract_isosurface_range(const StructuredBlock& block, const std::st
 }
 
 std::size_t extract_isosurface(const StructuredBlock& block, const std::string& field, float iso,
-                               TriangleMesh& mesh, bool with_normals) {
+                               TriangleMesh& mesh, bool with_normals, simd::Kernel kernel) {
   const grid::CellRange all{0, block.cells_i(), 0, block.cells_j(), 0, block.cells_k()};
-  return extract_isosurface_range(block, field, iso, all, mesh, with_normals);
+  return extract_isosurface_range(block, field, iso, all, mesh, with_normals, kernel);
 }
 
 }  // namespace vira::algo

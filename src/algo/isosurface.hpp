@@ -20,6 +20,7 @@
 #include "algo/geometry.hpp"
 #include "grid/bsp_tree.hpp"
 #include "grid/structured_block.hpp"
+#include "simd/simd.hpp"
 
 namespace vira::algo {
 
@@ -37,13 +38,18 @@ std::size_t triangulate_cell(const grid::StructuredBlock& block, const std::stri
                              bool with_normals = false);
 
 /// Extracts over a cell range. Returns the number of active cells.
+/// With `kernel == kSimd`, active cells are found by a vectorized per-row
+/// straddle scan (simd::active_cell_mask) and only those are triangulated;
+/// the emitted mesh is identical to the scalar path's.
 std::size_t extract_isosurface_range(const grid::StructuredBlock& block,
                                      const std::string& field, float iso,
                                      const grid::CellRange& range, TriangleMesh& mesh,
-                                     bool with_normals = false);
+                                     bool with_normals = false,
+                                     simd::Kernel kernel = simd::default_kernel());
 
 /// Extracts over the whole block.
 std::size_t extract_isosurface(const grid::StructuredBlock& block, const std::string& field,
-                               float iso, TriangleMesh& mesh, bool with_normals = false);
+                               float iso, TriangleMesh& mesh, bool with_normals = false,
+                               simd::Kernel kernel = simd::default_kernel());
 
 }  // namespace vira::algo

@@ -1,0 +1,14 @@
+#include "algo/kernel_stats.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace vira::algo {
+
+void publish_kernel_stats(std::int64_t cells, double seconds, simd::Kernel kernel) {
+  auto& registry = obs::Registry::instance();
+  const double rate = seconds > 0.0 ? static_cast<double>(cells) / seconds : 0.0;
+  registry.gauge("kernel.cells_per_sec").set(static_cast<std::int64_t>(rate));
+  registry.gauge("kernel.simd_active").set(kernel == simd::Kernel::kSimd ? 1 : 0);
+}
+
+}  // namespace vira::algo

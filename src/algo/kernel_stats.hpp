@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file kernel_stats.hpp
+/// Per-command extraction-kernel gauges (DESIGN.md §13).
+///
+/// Every extraction command publishes its kernel throughput so operators
+/// can see which code path ran and how fast:
+///   kernel.cells_per_sec  — cells (λ2: nodes) processed per second
+///   kernel.simd_active    — 1 when the SIMD kernel path was selected
+/// The Fig. 15 timeline breakdown surfaces both next to the phase shares.
+
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace vira::algo {
+
+/// Publishes the two kernel gauges for the command that just ran.
+/// `seconds <= 0` publishes a zero rate (keeps the gauge registered).
+void publish_kernel_stats(std::int64_t cells, double seconds, simd::Kernel kernel);
+
+}  // namespace vira::algo

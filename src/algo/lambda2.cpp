@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "math/eigen_sym3.hpp"
+#include "simd/kernels.hpp"
 
 namespace vira::algo {
 
@@ -12,8 +13,18 @@ double lambda2_at(const grid::StructuredBlock& block, int i, int j, int k) {
 }
 
 std::pair<float, float> compute_lambda2_field(grid::StructuredBlock& block,
-                                              const std::string& out_field) {
-  auto& values = block.scalar(out_field);
+                                              const std::string& out_field,
+                                              simd::Kernel kernel) {
+  const auto values = block.scalar(out_field);
+  if (kernel == simd::Kernel::kSimd) {
+    const simd::GridView view{block.points_x().data(),  block.points_y().data(),
+                              block.points_z().data(),  block.velocity_x().data(),
+                              block.velocity_y().data(), block.velocity_z().data(),
+                              block.ni(),               block.nj(),
+                              block.nk()};
+    return simd::lambda2_field(view, values.data());
+  }
+  // Scalar reference path: per-node Mat3 pipeline, kept as ground truth.
   float lo = std::numeric_limits<float>::max();
   float hi = std::numeric_limits<float>::lowest();
   for (int k = 0; k < block.nk(); ++k) {

@@ -10,10 +10,17 @@
 /// field for isosurface extraction. Since vortex regions are assumed where
 /// two eigenvalues are negative, λ2 about zero is considered as vortex
 /// boundary."
+///
+/// Two implementations: the per-node scalar reference (lambda2_at, the
+/// original Mat3-based math) and the SoA SIMD kernel
+/// (simd::lambda2_field), selected by the `kernel` argument. Both use the
+/// same stencils and eigen formulas; the property tests bound their drift
+/// to rounding error.
 
 #include <string>
 
 #include "grid/structured_block.hpp"
+#include "simd/simd.hpp"
 
 namespace vira::algo {
 
@@ -25,6 +32,7 @@ double lambda2_at(const grid::StructuredBlock& block, int i, int j, int k);
 /// Computes the λ2 node field for the whole block and stores it as scalar
 /// `out_field`. Returns the (min, max) of the field.
 std::pair<float, float> compute_lambda2_field(grid::StructuredBlock& block,
-                                              const std::string& out_field = kLambda2Field);
+                                              const std::string& out_field = kLambda2Field,
+                                              simd::Kernel kernel = simd::default_kernel());
 
 }  // namespace vira::algo

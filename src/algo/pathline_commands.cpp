@@ -20,8 +20,11 @@
 
 #include "algo/block_sampler.hpp"
 #include "algo/cfd_command.hpp"
+#include "algo/kernel_stats.hpp"
 #include "algo/payloads.hpp"
+#include "simd/simd.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace vira::algo {
 
@@ -33,11 +36,20 @@ struct PathlineParams {
   int step1 = -1;  ///< -1 = last step
   std::vector<math::Vec3> seeds;
   IntegratorParams integrator;
+  simd::Kernel kernel = simd::default_kernel();
 
   static PathlineParams from(const util::ParamList& params,
                              const grid::DatasetMeta& meta) {
     PathlineParams p;
     p.dataset = params.get_or("dataset", "");
+    const auto kernel_name = params.get_or("kernel", "");
+    if (!kernel_name.empty()) {
+      const auto kernel = simd::parse_kernel(kernel_name);
+      if (!kernel) {
+        throw std::invalid_argument("pathline command: unknown kernel '" + kernel_name + "'");
+      }
+      p.kernel = *kernel;
+    }
     p.step0 = static_cast<int>(params.get_int("step0", 0));
     p.step1 = static_cast<int>(params.get_int("step1", meta.timestep_count() - 1));
     p.integrator.h_init = params.get_double("h_init", 1e-3);
@@ -81,45 +93,99 @@ void run_pathlines(core::CommandContext& context, bool use_dms) {
   const auto p = PathlineParams::from(context.params(), meta);
   const int last_step = p.step1 < 0 ? meta.timestep_count() - 1 : p.step1;
 
+  std::vector<std::size_t> owned;
+  for (std::size_t s = 0; s < p.seeds.size(); ++s) {
+    if (owns_position(s, context.group_rank(), context.group_size())) {
+      owned.push_back(s);
+    }
+  }
+
   PolylineSet mine;
+  std::int64_t kernel_points = 0;
+  util::WallTimer kernel_timer;
   context.phases().enter(core::kPhaseCompute);
 
-  for (std::size_t s = 0; s < p.seeds.size(); ++s) {
-    if (!owns_position(s, context.group_rank(), context.group_size())) {
-      continue;
+  if (p.kernel == simd::Kernel::kSimd && !owned.empty()) {
+    // Interval-major lockstep: all owned seeds cross [step, step+1]
+    // together through one shared sampler pair, so each block is decoded
+    // and located once per interval instead of once per seed. Per-lane
+    // sampler hints keep each trajectory bit-identical to the seed-major
+    // scalar path below.
+    const int lanes = static_cast<int>(owned.size());
+    std::vector<math::Vec3> position(static_cast<std::size_t>(lanes));
+    std::vector<double> h(static_cast<std::size_t>(lanes), p.integrator.h_init);
+    std::vector<std::uint8_t> alive(static_cast<std::size_t>(lanes), 1);
+    std::vector<std::vector<PathPoint>> paths(static_cast<std::size_t>(lanes));
+    for (int l = 0; l < lanes; ++l) {
+      position[static_cast<std::size_t>(l)] = p.seeds[owned[static_cast<std::size_t>(l)]];
+      paths[static_cast<std::size_t>(l)].push_back(
+          {position[static_cast<std::size_t>(l)],
+           meta.steps[static_cast<std::size_t>(p.step0)].time});
     }
-    math::Vec3 position = p.seeds[s];
-    double h = p.integrator.h_init;
-    std::vector<PathPoint> path;
-    path.push_back({position, meta.steps[static_cast<std::size_t>(p.step0)].time});
 
-    bool alive = true;
-    for (int step = p.step0; step < last_step && alive; ++step) {
+    for (int step = p.step0; step < last_step; ++step) {
       const auto& info_a = meta.steps[static_cast<std::size_t>(step)];
       const auto& info_b = meta.steps[static_cast<std::size_t>(step + 1)];
-
-      // The two adjacent time levels the paper's scheme integrates on.
-      // Loads here are demand-driven (the integrator decides which block a
-      // particle enters), so they stay serial; BlockAccess's decoded-block
-      // cache makes revisits across seeds and the step/step+1 overlap free.
       BlockSampler level_a(info_a, [&](int block) {
         return access.load(step, block);
       });
       BlockSampler level_b(info_b, [&](int block) {
         return access.load(step + 1, block);
       });
-
-      alive = integrate_interval_two_level(level_a, level_b, info_a.time, info_b.time,
-                                           position, h, p.integrator, path);
+      const int still_alive = integrate_interval_two_level_batch(
+          level_a, level_b, info_a.time, info_b.time, lanes, position.data(), h.data(),
+          alive.data(), p.integrator, paths.data());
+      context.report_progress(static_cast<double>(step - p.step0 + 1) /
+                              std::max(1, last_step - p.step0));
+      if (still_alive == 0) {
+        break;
+      }
     }
 
-    mine.begin_line();
-    for (const auto& point : path) {
-      mine.add_point(point.position, point.t);
+    for (const auto& path : paths) {
+      mine.begin_line();
+      for (const auto& point : path) {
+        mine.add_point(point.position, point.t);
+      }
+      kernel_points += static_cast<std::int64_t>(path.size());
     }
-    context.report_progress(static_cast<double>(s + 1) / p.seeds.size());
+  } else {
+    for (const std::size_t s : owned) {
+      math::Vec3 position = p.seeds[s];
+      double h = p.integrator.h_init;
+      std::vector<PathPoint> path;
+      path.push_back({position, meta.steps[static_cast<std::size_t>(p.step0)].time});
+
+      bool alive = true;
+      for (int step = p.step0; step < last_step && alive; ++step) {
+        const auto& info_a = meta.steps[static_cast<std::size_t>(step)];
+        const auto& info_b = meta.steps[static_cast<std::size_t>(step + 1)];
+
+        // The two adjacent time levels the paper's scheme integrates on.
+        // Loads here are demand-driven (the integrator decides which block a
+        // particle enters), so they stay serial; BlockAccess's decoded-block
+        // cache makes revisits across seeds and the step/step+1 overlap free.
+        BlockSampler level_a(info_a, [&](int block) {
+          return access.load(step, block);
+        });
+        BlockSampler level_b(info_b, [&](int block) {
+          return access.load(step + 1, block);
+        });
+
+        alive = integrate_interval_two_level(level_a, level_b, info_a.time, info_b.time,
+                                             position, h, p.integrator, path);
+      }
+
+      mine.begin_line();
+      for (const auto& point : path) {
+        mine.add_point(point.position, point.t);
+      }
+      kernel_points += static_cast<std::int64_t>(path.size());
+      context.report_progress(static_cast<double>(s + 1) / p.seeds.size());
+    }
   }
   context.phases().stop();
+  publish_kernel_stats(kernel_points, kernel_timer.seconds(), p.kernel);
 
   util::ByteBuffer part;
   mine.serialize(part);

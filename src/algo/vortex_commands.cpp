@@ -19,8 +19,10 @@
 #include "algo/block_pipeline.hpp"
 #include "algo/cfd_command.hpp"
 #include "algo/isosurface.hpp"
+#include "algo/kernel_stats.hpp"
 #include "algo/lambda2.hpp"
 #include "algo/payloads.hpp"
+#include "util/timer.hpp"
 
 namespace vira::algo {
 
@@ -31,6 +33,7 @@ struct VortexParams {
   int step = 0;
   float threshold = 0.0f;  ///< λ2 boundary ("about zero", Sec. 1.1)
   int stream_cells = 256;
+  simd::Kernel kernel = simd::default_kernel();
 
   static VortexParams from(const util::ParamList& params) {
     VortexParams p;
@@ -41,6 +44,14 @@ struct VortexParams {
     p.step = static_cast<int>(params.get_int("step", 0));
     p.threshold = static_cast<float>(params.get_double("iso", 0.0));
     p.stream_cells = static_cast<int>(params.get_int("stream_cells", 256));
+    const auto kernel_name = params.get_or("kernel", "");
+    if (!kernel_name.empty()) {
+      const auto kernel = simd::parse_kernel(kernel_name);
+      if (!kernel) {
+        throw std::invalid_argument("vortex command: unknown kernel '" + kernel_name + "'");
+      }
+      p.kernel = *kernel;
+    }
     return p;
   }
 };
@@ -63,16 +74,24 @@ void run_monolithic_vortex(core::CommandContext& context, bool use_dms) {
 
   TriangleMesh mine;
   std::size_t active_cells = 0;
+  std::int64_t kernel_cells = 0;
+  util::WallTimer kernel_timer;
+  kernel_timer.pause();
   context.phases().enter(core::kPhaseCompute);
   for (int b = begin; b < end; ++b) {
     const auto block = pipeline.next();
     // λ2 needs mutation (adds the scalar field): work on a private copy.
     grid::StructuredBlock working = *block;
-    compute_lambda2_field(working);
-    active_cells += extract_isosurface(working, kLambda2Field, p.threshold, mine);
+    kernel_timer.resume();
+    compute_lambda2_field(working, kLambda2Field, p.kernel);
+    active_cells += extract_isosurface(working, kLambda2Field, p.threshold, mine,
+                                       /*with_normals=*/false, p.kernel);
+    kernel_timer.pause();
+    kernel_cells += working.node_count() + working.cell_count();
     context.report_progress(static_cast<double>(b - begin + 1) / std::max(1, end - begin));
   }
   context.phases().stop();
+  publish_kernel_stats(kernel_cells, kernel_timer.seconds(), p.kernel);
 
   util::ByteBuffer part;
   mine.serialize(part);
@@ -135,7 +154,7 @@ class StreamedVortexCommand final : public core::Command {
     for (int b = begin; b < end; ++b) {
       const auto block_ptr = pipeline.next();
       grid::StructuredBlock working = *block_ptr;
-      auto& lambda2_values = working.scalar(kLambda2Field);
+      const auto lambda2_values = working.scalar(kLambda2Field);  // span into the SoA store
       // Lazy per-node λ2 with a computed-bitmap: only nodes belonging to
       // visited cells are evaluated, and the first fragment leaves before
       // the block's field pass would have finished.

@@ -7,7 +7,7 @@
 namespace vira::grid {
 
 BspTree::BspTree(const StructuredBlock& block, const std::string& field, BuildParams params)
-    : block_(block), field_(&block.scalar(field)) {
+    : block_(block), field_(block.scalar(field)) {
   if (params.max_leaf_cells < 1) {
     throw std::invalid_argument("BspTree: max_leaf_cells must be >= 1");
   }
@@ -25,7 +25,7 @@ void BspTree::compute_node_data(Node& node) const {
     for (int j = node.range.j0; j <= node.range.j1; ++j) {
       for (int i = node.range.i0; i <= node.range.i1; ++i) {
         const auto idx = block_.node_index(i, j, k);
-        const float s = (*field_)[idx];
+        const float s = field_[idx];
         smin = std::min(smin, s);
         smax = std::max(smax, s);
         box.expand(block_.point(i, j, k));

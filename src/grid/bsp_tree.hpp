@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,7 +77,7 @@ class BspTree {
                      const std::function<void(const CellRange&)>& visit) const;
 
   const StructuredBlock& block_;
-  const std::vector<float>* field_ = nullptr;
+  std::span<const float> field_;
   std::vector<Node> nodes_;
   std::size_t leaf_count_ = 0;
 };

@@ -1,0 +1,61 @@
+#include "grid/field_store.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace vira::grid {
+
+void AlignedFloats::assign(std::size_t n, float fill) {
+  const std::size_t padded =
+      (n + kFieldPadFloats - 1) / kFieldPadFloats * kFieldPadFloats;
+  if (padded != padded_) {
+    release();
+    if (padded > 0) {
+      data_ = static_cast<float*>(
+          std::aligned_alloc(kFieldAlignment, padded * sizeof(float)));
+      if (data_ == nullptr) {
+        throw std::bad_alloc();
+      }
+    }
+    padded_ = padded;
+  }
+  size_ = n;
+  // Alignment contract (DESIGN.md §13): every field array starts on a
+  // 64-byte boundary. Violations fail fast in debug builds.
+  assert(reinterpret_cast<std::uintptr_t>(data_) % kFieldAlignment == 0);
+  std::fill(data_, data_ + size_, fill);
+  std::fill(data_ + size_, data_ + padded_, 0.0f);
+}
+
+void FieldStore::reset(std::int64_t nodes) {
+  nodes_ = nodes;
+  names_.clear();
+  arrays_.clear();
+  index_.clear();
+}
+
+FieldId FieldStore::find(std::string_view name) const {
+  // Transparent lookup would avoid the temporary string; field counts are
+  // tiny and find() is off the hot path now that callers hold FieldIds.
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidFieldId : it->second;
+}
+
+FieldId FieldStore::ensure(std::string_view name) {
+  if (const FieldId existing = find(name); existing != kInvalidFieldId) {
+    return existing;
+  }
+  const FieldId id = static_cast<FieldId>(arrays_.size());
+  names_.emplace_back(name);
+  arrays_.emplace_back(static_cast<std::size_t>(nodes_), 0.0f);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::vector<std::string> FieldStore::sorted_names() const {
+  std::vector<std::string> out = names_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vira::grid

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file field_store.hpp
+/// Structure-of-arrays node-field storage (DESIGN.md §13).
+///
+/// Every node field of a block — the three position components, the three
+/// velocity components and any number of named scalars — lives in its own
+/// contiguous float array, 64-byte aligned and padded to a multiple of 16
+/// floats (one cache line). The SIMD extraction kernels rely on this
+/// contract: vector loads never straddle an allocation boundary, and a
+/// final partial vector can read (never write beyond the logical size
+/// except into the zeroed pad) without masking.
+///
+/// Field names are interned to small integer FieldId handles at
+/// registration time, so the per-node hot loops index plain arrays instead
+/// of walking a std::map<std::string, ...> per access — the lookup cost the
+/// old array-of-structs layout paid in scalar_at/interpolate_scalar.
+///
+/// The SoA layout is a *memory* layout only: blocks serialize to exactly
+/// the same wire blob as before (interleaved xyz points/velocity, scalars
+/// in name-sorted order), so cached DMS blobs, peer transfer and DST
+/// trajectories are unaffected.
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vira::grid {
+
+/// Alignment of every field array, in bytes (one cache line; also the
+/// natural alignment for 512-bit vector loads).
+inline constexpr std::size_t kFieldAlignment = 64;
+/// Field arrays are padded to a multiple of this many floats (= one
+/// 64-byte line), zero-filled beyond the logical size.
+inline constexpr std::size_t kFieldPadFloats = kFieldAlignment / sizeof(float);
+
+/// Interned handle for a named node field; index into the store's arrays.
+using FieldId = std::uint32_t;
+inline constexpr FieldId kInvalidFieldId = 0xffffffffu;
+
+/// A 64-byte-aligned, pad-to-cache-line float array. The logical size is
+/// what the grid sees; the physical allocation rounds up to kFieldPadFloats
+/// and keeps the pad zeroed so unmasked SIMD tails are safe to read.
+class AlignedFloats {
+ public:
+  AlignedFloats() = default;
+  explicit AlignedFloats(std::size_t n, float fill = 0.0f) { assign(n, fill); }
+  ~AlignedFloats() { release(); }
+
+  AlignedFloats(const AlignedFloats& other) { *this = other; }
+  AlignedFloats& operator=(const AlignedFloats& other) {
+    if (this != &other) {
+      assign(other.size_, 0.0f);
+      if (size_ > 0) {
+        std::memcpy(data_, other.data_, size_ * sizeof(float));
+      }
+    }
+    return *this;
+  }
+  AlignedFloats(AlignedFloats&& other) noexcept
+      : data_(other.data_), size_(other.size_), padded_(other.padded_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.padded_ = 0;
+  }
+  AlignedFloats& operator=(AlignedFloats&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      padded_ = other.padded_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.padded_ = 0;
+    }
+    return *this;
+  }
+
+  /// Reallocates to logical size `n`, filling every float (pad included
+  /// beyond `n`, which stays zero) so the array starts deterministic.
+  void assign(std::size_t n, float fill);
+
+  float* data() noexcept { return data_; }
+  const float* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  /// Physical element count: size() rounded up to kFieldPadFloats.
+  std::size_t padded_size() const noexcept { return padded_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  const float& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::span<float> span() noexcept { return {data_, size_}; }
+  std::span<const float> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+  }
+
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t padded_ = 0;
+};
+
+/// Name-interning structure-of-arrays store for the named node scalars of
+/// one block. Ids are dense (0..field_count-1) in registration order;
+/// registration order is an in-memory detail only — serialization walks
+/// fields in sorted-name order to keep the wire blob stable.
+class FieldStore {
+ public:
+  FieldStore() = default;
+  explicit FieldStore(std::int64_t nodes) : nodes_(nodes) {}
+
+  /// Node count every field array is sized for. Changing it drops all
+  /// fields (a block's topology never changes after construction).
+  void reset(std::int64_t nodes);
+  std::int64_t nodes() const noexcept { return nodes_; }
+
+  std::size_t field_count() const noexcept { return arrays_.size(); }
+
+  /// Id of `name`, or kInvalidFieldId when the field does not exist.
+  FieldId find(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != kInvalidFieldId; }
+
+  /// Interns `name`, creating a zero-filled field on first use.
+  FieldId ensure(std::string_view name);
+
+  const std::string& name(FieldId id) const { return names_[id]; }
+  /// Field names in sorted order (the serialization order).
+  std::vector<std::string> sorted_names() const;
+
+  std::span<float> values(FieldId id) { return arrays_[id].span(); }
+  std::span<const float> values(FieldId id) const { return arrays_[id].span(); }
+  AlignedFloats& array(FieldId id) { return arrays_[id]; }
+  const AlignedFloats& array(FieldId id) const { return arrays_[id]; }
+
+ private:
+  std::int64_t nodes_ = 0;
+  std::vector<std::string> names_;
+  std::vector<AlignedFloats> arrays_;
+  std::unordered_map<std::string, FieldId> index_;
+};
+
+}  // namespace vira::grid

@@ -3,15 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
 namespace vira::grid {
 
-namespace {
-
-/// Trilinear corner weights in marching-cubes corner order (see header).
-void corner_weights(double u, double v, double w, std::array<double, 8>& weights) {
+void trilinear_weights(double u, double v, double w, std::array<double, 8>& weights) {
   const double iu = 1.0 - u;
   const double iv = 1.0 - v;
   const double iw = 1.0 - w;
@@ -24,6 +22,8 @@ void corner_weights(double u, double v, double w, std::array<double, 8>& weights
   weights[6] = u * v * w;
   weights[7] = iu * v * w;
 }
+
+namespace {
 
 /// Partial derivatives of the corner weights w.r.t. (u,v,w).
 void corner_weight_gradients(double u, double v, double w, std::array<double, 8>& du,
@@ -38,56 +38,75 @@ void corner_weight_gradients(double u, double v, double w, std::array<double, 8>
 
 constexpr std::uint32_t kBlockMagic = 0x564d4231;  // "VMB1"
 
+/// Splits an interleaved xyz float payload into three component arrays.
+/// Reads through memcpy: the wire bytes carry no alignment guarantee, so a
+/// reinterpret_cast load would be UB (and trip the UBSan leg).
+void deinterleave3(std::span<const std::byte> src, std::size_t n, float* x, float* y,
+                   float* z) {
+  const std::byte* cursor = src.data();
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    float xyz[3];
+    std::memcpy(xyz, cursor, sizeof(xyz));
+    cursor += sizeof(xyz);
+    x[idx] = xyz[0];
+    y[idx] = xyz[1];
+    z[idx] = xyz[2];
+  }
+}
+
+/// Inverse of deinterleave3: rebuilds the interleaved wire payload.
+void interleave3(const float* x, const float* y, const float* z, std::size_t n,
+                 std::vector<float>& out) {
+  out.resize(n * 3);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    out[idx * 3] = x[idx];
+    out[idx * 3 + 1] = y[idx];
+    out[idx * 3 + 2] = z[idx];
+  }
+}
+
 }  // namespace
 
 StructuredBlock::StructuredBlock(int ni, int nj, int nk) : ni_(ni), nj_(nj), nk_(nk) {
   if (ni < 2 || nj < 2 || nk < 2) {
     throw std::invalid_argument("StructuredBlock: each dimension needs >= 2 nodes");
   }
-  const auto n = node_count();
-  points_.assign(static_cast<std::size_t>(n) * 3, 0.0f);
-  velocity_.assign(static_cast<std::size_t>(n) * 3, 0.0f);
+  const auto n = static_cast<std::size_t>(node_count());
+  px_.assign(n, 0.0f);
+  py_.assign(n, 0.0f);
+  pz_.assign(n, 0.0f);
+  vx_.assign(n, 0.0f);
+  vy_.assign(n, 0.0f);
+  vz_.assign(n, 0.0f);
+  fields_.reset(node_count());
 }
 
 const Aabb& StructuredBlock::bounds() const {
   if (bounds_dirty_) {
     bounds_ = Aabb();
-    for (std::size_t idx = 0; idx + 2 < points_.size(); idx += 3) {
-      bounds_.expand({points_[idx], points_[idx + 1], points_[idx + 2]});
+    const auto n = static_cast<std::size_t>(node_count());
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      bounds_.expand({px_[idx], py_[idx], pz_[idx]});
     }
     bounds_dirty_ = false;
   }
   return bounds_;
 }
 
-std::vector<std::string> StructuredBlock::scalar_names() const {
-  std::vector<std::string> names;
-  names.reserve(scalars_.size());
-  for (const auto& [name, values] : scalars_) {
-    names.push_back(name);
-  }
-  return names;
+std::span<const float> StructuredBlock::scalar(const std::string& name) const {
+  return fields_.values(require_field(name));
 }
 
-std::vector<float>& StructuredBlock::scalar(const std::string& name) {
-  auto it = scalars_.find(name);
-  if (it == scalars_.end()) {
-    it = scalars_.emplace(name, std::vector<float>(static_cast<std::size_t>(node_count()), 0.0f))
-             .first;
-  }
-  return it->second;
-}
-
-const std::vector<float>& StructuredBlock::scalar(const std::string& name) const {
-  auto it = scalars_.find(name);
-  if (it == scalars_.end()) {
+FieldId StructuredBlock::require_field(const std::string& name) const {
+  const FieldId id = fields_.find(name);
+  if (id == kInvalidFieldId) {
     throw std::out_of_range("StructuredBlock: unknown scalar field '" + name + "'");
   }
-  return it->second;
+  return id;
 }
 
 std::pair<float, float> StructuredBlock::scalar_range(const std::string& name) const {
-  const auto& values = scalar(name);
+  const auto values = scalar(name);
   float lo = std::numeric_limits<float>::max();
   float hi = std::numeric_limits<float>::lowest();
   for (const float v : values) {
@@ -107,41 +126,38 @@ std::array<std::int64_t, 8> StructuredBlock::cell_corners(int ci, int cj, int ck
 Aabb StructuredBlock::cell_bounds(int ci, int cj, int ck) const {
   Aabb box;
   for (const auto corner : cell_corners(ci, cj, ck)) {
-    const auto idx = corner * 3;
-    box.expand({points_[idx], points_[idx + 1], points_[idx + 2]});
+    box.expand(point_at(corner));
   }
   return box;
 }
 
 Vec3 StructuredBlock::interpolate_position(const CellCoord& c) const {
   std::array<double, 8> weights;
-  corner_weights(c.u, c.v, c.w, weights);
+  trilinear_weights(c.u, c.v, c.w, weights);
   const auto corners = cell_corners(c.i, c.j, c.k);
   Vec3 p;
   for (int n = 0; n < 8; ++n) {
-    const auto idx = corners[n] * 3;
-    p += Vec3(points_[idx], points_[idx + 1], points_[idx + 2]) * weights[n];
+    p += point_at(corners[n]) * weights[n];
   }
   return p;
 }
 
 Vec3 StructuredBlock::interpolate_velocity(const CellCoord& c) const {
   std::array<double, 8> weights;
-  corner_weights(c.u, c.v, c.w, weights);
+  trilinear_weights(c.u, c.v, c.w, weights);
   const auto corners = cell_corners(c.i, c.j, c.k);
   Vec3 u;
   for (int n = 0; n < 8; ++n) {
-    const auto idx = corners[n] * 3;
-    u += Vec3(velocity_[idx], velocity_[idx + 1], velocity_[idx + 2]) * weights[n];
+    u += velocity_at(corners[n]) * weights[n];
   }
   return u;
 }
 
-double StructuredBlock::interpolate_scalar(const std::string& name, const CellCoord& c) const {
+double StructuredBlock::interpolate_scalar(FieldId id, const CellCoord& c) const {
   std::array<double, 8> weights;
-  corner_weights(c.u, c.v, c.w, weights);
+  trilinear_weights(c.u, c.v, c.w, weights);
   const auto corners = cell_corners(c.i, c.j, c.k);
-  const auto& values = scalar(name);
+  const auto values = fields_.values(id);
   double s = 0.0;
   for (int n = 0; n < 8; ++n) {
     s += static_cast<double>(values[corners[n]]) * weights[n];
@@ -155,14 +171,13 @@ std::optional<CellCoord> StructuredBlock::world_to_local(int ci, int cj, int ck,
   const auto corners = cell_corners(ci, cj, ck);
   std::array<Vec3, 8> pts;
   for (int n = 0; n < 8; ++n) {
-    const auto idx = corners[n] * 3;
-    pts[n] = {points_[idx], points_[idx + 1], points_[idx + 2]};
+    pts[n] = point_at(corners[n]);
   }
 
   // Newton iteration on F(u,v,w) = X(u,v,w) - p.
   for (int iter = 0; iter < 25; ++iter) {
     std::array<double, 8> weights;
-    corner_weights(coord.u, coord.v, coord.w, weights);
+    trilinear_weights(coord.u, coord.v, coord.w, weights);
     Vec3 x;
     for (int n = 0; n < 8; ++n) {
       x += pts[n] * weights[n];
@@ -272,8 +287,8 @@ Mat3 StructuredBlock::velocity_gradient(int i, int j, int k) const {
   return f * jac.inverse();  // du_i/dx_j
 }
 
-Vec3 StructuredBlock::scalar_gradient(const std::string& name, int i, int j, int k) const {
-  const auto& values = scalar(name);
+Vec3 StructuredBlock::scalar_gradient(FieldId id, int i, int j, int k) const {
+  const auto values = fields_.values(id);
   auto central = [&](int axis) -> double {
     int lo[3] = {i, j, k};
     int hi[3] = {i, j, k};
@@ -321,8 +336,12 @@ StructuredBlock StructuredBlock::coarsened(int stride) const {
                          static_cast<int>(ks.size()));
   coarse.block_id_ = block_id_;
   coarse.time_ = time_;
-  for (const auto& [name, values] : scalars_) {
-    coarse.scalar(name);
+  const auto names = scalar_names();
+  std::vector<std::pair<std::span<const float>, std::span<float>>> field_pairs;
+  field_pairs.reserve(names.size());
+  for (const auto& name : names) {
+    const auto src = fields_.values(fields_.find(name));
+    field_pairs.emplace_back(src, coarse.scalar(name));
   }
   for (std::size_t kk = 0; kk < ks.size(); ++kk) {
     for (std::size_t jj = 0; jj < js.size(); ++jj) {
@@ -335,8 +354,10 @@ StructuredBlock StructuredBlock::coarsened(int stride) const {
         const int dk = static_cast<int>(kk);
         coarse.set_point(di, dj, dk, point(si, sj, sk));
         coarse.set_velocity(di, dj, dk, velocity(si, sj, sk));
-        for (const auto& [name, values] : scalars_) {
-          coarse.scalar(name)[coarse.node_index(di, dj, dk)] = values[node_index(si, sj, sk)];
+        const auto src_node = node_index(si, sj, sk);
+        const auto dst_node = coarse.node_index(di, dj, dk);
+        for (auto& [src, dst] : field_pairs) {
+          dst[dst_node] = src[src_node];
         }
       }
     }
@@ -351,12 +372,24 @@ void StructuredBlock::serialize(util::ByteBuffer& out) const {
   out.write<std::int32_t>(nk_);
   out.write<std::int32_t>(block_id_);
   out.write<double>(time_);
-  out.write_vector(points_);
-  out.write_vector(velocity_);
-  out.write<std::uint32_t>(static_cast<std::uint32_t>(scalars_.size()));
-  for (const auto& [name, values] : scalars_) {
+  // Wire format predates the SoA layout: positions/velocity travel
+  // interleaved and scalars in sorted-name order (what the old std::map
+  // iteration produced), so blobs stay byte-identical across versions.
+  const auto n = static_cast<std::size_t>(node_count());
+  std::vector<float> interleaved;
+  interleave3(px_.data(), py_.data(), pz_.data(), n, interleaved);
+  out.write_vector(interleaved);
+  interleave3(vx_.data(), vy_.data(), vz_.data(), n, interleaved);
+  out.write_vector(interleaved);
+  const auto names = fields_.sorted_names();
+  out.write<std::uint32_t>(static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) {
     out.write_string(name);
-    out.write_vector(values);
+    const auto values = fields_.values(fields_.find(name));
+    out.write<std::uint64_t>(values.size());
+    if (!values.empty()) {
+      out.write_raw(values.data(), values.size() * sizeof(float));
+    }
   }
 }
 
@@ -381,32 +414,43 @@ StructuredBlock StructuredBlock::deserialize(util::ByteReader& in) {
   StructuredBlock block(ni, nj, nk);
   block.block_id_ = in.read<std::int32_t>();
   block.time_ = in.read<double>();
-  block.points_ = in.read_vector<float>();
-  block.velocity_ = in.read_vector<float>();
-  if (block.points_.size() != static_cast<std::size_t>(block.node_count()) * 3 ||
-      block.velocity_.size() != static_cast<std::size_t>(block.node_count()) * 3) {
-    throw std::runtime_error("StructuredBlock::deserialize: truncated payload");
-  }
+
+  // De-interleave the xyz payloads directly from the source bytes into the
+  // aligned SoA arrays — no intermediate interleaved vector.
+  const auto n = static_cast<std::size_t>(block.node_count());
+  auto read_interleaved = [&](float* x, float* y, float* z) {
+    const auto count = in.read<std::uint64_t>();
+    if (count != n * 3) {
+      throw std::runtime_error("StructuredBlock::deserialize: truncated payload");
+    }
+    deinterleave3(in.view(count * sizeof(float)), n, x, y, z);
+  };
+  read_interleaved(block.px_.data(), block.py_.data(), block.pz_.data());
+  read_interleaved(block.vx_.data(), block.vy_.data(), block.vz_.data());
+
   const auto nscalars = in.read<std::uint32_t>();
   for (std::uint32_t s = 0; s < nscalars; ++s) {
-    std::string name = in.read_string();
-    auto values = in.read_vector<float>();
-    if (values.size() != static_cast<std::size_t>(block.node_count())) {
+    const std::string name = in.read_string();
+    const auto count = in.read<std::uint64_t>();
+    if (count != n) {
       throw std::runtime_error("StructuredBlock::deserialize: scalar size mismatch");
     }
-    block.scalars_[std::move(name)] = std::move(values);
+    const auto values = block.scalar(name);
+    const auto src = in.view(count * sizeof(float));
+    std::memcpy(values.data(), src.data(), src.size());
   }
   block.bounds_dirty_ = true;
   return block;
 }
 
 std::uint64_t StructuredBlock::serialized_size() const {
-  std::uint64_t size = 4 + 4 * 4 + 8;                       // header
-  size += 8 + points_.size() * sizeof(float);               // points
-  size += 8 + velocity_.size() * sizeof(float);             // velocity
-  size += 4;                                                // scalar count
-  for (const auto& [name, values] : scalars_) {
-    size += 8 + name.size() + 8 + values.size() * sizeof(float);
+  const auto n = static_cast<std::uint64_t>(node_count());
+  std::uint64_t size = 4 + 4 * 4 + 8;       // header
+  size += 8 + n * 3 * sizeof(float);        // points
+  size += 8 + n * 3 * sizeof(float);        // velocity
+  size += 4;                                // scalar count
+  for (const auto& name : fields_.sorted_names()) {
+    size += 8 + name.size() + 8 + n * sizeof(float);
   }
   return size;
 }

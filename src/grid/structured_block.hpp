@@ -10,17 +10,28 @@
 /// Storage is float (as CFD solver output typically is); all computations
 /// are performed in double.
 ///
+/// Storage is structure-of-arrays (DESIGN.md §13): positions and velocity
+/// are split into per-component arrays (x[], y[], z[]) and every named
+/// scalar is its own array, all 64-byte aligned and padded via
+/// grid::FieldStore so the extraction kernels vectorize. Scalar fields are
+/// addressed either by name (convenience, hash lookup) or by an interned
+/// FieldId handle (hot loops — plain array index, no lookup).
+///
 /// A block serializes to a flat byte blob — that blob is exactly the "data
 /// item" the DMS caches and ships between nodes without understanding its
 /// structure (Sec. 4: raw data and manipulation methods are separated).
+/// The wire layout is unchanged from the array-of-structs era (interleaved
+/// xyz payloads, scalars in name-sorted order), so cached blobs and DST
+/// trajectories are byte-identical; SoA is a memory layout only.
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "grid/field_store.hpp"
 #include "math/aabb.hpp"
 #include "math/mat3.hpp"
 #include "math/vec3.hpp"
@@ -31,6 +42,11 @@ namespace vira::grid {
 using math::Aabb;
 using math::Mat3;
 using math::Vec3;
+
+/// Trilinear corner weights of local coordinates (u,v,w), marching-cubes
+/// corner order — the interpolation basis used by interpolate_* and by the
+/// batched gather path in BlockSampler.
+void trilinear_weights(double u, double v, double w, std::array<double, 8>& weights);
 
 /// Local coordinates inside one hexahedral cell, each in [0,1].
 struct CellCoord {
@@ -73,38 +89,75 @@ class StructuredBlock {
 
   /// --- geometry -----------------------------------------------------------
   Vec3 point(int i, int j, int k) const {
-    const auto idx = node_index(i, j, k) * 3;
-    return {points_[idx], points_[idx + 1], points_[idx + 2]};
+    const auto idx = node_index(i, j, k);
+    return {px_[idx], py_[idx], pz_[idx]};
+  }
+  Vec3 point_at(std::int64_t node) const {
+    return {px_[node], py_[node], pz_[node]};
   }
   void set_point(int i, int j, int k, const Vec3& p) {
-    const auto idx = node_index(i, j, k) * 3;
-    points_[idx] = static_cast<float>(p.x);
-    points_[idx + 1] = static_cast<float>(p.y);
-    points_[idx + 2] = static_cast<float>(p.z);
+    const auto idx = node_index(i, j, k);
+    px_[idx] = static_cast<float>(p.x);
+    py_[idx] = static_cast<float>(p.y);
+    pz_[idx] = static_cast<float>(p.z);
     bounds_dirty_ = true;
   }
+
+  /// SoA position components (64-byte aligned, padded; see FieldStore).
+  std::span<const float> points_x() const { return px_.span(); }
+  std::span<const float> points_y() const { return py_.span(); }
+  std::span<const float> points_z() const { return pz_.span(); }
 
   /// Bounding box over all nodes (cached; recomputed after edits).
   const Aabb& bounds() const;
 
   /// --- velocity -----------------------------------------------------------
   Vec3 velocity(int i, int j, int k) const {
-    const auto idx = node_index(i, j, k) * 3;
-    return {velocity_[idx], velocity_[idx + 1], velocity_[idx + 2]};
+    const auto idx = node_index(i, j, k);
+    return {vx_[idx], vy_[idx], vz_[idx]};
+  }
+  Vec3 velocity_at(std::int64_t node) const {
+    return {vx_[node], vy_[node], vz_[node]};
   }
   void set_velocity(int i, int j, int k, const Vec3& u) {
-    const auto idx = node_index(i, j, k) * 3;
-    velocity_[idx] = static_cast<float>(u.x);
-    velocity_[idx + 1] = static_cast<float>(u.y);
-    velocity_[idx + 2] = static_cast<float>(u.z);
+    const auto idx = node_index(i, j, k);
+    vx_[idx] = static_cast<float>(u.x);
+    vy_[idx] = static_cast<float>(u.y);
+    vz_[idx] = static_cast<float>(u.z);
   }
 
+  /// SoA velocity components.
+  std::span<const float> velocity_x() const { return vx_.span(); }
+  std::span<const float> velocity_y() const { return vy_.span(); }
+  std::span<const float> velocity_z() const { return vz_.span(); }
+
   /// --- named node scalars --------------------------------------------------
-  bool has_scalar(const std::string& name) const { return scalars_.count(name) > 0; }
-  std::vector<std::string> scalar_names() const;
-  /// Creates the field (zero-filled) if absent.
-  std::vector<float>& scalar(const std::string& name);
-  const std::vector<float>& scalar(const std::string& name) const;
+  bool has_scalar(const std::string& name) const { return fields_.has(name); }
+  /// Names in sorted order (also the serialization order).
+  std::vector<std::string> scalar_names() const { return fields_.sorted_names(); }
+
+  /// Interned handle for a field, or kInvalidFieldId when absent. Resolve
+  /// once outside the loop, then use the FieldId overloads per node.
+  FieldId field_id(const std::string& name) const { return fields_.find(name); }
+  /// Interns `name`, creating a zero-filled field on first use.
+  FieldId ensure_field(const std::string& name) { return fields_.ensure(name); }
+
+  std::span<float> field_values(FieldId id) { return fields_.values(id); }
+  std::span<const float> field_values(FieldId id) const { return fields_.values(id); }
+
+  /// Creates the field (zero-filled) if absent. The span stays valid for
+  /// the lifetime of the block (field arrays never move once created).
+  std::span<float> scalar(const std::string& name) {
+    return fields_.values(fields_.ensure(name));
+  }
+  std::span<const float> scalar(const std::string& name) const;
+
+  float scalar_at(FieldId id, int i, int j, int k) const {
+    return fields_.values(id)[node_index(i, j, k)];
+  }
+  void set_scalar_at(FieldId id, int i, int j, int k, float value) {
+    fields_.values(id)[node_index(i, j, k)] = value;
+  }
   float scalar_at(const std::string& name, int i, int j, int k) const {
     return scalar(name)[node_index(i, j, k)];
   }
@@ -128,7 +181,10 @@ class StructuredBlock {
   /// Trilinear velocity inside a cell.
   Vec3 interpolate_velocity(const CellCoord& c) const;
   /// Trilinear scalar inside a cell.
-  double interpolate_scalar(const std::string& name, const CellCoord& c) const;
+  double interpolate_scalar(FieldId id, const CellCoord& c) const;
+  double interpolate_scalar(const std::string& name, const CellCoord& c) const {
+    return interpolate_scalar(require_field(name), c);
+  }
 
   /// Inverts the trilinear map of cell (ci,cj,ck): finds (u,v,w) with
   /// X(u,v,w) = p via Newton iteration. Returns the coordinate if the point
@@ -144,7 +200,10 @@ class StructuredBlock {
 
   /// Spatial gradient ∇s of a node scalar at a node (same metric-term
   /// scheme as velocity_gradient). Drives isosurface normals.
-  Vec3 scalar_gradient(const std::string& name, int i, int j, int k) const;
+  Vec3 scalar_gradient(FieldId id, int i, int j, int k) const;
+  Vec3 scalar_gradient(const std::string& name, int i, int j, int k) const {
+    return scalar_gradient(require_field(name), i, j, k);
+  }
 
   /// --- multiresolution (Sec. 5.3) -------------------------------------------
   /// Subsampled copy taking every `stride`-th node in each direction
@@ -156,7 +215,8 @@ class StructuredBlock {
   void serialize(util::ByteBuffer& out) const;
   static StructuredBlock deserialize(util::ByteBuffer& in);
   /// Zero-copy variant: decodes through a non-owning cursor (e.g. straight
-  /// over a cached DMS blob) without copying the serialized bytes first.
+  /// over a cached DMS blob), de-interleaving payloads directly into the
+  /// aligned SoA arrays without intermediate vector copies.
   static StructuredBlock deserialize(util::ByteReader& in);
 
   /// Bytes the serialized form occupies (header + payloads).
@@ -164,15 +224,18 @@ class StructuredBlock {
 
  private:
   Mat3 position_jacobian(int i, int j, int k) const;
+  /// field_id that throws std::out_of_range for unknown names (the
+  /// contract the old map-based const scalar() accessor had).
+  FieldId require_field(const std::string& name) const;
 
   int ni_ = 0;
   int nj_ = 0;
   int nk_ = 0;
   int block_id_ = -1;
   double time_ = 0.0;
-  std::vector<float> points_;
-  std::vector<float> velocity_;
-  std::map<std::string, std::vector<float>> scalars_;
+  AlignedFloats px_, py_, pz_;
+  AlignedFloats vx_, vy_, vz_;
+  FieldStore fields_;
 
   mutable Aabb bounds_;
   mutable bool bounds_dirty_ = true;

@@ -134,8 +134,8 @@ StructuredBlock make_core_block(int id, int ni, int nj, int nk, double half_widt
 
 void sample_fields(StructuredBlock& block, const FlowField& field, double t) {
   block.set_time(t);
-  auto& pressure = block.scalar("pressure");
-  auto& density = block.scalar("density");
+  const auto pressure = block.scalar("pressure");
+  const auto density = block.scalar("density");
   for (int k = 0; k < block.nk(); ++k) {
     for (int j = 0; j < block.nj(); ++j) {
       for (int i = 0; i < block.ni(); ++i) {

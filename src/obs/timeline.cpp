@@ -109,17 +109,28 @@ double TimelineReport::share(const std::string& phase) const {
   return sum > 0.0 ? seconds(phase) / sum : 0.0;
 }
 
+void TimelineReport::set_kernel(double cells_per_sec, bool simd_active) {
+  kernel_cells_per_sec_ = cells_per_sec > 0.0 ? cells_per_sec : 0.0;
+  kernel_simd_active_ = simd_active;
+}
+
 void TimelineReport::print(std::ostream& out, const std::string& label) const {
-  char row[160];
+  char row[192];
   if (total() <= 0.0) {
     std::snprintf(row, sizeof(row), "  %-20s (no samples)\n", label.c_str());
     out << row;
     return;
   }
-  std::snprintf(row, sizeof(row), "  %-20s compute %5.1f%%   read %5.1f%%   send %5.1f%%\n",
+  std::snprintf(row, sizeof(row), "  %-20s compute %5.1f%%   read %5.1f%%   send %5.1f%%",
                 label.c_str(), 100.0 * share("compute"), 100.0 * share("read"),
                 100.0 * share("send"));
   out << row;
+  if (kernel_cells_per_sec_ > 0.0) {
+    std::snprintf(row, sizeof(row), "   kernel %6.2fM cells/s (%s)",
+                  kernel_cells_per_sec_ * 1e-6, kernel_simd_active_ ? "simd" : "scalar");
+    out << row;
+  }
+  out << '\n';
 }
 
 }  // namespace vira::obs

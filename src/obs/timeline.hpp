@@ -54,15 +54,23 @@ class TimelineReport {
 
   const std::map<std::string, double>& phases() const noexcept { return phases_; }
 
+  /// Attaches the extraction-kernel gauges (kernel.cells_per_sec /
+  /// kernel.simd_active) so print() shows kernel throughput next to the
+  /// phase shares. A rate of 0 detaches.
+  void set_kernel(double cells_per_sec, bool simd_active);
+
   /// Prints one Fig. 15-style breakdown row:
   ///   "  <label>  compute xx.x%   read xx.x%   send xx.x%"
-  /// followed by "(no samples)" when the phase total is zero.
+  /// (plus "   kernel xx.xM cells/s (simd)" when attached) followed by
+  /// "(no samples)" when the phase total is zero.
   void print(std::ostream& out, const std::string& label) const;
 
  private:
   std::map<std::string, double> phases_;
   double wall_seconds_ = 0.0;
   double coverage_ = 0.0;
+  double kernel_cells_per_sec_ = 0.0;
+  bool kernel_simd_active_ = false;
 };
 
 }  // namespace vira::obs

@@ -1,0 +1,53 @@
+#include "simd/kernels.hpp"
+
+#include "simd/simd.hpp"
+
+namespace vira::simd {
+
+// Dispatchers route each call to the TU matching active_level(). The
+// branch costs nothing relative to kernel bodies that sweep whole blocks.
+
+std::pair<float, float> lambda2_field(const GridView& g, float* out) {
+#if defined(VIRA_SIMD_HAVE_AVX2)
+  if (active_level() == Level::kAvx2) {
+    return avx2::lambda2_field(g, out);
+  }
+#endif
+  return generic::lambda2_field(g, out);
+}
+
+void active_cell_mask(const float* n00, const float* n01, const float* n10, const float* n11,
+                      int ncells, float iso, std::uint8_t* mask) {
+#if defined(VIRA_SIMD_HAVE_AVX2)
+  if (active_level() == Level::kAvx2) {
+    avx2::active_cell_mask(n00, n01, n10, n11, ncells, iso, mask);
+    return;
+  }
+#endif
+  generic::active_cell_mask(n00, n01, n10, n11, ncells, iso, mask);
+}
+
+void eigen_mid_sym3_batch(const double* a00, const double* a11, const double* a22,
+                          const double* a01, const double* a02, const double* a12, int n,
+                          double* out) {
+#if defined(VIRA_SIMD_HAVE_AVX2)
+  if (active_level() == Level::kAvx2) {
+    avx2::eigen_mid_sym3_batch(a00, a11, a22, a01, a02, a12, n, out);
+    return;
+  }
+#endif
+  generic::eigen_mid_sym3_batch(a00, a11, a22, a01, a02, a12, n, out);
+}
+
+void trilinear_gather(const float* values, const std::int64_t* idx, const double* w, int n,
+                      double* out) {
+#if defined(VIRA_SIMD_HAVE_AVX2)
+  if (active_level() == Level::kAvx2) {
+    avx2::trilinear_gather(values, idx, w, n, out);
+    return;
+  }
+#endif
+  generic::trilinear_gather(values, idx, w, n, out);
+}
+
+}  // namespace vira::simd

@@ -1,0 +1,261 @@
+/// \file kernels.inl
+/// Kernel bodies, compiled once per instruction-set TU: kernels_generic.cpp
+/// (portable flags) and kernels_avx2.cpp (-mavx2 -mfma) both include this
+/// file after defining VIRA_SIMD_NS. The inner loops are written as
+/// straight-line double arithmetic over SoA pointers so the compiler's
+/// auto-vectorizer carries them onto whatever vector width the TU targets.
+/// The trig eigen-solve is scalar-per-lane in the generic TU; the avx2 TU
+/// defines VIRA_SIMD_FAST_EIGEN to route it through fastmath::
+/// eigen_mid_sym3_batch (the -ffast-math libmvec TU) instead.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "simd/kernels.hpp"
+
+namespace vira::simd::VIRA_SIMD_NS {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Middle eigenvalue of a symmetric 3×3 matrix from its six unique
+/// entries — the analytic trig method of math::eigenvalues_sym3, kept
+/// formula-identical so scalar and SIMD paths agree to rounding error.
+inline double eigen_mid_sym3(double a00, double a11, double a22, double a01, double a02,
+                             double a12) {
+  const double off = a01 * a01 + a02 * a02 + a12 * a12;
+  if (off == 0.0) {
+    const double lo = std::min(a00, std::min(a11, a22));
+    const double hi = std::max(a00, std::max(a11, a22));
+    return a00 + a11 + a22 - lo - hi;
+  }
+  const double q = (a00 + a11 + a22) / 3.0;
+  const double b00 = a00 - q;
+  const double b11 = a11 - q;
+  const double b22 = a22 - q;
+  const double p2 = b00 * b00 + b11 * b11 + b22 * b22 + 2.0 * off;
+  const double p = std::sqrt(p2 / 6.0);
+  const double inv_p = 1.0 / p;
+  const double c00 = b00 * inv_p;
+  const double c11 = b11 * inv_p;
+  const double c22 = b22 * inv_p;
+  const double c01 = a01 * inv_p;
+  const double c02 = a02 * inv_p;
+  const double c12 = a12 * inv_p;
+  const double half_det =
+      0.5 * (c00 * (c11 * c22 - c12 * c12) - c01 * (c01 * c22 - c12 * c02) +
+             c02 * (c01 * c12 - c11 * c02));
+  const double r = std::clamp(half_det, -1.0, 1.0);
+  const double phi = std::acos(r) / 3.0;
+  const double e2 = q + 2.0 * p * std::cos(phi);
+  const double e0 = q + 2.0 * p * std::cos(phi + 2.0 * kPi / 3.0);
+  return 3.0 * q - e0 - e2;
+}
+
+/// Six unique entries of A = S²+Q² for the velocity-gradient tensor at one
+/// node. Neighbor samples come as absolute node indices per axis (already
+/// clamped at block faces) with the matching inverse step sizes, so one
+/// body serves interior vector lanes and boundary columns alike.
+struct SymEntries {
+  double a00, a11, a22, a01, a02, a12;
+};
+
+inline SymEntries node_a_entries(const GridView& g, std::int64_t ilo, std::int64_t ihi,
+                                 double inv_hi, std::int64_t jlo, std::int64_t jhi,
+                                 double inv_hj, std::int64_t klo, std::int64_t khi,
+                                 double inv_hk) {
+  // F = ∂u/∂ξ and J = ∂x/∂ξ, columns = computational axes (central
+  // differences, one-sided at faces — same stencil as the scalar path).
+  const double fx0 = (static_cast<double>(g.vx[ihi]) - g.vx[ilo]) * inv_hi;
+  const double fy0 = (static_cast<double>(g.vy[ihi]) - g.vy[ilo]) * inv_hi;
+  const double fz0 = (static_cast<double>(g.vz[ihi]) - g.vz[ilo]) * inv_hi;
+  const double fx1 = (static_cast<double>(g.vx[jhi]) - g.vx[jlo]) * inv_hj;
+  const double fy1 = (static_cast<double>(g.vy[jhi]) - g.vy[jlo]) * inv_hj;
+  const double fz1 = (static_cast<double>(g.vz[jhi]) - g.vz[jlo]) * inv_hj;
+  const double fx2 = (static_cast<double>(g.vx[khi]) - g.vx[klo]) * inv_hk;
+  const double fy2 = (static_cast<double>(g.vy[khi]) - g.vy[klo]) * inv_hk;
+  const double fz2 = (static_cast<double>(g.vz[khi]) - g.vz[klo]) * inv_hk;
+
+  const double jx0 = (static_cast<double>(g.px[ihi]) - g.px[ilo]) * inv_hi;
+  const double jy0 = (static_cast<double>(g.py[ihi]) - g.py[ilo]) * inv_hi;
+  const double jz0 = (static_cast<double>(g.pz[ihi]) - g.pz[ilo]) * inv_hi;
+  const double jx1 = (static_cast<double>(g.px[jhi]) - g.px[jlo]) * inv_hj;
+  const double jy1 = (static_cast<double>(g.py[jhi]) - g.py[jlo]) * inv_hj;
+  const double jz1 = (static_cast<double>(g.pz[jhi]) - g.pz[jlo]) * inv_hj;
+  const double jx2 = (static_cast<double>(g.px[khi]) - g.px[klo]) * inv_hk;
+  const double jy2 = (static_cast<double>(g.py[khi]) - g.py[klo]) * inv_hk;
+  const double jz2 = (static_cast<double>(g.pz[khi]) - g.pz[klo]) * inv_hk;
+
+  // J⁻¹ via adjugate/det (Mat3::inverse convention: singular → zeros).
+  const double det = jx0 * (jy1 * jz2 - jy2 * jz1) - jx1 * (jy0 * jz2 - jy2 * jz0) +
+                     jx2 * (jy0 * jz1 - jy1 * jz0);
+  const double inv = det != 0.0 ? 1.0 / det : 0.0;
+  const double i00 = (jy1 * jz2 - jy2 * jz1) * inv;
+  const double i01 = (jx2 * jz1 - jx1 * jz2) * inv;
+  const double i02 = (jx1 * jy2 - jx2 * jy1) * inv;
+  const double i10 = (jy2 * jz0 - jy0 * jz2) * inv;
+  const double i11 = (jx0 * jz2 - jx2 * jz0) * inv;
+  const double i12 = (jx2 * jy0 - jx0 * jy2) * inv;
+  const double i20 = (jy0 * jz1 - jy1 * jz0) * inv;
+  const double i21 = (jx1 * jz0 - jx0 * jz1) * inv;
+  const double i22 = (jx0 * jy1 - jx1 * jy0) * inv;
+
+  // G = F · J⁻¹ (∂u_i/∂x_j).
+  const double g00 = fx0 * i00 + fx1 * i10 + fx2 * i20;
+  const double g01 = fx0 * i01 + fx1 * i11 + fx2 * i21;
+  const double g02 = fx0 * i02 + fx1 * i12 + fx2 * i22;
+  const double g10 = fy0 * i00 + fy1 * i10 + fy2 * i20;
+  const double g11 = fy0 * i01 + fy1 * i11 + fy2 * i21;
+  const double g12 = fy0 * i02 + fy1 * i12 + fy2 * i22;
+  const double g20 = fz0 * i00 + fz1 * i10 + fz2 * i20;
+  const double g21 = fz0 * i01 + fz1 * i11 + fz2 * i21;
+  const double g22 = fz0 * i02 + fz1 * i12 + fz2 * i22;
+
+  // S = (G+Gᵀ)/2, Q = (G−Gᵀ)/2, A = S²+Q² (symmetric).
+  const double s01 = 0.5 * (g01 + g10);
+  const double s02 = 0.5 * (g02 + g20);
+  const double s12 = 0.5 * (g12 + g21);
+  const double q01 = 0.5 * (g01 - g10);
+  const double q02 = 0.5 * (g02 - g20);
+  const double q12 = 0.5 * (g12 - g21);
+
+  SymEntries a;
+  a.a00 = g00 * g00 + s01 * s01 + s02 * s02 - (q01 * q01 + q02 * q02);
+  a.a11 = s01 * s01 + g11 * g11 + s12 * s12 - (q01 * q01 + q12 * q12);
+  a.a22 = s02 * s02 + s12 * s12 + g22 * g22 - (q02 * q02 + q12 * q12);
+  a.a01 = g00 * s01 + s01 * g11 + s02 * s12 - q02 * q12;
+  a.a02 = g00 * s02 + s01 * s12 + s02 * g22 + q01 * q12;
+  a.a12 = s01 * s02 + g11 * s12 + s12 * g22 - q01 * q02;
+  return a;
+}
+
+}  // namespace
+
+std::pair<float, float> lambda2_field(const GridView& g, float* out) {
+  const int ni = g.ni;
+  const int nj = g.nj;
+  const int nk = g.nk;
+  // Row scratch for the six A entries plus the eigen results: pass A
+  // (vectorized straight-line tensor math) fills it, pass B (the trig
+  // eigen-solve) drains it.
+  std::vector<double> scratch(static_cast<std::size_t>(ni) * 7);
+  double* a00 = scratch.data();
+  double* a11 = a00 + ni;
+  double* a22 = a11 + ni;
+  double* a01 = a22 + ni;
+  double* a02 = a01 + ni;
+  double* a12 = a02 + ni;
+  double* mid = a12 + ni;
+
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (int k = 0; k < nk; ++k) {
+    const int klo = k > 0 ? k - 1 : k;
+    const int khi = k < nk - 1 ? k + 1 : k;
+    const double inv_hk = 1.0 / ((k > 0 ? 1 : 0) + (k < nk - 1 ? 1 : 0));
+    for (int j = 0; j < nj; ++j) {
+      const int jlo = j > 0 ? j - 1 : j;
+      const int jhi = j < nj - 1 ? j + 1 : j;
+      const double inv_hj = 1.0 / ((j > 0 ? 1 : 0) + (j < nj - 1 ? 1 : 0));
+
+      const std::int64_t base = g.node_index(0, j, k);
+      const std::int64_t bj_lo = g.node_index(0, jlo, k);
+      const std::int64_t bj_hi = g.node_index(0, jhi, k);
+      const std::int64_t bk_lo = g.node_index(0, j, klo);
+      const std::int64_t bk_hi = g.node_index(0, j, khi);
+
+      auto store = [&](int i, const SymEntries& a) {
+        a00[i] = a.a00;
+        a11[i] = a.a11;
+        a22[i] = a.a22;
+        a01[i] = a.a01;
+        a02[i] = a.a02;
+        a12[i] = a.a12;
+      };
+
+      // i-boundary columns (one-sided stencil) outside the vector loop.
+      store(0, node_a_entries(g, base, base + 1, 1.0, bj_lo, bj_hi, inv_hj, bk_lo, bk_hi,
+                              inv_hk));
+      for (int i = 1; i < ni - 1; ++i) {
+        store(i, node_a_entries(g, base + i - 1, base + i + 1, 0.5, bj_lo + i, bj_hi + i,
+                                inv_hj, bk_lo + i, bk_hi + i, inv_hk));
+      }
+      if (ni > 1) {
+        store(ni - 1, node_a_entries(g, base + ni - 2, base + ni - 1, 1.0, bj_lo + ni - 1,
+                                     bj_hi + ni - 1, inv_hj, bk_lo + ni - 1, bk_hi + ni - 1,
+                                     inv_hk));
+      }
+
+#if defined(VIRA_SIMD_FAST_EIGEN)
+      fastmath::eigen_mid_sym3_batch(a00, a11, a22, a01, a02, a12, ni, mid);
+#else
+      for (int i = 0; i < ni; ++i) {
+        mid[i] = eigen_mid_sym3(a00[i], a11[i], a22[i], a01[i], a02[i], a12[i]);
+      }
+#endif
+      for (int i = 0; i < ni; ++i) {
+        const float value = static_cast<float>(mid[i]);
+        out[base + i] = value;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+    }
+  }
+  return {lo, hi};
+}
+
+void active_cell_mask(const float* n00, const float* n01, const float* n10, const float* n11,
+                      int ncells, float iso, std::uint8_t* mask) {
+  // Bitwise ORs (not ||) keep the loop branch-free so comparisons fuse
+  // into vector masks. Predicate matches cell_is_active exactly:
+  // any corner < iso AND any corner >= iso.
+  for (int c = 0; c < ncells; ++c) {
+    const unsigned below = static_cast<unsigned>(n00[c] < iso) |
+                           static_cast<unsigned>(n00[c + 1] < iso) |
+                           static_cast<unsigned>(n01[c] < iso) |
+                           static_cast<unsigned>(n01[c + 1] < iso) |
+                           static_cast<unsigned>(n10[c] < iso) |
+                           static_cast<unsigned>(n10[c + 1] < iso) |
+                           static_cast<unsigned>(n11[c] < iso) |
+                           static_cast<unsigned>(n11[c + 1] < iso);
+    const unsigned above = static_cast<unsigned>(n00[c] >= iso) |
+                           static_cast<unsigned>(n00[c + 1] >= iso) |
+                           static_cast<unsigned>(n01[c] >= iso) |
+                           static_cast<unsigned>(n01[c + 1] >= iso) |
+                           static_cast<unsigned>(n10[c] >= iso) |
+                           static_cast<unsigned>(n10[c + 1] >= iso) |
+                           static_cast<unsigned>(n11[c] >= iso) |
+                           static_cast<unsigned>(n11[c + 1] >= iso);
+    mask[c] = static_cast<std::uint8_t>(below & above);
+  }
+}
+
+void eigen_mid_sym3_batch(const double* a00, const double* a11, const double* a22,
+                          const double* a01, const double* a02, const double* a12, int n,
+                          double* out) {
+#if defined(VIRA_SIMD_FAST_EIGEN)
+  fastmath::eigen_mid_sym3_batch(a00, a11, a22, a01, a02, a12, n, out);
+#else
+  for (int l = 0; l < n; ++l) {
+    out[l] = eigen_mid_sym3(a00[l], a11[l], a22[l], a01[l], a02[l], a12[l]);
+  }
+#endif
+}
+
+void trilinear_gather(const float* values, const std::int64_t* idx, const double* w, int n,
+                      double* out) {
+  for (int l = 0; l < n; ++l) {
+    const std::int64_t* id = idx + static_cast<std::size_t>(l) * 8;
+    const double* wl = w + static_cast<std::size_t>(l) * 8;
+    double s = 0.0;
+    for (int c = 0; c < 8; ++c) {
+      s += static_cast<double>(values[id[c]]) * wl[c];
+    }
+    out[l] = s;
+  }
+}
+
+}  // namespace vira::simd::VIRA_SIMD_NS

@@ -1,0 +1,4 @@
+// Portable kernel TU: baseline instruction set (SSE2 on x86-64), relying
+// on the compiler's auto-vectorizer at the flags CMake pins for this file.
+#define VIRA_SIMD_NS generic
+#include "simd/kernels.inl"

@@ -1,0 +1,74 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+
+namespace vira::simd {
+
+namespace {
+
+Level detect_level_impl() {
+#if defined(VIRA_SIMD_HAVE_AVX2) && (defined(__x86_64__) || defined(_M_X64))
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kGeneric;
+}
+
+std::atomic<Level>& active_level_storage() {
+  static std::atomic<Level> level{detect_level()};
+  return level;
+}
+
+std::atomic<Kernel>& default_kernel_storage() {
+  static std::atomic<Kernel> kernel{Kernel::kSimd};
+  return kernel;
+}
+
+}  // namespace
+
+Level detect_level() {
+  static const Level detected = detect_level_impl();
+  return detected;
+}
+
+Level active_level() { return active_level_storage().load(std::memory_order_relaxed); }
+
+void set_level(Level level) {
+  if (level > detect_level()) {
+    level = detect_level();
+  }
+  active_level_storage().store(level, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kGeneric:
+      return "generic";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Kernel default_kernel() { return default_kernel_storage().load(std::memory_order_relaxed); }
+
+void set_default_kernel(Kernel kernel) {
+  default_kernel_storage().store(kernel, std::memory_order_relaxed);
+}
+
+std::optional<Kernel> parse_kernel(std::string_view text) {
+  if (text == "scalar") {
+    return Kernel::kScalar;
+  }
+  if (text == "simd" || text == "auto") {
+    return Kernel::kSimd;
+  }
+  return std::nullopt;
+}
+
+const char* kernel_name(Kernel kernel) {
+  return kernel == Kernel::kScalar ? "scalar" : "simd";
+}
+
+}  // namespace vira::simd

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime dispatch shim for the vectorized extraction kernels
+/// (DESIGN.md §13).
+///
+/// Two orthogonal knobs:
+///  - Level: which *instruction set* the kernels run with. Detected once at
+///    startup (AVX2+FMA on x86-64 when the CPU reports it, otherwise the
+///    portable auto-vectorized baseline). Tests pin it to compare code
+///    paths on one machine.
+///  - Kernel: which *implementation* a command uses — the scalar reference
+///    path (the original per-node code, kept as ground truth) or the SoA
+///    SIMD kernels. Selected per command via the `kernel=` parameter, with
+///    the process default settable by `--kernel=scalar|simd` on cli/server.
+
+#include <optional>
+#include <string_view>
+
+namespace vira::simd {
+
+/// Instruction-set tier the dispatched kernels execute at.
+enum class Level {
+  kGeneric,  // portable TU, compiler-autovectorized baseline (SSE2 on x86-64)
+  kAvx2,     // AVX2+FMA TU (x86-64 only, runtime-detected)
+};
+
+/// Which implementation a command runs: the scalar reference path or the
+/// SoA SIMD kernels.
+enum class Kernel {
+  kScalar,
+  kSimd,
+};
+
+/// Highest Level this CPU supports (detected once, cached).
+Level detect_level();
+
+/// Level the dispatcher currently routes to (defaults to detect_level()).
+Level active_level();
+/// Pins the dispatch level; levels above detect_level() are clamped.
+void set_level(Level level);
+
+const char* level_name(Level level);
+
+/// Process-wide default implementation choice (the --kernel flag).
+Kernel default_kernel();
+void set_default_kernel(Kernel kernel);
+
+/// Parses a kernel knob value: "scalar" → kScalar, "simd"/"auto" → kSimd,
+/// anything else → nullopt.
+std::optional<Kernel> parse_kernel(std::string_view text);
+
+const char* kernel_name(Kernel kernel);
+
+}  // namespace vira::simd

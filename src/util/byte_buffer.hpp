@@ -159,6 +159,16 @@ class ByteReader {
     return v;
   }
 
+  /// Zero-copy view of the next `size` bytes, advancing the cursor. Lets a
+  /// decoder transform a payload (e.g. de-interleave xyz into SoA arrays)
+  /// straight out of a cached blob without an intermediate vector copy.
+  std::span<const std::byte> view(std::size_t size) {
+    check_available(size);
+    const auto out = bytes_.subspan(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
  private:
   void check_available(std::size_t size) const {
     if (size > remaining()) {

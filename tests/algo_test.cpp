@@ -699,7 +699,9 @@ TEST(DecodeBlock, DecodesFromSharedBlobWithoutMutatingIt) {
     ASSERT_EQ(decoded->nj(), block.nj());
     ASSERT_EQ(decoded->nk(), block.nk());
     ASSERT_TRUE(decoded->has_scalar("s"));
-    EXPECT_EQ(decoded->scalar("s"), block.scalar("s"));
+    const auto got = decoded->scalar("s");
+    const auto want = block.scalar("s");
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()));
   }
 }
 
@@ -718,6 +720,9 @@ TEST(DecodeBlock, ByteReaderPathMatchesByteBufferPath) {
   const auto a = vg::StructuredBlock::deserialize(stream);
   const auto b = vg::StructuredBlock::deserialize(stream);
   EXPECT_EQ(stream.remaining(), 0u);
-  EXPECT_EQ(a.scalar("s"), block.scalar("s"));
-  EXPECT_EQ(b.scalar("s"), block.scalar("s"));
+  const auto want = block.scalar("s");
+  const auto sa = a.scalar("s");
+  const auto sb = b.scalar("s");
+  EXPECT_TRUE(std::equal(sa.begin(), sa.end(), want.begin(), want.end()));
+  EXPECT_TRUE(std::equal(sb.begin(), sb.end(), want.begin(), want.end()));
 }

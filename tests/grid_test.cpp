@@ -80,7 +80,7 @@ TEST(StructuredBlock, ScalarFieldsCreatedOnDemand) {
 
 TEST(StructuredBlock, ScalarRange) {
   vg::StructuredBlock block(2, 2, 2);
-  auto& field = block.scalar("s");
+  const auto field = block.scalar("s");
   for (std::size_t n = 0; n < field.size(); ++n) {
     field[n] = static_cast<float>(n);
   }
@@ -294,7 +294,7 @@ TEST(CellLocator, HintAcceleratedLookupAgrees) {
 
 TEST(BspTree, LeafRangesPartitionTheBlock) {
   auto block = make_box_block(9, 7, 5);
-  auto& field = block.scalar("s");
+  const auto field = block.scalar("s");
   for (std::size_t n = 0; n < field.size(); ++n) {
     field[n] = static_cast<float>(n % 17);
   }
@@ -310,7 +310,7 @@ TEST(BspTree, LeafRangesPartitionTheBlock) {
 
 TEST(BspTree, PrunesOutOfRangeIso) {
   auto block = make_box_block(9, 9, 9);
-  auto& field = block.scalar("s");
+  const auto field = block.scalar("s");
   for (std::size_t n = 0; n < field.size(); ++n) {
     field[n] = 1.0f;
   }
@@ -325,7 +325,7 @@ TEST(BspTree, PrunesOutOfRangeIso) {
 
 TEST(BspTree, FrontToBackOrderRespectsViewpoint) {
   auto block = make_box_block(17, 3, 3);
-  auto& field = block.scalar("s");
+  const auto field = block.scalar("s");
   for (std::size_t n = 0; n < field.size(); ++n) {
     field[n] = 0.0f;  // all leaves active at iso 0
   }

@@ -1,0 +1,318 @@
+/// \file simd_kernel_test.cpp
+/// Property tests for the SoA/SIMD extraction path (DESIGN.md §13): the
+/// SIMD kernels against their scalar references over randomized blocks,
+/// the batch integrator's per-lane bit-identity, the serialize round-trip
+/// that pins the wire blob across the SoA refactor, and the alignment /
+/// padding contract the vector loads depend on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "algo/integrator.hpp"
+#include "algo/isosurface.hpp"
+#include "algo/lambda2.hpp"
+#include "grid/analytic_fields.hpp"
+#include "grid/field_store.hpp"
+#include "grid/structured_block.hpp"
+#include "grid/synthetic.hpp"
+#include "simd/kernels.hpp"
+#include "simd/simd.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vira {
+namespace {
+
+/// Vortex block with randomized node jitter and velocity noise so the
+/// kernels see irregular (but still valid curvilinear) data, not just the
+/// smooth analytic field.
+grid::StructuredBlock make_random_block(int n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> jitter(-0.2, 0.2);
+  grid::LambOseenVortex vortex({0.5, 0.5, 0.5}, {0, 0, 1}, 2.0, 0.15);
+  grid::StructuredBlock block(n, n, n);
+  const double cell = 1.0 / (n - 1);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        // Jitter interior nodes by a fraction of a cell: the grid stays
+        // non-degenerate, but metric terms differ node to node.
+        const bool interior = i > 0 && i < n - 1 && j > 0 && j < n - 1 && k > 0 && k < n - 1;
+        const double dx = interior ? jitter(rng) * cell : 0.0;
+        const double dy = interior ? jitter(rng) * cell : 0.0;
+        const double dz = interior ? jitter(rng) * cell : 0.0;
+        block.set_point(i, j, k, {i * cell + dx, j * cell + dy, k * cell + dz});
+      }
+    }
+  }
+  grid::sample_fields(block, vortex, 0.0);
+  std::uniform_real_distribution<double> noise(-0.05, 0.05);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        auto u = block.velocity(i, j, k);
+        block.set_velocity(i, j, k, {u.x + noise(rng), u.y + noise(rng), u.z + noise(rng)});
+      }
+    }
+  }
+  return block;
+}
+
+// --- λ2: scalar vs SIMD agreement ----------------------------------------
+
+TEST(SimdKernelTest, Lambda2ScalarVsSimdAgreesOnRandomBlocks) {
+  for (std::uint32_t seed : {1u, 7u, 42u}) {
+    auto block = make_random_block(17, seed);
+    const auto scalar_range =
+        algo::compute_lambda2_field(block, "l2_scalar", simd::Kernel::kScalar);
+    const auto simd_range = algo::compute_lambda2_field(block, "l2_simd", simd::Kernel::kSimd);
+
+    const auto a = block.scalar("l2_scalar");
+    const auto b = block.scalar("l2_simd");
+    ASSERT_EQ(a.size(), b.size());
+    float scale = 0.0f;
+    for (float v : a) {
+      scale = std::max(scale, std::abs(v));
+    }
+    ASSERT_GT(scale, 0.0f);
+    // The SIMD path shares the stencil/adjugate formulas but runs the trig
+    // eigen-solve through the fast-math TU: agreement is to rounding
+    // error, not bit-exact. Bound the drift at 1e-4 of the field scale.
+    const float tol = 1e-4f * scale;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a[i], b[i], tol) << "node " << i << " seed " << seed;
+    }
+    EXPECT_NEAR(scalar_range.first, simd_range.first, tol);
+    EXPECT_NEAR(scalar_range.second, simd_range.second, tol);
+  }
+}
+
+TEST(SimdKernelTest, EigenBatchMatchesDiagonalAndDegenerateMatrices) {
+  // Diagonal, repeated-eigenvalue and scaled-identity matrices hit the
+  // branch-free fast-math path's guard lanes (off == 0, p == 0).
+  const std::vector<std::array<double, 6>> cases = {
+      {3.0, 1.0, 2.0, 0.0, 0.0, 0.0},   // diagonal: mid = 2
+      {5.0, 5.0, 5.0, 0.0, 0.0, 0.0},   // q·I: p == 0, mid = 5
+      {2.0, 2.0, 8.0, 0.0, 0.0, 0.0},   // repeated low pair
+      {1.0, 4.0, 9.0, 0.5, -0.25, 2.0}, // generic symmetric
+      {-3.0, -3.0, -3.0, 1e-12, 0.0, 0.0},
+  };
+  std::vector<double> a00, a11, a22, a01, a02, a12;
+  for (const auto& c : cases) {
+    a00.push_back(c[0]);
+    a11.push_back(c[1]);
+    a22.push_back(c[2]);
+    a01.push_back(c[3]);
+    a02.push_back(c[4]);
+    a12.push_back(c[5]);
+  }
+  const int n = static_cast<int>(cases.size());
+  std::vector<double> got(n), want(n);
+  simd::eigen_mid_sym3_batch(a00.data(), a11.data(), a22.data(), a01.data(), a02.data(),
+                             a12.data(), n, got.data());
+  simd::generic::eigen_mid_sym3_batch(a00.data(), a11.data(), a22.data(), a01.data(),
+                                      a02.data(), a12.data(), n, want.data());
+  for (int i = 0; i < n; ++i) {
+    // Repeated eigenvalues sit at acos(±1), where rounding in the argument
+    // amplifies to ~sqrt(eps) in the angle — tolerance reflects that, not
+    // plain ulp drift.
+    EXPECT_NEAR(got[i], want[i], 1e-6 + 1e-6 * std::abs(want[i])) << "case " << i;
+  }
+}
+
+// --- isosurface: SIMD active-cell scan must not change the mesh ----------
+
+TEST(SimdKernelTest, IsosurfaceScalarVsSimdMeshesIdentical) {
+  for (std::uint32_t seed : {3u, 11u}) {
+    auto block = make_random_block(13, seed);
+    const auto range = block.scalar_range("density");
+    const float iso = 0.5f * (range.first + range.second);
+    for (bool with_normals : {false, true}) {
+      algo::TriangleMesh scalar_mesh, simd_mesh;
+      const auto scalar_active = algo::extract_isosurface(block, "density", iso, scalar_mesh,
+                                                          with_normals, simd::Kernel::kScalar);
+      const auto simd_active = algo::extract_isosurface(block, "density", iso, simd_mesh,
+                                                        with_normals, simd::Kernel::kSimd);
+      EXPECT_EQ(scalar_active, simd_active);
+      ASSERT_GT(scalar_mesh.triangle_count(), 0u);
+      // The SIMD path only changes *which cells get scanned how*; the
+      // triangulation of each active cell is the same code. Serialized
+      // meshes (vertices, normals, indices) must match byte for byte.
+      util::ByteBuffer a, b;
+      scalar_mesh.serialize(a);
+      simd_mesh.serialize(b);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+          << "seed " << seed << " normals " << with_normals;
+    }
+  }
+}
+
+// --- batch RK4: per-lane trajectories identical to scalar ----------------
+
+TEST(SimdKernelTest, BatchPathlinesBitIdenticalToScalar) {
+  grid::LambOseenVortex vortex({0.5, 0.5, 0.5}, {0, 0, 1}, 2.0, 0.15);
+  const math::Aabb domain{{0, 0, 0}, {1, 1, 1}};
+  algo::IntegratorParams params;
+  params.max_steps = 300;
+
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> pos(0.05, 0.95);
+  std::vector<math::Vec3> seeds;
+  for (int s = 0; s < 23; ++s) {  // odd count: exercises a partial tail
+    seeds.push_back({pos(rng), pos(rng), pos(rng)});
+  }
+
+  algo::AnalyticProvider batch_provider(vortex, domain);
+  const auto batch = algo::integrate_pathlines_batch(batch_provider, seeds, 0.0, 1.5, params);
+  ASSERT_EQ(batch.size(), seeds.size());
+
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    algo::AnalyticProvider provider(vortex, domain);
+    const auto scalar = algo::integrate_pathline(provider, seeds[s], 0.0, 1.5, params);
+    ASSERT_EQ(batch[s].size(), scalar.size()) << "seed " << s;
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      // Lockstep lanes replay the scalar control flow and op order
+      // exactly — equality here is bitwise, not approximate.
+      EXPECT_EQ(batch[s][i].position.x, scalar[i].position.x) << "seed " << s << " pt " << i;
+      EXPECT_EQ(batch[s][i].position.y, scalar[i].position.y) << "seed " << s << " pt " << i;
+      EXPECT_EQ(batch[s][i].position.z, scalar[i].position.z) << "seed " << s << " pt " << i;
+      EXPECT_EQ(batch[s][i].t, scalar[i].t) << "seed " << s << " pt " << i;
+    }
+  }
+}
+
+TEST(SimdKernelTest, BatchTwoLevelIntervalBitIdenticalToScalar) {
+  grid::LambOseenVortex v0({0.5, 0.5, 0.5}, {0, 0, 1}, 2.0, 0.15);
+  grid::LambOseenVortex v1({0.45, 0.55, 0.5}, {0, 0, 1}, 1.8, 0.18);
+  const math::Aabb domain{{0, 0, 0}, {1, 1, 1}};
+  algo::IntegratorParams params;
+
+  std::vector<math::Vec3> seeds = {
+      {0.3, 0.4, 0.5}, {0.7, 0.6, 0.4}, {0.2, 0.8, 0.6}, {0.55, 0.25, 0.45}, {0.9, 0.9, 0.1}};
+  const double t_a = 0.0, t_b = 0.25;
+
+  // Batch: all lanes through one provider pair.
+  const int n = static_cast<int>(seeds.size());
+  std::vector<math::Vec3> p = seeds;
+  std::vector<double> h(seeds.size(), params.h_init);
+  std::vector<std::uint8_t> alive(seeds.size(), 1);
+  std::vector<std::vector<algo::PathPoint>> outs(seeds.size());
+  algo::AnalyticProvider batch_a(v0, domain), batch_b(v1, domain);
+  algo::integrate_interval_two_level_batch(batch_a, batch_b, t_a, t_b, n, p.data(), h.data(),
+                                           alive.data(), params, outs.data());
+
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    algo::AnalyticProvider level_a(v0, domain), level_b(v1, domain);
+    math::Vec3 sp = seeds[s];
+    double sh = params.h_init;
+    std::vector<algo::PathPoint> sout;
+    const bool ok =
+        algo::integrate_interval_two_level(level_a, level_b, t_a, t_b, sp, sh, params, sout);
+    EXPECT_EQ(alive[s] != 0, ok) << "seed " << s;
+    ASSERT_EQ(outs[s].size(), sout.size()) << "seed " << s;
+    for (std::size_t i = 0; i < sout.size(); ++i) {
+      EXPECT_EQ(outs[s][i].position.x, sout[i].position.x);
+      EXPECT_EQ(outs[s][i].position.y, sout[i].position.y);
+      EXPECT_EQ(outs[s][i].position.z, sout[i].position.z);
+      EXPECT_EQ(outs[s][i].t, sout[i].t);
+    }
+    EXPECT_EQ(p[s].x, sp.x);
+    EXPECT_EQ(h[s], sh);
+  }
+}
+
+// --- serialization: the SoA refactor must not move a single wire byte ----
+
+TEST(SimdKernelTest, SerializeRoundTripByteIdentical) {
+  auto block = make_random_block(9, 5u);
+  algo::compute_lambda2_field(block, algo::kLambda2Field, simd::Kernel::kSimd);
+  block.scalar("zeta_extra");  // registered last, sorts last
+
+  util::ByteBuffer first;
+  block.serialize(first);
+  auto copy = grid::StructuredBlock::deserialize(first);
+  util::ByteBuffer second;
+  copy.serialize(second);
+
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(std::memcmp(first.data(), second.data(), first.size()), 0);
+  EXPECT_EQ(copy.node_count(), block.node_count());
+  EXPECT_EQ(copy.scalar_names(), block.scalar_names());
+}
+
+TEST(SimdKernelTest, SerializationIndependentOfFieldRegistrationOrder) {
+  // The wire blob walks scalars in sorted-name order, so two stores that
+  // interned the same fields in different orders serialize identically.
+  auto fill = [](grid::StructuredBlock& b, const std::vector<std::string>& order) {
+    for (const auto& name : order) {
+      auto s = b.scalar(name);
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i] = static_cast<float>(name.size()) + 0.25f * static_cast<float>(i);
+      }
+    }
+  };
+  grid::StructuredBlock b1(4, 4, 4), b2(4, 4, 4);
+  fill(b1, {"pressure", "alpha", "mach"});
+  fill(b2, {"mach", "pressure", "alpha"});
+
+  util::ByteBuffer blob1, blob2;
+  b1.serialize(blob1);
+  b2.serialize(blob2);
+  ASSERT_EQ(blob1.size(), blob2.size());
+  EXPECT_EQ(std::memcmp(blob1.data(), blob2.data(), blob1.size()), 0);
+  EXPECT_NE(b1.field_id("pressure"), b2.field_id("pressure"));  // ids differ, bytes don't
+}
+
+// --- alignment / padding: the contract the unmasked SIMD tails rely on ---
+
+TEST(SimdKernelTest, FieldArraysAlignedAndPadded) {
+  grid::StructuredBlock block(5, 3, 7);  // 105 nodes: not a multiple of 16
+  const auto id = block.ensure_field("s");
+  auto values = block.field_values(id);
+  std::fill(values.begin(), values.end(), 1.5f);
+
+  auto check = [](const float* p, std::size_t logical) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % grid::kFieldAlignment, 0u);
+    const std::size_t padded =
+        (logical + grid::kFieldPadFloats - 1) / grid::kFieldPadFloats * grid::kFieldPadFloats;
+    EXPECT_GT(padded, logical);  // 105 rounds up, so a real pad exists
+    for (std::size_t i = logical; i < padded; ++i) {
+      EXPECT_EQ(p[i], 0.0f) << "pad float " << i << " not zero";
+    }
+  };
+  const std::size_t nodes = static_cast<std::size_t>(block.node_count());
+  check(block.points_x().data(), nodes);
+  check(block.points_y().data(), nodes);
+  check(block.points_z().data(), nodes);
+  check(block.velocity_x().data(), nodes);
+  check(block.velocity_y().data(), nodes);
+  check(block.velocity_z().data(), nodes);
+  check(block.field_values(id).data(), nodes);
+
+  grid::AlignedFloats a(21, 3.0f);
+  EXPECT_EQ(a.size(), 21u);
+  EXPECT_EQ(a.padded_size() % grid::kFieldPadFloats, 0u);
+  EXPECT_GE(a.padded_size(), a.size());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % grid::kFieldAlignment, 0u);
+  for (std::size_t i = a.size(); i < a.padded_size(); ++i) {
+    EXPECT_EQ(a.data()[i], 0.0f);
+  }
+}
+
+TEST(SimdKernelTest, KernelKnobParsesAndDispatches) {
+  EXPECT_EQ(simd::parse_kernel("scalar"), simd::Kernel::kScalar);
+  EXPECT_EQ(simd::parse_kernel("simd"), simd::Kernel::kSimd);
+  EXPECT_EQ(simd::parse_kernel("auto"), simd::Kernel::kSimd);
+  EXPECT_EQ(simd::parse_kernel("avx512"), std::nullopt);
+  // Whatever the host supports, dispatch must resolve to a real level.
+  EXPECT_NE(simd::level_name(simd::active_level()), nullptr);
+}
+
+}  // namespace
+}  // namespace vira

@@ -9,6 +9,7 @@
 ///
 ///   viracocha-cli --host H --port N --command NAME [--out FILE]
 ///                 [--local-workers N] [--synthetic DIR]
+///                 [--kernel scalar|simd|auto]
 ///                 [--trace-out FILE] [--metrics-out FILE]
 ///                 [key=value ...]
 ///
@@ -32,6 +33,7 @@
 #include "grid/dataset_io.hpp"
 #include "grid/synthetic.hpp"
 #include "obs/tracer.hpp"
+#include "simd/simd.hpp"
 #include "viz/assembly.hpp"
 #include "viz/session.hpp"
 
@@ -41,6 +43,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: viracocha-cli [--host H] [--port N] --command NAME [--out FILE]\n"
                "                     [--local-workers N] [--synthetic DIR]\n"
+               "                     [--kernel scalar|simd|auto]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [key=value ...]\n");
 }
@@ -116,6 +119,14 @@ int main(int argc, char** argv) {
       local_workers = std::atoi(next());
     } else if (token == "--synthetic") {
       synthetic_dir = next();
+    } else if (token == "--kernel") {
+      const std::string value = next();
+      const auto kernel = vira::simd::parse_kernel(value);
+      if (!kernel) {
+        std::fprintf(stderr, "unknown --kernel: %s (want scalar|simd|auto)\n", value.c_str());
+        return 2;
+      }
+      vira::simd::set_default_kernel(*kernel);
     } else if (token == "--help" || token == "-h") {
       usage();
       return 0;

@@ -10,6 +10,7 @@
 ///                    [--net epoll|blocking] [--net-threads N]
 ///                    [--no-compression]
 ///                    [--dms-messages] [--shards N] [--repl N]
+///                    [--kernel scalar|simd|auto]
 ///                    [--trace-out FILE] [--metrics-out FILE]
 ///
 /// The server runs until stdin reaches EOF (or the process is signalled),
@@ -28,6 +29,7 @@
 #include "algo/cfd_command.hpp"
 #include "core/backend.hpp"
 #include "obs/tracer.hpp"
+#include "simd/simd.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -39,6 +41,7 @@ void usage() {
                "                        [--net epoll|blocking] [--net-threads N]\n"
                "                        [--no-compression] [--dms-messages] [--verbose]\n"
                "                        [--shards N] [--repl N]\n"
+               "                        [--kernel scalar|simd|auto]\n"
                "                        [--trace-out FILE] [--metrics-out FILE]\n");
 }
 
@@ -118,6 +121,15 @@ int main(int argc, char** argv) {
       g_trace_out = next();
     } else if (flag == "--metrics-out") {
       g_metrics_out = next();
+    } else if (flag == "--kernel") {
+      const std::string value = next();
+      const auto kernel = vira::simd::parse_kernel(value);
+      if (!kernel) {
+        std::fprintf(stderr, "unknown --kernel: %s (want scalar|simd|auto)\n", value.c_str());
+        usage();
+        return 2;
+      }
+      vira::simd::set_default_kernel(*kernel);
     } else if (flag == "--verbose") {
       util::Logger::instance().set_level(util::LogLevel::kDebug);
     } else if (flag == "--help" || flag == "-h") {
